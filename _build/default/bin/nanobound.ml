@@ -1,0 +1,529 @@
+(* nanobound — command-line front end for the energy-bounds framework.
+
+   Subcommands:
+     bounds    closed-form lower bounds for explicit parameters
+     analyze   profile a circuit (BLIF file or built-in) and bound it
+     synth     optimize/map a BLIF netlist and write it back out
+     inject    Monte-Carlo fault injection on a circuit
+     equiv     combinational equivalence (auto | BDD | SAT backends)
+     critical  gate observability ranking + analytic reliability
+     sweep     print the data series behind Figures 2-6
+     suite     list built-in benchmark circuits *)
+
+open Cmdliner
+
+let num = Nano_report.Report.Table.number
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let epsilon_arg =
+  let doc = "Device (gate) error probability, in [0, 1/2]." in
+  Arg.(value & opt float 0.01 & info [ "e"; "epsilon" ] ~docv:"EPS" ~doc)
+
+let delta_arg =
+  let doc = "Output error budget delta, in [0, 1/2)." in
+  Arg.(value & opt float 0.01 & info [ "d"; "delta" ] ~docv:"DELTA" ~doc)
+
+let leakage_arg =
+  let doc = "Leakage share of the error-free baseline energy, in [0, 1)." in
+  Arg.(value & opt float 0.5 & info [ "leakage-share" ] ~docv:"SHARE" ~doc)
+
+let circuit_arg =
+  let doc =
+    "Circuit to analyze: either a BLIF file path or the name of a built-in \
+     benchmark (see `nanobound suite')."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let load_circuit spec =
+  match Nano_circuits.Suite.find spec with
+  | Some entry -> Ok (entry.Nano_circuits.Suite.build ())
+  | None ->
+    if Sys.file_exists spec then begin
+      match Nano_blif.Blif.parse_file spec with
+      | Ok netlist -> Ok netlist
+      | Error e -> Error (Format.asprintf "%s: %a" spec Nano_blif.Blif.pp_error e)
+    end
+    else
+      Error
+        (Printf.sprintf
+           "%s: not a built-in benchmark and no such file (try `nanobound \
+            suite')"
+           spec)
+
+(* ------------------------------------------------------------------ *)
+(* bounds                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_cmd =
+  let run epsilon delta fanin sensitivity size inputs sw0 leakage_share0
+      explain =
+    let scenario =
+      {
+        Nano_bounds.Metrics.epsilon;
+        delta;
+        fanin;
+        sensitivity;
+        error_free_size = size;
+        inputs;
+        sw0;
+        leakage_share0;
+      }
+    in
+    if not (Nano_bounds.Metrics.scenario_valid scenario) then begin
+      prerr_endline "error: parameters outside the theorems' domain";
+      exit 1
+    end;
+    if explain then print_string (Nano_bounds.Metrics.explain scenario);
+    let b = Nano_bounds.Metrics.evaluate scenario in
+    let opt = function Some v -> num v | None -> "infeasible" in
+    print_string
+      (Nano_report.Report.Table.render ~header:[ "metric"; "lower bound" ]
+         ~rows:
+           [
+             [ "size / S0"; num b.Nano_bounds.Metrics.size_ratio ];
+             [ "switching activity ratio"; num b.Nano_bounds.Metrics.activity_ratio ];
+             [ "switching energy / E0"; num b.Nano_bounds.Metrics.switching_energy_ratio ];
+             [ "total energy / E0"; num b.Nano_bounds.Metrics.energy_ratio ];
+             [ "leakage ratio change (Thm 3)"; num b.Nano_bounds.Metrics.leakage_ratio_change ];
+             [ "delay / D0"; opt b.Nano_bounds.Metrics.delay_ratio ];
+             [ "energy-delay / ED0"; opt b.Nano_bounds.Metrics.energy_delay_ratio ];
+             [ "average power / P0"; opt b.Nano_bounds.Metrics.average_power_ratio ];
+           ])
+  in
+  let fanin =
+    Arg.(value & opt int 2 & info [ "k"; "fanin" ] ~docv:"K" ~doc:"Gate fanin.")
+  in
+  let sensitivity =
+    Arg.(value & opt int 10 & info [ "s"; "sensitivity" ] ~docv:"S"
+           ~doc:"Boolean sensitivity of the function.")
+  in
+  let size =
+    Arg.(value & opt int 21 & info [ "size" ] ~docv:"S0"
+           ~doc:"Error-free implementation size in gates.")
+  in
+  let inputs =
+    Arg.(value & opt int 10 & info [ "n"; "inputs" ] ~docv:"N"
+           ~doc:"Number of (relevant) primary inputs.")
+  in
+  let sw0 =
+    Arg.(value & opt float 0.5 & info [ "sw0" ] ~docv:"SW"
+           ~doc:"Error-free average gate switching activity.")
+  in
+  let explain =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Print the step-by-step derivation before the table.")
+  in
+  let doc = "Closed-form lower bounds for explicit parameters" in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(
+      const run $ epsilon_arg $ delta_arg $ fanin $ sensitivity $ size
+      $ inputs $ sw0 $ leakage_arg $ explain)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_cmd =
+  let run spec delta leakage_share0 epsilons no_map glitch =
+    match load_circuit spec with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok circuit ->
+      let mapped =
+        if no_map then circuit
+        else Nano_synth.Script.rugged_lite ~max_fanin:3 circuit
+      in
+      let profile = Nano_bounds.Profile.of_netlist mapped in
+      Format.printf "%a@.@." Nano_bounds.Profile.pp profile;
+      if glitch then begin
+        let p = Nano_sim.Glitch.unit_delay ~pairs:2048 mapped in
+        Printf.printf
+          "glitch factor (unit-delay vs settled switching): %s\n\n"
+          (num p.Nano_sim.Glitch.glitch_factor)
+      end;
+      let rows =
+        List.map
+          (fun epsilon ->
+            let r =
+              Nano_bounds.Benchmark_eval.evaluate_profile ~delta
+                ~leakage_share0 profile ~epsilon
+            in
+            let opt = function
+              | Some v -> num v
+              | None -> "infeasible"
+            in
+            [
+              num epsilon;
+              num r.Nano_bounds.Benchmark_eval.energy_ratio;
+              opt r.Nano_bounds.Benchmark_eval.delay_ratio;
+              opt r.Nano_bounds.Benchmark_eval.average_power_ratio;
+              opt r.Nano_bounds.Benchmark_eval.energy_delay_ratio;
+            ])
+          epsilons
+      in
+      print_string
+        (Nano_report.Report.Table.render
+           ~header:[ "eps"; "E/E0"; "D/D0"; "P/P0"; "ED/ED0" ]
+           ~rows)
+  in
+  let epsilons =
+    Arg.(
+      value
+      & opt (list float) Nano_bounds.Benchmark_eval.paper_epsilons
+      & info [ "epsilons" ] ~docv:"E1,E2,..."
+          ~doc:"Device error levels to evaluate.")
+  in
+  let no_map =
+    Arg.(value & flag
+         & info [ "no-map" ]
+             ~doc:"Skip the rugged_lite optimization/mapping step.")
+  in
+  let glitch =
+    Arg.(value & flag
+         & info [ "glitch" ]
+             ~doc:"Also measure the unit-delay glitch factor.")
+  in
+  let doc = "Profile a circuit and print its fault-tolerance lower bounds" in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const run $ circuit_arg $ delta_arg $ leakage_arg $ epsilons $ no_map
+      $ glitch)
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let run spec output flow max_fanin =
+    match load_circuit spec with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok circuit ->
+      let before_size = Nano_netlist.Netlist.size circuit in
+      let before_depth = Nano_netlist.Netlist.depth circuit in
+      let mapped =
+        match flow with
+        | "rugged" -> Nano_synth.Script.rugged_lite ~max_fanin circuit
+        | "map" -> Nano_synth.Script.map_only ~max_fanin circuit
+        | "nand" -> Nano_synth.Script.nand_flow circuit
+        | other ->
+          prerr_endline ("unknown flow: " ^ other ^ " (rugged|map|nand)");
+          exit 1
+      in
+      (match Nano_synth.Equiv.check circuit mapped with
+      | Nano_synth.Equiv.Equivalent -> ()
+      | Nano_synth.Equiv.Counterexample _ ->
+        prerr_endline "internal error: synthesis changed the function";
+        exit 2);
+      Printf.printf "%s: size %d -> %d, depth %d -> %d, max fanin %d\n"
+        (Nano_netlist.Netlist.name mapped) before_size
+        (Nano_netlist.Netlist.size mapped)
+        before_depth
+        (Nano_netlist.Netlist.depth mapped)
+        (Nano_netlist.Netlist.max_fanin mapped);
+      match output with
+      | Some path ->
+        Nano_blif.Blif.write_file path mapped;
+        Printf.printf "written to %s\n" path
+      | None -> ()
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write the result as BLIF.")
+  in
+  let flow =
+    Arg.(value & opt string "rugged"
+         & info [ "flow" ] ~docv:"FLOW"
+             ~doc:"Synthesis flow: rugged, map or nand.")
+  in
+  let max_fanin =
+    Arg.(value & opt int 3
+         & info [ "max-fanin" ] ~docv:"K" ~doc:"Library fanin bound.")
+  in
+  let doc = "Optimize and map a netlist (verified-equivalent)" in
+  Cmd.v (Cmd.info "synth" ~doc)
+    Term.(const run $ circuit_arg $ output $ flow $ max_fanin)
+
+(* ------------------------------------------------------------------ *)
+(* inject                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let inject_cmd =
+  let run spec epsilon vectors seed =
+    match load_circuit spec with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok circuit ->
+      let sim =
+        Nano_faults.Noisy_sim.simulate ~seed ~vectors ~epsilon circuit
+      in
+      Printf.printf "circuit %s, eps = %g, %d vectors\n"
+        (Nano_netlist.Netlist.name circuit)
+        epsilon sim.Nano_faults.Noisy_sim.vectors;
+      Printf.printf "P(all outputs correct) = %s\n"
+        (num (Nano_faults.Noisy_sim.output_reliability sim));
+      Printf.printf "empirical delta = %s\n"
+        (num sim.Nano_faults.Noisy_sim.any_output_error);
+      Printf.printf "average noisy gate activity = %s\n"
+        (num sim.Nano_faults.Noisy_sim.average_gate_activity);
+      print_string
+        (Nano_report.Report.Table.render ~header:[ "output"; "error rate" ]
+           ~rows:
+             (List.map
+                (fun (name, e) -> [ name; num e ])
+                sim.Nano_faults.Noisy_sim.per_output_error))
+  in
+  let vectors =
+    Arg.(value & opt int 16384
+         & info [ "vectors" ] ~docv:"N" ~doc:"Number of random vectors.")
+  in
+  let seed =
+    Arg.(value & opt int 0xfa17 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let doc = "Monte-Carlo fault injection (von Neumann error model)" in
+  Cmd.v (Cmd.info "inject" ~doc)
+    Term.(const run $ circuit_arg $ epsilon_arg $ vectors $ seed)
+
+(* ------------------------------------------------------------------ *)
+(* equiv                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let equiv_cmd =
+  let run spec_a spec_b backend =
+    match load_circuit spec_a, load_circuit spec_b with
+    | Error msg, _ | _, Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok a, Ok b ->
+      (* interface mismatch is a user error, not a crash *)
+      (match
+         ( List.sort compare (Nano_netlist.Netlist.input_names a),
+           List.sort compare (Nano_netlist.Netlist.input_names b) )
+       with
+      | ia, ib when ia <> ib ->
+        prerr_endline "error: input interfaces differ";
+        exit 2
+      | _ -> ());
+      (match
+         ( List.sort compare (List.map fst (Nano_netlist.Netlist.outputs a)),
+           List.sort compare (List.map fst (Nano_netlist.Netlist.outputs b)) )
+       with
+      | oa, ob when oa <> ob ->
+        prerr_endline "error: output interfaces differ";
+        exit 2
+      | _ -> ());
+      let report verdict cex =
+        match verdict with
+        | `Equivalent ->
+          print_endline "EQUIVALENT";
+          exit 0
+        | `Different ->
+          print_endline "DIFFERENT";
+          List.iter (fun (nm, v) -> Printf.printf "  %s = %b\n" nm v) cex;
+          exit 1
+        | `Unknown ->
+          print_endline "UNKNOWN (budget exhausted)";
+          exit 2
+      in
+      (match backend with
+      | "auto" -> begin
+        match Nano_synth.Equiv.check a b with
+        | Nano_synth.Equiv.Equivalent -> report `Equivalent []
+        | Nano_synth.Equiv.Counterexample cex -> report `Different cex
+      end
+      | "bdd" -> begin
+        match Nano_synth.Equiv.bdd a b with
+        | Some Nano_synth.Equiv.Equivalent -> report `Equivalent []
+        | Some (Nano_synth.Equiv.Counterexample cex) -> report `Different cex
+        | None -> report `Unknown []
+      end
+      | "sat" -> begin
+        match Nano_sat.Cnf.equivalent a b with
+        | `Equivalent -> report `Equivalent []
+        | `Counterexample cex -> report `Different cex
+        | `Unknown -> report `Unknown []
+      end
+      | other ->
+        prerr_endline ("unknown backend: " ^ other ^ " (auto|bdd|sat)");
+        exit 2)
+  in
+  let spec_a =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT_A")
+  in
+  let spec_b =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CIRCUIT_B")
+  in
+  let backend =
+    Arg.(value & opt string "auto"
+         & info [ "backend" ] ~docv:"B"
+             ~doc:"Decision procedure: auto, bdd or sat.")
+  in
+  let doc = "Check combinational equivalence of two circuits" in
+  Cmd.v (Cmd.info "equiv" ~doc) Term.(const run $ spec_a $ spec_b $ backend)
+
+(* ------------------------------------------------------------------ *)
+(* critical                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let critical_cmd =
+  let run spec epsilon vectors top =
+    match load_circuit spec with
+    | Error msg ->
+      prerr_endline msg;
+      exit 1
+    | Ok circuit ->
+      let r = Nano_faults.Criticality.analyze ~vectors circuit in
+      let ranked = Nano_faults.Criticality.ranked_gates circuit r in
+      let rows =
+        List.filteri (fun i _ -> i < top) ranked
+        |> List.map (fun id ->
+               let info = Nano_netlist.Netlist.info circuit id in
+               [
+                 string_of_int id;
+                 Nano_netlist.Gate.name info.Nano_netlist.Netlist.kind;
+                 num r.Nano_faults.Criticality.observability.(id);
+               ])
+      in
+      Printf.printf "most observable gates of %s (%d vectors):\n"
+        (Nano_netlist.Netlist.name circuit)
+        r.Nano_faults.Criticality.vectors;
+      print_string
+        (Nano_report.Report.Table.render
+           ~header:[ "gate"; "kind"; "observability" ]
+           ~rows);
+      print_newline ();
+      let analytic = Nano_faults.Reliability.analyze ~epsilon circuit in
+      Printf.printf "analytic per-output error at eps = %g%s:\n" epsilon
+        (if Nano_faults.Reliability.is_tree circuit then " (exact: tree)"
+         else " (independence approximation)");
+      print_string
+        (Nano_report.Report.Table.render ~header:[ "output"; "P(wrong)" ]
+           ~rows:
+             (List.map
+                (fun (name, e) -> [ name; num e ])
+                analytic.Nano_faults.Reliability.per_output_error))
+  in
+  let vectors =
+    Arg.(value & opt int 4096
+         & info [ "vectors" ] ~docv:"N" ~doc:"Vectors for fault injection.")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K" ~doc:"How many gates to list.")
+  in
+  let doc = "Rank gates by fault observability; analytic reliability" in
+  Cmd.v (Cmd.info "critical" ~doc)
+    Term.(const run $ circuit_arg $ epsilon_arg $ vectors $ top)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run figure chart =
+    (* Figure 2's axes include zero; the ε sweeps read best log-log. *)
+    let scales =
+      if figure = "fig2" then (Nano_report.Chart.Linear, Nano_report.Chart.Linear)
+      else (Nano_report.Chart.Log, Nano_report.Chart.Log)
+    in
+    let print series ~title ~x ~y =
+      let data =
+        List.map
+          (fun s -> (s.Nano_bounds.Figures.label, s.Nano_bounds.Figures.points))
+          series
+      in
+      if chart then begin
+        let x_scale, y_scale = scales in
+        print_string (Nano_report.Chart.render ~x_scale ~y_scale ~title data)
+      end
+      else
+        print_string
+          (Nano_report.Report.Series.render ~title ~x_label:x ~y_label:y data)
+    in
+    match figure with
+    | "fig2" ->
+      print (Nano_bounds.Figures.fig2_activity_map ())
+        ~title:"Figure 2: noisy switching activity" ~x:"sw(y)" ~y:"sw(z)"
+    | "fig3" ->
+      print (Nano_bounds.Figures.fig3_redundancy ())
+        ~title:"Figure 3: minimum redundancy factor" ~x:"eps" ~y:"size ratio"
+    | "fig4" ->
+      print (Nano_bounds.Figures.fig4_leakage ())
+        ~title:"Figure 4: leakage/switching ratio" ~x:"eps" ~y:"W/W0"
+    | "fig5" ->
+      print (Nano_bounds.Figures.fig5_delay_and_edp ())
+        ~title:"Figure 5: delay and energy-delay" ~x:"eps" ~y:"ratio"
+    | "fig6" ->
+      print (Nano_bounds.Figures.fig6_average_power ())
+        ~title:"Figure 6: average power" ~x:"eps" ~y:"P/P0"
+    | "omega" ->
+      print (Nano_bounds.Figures.ablation_omega_models ())
+        ~title:"Ablation: omega models" ~x:"eps" ~y:"size ratio"
+    | other ->
+      prerr_endline
+        ("unknown figure: " ^ other ^ " (fig2|fig3|fig4|fig5|fig6|omega)");
+      exit 1
+  in
+  let figure =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FIGURE" ~doc:"One of fig2..fig6 or omega.")
+  in
+  let chart =
+    Arg.(value & flag
+         & info [ "chart" ] ~doc:"Draw an ASCII chart instead of a table.")
+  in
+  let doc = "Print the data series behind the paper's analytical figures" in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ figure $ chart)
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let suite_cmd =
+  let run () =
+    print_string
+      (Nano_report.Report.Table.render
+         ~header:[ "name"; "substitutes"; "description" ]
+         ~rows:
+           (List.map
+              (fun e ->
+                [
+                  e.Nano_circuits.Suite.name;
+                  (match e.Nano_circuits.Suite.iscas_counterpart with
+                  | Some c -> c
+                  | None -> "-");
+                  e.Nano_circuits.Suite.description;
+                ])
+              Nano_circuits.Suite.all));
+    print_newline ();
+    print_endline "Published ISCAS'85 metadata (reporting context only):";
+    List.iter
+      (fun p -> Format.printf "  %a@." Nano_circuits.Iscas_profiles.pp p)
+      Nano_circuits.Iscas_profiles.all
+  in
+  let doc = "List built-in benchmark circuits" in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "energy bounds for fault-tolerant nanoscale designs (DATE 2005 \
+     reproduction)"
+  in
+  let info = Cmd.info "nanobound" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            bounds_cmd; analyze_cmd; synth_cmd; inject_cmd; equiv_cmd;
+            critical_cmd;
+            sweep_cmd; suite_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/adder_tradeoff.ml: List Nano_bounds Nano_circuits Nano_report Nano_synth Nano_util Printf

@@ -1,0 +1,1 @@
+examples/design_guidance.ml: Array Format List Nano_bounds Nano_circuits Nano_energy Nano_faults Nano_netlist Nano_report Nano_synth Printf

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: List Nano_bounds Nano_circuits Nano_faults Nano_netlist Nano_report Nano_sim Nano_synth Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Nano_bounds Nano_circuits Nano_faults Nano_synth Printf

@@ -1,0 +1,1 @@
+examples/redundancy_explorer.mli:

@@ -1,0 +1,1 @@
+examples/sequential_machine.ml: Array Format List Nano_bounds Nano_netlist Nano_report Nano_seq Nano_sim Printf

@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Filename Format List Nano_blif Nano_circuits Nano_netlist Nano_synth Printf

@@ -1,0 +1,1 @@
+examples/verification_tour.ml: Array Filename List Nano_circuits Nano_netlist Nano_sat Nano_synth Printf String

@@ -1,0 +1,77 @@
+(* The motivating workload of the paper's Section 6: computer-arithmetic
+   circuits at several bitwidths. For ripple-carry adders of width 8, 16
+   and 32 and array multipliers of width 4 and 8, sweep the device error
+   rate and print the energy / delay / average-power lower bounds —
+   including where reliable computation stops being possible at all
+   (Theorem 4's infeasible region) and where the fault-tolerant design
+   becomes *more* power-efficient than the error-free one because its
+   latency explodes.
+
+   Run with: dune exec examples/adder_tradeoff.exe *)
+
+let circuits =
+  [
+    ("rca8", fun () -> Nano_circuits.Adders.ripple_carry ~width:8);
+    ("rca16", fun () -> Nano_circuits.Adders.ripple_carry ~width:16);
+    ("rca32", fun () -> Nano_circuits.Adders.ripple_carry ~width:32);
+    ("mult4", fun () -> Nano_circuits.Multipliers.array_multiplier ~width:4);
+    ("mult8", fun () -> Nano_circuits.Multipliers.array_multiplier ~width:8);
+  ]
+
+let epsilons = [ 0.0001; 0.001; 0.01; 0.03; 0.1 ]
+
+let () =
+  let rows =
+    List.concat_map
+      (fun (name, build) ->
+        let mapped = Nano_synth.Script.rugged_lite (build ()) in
+        let profile = Nano_bounds.Profile.of_netlist mapped in
+        List.map
+          (fun epsilon ->
+            let row =
+              Nano_bounds.Benchmark_eval.evaluate_profile profile ~epsilon
+            in
+            let n = Nano_report.Report.Table.number in
+            let o = function
+              | Some v -> Nano_report.Report.Table.number v
+              | None -> "infeasible"
+            in
+            [
+              name;
+              n epsilon;
+              n row.Nano_bounds.Benchmark_eval.energy_ratio;
+              o row.Nano_bounds.Benchmark_eval.delay_ratio;
+              o row.Nano_bounds.Benchmark_eval.average_power_ratio;
+              o row.Nano_bounds.Benchmark_eval.energy_delay_ratio;
+            ])
+          epsilons)
+      circuits
+  in
+  print_string
+    (Nano_report.Report.Table.render
+       ~header:[ "circuit"; "eps"; "E/E0"; "D/D0"; "P/P0"; "ED/ED0" ]
+       ~rows);
+  (* Where does the average-power crossover land? The paper notes that
+     for larger error rates depth grows faster than size, so the
+     fault-tolerant implementation ends up *lower power* (at terrible
+     latency). Find the crossover for rca16. *)
+  let mapped = Nano_synth.Script.rugged_lite (Nano_circuits.Adders.ripple_carry ~width:16) in
+  let profile = Nano_bounds.Profile.of_netlist mapped in
+  let crossover =
+    List.find_opt
+      (fun epsilon ->
+        match
+          (Nano_bounds.Benchmark_eval.evaluate_profile profile ~epsilon)
+            .Nano_bounds.Benchmark_eval.average_power_ratio
+        with
+        | Some p -> p < 1.
+        | None -> false)
+      (Nano_util.Sweep.epsilon_grid ~lo:1e-4 ~hi:0.12 ~steps:100 ())
+  in
+  match crossover with
+  | Some epsilon ->
+    Printf.printf
+      "\nrca16: average power of the fault-tolerant bound drops below the \
+       error-free baseline at eps ~= %.4f\n"
+      epsilon
+  | None -> print_endline "\nrca16: no power crossover in the swept range"

@@ -1,0 +1,95 @@
+(* The workflow the paper's introduction motivates: a synthesis tool
+   asking the theory for guidance before committing to a fault-tolerant
+   implementation. For a 16-bit carry-lookahead adder:
+
+   1. How bad may the devices be if I can only afford 40% more energy?
+   2. At my actual device quality, can voltage scaling hide the cost?
+   3. Where inside the circuit should the redundancy go?
+
+   Run with: dune exec examples/design_guidance.exe *)
+
+let n = Nano_report.Report.Table.number
+
+let () =
+  let circuit =
+    Nano_synth.Script.rugged_lite (Nano_circuits.Adders.carry_lookahead ~width:16)
+  in
+  let profile = Nano_bounds.Profile.of_netlist circuit in
+  Format.printf "design: %a@.@." Nano_bounds.Profile.pp profile;
+  let scenario =
+    Nano_bounds.Profile.to_scenario profile ~epsilon:0.01 ~delta:0.01
+      ~leakage_share0:0.5
+  in
+
+  (* 1. Budget question. *)
+  print_endline "-- 1. device-quality budget --";
+  List.iter
+    (fun budget ->
+      match
+        Nano_bounds.Crossover.max_epsilon_for_energy_budget ~budget scenario
+      with
+      | Some epsilon ->
+        Printf.printf
+          "  energy budget %.1fx -> devices must fail with eps <= %s\n"
+          budget (n epsilon)
+      | None -> Printf.printf "  energy budget %.1fx -> unreachable\n" budget)
+    [ 1.2; 1.4; 2.0 ];
+  (match Nano_bounds.Crossover.power_crossover scenario with
+  | Some epsilon ->
+    Printf.printf
+      "  beyond eps ~ %s the fault-tolerant design is the *lower-power* one\n"
+      (n epsilon)
+  | None -> ());
+  print_newline ();
+
+  (* 2. Voltage question. *)
+  print_endline "-- 2. can Vdd scaling hide the cost? (eps = 1%) --";
+  let tech = Nano_energy.Technology.nm90 in
+  let nominal = Nano_bounds.Voltage_tradeoff.nominal ~tech scenario in
+  Printf.printf "  nominal: %.2fx energy, %.2fx delay\n"
+    nominal.Nano_bounds.Voltage_tradeoff.energy_ratio
+    nominal.Nano_bounds.Voltage_tradeoff.delay_ratio;
+  (match Nano_bounds.Voltage_tradeoff.iso_energy ~tech scenario with
+  | Some op ->
+    Printf.printf
+      "  iso-energy: Vdd %.3f V hides the energy, but delay becomes %.2fx\n"
+      op.Nano_bounds.Voltage_tradeoff.vdd
+      op.Nano_bounds.Voltage_tradeoff.delay_ratio
+  | None -> print_endline "  iso-energy: impossible (supply would dive below VT)");
+  (match Nano_bounds.Voltage_tradeoff.iso_delay ~tech scenario with
+  | Some op ->
+    Printf.printf
+      "  iso-delay: Vdd %.3f V restores speed at %.2fx energy\n"
+      op.Nano_bounds.Voltage_tradeoff.vdd
+      op.Nano_bounds.Voltage_tradeoff.energy_ratio
+  | None -> print_endline "  iso-delay: impossible within the supply range");
+  print_newline ();
+
+  (* 3. Placement question. *)
+  print_endline "-- 3. where should redundancy go? --";
+  let crit = Nano_faults.Criticality.analyze ~vectors:4096 circuit in
+  let ranked = Nano_faults.Criticality.ranked_gates circuit crit in
+  let top = List.filteri (fun i _ -> i < 5) ranked in
+  print_string
+    (Nano_report.Report.Table.render ~header:[ "gate"; "kind"; "observability" ]
+       ~rows:
+         (List.map
+            (fun id ->
+              [
+                string_of_int id;
+                Nano_netlist.Gate.name
+                  (Nano_netlist.Netlist.info circuit id).Nano_netlist.Netlist.kind;
+                n crit.Nano_faults.Criticality.observability.(id);
+              ])
+            top));
+  let timing = Nano_netlist.Timing.analyze circuit in
+  Printf.printf
+    "  timed critical path: %d nodes to output '%s' (arrival %.1f)\n"
+    (List.length timing.Nano_netlist.Timing.critical_path)
+    timing.Nano_netlist.Timing.critical_output
+    timing.Nano_netlist.Timing.max_arrival;
+  print_endline
+    "  -> harden the most observable gates first (and prefer voters from a\n\
+    \     more robust device class; equal-quality voters are futile — see\n\
+    \     examples/redundancy_explorer.ml and the test suite's von Neumann\n\
+    \     caveat)."

@@ -1,0 +1,68 @@
+(* Empirical validation of the paper's device model (Figure 1 /
+   Theorem 1): inject symmetric-channel noise into every gate of a
+   mapped circuit and compare
+
+   - the measured average gate switching activity against Theorem 1's
+     closed form sw(z) = (1-2e)^2 sw(y) + 2e(1-e), and
+   - the measured output error rate delta_hat against the requested
+     resilience levels, showing how fast an unprotected circuit falls
+     off the 99%-reliability cliff.
+
+   Run with: dune exec examples/fault_injection.exe *)
+
+let () =
+  let circuit =
+    Nano_synth.Script.rugged_lite
+      (Nano_circuits.Iscas_like.hamming_corrector ~data_bits:16)
+  in
+  let clean = Nano_sim.Activity.monte_carlo ~vectors:16384 circuit in
+  let sw0 = clean.Nano_sim.Activity.average_gate_activity in
+  Printf.printf "circuit: %s  (size %d, depth %d)\n"
+    (Nano_netlist.Netlist.name circuit)
+    (Nano_netlist.Netlist.size circuit)
+    (Nano_netlist.Netlist.depth circuit);
+  Printf.printf "error-free average gate activity sw0 = %.4f\n\n" sw0;
+  let rows =
+    List.map
+      (fun epsilon ->
+        let sim =
+          Nano_faults.Noisy_sim.simulate ~vectors:16384 ~epsilon circuit
+        in
+        let predicted =
+          Nano_bounds.Switching.noisy_activity ~epsilon sw0
+        in
+        let n = Nano_report.Report.Table.number in
+        [
+          n epsilon;
+          n predicted;
+          n sim.Nano_faults.Noisy_sim.average_gate_activity;
+          n sim.Nano_faults.Noisy_sim.any_output_error;
+          n (Nano_faults.Noisy_sim.output_reliability sim);
+        ])
+      [ 0.0; 0.001; 0.01; 0.05; 0.1; 0.2; 0.3; 0.5 ]
+  in
+  print_string
+    (Nano_report.Report.Table.render
+       ~header:
+         [
+           "eps";
+           "sw(z) Thm1";
+           "sw(z) measured";
+           "delta_hat";
+           "P(correct)";
+         ]
+       ~rows);
+  print_newline ();
+  (* Where Theorem 1 is exact: per-gate, the noisy activity of each
+     individual gate output follows the formula applied to that gate's
+     own noisy inputs; the table above applies it to the average as the
+     paper does for generic circuits (redundant logic assumed to behave
+     like the original on average). The residual gap at large eps is the
+     input-correlation term the average-case model ignores. *)
+  let epsilon = 0.01 in
+  let sim = Nano_faults.Noisy_sim.simulate ~vectors:16384 ~epsilon circuit in
+  Printf.printf
+    "at eps=1%%: an unprotected SEC decoder only delivers all outputs \
+     correctly %.1f%% of the time — fault tolerance must come from \
+     redundancy, which is exactly the energy cost the bounds quantify.\n"
+    (100. *. Nano_faults.Noisy_sim.output_reliability sim)

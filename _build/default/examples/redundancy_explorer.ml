@@ -1,0 +1,121 @@
+(* Spending redundancy two classical ways — N-modular redundancy and von
+   Neumann NAND multiplexing — and placing both against the paper's
+   lower bound.
+
+   The bounds deliberately assume no particular redundancy scheme; this
+   example shows (a) what the schemes actually buy at a given gate error
+   rate, (b) what they cost in gates (hence energy), and (c) that the
+   theoretical minimum redundancy sits below both, as a lower bound
+   must.
+
+   Run with: dune exec examples/redundancy_explorer.exe *)
+
+let n = Nano_report.Report.Table.number
+
+let nmr_section () =
+  print_endline "--- N-modular redundancy on a majority-tree workload ---";
+  let epsilon = 0.005 in
+  let base =
+    Nano_synth.Script.rugged_lite (Nano_circuits.Trees.majority_tree ~inputs:9)
+  in
+  let rows =
+    List.map
+      (fun nmr ->
+        let protected_netlist = Nano_redundancy.Nmr.make ~n:nmr base in
+        let sim =
+          Nano_faults.Noisy_sim.simulate ~vectors:65536 ~epsilon
+            protected_netlist
+        in
+        let base_sim =
+          Nano_faults.Noisy_sim.simulate ~vectors:65536 ~epsilon base
+        in
+        let module_error =
+          base_sim.Nano_faults.Noisy_sim.any_output_error
+        in
+        let analytic =
+          Nano_redundancy.Nmr.analytic_voted_error ~n:nmr ~module_error
+            ~voter_epsilon:epsilon
+        in
+        [
+          Printf.sprintf "NMR-%d" nmr;
+          n (Nano_redundancy.Nmr.size_overhead ~n:nmr base);
+          n analytic;
+          n sim.Nano_faults.Noisy_sim.any_output_error;
+        ])
+      [ 3; 5; 7 ]
+  in
+  print_string
+    (Nano_report.Report.Table.render
+       ~header:
+         [ "scheme"; "size ratio"; "analytic delta"; "measured delta" ]
+       ~rows)
+
+let multiplexing_section () =
+  print_endline "--- Von Neumann NAND multiplexing ---";
+  let epsilon = 0.01 in
+  Printf.printf
+    "stimulated fixed point at eps=%.2f: %.4f (fraction of bundle wires \
+     carrying the right value after restoration)\n"
+    epsilon
+    (Nano_redundancy.Multiplexing.stimulated_fixed_point ~epsilon);
+  let rows =
+    List.map
+      (fun (bundle, stages) ->
+        let measured =
+          Nano_redundancy.Multiplexing.measured_output_level ~trials:128
+            ~epsilon ~bundle ~restorative_stages:stages ~x_level:0.95
+            ~y_level:0.05 ()
+        in
+        [
+          Printf.sprintf "N=%d U=%d" bundle stages;
+          string_of_int
+            (Nano_redundancy.Multiplexing.size ~bundle
+               ~restorative_stages:stages);
+          n measured.Nano_util.Stats.mean;
+          n measured.Nano_util.Stats.stddev;
+        ])
+      [ (9, 0); (9, 1); (9, 2); (33, 1); (33, 2); (99, 2) ]
+  in
+  print_string
+    (Nano_report.Report.Table.render
+       ~header:[ "config"; "gates/NAND"; "output level"; "sd" ]
+       ~rows)
+
+let bound_section () =
+  print_endline "--- Theorem 2's minimum redundancy for the same job ---";
+  let epsilon = 0.01 in
+  let rows =
+    List.map
+      (fun delta ->
+        let params =
+          {
+            Nano_bounds.Redundancy_bound.epsilon;
+            delta;
+            fanin = 2;
+            sensitivity = 9;
+          }
+        in
+        [
+          n delta;
+          n (Nano_bounds.Redundancy_bound.extra_gates params);
+          n
+            (Nano_bounds.Redundancy_bound.redundancy_factor params
+               ~error_free_size:13);
+        ])
+      [ 0.1; 0.01; 0.001 ]
+  in
+  print_string
+    (Nano_report.Report.Table.render
+       ~header:[ "delta"; "extra gates >="; "size ratio >=" ]
+       ~rows);
+  print_endline
+    "\nNMR-3 costs 3.4x and multiplexing tens of x; the information-\n\
+     theoretic floor above is far below both — the gap is the price of\n\
+     committing to a specific redundancy scheme."
+
+let () =
+  nmr_section ();
+  print_newline ();
+  multiplexing_section ();
+  print_newline ();
+  bound_section ()

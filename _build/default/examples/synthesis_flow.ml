@@ -1,0 +1,85 @@
+(* The EDA flow end-to-end on an external netlist: parse a BLIF model,
+   optimize and map it with the rugged_lite script, verify the result is
+   equivalent, print before/after statistics, and write the mapped
+   design back out as BLIF (plus Graphviz for inspection).
+
+   Run with: dune exec examples/synthesis_flow.exe *)
+
+(* A small BLIF model: a 2-bit multiplier written as two-level covers,
+   the way SIS benchmarks are distributed. *)
+let blif_source =
+  {|
+# 2x2 unsigned multiplier, two-level form
+.model mul2
+.inputs a0 a1 b0 b1
+.outputs p0 p1 p2 p3
+.names a0 b0 p0
+11 1
+.names a0 a1 b0 b1 p1
+1-01 1
+-110 1
+1101 1
+0111 1
+.names a0 a1 b0 b1 p2
+-1-1 1
+.names a0 a1 b0 b1 p3
+1111 1
+.end
+|}
+
+(* p2 above is deliberately sloppy (it ignores the carry structure): the
+   real p2 of a 2x2 multiplier is a1&b1&(not(a0&b0))... we parse, then
+   check the parsed model against a reference generator and report the
+   mismatch like a verification flow would. *)
+
+let () =
+  match Nano_blif.Blif.parse_string blif_source with
+  | Error e ->
+    Format.printf "parse error: %a@." Nano_blif.Blif.pp_error e;
+    exit 1
+  | Ok parsed ->
+    Printf.printf "parsed '%s': %d nodes, size %d, depth %d\n"
+      (Nano_netlist.Netlist.name parsed)
+      (Nano_netlist.Netlist.node_count parsed)
+      (Nano_netlist.Netlist.size parsed)
+      (Nano_netlist.Netlist.depth parsed);
+    (* Optimize + map. *)
+    let mapped = Nano_synth.Script.rugged_lite ~max_fanin:3 parsed in
+    Printf.printf "after rugged_lite: size %d, depth %d, max fanin %d\n"
+      (Nano_netlist.Netlist.size mapped)
+      (Nano_netlist.Netlist.depth mapped)
+      (Nano_netlist.Netlist.max_fanin mapped);
+    (* The script must preserve the parsed function ... *)
+    (match Nano_synth.Equiv.check parsed mapped with
+    | Nano_synth.Equiv.Equivalent ->
+      print_endline "equivalence parsed vs mapped: OK"
+    | Nano_synth.Equiv.Counterexample cex ->
+      print_endline "equivalence parsed vs mapped: FAILED at";
+      List.iter (fun (n, v) -> Printf.printf "  %s=%b\n" n v) cex);
+    (* ... and verification against an independent reference catches the
+       bug planted in the source's p2 cover. *)
+    let reference =
+      let m = Nano_circuits.Multipliers.array_multiplier ~width:2 in
+      m
+    in
+    (match Nano_synth.Equiv.check mapped reference with
+    | Nano_synth.Equiv.Equivalent ->
+      print_endline "verification vs reference multiplier: equivalent"
+    | Nano_synth.Equiv.Counterexample cex ->
+      print_endline
+        "verification vs reference multiplier: MISMATCH (expected — the \
+         BLIF source's p2 cover drops the carry):";
+      List.iter (fun (n, v) -> Printf.printf "  %s=%b\n" n v) cex);
+    (* Emit the mapped netlist. *)
+    let out = Filename.temp_file "mul2_mapped" ".blif" in
+    Nano_blif.Blif.write_file out mapped;
+    Printf.printf "mapped netlist written to %s\n" out;
+    (* Round-trip check: parse what we wrote and compare. *)
+    (match Nano_blif.Blif.parse_file out with
+    | Ok reparsed -> begin
+      match Nano_synth.Equiv.check mapped reparsed with
+      | Nano_synth.Equiv.Equivalent -> print_endline "BLIF round-trip: OK"
+      | Nano_synth.Equiv.Counterexample _ ->
+        print_endline "BLIF round-trip: MISMATCH"
+    end
+    | Error e -> Format.printf "round-trip parse error: %a@." Nano_blif.Blif.pp_error e)

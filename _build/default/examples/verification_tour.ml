@@ -1,0 +1,100 @@
+(* A tour of the three combinational-equivalence engines shipped with
+   the repo — exhaustive simulation, canonical ROBDDs, and CDCL SAT on a
+   Tseitin miter — plus DIMACS export for cross-checking with external
+   solvers. Every synthesis pass in nano_synth is validated by these
+   engines in the test suite; this example shows them working on a
+   deliberately planted bug.
+
+   Run with: dune exec examples/verification_tour.exe *)
+
+module B = Nano_netlist.Netlist.Builder
+
+(* A 12-bit carry-select adder and the same adder with a planted bug:
+   one full-adder cell's majority carry gate swapped for an AND. *)
+let good () = Nano_circuits.Adders.ripple_carry ~width:12
+
+let buggy () =
+  let b = B.create ~name:"rca12_bug" () in
+  let a = Array.init 12 (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init 12 (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  let carry = ref cin in
+  for i = 0 to 11 do
+    let axb = B.xor2 b a.(i) bv.(i) in
+    B.output b (Printf.sprintf "s%d" i) (B.xor2 b axb !carry);
+    carry :=
+      (if i = 7 then
+         (* the bug: carry = a & b, dropping the cin term *)
+         B.and2 b a.(i) bv.(i)
+       else B.maj3 b a.(i) bv.(i) !carry)
+  done;
+  B.output b "cout" !carry;
+  B.finish b
+
+let () =
+  let reference = good () in
+  let suspect = buggy () in
+
+  print_endline "-- 1. BDD backend (canonical forms) --";
+  (match Nano_synth.Equiv.bdd reference suspect with
+  | Some (Nano_synth.Equiv.Counterexample cex) ->
+    let hot = List.filter snd cex in
+    Printf.printf "  DIFFERENT; counterexample binds %d inputs (%d high): %s\n"
+      (List.length cex) (List.length hot)
+      (String.concat " " (List.map fst hot))
+  | Some Nano_synth.Equiv.Equivalent -> print_endline "  unexpectedly equivalent!"
+  | None -> print_endline "  BDD blow-up");
+
+  print_endline "-- 2. SAT backend (CDCL on the Tseitin miter) --";
+  (match Nano_sat.Cnf.equivalent reference suspect with
+  | `Counterexample cex ->
+    print_endline "  DIFFERENT; SAT counterexample validated:";
+    let out_a = Nano_netlist.Netlist.eval reference cex in
+    let out_b = Nano_netlist.Netlist.eval suspect cex in
+    List.iter
+      (fun (nm, v) ->
+        let w = List.assoc nm out_b in
+        if v <> w then Printf.printf "    output %s: %b vs %b\n" nm v w)
+      out_a
+  | `Equivalent -> print_endline "  unexpectedly equivalent!"
+  | `Unknown -> print_endline "  budget exhausted");
+
+  print_endline "-- 3. the fixed design passes all engines --";
+  let fixed = good () in
+  let verdicts =
+    [
+      ("bdd",
+       match Nano_synth.Equiv.bdd reference fixed with
+       | Some Nano_synth.Equiv.Equivalent -> "EQUIVALENT"
+       | Some (Nano_synth.Equiv.Counterexample _) -> "different"
+       | None -> "unknown");
+      ("sat",
+       match Nano_sat.Cnf.equivalent reference fixed with
+       | `Equivalent -> "EQUIVALENT"
+       | `Counterexample _ -> "different"
+       | `Unknown -> "unknown");
+      ("auto",
+       match Nano_synth.Equiv.check reference fixed with
+       | Nano_synth.Equiv.Equivalent -> "EQUIVALENT"
+       | Nano_synth.Equiv.Counterexample _ -> "different");
+    ]
+  in
+  List.iter (fun (k, v) -> Printf.printf "  %-5s %s\n" k v) verdicts;
+
+  print_endline "-- 4. exporting the miter as DIMACS --";
+  let encoding, m = Nano_sat.Cnf.miter reference suspect in
+  let clauses = [ m ] :: encoding.Nano_sat.Cnf.clauses in
+  let path = Filename.temp_file "nanobound_miter" ".cnf" in
+  Nano_sat.Dimacs.write_file ~path ~nvars:encoding.Nano_sat.Cnf.nvars clauses;
+  Printf.printf "  %d vars, %d clauses written to %s\n"
+    encoding.Nano_sat.Cnf.nvars (List.length clauses) path;
+  (* round-trip through the parser and re-solve *)
+  match Nano_sat.Dimacs.parse_file path with
+  | Ok (nvars, parsed) -> begin
+    match Nano_sat.Sat.solve ~nvars parsed with
+    | Nano_sat.Sat.Sat _ ->
+      print_endline "  re-parsed and re-solved: SAT (bug confirmed)"
+    | Nano_sat.Sat.Unsat -> print_endline "  re-solved: UNSAT?!"
+    | Nano_sat.Sat.Unknown -> print_endline "  re-solved: unknown"
+  end
+  | Error e -> print_endline ("  parse error: " ^ e)

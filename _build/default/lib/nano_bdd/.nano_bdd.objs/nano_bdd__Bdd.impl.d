@@ -1,0 +1,1 @@
+lib/nano_bdd/bdd.ml: Array Buffer Hashtbl List Nano_logic Printf

@@ -1,0 +1,1 @@
+lib/nano_bdd/bdd.mli: Nano_logic

@@ -1,0 +1,285 @@
+(* Nodes are integers indexing parallel growable arrays inside the
+   manager. Index 0 is the FALSE terminal, index 1 the TRUE terminal.
+   Internal nodes satisfy the ROBDD invariants: low <> high and the
+   variable index of a node is strictly smaller than those of its
+   children (terminals carry variable [terminal_var]). *)
+
+type node = int
+
+let terminal_var = max_int
+
+type manager = {
+  mutable var : int array;
+  mutable low : int array;
+  mutable high : int array;
+  mutable next_free : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  ite_cache : (int * int * int, int) Hashtbl.t;
+  quant_cache : (int * int * bool, int) Hashtbl.t;
+}
+
+let node_false = 0
+let node_true = 1
+
+let manager ?(initial_capacity = 1024) () =
+  let cap = max initial_capacity 2 in
+  let m =
+    {
+      var = Array.make cap terminal_var;
+      low = Array.make cap 0;
+      high = Array.make cap 0;
+      next_free = 2;
+      unique = Hashtbl.create 1024;
+      ite_cache = Hashtbl.create 1024;
+      quant_cache = Hashtbl.create 256;
+    }
+  in
+  (* Terminals point to themselves. *)
+  m.low.(0) <- 0;
+  m.high.(0) <- 0;
+  m.low.(1) <- 1;
+  m.high.(1) <- 1;
+  m
+
+let node_count m = m.next_free
+
+let clear_caches m =
+  Hashtbl.reset m.ite_cache;
+  Hashtbl.reset m.quant_cache
+
+let grow m =
+  let cap = Array.length m.var in
+  let cap' = cap * 2 in
+  let extend a fillv =
+    let a' = Array.make cap' fillv in
+    Array.blit a 0 a' 0 cap;
+    a'
+  in
+  m.var <- extend m.var terminal_var;
+  m.low <- extend m.low 0;
+  m.high <- extend m.high 0
+
+(* Hash-consed constructor enforcing reduction. *)
+let mk m v lo hi =
+  if lo = hi then lo
+  else begin
+    let key = (v, lo, hi) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+      if m.next_free >= Array.length m.var then grow m;
+      let n = m.next_free in
+      m.next_free <- n + 1;
+      m.var.(n) <- v;
+      m.low.(n) <- lo;
+      m.high.(n) <- hi;
+      Hashtbl.add m.unique key n;
+      n
+  end
+
+let bdd_true _m = node_true
+let bdd_false _m = node_false
+let of_bool _m b = if b then node_true else node_false
+
+let var m i =
+  assert (i >= 0);
+  mk m i node_false node_true
+
+let nvar m i =
+  assert (i >= 0);
+  mk m i node_true node_false
+
+let is_terminal n = n < 2
+let is_true _m n = n = node_true
+let is_false _m n = n = node_false
+let equal (a : node) b = a = b
+
+let top_var m n = m.var.(n)
+
+(* Standard ITE with terminal short-cuts and memoization. *)
+let rec ite m f g h =
+  if f = node_true then g
+  else if f = node_false then h
+  else if g = h then g
+  else if g = node_true && h = node_false then f
+  else begin
+    let key = (f, g, h) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some n -> n
+    | None ->
+      let v =
+        min (top_var m f) (min (top_var m g) (top_var m h))
+      in
+      let cof n value =
+        if is_terminal n || m.var.(n) <> v then n
+        else if value then m.high.(n)
+        else m.low.(n)
+      in
+      let hi = ite m (cof f true) (cof g true) (cof h true) in
+      let lo = ite m (cof f false) (cof g false) (cof h false) in
+      let n = mk m v lo hi in
+      Hashtbl.add m.ite_cache key n;
+      n
+  end
+
+let bnot m f = ite m f node_false node_true
+let band m f g = ite m f g node_false
+let bor m f g = ite m f node_true g
+let bxor m f g = ite m f (bnot m g) g
+let bnand m f g = bnot m (band m f g)
+let bnor m f g = bnot m (bor m f g)
+let bxnor m f g = bnot m (bxor m f g)
+let bimply m f g = ite m f g node_true
+
+let rec restrict m n ~var:v ~value =
+  if is_terminal n then n
+  else begin
+    let nv = m.var.(n) in
+    if nv > v then n
+    else if nv = v then if value then m.high.(n) else m.low.(n)
+    else begin
+      (* Memoize through the quantifier cache keyed on (n, v, value). *)
+      let key = (n, v, value) in
+      match Hashtbl.find_opt m.quant_cache key with
+      | Some r -> r
+      | None ->
+        let lo = restrict m m.low.(n) ~var:v ~value in
+        let hi = restrict m m.high.(n) ~var:v ~value in
+        let r = mk m nv lo hi in
+        Hashtbl.add m.quant_cache key r;
+        r
+    end
+  end
+
+let exists m ~var:v f =
+  let f0 = restrict m f ~var:v ~value:false in
+  let f1 = restrict m f ~var:v ~value:true in
+  bor m f0 f1
+
+let forall m ~var:v f =
+  let f0 = restrict m f ~var:v ~value:false in
+  let f1 = restrict m f ~var:v ~value:true in
+  band m f0 f1
+
+let compose m f ~var:v g =
+  let f0 = restrict m f ~var:v ~value:false in
+  let f1 = restrict m f ~var:v ~value:true in
+  ite m g f1 f0
+
+let support m f =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec go n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Hashtbl.replace vars m.var.(n) ();
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go f;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let size m f =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      incr count;
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go f;
+  !count
+
+let probability m ~p f =
+  let cache = Hashtbl.create 64 in
+  let rec go n =
+    if n = node_true then 1.
+    else if n = node_false then 0.
+    else begin
+      match Hashtbl.find_opt cache n with
+      | Some pr -> pr
+      | None ->
+        let pv = p m.var.(n) in
+        assert (pv >= 0. && pv <= 1.);
+        let pr = (pv *. go m.high.(n)) +. ((1. -. pv) *. go m.low.(n)) in
+        Hashtbl.add cache n pr;
+        pr
+    end
+  in
+  go f
+
+let sat_count m ~nvars f =
+  List.iter
+    (fun v ->
+      if v >= nvars then invalid_arg "Bdd.sat_count: support exceeds nvars")
+    (support m f);
+  probability m ~p:(fun _ -> 0.5) f *. (2. ** float_of_int nvars)
+
+let eval m f assignment =
+  let rec go n =
+    if n = node_true then true
+    else if n = node_false then false
+    else if assignment m.var.(n) then go m.high.(n)
+    else go m.low.(n)
+  in
+  go f
+
+(* By canonicity every internal node reaches both terminals, so greedily
+   avoiding the FALSE terminal finds a satisfying path. *)
+let any_sat m f =
+  if f = node_false then None
+  else begin
+    let rec go n acc =
+      if n = node_true then List.rev acc
+      else if m.low.(n) <> node_false then
+        go m.low.(n) ((m.var.(n), false) :: acc)
+      else go m.high.(n) ((m.var.(n), true) :: acc)
+    in
+    Some (go f [])
+  end
+
+let of_truth_table m tt =
+  let arity = Nano_logic.Truth_table.arity tt in
+  (* Shannon expansion from the top variable down; memoized on the
+     (variable, sub-table window) pair via direct recursion over
+     assignment prefixes. *)
+  let rec build v prefix =
+    if v = arity then
+      of_bool m (Nano_logic.Truth_table.eval tt prefix)
+    else begin
+      let lo = build (v + 1) prefix in
+      let hi = build (v + 1) (prefix lor (1 lsl v)) in
+      ite m (var m v) hi lo
+    end
+  in
+  build 0 0
+
+let to_truth_table m ~arity f =
+  Nano_logic.Truth_table.create ~arity (fun a ->
+      eval m f (fun v -> (a lsr v) land 1 = 1))
+
+let to_dot m ?(name = "bdd") f =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" name);
+  Buffer.add_string buf "  node0 [label=\"0\", shape=box];\n";
+  Buffer.add_string buf "  node1 [label=\"1\", shape=box];\n";
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      Buffer.add_string buf
+        (Printf.sprintf "  node%d [label=\"x%d\"];\n" n m.var.(n));
+      Buffer.add_string buf
+        (Printf.sprintf "  node%d -> node%d [style=dashed];\n" n m.low.(n));
+      Buffer.add_string buf (Printf.sprintf "  node%d -> node%d;\n" n m.high.(n));
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  go f;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

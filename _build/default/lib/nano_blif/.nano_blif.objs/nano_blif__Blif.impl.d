@@ -1,0 +1,1 @@
+lib/nano_blif/blif.ml: Array Buffer Format Hashtbl Int64 List Nano_netlist Nano_util Printf String

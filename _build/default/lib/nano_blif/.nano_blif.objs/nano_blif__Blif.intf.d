@@ -1,0 +1,1 @@
+lib/nano_blif/blif.mli: Format Nano_netlist

@@ -1,0 +1,360 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexing: comments, continuations, whitespace tokenization.           *)
+(* ------------------------------------------------------------------ *)
+
+type raw_line = { lineno : int; tokens : string list }
+
+let tokenize_lines text =
+  let lines = String.split_on_char '\n' text in
+  (* Fold continuation backslashes into single logical lines, keeping the
+     number of the first physical line. *)
+  let rec logical acc pending pending_no lineno = function
+    | [] ->
+      let acc =
+        match pending with
+        | Some s -> { lineno = pending_no; tokens = s } :: acc
+        | None -> acc
+      in
+      List.rev acc
+    | raw :: rest ->
+      let raw =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let continued = String.length raw > 0 && raw.[String.length raw - 1] = '\\' in
+      let body = if continued then String.sub raw 0 (String.length raw - 1) else raw in
+      let toks =
+        String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) body)
+        |> List.filter (fun s -> s <> "")
+      in
+      let merged, merged_no =
+        match pending with
+        | Some p -> (p @ toks, pending_no)
+        | None -> (toks, lineno)
+      in
+      if continued then logical acc (Some merged) merged_no (lineno + 1) rest
+      else begin
+        let acc =
+          if merged = [] then acc
+          else { lineno = merged_no; tokens = merged } :: acc
+        in
+        logical acc None 0 (lineno + 1) rest
+      end
+  in
+  logical [] None 0 1 lines
+
+(* ------------------------------------------------------------------ *)
+(* Parsing into a raw model.                                           *)
+(* ------------------------------------------------------------------ *)
+
+type names_block = {
+  n_line : int;
+  signals : string list; (* fanin names @ [output name] *)
+  rows : (string * char) list; (* input plane, output bit *)
+}
+
+type model = {
+  m_name : string;
+  m_inputs : string list;
+  m_outputs : string list;
+  m_names : names_block list;
+}
+
+let parse_model lines =
+  let name = ref "model" in
+  let inputs = ref [] in
+  let outputs = ref [] in
+  let names = ref [] in
+  let current : names_block option ref = ref None in
+  let close_current () =
+    match !current with
+    | Some blk -> begin
+      names := { blk with rows = List.rev blk.rows } :: !names;
+      current := None
+    end
+    | None -> ()
+  in
+  let add_row lineno plane bit =
+    match !current with
+    | None -> fail lineno "cube row outside of .names"
+    | Some blk -> current := Some { blk with rows = (plane, bit) :: blk.rows }
+  in
+  List.iter
+    (fun { lineno; tokens } ->
+      match tokens with
+      | [] -> ()
+      | dot :: rest when String.length dot > 0 && dot.[0] = '.' -> begin
+        close_current ();
+        match dot, rest with
+        | ".model", [ n ] -> name := n
+        | ".model", _ -> fail lineno ".model expects one name"
+        | ".inputs", ins -> inputs := !inputs @ ins
+        | ".outputs", outs -> outputs := !outputs @ outs
+        | ".names", [] -> fail lineno ".names expects at least an output"
+        | ".names", signals ->
+          current := Some { n_line = lineno; signals; rows = [] }
+        | ".end", _ -> ()
+        | ".exdc", _ -> fail lineno ".exdc is not supported"
+        | ".latch", _ ->
+          fail lineno ".latch is not supported (combinational subset only)"
+        | ".subckt", _ | ".search", _ ->
+          fail lineno "hierarchical BLIF is not supported"
+        | directive, _ -> fail lineno "unknown directive %s" directive
+      end
+      | [ plane; bit ] when !current <> None ->
+        if String.length bit <> 1 then fail lineno "bad cube row";
+        add_row lineno plane bit.[0]
+      | [ bit ] when !current <> None ->
+        (* Constant cover for a zero-input .names. *)
+        if String.length bit <> 1 then fail lineno "bad constant row";
+        add_row lineno "" bit.[0]
+      | _ -> fail lineno "unexpected tokens")
+    lines;
+  close_current ();
+  {
+    m_name = !name;
+    m_inputs = !inputs;
+    m_outputs = !outputs;
+    m_names = List.rev !names;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Elaboration: signal -> node, with two-level expansion of covers.    *)
+(* ------------------------------------------------------------------ *)
+
+let elaborate model =
+  let b = Netlist.Builder.create ~name:model.m_name () in
+  let env : (string, Netlist.node) Hashtbl.t = Hashtbl.create 64 in
+  let defs : (string, names_block) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun blk ->
+      match List.rev blk.signals with
+      | out :: _ ->
+        if Hashtbl.mem defs out then
+          fail blk.n_line "signal %s defined twice" out;
+        Hashtbl.replace defs out blk
+      | [] -> fail blk.n_line "empty .names")
+    model.m_names;
+  List.iter
+    (fun input ->
+      if Hashtbl.mem env input then fail 0 "duplicate input %s" input;
+      Hashtbl.replace env input (Netlist.Builder.input b input))
+    model.m_inputs;
+  let negations : (Netlist.node, Netlist.node) Hashtbl.t = Hashtbl.create 64 in
+  let negate n =
+    match Hashtbl.find_opt negations n with
+    | Some v -> v
+    | None ->
+      let v = Netlist.Builder.not_ b n in
+      Hashtbl.replace negations n v;
+      v
+  in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve signal =
+    match Hashtbl.find_opt env signal with
+    | Some n -> n
+    | None -> begin
+      match Hashtbl.find_opt defs signal with
+      | None -> fail 0 "signal %s is never defined" signal
+      | Some blk ->
+        if Hashtbl.mem in_progress signal then
+          fail blk.n_line "combinational cycle through %s" signal;
+        Hashtbl.replace in_progress signal ();
+        let n = build_cover blk in
+        Hashtbl.remove in_progress signal;
+        Hashtbl.replace env signal n;
+        n
+    end
+  and build_cover blk =
+    let rev = List.rev blk.signals in
+    let out_name, fanin_names =
+      match rev with
+      | out :: fs -> (out, List.rev fs)
+      | [] -> assert false
+    in
+    ignore out_name;
+    let fanins = List.map resolve fanin_names in
+    let fanin_arr = Array.of_list fanins in
+    let width = Array.length fanin_arr in
+    match blk.rows with
+    | [] -> Netlist.Builder.const b false
+    | (_, bit0) :: _ as rows ->
+      let polarity =
+        match bit0 with
+        | '1' -> true
+        | '0' -> false
+        | c -> fail blk.n_line "bad output bit %c" c
+      in
+      List.iter
+        (fun (plane, bit) ->
+          if String.length plane <> width then
+            fail blk.n_line "cube width mismatch";
+          let row_pol =
+            match bit with
+            | '1' -> true
+            | '0' -> false
+            | c -> fail blk.n_line "bad output bit %c" c
+          in
+          if row_pol <> polarity then
+            fail blk.n_line "mixed ON/OFF-set covers are not supported")
+        rows;
+      let product plane =
+        let literals = ref [] in
+        String.iteri
+          (fun i c ->
+            match c with
+            | '1' -> literals := fanin_arr.(i) :: !literals
+            | '0' -> literals := negate fanin_arr.(i) :: !literals
+            | '-' -> ()
+            | c -> fail blk.n_line "bad cube character %c" c)
+          plane;
+        match !literals with
+        | [] -> Netlist.Builder.const b true
+        | [ single ] -> single
+        | many -> Netlist.Builder.reduce b Gate.And (List.rev many)
+      in
+      let terms = List.map (fun (plane, _) -> product plane) rows in
+      let sum =
+        match terms with
+        | [ single ] -> single
+        | many -> Netlist.Builder.reduce b Gate.Or many
+      in
+      if polarity then sum else negate sum
+  in
+  if model.m_outputs = [] then fail 0 "model has no outputs";
+  List.iter
+    (fun out ->
+      let n = resolve out in
+      Netlist.Builder.output b out n)
+    model.m_outputs;
+  Netlist.Builder.finish b
+
+let parse_string text =
+  match elaborate (parse_model (tokenize_lines text)) with
+  | netlist -> Ok netlist
+  | exception Parse_error e -> Error e
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+(* ------------------------------------------------------------------ *)
+(* Writing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let signal_names netlist =
+  let n = Netlist.node_count netlist in
+  let names = Array.make n "" in
+  let used = Hashtbl.create n in
+  let claim base =
+    let rec go candidate k =
+      if Hashtbl.mem used candidate then go (Printf.sprintf "%s_%d" base k) (k + 1)
+      else begin
+        Hashtbl.replace used candidate ();
+        candidate
+      end
+    in
+    go base 0
+  in
+  Netlist.iter netlist (fun id info ->
+      let base =
+        match info.Netlist.name with
+        | Some nm -> nm
+        | None -> Printf.sprintf "n%d" id
+      in
+      names.(id) <- claim base);
+  names
+
+let cover_rows kind arity =
+  (* Rows as (plane, output-bit) strings for each primitive kind. *)
+  let all c = String.make arity c in
+  let one_hot i c =
+    String.init arity (fun j -> if i = j then c else '-')
+  in
+  match kind with
+  | Gate.Const true -> [ ("", '1') ]
+  | Gate.Const false -> []
+  | Gate.Buf -> [ ("1", '1') ]
+  | Gate.Not -> [ ("0", '1') ]
+  | Gate.And -> [ (all '1', '1') ]
+  | Gate.Nand -> [ (all '1', '0') ]
+  | Gate.Or -> List.init arity (fun i -> (one_hot i '1', '1'))
+  | Gate.Nor -> List.init arity (fun i -> (one_hot i '1', '0'))
+  | Gate.Xor | Gate.Xnor | Gate.Majority ->
+    let rows = ref [] in
+    for a = (1 lsl arity) - 1 downto 0 do
+      let pop = Nano_util.Bits.popcount64 (Int64.of_int a) in
+      let keep =
+        match kind with
+        | Gate.Xor -> pop land 1 = 1
+        | Gate.Xnor -> pop land 1 = 0
+        | Gate.Majority -> pop > arity / 2
+        | Gate.Input | Gate.Const _ | Gate.Buf | Gate.Not | Gate.And
+        | Gate.Or | Gate.Nand | Gate.Nor -> false
+      in
+      if keep then begin
+        let plane =
+          String.init arity (fun i ->
+              if (a lsr i) land 1 = 1 then '1' else '0')
+        in
+        rows := (plane, '1') :: !rows
+      end
+    done;
+    !rows
+  | Gate.Input -> invalid_arg "Blif.cover_rows: Input"
+
+let to_string netlist =
+  let names = signal_names netlist in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Netlist.name netlist));
+  let in_names =
+    List.map (fun id -> names.(id)) (Netlist.inputs netlist)
+  in
+  Buffer.add_string buf (".inputs " ^ String.concat " " in_names ^ "\n");
+  let out_signals = Netlist.outputs netlist in
+  Buffer.add_string buf
+    (".outputs " ^ String.concat " " (List.map fst out_signals) ^ "\n");
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let fan = Array.to_list (Array.map (fun f -> names.(f)) info.Netlist.fanins) in
+        Buffer.add_string buf
+          (".names " ^ String.concat " " (fan @ [ names.(id) ]) ^ "\n");
+        List.iter
+          (fun (plane, bit) ->
+            if plane = "" then Buffer.add_string buf (Printf.sprintf "%c\n" bit)
+            else Buffer.add_string buf (Printf.sprintf "%s %c\n" plane bit))
+          (cover_rows kind (Array.length info.Netlist.fanins)));
+  (* Primary outputs may need an aliasing buffer when the output name
+     differs from the driving node's net name. *)
+  List.iter
+    (fun (out_name, node) ->
+      if names.(node) <> out_name then begin
+        Buffer.add_string buf
+          (Printf.sprintf ".names %s %s\n1 1\n" names.(node) out_name)
+      end)
+    out_signals;
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path netlist =
+  let oc = open_out path in
+  output_string oc (to_string netlist);
+  close_out oc

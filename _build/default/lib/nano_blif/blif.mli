@@ -1,0 +1,25 @@
+(** Reader and writer for the Berkeley Logic Interchange Format (BLIF),
+    the exchange format used by SIS — the tool the paper's benchmarks were
+    prepared with.
+
+    Only the combinational subset is supported: [.model], [.inputs],
+    [.outputs], [.names] (single-output covers) and [.end]. [.latch] and
+    hierarchy ([.subckt]) are rejected with a parse error, since the
+    paper's framework covers combinational circuits (sequential treatment
+    is its stated future work). *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : string -> (Nano_netlist.Netlist.t, error) result
+(** Parse a BLIF model. Each [.names] cover is expanded into two-level
+    AND/OR/NOT logic over the netlist's primitive gates; degenerate covers
+    become constants or buffers. *)
+
+val parse_file : string -> (Nano_netlist.Netlist.t, error) result
+
+val to_string : Nano_netlist.Netlist.t -> string
+(** Serialize a netlist; every logic gate becomes one [.names] cover. *)
+
+val write_file : string -> Nano_netlist.Netlist.t -> unit

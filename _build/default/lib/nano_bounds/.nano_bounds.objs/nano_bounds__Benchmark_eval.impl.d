@@ -1,0 +1,1 @@
+lib/nano_bounds/benchmark_eval.ml: List Metrics Profile

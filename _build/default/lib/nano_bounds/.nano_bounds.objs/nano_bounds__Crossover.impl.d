@@ -1,0 +1,1 @@
+lib/nano_bounds/crossover.ml: List Metrics Nano_util

@@ -1,0 +1,1 @@
+lib/nano_bounds/depth_bound.ml: Float Nano_util

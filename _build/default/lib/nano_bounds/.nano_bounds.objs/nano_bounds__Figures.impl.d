@@ -1,0 +1,1 @@
+lib/nano_bounds/figures.ml: Leakage List Metrics Nano_util Option Printf Redundancy_bound Switching

@@ -1,0 +1,1 @@
+lib/nano_bounds/headline.ml: Benchmark_eval Float List Nano_util Profile

@@ -1,0 +1,1 @@
+lib/nano_bounds/metrics.ml: Buffer Depth_bound Leakage Nano_util Option Printf Redundancy_bound Switching

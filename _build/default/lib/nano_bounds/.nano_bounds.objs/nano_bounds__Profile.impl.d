@@ -1,0 +1,1 @@
+lib/nano_bounds/profile.ml: Float Format List Metrics Nano_netlist Nano_sim Nano_util

@@ -1,0 +1,1 @@
+lib/nano_bounds/profile.mli: Format Metrics Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_bounds/voltage_tradeoff.ml: Metrics Nano_energy

@@ -1,0 +1,1 @@
+lib/nano_bounds/voltage_tradeoff.mli: Metrics Nano_energy

@@ -1,0 +1,37 @@
+type row = {
+  benchmark : string;
+  epsilon : float;
+  delta : float;
+  energy_ratio : float;
+  delay_ratio : float option;
+  average_power_ratio : float option;
+  energy_delay_ratio : float option;
+  size_ratio : float;
+}
+
+let paper_epsilons = [ 0.001; 0.01; 0.1 ]
+let paper_delta = 0.01
+
+let evaluate_profile ?(delta = paper_delta) ?(leakage_share0 = 0.5) profile
+    ~epsilon =
+  let scenario = Profile.to_scenario profile ~epsilon ~delta ~leakage_share0 in
+  let b = Metrics.evaluate scenario in
+  {
+    benchmark = profile.Profile.name;
+    epsilon;
+    delta;
+    energy_ratio = b.Metrics.energy_ratio;
+    delay_ratio = b.Metrics.delay_ratio;
+    average_power_ratio = b.Metrics.average_power_ratio;
+    energy_delay_ratio = b.Metrics.energy_delay_ratio;
+    size_ratio = b.Metrics.size_ratio;
+  }
+
+let evaluate_suite ?delta ?leakage_share0 ?(epsilons = paper_epsilons)
+    profiles =
+  List.concat_map
+    (fun profile ->
+      List.map
+        (fun epsilon -> evaluate_profile ?delta ?leakage_share0 profile ~epsilon)
+        epsilons)
+    profiles

@@ -1,0 +1,38 @@
+(** Per-benchmark bound evaluation: the engine behind Figures 7 and 8.
+
+    For each circuit profile and each device-error level, compute the
+    normalized lower bounds on energy, delay, average power and
+    energy-delay product, relative to the error-free implementation with
+    a 50% leakage share (the paper's baseline for sub-90nm nodes). *)
+
+type row = {
+  benchmark : string;
+  epsilon : float;
+  delta : float;
+  energy_ratio : float;
+  delay_ratio : float option;  (** [None] when Theorem 4 rules out
+                                    reliable computation. *)
+  average_power_ratio : float option;
+  energy_delay_ratio : float option;
+  size_ratio : float;
+}
+
+val paper_epsilons : float list
+(** The three device-error levels of Figures 7–8:
+    [0.001; 0.01; 0.1]. *)
+
+val paper_delta : float
+(** δ = 0.01 (99% output resilience). *)
+
+val evaluate_profile :
+  ?delta:float -> ?leakage_share0:float -> Profile.t -> epsilon:float -> row
+(** Defaults: [delta = paper_delta], [leakage_share0 = 0.5]. *)
+
+val evaluate_suite :
+  ?delta:float ->
+  ?leakage_share0:float ->
+  ?epsilons:float list ->
+  Profile.t list ->
+  row list
+(** Cartesian product of profiles and error levels, grouped by
+    benchmark. *)

@@ -1,0 +1,92 @@
+let feasibility_edge ~fanin = Metrics.feasible_epsilon_sup ~fanin
+
+let power_ratio scenario epsilon =
+  match (Metrics.evaluate { scenario with Metrics.epsilon }).Metrics.average_power_ratio with
+  | Some p -> Some p
+  | None -> None
+
+let bisect ~f ~lo ~hi ~iterations =
+  (* f lo = false, f hi = true; find the boundary. *)
+  let rec go lo hi i =
+    if i = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if f mid then go lo mid (i - 1) else go mid hi (i - 1)
+    end
+  in
+  go lo hi iterations
+
+let power_crossover ?(steps = 200) scenario =
+  let sup = feasibility_edge ~fanin:scenario.Metrics.fanin in
+  let grid =
+    Nano_util.Sweep.logarithmic ~lo:1e-5 ~hi:(sup *. 0.999) ~steps
+  in
+  let below epsilon =
+    match power_ratio scenario epsilon with
+    | Some p -> p < 1.
+    | None -> false
+  in
+  (* Find the first grid point below 1 and bisect against its
+     predecessor. *)
+  let rec scan prev = function
+    | [] -> None
+    | e :: rest ->
+      if below e then begin
+        match prev with
+        | None -> Some e
+        | Some p -> Some (bisect ~f:below ~lo:p ~hi:e ~iterations:50)
+      end
+      else scan (Some e) rest
+  in
+  scan None grid
+
+let max_epsilon_for_energy_budget ?(steps = 200) ~budget scenario =
+  if budget < 1. then
+    invalid_arg "Crossover.max_epsilon_for_energy_budget: budget >= 1";
+  let over epsilon =
+    (Metrics.evaluate { scenario with Metrics.epsilon }).Metrics.energy_ratio
+    > budget
+  in
+  let grid = Nano_util.Sweep.logarithmic ~lo:1e-6 ~hi:0.4999 ~steps in
+  match grid with
+  | [] -> None
+  | first :: _ ->
+    if over first then None
+    else begin
+      (* last point within budget *)
+      let rec scan last = function
+        | [] -> Some last
+        | e :: rest ->
+          if over e then Some (bisect ~f:over ~lo:last ~hi:e ~iterations:50)
+          else scan e rest
+      in
+      scan first (List.tl grid)
+    end
+
+let min_delta_for_epsilon ?(steps = 200) ~budget ~epsilon scenario =
+  if budget < 1. then
+    invalid_arg "Crossover.min_delta_for_epsilon: budget >= 1";
+  let over delta =
+    (Metrics.evaluate { scenario with Metrics.epsilon; delta })
+      .Metrics.energy_ratio
+    > budget
+  in
+  (* The bound grows as delta shrinks; scan delta downward. *)
+  let grid =
+    List.rev (Nano_util.Sweep.logarithmic ~lo:1e-9 ~hi:0.4999 ~steps)
+  in
+  match grid with
+  | [] -> None
+  | loosest :: rest ->
+    if over loosest then None
+    else begin
+      let rec scan last = function
+        | [] -> Some last
+        | d :: more ->
+          if over d then
+            (* boundary between d (over) and last (within) *)
+            Some (bisect ~f:(fun x -> not (over x)) ~lo:d ~hi:last ~iterations:50)
+          else scan d more
+      in
+      scan loosest rest
+    end

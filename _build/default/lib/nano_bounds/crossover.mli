@@ -1,0 +1,29 @@
+(** Crossover and feasibility-frontier analysis on top of the bounds —
+    the design-guidance queries a synthesis tool would ask (Section 1's
+    motivation: "tools that can aid and guide the design process"). *)
+
+val power_crossover : ?steps:int -> Metrics.scenario -> float option
+(** Smallest ε (log-scanned with [steps] points, then refined by
+    bisection) at which the average-power lower bound of the scenario
+    drops below 1 — past it the fault-tolerant design is more
+    power-efficient than the baseline, at the cost of latency. [None]
+    when no crossover exists inside Theorem 4's feasible range. The
+    scenario's own ε is ignored. *)
+
+val max_epsilon_for_energy_budget :
+  ?steps:int -> budget:float -> Metrics.scenario -> float option
+(** Largest ε whose energy lower bound stays within [budget] (a ratio,
+    e.g. 1.4 = "at most 40% more energy"). [None] when even the smallest
+    scanned ε exceeds the budget. Uses monotonicity of the energy bound
+    in ε (property-tested). Requires [budget >= 1]. *)
+
+val min_delta_for_epsilon :
+  ?steps:int -> budget:float -> epsilon:float -> Metrics.scenario ->
+  float option
+(** Tightest output-error requirement δ (smallest) achievable at the
+    given ε without exceeding the energy [budget]. [None] when even the
+    loosest δ < 1/2 busts the budget. *)
+
+val feasibility_edge : fanin:int -> float
+(** Alias for {!Metrics.feasible_epsilon_sup}: the ε beyond which
+    Theorem 4's bounded branch no longer applies. *)

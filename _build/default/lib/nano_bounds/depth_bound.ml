@@ -1,0 +1,46 @@
+type verdict = Bounded of float | Infeasible of { max_inputs : float }
+
+let xi ~epsilon =
+  if not (epsilon >= 0. && epsilon <= 0.5) then
+    invalid_arg "Depth_bound.xi: epsilon must lie in [0, 1/2]";
+  1. -. (2. *. epsilon)
+
+let delta_capacity ~delta =
+  if not (delta >= 0. && delta < 0.5) then
+    invalid_arg "Depth_bound.delta_capacity: delta must lie in [0, 1/2)";
+  1. -. Nano_util.Math_ext.binary_entropy delta
+
+let check_common ~fanin ~inputs =
+  if fanin < 2 then invalid_arg "Depth_bound: fanin must be >= 2";
+  if inputs < 1 then invalid_arg "Depth_bound: inputs must be >= 1"
+
+let min_depth ~epsilon ~delta ~fanin ~inputs =
+  check_common ~fanin ~inputs;
+  let x = xi ~epsilon in
+  let cap = delta_capacity ~delta in
+  let k = float_of_int fanin in
+  let n = float_of_int inputs in
+  if x *. x > 1. /. k then begin
+    let arg = n *. cap in
+    (* nΔ <= 1 makes the bound vacuous (non-positive). *)
+    if arg <= 1. then Bounded 0.
+    else
+      Bounded
+        (Nano_util.Math_ext.log2 arg /. Nano_util.Math_ext.log2 (k *. x *. x))
+  end
+  else begin
+    let max_inputs = 1. /. cap in
+    if n <= max_inputs then Bounded 0. else Infeasible { max_inputs }
+  end
+
+let error_free_depth ~fanin ~inputs =
+  check_common ~fanin ~inputs;
+  Nano_util.Math_ext.log2 (float_of_int inputs)
+  /. Nano_util.Math_ext.log2 (float_of_int fanin)
+
+let depth_ratio ~epsilon ~delta ~fanin ~inputs =
+  let d0 = error_free_depth ~fanin ~inputs in
+  match min_depth ~epsilon ~delta ~fanin ~inputs with
+  | Infeasible _ as v -> v
+  | Bounded d ->
+    if d0 <= 0. then Bounded 1. else Bounded (Float.max 1. (d /. d0))

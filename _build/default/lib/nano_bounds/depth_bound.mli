@@ -1,0 +1,39 @@
+(** Theorem 4 (Evans–Schulman): logic-depth lower bound for (1-δ)-reliable
+    computation.
+
+    With [ξ = 1 - 2ε] and [Δ = 1 + δ·log δ + (1-δ)·log(1-δ)] (all logs
+    base 2, i.e. [Δ = 1 - H(δ)]):
+    - if [ξ^2 > 1/k] the depth satisfies
+      [d ≥ log(nΔ) / log(kξ^2)];
+    - otherwise no circuit computes a function of [n > 1/Δ] relevant
+      inputs (1-δ)-reliably. *)
+
+type verdict =
+  | Bounded of float
+      (** Reliable computation possible; depth is at least this many
+          levels (never negative). *)
+  | Infeasible of { max_inputs : float }
+      (** Signal decays faster than fanin can recombine it: only
+          functions of at most [max_inputs] = 1/Δ inputs are reliably
+          computable, and the requested [n] exceeds it. *)
+
+val xi : epsilon:float -> float
+(** [1 - 2ε]. Requires a valid ε in [[0, 1/2]]. *)
+
+val delta_capacity : delta:float -> float
+(** [Δ = 1 - H(δ)], in [(0, 1]] for [δ ∈ [0, 1/2)]. *)
+
+val min_depth : epsilon:float -> delta:float -> fanin:int -> inputs:int -> verdict
+(** Theorem 4 proper. Requires [0 <= ε < 1/2] handled normally; at
+    [ε = 1/2] everything with [n > 1/Δ] is infeasible. Requires
+    [0 <= δ < 1/2], [fanin >= 2], [inputs >= 1]. *)
+
+val error_free_depth : fanin:int -> inputs:int -> float
+(** Baseline depth of an error-free fanin-k implementation of a function
+    that depends on [n] inputs: [log_k n] (continuous). *)
+
+val depth_ratio :
+  epsilon:float -> delta:float -> fanin:int -> inputs:int -> verdict
+(** Normalized depth lower bound [d(ε,δ) / d0]; clamped at 1 from below
+    (a fault-tolerant implementation can never be shallower than the
+    information-theoretic error-free depth). *)

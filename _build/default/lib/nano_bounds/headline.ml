@@ -1,0 +1,35 @@
+type verdict = {
+  epsilon : float;
+  delta : float;
+  min_overhead : float;
+  max_overhead : float;
+  mean_overhead : float;
+  per_benchmark : (string * float) list;
+  holds : bool;
+}
+
+let check ?(threshold = 0.40) profiles =
+  if profiles = [] then invalid_arg "Headline.check: empty profile list";
+  let epsilon = 0.01 and delta = 0.01 in
+  let per_benchmark =
+    List.map
+      (fun p ->
+        let row =
+          Benchmark_eval.evaluate_profile ~delta ~leakage_share0:0.5 p ~epsilon
+        in
+        (p.Profile.name, row.Benchmark_eval.energy_ratio -. 1.))
+      profiles
+  in
+  let overheads = List.map snd per_benchmark in
+  let min_overhead = List.fold_left Float.min infinity overheads in
+  let max_overhead = List.fold_left Float.max neg_infinity overheads in
+  let mean_overhead = Nano_util.Math_ext.mean overheads in
+  {
+    epsilon;
+    delta;
+    min_overhead;
+    max_overhead;
+    mean_overhead;
+    per_benchmark;
+    holds = max_overhead >= threshold;
+  }

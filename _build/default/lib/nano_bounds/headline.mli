@@ -1,0 +1,22 @@
+(** The paper's headline claim: "99% error resilience is possible for
+    fault-tolerant designs, but at the expense of at least 40% more
+    energy if individual gates fail independently with probability of
+    1%". *)
+
+type verdict = {
+  epsilon : float;  (** 0.01 *)
+  delta : float;  (** 0.01 — i.e. 99% resilience. *)
+  min_overhead : float;  (** Smallest per-benchmark energy overhead. *)
+  max_overhead : float;
+  mean_overhead : float;
+  per_benchmark : (string * float) list;
+  holds : bool;
+      (** [max_overhead >= 0.40] — the paper's Section 6 phrasing is
+          "necessitating in some cases at least 40% more energy", i.e.
+          the overhead is reached by at least one benchmark. *)
+}
+
+val check : ?threshold:float -> Profile.t list -> verdict
+(** Evaluate every profile at ε = δ = 0.01 with the 50% leakage baseline
+    and compare the largest energy overhead against [threshold]
+    (default 0.40). Requires a non-empty list. *)

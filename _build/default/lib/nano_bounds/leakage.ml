@@ -1,0 +1,21 @@
+let ratio_change ~epsilon ~sw0 =
+  if not (epsilon >= 0. && epsilon <= 0.5) then
+    invalid_arg "Leakage.ratio_change: epsilon must lie in [0, 1/2]";
+  if not (sw0 > 0. && sw0 < 1.) then
+    invalid_arg "Leakage.ratio_change: sw0 must lie in (0, 1)";
+  let c = (1. -. (2. *. epsilon)) ** 2. in
+  let noise = 2. *. epsilon *. (1. -. epsilon) in
+  (c +. (noise /. (1. -. sw0))) /. (c +. (noise /. sw0))
+
+let noisy_ratio ~epsilon ~sw0 ~w0 =
+  if w0 < 0. then invalid_arg "Leakage.noisy_ratio: w0 must be >= 0";
+  w0 *. ratio_change ~epsilon ~sw0
+
+let leakage_share ~w =
+  if w < 0. then invalid_arg "Leakage.leakage_share: w must be >= 0";
+  w /. (1. +. w)
+
+let ratio_of_share share =
+  if not (share >= 0. && share < 1.) then
+    invalid_arg "Leakage.ratio_of_share: share must lie in [0, 1)";
+  share /. (1. -. share)

@@ -1,0 +1,25 @@
+(** Theorem 3: how device noise shifts the leakage-to-switching energy
+    ratio.
+
+    With probability [1 - sw] a device is idle and leaks instead of
+    switching; noise pushes every activity toward 1/2 (Theorem 1), so
+    the leakage share drops when [sw0 < 1/2] and grows when
+    [sw0 > 1/2]:
+
+    {v W(ε)/W0 = ((1-2ε)^2 + 2ε(1-ε)/(1-sw0)) / ((1-2ε)^2 + 2ε(1-ε)/sw0) v} *)
+
+val ratio_change : epsilon:float -> sw0:float -> float
+(** The normalized ratio above (Figure 4's Y axis). Requires
+    [0 <= ε <= 1/2] and [0 < sw0 < 1]. Equals 1 when [sw0 = 1/2] or
+    [ε = 0]. *)
+
+val noisy_ratio : epsilon:float -> sw0:float -> w0:float -> float
+(** Absolute noisy leakage-to-switching ratio given the error-free ratio
+    [w0 >= 0]: [w0 *. ratio_change ~epsilon ~sw0]. *)
+
+val leakage_share : w:float -> float
+(** Convert a leakage-to-switching ratio [w >= 0] into a fraction of
+    total energy: [w / (1 + w)]. *)
+
+val ratio_of_share : float -> float
+(** Inverse of {!leakage_share}; requires the share in [[0, 1)]. *)

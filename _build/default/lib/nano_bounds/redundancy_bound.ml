@@ -1,0 +1,64 @@
+type params = {
+  epsilon : float;
+  delta : float;
+  fanin : int;
+  sensitivity : int;
+}
+
+type omega_model = Gate_lumped | Wire_split
+
+let valid p =
+  p.epsilon > 0. && p.epsilon <= 0.5
+  && p.delta >= 0. && p.delta < 0.5
+  && p.fanin >= 2 && p.sensitivity >= 1
+
+let check p =
+  if not (valid p) then
+    invalid_arg "Redundancy_bound: parameters outside Theorem 2's domain"
+
+let omega ?(model = Gate_lumped) ~fanin epsilon =
+  if not (epsilon > 0. && epsilon <= 0.5) then
+    invalid_arg "Redundancy_bound.omega: epsilon must lie in (0, 1/2]";
+  if fanin < 1 then invalid_arg "Redundancy_bound.omega: fanin must be >= 1";
+  let x = 1. -. (2. *. epsilon) in
+  match model with
+  | Gate_lumped ->
+    (1. -. Nano_util.Math_ext.float_pow_int x fanin) /. 2.
+  | Wire_split -> (1. -. (x ** (1. /. float_of_int fanin))) /. 2.
+
+let t_parameter ~omega:w =
+  if not (w > 0. && w <= 0.5) then
+    invalid_arg "Redundancy_bound.t_parameter: omega must lie in (0, 1/2]";
+  let cube x = x *. x *. x in
+  (cube w +. cube (1. -. w)) /. (w *. (1. -. w))
+
+let extra_gates ?(model = Gate_lumped) p =
+  check p;
+  let s = float_of_int p.sensitivity in
+  let k = float_of_int p.fanin in
+  let w = omega ~model ~fanin:p.fanin p.epsilon in
+  let t = t_parameter ~omega:w in
+  let log_t = Nano_util.Math_ext.log2 t in
+  let numerator =
+    (s *. Nano_util.Math_ext.log2 s)
+    +. (2. *. s *. Nano_util.Math_ext.log2 (2. *. (1. -. (2. *. p.delta))))
+  in
+  if log_t = 0. then
+    (* ε = 1/2: the channel output carries no information. *)
+    if numerator > 0. then infinity else 0.
+  else numerator /. (k *. log_t)
+
+let min_size ?model p ~error_free_size =
+  if error_free_size < 1 then
+    invalid_arg "Redundancy_bound.min_size: error_free_size must be >= 1";
+  let s0 = float_of_int error_free_size in
+  Float.max s0 (s0 +. extra_gates ?model p)
+
+let redundancy_factor ?model p ~error_free_size =
+  min_size ?model p ~error_free_size /. float_of_int error_free_size
+
+let size_upper_bound ~error_free_size =
+  if error_free_size < 2 then
+    invalid_arg "Redundancy_bound.size_upper_bound: size must be >= 2";
+  let s0 = float_of_int error_free_size in
+  s0 *. Nano_util.Math_ext.log2 s0

@@ -1,0 +1,55 @@
+(** Theorem 2 / Corollary 1: minimum redundancy for (1-δ)-reliable
+    computation with ε-noisy k-input gates.
+
+    For a (possibly multi-output) function of sensitivity [s], the
+    additional gates beyond the error-free implementation are at least
+
+    {v (s·log s + 2s·log(2(1-2δ))) / (k·log t) v}
+
+    with [t = (ω^3 + (1-ω)^3) / (ω(1-ω))] and [ω = (1 - (1-2ε)^k)/2].
+    All logs are base 2. The bound is tight for parity functions
+    implemented as decision trees / Shannon-style circuits. *)
+
+type params = {
+  epsilon : float;  (** Per-gate error, (0, 1/2]. *)
+  delta : float;  (** Output error budget, [0, 1/2). *)
+  fanin : int;  (** Gate fanin [k >= 2]. *)
+  sensitivity : int;  (** Boolean sensitivity [s >= 1]. *)
+}
+
+val valid : params -> bool
+(** Domain of Theorem 2: [0 < ε <= 1/2], [0 <= δ < 1/2], [k >= 2],
+    [s >= 1]. *)
+
+(** How gate noise is translated into the effective wire noise ω. The
+    paper's formula is {!Gate_lumped}; {!Wire_split} is the ablation
+    variant where the gate's ε is split across its k input wires. *)
+type omega_model = Gate_lumped | Wire_split
+
+val omega : ?model:omega_model -> fanin:int -> float -> float
+(** [omega ~fanin epsilon] is the effective wire-noise parameter, in
+    [(0, 1/2]]. *)
+
+val t_parameter : omega:float -> float
+(** [t = (ω^3 + (1-ω)^3)/(ω(1-ω))]; decreases to 1 as ω → 1/2. Requires
+    [0 < ω <= 1/2]. *)
+
+val extra_gates : ?model:omega_model -> params -> float
+(** Lower bound on the additional redundancy (in gates). [infinity] when
+    ε = 1/2 exactly (where [log t = 0]); raises [Invalid_argument]
+    outside {!valid}. The value can be negative for very insensitive
+    functions at tiny ε — callers that want a size bound should use
+    {!min_size}, which clamps at the error-free size. *)
+
+val min_size : ?model:omega_model -> params -> error_free_size:int -> float
+(** [max S0 (S0 + extra_gates params)]: the smallest conceivable gate
+    count of a (1-δ)-reliable implementation. *)
+
+val redundancy_factor :
+  ?model:omega_model -> params -> error_free_size:int -> float
+(** [min_size / S0] — the quantity plotted in Figure 3. *)
+
+val size_upper_bound : error_free_size:int -> float
+(** The classical [O(S0 log S0)] construction upper bound (Pippenger; Gács–Gál),
+    with unit constant: [S0 * log2 S0] for [S0 >= 2]. The lower bound
+    must stay below a constant multiple of this for consistency. *)

@@ -1,0 +1,38 @@
+let valid_epsilon e = e >= 0. && e <= 0.5
+
+let check_epsilon e =
+  if not (valid_epsilon e) then
+    invalid_arg "Switching: epsilon must lie in [0, 1/2]"
+
+let contraction_factor ~epsilon =
+  check_epsilon epsilon;
+  let x = 1. -. (2. *. epsilon) in
+  x *. x
+
+let noisy_activity ~epsilon sw =
+  check_epsilon epsilon;
+  if not (sw >= 0. && sw <= 1.) then
+    invalid_arg "Switching.noisy_activity: sw must lie in [0, 1]";
+  (contraction_factor ~epsilon *. sw) +. (2. *. epsilon *. (1. -. epsilon))
+
+let noisy_probability ~epsilon p =
+  check_epsilon epsilon;
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Switching.noisy_probability: p must lie in [0, 1]";
+  (p *. (1. -. epsilon)) +. ((1. -. p) *. epsilon)
+
+let activity_of_probability p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Switching.activity_of_probability: p must lie in [0, 1]";
+  2. *. p *. (1. -. p)
+
+let fixed_point = 0.5
+
+let inverse ~epsilon sw_z =
+  check_epsilon epsilon;
+  let c = contraction_factor ~epsilon in
+  if c = 0. then None
+  else begin
+    let sw_y = (sw_z -. (2. *. epsilon *. (1. -. epsilon))) /. c in
+    if sw_y >= 0. && sw_y <= 1. then Some sw_y else None
+  end

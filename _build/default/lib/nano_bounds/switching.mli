@@ -1,0 +1,31 @@
+(** Theorem 1: switching activity of ε-noisy devices.
+
+    If [y] and [z] are the error-free and error-prone outputs of a device
+    failing with probability ε, then
+    [sw(z) = (1-2ε)^2 sw(y) + 2ε(1-ε)]. *)
+
+val valid_epsilon : float -> bool
+(** [0 <= ε <= 1/2]. *)
+
+val noisy_activity : epsilon:float -> float -> float
+(** [noisy_activity ~epsilon sw] is Theorem 1's [sw(z)]. Requires a valid
+    ε and [0 <= sw <= 1]. *)
+
+val noisy_probability : epsilon:float -> float -> float
+(** Signal-probability counterpart [p' = p(1-ε) + (1-p)ε]. *)
+
+val activity_of_probability : float -> float
+(** Temporal-independence model: [sw = 2 p (1-p)]. *)
+
+val fixed_point : float
+(** The activity invariant under any noise level: [0.5]. Activities below
+    it increase under noise, activities above it decrease. *)
+
+val inverse : epsilon:float -> float -> float option
+(** [inverse ~epsilon sw_z] recovers [sw(y)] from [sw(z)] when ε < 1/2;
+    [None] at ε = 1/2 (the map is constant there) or when the recovered
+    activity falls outside [[0, 1]] (meaning [sw_z] is not reachable). *)
+
+val contraction_factor : epsilon:float -> float
+(** [(1-2ε)^2]: the slope of the activity map, i.e. how fast useful
+    signal correlation decays per noisy stage. *)

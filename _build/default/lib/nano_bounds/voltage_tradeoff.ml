@@ -1,0 +1,67 @@
+type operating_point = {
+  vdd : float;
+  energy_ratio : float;
+  delay_ratio : float;
+}
+
+let chen_hu ~tech ~vdd =
+  let vt = tech.Nano_energy.Technology.vt in
+  if not (vdd > vt) then invalid_arg "Voltage_tradeoff.chen_hu: vdd <= vt";
+  vdd /. ((vdd -. vt) ** tech.Nano_energy.Technology.alpha)
+
+(* Switched-capacitance ratio (Corollary 2, switching part) and depth
+   ratio (Theorem 4) of the scenario. *)
+let ratios scenario =
+  let b = Metrics.evaluate scenario in
+  let chi = b.Metrics.switching_energy_ratio in
+  match b.Metrics.delay_ratio with
+  | Some rho -> (chi, rho)
+  | None ->
+    invalid_arg
+      "Voltage_tradeoff: Theorem 4 rules out reliable computation here"
+
+let nominal ~tech scenario =
+  let chi, rho = ratios scenario in
+  {
+    vdd = tech.Nano_energy.Technology.vdd;
+    energy_ratio = chi;
+    delay_ratio = rho;
+  }
+
+let iso_energy ~tech scenario =
+  let chi, rho = ratios scenario in
+  let vdd0 = tech.Nano_energy.Technology.vdd in
+  let vt = tech.Nano_energy.Technology.vt in
+  (* chi * vdd'^2 = vdd0^2 *)
+  let vdd' = vdd0 /. sqrt chi in
+  if vdd' <= vt *. 1.001 then None
+  else begin
+    let delay_ratio =
+      rho *. chen_hu ~tech ~vdd:vdd' /. chen_hu ~tech ~vdd:vdd0
+    in
+    Some { vdd = vdd'; energy_ratio = 1.; delay_ratio }
+  end
+
+let iso_delay ?vdd_max ~tech scenario =
+  let chi, rho = ratios scenario in
+  let vdd0 = tech.Nano_energy.Technology.vdd in
+  let hi = match vdd_max with Some v -> v | None -> 3. *. vdd0 in
+  let target = chen_hu ~tech ~vdd:vdd0 /. rho in
+  (* chen_hu is strictly decreasing in vdd above ~vt/(alpha-1)-ish for
+     alpha > 1 in the practical range; we rely on monotone decrease on
+     [vdd0, hi] which holds for our technologies (checked in tests) and
+     bisect. *)
+  if chen_hu ~tech ~vdd:hi > target then None
+  else begin
+    let rec bisect lo hi i =
+      if i = 0 then (lo +. hi) /. 2.
+      else begin
+        let mid = (lo +. hi) /. 2. in
+        if chen_hu ~tech ~vdd:mid > target then bisect mid hi (i - 1)
+        else bisect lo mid (i - 1)
+      end
+    in
+    let vdd' = bisect vdd0 hi 60 in
+    let energy_ratio = chi *. (vdd' /. vdd0) ** 2. in
+    Some { vdd = vdd'; energy_ratio; delay_ratio = 1. }
+  end

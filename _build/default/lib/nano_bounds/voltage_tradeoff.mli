@@ -1,0 +1,47 @@
+(** Section 5.2's supply-voltage compensation analysis.
+
+    A fault-tolerant implementation switches more capacitance (Corollary
+    2) and is deeper (Theorem 4). The designer can trade these against
+    the supply voltage using the Chen–Hu delay model
+    [D ∝ d · Vdd/(Vdd - VT)^α]:
+
+    - {!iso_energy}: lower Vdd until the fault-tolerant design burns the
+      same switching energy as the error-free baseline and report how
+      much slower it then is;
+    - {!iso_delay}: raise Vdd until it is as fast as the baseline and
+      report how much more energy it then burns.
+
+    Both directions quantify the paper's observation that voltage
+    scaling cannot hide the redundancy cost — it only moves it between
+    the energy and delay axes. The analysis is switching-dominated
+    (leakage ignored), matching the paper's discussion. *)
+
+type operating_point = {
+  vdd : float;  (** Chosen supply. *)
+  energy_ratio : float;  (** Fault-tolerant / baseline, at [vdd]. *)
+  delay_ratio : float;  (** Fault-tolerant at [vdd] / baseline at nominal. *)
+}
+
+val nominal : tech:Nano_energy.Technology.t -> Metrics.scenario -> operating_point
+(** Both designs at the technology's nominal supply: energy ratio from
+    Corollary 2 (switching only), delay ratio from Theorem 4. Raises
+    [Invalid_argument] for invalid scenarios or Theorem 4-infeasible
+    ones. *)
+
+val iso_energy :
+  tech:Nano_energy.Technology.t -> Metrics.scenario -> operating_point option
+(** Scale Vdd down so the fault-tolerant switching energy matches the
+    baseline's ([energy_ratio = 1]); [None] when the required supply
+    would not stay above the threshold voltage (the redundancy is too
+    large to hide). *)
+
+val iso_delay :
+  ?vdd_max:float -> tech:Nano_energy.Technology.t -> Metrics.scenario ->
+  operating_point option
+(** Scale Vdd up so the fault-tolerant delay matches the baseline's
+    ([delay_ratio = 1]); [None] when no supply up to [vdd_max] (default
+    [3 * vdd]) is fast enough. *)
+
+val chen_hu : tech:Nano_energy.Technology.t -> vdd:float -> float
+(** Per-stage Chen–Hu delay at an arbitrary supply; exposed for tests.
+    Requires [vdd > vt]. *)

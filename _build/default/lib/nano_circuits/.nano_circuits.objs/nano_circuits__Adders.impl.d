@@ -1,0 +1,1 @@
+lib/nano_circuits/adders.ml: Array List Nano_netlist Printf

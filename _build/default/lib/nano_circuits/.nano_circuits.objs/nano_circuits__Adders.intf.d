@@ -1,0 +1,1 @@
+lib/nano_circuits/adders.mli: Nano_netlist

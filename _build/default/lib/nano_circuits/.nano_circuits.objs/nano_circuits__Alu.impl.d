@@ -1,0 +1,1 @@
+lib/nano_circuits/alu.ml: Adders Array List Nano_netlist Printf

@@ -1,0 +1,1 @@
+lib/nano_circuits/alu.mli: Nano_netlist

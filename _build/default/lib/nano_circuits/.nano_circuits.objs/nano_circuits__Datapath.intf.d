@@ -1,0 +1,1 @@
+lib/nano_circuits/datapath.mli: Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_circuits/iscas_like.ml: Adders Array List Nano_netlist Nano_util Printf

@@ -1,0 +1,1 @@
+lib/nano_circuits/iscas_profiles.ml: Format List

@@ -1,0 +1,1 @@
+lib/nano_circuits/multipliers.ml: Array List Nano_netlist Printf

@@ -1,0 +1,1 @@
+lib/nano_circuits/multipliers.mli: Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_circuits/random_circuit.ml: Array List Nano_netlist Nano_util Printf

@@ -1,0 +1,1 @@
+lib/nano_circuits/random_circuit.mli: Nano_netlist

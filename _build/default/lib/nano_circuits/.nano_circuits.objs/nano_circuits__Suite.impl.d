@@ -1,0 +1,1 @@
+lib/nano_circuits/suite.ml: Adders Alu Datapath Iscas_like List Multipliers Nano_netlist Nano_synth Trees

@@ -1,0 +1,1 @@
+lib/nano_circuits/suite.mli: Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_circuits/trees.ml: Array List Nano_netlist Printf

@@ -1,0 +1,1 @@
+lib/nano_circuits/trees.mli: Nano_netlist

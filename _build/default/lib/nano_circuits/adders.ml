@@ -1,0 +1,149 @@
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let full_adder_cell b ~a ~b:bb ~cin =
+  let axb = B.xor2 b a bb in
+  let sum = B.xor2 b axb cin in
+  let carry = B.maj3 b a bb cin in
+  (sum, carry)
+
+let declare_operands b ~width =
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  (a, bv, cin)
+
+let ripple_carry ~width =
+  if width < 1 then invalid_arg "Adders.ripple_carry: width >= 1";
+  let b = B.create ~name:(Printf.sprintf "rca%d" width) () in
+  let a, bv, cin = declare_operands b ~width in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let sum, cout = full_adder_cell b ~a:a.(i) ~b:bv.(i) ~cin:!carry in
+    B.output b (Printf.sprintf "s%d" i) sum;
+    carry := cout
+  done;
+  B.output b "cout" !carry;
+  B.finish b
+
+(* One 4-bit (or shorter tail) lookahead group. Propagate/generate terms
+   are combined with fanin <= 3 gates; the group rips its carry to the
+   next group, which keeps every gate within the paper's max-fanin-3
+   library while still flattening the in-group carry chain. *)
+let lookahead_group b ~a ~bv ~cin ~lo ~len =
+  let p = Array.init len (fun i -> B.xor2 b a.(lo + i) bv.(lo + i)) in
+  let g = Array.init len (fun i -> B.and2 b a.(lo + i) bv.(lo + i)) in
+  let carries = Array.make (len + 1) cin in
+  for i = 0 to len - 1 do
+    (* c(i+1) = g_i | (p_i & c_i), flattened two-level per stage. *)
+    let pc = B.and2 b p.(i) carries.(i) in
+    carries.(i + 1) <- B.or2 b g.(i) pc
+  done;
+  let sums = Array.init len (fun i -> B.xor2 b p.(i) carries.(i)) in
+  (sums, carries.(len))
+
+let carry_lookahead ~width =
+  if width < 1 then invalid_arg "Adders.carry_lookahead: width >= 1";
+  let b = B.create ~name:(Printf.sprintf "cla%d" width) () in
+  let a, bv, cin = declare_operands b ~width in
+  let carry = ref cin in
+  let lo = ref 0 in
+  while !lo < width do
+    let len = min 4 (width - !lo) in
+    let sums, cout = lookahead_group b ~a ~bv ~cin:!carry ~lo:!lo ~len in
+    Array.iteri
+      (fun i sum -> B.output b (Printf.sprintf "s%d" (!lo + i)) sum)
+      sums;
+    carry := cout;
+    lo := !lo + len
+  done;
+  B.output b "cout" !carry;
+  B.finish b
+
+let carry_skip ~width ~block =
+  if width < 1 then invalid_arg "Adders.carry_skip: width >= 1";
+  if block < 1 then invalid_arg "Adders.carry_skip: block >= 1";
+  let b = B.create ~name:(Printf.sprintf "cskip%d_%d" width block) () in
+  let a, bv, cin = declare_operands b ~width in
+  let carry = ref cin in
+  let lo = ref 0 in
+  while !lo < width do
+    let len = min block (width - !lo) in
+    let block_cin = !carry in
+    let c = ref block_cin in
+    let propagates = ref [] in
+    for i = 0 to len - 1 do
+      let idx = !lo + i in
+      let p = B.xor2 b a.(idx) bv.(idx) in
+      propagates := p :: !propagates;
+      B.output b (Printf.sprintf "s%d" idx) (B.xor2 b p !c);
+      c := B.maj3 b a.(idx) bv.(idx) !c
+    done;
+    (* bypass: if every bit propagates, the block's carry-out is its
+       carry-in regardless of the ripple result *)
+    let all_p =
+      match !propagates with
+      | [ single ] -> single
+      | several -> B.reduce b Gate.And (List.rev several)
+    in
+    let n_all_p = B.not_ b all_p in
+    let through = B.and2 b all_p block_cin in
+    let generated = B.and2 b n_all_p !c in
+    carry := B.or2 b through generated;
+    lo := !lo + len
+  done;
+  B.output b "cout" !carry;
+  B.finish b
+
+let mux2 b ~sel ~if0 ~if1 =
+  let n_sel = B.not_ b sel in
+  let t0 = B.and2 b n_sel if0 in
+  let t1 = B.and2 b sel if1 in
+  B.or2 b t0 t1
+
+let carry_select ~width ~block =
+  if width < 1 then invalid_arg "Adders.carry_select: width >= 1";
+  if block < 1 then invalid_arg "Adders.carry_select: block >= 1";
+  let b = B.create ~name:(Printf.sprintf "csel%d_%d" width block) () in
+  let a, bv, cin = declare_operands b ~width in
+  let carry = ref cin in
+  let lo = ref 0 in
+  while !lo < width do
+    let len = min block (width - !lo) in
+    if !lo = 0 then begin
+      (* First block: plain ripple from the real carry-in. *)
+      for i = 0 to len - 1 do
+        let sum, cout = full_adder_cell b ~a:a.(i) ~b:bv.(i) ~cin:!carry in
+        B.output b (Printf.sprintf "s%d" i) sum;
+        carry := cout
+      done
+    end
+    else begin
+      (* Speculative block: compute both carry hypotheses, then select. *)
+      let zero = B.const b false in
+      let one = B.const b true in
+      let run cin0 =
+        let c = ref cin0 in
+        let sums =
+          Array.init len (fun i ->
+              let sum, cout =
+                full_adder_cell b ~a:a.(!lo + i) ~b:bv.(!lo + i) ~cin:!c
+              in
+              c := cout;
+              sum)
+        in
+        (sums, !c)
+      in
+      let sums0, cout0 = run zero in
+      let sums1, cout1 = run one in
+      for i = 0 to len - 1 do
+        let sum = mux2 b ~sel:!carry ~if0:sums0.(i) ~if1:sums1.(i) in
+        B.output b (Printf.sprintf "s%d" (!lo + i)) sum
+      done;
+      carry := mux2 b ~sel:!carry ~if0:cout0 ~if1:cout1
+    end;
+    lo := !lo + len
+  done;
+  B.output b "cout" !carry;
+  B.finish b

@@ -1,0 +1,31 @@
+(** Adder generators (the paper's "computer arithmetic circuits ... with
+    various bitwidths").
+
+    All adders take operands [a0..a(w-1)] and [b0..b(w-1)] (bit 0 least
+    significant) plus a carry-in [cin], and expose sum bits [s0..s(w-1)]
+    and [cout]. *)
+
+val ripple_carry : width:int -> Nano_netlist.Netlist.t
+(** Chain of full adders (XOR/XOR/MAJ cells). Requires [width >= 1]. *)
+
+val carry_lookahead : width:int -> Nano_netlist.Netlist.t
+(** 4-bit-group carry-lookahead with ripple between groups; max fanin 3.
+    Requires [width >= 1]. *)
+
+val carry_select : width:int -> block:int -> Nano_netlist.Netlist.t
+(** Carry-select with the given block width: each block computes both
+    carry hypotheses and muxes. Requires [width >= 1], [block >= 1]. *)
+
+val carry_skip : width:int -> block:int -> Nano_netlist.Netlist.t
+(** Carry-skip (carry-bypass): ripple blocks whose carry is bypassed
+    through an AND of the block's propagate signals. Requires
+    [width >= 1], [block >= 1]. *)
+
+val full_adder_cell :
+  Nano_netlist.Netlist.Builder.t ->
+  a:Nano_netlist.Netlist.node ->
+  b:Nano_netlist.Netlist.node ->
+  cin:Nano_netlist.Netlist.node ->
+  Nano_netlist.Netlist.node * Nano_netlist.Netlist.node
+(** [(sum, carry)] built from two XOR2 and one MAJ3; reusable by other
+    generators (multipliers, ALU). *)

@@ -1,0 +1,63 @@
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let make ~width =
+  if width < 1 then invalid_arg "Alu.make: width >= 1";
+  let b = B.create ~name:(Printf.sprintf "alu%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let op = Array.init 3 (fun i -> B.input b (Printf.sprintf "op%d" i)) in
+  let cin = B.input b "cin" in
+  let nop = Array.map (fun o -> B.not_ b o) op in
+  (* One-hot opcode decode. *)
+  let decode v =
+    let lits =
+      List.init 3 (fun i -> if (v lsr i) land 1 = 1 then op.(i) else nop.(i))
+    in
+    B.reduce b Gate.And lits
+  in
+  let is_op = Array.init 8 decode in
+  (* Adder/subtractor: b is conditionally inverted; the carry-in is cin
+     for ADD and (not cin) semantics folded into SUB via forced 1. *)
+  let sub = is_op.(1) in
+  let b_eff = Array.map (fun bit -> B.xor2 b bit sub) bv in
+  let carry = ref (B.or2 b (B.and2 b cin (B.not_ b sub)) sub) in
+  let sums =
+    Array.init width (fun i ->
+        let s, c = Adders.full_adder_cell b ~a:a.(i) ~b:b_eff.(i) ~cin:!carry in
+        carry := c;
+        s)
+  in
+  let ands = Array.init width (fun i -> B.and2 b a.(i) bv.(i)) in
+  let ors = Array.init width (fun i -> B.or2 b a.(i) bv.(i)) in
+  let xors = Array.init width (fun i -> B.xor2 b a.(i) bv.(i)) in
+  let nors = Array.init width (fun i -> B.nor2 b a.(i) bv.(i)) in
+  let nota = Array.map (fun bit -> B.not_ b bit) a in
+  let result_bits =
+    Array.init width (fun i ->
+        let choices =
+          [
+            (is_op.(0), sums.(i));
+            (is_op.(1), sums.(i));
+            (is_op.(2), ands.(i));
+            (is_op.(3), ors.(i));
+            (is_op.(4), xors.(i));
+            (is_op.(5), nors.(i));
+            (is_op.(6), a.(i));
+            (is_op.(7), nota.(i));
+          ]
+        in
+        let terms =
+          List.map (fun (sel, value) -> B.and2 b sel value) choices
+        in
+        B.reduce b Gate.Or terms)
+  in
+  Array.iteri
+    (fun i bit -> B.output b (Printf.sprintf "y%d" i) bit)
+    result_bits;
+  B.output b "cout" !carry;
+  let zero =
+    B.not_ b (B.reduce b Gate.Or (Array.to_list result_bits))
+  in
+  B.output b "zero" zero;
+  B.finish b

@@ -1,0 +1,11 @@
+(** A small combinational ALU (the c880 benchmark family is an 8-bit
+    ALU).
+
+    Inputs: operands [a0..], [b0..], opcode [op0..op2], carry-in [cin].
+    Outputs: [y0..y(w-1)], [cout], [zero].
+
+    Opcodes: 0 ADD, 1 SUB, 2 AND, 3 OR, 4 XOR, 5 NOR, 6 pass A,
+    7 NOT A. *)
+
+val make : width:int -> Nano_netlist.Netlist.t
+(** Requires [width >= 1]. *)

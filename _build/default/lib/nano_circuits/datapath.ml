@@ -1,0 +1,96 @@
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let mux2 b ~sel ~if0 ~if1 =
+  let n_sel = B.not_ b sel in
+  B.or2 b (B.and2 b n_sel if0) (B.and2 b sel if1)
+
+let barrel_shifter ~width =
+  if width < 2 || width land (width - 1) <> 0 then
+    invalid_arg "Datapath.barrel_shifter: width must be a power of two >= 2";
+  let stages = Nano_util.Math_ext.ceil_log2 width in
+  let b = B.create ~name:(Printf.sprintf "bshift%d" width) () in
+  let data = Array.init width (fun i -> B.input b (Printf.sprintf "d%d" i)) in
+  let sh = Array.init stages (fun k -> B.input b (Printf.sprintf "sh%d" k)) in
+  let zero = B.const b false in
+  let current = ref data in
+  for k = 0 to stages - 1 do
+    let amount = 1 lsl k in
+    current :=
+      Array.init width (fun j ->
+          let shifted = if j >= amount then !current.(j - amount) else zero in
+          mux2 b ~sel:sh.(k) ~if0:(!current).(j) ~if1:shifted)
+  done;
+  Array.iteri (fun j n -> B.output b (Printf.sprintf "y%d" j) n) !current;
+  B.finish b
+
+let priority_encoder ~width =
+  if width < 2 || width > 64 then
+    invalid_arg "Datapath.priority_encoder: 2 <= width <= 64";
+  let b = B.create ~name:(Printf.sprintf "prienc%d" width) () in
+  let requests =
+    Array.init width (fun i -> B.input b (Printf.sprintf "r%d" i))
+  in
+  (* win_i: request i set and no higher request *)
+  let wins =
+    Array.init width (fun i ->
+        if i = width - 1 then requests.(i)
+        else begin
+          let higher =
+            List.init (width - 1 - i) (fun d -> B.not_ b requests.(i + 1 + d))
+          in
+          B.reduce b Gate.And (requests.(i) :: higher)
+        end)
+  in
+  let index_bits = Nano_util.Math_ext.ceil_log2 width in
+  for bit = 0 to index_bits - 1 do
+    let contributors =
+      Array.to_list wins |> List.filteri (fun i _ -> (i lsr bit) land 1 = 1)
+    in
+    let value =
+      match contributors with
+      | [] -> B.const b false
+      | [ single ] -> single
+      | several -> B.reduce b Gate.Or several
+    in
+    B.output b (Printf.sprintf "idx%d" bit) value
+  done;
+  B.output b "valid" (B.reduce b Gate.Or (Array.to_list requests));
+  B.finish b
+
+let booth_multiplier ~width =
+  if width < 1 || width > 16 then
+    invalid_arg "Datapath.booth_multiplier: 1 <= width <= 16";
+  let b = B.create ~name:(Printf.sprintf "booth%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let total = 2 * width in
+  let zero = B.const b false in
+  (* Sign-extended multiplicand over the full product width. *)
+  let ext_a = Array.init total (fun j -> if j < width then a.(j) else a.(width - 1)) in
+  (* Accumulator, two's complement. *)
+  let acc = ref (Array.make total zero) in
+  for i = 0 to width - 1 do
+    (* Booth digit from (b_{i-1}, b_i): +1 on (1,0), -1 on (0,1). *)
+    let prev = if i = 0 then zero else bv.(i - 1) in
+    let plus = B.and2 b prev (B.not_ b bv.(i)) in
+    let minus = B.and2 b (B.not_ b prev) bv.(i) in
+    (* addend_j = plus ? s_j : minus ? ~s_j : 0, where s = ext_a << i;
+       the missing "+1" of the two's complement arrives as carry-in. *)
+    let addend =
+      Array.init total (fun j ->
+          let s = if j >= i then ext_a.(j - i) else zero in
+          B.or2 b (B.and2 b plus s) (B.and2 b minus (B.not_ b s)))
+    in
+    (* ripple add into the accumulator with carry-in = minus *)
+    let carry = ref minus in
+    acc :=
+      Array.init total (fun j ->
+          let sum, cout =
+            Adders.full_adder_cell b ~a:(!acc).(j) ~b:addend.(j) ~cin:!carry
+          in
+          carry := cout;
+          sum)
+  done;
+  Array.iteri (fun j n -> B.output b (Printf.sprintf "p%d" j) n) !acc;
+  B.finish b

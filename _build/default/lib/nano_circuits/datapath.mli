@@ -1,0 +1,19 @@
+(** Additional datapath blocks: barrel shifter, priority encoder, and a
+    radix-2 Booth-recoded multiplier. *)
+
+val barrel_shifter : width:int -> Nano_netlist.Netlist.t
+(** Logical left shifter built from [log2 width] mux stages. Inputs
+    [d0..d(w-1)] and [sh0..] (shift amount, [ceil_log2 width] bits);
+    outputs [y0..y(w-1)]. Requires [width >= 2] and a power-of-two
+    width. *)
+
+val priority_encoder : width:int -> Nano_netlist.Netlist.t
+(** Highest-set-bit encoder. Inputs [r0..r(w-1)] (bit [w-1] has the
+    highest priority); outputs [idx0..] (binary index of the winner) and
+    ["valid"]. Requires [2 <= width <= 64]. *)
+
+val booth_multiplier : width:int -> Nano_netlist.Netlist.t
+(** Signed (two's-complement) multiplier using radix-2 Booth recoding:
+    partial product [i] is [+a], [-a] or [0] selected by
+    [b(i-1), b(i)]. Operands [a0..], [b0..]; product [p0..p(2w-1)]
+    (two's complement). Requires [1 <= width <= 16]. *)

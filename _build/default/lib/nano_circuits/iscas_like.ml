@@ -1,0 +1,287 @@
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let c17 () =
+  let b = B.create ~name:"c17" () in
+  let i1 = B.input b "g1" in
+  let i2 = B.input b "g2" in
+  let i3 = B.input b "g3" in
+  let i6 = B.input b "g6" in
+  let i7 = B.input b "g7" in
+  let n10 = B.nand2 b i1 i3 in
+  let n11 = B.nand2 b i3 i6 in
+  let n16 = B.nand2 b i2 n11 in
+  let n19 = B.nand2 b n11 i7 in
+  let n22 = B.nand2 b n10 n16 in
+  let n23 = B.nand2 b n16 n19 in
+  B.output b "g22" n22;
+  B.output b "g23" n23;
+  B.finish b
+
+let interrupt_controller ~groups ~channels_per_group =
+  if groups < 1 then invalid_arg "Iscas_like.interrupt_controller: groups >= 1";
+  if channels_per_group < 2 then
+    invalid_arg "Iscas_like.interrupt_controller: channels_per_group >= 2";
+  let b =
+    B.create
+      ~name:(Printf.sprintf "intctl%dx%d" groups channels_per_group)
+      ()
+  in
+  let req =
+    Array.init groups (fun g ->
+        Array.init channels_per_group (fun c ->
+            B.input b (Printf.sprintf "req%d_%d" g c)))
+  in
+  let en = Array.init groups (fun g -> B.input b (Printf.sprintf "en%d" g)) in
+  (* Masked per-group request: enabled and at least one channel raised. *)
+  let group_any =
+    Array.init groups (fun g ->
+        let any = B.reduce b Gate.Or (Array.to_list req.(g)) in
+        B.and2 b en.(g) any)
+  in
+  (* Priority: group 0 wins over group 1, etc. grant_g = any_g AND none
+     of the higher-priority groups. *)
+  let grants =
+    Array.init groups (fun g ->
+        if g = 0 then group_any.(0)
+        else begin
+          let higher =
+            List.init g (fun h -> B.not_ b group_any.(h))
+          in
+          B.reduce b Gate.And (group_any.(g) :: higher)
+        end)
+  in
+  Array.iteri (fun g n -> B.output b (Printf.sprintf "grant%d" g) n) grants;
+  (* Winning channel index inside the granted group: priority-encode each
+     group, then OR the encodings masked by the grant. *)
+  let index_bits = Nano_util.Math_ext.ceil_log2 channels_per_group in
+  let encodings =
+    Array.init groups (fun g ->
+        (* highest channel index wins inside a group. *)
+        let win =
+          Array.init channels_per_group (fun c ->
+              if c = channels_per_group - 1 then req.(g).(c)
+              else begin
+                let higher =
+                  List.init
+                    (channels_per_group - 1 - c)
+                    (fun d -> B.not_ b req.(g).(c + 1 + d))
+                in
+                B.reduce b Gate.And (req.(g).(c) :: higher)
+              end)
+        in
+        Array.init index_bits (fun bit ->
+            let contributors =
+              Array.to_list win
+              |> List.filteri (fun c _ -> (c lsr bit) land 1 = 1)
+            in
+            match contributors with
+            | [] -> B.const b false
+            | [ single ] -> single
+            | several -> B.reduce b Gate.Or several))
+  in
+  for bit = 0 to index_bits - 1 do
+    let masked =
+      List.init groups (fun g -> B.and2 b grants.(g) encodings.(g).(bit))
+    in
+    let value =
+      match masked with
+      | [ single ] -> single
+      | several -> B.reduce b Gate.Or several
+    in
+    B.output b (Printf.sprintf "idx%d" bit) value
+  done;
+  B.output b "any"
+    (match Array.to_list grants with
+    | [ single ] -> single
+    | several -> B.reduce b Gate.Or several);
+  B.finish b
+
+(* Systematic Hamming code layout: positions 1..(k+r), power-of-two
+   positions hold check bits, the rest hold data bits in order. *)
+let layout ~data_bits =
+  let rec find_r r = if 1 lsl r >= data_bits + r + 1 then r else find_r (r + 1) in
+  let r = find_r 1 in
+  let total = data_bits + r in
+  let is_power_of_two p = p land (p - 1) = 0 in
+  let data_position = Array.make data_bits 0 in
+  let check_position = Array.make r 0 in
+  let next_data = ref 0 in
+  for p = 1 to total do
+    if is_power_of_two p then begin
+      let j =
+        (* p = 2^j *)
+        let rec log2 acc v = if v = 1 then acc else log2 (acc + 1) (v lsr 1) in
+        log2 0 p
+      in
+      check_position.(j) <- p
+    end
+    else begin
+      data_position.(!next_data) <- p;
+      incr next_data
+    end
+  done;
+  (r, data_position, check_position)
+
+let hamming_positions ~data_bits =
+  let r, data_position, _ = layout ~data_bits in
+  let groups =
+    Array.init r (fun j ->
+        Array.to_list data_position
+        |> List.mapi (fun i p -> (i, p))
+        |> List.filter (fun (_, p) -> (p lsr j) land 1 = 1)
+        |> List.map fst)
+  in
+  (r, groups)
+
+let build_syndrome b ~data ~checks ~data_position ~check_position =
+  let r = Array.length checks in
+  Array.init r (fun j ->
+      let covered_data =
+        Array.to_list data
+        |> List.filteri (fun i _ -> (data_position.(i) lsr j) land 1 = 1)
+      in
+      ignore check_position;
+      let terms = checks.(j) :: covered_data in
+      match terms with
+      | [ single ] -> single
+      | several -> B.reduce b Gate.Xor several)
+
+let match_position b ~syndrome ~position =
+  let r = Array.length syndrome in
+  let literals =
+    List.init r (fun j ->
+        if (position lsr j) land 1 = 1 then syndrome.(j)
+        else B.not_ b syndrome.(j))
+  in
+  match literals with
+  | [ single ] -> single
+  | several -> B.reduce b Gate.And several
+
+let hamming_corrector ~data_bits =
+  if data_bits < 1 || data_bits > 120 then
+    invalid_arg "Iscas_like.hamming_corrector: 1 <= data_bits <= 120";
+  let r, data_position, check_position = layout ~data_bits in
+  let b = B.create ~name:(Printf.sprintf "sec%d" data_bits) () in
+  let data =
+    Array.init data_bits (fun i -> B.input b (Printf.sprintf "d%d" i))
+  in
+  let checks = Array.init r (fun j -> B.input b (Printf.sprintf "c%d" j)) in
+  let syndrome =
+    build_syndrome b ~data ~checks ~data_position ~check_position
+  in
+  Array.iteri
+    (fun i d ->
+      let flip = match_position b ~syndrome ~position:data_position.(i) in
+      B.output b (Printf.sprintf "o%d" i) (B.xor2 b d flip))
+    data;
+  B.finish b
+
+let error_detector ~data_bits =
+  if data_bits < 1 || data_bits > 120 then
+    invalid_arg "Iscas_like.error_detector: 1 <= data_bits <= 120";
+  let r, data_position, check_position = layout ~data_bits in
+  let b = B.create ~name:(Printf.sprintf "secded%d" data_bits) () in
+  let data =
+    Array.init data_bits (fun i -> B.input b (Printf.sprintf "d%d" i))
+  in
+  let checks = Array.init r (fun j -> B.input b (Printf.sprintf "c%d" j)) in
+  let overall = B.input b "pall" in
+  let syndrome =
+    build_syndrome b ~data ~checks ~data_position ~check_position
+  in
+  let syndrome_nonzero = B.reduce b Gate.Or (Array.to_list syndrome) in
+  (* Received overall parity: XOR of everything including the stored
+     overall-parity bit; 1 means an odd number of flips happened. *)
+  let parity_fail =
+    B.reduce b Gate.Xor
+      (Array.to_list data @ Array.to_list checks @ [ overall ])
+  in
+  let single = B.and2 b syndrome_nonzero parity_fail in
+  let double = B.and2 b syndrome_nonzero (B.not_ b parity_fail) in
+  Array.iteri
+    (fun i d ->
+      let here = match_position b ~syndrome ~position:data_position.(i) in
+      let flip = B.and2 b here single in
+      B.output b (Printf.sprintf "o%d" i) (B.xor2 b d flip))
+    data;
+  B.output b "single_err" single;
+  B.output b "double_err" double;
+  B.finish b
+
+(* One BCD digit slice: 4-bit binary add, then add 6 when the binary
+   result exceeds 9 (or produced a carry). *)
+let bcd_digit b ~a ~bv ~cin =
+  let carry = ref cin in
+  let binary =
+    Array.init 4 (fun i ->
+        let s, c = Adders.full_adder_cell b ~a:a.(i) ~b:bv.(i) ~cin:!carry in
+        carry := c;
+        s)
+  in
+  let c4 = !carry in
+  (* sum > 9 <=> s3 & (s2 | s1), or binary carry out. *)
+  let gt9 = B.and2 b binary.(3) (B.or2 b binary.(2) binary.(1)) in
+  let correct = B.or2 b c4 gt9 in
+  (* Add 0110 when correcting; the carry out of bit 3 is discarded — the
+     digit's decimal carry is [correct] itself. *)
+  let s1 = B.xor2 b binary.(1) correct in
+  let c1 = B.and2 b binary.(1) correct in
+  let s2_t = B.xor2 b binary.(2) correct in
+  let s2 = B.xor2 b s2_t c1 in
+  let c2 = B.maj3 b binary.(2) correct c1 in
+  let s3 = B.xor2 b binary.(3) c2 in
+  ([| binary.(0); s1; s2; s3 |], correct)
+
+let bcd_adder ~digits =
+  if digits < 1 || digits > 8 then
+    invalid_arg "Iscas_like.bcd_adder: 1 <= digits <= 8";
+  let b = B.create ~name:(Printf.sprintf "bcdadd%d" digits) () in
+  let bits = 4 * digits in
+  let a = Array.init bits (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init bits (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  let carry = ref cin in
+  for d = 0 to digits - 1 do
+    let slice arr = Array.sub arr (4 * d) 4 in
+    let sums, cout = bcd_digit b ~a:(slice a) ~bv:(slice bv) ~cin:!carry in
+    Array.iteri
+      (fun i s -> B.output b (Printf.sprintf "s%d" ((4 * d) + i)) s)
+      sums;
+    carry := cout
+  done;
+  B.output b "cout" !carry;
+  B.finish b
+
+let mixed_datapath ~width =
+  if width < 2 then invalid_arg "Iscas_like.mixed_datapath: width >= 2";
+  let b = B.create ~name:(Printf.sprintf "datapath%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  (* Adder slice (ripple with lookahead-style P/G per bit). *)
+  let carry = ref cin in
+  let sums =
+    Array.init width (fun i ->
+        let s, c = Adders.full_adder_cell b ~a:a.(i) ~b:bv.(i) ~cin:!carry in
+        carry := c;
+        s)
+  in
+  Array.iteri (fun i s -> B.output b (Printf.sprintf "s%d" i) s) sums;
+  B.output b "cout" !carry;
+  (* Comparator slice. *)
+  let eq_bits = Array.init width (fun i -> B.xnor2 b a.(i) bv.(i)) in
+  let eq = B.reduce b Gate.And (Array.to_list eq_bits) in
+  B.output b "eq" eq;
+  let gt = ref (B.and2 b a.(width - 1) (B.not_ b bv.(width - 1))) in
+  let prefix = ref eq_bits.(width - 1) in
+  for i = width - 2 downto 0 do
+    let here = B.and2 b a.(i) (B.not_ b bv.(i)) in
+    gt := B.or2 b !gt (B.and2 b !prefix here);
+    if i > 0 then prefix := B.and2 b !prefix eq_bits.(i)
+  done;
+  B.output b "gt" !gt;
+  (* Parity and zero flags over the sum. *)
+  B.output b "par" (B.reduce b Gate.Xor (Array.to_list sums));
+  B.output b "zero" (B.not_ b (B.reduce b Gate.Or (Array.to_list sums)));
+  B.finish b

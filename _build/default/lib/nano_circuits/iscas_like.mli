@@ -1,0 +1,50 @@
+(** Structurally faithful substitutes for the ISCAS'85 benchmark
+    families.
+
+    The original netlists are distributed with SIS; this repo ships
+    generators for the same {e functional families} instead (see the
+    substitution table in DESIGN.md): the bounds consume only per-circuit
+    scalars (sensitivity, size, average fanin, activity), which these
+    circuits exercise through the identical pipeline. [c17] is the real
+    netlist — it is six NAND gates and fully public. *)
+
+val c17 : unit -> Nano_netlist.Netlist.t
+(** The actual ISCAS c17: 5 inputs, 2 outputs, 6 two-input NANDs. *)
+
+val interrupt_controller :
+  groups:int -> channels_per_group:int -> Nano_netlist.Netlist.t
+(** c432 family: priority interrupt controller. Requests are masked by
+    per-group enables; outputs are the one-hot grant of the
+    highest-priority group with an active request plus the encoded index
+    of the winning channel inside that group. Requires [groups >= 1],
+    [channels_per_group >= 2]. c432's shape is [groups = 3],
+    [channels_per_group = 9]. *)
+
+val hamming_corrector : data_bits:int -> Nano_netlist.Netlist.t
+(** c499/c1355 family: single-error-correcting receiver. Inputs are
+    [data_bits] received data bits plus the received Hamming check bits;
+    outputs are the corrected data bits. [data_bits = 32] mirrors
+    c499's 41-input/32-output shape. Requires [1 <= data_bits <= 120]. *)
+
+val error_detector : data_bits:int -> Nano_netlist.Netlist.t
+(** c1908 family: SEC receiver with double-error detection — a Hamming
+    corrector extended with an overall parity bit and ["single_err"] /
+    ["double_err"] flags. Requires [1 <= data_bits <= 120]. *)
+
+val bcd_adder : digits:int -> Nano_netlist.Netlist.t
+(** c3540 family: BCD (decimal-coded) ripple adder. Each digit is a
+    4-bit binary add followed by the classic +6 correction when the
+    binary sum exceeds 9. Inputs [a0..], [b0..] (4 bits per digit, digit
+    0 least significant) and [cin]; outputs [s0..] and [cout]. Operand
+    digits are assumed valid BCD (0-9). Requires [1 <= digits <= 8]. *)
+
+val mixed_datapath : width:int -> Nano_netlist.Netlist.t
+(** c2670/c5315/c7552 family: a datapath slice combining a
+    carry-lookahead adder, an operand comparator, result parity and
+    zero-detect — the adder/comparator/parity mix those circuits are
+    documented to contain. Requires [width >= 2]. *)
+
+val hamming_positions : data_bits:int -> int * int list array
+(** [(check_bits, groups)] where [groups.(j)] lists the 0-based data-bit
+    positions covered by check bit [j] in the systematic Hamming code
+    used by {!hamming_corrector}; exposed for the test suite. *)

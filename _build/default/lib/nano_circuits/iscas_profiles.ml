@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  depth : int;
+  family : string;
+}
+
+let all =
+  [
+    { name = "c432"; inputs = 36; outputs = 7; gates = 160; depth = 17;
+      family = "27-channel priority interrupt controller" };
+    { name = "c499"; inputs = 41; outputs = 32; gates = 202; depth = 11;
+      family = "32-bit single-error-correcting circuit" };
+    { name = "c880"; inputs = 60; outputs = 26; gates = 383; depth = 24;
+      family = "8-bit ALU" };
+    { name = "c1355"; inputs = 41; outputs = 32; gates = 546; depth = 24;
+      family = "32-bit SEC circuit (NAND expansion of c499)" };
+    { name = "c1908"; inputs = 33; outputs = 25; gates = 880; depth = 40;
+      family = "16-bit SEC/error detector" };
+    { name = "c2670"; inputs = 233; outputs = 140; gates = 1193; depth = 32;
+      family = "12-bit ALU and controller" };
+    { name = "c3540"; inputs = 50; outputs = 22; gates = 1669; depth = 47;
+      family = "8-bit ALU with BCD arithmetic" };
+    { name = "c5315"; inputs = 178; outputs = 123; gates = 2307; depth = 49;
+      family = "9-bit ALU with parity computing" };
+    { name = "c6288"; inputs = 32; outputs = 32; gates = 2416; depth = 124;
+      family = "16x16 array multiplier" };
+    { name = "c7552"; inputs = 207; outputs = 108; gates = 3512; depth = 43;
+      family = "32-bit adder/comparator" };
+  ]
+
+let find name = List.find_opt (fun p -> p.name = name) all
+
+let pp ppf p =
+  Format.fprintf ppf "%s: %d in, %d out, %d gates, depth %d — %s" p.name
+    p.inputs p.outputs p.gates p.depth p.family

@@ -1,0 +1,22 @@
+(** Published structural metadata for the original ISCAS'85 benchmarks.
+
+    These numbers (inputs, outputs, gate count, nominal depth, function
+    family) are reproduced from the public benchmark documentation and
+    are used only for reporting context — the bounds in this repo are
+    computed from the generated substitute circuits, whose scalar
+    profiles bracket the ones below. *)
+
+type t = {
+  name : string;
+  inputs : int;
+  outputs : int;
+  gates : int;
+  depth : int;
+  family : string;  (** Documented function of the circuit. *)
+}
+
+val all : t list
+(** The ten classic combinational benchmarks, c432 through c7552. *)
+
+val find : string -> t option
+val pp : Format.formatter -> t -> unit

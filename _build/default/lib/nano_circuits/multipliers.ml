@@ -1,0 +1,108 @@
+module B = Nano_netlist.Netlist.Builder
+
+let half_adder b x y = (B.xor2 b x y, B.and2 b x y)
+
+let full_adder b x y z =
+  let s1 = B.xor2 b x y in
+  (B.xor2 b s1 z, B.maj3 b x y z)
+
+let partial_products b ~width =
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun j -> B.input b (Printf.sprintf "b%d" j)) in
+  Array.init width (fun j -> Array.init width (fun i -> B.and2 b a.(i) bv.(j)))
+
+let array_multiplier ~width =
+  if width < 1 then invalid_arg "Multipliers.array_multiplier: width >= 1";
+  let b = B.create ~name:(Printf.sprintf "mult%d" width) () in
+  let pp = partial_products b ~width in
+  (* Accumulator over 2w product bits; None means a known zero. *)
+  let acc = Array.make (2 * width) None in
+  for i = 0 to width - 1 do
+    acc.(i) <- Some pp.(0).(i)
+  done;
+  for j = 1 to width - 1 do
+    let carry = ref None in
+    for i = 0 to width - 1 do
+      let bit = pp.(j).(i) in
+      let pos = j + i in
+      let sum, cout =
+        match acc.(pos), !carry with
+        | None, None -> (bit, None)
+        | Some x, None | None, Some x ->
+          let s, c = half_adder b x bit in
+          (s, Some c)
+        | Some x, Some c ->
+          let s, c' = full_adder b x bit c in
+          (s, Some c')
+      in
+      acc.(pos) <- Some sum;
+      carry := cout
+    done;
+    (match !carry with
+    | Some c -> acc.(j + width) <- Some c
+    | None -> ())
+  done;
+  for i = 0 to (2 * width) - 1 do
+    let bit =
+      match acc.(i) with Some n -> n | None -> B.const b false
+    in
+    B.output b (Printf.sprintf "p%d" i) bit
+  done;
+  B.finish b
+
+let carry_save_multiplier ~width =
+  if width < 2 then invalid_arg "Multipliers.carry_save_multiplier: width >= 2";
+  let b = B.create ~name:(Printf.sprintf "csmult%d" width) () in
+  let pp = partial_products b ~width in
+  let columns = Array.make (2 * width) [] in
+  for j = 0 to width - 1 do
+    for i = 0 to width - 1 do
+      columns.(i + j) <- pp.(j).(i) :: columns.(i + j)
+    done
+  done;
+  (* Wallace-style reduction: 3:2-compress every column until at most two
+     bits remain everywhere. *)
+  let needs_pass () = Array.exists (fun c -> List.length c > 2) columns in
+  while needs_pass () do
+    let next = Array.make (2 * width) [] in
+    Array.iteri
+      (fun c bits ->
+        let rec compress = function
+          | x :: y :: z :: rest ->
+            let s, carry = full_adder b x y z in
+            next.(c) <- s :: next.(c);
+            if c + 1 < 2 * width then next.(c + 1) <- carry :: next.(c + 1);
+            compress rest
+          | leftovers -> next.(c) <- leftovers @ next.(c)
+        in
+        compress bits)
+      columns;
+    Array.blit next 0 columns 0 (2 * width)
+  done;
+  (* Final carry-propagate merge of the remaining <= 2 rows. *)
+  let carry = ref None in
+  for c = 0 to (2 * width) - 1 do
+    let bits =
+      match !carry with Some x -> x :: columns.(c) | None -> columns.(c)
+    in
+    let out =
+      match bits with
+      | [] ->
+        carry := None;
+        B.const b false
+      | [ x ] ->
+        carry := None;
+        x
+      | [ x; y ] ->
+        let s, co = half_adder b x y in
+        carry := Some co;
+        s
+      | [ x; y; z ] ->
+        let s, co = full_adder b x y z in
+        carry := Some co;
+        s
+      | _ -> assert false
+    in
+    B.output b (Printf.sprintf "p%d" c) out
+  done;
+  B.finish b

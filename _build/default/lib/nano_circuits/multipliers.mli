@@ -1,0 +1,14 @@
+(** Array and carry-save multiplier generators (the c6288 family in the
+    paper's benchmark set is a 16×16 array multiplier).
+
+    Operands are [a0..a(w-1)] and [b0..b(w-1)]; products are
+    [p0..p(2w-1)]. *)
+
+val array_multiplier : width:int -> Nano_netlist.Netlist.t
+(** Classic carry-propagate array of full-adder cells. Requires
+    [width >= 1]. *)
+
+val carry_save_multiplier : width:int -> Nano_netlist.Netlist.t
+(** Carry-save reduction of the partial products with a final
+    ripple-carry merge (Wallace-style row reduction). Requires
+    [width >= 2]. *)

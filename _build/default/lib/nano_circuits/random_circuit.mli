@@ -1,0 +1,21 @@
+(** Random combinational netlists for fuzzing and property-based
+    testing (the generator behind this repo's own test suite).
+
+    Circuits are always valid DAGs over the full primitive library;
+    determinism in the seed makes failures reproducible. *)
+
+type config = {
+  inputs : int;  (** Primary inputs ([>= 1]). *)
+  gates : int;  (** Logic gates to create ([>= 0]). *)
+  outputs : int;  (** Primary outputs to expose ([>= 1]). *)
+  allow_majority : bool;  (** Include [maj3] gates in the mix. *)
+  max_fanin : int;  (** Upper bound for AND/OR/XOR family arities. *)
+}
+
+val default_config : config
+(** 5 inputs, 25 gates, 3 outputs, majority allowed, fanin <= 3. *)
+
+val generate : ?config:config -> seed:int -> unit -> Nano_netlist.Netlist.t
+(** Deterministic in [(config, seed)]. Outputs are drawn from distinct
+    nodes biased toward the most recently created gates so the circuit
+    body is observable. *)

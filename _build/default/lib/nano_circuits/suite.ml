@@ -1,0 +1,155 @@
+type entry = {
+  name : string;
+  description : string;
+  iscas_counterpart : string option;
+  build : unit -> Nano_netlist.Netlist.t;
+}
+
+let arithmetic =
+  [
+    {
+      name = "rca8";
+      description = "8-bit ripple-carry adder";
+      iscas_counterpart = None;
+      build = (fun () -> Adders.ripple_carry ~width:8);
+    };
+    {
+      name = "rca16";
+      description = "16-bit ripple-carry adder";
+      iscas_counterpart = None;
+      build = (fun () -> Adders.ripple_carry ~width:16);
+    };
+    {
+      name = "rca32";
+      description = "32-bit ripple-carry adder";
+      iscas_counterpart = None;
+      build = (fun () -> Adders.ripple_carry ~width:32);
+    };
+    {
+      name = "cla16";
+      description = "16-bit carry-lookahead adder";
+      iscas_counterpart = None;
+      build = (fun () -> Adders.carry_lookahead ~width:16);
+    };
+    {
+      name = "csel16";
+      description = "16-bit carry-select adder (4-bit blocks)";
+      iscas_counterpart = None;
+      build = (fun () -> Adders.carry_select ~width:16 ~block:4);
+    };
+    {
+      name = "cskip16";
+      description = "16-bit carry-skip adder (4-bit blocks)";
+      iscas_counterpart = None;
+      build = (fun () -> Adders.carry_skip ~width:16 ~block:4);
+    };
+    {
+      name = "booth8";
+      description = "8x8 Booth-recoded signed multiplier";
+      iscas_counterpart = None;
+      build = (fun () -> Datapath.booth_multiplier ~width:8);
+    };
+    {
+      name = "mult4";
+      description = "4x4 array multiplier";
+      iscas_counterpart = None;
+      build = (fun () -> Multipliers.array_multiplier ~width:4);
+    };
+    {
+      name = "mult8";
+      description = "8x8 array multiplier";
+      iscas_counterpart = None;
+      build = (fun () -> Multipliers.array_multiplier ~width:8);
+    };
+    {
+      name = "csmult8";
+      description = "8x8 carry-save (Wallace) multiplier";
+      iscas_counterpart = None;
+      build = (fun () -> Multipliers.carry_save_multiplier ~width:8);
+    };
+  ]
+
+let iscas_substitutes =
+  [
+    {
+      name = "c17";
+      description = "ISCAS c17 (exact netlist, 6 NAND gates)";
+      iscas_counterpart = Some "c17";
+      build = (fun () -> Iscas_like.c17 ());
+    };
+    {
+      name = "intctl27";
+      description = "27-channel priority interrupt controller (3 groups of 9)";
+      iscas_counterpart = Some "c432";
+      build =
+        (fun () ->
+          Iscas_like.interrupt_controller ~groups:3 ~channels_per_group:9);
+    };
+    {
+      name = "sec32";
+      description = "32-bit single-error-correcting receiver";
+      iscas_counterpart = Some "c499";
+      build = (fun () -> Iscas_like.hamming_corrector ~data_bits:32);
+    };
+    {
+      name = "alu8";
+      description = "8-bit ALU (8 opcodes)";
+      iscas_counterpart = Some "c880";
+      build = (fun () -> Alu.make ~width:8);
+    };
+    {
+      name = "secded16";
+      description = "16-bit SEC/DED receiver";
+      iscas_counterpart = Some "c1908";
+      build = (fun () -> Iscas_like.error_detector ~data_bits:16);
+    };
+    {
+      name = "datapath12";
+      description = "12-bit adder/comparator/parity datapath slice";
+      iscas_counterpart = Some "c2670";
+      build = (fun () -> Iscas_like.mixed_datapath ~width:12);
+    };
+    {
+      name = "sec32_nand";
+      description = "32-bit SEC receiver expanded to NAND/INV gates";
+      iscas_counterpart = Some "c1355";
+      build =
+        (fun () ->
+          Nano_synth.Nand_map.run (Iscas_like.hamming_corrector ~data_bits:32));
+    };
+    {
+      name = "bcdadd8";
+      description = "8-digit BCD adder (decimal arithmetic)";
+      iscas_counterpart = Some "c3540";
+      build = (fun () -> Iscas_like.bcd_adder ~digits:8);
+    };
+    {
+      name = "alu9";
+      description = "9-bit ALU (8 opcodes)";
+      iscas_counterpart = Some "c5315";
+      build = (fun () -> Alu.make ~width:9);
+    };
+    {
+      name = "datapath32";
+      description = "32-bit adder/comparator datapath slice";
+      iscas_counterpart = Some "c7552";
+      build = (fun () -> Iscas_like.mixed_datapath ~width:32);
+    };
+    {
+      name = "mult16";
+      description = "16x16 array multiplier";
+      iscas_counterpart = Some "c6288";
+      build = (fun () -> Multipliers.array_multiplier ~width:16);
+    };
+    {
+      name = "parity16";
+      description = "16-input parity tree (fanin 2)";
+      iscas_counterpart = None;
+      build = (fun () -> Trees.parity_tree ~inputs:16 ~fanin:2);
+    };
+  ]
+
+let all = iscas_substitutes @ arithmetic
+
+let find name = List.find_opt (fun e -> e.name = name) all
+let names () = List.map (fun e -> e.name) all

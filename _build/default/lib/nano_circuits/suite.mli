@@ -1,0 +1,24 @@
+(** The benchmark suite evaluated in Figures 7 and 8: ISCAS'85-family
+    substitutes plus the computer-arithmetic circuits (ripple-carry
+    adders and array multipliers at several bitwidths) named by the
+    paper's Section 6. *)
+
+type entry = {
+  name : string;
+  description : string;
+  iscas_counterpart : string option;
+      (** Which original benchmark this entry substitutes for, if any. *)
+  build : unit -> Nano_netlist.Netlist.t;
+}
+
+val all : entry list
+(** The full evaluation suite (generated fresh on each [build]). *)
+
+val arithmetic : entry list
+(** Just the adders/multipliers subset. *)
+
+val iscas_substitutes : entry list
+(** Just the ISCAS-family subset. *)
+
+val find : string -> entry option
+val names : unit -> string list

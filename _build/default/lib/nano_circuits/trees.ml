@@ -1,0 +1,154 @@
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let chunks ~size xs =
+  let rec go acc current count = function
+    | [] ->
+      let acc = if current = [] then acc else List.rev current :: acc in
+      List.rev acc
+    | x :: rest ->
+      if count = size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 xs
+
+let reduction_tree kind ~inputs ~fanin ~prefix ~out_name =
+  if inputs < 1 then invalid_arg "Trees: inputs >= 1";
+  if fanin < 2 then invalid_arg "Trees: fanin >= 2";
+  let name = Printf.sprintf "%s%d_k%d" prefix inputs fanin in
+  let b = B.create ~name () in
+  let leaves =
+    List.init inputs (fun i -> B.input b (Printf.sprintf "x%d" i))
+  in
+  let rec reduce nodes =
+    match nodes with
+    | [ single ] -> single
+    | _ ->
+      let groups = chunks ~size:fanin nodes in
+      let level =
+        List.map
+          (fun group ->
+            match group with
+            | [ single ] -> single
+            | several -> B.add b kind several)
+          groups
+      in
+      reduce level
+  in
+  let root = reduce leaves in
+  B.output b out_name root;
+  B.finish b
+
+let parity_tree ~inputs ~fanin =
+  reduction_tree Gate.Xor ~inputs ~fanin ~prefix:"parity" ~out_name:"parity"
+
+let and_tree ~inputs ~fanin =
+  reduction_tree Gate.And ~inputs ~fanin ~prefix:"andtree" ~out_name:"y"
+
+let or_tree ~inputs ~fanin =
+  reduction_tree Gate.Or ~inputs ~fanin ~prefix:"ortree" ~out_name:"y"
+
+let majority_tree ~inputs =
+  let rec is_power_of_3 n = n = 1 || (n mod 3 = 0 && is_power_of_3 (n / 3)) in
+  if inputs < 1 || not (is_power_of_3 inputs) then
+    invalid_arg "Trees.majority_tree: inputs must be a power of 3";
+  let b = B.create ~name:(Printf.sprintf "majtree%d" inputs) () in
+  let leaves =
+    List.init inputs (fun i -> B.input b (Printf.sprintf "x%d" i))
+  in
+  let rec reduce = function
+    | [ single ] -> single
+    | nodes ->
+      let groups = chunks ~size:3 nodes in
+      let level =
+        List.map
+          (fun group ->
+            match group with
+            | [ x; y; z ] -> B.maj3 b x y z
+            | _ -> assert false)
+          groups
+      in
+      reduce level
+  in
+  B.output b "maj" (reduce leaves);
+  B.finish b
+
+let mux2 b ~sel ~if0 ~if1 =
+  let n_sel = B.not_ b sel in
+  B.or2 b (B.and2 b n_sel if0) (B.and2 b sel if1)
+
+let mux_tree ~select_bits =
+  if select_bits < 1 then invalid_arg "Trees.mux_tree: select_bits >= 1";
+  let data = 1 lsl select_bits in
+  let b = B.create ~name:(Printf.sprintf "mux%d" data) () in
+  let sels =
+    Array.init select_bits (fun i -> B.input b (Printf.sprintf "sel%d" i))
+  in
+  let leaves =
+    ref (List.init data (fun i -> B.input b (Printf.sprintf "d%d" i)))
+  in
+  for level = 0 to select_bits - 1 do
+    let rec pair = function
+      | [] -> []
+      | if0 :: if1 :: rest ->
+        mux2 b ~sel:sels.(level) ~if0 ~if1 :: pair rest
+      | [ _ ] -> invalid_arg "Trees.mux_tree: odd level"
+    in
+    leaves := pair !leaves
+  done;
+  (match !leaves with
+  | [ root ] -> B.output b "y" root
+  | _ -> assert false);
+  B.finish b
+
+let decoder ~bits =
+  if bits < 1 || bits > 8 then invalid_arg "Trees.decoder: 1 <= bits <= 8";
+  let b = B.create ~name:(Printf.sprintf "dec%d" bits) () in
+  let sel = Array.init bits (fun i -> B.input b (Printf.sprintf "s%d" i)) in
+  let nsel = Array.map (fun s -> B.not_ b s) sel in
+  for v = 0 to (1 lsl bits) - 1 do
+    let literals =
+      List.init bits (fun i ->
+          if (v lsr i) land 1 = 1 then sel.(i) else nsel.(i))
+    in
+    let term =
+      match literals with
+      | [ single ] -> single
+      | several -> B.reduce b Gate.And several
+    in
+    B.output b (Printf.sprintf "y%d" v) term
+  done;
+  B.finish b
+
+let comparator ~width =
+  if width < 1 then invalid_arg "Trees.comparator: width >= 1";
+  let b = B.create ~name:(Printf.sprintf "cmp%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  (* Scan from the most significant bit down, tracking "all higher bits
+     equal" and accumulating the strict comparisons. *)
+  let eq_bits = Array.init width (fun i -> B.xnor2 b a.(i) bv.(i)) in
+  let gt = ref None and lt = ref None and all_eq = ref None in
+  for i = width - 1 downto 0 do
+    let nb = B.not_ b bv.(i) in
+    let na = B.not_ b a.(i) in
+    let gt_here = B.and2 b a.(i) nb in
+    let lt_here = B.and2 b na bv.(i) in
+    let gt_term, lt_term =
+      match !all_eq with
+      | None -> (gt_here, lt_here)
+      | Some prefix -> (B.and2 b prefix gt_here, B.and2 b prefix lt_here)
+    in
+    gt := Some (match !gt with None -> gt_term | Some g -> B.or2 b g gt_term);
+    lt := Some (match !lt with None -> lt_term | Some l -> B.or2 b l lt_term);
+    all_eq :=
+      Some
+        (match !all_eq with
+        | None -> eq_bits.(i)
+        | Some prefix -> B.and2 b prefix eq_bits.(i))
+  done;
+  let get = function Some n -> n | None -> assert false in
+  B.output b "eq" (get !all_eq);
+  B.output b "gt" (get !gt);
+  B.output b "lt" (get !lt);
+  B.finish b

@@ -1,0 +1,27 @@
+(** Regular tree-shaped circuits: parity trees (the family for which the
+    paper's bounds are tight), reduction trees, multiplexers, decoders
+    and comparators. *)
+
+val parity_tree : inputs:int -> fanin:int -> Nano_netlist.Netlist.t
+(** Balanced XOR tree over [inputs] leaves with gate fanin at most
+    [fanin]. Requires [inputs >= 1], [fanin >= 2]. Output ["parity"]. *)
+
+val and_tree : inputs:int -> fanin:int -> Nano_netlist.Netlist.t
+val or_tree : inputs:int -> fanin:int -> Nano_netlist.Netlist.t
+
+val majority_tree : inputs:int -> Nano_netlist.Netlist.t
+(** Tree of 3-input majority gates over [inputs] leaves (a recursive
+    majority network, not an exact n-input majority for [inputs > 3]).
+    Requires [inputs] to be a power of 3. Output ["maj"]. *)
+
+val mux_tree : select_bits:int -> Nano_netlist.Netlist.t
+(** [2^select_bits]-to-1 multiplexer from 2-to-1 cells. Inputs
+    [sel0..], [d0..]; output ["y"]. Requires [select_bits >= 1]. *)
+
+val decoder : bits:int -> Nano_netlist.Netlist.t
+(** [bits]-to-[2^bits] one-hot decoder. Outputs [y0..]. Requires
+    [1 <= bits <= 8]. *)
+
+val comparator : width:int -> Nano_netlist.Netlist.t
+(** Unsigned comparator of two [width]-bit operands with outputs ["eq"],
+    ["gt"] and ["lt"]. Requires [width >= 1]. *)

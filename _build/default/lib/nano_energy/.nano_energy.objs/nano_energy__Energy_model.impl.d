@@ -1,0 +1,1 @@
+lib/nano_energy/energy_model.ml: Array Float Nano_netlist Technology

@@ -1,0 +1,1 @@
+lib/nano_energy/energy_model.mli: Nano_netlist Technology

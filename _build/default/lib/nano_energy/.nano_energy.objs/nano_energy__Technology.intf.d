@@ -1,0 +1,1 @@
+lib/nano_energy/technology.mli:

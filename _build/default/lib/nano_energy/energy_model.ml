@@ -1,0 +1,104 @@
+type estimate = {
+  switching_energy : float;
+  leakage_energy : float;
+  total_energy : float;
+  delay : float;
+  average_power : float;
+  energy_delay : float;
+  leakage_share : float;
+}
+
+let of_profile ~tech ~size ~depth ~activity =
+  if size < 0 then invalid_arg "Energy_model.of_profile: negative size";
+  if depth < 0 then invalid_arg "Energy_model.of_profile: negative depth";
+  if not (activity >= 0. && activity <= 1.) then
+    invalid_arg "Energy_model.of_profile: activity must be in [0, 1]";
+  let s = float_of_int size in
+  let open Technology in
+  let switching_energy =
+    0.5 *. tech.cap_per_gate *. tech.vdd *. tech.vdd *. activity *. s
+  in
+  let leakage_energy =
+    tech.leakage_factor *. tech.vdd *. (1. -. activity) *. s
+  in
+  let total_energy = switching_energy +. leakage_energy in
+  let delay = float_of_int depth *. gate_delay tech in
+  let average_power = if delay = 0. then 0. else total_energy /. delay in
+  {
+    switching_energy;
+    leakage_energy;
+    total_energy;
+    delay;
+    average_power;
+    energy_delay = total_energy *. delay;
+    leakage_share =
+      (if total_energy = 0. then 0. else leakage_energy /. total_energy);
+  }
+
+let of_netlist ~tech ~activity netlist =
+  of_profile ~tech
+    ~size:(Nano_netlist.Netlist.size netlist)
+    ~depth:(Nano_netlist.Netlist.depth netlist)
+    ~activity
+
+let gate_capacitance kind ~arity =
+  let module Gate = Nano_netlist.Gate in
+  let base =
+    match kind with
+    | Gate.Input | Gate.Const _ | Gate.Buf -> 0.
+    | Gate.Not -> 0.5
+    | Gate.Nand | Gate.Nor -> 1.0
+    | Gate.And | Gate.Or -> 1.25
+    | Gate.Majority -> 1.6
+    | Gate.Xor | Gate.Xnor -> 1.8
+  in
+  if base = 0. then 0. else base +. (0.15 *. float_of_int (max 0 (arity - 2)))
+
+let of_netlist_weighted ~tech ~node_activity netlist =
+  let module Netlist = Nano_netlist.Netlist in
+  if Array.length node_activity <> Netlist.node_count netlist then
+    invalid_arg "Energy_model.of_netlist_weighted: activity length mismatch";
+  let open Technology in
+  let switching = ref 0. in
+  let leaking = ref 0. in
+  Netlist.iter netlist (fun id info ->
+      let cap =
+        gate_capacitance info.Netlist.kind
+          ~arity:(Array.length info.Netlist.fanins)
+      in
+      if cap > 0. then begin
+        let sw = node_activity.(id) in
+        if not (sw >= 0. && sw <= 1.) then
+          invalid_arg "Energy_model.of_netlist_weighted: activity out of range";
+        switching :=
+          !switching +. (0.5 *. tech.cap_per_gate *. cap *. tech.vdd *. tech.vdd *. sw);
+        leaking := !leaking +. (tech.leakage_factor *. tech.vdd *. cap *. (1. -. sw))
+      end);
+  let timing = Nano_netlist.Timing.analyze netlist in
+  (* Scale the unit-ish timing delays by the technology's Chen-Hu
+     operating point so supply scaling still matters. *)
+  let delay = timing.Nano_netlist.Timing.max_arrival *. gate_delay tech in
+  let total_energy = !switching +. !leaking in
+  {
+    switching_energy = !switching;
+    leakage_energy = !leaking;
+    total_energy;
+    delay;
+    average_power = (if delay = 0. then 0. else total_energy /. delay);
+    energy_delay = total_energy *. delay;
+    leakage_share =
+      (if total_energy = 0. then 0. else !leaking /. total_energy);
+  }
+
+let safe_div a b = if b = 0. then Float.nan else a /. b
+
+let ratio a b =
+  {
+    switching_energy = safe_div a.switching_energy b.switching_energy;
+    leakage_energy = safe_div a.leakage_energy b.leakage_energy;
+    total_energy = safe_div a.total_energy b.total_energy;
+    delay = safe_div a.delay b.delay;
+    average_power = safe_div a.average_power b.average_power;
+    energy_delay = safe_div a.energy_delay b.energy_delay;
+    leakage_share = safe_div a.leakage_share b.leakage_share;
+  }

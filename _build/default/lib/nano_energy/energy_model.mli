@@ -1,0 +1,49 @@
+(** Circuit-level energy, delay and power estimates.
+
+    Total load capacitance is taken proportional to gate count
+    (Nemani–Najm / Marculescu–Pedram high-level estimation, as assumed by
+    the paper's Corollary 2). *)
+
+type estimate = {
+  switching_energy : float;
+  leakage_energy : float;
+  total_energy : float;
+  delay : float;
+  average_power : float;  (** [total_energy / delay]. *)
+  energy_delay : float;  (** [total_energy * delay]. *)
+  leakage_share : float;  (** [leakage_energy / total_energy]. *)
+}
+
+val of_profile :
+  tech:Technology.t -> size:int -> depth:int -> activity:float -> estimate
+(** [of_profile ~tech ~size ~depth ~activity] evaluates the model for a
+    circuit with [size] gates, [depth] logic levels and average per-gate
+    switching activity [activity]. Requires [size >= 0], [depth >= 0] and
+    [0 <= activity <= 1]; [depth = 0] yields [delay = 0] and an infinite
+    average power is avoided by reporting 0 in that case. *)
+
+val of_netlist :
+  tech:Technology.t -> activity:float -> Nano_netlist.Netlist.t -> estimate
+(** Convenience wrapper reading size and depth from a netlist. *)
+
+val gate_capacitance : Nano_netlist.Gate.kind -> arity:int -> float
+(** Relative switched capacitance of one gate, in units of a 2-input
+    NAND: inverters 0.5, NAND/NOR 1.0, AND/OR 1.25 (internal inverter),
+    XOR/XNOR 1.8, majority 1.6; plus 0.15 per fanin beyond two. Sources
+    and buffers are free. *)
+
+val of_netlist_weighted :
+  tech:Technology.t ->
+  node_activity:float array ->
+  Nano_netlist.Netlist.t ->
+  estimate
+(** Finer estimate: per-gate switched capacitance from
+    {!gate_capacitance} and per-node activities (e.g. from
+    [Nano_sim.Activity] or the glitch-aware estimator), with delay taken
+    from static timing ([Nano_netlist.Timing.default_delay]) instead of
+    raw level count. *)
+
+val ratio : estimate -> estimate -> estimate
+(** [ratio a b] divides each field of [a] by the corresponding field of
+    [b] (shares are divided too); used for normalized reporting. Fields
+    whose denominator is 0 are reported as [nan]. *)

@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  vdd : float;
+  vt : float;
+  alpha : float;
+  cap_per_gate : float;
+  leakage_factor : float;
+}
+
+let gate_delay t = t.vdd /. ((t.vdd -. t.vt) ** t.alpha)
+
+(* Switching energy per gate: 1/2 C Vdd^2 sw; leakage energy per gate:
+   K Vdd (1 - sw). The calibration below solves for K. *)
+let calibrate_leakage t ~activity ~share =
+  if not (share >= 0. && share < 1.) then
+    invalid_arg "Technology.calibrate_leakage: share must be in [0, 1)";
+  if not (activity > 0. && activity <= 1.) then
+    invalid_arg "Technology.calibrate_leakage: activity must be in (0, 1]";
+  let switching_per_gate = 0.5 *. t.cap_per_gate *. t.vdd *. t.vdd *. activity in
+  let idle = 1. -. activity in
+  let leakage_factor =
+    if share = 0. || idle <= 0. then 0.
+    else share /. (1. -. share) *. switching_per_gate /. (t.vdd *. idle)
+  in
+  { t with leakage_factor }
+
+let base name ~vdd ~vt ~alpha =
+  { name; vdd; vt; alpha; cap_per_gate = 1.0; leakage_factor = 0. }
+
+let nm90 =
+  calibrate_leakage (base "90nm" ~vdd:1.0 ~vt:0.3 ~alpha:1.3) ~activity:0.5
+    ~share:0.5
+
+let nm65 =
+  calibrate_leakage (base "65nm" ~vdd:0.9 ~vt:0.28 ~alpha:1.25) ~activity:0.5
+    ~share:0.6
+
+let ideal_switching_only = base "ideal" ~vdd:1.0 ~vt:0.3 ~alpha:1.3
+
+let with_vdd t vdd =
+  if not (vdd > t.vt) then invalid_arg "Technology.with_vdd: vdd must exceed vt";
+  { t with vdd }

@@ -1,0 +1,40 @@
+(** Technology parameters for the nanoscale CMOS case study (Section 5).
+
+    Units are normalized: capacitance per gate of 1.0 corresponds to an
+    average mapped-library gate; delay follows the Chen–Hu alpha-power
+    model [D ∝ Vdd / (Vdd - VT)^alpha]. *)
+
+type t = {
+  name : string;
+  vdd : float;  (** Supply voltage (V). *)
+  vt : float;  (** Threshold voltage (V). *)
+  alpha : float;  (** Velocity-saturation exponent (≈ 1.3 for 90nm). *)
+  cap_per_gate : float;  (** Normalized switched capacitance per gate. *)
+  leakage_factor : float;
+      (** The paper's [K]: per-gate leakage energy per unit interval,
+          normalized like [cap_per_gate]. *)
+}
+
+val nm90 : t
+(** Default 90nm-class operating point (Vdd 1.0V, VT 0.3V, alpha 1.3),
+    with [leakage_factor] calibrated so a generic circuit with
+    [sw0 = 0.5] burns 50% of its energy in leakage — the paper's baseline
+    assumption for sub-90nm nodes. *)
+
+val nm65 : t
+(** Predictive 65nm-class point with a heavier leakage share. *)
+
+val ideal_switching_only : t
+(** Zero leakage; isolates the Section 4 switching-energy results. *)
+
+val with_vdd : t -> float -> t
+(** Same technology at a different supply. Requires [vdd > vt]. *)
+
+val gate_delay : t -> float
+(** Chen–Hu normalized gate delay at the technology's operating point. *)
+
+val calibrate_leakage : t -> activity:float -> share:float -> t
+(** [calibrate_leakage tech ~activity ~share] rescales [leakage_factor]
+    so that a circuit with the given average activity spends fraction
+    [share] of its total energy on leakage. Requires [0 <= share < 1] and
+    [0 < activity <= 1]. *)

@@ -1,0 +1,1 @@
+lib/nano_faults/channel.ml: Nano_util

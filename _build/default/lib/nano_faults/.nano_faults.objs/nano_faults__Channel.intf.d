@@ -1,0 +1,1 @@
+lib/nano_faults/channel.mli: Nano_util

@@ -1,0 +1,1 @@
+lib/nano_faults/criticality.ml: Array Int64 List Nano_netlist Nano_sim Nano_util

@@ -1,0 +1,1 @@
+lib/nano_faults/criticality.mli: Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_faults/noisy_sim.ml: Array Channel Int64 List Nano_netlist Nano_sim Nano_util

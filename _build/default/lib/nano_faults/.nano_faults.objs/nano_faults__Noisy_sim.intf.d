@@ -1,0 +1,1 @@
+lib/nano_faults/noisy_sim.mli: Nano_netlist

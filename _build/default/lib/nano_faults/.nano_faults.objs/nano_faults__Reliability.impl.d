@@ -1,0 +1,1 @@
+lib/nano_faults/reliability.ml: Array Float List Nano_netlist

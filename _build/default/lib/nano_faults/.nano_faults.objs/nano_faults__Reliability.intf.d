@@ -1,0 +1,1 @@
+lib/nano_faults/reliability.mli: Nano_netlist

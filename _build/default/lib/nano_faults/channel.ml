@@ -1,0 +1,25 @@
+type t = { epsilon : float }
+
+let create ~epsilon =
+  if not (epsilon >= 0. && epsilon <= 0.5) then
+    invalid_arg "Channel.create: epsilon must lie in [0, 1/2]";
+  { epsilon }
+
+let epsilon t = t.epsilon
+
+let transfer_probability t p =
+  (p *. (1. -. t.epsilon)) +. ((1. -. p) *. t.epsilon)
+
+let transfer_activity t sw =
+  let x = 1. -. (2. *. t.epsilon) in
+  (x *. x *. sw) +. (2. *. t.epsilon *. (1. -. t.epsilon))
+
+let compose a b =
+  { epsilon = (a.epsilon *. (1. -. b.epsilon)) +. (b.epsilon *. (1. -. a.epsilon)) }
+
+let apply_bit t rng bit =
+  if Nano_util.Prng.bernoulli rng ~p:t.epsilon then not bit else bit
+
+let noise_word t rng = Nano_util.Prng.word_with_density rng ~p:t.epsilon
+
+let capacity t = 1. -. Nano_util.Math_ext.binary_entropy t.epsilon

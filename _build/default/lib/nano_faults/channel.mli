@@ -1,0 +1,39 @@
+(** Binary symmetric channel: the paper's device error model (Figure 1).
+
+    A failure-prone device is an error-free device cascaded with a
+    symmetric channel that flips its output with probability ε,
+    [0 <= ε <= 1/2]. *)
+
+type t
+(** An ε-channel. *)
+
+val create : epsilon:float -> t
+(** Raises [Invalid_argument] unless [0. <= epsilon <= 0.5]. *)
+
+val epsilon : t -> float
+
+val transfer_probability : t -> float -> float
+(** [transfer_probability c p] is the probability that the channel output
+    is one when the input is one with probability [p]:
+    [p (1-ε) + (1-p) ε]. *)
+
+val transfer_activity : t -> float -> float
+(** Theorem 1's switching-activity map:
+    [sw' = (1-2ε)^2 sw + 2ε(1-ε)]. Consistent with
+    {!transfer_probability} under the temporal-independence model
+    [sw = 2p(1-p)]. *)
+
+val compose : t -> t -> t
+(** Cascade of two symmetric channels is a symmetric channel:
+    [ε = ε1 (1-ε2) + ε2 (1-ε1)]. *)
+
+val apply_bit : t -> Nano_util.Prng.t -> bool -> bool
+(** Send one bit through the channel using the given randomness. *)
+
+val noise_word : t -> Nano_util.Prng.t -> int64
+(** 64 independent channel-flip decisions as a mask (1 = flip). *)
+
+val capacity : t -> float
+(** Shannon capacity of the channel, [1 - H(ε)] bits; 0 at ε = 1/2. The
+    information-theoretic quantity underlying the depth bound
+    (Evans–Schulman signal decay). *)

@@ -1,0 +1,125 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+type result = {
+  epsilon : float;
+  vectors : int;
+  per_output_error : (string * float) list;
+  any_output_error : float;
+  node_probability : float array;
+  node_activity : float array;
+  average_gate_activity : float;
+}
+
+let noisy_node info =
+  match info.Netlist.kind with
+  | Gate.Input | Gate.Const _ | Gate.Buf -> false
+  | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+  | Gate.Xnor | Gate.Majority -> true
+
+(* Evaluate with fresh noise on every logic gate output; [channels]
+   holds one channel per node (entries for sources are unused). *)
+let eval_noisy netlist channels rng ~input_words ~values =
+  List.iteri
+    (fun i id -> values.(id) <- input_words.(i))
+    (Netlist.inputs netlist);
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let words = Array.map (fun f -> values.(f)) info.Netlist.fanins in
+        let clean = Gate.eval_word kind words in
+        values.(id) <-
+          (if noisy_node info then
+             Int64.logxor clean (Channel.noise_word channels.(id) rng)
+           else clean))
+
+let run ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist =
+  let rng = Nano_util.Prng.create ~seed in
+  let words = Nano_util.Math_ext.ceil_div vectors 64 in
+  let n = Netlist.node_count netlist in
+  let n_in = List.length (Netlist.inputs netlist) in
+  let golden = Array.make n 0L in
+  let noisy_a = Array.make n 0L in
+  let noisy_b = Array.make n 0L in
+  let ones = Array.make n 0 in
+  let toggles = Array.make n 0 in
+  let outputs = Netlist.outputs netlist in
+  let out_errors = Array.make (List.length outputs) 0 in
+  let any_errors = ref 0 in
+  for _ = 1 to words do
+    let draw () =
+      Array.init n_in (fun _ ->
+          Nano_util.Prng.word_with_density rng ~p:input_probability)
+    in
+    let input_words = draw () in
+    Nano_sim.Bitsim.eval_words_into netlist ~input_words ~values:golden;
+    (* The first noisy run re-uses the golden vectors so the output-error
+       figures compare like with like; the second uses fresh independent
+       vectors, so the (a, b) pair measures Theorem 1's switching
+       activity under the temporal-independence model (independent
+       inputs AND independent noise at the two time points). *)
+    eval_noisy netlist channels rng ~input_words ~values:noisy_a;
+    eval_noisy netlist channels rng ~input_words:(draw ()) ~values:noisy_b;
+    for id = 0 to n - 1 do
+      ones.(id) <- ones.(id) + Nano_util.Bits.popcount64 noisy_a.(id);
+      let diff = Int64.logxor noisy_a.(id) noisy_b.(id) in
+      toggles.(id) <- toggles.(id) + Nano_util.Bits.popcount64 diff
+    done;
+    let any = ref 0L in
+    List.iteri
+      (fun i (_, node) ->
+        let wrong = Int64.logxor golden.(node) noisy_a.(node) in
+        out_errors.(i) <- out_errors.(i) + Nano_util.Bits.popcount64 wrong;
+        any := Int64.logor !any wrong)
+      outputs;
+    any_errors := !any_errors + Nano_util.Bits.popcount64 !any
+  done;
+  let total = float_of_int (words * 64) in
+  let node_probability = Array.map (fun c -> float_of_int c /. total) ones in
+  let node_activity = Array.map (fun c -> float_of_int c /. total) toggles in
+  let average_gate_activity =
+    let sum, count =
+      Netlist.fold netlist ~init:(0., 0) ~f:(fun (s, c) id info ->
+          if noisy_node info then (s +. node_activity.(id), c + 1) else (s, c))
+    in
+    if count = 0 then 0. else sum /. float_of_int count
+  in
+  {
+    epsilon = mean_epsilon;
+    vectors = words * 64;
+    per_output_error =
+      List.mapi
+        (fun i (name, _) -> (name, float_of_int out_errors.(i) /. total))
+        outputs;
+    any_output_error = float_of_int !any_errors /. total;
+    node_probability;
+    node_activity;
+    average_gate_activity;
+  }
+
+let simulate ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
+    ~epsilon netlist =
+  let channel = Channel.create ~epsilon in
+  let channels = Array.make (Netlist.node_count netlist) channel in
+  run ~seed ~vectors ~input_probability ~channels ~mean_epsilon:epsilon
+    netlist
+
+let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
+    ?(input_probability = 0.5) ~epsilon_of netlist =
+  let n = Netlist.node_count netlist in
+  let zero = Channel.create ~epsilon:0. in
+  let channels = Array.make n zero in
+  let sum = ref 0. in
+  let count = ref 0 in
+  Netlist.iter netlist (fun id info ->
+      if noisy_node info then begin
+        let e = epsilon_of id in
+        channels.(id) <- Channel.create ~epsilon:e;
+        sum := !sum +. e;
+        incr count
+      end);
+  let mean_epsilon = if !count = 0 then 0. else !sum /. float_of_int !count in
+  run ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist
+
+let output_reliability r = 1. -. r.any_output_error

@@ -1,0 +1,50 @@
+(** Monte-Carlo simulation of netlists whose logic gates fail
+    independently with probability ε (von Neumann error model).
+
+    Noise is injected at the output of every *logic* gate — the gates
+    counted by [Netlist.size]. Primary inputs, constant drivers and
+    buffers are assumed error-free, matching the paper's device model
+    where interconnect errors are lumped into device errors. *)
+
+type result = {
+  epsilon : float;
+  vectors : int;
+  per_output_error : (string * float) list;
+      (** For each primary output, fraction of vectors on which the noisy
+          value differed from the golden (error-free) value. *)
+  any_output_error : float;
+      (** Fraction of vectors on which at least one output was wrong: the
+          empirical δ̂ of [(1-δ)]-reliable computation. *)
+  node_probability : float array;  (** Empirical [Pr(node = 1)] with noise. *)
+  node_activity : float array;
+      (** Empirical toggle rate of each noisy node between independent
+          draws; converges to Theorem 1's [sw(z)]. *)
+  average_gate_activity : float;
+      (** Mean noisy activity over logic gates. *)
+}
+
+val simulate :
+  ?seed:int ->
+  ?vectors:int ->
+  ?input_probability:float ->
+  epsilon:float ->
+  Nano_netlist.Netlist.t ->
+  result
+(** [vectors] (default 8192) is rounded up to a multiple of 64. *)
+
+val simulate_heterogeneous :
+  ?seed:int ->
+  ?vectors:int ->
+  ?input_probability:float ->
+  epsilon_of:(Nano_netlist.Netlist.node -> float) ->
+  Nano_netlist.Netlist.t ->
+  result
+(** Like {!simulate} but with a per-gate error probability — the model
+    for designs mixing device robustness classes (e.g. voters built
+    from larger, slower, more reliable devices). [epsilon_of] is
+    consulted once per logic gate and must return values in [[0, 1/2]];
+    the result's [epsilon] field reports the mean over logic gates. *)
+
+val output_reliability : result -> float
+(** [1 - any_output_error]: the empirical probability that the whole
+    output word is correct. *)

@@ -1,0 +1,101 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+type pair = { p00 : float; p01 : float; p10 : float; p11 : float }
+
+let pair_error p = p.p01 +. p.p10
+let pair_clean_one p = p.p10 +. p.p11
+let pair_noisy_one p = p.p01 +. p.p11
+
+type result = {
+  epsilon : float;
+  node_pair : pair array;
+  per_output_error : (string * float) list;
+  union_bound_error : float;
+}
+
+let input_pair p = { p00 = 1. -. p; p01 = 0.; p10 = 0.; p11 = p }
+
+let const_pair v =
+  if v then { p00 = 0.; p01 = 0.; p10 = 0.; p11 = 1. }
+  else { p00 = 1.; p01 = 0.; p10 = 0.; p11 = 0. }
+
+(* Probability of one (clean, noisy) combination of a fanin. *)
+let component pair ~clean ~noisy =
+  match clean, noisy with
+  | false, false -> pair.p00
+  | false, true -> pair.p01
+  | true, false -> pair.p10
+  | true, true -> pair.p11
+
+let noisy_gate epsilon kind fanin_pairs =
+  let arity = Array.length fanin_pairs in
+  let clean_bits = Array.make arity false in
+  let noisy_bits = Array.make arity false in
+  let acc = ref { p00 = 0.; p01 = 0.; p10 = 0.; p11 = 0. } in
+  (* Enumerate joint fanin assignments: 4^arity combinations, assuming
+     the fanins are independent. *)
+  let rec go i probability =
+    if probability = 0. then ()
+    else if i = arity then begin
+      let clean_out = Gate.eval kind clean_bits in
+      let noisy_pre = Gate.eval kind noisy_bits in
+      (* The gate's own channel flips the noisy value with prob ε. *)
+      let add ~clean ~noisy p =
+        if p > 0. then begin
+          let cur = !acc in
+          acc :=
+            (match clean, noisy with
+            | false, false -> { cur with p00 = cur.p00 +. p }
+            | false, true -> { cur with p01 = cur.p01 +. p }
+            | true, false -> { cur with p10 = cur.p10 +. p }
+            | true, true -> { cur with p11 = cur.p11 +. p })
+        end
+      in
+      add ~clean:clean_out ~noisy:noisy_pre (probability *. (1. -. epsilon));
+      add ~clean:clean_out ~noisy:(not noisy_pre) (probability *. epsilon)
+    end
+    else
+      List.iter
+        (fun (clean, noisy) ->
+          clean_bits.(i) <- clean;
+          noisy_bits.(i) <- noisy;
+          go (i + 1)
+            (probability *. component fanin_pairs.(i) ~clean ~noisy))
+        [ (false, false); (false, true); (true, false); (true, true) ]
+  in
+  go 0 1.;
+  !acc
+
+let clean_gate kind fanin_pairs =
+  (* Buffers and constants pass the pair through unchanged / fixed. *)
+  noisy_gate 0. kind fanin_pairs
+
+let analyze ?(input_probability = 0.5) ~epsilon netlist =
+  if not (epsilon >= 0. && epsilon <= 0.5) then
+    invalid_arg "Reliability.analyze: epsilon must lie in [0, 1/2]";
+  let n = Netlist.node_count netlist in
+  let node_pair = Array.make n (const_pair false) in
+  Netlist.iter netlist (fun id info ->
+      let fanin_pairs = Array.map (fun f -> node_pair.(f)) info.Netlist.fanins in
+      node_pair.(id) <-
+        (match info.Netlist.kind with
+        | Gate.Input -> input_pair input_probability
+        | Gate.Const v -> const_pair v
+        | Gate.Buf -> clean_gate Gate.Buf fanin_pairs
+        | (Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+          | Gate.Xnor | Gate.Majority) as kind ->
+          noisy_gate epsilon kind fanin_pairs));
+  let per_output_error =
+    List.map
+      (fun (name, node) -> (name, pair_error node_pair.(node)))
+      (Netlist.outputs netlist)
+  in
+  let union =
+    Float.min 1. (List.fold_left (fun acc (_, e) -> acc +. e) 0. per_output_error)
+  in
+  { epsilon; node_pair; per_output_error; union_bound_error = union }
+
+let is_tree netlist =
+  let fanouts = Netlist.fanout_counts netlist in
+  Array.for_all (fun c -> c <= 1) fanouts

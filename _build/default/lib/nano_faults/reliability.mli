@@ -1,0 +1,41 @@
+(** Analytic gate-level reliability propagation.
+
+    For every net the module tracks the joint distribution of the pair
+    (error-free value, noisy value) and pushes it through each gate
+    assuming fanin independence — the standard first-order signal
+    reliability analysis. The result is exact on fanout-free (tree)
+    circuits and a deterministic approximation in the presence of
+    reconvergent fanout; the Monte-Carlo {!Noisy_sim} is the reference
+    it is validated against. *)
+
+type pair = {
+  p00 : float;  (** clean 0, noisy 0 *)
+  p01 : float;  (** clean 0, noisy 1 *)
+  p10 : float;  (** clean 1, noisy 0 *)
+  p11 : float;  (** clean 1, noisy 1 *)
+}
+
+val pair_error : pair -> float
+(** [p01 + p10]: probability the noisy value is wrong. *)
+
+val pair_clean_one : pair -> float
+val pair_noisy_one : pair -> float
+
+type result = {
+  epsilon : float;
+  node_pair : pair array;  (** One joint distribution per node id. *)
+  per_output_error : (string * float) list;
+  union_bound_error : float;
+      (** [min 1 (sum of per-output errors)] — an upper estimate of the
+          any-output error under the independence approximation. *)
+}
+
+val analyze :
+  ?input_probability:float -> epsilon:float -> Nano_netlist.Netlist.t -> result
+(** Propagate reliabilities. Noise is injected at the same places as
+    {!Noisy_sim}: every logic gate output (sources and buffers are
+    error-free). Requires [0 <= epsilon <= 1/2]. *)
+
+val is_tree : Nano_netlist.Netlist.t -> bool
+(** True when no node (input or gate) drives more than one fanin pin —
+    the class on which {!analyze} is exact. *)

@@ -1,0 +1,1 @@
+lib/nano_logic/cube.ml: Array List Stdlib String Truth_table

@@ -1,0 +1,1 @@
+lib/nano_logic/cube.mli: Truth_table

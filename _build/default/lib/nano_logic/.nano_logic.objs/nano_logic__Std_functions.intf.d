@@ -1,0 +1,1 @@
+lib/nano_logic/std_functions.mli: Truth_table

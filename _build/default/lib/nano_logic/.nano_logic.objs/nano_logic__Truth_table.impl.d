@@ -1,0 +1,1 @@
+lib/nano_logic/truth_table.ml: Array Int64 List Nano_util Stdlib String

@@ -1,0 +1,1 @@
+lib/nano_logic/truth_table.mli:

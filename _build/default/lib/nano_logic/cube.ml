@@ -1,0 +1,111 @@
+type literal = Zero | One | Dont_care
+
+type t = literal array
+
+let arity = Array.length
+let make lits = Array.copy lits
+let literal c i = c.(i)
+let universe ~arity = Array.make arity Dont_care
+
+let of_minterm ~arity m =
+  Array.init arity (fun i -> if (m lsr i) land 1 = 1 then One else Zero)
+
+let covers c a =
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      let bit = (a lsr i) land 1 = 1 in
+      match lit with
+      | Dont_care -> ()
+      | One -> if not bit then ok := false
+      | Zero -> if bit then ok := false)
+    c;
+  !ok
+
+let contains a b =
+  assert (arity a = arity b);
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      match lit, b.(i) with
+      | Dont_care, _ -> ()
+      | One, One | Zero, Zero -> ()
+      | One, (Zero | Dont_care) | Zero, (One | Dont_care) -> ok := false)
+    a;
+  !ok
+
+let intersects a b =
+  assert (arity a = arity b);
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      match lit, b.(i) with
+      | One, Zero | Zero, One -> ok := false
+      | One, (One | Dont_care)
+      | Zero, (Zero | Dont_care)
+      | Dont_care, (Zero | One | Dont_care) -> ())
+    a;
+  !ok
+
+let merge_distance1 a b =
+  assert (arity a = arity b);
+  let diff = ref 0 in
+  let pos = ref (-1) in
+  let incompatible = ref false in
+  Array.iteri
+    (fun i lit ->
+      match lit, b.(i) with
+      | One, One | Zero, Zero | Dont_care, Dont_care -> ()
+      | One, Zero | Zero, One ->
+        incr diff;
+        pos := i
+      | One, Dont_care | Zero, Dont_care | Dont_care, One | Dont_care, Zero ->
+        incompatible := true)
+    a;
+  if !incompatible || !diff <> 1 then None
+  else begin
+    let merged = Array.copy a in
+    merged.(!pos) <- Dont_care;
+    Some merged
+  end
+
+let literal_count c =
+  Array.fold_left
+    (fun acc lit -> match lit with Dont_care -> acc | Zero | One -> acc + 1)
+    0 c
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let to_string c =
+  String.init (arity c) (fun i ->
+      match c.(i) with Zero -> '0' | One -> '1' | Dont_care -> '-')
+
+let of_string s =
+  Array.init (String.length s) (fun i ->
+      match s.[i] with
+      | '0' -> Zero
+      | '1' -> One
+      | '-' -> Dont_care
+      | _ -> invalid_arg "Cube.of_string: expected '0', '1' or '-'")
+
+module Cover = struct
+  type cube = t
+  type nonrec t = t list
+
+  let eval cover a = List.exists (fun c -> covers c a) cover
+
+  let to_truth_table ~arity cover =
+    Truth_table.create ~arity (fun a -> eval cover a)
+
+  let of_truth_table tt =
+    List.map (of_minterm ~arity:(Truth_table.arity tt)) (Truth_table.minterms tt)
+
+  let cube_count = List.length
+
+  let literal_count cover =
+    List.fold_left (fun acc c -> acc + literal_count c) 0 cover
+
+  let equivalent ~arity a b =
+    Truth_table.equal (to_truth_table ~arity a) (to_truth_table ~arity b)
+end

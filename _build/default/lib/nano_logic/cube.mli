@@ -1,0 +1,59 @@
+(** Cubes (products of literals) and covers (sums of cubes) over a fixed
+    set of variables; the representation used by the two-level minimizer
+    and the BLIF [.names] bodies. *)
+
+type literal = Zero | One | Dont_care
+
+type t
+(** A cube: one {!literal} per variable. *)
+
+val arity : t -> int
+val make : literal array -> t
+(** Takes ownership of a defensive copy of the array. *)
+
+val literal : t -> int -> literal
+val universe : arity:int -> t
+(** The cube with every position [Dont_care] (covers everything). *)
+
+val of_minterm : arity:int -> int -> t
+(** Fully specified cube for one assignment (encoded as in
+    {!Truth_table}). *)
+
+val covers : t -> int -> bool
+(** [covers c assignment] holds when the assignment lies inside the
+    cube. *)
+
+val contains : t -> t -> bool
+(** [contains a b] holds when every assignment of [b] is in [a]. *)
+
+val intersects : t -> t -> bool
+val merge_distance1 : t -> t -> t option
+(** Quine–McCluskey combining step: if the cubes differ in exactly one
+    position where one is [Zero] and the other [One] (all other positions
+    equal), return the merged cube with a [Dont_care] there. *)
+
+val literal_count : t -> int
+(** Number of non-[Dont_care] positions. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+(** PLA-style string, e.g. ["1-0"]. *)
+
+val of_string : string -> t
+(** Accepts ['0'], ['1'], ['-']. *)
+
+(** Covers: lists of cubes interpreted as a disjunction. *)
+module Cover : sig
+  type cube = t
+  type t = cube list
+
+  val eval : t -> int -> bool
+  val to_truth_table : arity:int -> t -> Truth_table.t
+  val of_truth_table : Truth_table.t -> t
+  (** One fully specified cube per minterm (unminimized). *)
+
+  val cube_count : t -> int
+  val literal_count : t -> int
+  val equivalent : arity:int -> t -> t -> bool
+end

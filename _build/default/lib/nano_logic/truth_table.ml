@@ -1,0 +1,116 @@
+module Vec = Nano_util.Bits.Vec
+
+type t = { arity : int; table : Vec.t }
+
+let arity t = t.arity
+let size_of_arity arity = 1 lsl arity
+
+let create ~arity f =
+  assert (arity >= 0 && arity <= 24);
+  let table = Vec.create (size_of_arity arity) in
+  for a = 0 to size_of_arity arity - 1 do
+    if f a then Vec.set table a true
+  done;
+  { arity; table }
+
+let const ~arity b =
+  let table = Vec.create (size_of_arity arity) in
+  Vec.fill table b;
+  { arity; table }
+
+let var ~arity i =
+  assert (i >= 0 && i < arity);
+  create ~arity (fun a -> (a lsr i) land 1 = 1)
+
+let eval t a =
+  assert (a >= 0 && a < size_of_arity t.arity);
+  Vec.get t.table a
+
+let eval_bits t bits =
+  assert (Array.length bits = t.arity);
+  let a = ref 0 in
+  Array.iteri (fun i b -> if b then a := !a lor (1 lsl i)) bits;
+  eval t !a
+
+let map2 f a b =
+  assert (a.arity = b.arity);
+  let table = Vec.create (size_of_arity a.arity) in
+  Vec.map2_into ~dst:table f a.table b.table;
+  { arity = a.arity; table }
+
+let lnot t =
+  let table = Vec.create (size_of_arity t.arity) in
+  Vec.map2_into ~dst:table (fun w _ -> Int64.lognot w) t.table t.table;
+  { arity = t.arity; table }
+
+let ( &&& ) = map2 Int64.logand
+let ( ||| ) = map2 Int64.logor
+let ( ^^^ ) = map2 Int64.logxor
+
+let equal a b = a.arity = b.arity && Vec.equal a.table b.table
+let ones t = Vec.popcount t.table
+
+let signal_probability t =
+  float_of_int (ones t) /. float_of_int (size_of_arity t.arity)
+
+let switching_activity t =
+  let p = signal_probability t in
+  2. *. p *. (1. -. p)
+
+let cofactor t ~var b =
+  assert (var >= 0 && var < t.arity);
+  let mask = 1 lsl var in
+  create ~arity:t.arity (fun a ->
+      let a' = if b then a lor mask else a land Stdlib.lnot mask in
+      eval t a')
+
+let depends_on t i =
+  assert (i >= 0 && i < t.arity);
+  let mask = 1 lsl i in
+  let n = size_of_arity t.arity in
+  let rec go a =
+    if a >= n then false
+    else if a land mask = 0 && eval t a <> eval t (a lor mask) then true
+    else go (a + 1)
+  in
+  go 0
+
+let support t = List.filter (depends_on t) (List.init t.arity (fun i -> i))
+
+let sensitivity_at t a =
+  let v = eval t a in
+  let count = ref 0 in
+  for i = 0 to t.arity - 1 do
+    if eval t (a lxor (1 lsl i)) <> v then incr count
+  done;
+  !count
+
+let sensitivity t =
+  let best = ref 0 in
+  for a = 0 to size_of_arity t.arity - 1 do
+    let s = sensitivity_at t a in
+    if s > !best then best := s
+  done;
+  !best
+
+let average_sensitivity t =
+  let total = ref 0 in
+  let n = size_of_arity t.arity in
+  for a = 0 to n - 1 do
+    total := !total + sensitivity_at t a
+  done;
+  float_of_int !total /. float_of_int n
+
+let minterms t =
+  let acc = ref [] in
+  for a = size_of_arity t.arity - 1 downto 0 do
+    if eval t a then acc := a :: !acc
+  done;
+  !acc
+
+let to_string t = Vec.to_string t.table
+
+let of_string ~arity s =
+  if String.length s <> size_of_arity arity then
+    invalid_arg "Truth_table.of_string: wrong length";
+  { arity; table = Vec.of_string s }

@@ -1,0 +1,80 @@
+(** Boolean functions of a small number of inputs represented as packed
+    truth tables.
+
+    Input assignments are encoded as integers: input [i]'s value is bit
+    [i] of the assignment index. Practical up to roughly 20 inputs
+    (2^20-bit tables); circuit-sized functions should use
+    {!Nano_bdd.Bdd} instead. *)
+
+type t
+
+val arity : t -> int
+(** Number of inputs. *)
+
+val create : arity:int -> (int -> bool) -> t
+(** [create ~arity f] tabulates [f] over all [2^arity] assignments.
+    Requires [0 <= arity <= 24]. *)
+
+val const : arity:int -> bool -> t
+val var : arity:int -> int -> t
+(** [var ~arity i] is the projection on input [i]. Requires
+    [0 <= i < arity]. *)
+
+val eval : t -> int -> bool
+(** [eval f assignment] looks up the output for the encoded assignment.
+    Requires [0 <= assignment < 2^(arity f)]. *)
+
+val eval_bits : t -> bool array -> bool
+(** [eval_bits f bits] evaluates with [bits.(i)] the value of input [i].
+    Requires [Array.length bits = arity f]. *)
+
+val lnot : t -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ^^^ ) : t -> t -> t
+(** Pointwise complement / conjunction / disjunction / exclusive-or. The
+    binary operators require equal arities. *)
+
+val equal : t -> t -> bool
+val ones : t -> int
+(** Number of satisfying assignments. *)
+
+val signal_probability : t -> float
+(** Probability of output one under uniformly random inputs:
+    [ones f / 2^arity]. *)
+
+val switching_activity : t -> float
+(** Probability that the output differs on two independent uniform input
+    draws: [2 p (1 - p)] with [p = signal_probability f]. This is the
+    temporal-independence activity model used throughout the paper. *)
+
+val cofactor : t -> var:int -> bool -> t
+(** [cofactor f ~var b] fixes input [var] to [b]; the result keeps the
+    same arity (the fixed variable becomes irrelevant). *)
+
+val depends_on : t -> int -> bool
+(** Whether the function's value can change when the given input flips. *)
+
+val support : t -> int list
+(** Inputs the function actually depends on, in increasing order. *)
+
+val sensitivity_at : t -> int -> int
+(** [sensitivity_at f assignment] counts inputs whose individual flip
+    changes the output at the given assignment. *)
+
+val sensitivity : t -> int
+(** Boolean sensitivity: maximum of {!sensitivity_at} over all
+    assignments. For an n-input parity this is [n]. *)
+
+val average_sensitivity : t -> float
+(** Mean of {!sensitivity_at} over all assignments (total influence). *)
+
+val minterms : t -> int list
+(** Assignments mapped to one, in increasing order. *)
+
+val to_string : t -> string
+(** Output column as a ['0']/['1'] string, assignment 0 first. *)
+
+val of_string : arity:int -> string -> t
+(** Inverse of {!to_string}. Requires the string length to be
+    [2^arity]. *)

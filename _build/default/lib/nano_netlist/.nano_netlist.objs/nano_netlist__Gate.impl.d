@@ -1,0 +1,1 @@
+lib/nano_netlist/gate.ml: Array Int64 Nano_util

@@ -1,0 +1,1 @@
+lib/nano_netlist/netlist.ml: Array Buffer Gate Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/nano_netlist/netlist.mli: Gate

@@ -1,0 +1,1 @@
+lib/nano_netlist/timing.ml: Array Float Gate List Netlist

@@ -1,0 +1,40 @@
+(** Gate kinds of the generic technology library.
+
+    The paper's device model treats "gate" and "device" as the same
+    entity; every kind below is a single switching device whose output may
+    be corrupted by the symmetric error channel. *)
+
+type kind =
+  | Input  (** Primary input; no fanins. *)
+  | Const of bool  (** Constant driver; no fanins. *)
+  | Buf
+  | Not
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Majority  (** Odd-arity majority; the voter primitive. *)
+
+val arity_ok : kind -> int -> bool
+(** Whether a gate of this kind may have the given number of fanins. *)
+
+val eval : kind -> bool array -> bool
+(** Combinational semantics. [Input] gates cannot be evaluated this way
+    and raise [Invalid_argument]. *)
+
+val eval_word : kind -> int64 array -> int64
+(** 64-way bit-parallel semantics (each bit lane is an independent
+    evaluation). Raises like {!eval} for [Input]. *)
+
+val is_source : kind -> bool
+(** True for [Input] and [Const _]: gates with no logic fanins. *)
+
+val name : kind -> string
+val of_name : string -> kind option
+(** Inverse of {!name} for non-parameterized kinds plus ["const0"] /
+    ["const1"]. *)
+
+val all_logic_kinds : kind list
+(** Every kind except [Input] and [Const _]; used by exhaustive tests. *)

@@ -1,0 +1,123 @@
+(** Combinational gate-level netlists.
+
+    A netlist is a DAG of {!Gate.kind} nodes. Nodes are referenced by
+    dense integer ids assigned in creation order, which is always a valid
+    topological order (a gate's fanins have smaller ids). Primary outputs
+    are named references to nodes. *)
+
+type t
+
+type node = int
+(** Node id; stable for the lifetime of the netlist. *)
+
+type info = {
+  kind : Gate.kind;
+  fanins : node array;
+  name : string option;  (** User-visible net name, if any. *)
+}
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : ?name:string -> unit -> t
+  val input : t -> string -> node
+  (** Declare a named primary input. *)
+
+  val const : t -> bool -> node
+  (** Constant drivers are hash-consed (at most one node per polarity). *)
+
+  val add : ?name:string -> t -> Gate.kind -> node list -> node
+  (** [add b kind fanins] appends a gate. Raises [Invalid_argument] when
+      the arity is wrong for the kind, a fanin id is out of range, or the
+      kind is [Input] (use {!input}). *)
+
+  val not_ : t -> node -> node
+  val and2 : t -> node -> node -> node
+  val or2 : t -> node -> node -> node
+  val xor2 : t -> node -> node -> node
+  val nand2 : t -> node -> node -> node
+  val nor2 : t -> node -> node -> node
+  val xnor2 : t -> node -> node -> node
+  val maj3 : t -> node -> node -> node -> node
+
+  val reduce : t -> Gate.kind -> node list -> node
+  (** Balanced tree of two-input gates of the given kind ([And], [Or],
+      [Xor] only). A singleton list is returned as-is. *)
+
+  val output : t -> string -> node -> unit
+  (** Declare a named primary output. Output names must be distinct. *)
+
+  val finish : t -> netlist
+  (** Freeze. The builder must have at least one output. *)
+end
+
+(** {1 Observation} *)
+
+val name : t -> string
+val node_count : t -> int
+(** Total nodes, sources included. *)
+
+val info : t -> node -> info
+val kind : t -> node -> Gate.kind
+val fanins : t -> node -> node array
+val inputs : t -> node list
+(** Primary inputs in declaration order. *)
+
+val input_names : t -> string list
+val outputs : t -> (string * node) list
+(** Primary outputs in declaration order. *)
+
+val find_input : t -> string -> node
+(** Raises [Not_found] for unknown names. *)
+
+val iter : t -> (node -> info -> unit) -> unit
+(** Visit every node in topological (id) order. *)
+
+val fold : t -> init:'a -> f:('a -> node -> info -> 'a) -> 'a
+
+val fanout_counts : t -> int array
+(** [counts.(n)] is the number of gate fanin slots driven by node [n]
+    (output pins not counted). *)
+
+(** {1 Derived structure} *)
+
+val levels : t -> int array
+(** [levels.(n)] is the logic depth of node [n]: sources are level 0,
+    a gate is 1 + max of its fanin levels. *)
+
+val depth : t -> int
+(** Maximum level over primary-output nodes; 0 for source-only
+    netlists. *)
+
+val size : t -> int
+(** Number of logic gates (sources and [Buf] excluded — buffers are kept
+    free, matching the generic-library accounting used in the paper's
+    size counts). *)
+
+val average_fanin : t -> float
+(** Mean fanin arity over logic gates counted by {!size}; 0 when there are
+    none. *)
+
+val max_fanin : t -> int
+
+val transitive_fanin : t -> node list -> (node -> bool)
+(** Membership predicate for the union of input cones of the given
+    nodes. *)
+
+val eval : t -> (string * bool) list -> (string * bool) list
+(** Single-vector functional evaluation; the association list must bind
+    every primary input by name. *)
+
+val eval_nodes : t -> bool array -> bool array
+(** [eval_nodes t input_values] evaluates every node given values for the
+    primary inputs in declaration order; returns a value per node id. *)
+
+val validate : t -> (unit, string) result
+(** Check structural invariants (arities, fanin ordering, output
+    references). The builder maintains them; this guards hand-built or
+    parsed netlists. *)
+
+val to_dot : t -> string

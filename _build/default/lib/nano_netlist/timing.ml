@@ -1,0 +1,92 @@
+type t = {
+  arrival : float array;
+  max_arrival : float;
+  critical_output : string;
+  critical_path : Netlist.node list;
+  downstream : float array;
+      (* longest delay from the node to any primary output *)
+}
+
+let default_delay kind arity =
+  match kind with
+  | Gate.Input | Gate.Const _ | Gate.Buf -> 0.
+  | Gate.Not -> 0.6
+  | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor | Gate.Xnor
+  | Gate.Majority ->
+    1. +. (0.2 *. float_of_int (max 0 (arity - 2)))
+
+let unit_delay kind _arity =
+  match kind with
+  | Gate.Input | Gate.Const _ | Gate.Buf -> 0.
+  | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+  | Gate.Xnor | Gate.Majority -> 1.
+
+let analyze ?(delay = default_delay) netlist =
+  let n = Netlist.node_count netlist in
+  let arrival = Array.make n 0. in
+  let gate_delay = Array.make n 0. in
+  Netlist.iter netlist (fun id info ->
+      let d = delay info.Netlist.kind (Array.length info.Netlist.fanins) in
+      gate_delay.(id) <- d;
+      if not (Gate.is_source info.Netlist.kind) then begin
+        let latest =
+          Array.fold_left
+            (fun acc f -> Float.max acc arrival.(f))
+            0. info.Netlist.fanins
+        in
+        arrival.(id) <- latest +. d
+      end);
+  let critical_output, critical_node, max_arrival =
+    match Netlist.outputs netlist with
+    | [] -> invalid_arg "Timing.analyze: no outputs"
+    | (name0, node0) :: rest ->
+      List.fold_left
+        (fun (bn, bo, ba) (name, node) ->
+          if arrival.(node) > ba then (name, node, arrival.(node))
+          else (bn, bo, ba))
+        (name0, node0, arrival.(node0))
+        rest
+  in
+  (* Backtrack along latest-arriving fanins. *)
+  let rec back node acc =
+    let info = Netlist.info netlist node in
+    if Gate.is_source info.Netlist.kind then node :: acc
+    else begin
+      let worst =
+        Array.fold_left
+          (fun best f ->
+            match best with
+            | None -> Some f
+            | Some b -> if arrival.(f) > arrival.(b) then Some f else best)
+          None info.Netlist.fanins
+      in
+      match worst with
+      | Some f -> back f (node :: acc)
+      | None -> node :: acc
+    end
+  in
+  let critical_path = back critical_node [] in
+  (* Longest downstream delay (to any output). *)
+  let downstream = Array.make n neg_infinity in
+  List.iter
+    (fun (_, node) -> downstream.(node) <- Float.max downstream.(node) 0.)
+    (Netlist.outputs netlist);
+  for id = n - 1 downto 0 do
+    if downstream.(id) > neg_infinity then begin
+      let info = Netlist.info netlist id in
+      let through = downstream.(id) +. gate_delay.(id) in
+      Array.iter
+        (fun f -> downstream.(f) <- Float.max downstream.(f) through)
+        info.Netlist.fanins
+    end
+  done;
+  (* Nodes feeding nothing observable keep [neg_infinity]: they have no
+     timing requirement, which {!slack} maps to infinite slack. *)
+  { arrival; max_arrival; critical_output; critical_path; downstream }
+
+let slack t ~required =
+  Array.mapi
+    (fun i a ->
+      if t.downstream.(i) = neg_infinity then infinity
+      else required -. a -. t.downstream.(i))
+    t.arrival

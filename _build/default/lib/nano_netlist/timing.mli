@@ -1,0 +1,39 @@
+(** Static timing analysis: arrival times and the critical path under a
+    per-gate delay model.
+
+    Levels (unit delays) are what the paper's depth bound speaks about;
+    this module generalizes to fanin-dependent gate delays so mapped
+    netlists can be compared on realistic latency. *)
+
+type t = {
+  arrival : float array;  (** Per node id; sources arrive at 0. *)
+  max_arrival : float;  (** Latest primary-output arrival. *)
+  critical_output : string;  (** Output achieving [max_arrival]. *)
+  critical_path : Netlist.node list;
+      (** Nodes from a primary input (or constant) to the critical
+          output's driver, in signal-flow order. *)
+  downstream : float array;
+      (** Per node id: longest delay from the node to any primary
+          output; [neg_infinity] marks unobservable nodes (no timing
+          requirement — {!slack} reports [infinity] there). *)
+}
+
+val default_delay : Gate.kind -> int -> float
+(** The generic-library model: sources and buffers are free; an
+    [n]-input gate costs [1 + 0.2 * (n - 2)] delay units (wider gates
+    are slower); inverters cost [0.6]. *)
+
+val unit_delay : Gate.kind -> int -> float
+(** Every logic gate costs exactly 1 (sources and buffers 0) — arrival
+    times equal the paper's logic levels. *)
+
+val analyze :
+  ?delay:(Gate.kind -> int -> float) -> Netlist.t -> t
+(** [analyze netlist] with [delay] defaulting to {!default_delay}.
+    Raises [Invalid_argument] on netlists without outputs (impossible
+    for built netlists). *)
+
+val slack : t -> required:float -> float array
+(** Per-node slack against a required arrival time at every primary
+    output: [required - arrival - longest_downstream_delay]; negative
+    slack marks nodes on paths that miss the requirement. *)

@@ -1,0 +1,1 @@
+lib/nano_redundancy/multiplexing.ml: Array Float Int64 List Nano_faults Nano_netlist Nano_util Printf String

@@ -1,0 +1,1 @@
+lib/nano_redundancy/multiplexing.mli: Nano_netlist Nano_util

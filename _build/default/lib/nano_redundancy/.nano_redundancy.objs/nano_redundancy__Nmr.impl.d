@@ -1,0 +1,1 @@
+lib/nano_redundancy/nmr.ml: Array Float List Nano_netlist Printf

@@ -1,0 +1,1 @@
+lib/nano_redundancy/nmr.mli: Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_redundancy/selective.ml: Array Hashtbl List Nano_faults Nano_netlist Printf

@@ -1,0 +1,1 @@
+lib/nano_redundancy/selective.mli: Nano_netlist

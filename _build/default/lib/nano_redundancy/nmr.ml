@@ -1,0 +1,78 @@
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let make ~n netlist =
+  if n < 3 || n land 1 = 0 then invalid_arg "Nmr.make: n must be odd and >= 3";
+  let b = B.create ~name:(Printf.sprintf "%s_nmr%d" (Netlist.name netlist) n) () in
+  (* Shared primary inputs. *)
+  let input_map = Array.make (Netlist.node_count netlist) (-1) in
+  List.iter
+    (fun id ->
+      let name =
+        match (Netlist.info netlist id).Netlist.name with
+        | Some nm -> nm
+        | None -> Printf.sprintf "_in%d" id
+      in
+      input_map.(id) <- B.input b name)
+    (Netlist.inputs netlist);
+  (* One replica of the logic per module. *)
+  let replicate () =
+    let map = Array.make (Netlist.node_count netlist) (-1) in
+    Netlist.iter netlist (fun id info ->
+        match info.Netlist.kind with
+        | Gate.Input -> map.(id) <- input_map.(id)
+        | kind ->
+          let fanins =
+            Array.to_list (Array.map (fun f -> map.(f)) info.Netlist.fanins)
+          in
+          map.(id) <- B.add b kind fanins);
+    map
+  in
+  let replicas = List.init n (fun _ -> replicate ()) in
+  List.iter
+    (fun (name, node) ->
+      let copies = List.map (fun map -> map.(node)) replicas in
+      let voted = B.add b Gate.Majority copies in
+      B.output b name voted)
+    (Netlist.outputs netlist);
+  B.finish b
+
+let size_overhead ~n netlist =
+  let voted = make ~n netlist in
+  float_of_int (Netlist.size voted) /. float_of_int (Netlist.size netlist)
+
+let binomial_tail ~n ~k ~p =
+  if k > n then 0.
+  else begin
+    let log_comb n k =
+      let rec lf acc i = if i <= 1 then acc else lf (acc +. log (float_of_int i)) (i - 1) in
+      lf 0. n -. lf 0. k -. lf 0. (n - k)
+    in
+    let total = ref 0. in
+    for i = max k 0 to n do
+      let term =
+        if p = 0. then (if i = 0 then 1. else 0.)
+        else if p = 1. then (if i = n then 1. else 0.)
+        else
+          exp
+            (log_comb n i
+            +. (float_of_int i *. log p)
+            +. (float_of_int (n - i) *. log (1. -. p)))
+      in
+      total := !total +. term
+    done;
+    Float.min 1. !total
+  end
+
+let analytic_voted_error ~n ~module_error ~voter_epsilon =
+  if n < 1 || n land 1 = 0 then
+    invalid_arg "Nmr.analytic_voted_error: n must be odd and >= 1";
+  if not (module_error >= 0. && module_error <= 1.) then
+    invalid_arg "Nmr.analytic_voted_error: module_error in [0, 1]";
+  if not (voter_epsilon >= 0. && voter_epsilon <= 0.5) then
+    invalid_arg "Nmr.analytic_voted_error: voter_epsilon in [0, 1/2]";
+  let majority_wrong = binomial_tail ~n ~k:((n / 2) + 1) ~p:module_error in
+  (* The voter flips the majority's verdict with probability ε. *)
+  (voter_epsilon *. (1. -. majority_wrong))
+  +. ((1. -. voter_epsilon) *. majority_wrong)

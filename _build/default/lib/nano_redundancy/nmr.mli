@@ -1,0 +1,25 @@
+(** N-modular redundancy: replicate a netlist N times (N odd) and vote
+    each primary output with a majority gate.
+
+    The paper's bounds deliberately assume {e no} particular redundancy
+    scheme; NMR is implemented here as the classical upper-bound
+    construction the lower bounds are compared against (ablation B in
+    DESIGN.md). *)
+
+val make : n:int -> Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t
+(** [make ~n netlist] shares the primary inputs across [n] replicas and
+    adds one [n]-input majority voter per output (the voter is itself a
+    failure-prone gate under [Nano_faults]). Requires odd [n >= 3]. *)
+
+val size_overhead : n:int -> Nano_netlist.Netlist.t -> float
+(** Gate-count ratio [size (make ~n c) / size c]. *)
+
+val analytic_voted_error : n:int -> module_error:float -> voter_epsilon:float -> float
+(** Probability that a voted output is wrong when each replica's output
+    is independently wrong with probability [module_error] and the voter
+    itself flips with probability [voter_epsilon]:
+    [P = q (1 - B) + (1 - q) B] where [B] is the probability that a
+    majority of replicas are wrong and [q = voter_epsilon]. *)
+
+val binomial_tail : n:int -> k:int -> p:float -> float
+(** [P(X >= k)] for [X ~ Binomial(n, p)]; exposed for tests. *)

@@ -1,0 +1,46 @@
+(** Selective (targeted) hardening: triplicate only the chosen gates,
+    each with a local 3-way majority voter.
+
+    The paper's bounds are scheme-agnostic; this module spends
+    redundancy where a fault is most likely to be observed (the
+    [Nano_faults.Criticality] ranking), which is how a synthesis tool
+    would actually act on the theory.
+
+    Von Neumann's caveat applies and is reproduced by the test suite:
+    when the voter fails with the {e same} ε as the gates it protects,
+    per-gate TMR is neutral — the voter becomes the single point of
+    failure. Targeted hardening pays off when voters come from a more
+    robust device class; model that by assigning the {!voters} a lower
+    ε via [Nano_faults.Noisy_sim.simulate_heterogeneous]. *)
+
+type hardened = {
+  netlist : Nano_netlist.Netlist.t;
+  voters : Nano_netlist.Netlist.node list;
+      (** The inserted majority gates, as nodes of [netlist]. *)
+  protected_gates : Nano_netlist.Netlist.node list;
+      (** The gates that were hardened, as nodes of the original. *)
+}
+
+val harden :
+  Nano_netlist.Netlist.t -> gates:Nano_netlist.Netlist.node list -> hardened
+(** [harden netlist ~gates] replaces each listed logic gate with three
+    copies (sharing the original fanins) voted by a [maj3]. Downstream
+    logic and outputs read the voter. Ids must be logic gates of
+    [netlist]; raises [Invalid_argument] otherwise. The result computes
+    the same functions (locally-voted TMR is transparent without
+    faults). *)
+
+val harden_top :
+  ?seed:int -> ?vectors:int -> fraction:float -> Nano_netlist.Netlist.t ->
+  hardened
+(** Rank gates by observability and harden the top [fraction]. *)
+
+val voter_epsilon_of :
+  hardened -> gate_epsilon:float -> voter_epsilon:float ->
+  Nano_netlist.Netlist.node -> float
+(** Per-gate ε assignment for
+    [Noisy_sim.simulate_heterogeneous]: [voter_epsilon] on the inserted
+    voters, [gate_epsilon] everywhere else. *)
+
+val size_overhead : original:Nano_netlist.Netlist.t -> hardened:hardened -> float
+(** Gate-count ratio hardened / original. *)

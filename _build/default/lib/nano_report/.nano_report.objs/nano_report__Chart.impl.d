@@ -1,0 +1,1 @@
+lib/nano_report/chart.ml: Array Buffer Float List Printf String

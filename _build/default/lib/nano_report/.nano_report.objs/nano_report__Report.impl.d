@@ -1,0 +1,1 @@
+lib/nano_report/report.ml: Float List Map Printf String

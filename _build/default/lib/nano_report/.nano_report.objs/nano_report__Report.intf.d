@@ -1,0 +1,1 @@
+lib/nano_report/report.mli:

@@ -1,0 +1,85 @@
+type scale = Linear | Log
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let transform scale v =
+  match scale with
+  | Linear -> Some v
+  | Log -> if v > 0. then Some (log v) else None
+
+let render ?(width = 64) ?(height = 20) ?(x_scale = Linear)
+    ?(y_scale = Linear) ~title series =
+  let points =
+    List.concat_map
+      (fun (_, pts) ->
+        List.filter_map
+          (fun (x, y) ->
+            match transform x_scale x, transform y_scale y with
+            | Some tx, Some ty -> Some (tx, ty)
+            | _ -> None)
+          pts)
+      series
+  in
+  match points with
+  | [] -> Printf.sprintf "== %s ==\n(no drawable points)\n" title
+  | (x0, y0) :: rest ->
+    let fold f init = List.fold_left f init rest in
+    let x_min = fold (fun acc (x, _) -> Float.min acc x) x0 in
+    let x_max = fold (fun acc (x, _) -> Float.max acc x) x0 in
+    let y_min = fold (fun acc (_, y) -> Float.min acc y) y0 in
+    let y_max = fold (fun acc (_, y) -> Float.max acc y) y0 in
+    let x_span = if x_max = x_min then 1. else x_max -. x_min in
+    let y_span = if y_max = y_min then 1. else y_max -. y_min in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            match transform x_scale x, transform y_scale y with
+            | Some tx, Some ty ->
+              let col =
+                int_of_float ((tx -. x_min) /. x_span *. float_of_int (width - 1))
+              in
+              let row =
+                height - 1
+                - int_of_float ((ty -. y_min) /. y_span *. float_of_int (height - 1))
+              in
+              if row >= 0 && row < height && col >= 0 && col < width then
+                grid.(row).(col) <- glyph
+            | _ -> ())
+          pts)
+      series;
+    let buf = Buffer.create ((width + 12) * (height + 6)) in
+    Buffer.add_string buf (Printf.sprintf "== %s ==\n" title);
+    let y_label row =
+      (* value at this row's centre *)
+      let frac = float_of_int (height - 1 - row) /. float_of_int (height - 1) in
+      let v = y_min +. (frac *. y_span) in
+      let v = match y_scale with Linear -> v | Log -> exp v in
+      Printf.sprintf "%9.3g" v
+    in
+    Array.iteri
+      (fun row line ->
+        let label =
+          if row = 0 || row = height - 1 || row = height / 2 then y_label row
+          else String.make 9 ' '
+        in
+        Buffer.add_string buf (label ^ " |");
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 10 ' ' ^ "+" ^ String.make width '-' ^ "\n");
+    let x_of frac =
+      let v = x_min +. (frac *. x_span) in
+      match x_scale with Linear -> v | Log -> exp v
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-10.3g%*.3g\n" (String.make 11 ' ') (x_of 0.)
+         (width - 10) (x_of 1.));
+    List.iteri
+      (fun si (label, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" glyphs.(si mod Array.length glyphs) label))
+      series;
+    Buffer.contents buf

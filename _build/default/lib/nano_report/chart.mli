@@ -1,0 +1,21 @@
+(** Minimal ASCII line charts for terminal output of figure sweeps.
+
+    One character cell per grid position; each series is drawn with its
+    own glyph, and overlapping points show the later series' glyph. Axes
+    can be linear or logarithmic. *)
+
+type scale = Linear | Log
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  title:string ->
+  (string * (float * float) list) list ->
+  string
+(** [render ~title series] draws labelled series into a
+    [width x height] grid (default 64 x 20) with a legend underneath.
+    Log scales ignore non-positive coordinates. Returns a printable
+    multi-line string; an empty or degenerate input yields a message
+    string rather than raising. *)

@@ -1,0 +1,82 @@
+module Table = struct
+  let number ?(decimals = 4) x =
+    if Float.is_nan x then "-"
+    else if x = infinity then "inf"
+    else if x = neg_infinity then "-inf"
+    else Printf.sprintf "%.*g" decimals x
+
+  let render ~header ~rows =
+    let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+    let columns = List.length header in
+    let width i =
+      List.fold_left
+        (fun acc row -> max acc (String.length (cell row i)))
+        (String.length (List.nth header i))
+        rows
+    in
+    let widths = List.init columns width in
+    let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+    let line cells =
+      String.concat "  "
+        (List.mapi (fun i c -> pad c (List.nth widths i)) cells)
+    in
+    let sep =
+      String.concat "  " (List.map (fun w -> String.make w '-') widths)
+    in
+    let body = List.map (fun row -> line (List.init columns (cell row))) rows in
+    String.concat "\n" ((line header :: sep :: body) @ [ "" ])
+end
+
+module Series = struct
+  module Float_map = Map.Make (Float)
+
+  let render ~title ~x_label ~y_label series =
+    let merged =
+      List.fold_left
+        (fun acc (label, points) ->
+          List.fold_left
+            (fun acc (x, y) ->
+              let row =
+                match Float_map.find_opt x acc with
+                | Some row -> row
+                | None -> []
+              in
+              Float_map.add x ((label, y) :: row) acc)
+            acc points)
+        Float_map.empty series
+    in
+    let labels = List.map fst series in
+    let header = x_label :: labels in
+    let rows =
+      Float_map.bindings merged
+      |> List.map (fun (x, cells) ->
+             Table.number ~decimals:5 x
+             :: List.map
+                  (fun label ->
+                    match List.assoc_opt label cells with
+                    | Some y -> Table.number y
+                    | None -> "")
+                  labels)
+    in
+    Printf.sprintf "== %s ==  (y: %s)\n%s" title y_label
+      (Table.render ~header ~rows)
+end
+
+module Csv = struct
+  let escape field =
+    let needs_quoting =
+      String.exists (fun c -> c = ',' || c = '"' || c = '\n') field
+    in
+    if needs_quoting then
+      "\"" ^ String.concat "\"\"" (String.split_on_char '"' field) ^ "\""
+    else field
+
+  let to_string ~header ~rows =
+    let line cells = String.concat "," (List.map escape cells) in
+    String.concat "\n" (line header :: List.map line rows) ^ "\n"
+
+  let write_file ~path ~header ~rows =
+    let oc = open_out path in
+    output_string oc (to_string ~header ~rows);
+    close_out oc
+end

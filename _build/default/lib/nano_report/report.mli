@@ -1,0 +1,31 @@
+(** Plain-text rendering of tables and data series for the figure
+    harness and the CLI. *)
+
+module Table : sig
+  val render : header:string list -> rows:string list list -> string
+  (** Column-aligned ASCII table with a separator under the header. Rows
+      may be ragged; missing cells render empty. *)
+
+  val number : ?decimals:int -> float -> string
+  (** Compact numeric formatting ([%.*g]-style, default 4 significant
+      digits; infinities as ["inf"], NaN as ["-"]). *)
+end
+
+module Series : sig
+  val render :
+    title:string ->
+    x_label:string ->
+    y_label:string ->
+    (string * (float * float) list) list ->
+    string
+  (** Render labelled series as a merged table: first column the union of
+      x values, one column per series. *)
+end
+
+module Csv : sig
+  val to_string : header:string list -> rows:string list list -> string
+  (** RFC-4180-ish CSV (quotes fields containing commas/quotes). *)
+
+  val write_file :
+    path:string -> header:string list -> rows:string list list -> unit
+end

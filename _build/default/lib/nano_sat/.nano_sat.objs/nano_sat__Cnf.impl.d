@@ -1,0 +1,1 @@
+lib/nano_sat/cnf.ml: Array Hashtbl List Nano_netlist Sat

@@ -1,0 +1,199 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+type encoding = {
+  nvars : int;
+  clauses : int list list;
+  input_var : (string * int) list;
+  output_var : (string * int) list;
+}
+
+type builder = {
+  mutable next : int;
+  mutable acc : int list list;
+}
+
+let fresh b =
+  let v = b.next in
+  b.next <- v + 1;
+  v
+
+let add b clause = b.acc <- clause :: b.acc
+
+(* y <-> a XOR b *)
+let xor2 b y a bb =
+  add b [ -y; a; bb ];
+  add b [ -y; -a; -bb ];
+  add b [ y; -a; bb ];
+  add b [ y; a; -bb ]
+
+let xor_chain b y inputs =
+  match inputs with
+  | [] -> invalid_arg "Cnf.xor_chain: empty"
+  | [ single ] ->
+    add b [ -y; single ];
+    add b [ y; -single ]
+  | first :: rest ->
+    let t =
+      List.fold_left
+        (fun acc x ->
+          let v = fresh b in
+          xor2 b v acc x;
+          v)
+        first rest
+    in
+    add b [ -y; t ];
+    add b [ y; -t ]
+
+(* All size-[k] subsets of [xs], passed to [f]. *)
+let iter_subsets k xs f =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let chosen = Array.make k 0 in
+  let rec go start depth =
+    if depth = k then f (Array.to_list chosen)
+    else
+      for i = start to n - 1 do
+        chosen.(depth) <- arr.(i);
+        go (i + 1) (depth + 1)
+      done
+  in
+  if k <= n then go 0 0
+
+let majority b y inputs =
+  let n = List.length inputs in
+  let k = (n / 2) + 1 in
+  (* y -> at least k true: any n-k+1 inputs contain a true one *)
+  iter_subsets (n - k + 1) inputs (fun s -> add b ((-y) :: s));
+  (* ~y -> at most k-1 true: any k inputs contain a false one *)
+  iter_subsets k inputs (fun s -> add b (y :: List.map (fun x -> -x) s))
+
+let encode_gate b y kind inputs =
+  match kind, inputs with
+  | Gate.Input, _ -> ()
+  | Gate.Const true, _ -> add b [ y ]
+  | Gate.Const false, _ -> add b [ -y ]
+  | Gate.Buf, [ a ] ->
+    add b [ -y; a ];
+    add b [ y; -a ]
+  | Gate.Not, [ a ] ->
+    add b [ -y; -a ];
+    add b [ y; a ]
+  | Gate.And, xs ->
+    List.iter (fun x -> add b [ -y; x ]) xs;
+    add b (y :: List.map (fun x -> -x) xs)
+  | Gate.Nand, xs ->
+    List.iter (fun x -> add b [ y; x ]) xs;
+    add b ((-y) :: List.map (fun x -> -x) xs)
+  | Gate.Or, xs ->
+    List.iter (fun x -> add b [ y; -x ]) xs;
+    add b ((-y) :: xs)
+  | Gate.Nor, xs ->
+    List.iter (fun x -> add b [ -y; -x ]) xs;
+    add b (y :: xs)
+  | Gate.Xor, xs -> xor_chain b y xs
+  | Gate.Xnor, xs ->
+    let t = fresh b in
+    xor_chain b t xs;
+    add b [ -y; -t ];
+    add b [ y; t ]
+  | Gate.Majority, xs -> majority b y xs
+  | (Gate.Buf | Gate.Not), _ -> invalid_arg "Cnf.encode_gate: bad arity"
+
+(* Encode a netlist's gates; input variables come from [var_of_input]
+   (shared across miter halves). Returns node -> var. *)
+let encode_netlist b ~var_of_input netlist =
+  let vars = Array.make (Netlist.node_count netlist) 0 in
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> begin
+        match info.Netlist.name with
+        | Some nm -> vars.(id) <- var_of_input nm
+        | None -> invalid_arg "Cnf: unnamed input"
+      end
+      | kind ->
+        let y = fresh b in
+        vars.(id) <- y;
+        let fanins =
+          Array.to_list (Array.map (fun f -> vars.(f)) info.Netlist.fanins)
+        in
+        encode_gate b y kind fanins);
+  vars
+
+let of_netlist netlist =
+  let b = { next = 1; acc = [] } in
+  let table = Hashtbl.create 16 in
+  let var_of_input nm =
+    match Hashtbl.find_opt table nm with
+    | Some v -> v
+    | None ->
+      let v = fresh b in
+      Hashtbl.replace table nm v;
+      v
+  in
+  let vars = encode_netlist b ~var_of_input netlist in
+  {
+    nvars = b.next - 1;
+    clauses = List.rev b.acc;
+    input_var =
+      List.map (fun nm -> (nm, Hashtbl.find table nm)) (Netlist.input_names netlist);
+    output_var =
+      List.map (fun (nm, node) -> (nm, vars.(node))) (Netlist.outputs netlist);
+  }
+
+let interface netlist =
+  ( List.sort compare (Netlist.input_names netlist),
+    List.sort compare (List.map fst (Netlist.outputs netlist)) )
+
+let miter a bnet =
+  let ia, oa = interface a in
+  let ib, ob = interface bnet in
+  if ia <> ib then invalid_arg "Cnf.miter: input interfaces differ";
+  if oa <> ob then invalid_arg "Cnf.miter: output interfaces differ";
+  let b = { next = 1; acc = [] } in
+  let table = Hashtbl.create 16 in
+  let var_of_input nm =
+    match Hashtbl.find_opt table nm with
+    | Some v -> v
+    | None ->
+      let v = fresh b in
+      Hashtbl.replace table nm v;
+      v
+  in
+  let vars_a = encode_netlist b ~var_of_input a in
+  let vars_b = encode_netlist b ~var_of_input bnet in
+  let out_a = List.map (fun (nm, n) -> (nm, vars_a.(n))) (Netlist.outputs a) in
+  let out_b = List.map (fun (nm, n) -> (nm, vars_b.(n))) (Netlist.outputs bnet) in
+  let diffs =
+    List.map
+      (fun (nm, va) ->
+        let vb = List.assoc nm out_b in
+        let d = fresh b in
+        xor2 b d va vb;
+        d)
+      out_a
+  in
+  let m = fresh b in
+  (* m <-> OR diffs *)
+  List.iter (fun d -> add b [ m; -d ]) diffs;
+  add b ((-m) :: diffs);
+  ( {
+      nvars = b.next - 1;
+      clauses = List.rev b.acc;
+      input_var =
+        List.map (fun nm -> (nm, Hashtbl.find table nm)) (Netlist.input_names a);
+      output_var = out_a;
+    },
+    m )
+
+let equivalent ?max_conflicts a b =
+  let encoding, m = miter a b in
+  match
+    Sat.solve ?max_conflicts ~nvars:encoding.nvars
+      ([ m ] :: encoding.clauses)
+  with
+  | Sat.Unsat -> `Equivalent
+  | Sat.Unknown -> `Unknown
+  | Sat.Sat model ->
+    `Counterexample
+      (List.map (fun (nm, v) -> (nm, model.(v))) encoding.input_var)

@@ -1,0 +1,30 @@
+(** CNF generation: Tseitin encoding of netlists and equivalence
+    miters. *)
+
+type encoding = {
+  nvars : int;
+  clauses : int list list;
+  input_var : (string * int) list;  (** SAT variable per primary input. *)
+  output_var : (string * int) list;  (** SAT variable per primary output. *)
+}
+
+val of_netlist : Nano_netlist.Netlist.t -> encoding
+(** Tseitin-encode every gate; the formula's models are exactly the
+    consistent input/output/internal valuations of the circuit. *)
+
+val miter :
+  Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t ->
+  encoding * int
+(** [miter a b] builds one CNF over shared inputs (matched by name) and
+    both circuits' logic, plus a fresh miter variable constrained to be
+    true iff some same-named output pair disagrees. Returns the
+    encoding and the miter variable: the instance with the unit clause
+    [[miter_var]] is satisfiable iff the circuits differ. Raises
+    [Invalid_argument] when the interfaces don't match (same contract
+    as [Nano_synth.Equiv]). *)
+
+val equivalent :
+  ?max_conflicts:int -> Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t ->
+  [ `Equivalent | `Counterexample of (string * bool) list | `Unknown ]
+(** Decide equivalence through the miter; counterexamples are complete
+    input assignments. *)

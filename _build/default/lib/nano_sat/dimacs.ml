@@ -1,0 +1,84 @@
+let to_string ~nvars clauses =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" nvars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun lit -> Buffer.add_string buf (string_of_int lit ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let write_file ~path ~nvars clauses =
+  let oc = open_out path in
+  output_string oc (to_string ~nvars clauses);
+  close_out oc
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let clauses = ref [] in
+  let current = ref [] in
+  let error = ref None in
+  let fail msg = if !error = None then error := Some msg in
+  List.iteri
+    (fun lineno raw ->
+      if !error = None then begin
+        let line = String.trim raw in
+        if line = "" || (String.length line > 0 && line.[0] = 'c') then ()
+        else if String.length line > 0 && line.[0] = 'p' then begin
+          match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+          | [ "p"; "cnf"; nv; nc ] -> begin
+            match int_of_string_opt nv, int_of_string_opt nc with
+            | Some nv, Some nc when nv >= 0 && nc >= 0 ->
+              if !header <> None then
+                fail (Printf.sprintf "line %d: duplicate header" (lineno + 1))
+              else header := Some (nv, nc)
+            | _ -> fail (Printf.sprintf "line %d: bad header" (lineno + 1))
+          end
+          | _ -> fail (Printf.sprintf "line %d: bad header" (lineno + 1))
+        end
+        else begin
+          match !header with
+          | None -> fail (Printf.sprintf "line %d: clause before header" (lineno + 1))
+          | Some (nvars, _) ->
+            List.iter
+              (fun tok ->
+                if !error = None && tok <> "" then begin
+                  match int_of_string_opt tok with
+                  | None ->
+                    fail (Printf.sprintf "line %d: bad literal %s" (lineno + 1) tok)
+                  | Some 0 ->
+                    clauses := List.rev !current :: !clauses;
+                    current := []
+                  | Some lit ->
+                    if abs lit > nvars then
+                      fail
+                        (Printf.sprintf "line %d: literal %d out of range"
+                           (lineno + 1) lit)
+                    else current := lit :: !current
+                end)
+              (String.split_on_char ' ' line)
+        end
+      end)
+    lines;
+  match !error, !header with
+  | Some msg, _ -> Error msg
+  | None, None -> Error "missing 'p cnf' header"
+  | None, Some (nvars, declared) ->
+    if !current <> [] then Error "unterminated clause (missing 0)"
+    else begin
+      let clause_list = List.rev !clauses in
+      if List.length clause_list <> declared then
+        Error
+          (Printf.sprintf "declared %d clauses, found %d" declared
+             (List.length clause_list))
+      else Ok (nvars, clause_list)
+    end
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text

@@ -1,0 +1,17 @@
+(** DIMACS CNF reader/writer — the exchange format of every SAT solver
+    since the 1990s; lets the miters this repo generates be
+    cross-checked with external solvers. *)
+
+val to_string : nvars:int -> int list list -> string
+(** Render ["p cnf <nvars> <nclauses>"] plus one zero-terminated line
+    per clause. *)
+
+val write_file : path:string -> nvars:int -> int list list -> unit
+
+val parse_string : string -> (int * int list list, string) result
+(** Parse a DIMACS file body: returns [(nvars, clauses)]. Accepts ['c']
+    comment lines, requires a single ['p cnf'] header, ignores blank
+    lines, and checks literal ranges and the declared clause count
+    (a mismatch is reported as an error). *)
+
+val parse_file : string -> (int * int list list, string) result

@@ -1,0 +1,349 @@
+type result = Sat of bool array | Unsat | Unknown
+
+(* Conflict-driven clause learning solver: two-watched-literal
+   propagation, 1UIP learning, activity-driven decisions with phase
+   saving, geometric restarts.
+
+   Literal encoding for watch lists: +v -> 2v, -v -> 2v + 1. *)
+
+let widx lit = if lit > 0 then 2 * lit else (2 * -lit) + 1
+
+type solver = {
+  nvars : int;
+  (* clause store: originals then learned; each clause keeps its two
+     watched literals at positions 0 and 1 *)
+  mutable clauses : int array array;
+  mutable n_clauses : int;
+  (* per-variable state *)
+  assign : int array;  (* 0 unassigned / 1 true / -1 false *)
+  level : int array;
+  reason : int array;  (* clause index, -1 for decisions *)
+  activity : float array;
+  saved_phase : int array;
+  (* trail *)
+  trail : int array;
+  mutable trail_len : int;
+  mutable qhead : int;
+  trail_lim : int array;  (* trail length at each decision level *)
+  mutable decision_level : int;
+  (* watches *)
+  mutable watches : int list array;
+  (* conflict analysis scratch *)
+  seen : bool array;
+  mutable var_inc : float;
+}
+
+let lit_value s lit =
+  let v = s.assign.(abs lit) in
+  if v = 0 then 0
+  else if (lit > 0 && v = 1) || (lit < 0 && v = -1) then 1
+  else -1
+
+let push_clause s clause =
+  if s.n_clauses >= Array.length s.clauses then begin
+    let grown = Array.make (max 16 (2 * Array.length s.clauses)) [||] in
+    Array.blit s.clauses 0 grown 0 s.n_clauses;
+    s.clauses <- grown
+  end;
+  s.clauses.(s.n_clauses) <- clause;
+  s.n_clauses <- s.n_clauses + 1;
+  s.n_clauses - 1
+
+let watch s lit ci = s.watches.(widx lit) <- ci :: s.watches.(widx lit)
+
+let enqueue s lit reason =
+  let v = abs lit in
+  s.assign.(v) <- (if lit > 0 then 1 else -1);
+  s.level.(v) <- s.decision_level;
+  s.reason.(v) <- reason;
+  s.trail.(s.trail_len) <- lit;
+  s.trail_len <- s.trail_len + 1
+
+let bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 1 to s.nvars do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end
+
+(* Propagate from qhead; returns the index of a conflicting clause or
+   -1. *)
+let propagate s =
+  let conflict = ref (-1) in
+  while !conflict < 0 && s.qhead < s.trail_len do
+    let lit = s.trail.(s.qhead) in
+    s.qhead <- s.qhead + 1;
+    let falsified = -lit in
+    let wi = widx falsified in
+    let watching = s.watches.(wi) in
+    s.watches.(wi) <- [];
+    let rec process = function
+      | [] -> ()
+      | ci :: rest ->
+        let clause = s.clauses.(ci) in
+        if clause.(0) = falsified then begin
+          clause.(0) <- clause.(1);
+          clause.(1) <- falsified
+        end;
+        if lit_value s clause.(0) = 1 then begin
+          s.watches.(wi) <- ci :: s.watches.(wi);
+          process rest
+        end
+        else begin
+          let n = Array.length clause in
+          let rec find k =
+            if k >= n then -1
+            else if lit_value s clause.(k) >= 0 then k
+            else find (k + 1)
+          in
+          let k = find 2 in
+          if k >= 0 then begin
+            let w = clause.(k) in
+            clause.(k) <- clause.(1);
+            clause.(1) <- w;
+            watch s w ci;
+            process rest
+          end
+          else begin
+            s.watches.(wi) <- ci :: s.watches.(wi);
+            match lit_value s clause.(0) with
+            | 0 ->
+              enqueue s clause.(0) ci;
+              process rest
+            | -1 ->
+              List.iter (fun c -> s.watches.(wi) <- c :: s.watches.(wi)) rest;
+              conflict := ci
+            | _ -> process rest
+          end
+        end
+    in
+    process watching
+  done;
+  !conflict
+
+(* First-UIP conflict analysis. Returns (learned clause with the
+   asserting literal first, backjump level). *)
+let analyze s conflict_ci =
+  let learned = ref [] in
+  let counter = ref 0 in
+  let clause = ref s.clauses.(conflict_ci) in
+  let index = ref (s.trail_len - 1) in
+  let uip = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    Array.iter
+      (fun lit ->
+        let v = abs lit in
+        if (not s.seen.(v)) && s.level.(v) > 0 then begin
+          s.seen.(v) <- true;
+          bump s v;
+          if s.level.(v) = s.decision_level then incr counter
+          else learned := lit :: !learned
+        end)
+      !clause;
+    (* walk the trail back to the next marked literal *)
+    let rec back () =
+      let lit = s.trail.(!index) in
+      decr index;
+      if s.seen.(abs lit) then lit else back ()
+    in
+    let lit = back () in
+    s.seen.(abs lit) <- false;
+    decr counter;
+    if !counter = 0 then begin
+      uip := -lit;
+      continue_ := false
+    end
+    else begin
+      (* resolve with its reason, skipping the pivot literal *)
+      let r = s.reason.(abs lit) in
+      let reason_clause = s.clauses.(r) in
+      clause :=
+        Array.of_list
+          (List.filter
+             (fun l -> abs l <> abs lit)
+             (Array.to_list reason_clause))
+    end
+  done;
+  let body = !learned in
+  List.iter (fun l -> s.seen.(abs l) <- false) body;
+  let backjump =
+    List.fold_left (fun acc l -> max acc s.level.(abs l)) 0 body
+  in
+  (Array.of_list (!uip :: body), backjump)
+
+let cancel_until s target_level =
+  if s.decision_level > target_level then begin
+    let keep = s.trail_lim.(target_level) in
+    for i = s.trail_len - 1 downto keep do
+      let v = abs s.trail.(i) in
+      s.saved_phase.(v) <- s.assign.(v);
+      s.assign.(v) <- 0;
+      s.reason.(v) <- -1
+    done;
+    s.trail_len <- keep;
+    s.qhead <- keep;
+    s.decision_level <- target_level
+  end
+
+let pick_branch s =
+  let best = ref 0 in
+  let best_act = ref neg_infinity in
+  for v = 1 to s.nvars do
+    if s.assign.(v) = 0 && s.activity.(v) > !best_act then begin
+      best := v;
+      best_act := s.activity.(v)
+    end
+  done;
+  if !best = 0 then None
+  else begin
+    let v = !best in
+    Some (if s.saved_phase.(v) >= 0 then v else -v)
+  end
+
+let preprocess ~nvars clauses =
+  let prepared = ref [] in
+  let empty = ref false in
+  List.iter
+    (fun clause ->
+      List.iter
+        (fun lit ->
+          if lit = 0 || abs lit > nvars then
+            invalid_arg "Sat.solve: literal out of range")
+        clause;
+      let sorted = List.sort_uniq compare clause in
+      let tautology = List.exists (fun l -> List.mem (-l) sorted) sorted in
+      if not tautology then begin
+        match sorted with
+        | [] -> empty := true
+        | _ -> prepared := Array.of_list sorted :: !prepared
+      end)
+    clauses;
+  (!empty, List.rev !prepared)
+
+exception Found_unsat
+
+let solve ?(max_conflicts = 200_000) ~nvars clauses =
+  if nvars < 0 then invalid_arg "Sat.solve: nvars >= 0";
+  let empty, prepared = preprocess ~nvars clauses in
+  if empty then Unsat
+  else begin
+    let s =
+      {
+        nvars;
+        clauses = Array.make (max 16 (List.length prepared * 2)) [||];
+        n_clauses = 0;
+        assign = Array.make (nvars + 1) 0;
+        level = Array.make (nvars + 1) 0;
+        reason = Array.make (nvars + 1) (-1);
+        activity = Array.make (nvars + 1) 0.;
+        saved_phase = Array.make (nvars + 1) 0;
+        trail = Array.make (nvars + 1) 0;
+        trail_len = 0;
+        qhead = 0;
+        trail_lim = Array.make (nvars + 2) 0;
+        decision_level = 0;
+        watches = Array.make ((2 * nvars) + 2) [];
+        seen = Array.make (nvars + 1) false;
+        var_inc = 1.;
+      }
+    in
+    (* initial activity and phase bias from occurrence counts *)
+    List.iter
+      (fun clause ->
+        Array.iter
+          (fun lit ->
+            let v = abs lit in
+            s.activity.(v) <- s.activity.(v) +. 1.;
+            s.saved_phase.(v) <-
+              s.saved_phase.(v) + (if lit > 0 then 1 else -1))
+          clause)
+      prepared;
+    try
+      List.iter
+        (fun clause ->
+          if Array.length clause = 1 then begin
+            match lit_value s clause.(0) with
+            | 1 -> ()
+            | 0 -> enqueue s clause.(0) (-1)
+            | _ -> raise Found_unsat
+          end
+          else begin
+            let ci = push_clause s clause in
+            watch s clause.(0) ci;
+            watch s clause.(1) ci
+          end)
+        prepared;
+      let conflicts = ref 0 in
+      let restart_limit = ref 100 in
+      let conflicts_since_restart = ref 0 in
+      let result = ref None in
+      while !result = None do
+        let confl = propagate s in
+        if confl >= 0 then begin
+          incr conflicts;
+          incr conflicts_since_restart;
+          if !conflicts > max_conflicts then result := Some Unknown
+          else if s.decision_level = 0 then raise Found_unsat
+          else begin
+            let learned, backjump = analyze s confl in
+            cancel_until s backjump;
+            if Array.length learned = 1 then enqueue s learned.(0) (-1)
+            else begin
+              let ci = push_clause s learned in
+              (* position a literal of the backjump level at slot 1 *)
+              let n = Array.length learned in
+              let rec pos k =
+                if k >= n then 1
+                else if s.level.(abs learned.(k)) = backjump then k
+                else pos (k + 1)
+              in
+              let k = pos 1 in
+              let tmp = learned.(1) in
+              learned.(1) <- learned.(k);
+              learned.(k) <- tmp;
+              watch s learned.(0) ci;
+              watch s learned.(1) ci;
+              enqueue s learned.(0) ci
+            end;
+            (* decay activities *)
+            s.var_inc <- s.var_inc /. 0.95
+          end
+        end
+        else if
+          !conflicts_since_restart >= !restart_limit && s.decision_level > 0
+        then begin
+          conflicts_since_restart := 0;
+          restart_limit := !restart_limit + (!restart_limit / 2);
+          cancel_until s 0
+        end
+        else begin
+          match pick_branch s with
+          | None ->
+            let model = Array.make (nvars + 1) false in
+            for i = 0 to s.trail_len - 1 do
+              if s.trail.(i) > 0 then model.(s.trail.(i)) <- true
+            done;
+            result := Some (Sat model)
+          | Some lit ->
+            s.trail_lim.(s.decision_level) <- s.trail_len;
+            s.decision_level <- s.decision_level + 1;
+            enqueue s lit (-1)
+        end
+      done;
+      match !result with Some r -> r | None -> assert false
+    with Found_unsat -> Unsat
+  end
+
+let verify ~nvars clauses assignment =
+  List.for_all
+    (fun clause ->
+      List.exists
+        (fun lit ->
+          let v = abs lit in
+          v >= 1 && v <= nvars
+          && (if lit > 0 then assignment.(v) else not assignment.(v)))
+        clause)
+    clauses

@@ -1,0 +1,29 @@
+(** A conflict-driven clause-learning (CDCL) SAT solver:
+    two-watched-literal unit propagation, first-UIP clause learning with
+    non-chronological backjumping, activity-driven decisions with phase
+    saving, and geometric restarts.
+
+    Built for the combinational-equivalence miters this repo generates
+    (see {!Cnf}). Instances that exhaust the conflict budget return
+    {!constructor-Unknown} rather than a wrong answer.
+
+    Literals are non-zero integers: [+v] is variable [v], [-v] its
+    negation (DIMACS convention, variables numbered from 1). *)
+
+type result =
+  | Sat of bool array
+      (** Satisfying assignment, indexed by variable (entry 0 unused). *)
+  | Unsat
+  | Unknown  (** Conflict budget exhausted. *)
+
+val solve : ?max_conflicts:int -> nvars:int -> int list list -> result
+(** [solve ~nvars clauses] decides the conjunction of the clauses over
+    variables [1 .. nvars]. An empty clause list is satisfiable; a
+    clause equal to [[]] makes the instance unsatisfiable. Literals must
+    satisfy [1 <= abs lit <= nvars]. [max_conflicts] defaults to
+    200_000. *)
+
+val verify : nvars:int -> int list list -> bool array -> bool
+(** [verify ~nvars clauses assignment] checks that every clause has a
+    true literal under the assignment — used by tests and by callers
+    that must trust a [Sat] answer. *)

@@ -1,0 +1,1 @@
+lib/nano_seq/noisy_seq.ml: Array Hashtbl Int64 List Nano_faults Nano_netlist Nano_util Seq_netlist

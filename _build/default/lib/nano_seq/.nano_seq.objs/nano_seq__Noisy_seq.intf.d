@@ -1,0 +1,1 @@
+lib/nano_seq/noisy_seq.mli: Seq_netlist

@@ -1,0 +1,1 @@
+lib/nano_seq/seq_circuits.ml: Array List Nano_netlist Printf Seq_netlist

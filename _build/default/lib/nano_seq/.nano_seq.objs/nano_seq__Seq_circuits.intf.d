@@ -1,0 +1,1 @@
+lib/nano_seq/seq_circuits.mli: Seq_netlist

@@ -1,0 +1,1 @@
+lib/nano_seq/seq_netlist.ml: Array Hashtbl Int64 List Nano_bounds Nano_energy Nano_netlist Nano_sim Nano_util Printf

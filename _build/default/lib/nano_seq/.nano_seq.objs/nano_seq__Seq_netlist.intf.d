@@ -1,0 +1,1 @@
+lib/nano_seq/seq_netlist.mli: Nano_bounds Nano_energy Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_seq/vcd.ml: Array Buffer Char List Nano_netlist Printf Seq_netlist String

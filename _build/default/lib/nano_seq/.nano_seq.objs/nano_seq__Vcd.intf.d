@@ -1,0 +1,1 @@
+lib/nano_seq/vcd.mli: Seq_netlist

@@ -1,0 +1,99 @@
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let counter ~bits =
+  if bits < 1 then invalid_arg "Seq_circuits.counter: bits >= 1";
+  let b = B.create ~name:(Printf.sprintf "counter%d" bits) () in
+  let q = Array.init bits (fun i -> B.input b (Printf.sprintf "q%d" i)) in
+  let en = B.input b "en" in
+  let carry = ref en in
+  for i = 0 to bits - 1 do
+    let d = B.xor2 b q.(i) !carry in
+    B.output b (Printf.sprintf "d%d" i) d;
+    B.output b (Printf.sprintf "obs_q%d" i) (B.add b Gate.Buf [ q.(i) ]);
+    carry := B.and2 b q.(i) !carry
+  done;
+  B.output b "wrap" !carry;
+  let core = B.finish b in
+  Seq_netlist.create_exn ~core
+    ~registers:
+      (List.init bits (fun i ->
+           {
+             Seq_netlist.state = Printf.sprintf "q%d" i;
+             next = Printf.sprintf "d%d" i;
+             init = false;
+           }))
+
+let lfsr ~bits ~taps =
+  if bits < 2 then invalid_arg "Seq_circuits.lfsr: bits >= 2";
+  if taps = [] || List.exists (fun t -> t < 0 || t >= bits) taps then
+    invalid_arg "Seq_circuits.lfsr: taps must lie in [0, bits)";
+  if not (List.mem (bits - 1) taps) then
+    invalid_arg "Seq_circuits.lfsr: taps must include the last stage";
+  let b = B.create ~name:(Printf.sprintf "lfsr%d" bits) () in
+  let q = Array.init bits (fun i -> B.input b (Printf.sprintf "q%d" i)) in
+  let scan_en = B.input b "scan_en" in
+  let tap_nodes = List.map (fun t -> q.(t)) (List.sort_uniq compare taps) in
+  let feedback =
+    match tap_nodes with
+    | [ single ] -> single
+    | several -> B.reduce b Gate.Xor several
+  in
+  let feedback = B.or2 b feedback scan_en in
+  B.output b "d0" feedback;
+  for i = 1 to bits - 1 do
+    B.output b (Printf.sprintf "d%d" i) (B.add b Gate.Buf [ q.(i - 1) ])
+  done;
+  B.output b "out" (B.add b Gate.Buf [ q.(bits - 1) ]);
+  let core = B.finish b in
+  Seq_netlist.create_exn ~core
+    ~registers:
+      (List.init bits (fun i ->
+           {
+             Seq_netlist.state = Printf.sprintf "q%d" i;
+             next = Printf.sprintf "d%d" i;
+             init = i = 0;
+           }))
+
+let accumulator ~width =
+  if width < 1 then invalid_arg "Seq_circuits.accumulator: width >= 1";
+  let b = B.create ~name:(Printf.sprintf "accum%d" width) () in
+  let s = Array.init width (fun i -> B.input b (Printf.sprintf "s%d" i)) in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let carry = ref (B.const b false) in
+  for i = 0 to width - 1 do
+    let sum = B.xor2 b (B.xor2 b s.(i) a.(i)) !carry in
+    B.output b (Printf.sprintf "n%d" i) sum;
+    B.output b (Printf.sprintf "acc%d" i) (B.add b Gate.Buf [ s.(i) ]);
+    carry := B.maj3 b s.(i) a.(i) !carry
+  done;
+  B.output b "ovf" !carry;
+  let core = B.finish b in
+  Seq_netlist.create_exn ~core
+    ~registers:
+      (List.init width (fun i ->
+           {
+             Seq_netlist.state = Printf.sprintf "s%d" i;
+             next = Printf.sprintf "n%d" i;
+             init = false;
+           }))
+
+let shift_register ~bits =
+  if bits < 1 then invalid_arg "Seq_circuits.shift_register: bits >= 1";
+  let b = B.create ~name:(Printf.sprintf "shift%d" bits) () in
+  let q = Array.init bits (fun i -> B.input b (Printf.sprintf "q%d" i)) in
+  let din = B.input b "din" in
+  B.output b "d0" (B.add b Gate.Buf [ din ]);
+  for i = 1 to bits - 1 do
+    B.output b (Printf.sprintf "d%d" i) (B.add b Gate.Buf [ q.(i - 1) ])
+  done;
+  B.output b "dout" (B.add b Gate.Buf [ q.(bits - 1) ]);
+  let core = B.finish b in
+  Seq_netlist.create_exn ~core
+    ~registers:
+      (List.init bits (fun i ->
+           {
+             Seq_netlist.state = Printf.sprintf "q%d" i;
+             next = Printf.sprintf "d%d" i;
+             init = false;
+           }))

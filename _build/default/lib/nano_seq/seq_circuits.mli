@@ -1,0 +1,25 @@
+(** Sequential benchmark generators for the {!Seq_netlist} extension. *)
+
+val counter : bits:int -> Seq_netlist.t
+(** Binary up-counter with enable. Free input ["en"]; observable outputs
+    ["q0"..] (current count) and ["wrap"] (carry out of the increment).
+    Resets to zero. Requires [bits >= 1]. *)
+
+val lfsr : bits:int -> taps:int list -> Seq_netlist.t
+(** Fibonacci linear-feedback shift register. [taps] are 0-based stage
+    indices XORed into the feedback (must include [bits - 1]; all below
+    [bits]). Free input ["scan_en"] forces the feedback to 1 when high
+    (a test hook that also keeps the core's input set non-empty).
+    Observable output ["out"] is the last stage. Resets to
+    [1, 0, 0, ...]. Requires [bits >= 2]. *)
+
+val accumulator : width:int -> Seq_netlist.t
+(** Adds its input bus into a register every cycle. Free inputs
+    ["a0"..]; observable outputs ["acc0"..] (registered value) and
+    ["ovf"] (carry of the current addition). Resets to zero. Requires
+    [width >= 1]. *)
+
+val shift_register : bits:int -> Seq_netlist.t
+(** Serial-in/serial-out shift register. Free input ["din"]; observable
+    output ["dout"] (last stage). Resets to zero. Requires
+    [bits >= 1]. *)

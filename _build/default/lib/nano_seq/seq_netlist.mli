@@ -1,0 +1,105 @@
+(** Sequential circuits: a combinational core plus edge-triggered
+    registers.
+
+    The paper's framework is combinational; its conclusion names "the
+    treatment of sequential circuits" as future work. This module
+    implements the standard reduction: a register file around a
+    combinational core, with cycle-accurate simulation, time-frame
+    expansion (unrolling) so that every combinational bound applies per
+    frame, and measured *temporal* switching activity to compare against
+    the temporal-independence model the bounds assume.
+
+    Conventions: every register is a pair of core ports — a primary
+    input carrying the present state and a primary output computing the
+    next state. All other core ports are the circuit's real inputs and
+    outputs. *)
+
+type register = {
+  state : string;  (** Core input holding the register's current value. *)
+  next : string;  (** Core output computing the register's next value. *)
+  init : bool;  (** Reset value. *)
+}
+
+type t
+
+val create :
+  core:Nano_netlist.Netlist.t -> registers:register list -> (t, string) result
+(** Validates that every [state] names a distinct core input, every
+    [next] a distinct core output, and returns the machine. A circuit
+    with an empty register list is just a combinational circuit in a
+    wrapper. *)
+
+val create_exn :
+  core:Nano_netlist.Netlist.t -> registers:register list -> t
+(** Like {!create} but raises [Invalid_argument]. *)
+
+val core : t -> Nano_netlist.Netlist.t
+val registers : t -> register list
+val state_bits : t -> int
+
+val free_inputs : t -> string list
+(** Core inputs that are not register state ports (the machine's real
+    inputs), in declaration order. *)
+
+val observable_outputs : t -> string list
+(** Core outputs that are not register next-state ports. *)
+
+val map_core :
+  (Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t) -> t -> (t, string) result
+(** [map_core f m] applies a combinational transformation (e.g.
+    [Nano_synth.Script.rugged_lite]) to the core. The transformation
+    must preserve the core's interface — register ports included —
+    which every [Nano_synth] pass does; an interface change is reported
+    as [Error]. *)
+
+(** {1 Simulation} *)
+
+val simulate :
+  t -> inputs:(string * bool) list list -> (string * bool) list list
+(** [simulate m ~inputs] runs one cycle per element of [inputs] from the
+    reset state; each element must bind every free input. Returns the
+    observable outputs per cycle (values before the clock edge of that
+    cycle). *)
+
+val final_state : t -> inputs:(string * bool) list list -> (string * bool) list
+(** Register values after consuming the stimulus. *)
+
+(** {1 Time-frame expansion} *)
+
+val unroll : t -> cycles:int -> Nano_netlist.Netlist.t
+(** [unroll m ~cycles] builds a combinational netlist with inputs
+    [name@t] for each free input and cycle [t] (0-based), outputs
+    [name@t] for each observable output, plus [state@final] outputs for
+    the registers. The initial state is baked in as constants. Requires
+    [cycles >= 1]. Unrolled evaluation agrees cycle-for-cycle with
+    {!simulate} (tested). *)
+
+(** {1 Activity} *)
+
+val temporal_activity :
+  ?seed:int -> ?cycles:int -> ?input_probability:float -> t -> float array
+(** Per-core-node toggle rate between {e consecutive cycles} of a random
+    input stream — the physical switching activity of the sequential
+    machine, including state correlation that the temporal-independence
+    model ignores. One entry per core node id. *)
+
+val average_gate_temporal_activity :
+  ?seed:int -> ?cycles:int -> ?input_probability:float -> t -> float
+(** Mean of {!temporal_activity} over logic gates, i.e. the sequential
+    counterpart of the paper's [sw0]. *)
+
+val energy_trace :
+  ?seed:int -> ?cycles:int -> ?input_probability:float ->
+  tech:Nano_energy.Technology.t -> t -> float array
+(** Per-cycle switching energy of the core under a random input stream:
+    entry [t] is the mean (over 64 parallel streams) energy spent
+    switching between cycle [t-1] and cycle [t], using the per-gate-kind
+    capacitances of [Nano_energy.Energy_model.gate_capacitance]. Entry 0
+    covers the transition out of reset. *)
+
+val profile :
+  ?seed:int -> ?cycles:int -> t -> Nano_bounds.Profile.t
+(** Bound-ready profile of the per-cycle combinational work: the core's
+    size/depth/fanin/sensitivity with [sw0] replaced by the measured
+    temporal activity. Feeding this to [Nano_bounds.Metrics] bounds the
+    energy of one clock cycle of the fault-tolerant machine. *)

@@ -1,0 +1,101 @@
+(* VCD identifiers: printable ASCII starting at '!'; multi-character
+   once the single characters run out. *)
+let identifier i =
+  let base = 94 in
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if i < base then acc else go ((i / base) - 1) acc
+  in
+  go i ""
+
+let of_signals ?(design = "nanobound") ?(timescale = "1 ns") signals =
+  if signals = [] then invalid_arg "Vcd.of_signals: no signals";
+  let length =
+    match signals with
+    | (_, first) :: _ -> List.length first
+    | [] -> assert false
+  in
+  List.iter
+    (fun (name, values) ->
+      if List.length values <> length then
+        invalid_arg (Printf.sprintf "Vcd.of_signals: ragged signal %s" name))
+    signals;
+  let names = List.map fst signals in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Vcd.of_signals: duplicate signal names";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "$date\n  (reproducible build)\n$end\n";
+  Buffer.add_string buf "$version\n  nanobound VCD writer\n$end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" design);
+  let ids =
+    List.mapi
+      (fun i (name, _) ->
+        let id = identifier i in
+        Buffer.add_string buf
+          (Printf.sprintf "$var wire 1 %s %s $end\n" id name);
+        id)
+      signals
+  in
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  let arrays = List.map (fun (_, vs) -> Array.of_list vs) signals in
+  Buffer.add_string buf "$dumpvars\n";
+  List.iter2
+    (fun id values ->
+      Buffer.add_string buf
+        (Printf.sprintf "%c%s\n" (if values.(0) then '1' else '0') id))
+    ids arrays;
+  Buffer.add_string buf "$end\n#0\n";
+  for t = 1 to length - 1 do
+    let changes =
+      List.filter_map
+        (fun (id, values) ->
+          if values.(t) <> values.(t - 1) then
+            Some (Printf.sprintf "%c%s" (if values.(t) then '1' else '0') id)
+          else None)
+        (List.combine ids arrays)
+    in
+    if changes <> [] then begin
+      Buffer.add_string buf (Printf.sprintf "#%d\n" t);
+      List.iter
+        (fun line ->
+          Buffer.add_string buf line;
+          Buffer.add_char buf '\n')
+        changes
+    end
+  done;
+  Buffer.add_string buf (Printf.sprintf "#%d\n" length);
+  Buffer.contents buf
+
+let of_simulation machine ~inputs =
+  if inputs = [] then invalid_arg "Vcd.of_simulation: empty stimulus";
+  let trace = Seq_netlist.simulate machine ~inputs in
+  let input_signals =
+    List.map
+      (fun name ->
+        ( name,
+          List.map
+            (fun cycle ->
+              match List.assoc_opt name cycle with
+              | Some v -> v
+              | None ->
+                invalid_arg
+                  (Printf.sprintf "Vcd.of_simulation: stimulus misses %s" name))
+            inputs ))
+      (Seq_netlist.free_inputs machine)
+  in
+  let output_signals =
+    List.map
+      (fun name ->
+        (name, List.map (fun cycle -> List.assoc name cycle) trace))
+      (Seq_netlist.observable_outputs machine)
+  in
+  of_signals
+    ~design:(Nano_netlist.Netlist.name (Seq_netlist.core machine))
+    (input_signals @ output_signals)
+
+let write_file ~path machine ~inputs =
+  let oc = open_out path in
+  output_string oc (of_simulation machine ~inputs);
+  close_out oc

@@ -1,0 +1,19 @@
+(** Value Change Dump (IEEE 1364) export of simulation traces, one
+    timestep per clock cycle — handy for inspecting {!Seq_netlist}
+    machines in any waveform viewer. *)
+
+val of_signals :
+  ?design:string -> ?timescale:string -> (string * bool list) list -> string
+(** [of_signals signals] renders named single-bit waveforms (all lists
+    must share a length) as VCD text. Only changes are dumped after the
+    initial [$dumpvars] section. [design] defaults to ["nanobound"];
+    [timescale] to ["1 ns"]. Raises [Invalid_argument] on ragged input,
+    duplicate names, or empty signal lists. *)
+
+val of_simulation :
+  Seq_netlist.t -> inputs:(string * bool) list list -> string
+(** Simulate the machine on the stimulus (as {!Seq_netlist.simulate})
+    and dump every free input and observable output. *)
+
+val write_file :
+  path:string -> Seq_netlist.t -> inputs:(string * bool) list list -> unit

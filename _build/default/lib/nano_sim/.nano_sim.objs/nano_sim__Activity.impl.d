@@ -1,0 +1,1 @@
+lib/nano_sim/activity.ml: Array Bitsim Hashtbl Int64 List Nano_bdd Nano_netlist Nano_util

@@ -1,0 +1,1 @@
+lib/nano_sim/activity.mli: Nano_netlist

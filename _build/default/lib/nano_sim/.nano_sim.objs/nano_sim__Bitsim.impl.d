@@ -1,0 +1,1 @@
+lib/nano_sim/bitsim.ml: Array List Nano_netlist Nano_util

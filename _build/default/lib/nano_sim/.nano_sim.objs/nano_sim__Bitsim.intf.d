@@ -1,0 +1,1 @@
+lib/nano_sim/bitsim.mli: Nano_netlist Nano_util

@@ -1,0 +1,1 @@
+lib/nano_sim/glitch.mli: Nano_netlist

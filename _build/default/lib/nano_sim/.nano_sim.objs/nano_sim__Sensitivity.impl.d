@@ -1,0 +1,1 @@
+lib/nano_sim/sensitivity.ml: Array Bitsim Int64 List Nano_netlist Nano_util

@@ -1,0 +1,1 @@
+lib/nano_sim/sensitivity.mli: Nano_netlist

@@ -1,0 +1,121 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+type profile = {
+  node_probability : float array;
+  node_activity : float array;
+  average_gate_activity : float;
+  vectors : int;
+}
+
+let is_counted_gate info =
+  match info.Netlist.kind with
+  | Gate.Input | Gate.Const _ | Gate.Buf -> false
+  | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+  | Gate.Xnor | Gate.Majority -> true
+
+let average_over_gates netlist per_node =
+  let total, count =
+    Netlist.fold netlist ~init:(0., 0) ~f:(fun (t, c) id info ->
+        if is_counted_gate info then (t +. per_node.(id), c + 1) else (t, c))
+  in
+  if count = 0 then 0. else total /. float_of_int count
+
+let profile_of_probabilities netlist probs ~vectors =
+  let activity = Array.map (fun p -> 2. *. p *. (1. -. p)) probs in
+  {
+    node_probability = probs;
+    node_activity = activity;
+    average_gate_activity = average_over_gates netlist activity;
+    vectors;
+  }
+
+let monte_carlo ?(seed = 0x5eed) ?(vectors = 4096) ?(input_probability = 0.5)
+    netlist =
+  let rng = Nano_util.Prng.create ~seed in
+  let words = Nano_util.Math_ext.ceil_div vectors 64 in
+  let n = Netlist.node_count netlist in
+  let ones = Array.make n 0 in
+  let values = Array.make n 0L in
+  let n_in = List.length (Netlist.inputs netlist) in
+  for _ = 1 to words do
+    let input_words =
+      Array.init n_in (fun _ ->
+          Nano_util.Prng.word_with_density rng ~p:input_probability)
+    in
+    Bitsim.eval_words_into netlist ~input_words ~values;
+    Array.iteri
+      (fun id w -> ones.(id) <- ones.(id) + Nano_util.Bits.popcount64 w)
+      values
+  done;
+  let total = float_of_int (words * 64) in
+  let probs = Array.map (fun c -> float_of_int c /. total) ones in
+  profile_of_probabilities netlist probs ~vectors:(words * 64)
+
+let exact ?(input_probability = 0.5) netlist =
+  let m = Nano_bdd.Bdd.manager () in
+  let n = Netlist.node_count netlist in
+  let bdds = Array.make n (Nano_bdd.Bdd.bdd_false m) in
+  let input_var = Hashtbl.create 16 in
+  List.iteri
+    (fun i id -> Hashtbl.replace input_var id (Nano_bdd.Bdd.var m i))
+    (Netlist.inputs netlist);
+  (* Threshold helper for majority gates: at least [k] of [xs]. *)
+  let rec at_least k xs =
+    if k <= 0 then Nano_bdd.Bdd.bdd_true m
+    else
+      match xs with
+      | [] -> Nano_bdd.Bdd.bdd_false m
+      | x :: rest ->
+        Nano_bdd.Bdd.ite m x (at_least (k - 1) rest) (at_least k rest)
+  in
+  Netlist.iter netlist (fun id info ->
+      let fan () = Array.to_list (Array.map (fun f -> bdds.(f)) info.Netlist.fanins) in
+      let reduce op xs =
+        match xs with
+        | [] -> invalid_arg "Activity.exact: empty fanin"
+        | first :: rest -> List.fold_left (op m) first rest
+      in
+      bdds.(id) <-
+        (match info.Netlist.kind with
+        | Gate.Input -> Hashtbl.find input_var id
+        | Gate.Const b -> Nano_bdd.Bdd.of_bool m b
+        | Gate.Buf -> List.nth (fan ()) 0
+        | Gate.Not -> Nano_bdd.Bdd.bnot m (List.nth (fan ()) 0)
+        | Gate.And -> reduce Nano_bdd.Bdd.band (fan ())
+        | Gate.Or -> reduce Nano_bdd.Bdd.bor (fan ())
+        | Gate.Nand -> Nano_bdd.Bdd.bnot m (reduce Nano_bdd.Bdd.band (fan ()))
+        | Gate.Nor -> Nano_bdd.Bdd.bnot m (reduce Nano_bdd.Bdd.bor (fan ()))
+        | Gate.Xor -> reduce Nano_bdd.Bdd.bxor (fan ())
+        | Gate.Xnor -> Nano_bdd.Bdd.bnot m (reduce Nano_bdd.Bdd.bxor (fan ()))
+        | Gate.Majority ->
+          let xs = fan () in
+          at_least ((List.length xs / 2) + 1) xs))
+    ;
+  let p _ = input_probability in
+  let probs = Array.map (fun bdd -> Nano_bdd.Bdd.probability m ~p bdd) bdds in
+  profile_of_probabilities netlist probs ~vectors:0
+
+let measured_toggle_rate ?(seed = 0x70661e) ?(pairs = 4096)
+    ?(input_probability = 0.5) netlist =
+  let rng = Nano_util.Prng.create ~seed in
+  let words = Nano_util.Math_ext.ceil_div pairs 64 in
+  let n = Netlist.node_count netlist in
+  let toggles = Array.make n 0 in
+  let values_a = Array.make n 0L in
+  let values_b = Array.make n 0L in
+  let n_in = List.length (Netlist.inputs netlist) in
+  let draw () =
+    Array.init n_in (fun _ ->
+        Nano_util.Prng.word_with_density rng ~p:input_probability)
+  in
+  for _ = 1 to words do
+    Bitsim.eval_words_into netlist ~input_words:(draw ()) ~values:values_a;
+    Bitsim.eval_words_into netlist ~input_words:(draw ()) ~values:values_b;
+    for id = 0 to n - 1 do
+      let diff = Int64.logxor values_a.(id) values_b.(id) in
+      toggles.(id) <- toggles.(id) + Nano_util.Bits.popcount64 diff
+    done
+  done;
+  let total = float_of_int (words * 64) in
+  Array.map (fun c -> float_of_int c /. total) toggles

@@ -1,0 +1,29 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+let eval_words_into netlist ~input_words ~values =
+  let n_in = List.length (Netlist.inputs netlist) in
+  if Array.length input_words <> n_in then
+    invalid_arg "Bitsim.eval_words_into: wrong number of input words";
+  if Array.length values <> Netlist.node_count netlist then
+    invalid_arg "Bitsim.eval_words_into: wrong values length";
+  List.iteri (fun i id -> values.(id) <- input_words.(i)) (Netlist.inputs netlist);
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let words = Array.map (fun f -> values.(f)) info.Netlist.fanins in
+        values.(id) <- Gate.eval_word kind words)
+
+let eval_words netlist input_words =
+  let values = Array.make (Netlist.node_count netlist) 0L in
+  eval_words_into netlist ~input_words ~values;
+  values
+
+let random_input_words rng ~input_probability ~count =
+  Array.init count (fun _ ->
+      Nano_util.Prng.word_with_density rng ~p:input_probability)
+
+let output_word netlist values name =
+  let node = List.assoc name (Netlist.outputs netlist) in
+  values.(node)

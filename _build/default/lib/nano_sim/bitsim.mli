@@ -1,0 +1,21 @@
+(** 64-way bit-parallel functional simulation of netlists: every [int64]
+    word carries 64 independent input vectors through the circuit at
+    once. *)
+
+val eval_words : Nano_netlist.Netlist.t -> int64 array -> int64 array
+(** [eval_words netlist input_words] simulates 64 vectors. The array
+    gives one word per primary input (declaration order); the result has
+    one word per node id. *)
+
+val eval_words_into :
+  Nano_netlist.Netlist.t -> input_words:int64 array -> values:int64 array -> unit
+(** Allocation-free variant: [values] must have [node_count] entries and
+    is overwritten. *)
+
+val random_input_words :
+  Nano_util.Prng.t -> input_probability:float -> count:int -> int64 array
+(** [count] words, each bit one with the given probability. *)
+
+val output_word : Nano_netlist.Netlist.t -> int64 array -> string -> int64
+(** Extract the word of a named primary output from an
+    {!eval_words} result. Raises [Not_found] for unknown output names. *)

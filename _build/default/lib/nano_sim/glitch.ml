@@ -1,0 +1,97 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+type profile = {
+  node_transitions : float array;
+  node_settled_toggles : float array;
+  average_gate_transitions : float;
+  average_gate_settled : float;
+  glitch_factor : float;
+  pairs : int;
+}
+
+let is_counted info =
+  match info.Netlist.kind with
+  | Gate.Input | Gate.Const _ | Gate.Buf -> false
+  | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+  | Gate.Xnor | Gate.Majority -> true
+
+(* One synchronous unit-delay step: every gate reads its fanins'
+   previous values. Inputs hold the new vector. *)
+let step netlist ~prev ~next =
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> next.(id) <- prev.(id)
+      | kind ->
+        let words = Array.map (fun f -> prev.(f)) info.Netlist.fanins in
+        next.(id) <- Gate.eval_word kind words)
+
+let unit_delay ?(seed = 0x911c) ?(pairs = 2048) ?(input_probability = 0.5)
+    netlist =
+  let rng = Nano_util.Prng.create ~seed in
+  let words = Nano_util.Math_ext.ceil_div pairs 64 in
+  let n = Netlist.node_count netlist in
+  let n_in = List.length (Netlist.inputs netlist) in
+  let depth = Netlist.depth netlist in
+  let transitions = Array.make n 0 in
+  let settled_toggles = Array.make n 0 in
+  let old_values = Array.make n 0L in
+  let new_values = Array.make n 0L in
+  let prev = Array.make n 0L in
+  let next = Array.make n 0L in
+  for _ = 1 to words do
+    let draw () =
+      Array.init n_in (fun _ ->
+          Nano_util.Prng.word_with_density rng ~p:input_probability)
+    in
+    let vec_a = draw () in
+    let vec_b = draw () in
+    Bitsim.eval_words_into netlist ~input_words:vec_a ~values:old_values;
+    Bitsim.eval_words_into netlist ~input_words:vec_b ~values:new_values;
+    for id = 0 to n - 1 do
+      settled_toggles.(id) <-
+        settled_toggles.(id)
+        + Nano_util.Bits.popcount64 (Int64.logxor old_values.(id) new_values.(id))
+    done;
+    (* Wave propagation: start settled at A, inputs snap to B. *)
+    Array.blit old_values 0 prev 0 n;
+    List.iteri (fun i id -> prev.(id) <- vec_b.(i)) (Netlist.inputs netlist);
+    for id = 0 to n - 1 do
+      transitions.(id) <-
+        transitions.(id)
+        + Nano_util.Bits.popcount64 (Int64.logxor prev.(id) old_values.(id))
+    done;
+    for _t = 1 to depth do
+      step netlist ~prev ~next;
+      for id = 0 to n - 1 do
+        transitions.(id) <-
+          transitions.(id)
+          + Nano_util.Bits.popcount64 (Int64.logxor next.(id) prev.(id))
+      done;
+      Array.blit next 0 prev 0 n
+    done
+  done;
+  let total = float_of_int (words * 64) in
+  let node_transitions = Array.map (fun c -> float_of_int c /. total) transitions in
+  let node_settled_toggles =
+    Array.map (fun c -> float_of_int c /. total) settled_toggles
+  in
+  let average per_node =
+    let sum, count =
+      Netlist.fold netlist ~init:(0., 0) ~f:(fun (s, c) id info ->
+          if is_counted info then (s +. per_node.(id), c + 1) else (s, c))
+    in
+    if count = 0 then 0. else sum /. float_of_int count
+  in
+  let average_gate_transitions = average node_transitions in
+  let average_gate_settled = average node_settled_toggles in
+  {
+    node_transitions;
+    node_settled_toggles;
+    average_gate_transitions;
+    average_gate_settled;
+    glitch_factor =
+      (if average_gate_settled = 0. then 1.
+       else average_gate_transitions /. average_gate_settled);
+    pairs = words * 64;
+  }

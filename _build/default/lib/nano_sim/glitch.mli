@@ -1,0 +1,33 @@
+(** Glitch-aware switching activity via unit-delay timing simulation.
+
+    The paper's energy model (and {!Activity}) counts one transition per
+    settled value change (zero-delay model). Real circuits also burn
+    energy in hazards: when a gate's fanins change at different times it
+    can toggle several times before settling. This module replays input
+    changes through a unit-delay model and counts {e every} transition,
+    yielding the glitch multiplier that inflates switching energy on
+    unbalanced logic — one more reason the balance pass pays off. *)
+
+type profile = {
+  node_transitions : float array;
+      (** Per node id: mean transitions per applied input change
+          (unit-delay). *)
+  node_settled_toggles : float array;
+      (** Per node id: mean settled (zero-delay) toggles — the
+          {!Activity} notion, measured on the same vector pairs. *)
+  average_gate_transitions : float;
+  average_gate_settled : float;
+  glitch_factor : float;
+      (** [average_gate_transitions / average_gate_settled]; 1.0 means
+          hazard-free, larger means glitch energy. 1.0 when the
+          denominator is 0. *)
+  pairs : int;
+}
+
+val unit_delay :
+  ?seed:int -> ?pairs:int -> ?input_probability:float ->
+  Nano_netlist.Netlist.t -> profile
+(** Simulate [pairs] (default 2048, rounded up to multiples of 64)
+    random vector changes. All internal nodes start settled on the old
+    vector; inputs step to the new vector at time 0 and every gate
+    updates one time unit after its fanins. *)

@@ -1,0 +1,75 @@
+module Netlist = Nano_netlist.Netlist
+
+(* Bit-parallel flip evaluation: lane 0 carries the base assignment and
+   lane j (1 <= j <= 63) the assignment with one input flipped, so one
+   netlist evaluation measures up to 63 single-input flips. *)
+let at_assignment netlist bits =
+  let n = Array.length bits in
+  let outputs = Netlist.outputs netlist in
+  let values = Array.make (Netlist.node_count netlist) 0L in
+  let changed = Array.make n false in
+  let chunk_start = ref 0 in
+  while !chunk_start < n do
+    let flips = min 63 (n - !chunk_start) in
+    let input_words =
+      Array.init n (fun i ->
+          let base = if bits.(i) then -1L else 0L in
+          let local = i - !chunk_start in
+          if local >= 0 && local < flips then
+            (* Flip this input in its dedicated lane (local + 1). *)
+            Int64.logxor base (Int64.shift_left 1L (local + 1))
+          else base)
+    in
+    Bitsim.eval_words_into netlist ~input_words ~values;
+    (* A lane differs from lane 0 when some output bit differs. *)
+    let diff = ref 0L in
+    List.iter
+      (fun (_, node) ->
+        let w = values.(node) in
+        let base_bit = Int64.logand w 1L in
+        (* Spread lane 0's bit across all lanes and XOR. *)
+        let spread = Int64.neg base_bit (* 0 -> 0L, 1 -> all ones *) in
+        diff := Int64.logor !diff (Int64.logxor w spread))
+      outputs;
+    for j = 0 to flips - 1 do
+      if Nano_util.Bits.get !diff (j + 1) then
+        changed.(!chunk_start + j) <- true
+    done;
+    chunk_start := !chunk_start + flips
+  done;
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 changed
+
+let exact ?(max_inputs = 12) netlist =
+  let n = List.length (Netlist.inputs netlist) in
+  if n > max_inputs then None
+  else begin
+    let bits = Array.make n false in
+    let best = ref 0 in
+    for a = 0 to (1 lsl n) - 1 do
+      for i = 0 to n - 1 do
+        bits.(i) <- (a lsr i) land 1 = 1
+      done;
+      let s = at_assignment netlist bits in
+      if s > !best then best := s
+    done;
+    Some !best
+  end
+
+let sampled ?(seed = 0x5e15) ?(samples = 2048) netlist =
+  let rng = Nano_util.Prng.create ~seed in
+  let n = List.length (Netlist.inputs netlist) in
+  let bits = Array.make n false in
+  let best = ref 0 in
+  for _ = 1 to samples do
+    for i = 0 to n - 1 do
+      bits.(i) <- Nano_util.Prng.bool rng
+    done;
+    let s = at_assignment netlist bits in
+    if s > !best then best := s
+  done;
+  !best
+
+let estimate ?seed ?samples netlist =
+  match exact netlist with
+  | Some s -> s
+  | None -> sampled ?seed ?samples netlist

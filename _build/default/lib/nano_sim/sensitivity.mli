@@ -1,0 +1,24 @@
+(** Boolean sensitivity of netlist functions.
+
+    The sensitivity [s] of a function is the largest, over input
+    assignments, number of inputs whose individual flip changes some
+    output — the parameter driving Theorem 2's redundancy bound. For a
+    multi-output circuit we use the characteristic-function convention of
+    Corollary 1: an input flip "counts" when any output changes. *)
+
+val at_assignment : Nano_netlist.Netlist.t -> bool array -> int
+(** Sensitivity at one input assignment (number of single-input flips
+    that change the output word). *)
+
+val exact : ?max_inputs:int -> Nano_netlist.Netlist.t -> int option
+(** Exhaustive maximum over all [2^n] assignments; [None] when the
+    netlist has more than [max_inputs] (default 12) primary inputs. *)
+
+val sampled :
+  ?seed:int -> ?samples:int -> Nano_netlist.Netlist.t -> int
+(** Monte-Carlo lower estimate: maximum of {!at_assignment} over
+    [samples] (default 2048) random assignments. Always a valid lower
+    bound on the true sensitivity, which keeps Theorem 2's bound sound. *)
+
+val estimate : ?seed:int -> ?samples:int -> Nano_netlist.Netlist.t -> int
+(** {!exact} when feasible, otherwise {!sampled}. *)

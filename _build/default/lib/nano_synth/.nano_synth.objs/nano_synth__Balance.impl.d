@@ -1,0 +1,1 @@
+lib/nano_synth/balance.ml: Array Hashtbl List Nano_netlist Printf Strash

@@ -1,0 +1,1 @@
+lib/nano_synth/balance.mli: Nano_netlist

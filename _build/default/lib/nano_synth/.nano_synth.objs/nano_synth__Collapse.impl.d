@@ -1,0 +1,1 @@
+lib/nano_synth/collapse.ml: Array Hashtbl List Nano_logic Nano_netlist Nano_sim Nano_util Quine_mccluskey

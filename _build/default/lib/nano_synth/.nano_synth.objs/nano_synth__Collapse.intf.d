@@ -1,0 +1,1 @@
+lib/nano_synth/collapse.mli: Nano_logic Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_synth/equiv.ml: Array Hashtbl List Nano_bdd Nano_netlist Nano_util String

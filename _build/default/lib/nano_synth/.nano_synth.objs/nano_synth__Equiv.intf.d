@@ -1,0 +1,1 @@
+lib/nano_synth/equiv.mli: Nano_netlist

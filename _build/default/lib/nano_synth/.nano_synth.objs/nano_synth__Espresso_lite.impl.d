@@ -1,0 +1,1 @@
+lib/nano_synth/espresso_lite.ml: Array Hashtbl List Nano_logic

@@ -1,0 +1,1 @@
+lib/nano_synth/espresso_lite.mli: Nano_logic

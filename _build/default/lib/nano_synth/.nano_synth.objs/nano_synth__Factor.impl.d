@@ -1,0 +1,1 @@
+lib/nano_synth/factor.ml: Array Hashtbl List Nano_logic Nano_netlist Printf String

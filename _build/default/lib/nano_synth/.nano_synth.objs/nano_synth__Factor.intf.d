@@ -1,0 +1,1 @@
+lib/nano_synth/factor.mli: Nano_logic Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_synth/fanin_limit.ml: Array List Nano_netlist Printf

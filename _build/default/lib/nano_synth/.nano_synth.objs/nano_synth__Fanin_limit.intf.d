@@ -1,0 +1,1 @@
+lib/nano_synth/fanin_limit.mli: Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_synth/nand_map.ml: Array Hashtbl List Nano_netlist Printf

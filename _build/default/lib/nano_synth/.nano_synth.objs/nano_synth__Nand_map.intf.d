@@ -1,0 +1,1 @@
+lib/nano_synth/nand_map.mli: Nano_netlist

@@ -1,0 +1,1 @@
+lib/nano_synth/quine_mccluskey.ml: Array List Nano_logic Set

@@ -1,0 +1,1 @@
+lib/nano_synth/quine_mccluskey.mli: Nano_logic

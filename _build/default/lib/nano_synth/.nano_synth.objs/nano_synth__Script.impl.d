@@ -1,0 +1,1 @@
+lib/nano_synth/script.ml: Balance Collapse Factor Fanin_limit List Nand_map Nano_netlist Quine_mccluskey Strash

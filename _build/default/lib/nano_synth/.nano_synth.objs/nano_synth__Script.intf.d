@@ -1,0 +1,1 @@
+lib/nano_synth/script.mli: Nano_netlist

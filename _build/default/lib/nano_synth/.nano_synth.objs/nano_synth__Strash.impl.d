@@ -1,0 +1,1 @@
+lib/nano_synth/strash.ml: Array Hashtbl List Nano_netlist Option Printf

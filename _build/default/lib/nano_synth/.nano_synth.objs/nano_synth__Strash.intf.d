@@ -1,0 +1,1 @@
+lib/nano_synth/strash.mli: Nano_netlist

@@ -1,0 +1,9 @@
+(** Tree balancing for depth reduction (the classical `balance` pass).
+
+    Chains of associative gates (AND/OR/XOR) whose intermediate results
+    have no other fanout are flattened and rebuilt as balanced binary
+    trees, combining the earliest-arriving operands first (Huffman-style
+    on logic levels). Logic depth never increases, the function is
+    preserved, and gate count is unchanged for pure chains. *)
+
+val run : Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t

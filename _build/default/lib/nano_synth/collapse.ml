@@ -1,0 +1,117 @@
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+module Cube = Nano_logic.Cube
+module Truth_table = Nano_logic.Truth_table
+
+let to_truth_tables ?(max_inputs = 14) netlist =
+  let inputs = Netlist.inputs netlist in
+  let n = List.length inputs in
+  if n > max_inputs then None
+  else begin
+    let total = 1 lsl n in
+    let out_nodes = Netlist.outputs netlist in
+    let tables =
+      List.map
+        (fun (name, _) -> (name, Nano_util.Bits.Vec.create total))
+        out_nodes
+    in
+    (* Bit-parallel sweep: 64 assignments per evaluation. *)
+    let values = Array.make (Netlist.node_count netlist) 0L in
+    let words = Nano_util.Math_ext.ceil_div total 64 in
+    for w = 0 to words - 1 do
+      let base = w * 64 in
+      let input_words =
+        Array.init n (fun i ->
+            (* Bit lane l carries assignment (base + l): input i's value
+               is bit i of that assignment index. *)
+            let word = ref 0L in
+            for lane = 0 to 63 do
+              let a = base + lane in
+              if a < total && (a lsr i) land 1 = 1 then
+                word := Nano_util.Bits.set !word lane true
+            done;
+            !word)
+      in
+      Nano_sim.Bitsim.eval_words_into netlist ~input_words ~values;
+      List.iter2
+        (fun (_, vec) (_, node) ->
+          let word = values.(node) in
+          for lane = 0 to 63 do
+            let a = base + lane in
+            if a < total && Nano_util.Bits.get word lane then
+              Nano_util.Bits.Vec.set vec a true
+          done)
+        tables out_nodes
+    done;
+    Some
+      (List.map
+         (fun (name, vec) ->
+           (name, Truth_table.of_string ~arity:n (Nano_util.Bits.Vec.to_string vec)))
+         tables)
+  end
+
+let of_covers ~name ~input_names covers =
+  let arity = List.length input_names in
+  let b = B.create ~name () in
+  let inputs = Array.of_list (List.map (B.input b) input_names) in
+  let inverters = Hashtbl.create 16 in
+  let literal i polarity =
+    if polarity then inputs.(i)
+    else begin
+      match Hashtbl.find_opt inverters i with
+      | Some n -> n
+      | None ->
+        let n = B.not_ b inputs.(i) in
+        Hashtbl.replace inverters i n;
+        n
+    end
+  in
+  let products = Hashtbl.create 32 in
+  let product cube =
+    if Cube.arity cube <> arity then
+      invalid_arg "Collapse.of_covers: cube arity mismatch";
+    let key = Cube.to_string cube in
+    match Hashtbl.find_opt products key with
+    | Some n -> n
+    | None ->
+      let literals = ref [] in
+      for i = arity - 1 downto 0 do
+        match Cube.literal cube i with
+        | Cube.One -> literals := literal i true :: !literals
+        | Cube.Zero -> literals := literal i false :: !literals
+        | Cube.Dont_care -> ()
+      done;
+      let n =
+        match !literals with
+        | [] -> B.const b true
+        | [ single ] -> single
+        | several -> B.reduce b Gate.And several
+      in
+      Hashtbl.replace products key n;
+      n
+  in
+  List.iter
+    (fun (out_name, cover) ->
+      let node =
+        match cover with
+        | [] -> B.const b false
+        | [ single ] -> product single
+        | cubes -> B.reduce b Gate.Or (List.map product cubes)
+      in
+      B.output b out_name node)
+    covers;
+  B.finish b
+
+let resynthesize ?max_inputs netlist =
+  match to_truth_tables ?max_inputs netlist with
+  | None -> None
+  | Some tables ->
+    let covers =
+      List.map
+        (fun (name, tt) -> (name, Quine_mccluskey.minimize_table tt))
+        tables
+    in
+    let input_names = Netlist.input_names netlist in
+    Some
+      (of_covers ~name:(Netlist.name netlist) ~input_names covers)

@@ -1,0 +1,26 @@
+(** Collapse small netlists to truth tables and rebuild from two-level
+    covers; together with {!Quine_mccluskey} this forms the
+    collapse-minimize-rebuild pass of [Script.rugged_lite]. *)
+
+val to_truth_tables :
+  ?max_inputs:int ->
+  Nano_netlist.Netlist.t ->
+  (string * Nano_logic.Truth_table.t) list option
+(** One truth table per primary output (over the primary inputs in
+    declaration order). [None] when the netlist has more than
+    [max_inputs] (default 14) inputs. *)
+
+val of_covers :
+  name:string ->
+  input_names:string list ->
+  (string * Nano_logic.Cube.Cover.t) list ->
+  Nano_netlist.Netlist.t
+(** Build an AND/OR/NOT netlist from named two-level covers. Literal
+    inverters are shared across outputs; identical product terms are
+    shared too. Every cover's cube arity must equal the number of input
+    names. *)
+
+val resynthesize :
+  ?max_inputs:int -> Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t option
+(** Collapse, minimize each output with Quine–McCluskey, rebuild.
+    [None] when the circuit is too wide to collapse. *)

@@ -1,0 +1,185 @@
+module Netlist = Nano_netlist.Netlist
+
+type outcome = Equivalent | Counterexample of (string * bool) list
+
+let interface netlist =
+  ( List.sort compare (Netlist.input_names netlist),
+    List.sort compare (List.map fst (Netlist.outputs netlist)) )
+
+let check_interfaces a b =
+  let ia, oa = interface a in
+  let ib, ob = interface b in
+  if ia <> ib then invalid_arg "Equiv: input interfaces differ";
+  if oa <> ob then invalid_arg "Equiv: output interfaces differ";
+  ia
+
+let outputs_for netlist bindings =
+  List.sort compare (Netlist.eval netlist bindings)
+
+let try_assignment a b names bits =
+  let bindings = List.map2 (fun n v -> (n, v)) names bits in
+  if outputs_for a bindings <> outputs_for b bindings then
+    Some (Counterexample bindings)
+  else None
+
+let exhaustive ?(max_inputs = 16) a b =
+  let names = check_interfaces a b in
+  let n = List.length names in
+  if n > max_inputs then None
+  else begin
+    let rec go assignment =
+      if assignment >= 1 lsl n then Some Equivalent
+      else begin
+        let bits = List.init n (fun i -> (assignment lsr i) land 1 = 1) in
+        match try_assignment a b names bits with
+        | Some cex -> Some cex
+        | None -> go (assignment + 1)
+      end
+    in
+    go 0
+  end
+
+let random ?(seed = 0xe41) ?(vectors = 4096) a b =
+  let names = check_interfaces a b in
+  let n = List.length names in
+  let rng = Nano_util.Prng.create ~seed in
+  let rec go i =
+    if i >= vectors then Equivalent
+    else begin
+      let bits = List.init n (fun _ -> Nano_util.Prng.bool rng) in
+      match try_assignment a b names bits with
+      | Some cex -> cex
+      | None -> go (i + 1)
+    end
+  in
+  go 0
+
+exception Too_big
+
+(* Build the BDD of every output of [netlist], with input variables
+   assigned by [var_of_name]; raises Too_big past the node budget. *)
+let build_output_bdds m ~max_nodes ~var_of_name netlist =
+  let module Bdd = Nano_bdd.Bdd in
+  let module Gate = Nano_netlist.Gate in
+  let n = Netlist.node_count netlist in
+  let bdds = Array.make n (Bdd.bdd_false m) in
+  let rec at_least k xs =
+    if k <= 0 then Bdd.bdd_true m
+    else
+      match xs with
+      | [] -> Bdd.bdd_false m
+      | x :: rest -> Bdd.ite m x (at_least (k - 1) rest) (at_least k rest)
+  in
+  Netlist.iter netlist (fun id info ->
+      if Bdd.node_count m > max_nodes then raise Too_big;
+      let fan () =
+        Array.to_list (Array.map (fun f -> bdds.(f)) info.Netlist.fanins)
+      in
+      let reduce op xs =
+        match xs with
+        | [] -> invalid_arg "Equiv.bdd: empty fanin"
+        | first :: rest -> List.fold_left (op m) first rest
+      in
+      bdds.(id) <-
+        (match info.Netlist.kind with
+        | Gate.Input -> begin
+          match info.Netlist.name with
+          | Some nm -> Bdd.var m (var_of_name nm)
+          | None -> invalid_arg "Equiv.bdd: unnamed input"
+        end
+        | Gate.Const v -> Bdd.of_bool m v
+        | Gate.Buf -> List.nth (fan ()) 0
+        | Gate.Not -> Bdd.bnot m (List.nth (fan ()) 0)
+        | Gate.And -> reduce Bdd.band (fan ())
+        | Gate.Or -> reduce Bdd.bor (fan ())
+        | Gate.Nand -> Bdd.bnot m (reduce Bdd.band (fan ()))
+        | Gate.Nor -> Bdd.bnot m (reduce Bdd.bor (fan ()))
+        | Gate.Xor -> reduce Bdd.bxor (fan ())
+        | Gate.Xnor -> Bdd.bnot m (reduce Bdd.bxor (fan ()))
+        | Gate.Majority ->
+          let xs = fan () in
+          at_least ((List.length xs / 2) + 1) xs));
+  List.map (fun (name, node) -> (name, bdds.(node))) (Netlist.outputs netlist)
+
+(* Variable-order heuristic: interleave buses by bit index. Names with a
+   numeric suffix sort by (index, prefix) so a0 b0 a1 b1 ... come out
+   adjacent — the order that keeps adder/comparator BDDs linear. *)
+let split_numeric_suffix name =
+  let n = String.length name in
+  let rec start i =
+    if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then start (i - 1)
+    else i
+  in
+  let s = start n in
+  if s = n then (name, max_int)
+  else (String.sub name 0 s, int_of_string (String.sub name s (n - s)))
+
+let interleaved_order names =
+  let keyed =
+    List.map (fun nm -> (split_numeric_suffix nm, nm)) names
+  in
+  let sorted =
+    List.sort
+      (fun ((p1, i1), _) ((p2, i2), _) ->
+        match compare i1 i2 with 0 -> compare p1 p2 | c -> c)
+      keyed
+  in
+  List.map snd sorted
+
+let bdd ?(max_nodes = 200_000) a b =
+  let module Bdd = Nano_bdd.Bdd in
+  let names = check_interfaces a b in
+  let var_index = Hashtbl.create 16 in
+  List.iteri (fun i nm -> Hashtbl.replace var_index nm i) (interleaved_order names);
+  let var_of_name nm = Hashtbl.find var_index nm in
+  let m = Bdd.manager () in
+  match
+    ( build_output_bdds m ~max_nodes ~var_of_name a,
+      build_output_bdds m ~max_nodes ~var_of_name b )
+  with
+  | exception Too_big -> None
+  | outs_a, outs_b ->
+    let mismatch =
+      List.find_map
+        (fun (name, fa) ->
+          let fb = List.assoc name outs_b in
+          if Bdd.equal fa fb then None
+          else Some (Bdd.bxor m fa fb))
+        outs_a
+    in
+    (match mismatch with
+    | None -> Some Equivalent
+    | Some diff -> begin
+      match Bdd.any_sat m diff with
+      | None -> Some Equivalent (* unreachable: diff is non-false *)
+      | Some partial ->
+        let assignment =
+          List.map
+            (fun nm ->
+              let v =
+                match List.assoc_opt (var_of_name nm) partial with
+                | Some value -> value
+                | None -> false
+              in
+              (nm, v))
+            names
+        in
+        Some (Counterexample assignment)
+    end)
+
+let check ?seed ?vectors a b =
+  if List.length (Netlist.inputs a) <= 12 then
+    match exhaustive a b with
+    | Some outcome -> outcome
+    | None -> random ?seed ?vectors a b
+  else begin
+    (* Multiplier-like structures have exponential BDDs; only attempt
+       the formal check on moderately sized cones. *)
+    let tractable n = Netlist.size n <= 600 in
+    if tractable a && tractable b then begin
+      match bdd a b with
+      | Some outcome -> outcome
+      | None -> random ?seed ?vectors a b
+    end
+    else random ?seed ?vectors a b
+  end

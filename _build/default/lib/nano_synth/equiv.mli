@@ -1,0 +1,41 @@
+(** Combinational equivalence checking between netlists with identical
+    interfaces (same input names, same output names; order may differ).
+    Used to validate every synthesis transformation.
+
+    A fourth, SAT-based decision procedure lives in [Nano_sat.Cnf]
+    (miter + DPLL); it is kept out of {!check}'s automatic ladder
+    because plain DPLL struggles on multiplier miters where the BDD and
+    random backends do fine. *)
+
+type outcome =
+  | Equivalent
+  | Counterexample of (string * bool) list
+      (** An input assignment on which some common output differs. *)
+
+val exhaustive :
+  ?max_inputs:int -> Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t ->
+  outcome option
+(** Exhaustive check; [None] when the interface exceeds [max_inputs]
+    (default 16) inputs. Raises [Invalid_argument] when the interfaces
+    don't match. *)
+
+val random :
+  ?seed:int -> ?vectors:int -> Nano_netlist.Netlist.t ->
+  Nano_netlist.Netlist.t -> outcome
+(** Random-vector check ([vectors] defaults to 4096); [Equivalent] here
+    means "no counterexample found". *)
+
+val bdd :
+  ?max_nodes:int -> Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t ->
+  outcome option
+(** Formal check: build ROBDDs of both circuits over a shared variable
+    order (inputs matched by name) and compare canonical forms per
+    output; a mismatch yields a concrete counterexample from the XOR's
+    satisfying path. [None] when the shared manager exceeds [max_nodes]
+    (default 200_000) BDD nodes — the space blow-up guard. *)
+
+val check :
+  ?seed:int -> ?vectors:int -> Nano_netlist.Netlist.t ->
+  Nano_netlist.Netlist.t -> outcome
+(** {!exhaustive} when the interface is small, then {!bdd}, falling back
+    to {!random} if the BDD blows up. *)

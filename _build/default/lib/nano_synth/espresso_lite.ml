@@ -1,0 +1,194 @@
+module Cube = Nano_logic.Cube
+
+(* ------------------------------------------------------------------ *)
+(* Helpers over minterm lists.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Smallest cube containing all given minterms. *)
+let supercube ~arity minterms =
+  match minterms with
+  | [] -> invalid_arg "Espresso_lite.supercube: empty"
+  | first :: rest ->
+    Cube.make
+      (Array.init arity (fun var ->
+           let bit m = (m lsr var) land 1 = 1 in
+           let v = bit first in
+           if List.for_all (fun m -> bit m = v) rest then
+             if v then Cube.One else Cube.Zero
+           else Cube.Dont_care))
+
+let intersects_off off cube =
+  Array.exists (fun m -> Cube.covers cube m) off
+
+(* ------------------------------------------------------------------ *)
+(* EXPAND: drop literals while the cube stays off the OFF-set.          *)
+(* ------------------------------------------------------------------ *)
+
+let expand_cube ~arity off cube =
+  let current = ref cube in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for var = 0 to arity - 1 do
+      match Cube.literal !current var with
+      | Cube.Dont_care -> ()
+      | Cube.Zero | Cube.One ->
+        let candidate =
+          Cube.make
+            (Array.init arity (fun i ->
+                 if i = var then Cube.Dont_care else Cube.literal !current i))
+        in
+        if not (intersects_off off candidate) then begin
+          current := candidate;
+          changed := true
+        end
+    done
+  done;
+  !current
+
+(* ------------------------------------------------------------------ *)
+(* Coverage bookkeeping.                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* For each ON minterm, how many cubes of [cover] contain it. *)
+let coverage_counts on cover =
+  let counts = Hashtbl.create (Array.length on) in
+  Array.iter (fun m -> Hashtbl.replace counts m 0) on;
+  List.iter
+    (fun cube ->
+      Array.iter
+        (fun m ->
+          if Cube.covers cube m then
+            Hashtbl.replace counts m (Hashtbl.find counts m + 1))
+        on)
+    cover;
+  counts
+
+let irredundant on cover =
+  (* Greedily drop cubes whose ON minterms are all covered elsewhere;
+     process the most expensive cubes first so cheap ones survive. *)
+  let counts = coverage_counts on cover in
+  let order =
+    List.sort
+      (fun a b -> compare (Cube.literal_count a) (Cube.literal_count b))
+      cover
+    |> List.rev
+  in
+  let kept = ref [] in
+  List.iter
+    (fun cube ->
+      let removable =
+        Array.for_all
+          (fun m -> (not (Cube.covers cube m)) || Hashtbl.find counts m >= 2)
+          on
+      in
+      if removable then
+        Array.iter
+          (fun m ->
+            if Cube.covers cube m then
+              Hashtbl.replace counts m (Hashtbl.find counts m - 1))
+          on
+      else kept := cube :: !kept)
+    order;
+  List.rev !kept
+
+(* REDUCE must be sequential: each cube shrinks to the supercube of the
+   ON minterms that are covered only by it *under the current,
+   partially-reduced cover* — shrinking in parallel against stale
+   coverage counts can strand a minterm shared by two cubes. The
+   invariant maintained here is that every ON minterm stays covered. *)
+let reduce ~arity on cover =
+  let counts = coverage_counts on cover in
+  let reduced = ref [] in
+  List.iter
+    (fun cube ->
+      let unique =
+        Array.to_list on
+        |> List.filter (fun m -> Cube.covers cube m && Hashtbl.find counts m = 1)
+      in
+      let replacement =
+        match unique with
+        | [] -> None (* fully redundant under the current cover: drop *)
+        | ms -> Some (supercube ~arity ms)
+      in
+      (* update the live counts for the minterms this cube released *)
+      Array.iter
+        (fun m ->
+          if Cube.covers cube m then begin
+            let still =
+              match replacement with
+              | Some c -> Cube.covers c m
+              | None -> false
+            in
+            if not still then
+              Hashtbl.replace counts m (Hashtbl.find counts m - 1)
+          end)
+        on;
+      match replacement with
+      | Some c -> reduced := c :: !reduced
+      | None -> ())
+    cover;
+  List.rev !reduced
+
+(* ------------------------------------------------------------------ *)
+(* The loop.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cover_cost cover =
+  (Cube.Cover.cube_count cover, Cube.Cover.literal_count cover)
+
+let better (c1, l1) (c2, l2) = c1 < c2 || (c1 = c2 && l1 < l2)
+
+let minimize_from ~arity ~on ~off initial =
+  let expand_all cover = List.map (expand_cube ~arity off) cover in
+  let dedupe cover = List.sort_uniq Cube.compare cover in
+  let pass cover = irredundant on (dedupe (expand_all cover)) in
+  let best = ref (pass initial) in
+  let best_cost = ref (cover_cost !best) in
+  let continue_ = ref true in
+  let iterations = ref 0 in
+  while !continue_ && !iterations < 5 do
+    incr iterations;
+    let reduced = reduce ~arity on !best in
+    let candidate = pass reduced in
+    let cost = cover_cost candidate in
+    if better cost !best_cost then begin
+      best := candidate;
+      best_cost := cost
+    end
+    else continue_ := false
+  done;
+  !best
+
+let minimize ~arity ~on_set ~dc_set =
+  if arity > 20 then invalid_arg "Espresso_lite.minimize: arity <= 20";
+  match on_set with
+  | [] -> []
+  | _ ->
+    let on = Array.of_list (List.sort_uniq compare on_set) in
+    let allowed = Hashtbl.create 64 in
+    List.iter (fun m -> Hashtbl.replace allowed m ()) on_set;
+    List.iter (fun m -> Hashtbl.replace allowed m ()) dc_set;
+    let off =
+      Array.of_list
+        (List.filter
+           (fun m -> not (Hashtbl.mem allowed m))
+           (List.init (1 lsl arity) (fun i -> i)))
+    in
+    let initial = List.map (Cube.of_minterm ~arity) (Array.to_list on) in
+    minimize_from ~arity ~on ~off initial
+
+let minimize_table tt =
+  minimize
+    ~arity:(Nano_logic.Truth_table.arity tt)
+    ~on_set:(Nano_logic.Truth_table.minterms tt)
+    ~dc_set:[]
+
+let minimize_cover ~arity ~on_cover ~dc_set =
+  if arity > 20 then invalid_arg "Espresso_lite.minimize_cover: arity <= 20";
+  let on_set =
+    List.filter
+      (fun m -> Cube.Cover.eval on_cover m)
+      (List.init (1 lsl arity) (fun i -> i))
+  in
+  minimize ~arity ~on_set ~dc_set

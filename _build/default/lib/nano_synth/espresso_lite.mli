@@ -1,0 +1,26 @@
+(** Heuristic two-level minimization in the Espresso style:
+    EXPAND → IRREDUNDANT → REDUCE iterated to a fixpoint.
+
+    Exact Quine–McCluskey ({!Quine_mccluskey}) explodes past ~10
+    variables because it enumerates all prime implicants; the Espresso
+    loop only ever manipulates the current cover and checks cube
+    containment against the OFF-set, which keeps it practical to 16+
+    variables. Results are correct covers made of prime implicants, but
+    minimality is heuristic. *)
+
+val minimize :
+  arity:int -> on_set:int list -> dc_set:int list -> Nano_logic.Cube.Cover.t
+(** Minimize from the minterm lists (assignment indices as in
+    {!Nano_logic.Truth_table}). Requires [arity <= 20]. The result
+    covers every ON minterm and no OFF minterm. *)
+
+val minimize_table : Nano_logic.Truth_table.t -> Nano_logic.Cube.Cover.t
+
+val minimize_cover :
+  arity:int -> on_cover:Nano_logic.Cube.Cover.t -> dc_set:int list ->
+  Nano_logic.Cube.Cover.t
+(** Start the loop from an existing cover instead of minterms — the
+    standard way to re-minimize after other transformations. *)
+
+val cover_cost : Nano_logic.Cube.Cover.t -> int * int
+(** [(cubes, literals)], as {!Quine_mccluskey.cover_cost}. *)

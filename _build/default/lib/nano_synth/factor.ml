@@ -1,0 +1,149 @@
+module Cube = Nano_logic.Cube
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+type expr =
+  | Const of bool
+  | Lit of { var : int; positive : bool }
+  | And of expr list
+  | Or of expr list
+
+(* ------------------------------------------------------------------ *)
+(* Factoring.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let cube_literals ~arity cube =
+  let lits = ref [] in
+  for var = arity - 1 downto 0 do
+    match Cube.literal cube var with
+    | Cube.One -> lits := (var, true) :: !lits
+    | Cube.Zero -> lits := (var, false) :: !lits
+    | Cube.Dont_care -> ()
+  done;
+  !lits
+
+let expr_of_cube ~arity cube =
+  match cube_literals ~arity cube with
+  | [] -> Const true
+  | [ (var, positive) ] -> Lit { var; positive }
+  | lits -> And (List.map (fun (var, positive) -> Lit { var; positive }) lits)
+
+(* The literal occurring in the most cubes (at least two); None when no
+   literal is shared. *)
+let most_shared_literal ~arity cover =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun cube ->
+      List.iter
+        (fun lit ->
+          let c = match Hashtbl.find_opt counts lit with Some c -> c | None -> 0 in
+          Hashtbl.replace counts lit (c + 1))
+        (cube_literals ~arity cube))
+    cover;
+  Hashtbl.fold
+    (fun lit count best ->
+      match best with
+      | Some (_, best_count) when best_count >= count -> best
+      | _ -> if count >= 2 then Some (lit, count) else best)
+    counts None
+
+(* Remove literal [var/positive] from a cube (making it Dont_care). *)
+let cube_without ~arity cube var =
+  Cube.make
+    (Array.init arity (fun i ->
+         if i = var then Cube.Dont_care else Cube.literal cube i))
+
+let rec quick_factor ~arity cover =
+  match cover with
+  | [] -> Const false
+  | [ cube ] -> expr_of_cube ~arity cube
+  | _ -> begin
+    (* A universal cube makes the whole cover a tautology-by-cube. *)
+    if List.exists (fun c -> Cube.literal_count c = 0) cover then Const true
+    else begin
+      match most_shared_literal ~arity cover with
+      | None -> Or (List.map (expr_of_cube ~arity) cover)
+      | Some (((var, positive) as lit), _) ->
+        let has_lit cube = List.mem lit (cube_literals ~arity cube) in
+        let quotient =
+          List.filter_map
+            (fun cube ->
+              if has_lit cube then Some (cube_without ~arity cube var)
+              else None)
+            cover
+        in
+        let remainder = List.filter (fun c -> not (has_lit c)) cover in
+        let factored_q = quick_factor ~arity quotient in
+        let head =
+          match factored_q with
+          | Const true -> Lit { var; positive }
+          | Const false -> Const false
+          | q -> And [ Lit { var; positive }; q ]
+        in
+        if remainder = [] then head
+        else begin
+          match quick_factor ~arity remainder with
+          | Const false -> head
+          | Const true -> Const true
+          | r -> begin
+            match head, r with
+            | Or a, Or b -> Or (a @ b)
+            | Or a, r -> Or (a @ [ r ])
+            | head, Or b -> Or (head :: b)
+            | head, r -> Or [ head; r ]
+          end
+        end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Observation.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval expr assignment =
+  match expr with
+  | Const v -> v
+  | Lit { var; positive } -> if positive then assignment var else not (assignment var)
+  | And es -> List.for_all (fun e -> eval e assignment) es
+  | Or es -> List.exists (fun e -> eval e assignment) es
+
+let rec literal_count = function
+  | Const _ -> 0
+  | Lit _ -> 1
+  | And es | Or es -> List.fold_left (fun acc e -> acc + literal_count e) 0 es
+
+let rec depth = function
+  | Const _ | Lit _ -> 0
+  | And es | Or es ->
+    1 + List.fold_left (fun acc e -> max acc (depth e)) 0 es
+
+let rec to_string = function
+  | Const true -> "1"
+  | Const false -> "0"
+  | Lit { var; positive } ->
+    Printf.sprintf "%sx%d" (if positive then "" else "~") var
+  | And es -> "(" ^ String.concat " & " (List.map to_string es) ^ ")"
+  | Or es -> "(" ^ String.concat " | " (List.map to_string es) ^ ")"
+
+(* ------------------------------------------------------------------ *)
+(* Netlist construction.                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec build b ~inputs expr =
+  match expr with
+  | Const v -> B.const b v
+  | Lit { var; positive } ->
+    if positive then inputs.(var) else B.not_ b inputs.(var)
+  | And es -> B.reduce b Gate.And (List.map (build b ~inputs) es)
+  | Or es -> B.reduce b Gate.Or (List.map (build b ~inputs) es)
+
+let netlist_of_covers ~name ~input_names covers =
+  let arity = List.length input_names in
+  let b = B.create ~name () in
+  let inputs = Array.of_list (List.map (B.input b) input_names) in
+  List.iter
+    (fun (out_name, cover) ->
+      let expr = quick_factor ~arity cover in
+      B.output b out_name (build b ~inputs expr))
+    covers;
+  B.finish b

@@ -1,0 +1,41 @@
+(** Algebraic factoring of two-level covers into multi-level factored
+    forms — the literal-division "quick factor" of the SIS family.
+
+    A sum-of-products like [ab + ac + ad] costs 6 literals two-level but
+    factors to [a(b + c + d)] with 4; on gate netlists that translates
+    directly into fewer gates. Factoring repeatedly divides the cover by
+    its most shared literal: [f = l·q + r]. *)
+
+type expr =
+  | Const of bool
+  | Lit of { var : int; positive : bool }
+  | And of expr list
+  | Or of expr list
+
+val quick_factor : arity:int -> Nano_logic.Cube.Cover.t -> expr
+(** Factored form of the cover (over variables [0 .. arity-1]). The
+    result evaluates identically to the cover on every assignment. *)
+
+val eval : expr -> (int -> bool) -> bool
+val literal_count : expr -> int
+(** Leaves of kind [Lit] in the expression tree. *)
+
+val depth : expr -> int
+val to_string : expr -> string
+(** Human-readable form, e.g. ["(x0 & (x1 | x2 | ~x3))"]. *)
+
+val build :
+  Nano_netlist.Netlist.Builder.t ->
+  inputs:Nano_netlist.Netlist.node array ->
+  expr ->
+  Nano_netlist.Netlist.node
+(** Instantiate the expression as gates; literal inverters are created
+    per call site (share them by strashing afterwards). *)
+
+val netlist_of_covers :
+  name:string ->
+  input_names:string list ->
+  (string * Nano_logic.Cube.Cover.t) list ->
+  Nano_netlist.Netlist.t
+(** Factor every output and build one netlist (then worth a
+    {!Strash.run} to share common subexpressions). *)

@@ -1,0 +1,75 @@
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let chunks ~size xs =
+  let rec go acc current count = function
+    | [] ->
+      let acc = if current = [] then acc else List.rev current :: acc in
+      List.rev acc
+    | x :: rest ->
+      if count = size then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 xs
+
+(* Balanced reduction tree of [kind] gates with fanin <= k; every level
+   groups up to k operands. *)
+let tree b kind ~k nodes =
+  let rec reduce = function
+    | [ single ] -> single
+    | level ->
+      let next =
+        List.map
+          (fun group ->
+            match group with
+            | [ single ] -> single
+            | several -> B.add b kind several)
+          (chunks ~size:k level)
+      in
+      reduce next
+  in
+  reduce nodes
+
+let run ~max_fanin netlist =
+  if max_fanin < 2 then invalid_arg "Fanin_limit.run: max_fanin >= 2";
+  let k = max_fanin in
+  let b = B.create ~name:(Netlist.name netlist) () in
+  let map = Array.make (Netlist.node_count netlist) (-1) in
+  List.iter
+    (fun id ->
+      let name =
+        match (Netlist.info netlist id).Netlist.name with
+        | Some n -> n
+        | None -> Printf.sprintf "_in%d" id
+      in
+      map.(id) <- B.input b name)
+    (Netlist.inputs netlist);
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let fanins =
+          Array.to_list (Array.map (fun f -> map.(f)) info.Netlist.fanins)
+        in
+        let arity = List.length fanins in
+        map.(id) <-
+          (if arity <= k then B.add b kind fanins
+           else
+             match kind with
+             | Gate.And -> tree b Gate.And ~k fanins
+             | Gate.Or -> tree b Gate.Or ~k fanins
+             | Gate.Xor -> tree b Gate.Xor ~k fanins
+             | Gate.Nand -> B.not_ b (tree b Gate.And ~k fanins)
+             | Gate.Nor -> B.not_ b (tree b Gate.Or ~k fanins)
+             | Gate.Xnor -> B.not_ b (tree b Gate.Xor ~k fanins)
+             | Gate.Majority ->
+               invalid_arg
+                 "Fanin_limit.run: majority gate wider than max_fanin"
+             | Gate.Input | Gate.Const _ | Gate.Buf | Gate.Not ->
+               assert false))
+    ;
+  List.iter
+    (fun (name, node) -> B.output b name map.(node))
+    (Netlist.outputs netlist);
+  B.finish b

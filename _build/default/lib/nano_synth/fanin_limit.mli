@@ -1,0 +1,11 @@
+(** Decompose wide gates into trees whose fanin does not exceed a given
+    bound — the "mapped using a generic library comprised of gates with a
+    maximum fanin of three" step of the paper's Section 6 methodology. *)
+
+val run : max_fanin:int -> Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t
+(** Rebuild the netlist with every gate's fanin at most [max_fanin].
+    AND/OR/XOR (and their complements) become balanced trees with the
+    negation pushed to the root gate. Requires [max_fanin >= 2]. Raises
+    [Invalid_argument] for a majority gate wider than [max_fanin] (the
+    library's voter is a primitive; widen it with
+    [Nano_redundancy] voters instead). *)

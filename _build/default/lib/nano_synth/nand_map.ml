@@ -1,0 +1,83 @@
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+type ctx = { b : B.t; neg : (Netlist.node, Netlist.node) Hashtbl.t }
+
+let mk_not ctx x =
+  match Hashtbl.find_opt ctx.neg x with
+  | Some y -> y
+  | None ->
+    let y = B.not_ ctx.b x in
+    Hashtbl.replace ctx.neg x y;
+    Hashtbl.replace ctx.neg y x;
+    y
+
+let nand2 ctx x y = B.nand2 ctx.b x y
+let and2 ctx x y = mk_not ctx (nand2 ctx x y)
+let or2 ctx x y = nand2 ctx (mk_not ctx x) (mk_not ctx y)
+
+(* Classic 4-NAND exclusive-or cell. *)
+let xor2 ctx a b =
+  let m = nand2 ctx a b in
+  nand2 ctx (nand2 ctx a m) (nand2 ctx b m)
+
+let rec fold_balanced op = function
+  | [] -> invalid_arg "Nand_map: empty fanin"
+  | [ x ] -> x
+  | xs ->
+    let rec pairs = function
+      | [] -> []
+      | [ x ] -> [ x ]
+      | x :: y :: rest -> op x y :: pairs rest
+    in
+    fold_balanced op (pairs xs)
+
+let map_gate ctx kind fanins =
+  match kind, fanins with
+  | Gate.Input, _ -> invalid_arg "Nand_map: Input"
+  | Gate.Const v, _ -> B.const ctx.b v
+  | Gate.Buf, [ x ] -> x
+  | Gate.Not, [ x ] -> mk_not ctx x
+  | Gate.And, xs -> fold_balanced (and2 ctx) xs
+  | Gate.Nand, xs -> mk_not ctx (fold_balanced (and2 ctx) xs)
+  | Gate.Or, xs -> fold_balanced (or2 ctx) xs
+  | Gate.Nor, xs -> mk_not ctx (fold_balanced (or2 ctx) xs)
+  | Gate.Xor, xs -> fold_balanced (xor2 ctx) xs
+  | Gate.Xnor, xs -> mk_not ctx (fold_balanced (xor2 ctx) xs)
+  | Gate.Majority, [ x; y; z ] ->
+    (* maj(x,y,z) = NAND(NAND(x,y), NAND(y,z), NAND(x,z)) folded into
+       2-input NANDs: OR of the three pairwise ANDs. *)
+    let xy = and2 ctx x y in
+    let yz = and2 ctx y z in
+    let xz = and2 ctx x z in
+    or2 ctx (or2 ctx xy yz) xz
+  | Gate.Majority, _ ->
+    invalid_arg "Nand_map: majority gates wider than 3 are not supported"
+  | (Gate.Buf | Gate.Not), _ -> invalid_arg "Nand_map: bad arity"
+
+let run netlist =
+  let b = B.create ~name:(Netlist.name netlist ^ "_nand") () in
+  let ctx = { b; neg = Hashtbl.create 64 } in
+  let map = Array.make (Netlist.node_count netlist) (-1) in
+  List.iter
+    (fun id ->
+      let name =
+        match (Netlist.info netlist id).Netlist.name with
+        | Some n -> n
+        | None -> Printf.sprintf "_in%d" id
+      in
+      map.(id) <- B.input b name)
+    (Netlist.inputs netlist);
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let fanins =
+          Array.to_list (Array.map (fun f -> map.(f)) info.Netlist.fanins)
+        in
+        map.(id) <- map_gate ctx kind fanins);
+  List.iter
+    (fun (name, node) -> B.output b name map.(node))
+    (Netlist.outputs netlist);
+  B.finish b

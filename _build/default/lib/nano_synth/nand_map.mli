@@ -1,0 +1,9 @@
+(** Technology mapping onto a NAND/inverter library.
+
+    Rewrites every gate as a network of 2-input NANDs plus inverters —
+    the classical expansion that produced c1355 from c499 in the original
+    ISCAS suite. The result computes the same functions with gate kinds
+    restricted to [Nand] (arity 2), [Not], [Buf] and constants. *)
+
+val run : Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t
+(** Raises [Invalid_argument] for majority gates wider than 3. *)

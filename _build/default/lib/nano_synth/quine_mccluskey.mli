@@ -1,0 +1,22 @@
+(** Two-level minimization by the Quine–McCluskey procedure with a
+    greedy covering step — the exact two-level engine behind the
+    [rugged_lite] collapse/resynthesis pass (our stand-in for SIS's
+    script.rugged two-level cleanup). Practical up to roughly 12
+    variables. *)
+
+val prime_implicants :
+  arity:int -> on_set:int list -> dc_set:int list -> Nano_logic.Cube.t list
+(** All prime implicants of the ON-set given don't-cares (minterms as
+    assignment indices). *)
+
+val minimize :
+  arity:int -> on_set:int list -> dc_set:int list -> Nano_logic.Cube.Cover.t
+(** Minimal (essential primes + greedy completion) cover of the ON-set.
+    The result covers every ON minterm, covers no OFF minterm, and
+    consists of prime implicants only. *)
+
+val minimize_table : Nano_logic.Truth_table.t -> Nano_logic.Cube.Cover.t
+(** Convenience wrapper with an empty don't-care set. *)
+
+val cover_cost : Nano_logic.Cube.Cover.t -> int * int
+(** [(cubes, literals)] — the classical two-level cost. *)

@@ -1,0 +1,39 @@
+module Netlist = Nano_netlist.Netlist
+
+let map_only ?(max_fanin = 3) netlist =
+  let simplified = Strash.run netlist in
+  let balanced = Balance.run simplified in
+  let limited = Fanin_limit.run ~max_fanin balanced in
+  Strash.run limited
+
+let rugged_lite ?(max_fanin = 3) ?(collapse_threshold = 10) netlist =
+  let simplified = Strash.run netlist in
+  let inputs = List.length (Netlist.inputs simplified) in
+  let best =
+    if inputs <= collapse_threshold then begin
+      (* Collapse, minimize, and rebuild both two-level and factored
+         multi-level forms; keep whichever implementation is smallest
+         (XOR-dominated circuits usually stay with the structural
+         original). *)
+      match Collapse.to_truth_tables ~max_inputs:collapse_threshold simplified with
+      | None -> simplified
+      | Some tables ->
+        let covers =
+          List.map
+            (fun (name, tt) -> (name, Quine_mccluskey.minimize_table tt))
+            tables
+        in
+        let input_names = Netlist.input_names simplified in
+        let name = Netlist.name simplified in
+        let two_level = Strash.run (Collapse.of_covers ~name ~input_names covers) in
+        let factored =
+          Strash.run (Factor.netlist_of_covers ~name ~input_names covers)
+        in
+        let smallest a b = if Netlist.size b < Netlist.size a then b else a in
+        smallest (smallest simplified two_level) factored
+    end
+    else simplified
+  in
+  map_only ~max_fanin best
+
+let nand_flow netlist = Strash.run (Nand_map.run netlist)

@@ -1,0 +1,16 @@
+(** Structural hashing with constant folding and local identity
+    simplification.
+
+    Rebuilds a netlist so that structurally identical gates are shared,
+    constants are propagated, trivial identities are removed
+    ([x & x → x], [x ^ x → 0], double negation, buffers) and logic
+    outside the output cones is dropped. Primary input declarations and
+    output names/order are preserved; the result computes the same
+    functions. *)
+
+val run : Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t
+
+val sweep : Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t
+(** Just the dead-logic removal: copy keeping only the output cones
+    (primary inputs always survive). Used as the final step of other
+    passes too. *)

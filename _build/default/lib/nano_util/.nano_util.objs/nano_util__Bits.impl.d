@@ -1,0 +1,1 @@
+lib/nano_util/bits.ml: Array Int64 String

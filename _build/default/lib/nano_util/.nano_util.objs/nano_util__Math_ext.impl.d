@@ -1,0 +1,1 @@
+lib/nano_util/math_ext.ml: Float List

@@ -1,0 +1,1 @@
+lib/nano_util/stats.mli: Format

@@ -1,0 +1,91 @@
+let popcount64 w =
+  let open Int64 in
+  let w = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+  let w = add (logand w 0x3333333333333333L) (logand (shift_right_logical w 2) 0x3333333333333333L) in
+  let w = logand (add w (shift_right_logical w 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul w 0x0101010101010101L) 56)
+
+let parity64 w = popcount64 w land 1 = 1
+
+let get w i =
+  assert (i >= 0 && i < 64);
+  Int64.compare (Int64.logand (Int64.shift_right_logical w i) 1L) 0L <> 0
+
+let set w i b =
+  assert (i >= 0 && i < 64);
+  let mask = Int64.shift_left 1L i in
+  if b then Int64.logor w mask else Int64.logand w (Int64.lognot mask)
+
+let ones_below n =
+  assert (n >= 0 && n <= 64);
+  if n = 64 then -1L else Int64.sub (Int64.shift_left 1L n) 1L
+
+module Vec = struct
+  type t = { len : int; words : int64 array }
+
+  let nwords len = if len = 0 then 0 else ((len - 1) / 64) + 1
+  let create len =
+    assert (len >= 0);
+    { len; words = Array.make (nwords len) 0L }
+
+  let length t = t.len
+
+  let get t i =
+    assert (i >= 0 && i < t.len);
+    get t.words.(i / 64) (i mod 64)
+
+  let set t i b =
+    assert (i >= 0 && i < t.len);
+    let w = i / 64 in
+    t.words.(w) <- set t.words.(w) (i mod 64) b
+
+  let copy t = { len = t.len; words = Array.copy t.words }
+
+  let equal a b =
+    a.len = b.len
+    && (let ok = ref true in
+        Array.iteri (fun i w -> if w <> b.words.(i) then ok := false) a.words;
+        !ok)
+
+  let popcount t = Array.fold_left (fun acc w -> acc + popcount64 w) 0 t.words
+
+  (* Zero out the bits of the last word beyond [len], keeping the
+     invariant that unused storage bits are zero. *)
+  let normalize t =
+    let n = Array.length t.words in
+    if n > 0 then begin
+      let used = t.len - ((n - 1) * 64) in
+      t.words.(n - 1) <- Int64.logand t.words.(n - 1) (ones_below used)
+    end
+
+  let fill t b =
+    Array.fill t.words 0 (Array.length t.words) (if b then -1L else 0L);
+    normalize t
+
+  let map2_into ~dst f a b =
+    assert (a.len = b.len && dst.len = a.len);
+    for i = 0 to Array.length dst.words - 1 do
+      dst.words.(i) <- f a.words.(i) b.words.(i)
+    done;
+    normalize dst
+
+  let fold_bits f t init =
+    let acc = ref init in
+    for i = 0 to t.len - 1 do
+      acc := f i (get t i) !acc
+    done;
+    !acc
+
+  let to_string t = String.init t.len (fun i -> if get t i then '1' else '0')
+
+  let of_string s =
+    let t = create (String.length s) in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '0' -> ()
+        | '1' -> set t i true
+        | _ -> invalid_arg "Bits.Vec.of_string: expected '0' or '1'")
+      s;
+    t
+end

@@ -1,0 +1,48 @@
+(** Bit-level helpers on [int64] words and packed bit vectors. *)
+
+val popcount64 : int64 -> int
+(** Number of set bits in a 64-bit word. *)
+
+val parity64 : int64 -> bool
+(** XOR of all 64 bits. *)
+
+val get : int64 -> int -> bool
+(** [get w i] is bit [i] (0 = least significant) of [w]. Requires
+    [0 <= i < 64]. *)
+
+val set : int64 -> int -> bool -> int64
+(** [set w i b] is [w] with bit [i] forced to [b]. *)
+
+val ones_below : int -> int64
+(** [ones_below n] is a word with bits [0 .. n-1] set. Requires
+    [0 <= n <= 64]. *)
+
+(** Packed vector of bits of arbitrary length, stored in [int64] words.
+    Used as the backing store for truth tables and simulation waveforms. *)
+module Vec : sig
+  type t
+
+  val create : int -> t
+  (** [create len] is an all-zero vector of [len] bits. *)
+
+  val length : t -> int
+  val get : t -> int -> bool
+  val set : t -> int -> bool -> unit
+  val copy : t -> t
+  val equal : t -> t -> bool
+  val popcount : t -> int
+  val fill : t -> bool -> unit
+
+  val map2_into : dst:t -> (int64 -> int64 -> int64) -> t -> t -> unit
+  (** Word-wise binary operation; all three vectors must share a length.
+      Bits beyond [length] are kept zero. *)
+
+  val fold_bits : (int -> bool -> 'a -> 'a) -> t -> 'a -> 'a
+  (** Fold over indices in increasing order. *)
+
+  val to_string : t -> string
+  (** Bits as ['0']/['1'] characters, index 0 first. *)
+
+  val of_string : string -> t
+  (** Inverse of {!to_string}; accepts only ['0'] and ['1']. *)
+end

@@ -1,0 +1,78 @@
+let log2 x =
+  assert (x > 0.);
+  log x /. log 2.
+
+let xlog2x x =
+  assert (x >= 0.);
+  if x = 0. then 0. else x *. log2 x
+
+let binary_entropy p =
+  assert (p >= 0. && p <= 1.);
+  -.xlog2x p -. xlog2x (1. -. p)
+
+let clamp ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let clamp_int ~lo ~hi x =
+  assert (lo <= hi);
+  if x < lo then lo else if x > hi then hi else x
+
+let approx_equal ?(tol = 1e-9) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= tol || diff <= tol *. Float.max (Float.abs a) (Float.abs b)
+
+let is_finite x = Float.is_finite x
+
+let ceil_div a b =
+  assert (b > 0);
+  assert (a >= 0);
+  (a + b - 1) / b
+
+let int_pow base e =
+  assert (e >= 0);
+  let rec go acc base e =
+    if e = 0 then acc
+    else if e land 1 = 1 then go (acc * base) (base * base) (e lsr 1)
+    else go acc (base * base) (e lsr 1)
+  in
+  go 1 base e
+
+let float_pow_int x n =
+  assert (n >= 0);
+  let rec go acc x n =
+    if n = 0 then acc
+    else if n land 1 = 1 then go (acc *. x) (x *. x) (n lsr 1)
+    else go acc (x *. x) (n lsr 1)
+  in
+  go 1. x n
+
+let ceil_log2 n =
+  assert (n >= 1);
+  let rec go d pow = if pow >= n then d else go (d + 1) (pow * 2) in
+  go 0 1
+
+let ceil_log_base k n =
+  assert (k >= 2);
+  assert (n >= 1);
+  let rec go d pow = if pow >= n then d else go (d + 1) (pow * k) in
+  go 0 1
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Math_ext.mean: empty list"
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geometric_mean xs =
+  match xs with
+  | [] -> invalid_arg "Math_ext.geometric_mean: empty list"
+  | _ ->
+    let sum_logs =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0. then
+            invalid_arg "Math_ext.geometric_mean: non-positive value"
+          else acc +. log x)
+        0. xs
+    in
+    exp (sum_logs /. float_of_int (List.length xs))

@@ -1,0 +1,56 @@
+(** Numeric helpers shared across the library.
+
+    All logarithms used by the paper's bounds are base two; [log2] and the
+    entropy helpers below follow that convention. *)
+
+val log2 : float -> float
+(** [log2 x] is the base-two logarithm of [x]. Requires [x > 0.]. *)
+
+val xlog2x : float -> float
+(** [xlog2x x] is [x *. log2 x] extended by continuity with value [0.] at
+    [x = 0.]. Requires [0. <= x]. *)
+
+val binary_entropy : float -> float
+(** [binary_entropy p] is the Shannon entropy (base 2) of a Bernoulli(p)
+    variable: [- p log2 p - (1-p) log2 (1-p)]. Requires [0. <= p <= 1.].
+    Returns a value in [[0., 1.]]. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] is [x] limited to the closed interval [[lo, hi]].
+    Requires [lo <= hi]. *)
+
+val clamp_int : lo:int -> hi:int -> int -> int
+(** Integer version of {!clamp}. *)
+
+val approx_equal : ?tol:float -> float -> float -> bool
+(** [approx_equal ?tol a b] holds when [a] and [b] differ by at most [tol]
+    in absolute terms or [tol] in relative terms (whichever is looser).
+    [tol] defaults to [1e-9]. *)
+
+val is_finite : float -> bool
+(** [is_finite x] is true when [x] is neither infinite nor NaN. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] on non-negative integers. Requires
+    [b > 0]. *)
+
+val int_pow : int -> int -> int
+(** [int_pow base e] is [base ^ e] over integers. Requires [e >= 0]. *)
+
+val float_pow_int : float -> int -> float
+(** [float_pow_int x n] is [x ^ n] computed by repeated squaring; exact for
+    small integer exponents and faster than [( ** )]. Requires [n >= 0]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 n] is the least [d] with [2^d >= n]. Requires [n >= 1]. *)
+
+val ceil_log_base : int -> int -> int
+(** [ceil_log_base k n] is the least [d] with [k^d >= n]. Requires
+    [k >= 2] and [n >= 1]. *)
+
+val mean : float list -> float
+(** Arithmetic mean. Requires a non-empty list. *)
+
+val geometric_mean : float list -> float
+(** Geometric mean of strictly positive values. Requires a non-empty list
+    of positive floats. *)

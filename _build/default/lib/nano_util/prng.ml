@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix seed }
+
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 high-quality bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
+
+let bernoulli t ~p =
+  assert (p >= 0. && p <= 1.);
+  float t < p
+
+let int t ~bound =
+  assert (bound > 0);
+  (* Rejection-free for our purposes: modulo bias is negligible for the
+     small bounds used here, but use the high bits to be safe. *)
+  let x = Int64.shift_right_logical (bits64 t) 1 in
+  Int64.to_int (Int64.rem x (Int64.of_int bound))
+
+let word_with_density t ~p =
+  assert (p >= 0. && p <= 1.);
+  if p = 0.5 then bits64 t
+  else begin
+    let word = ref 0L in
+    for i = 0 to 63 do
+      if float t < p then word := Int64.logor !word (Int64.shift_left 1L i)
+    done;
+    !word
+  end
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

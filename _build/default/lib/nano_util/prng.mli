@@ -1,0 +1,46 @@
+(** Deterministic splittable pseudo-random number generator.
+
+    A small SplitMix64 implementation so that simulations are reproducible
+    independent of the OCaml stdlib [Random] implementation, and so that
+    parallel experiment legs can draw from decorrelated streams via
+    {!split}. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : seed:int -> t
+(** [create ~seed] makes a fresh generator; equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    decorrelated from the parent's subsequent output. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state; both copies then produce the
+    same stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** [float t] draws uniformly from [[0, 1)] with 53-bit resolution. *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is true with probability [p]. Requires
+    [0. <= p <= 1.]. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] draws uniformly from [[0, bound)]. Requires
+    [bound > 0]. *)
+
+val word_with_density : t -> p:float -> int64
+(** [word_with_density t ~p] returns a 64-bit word in which each bit is
+    independently one with probability [p]; used by bit-parallel
+    simulation. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** Fisher–Yates shuffle driven by this generator. *)

@@ -1,0 +1,20 @@
+let linear ~lo ~hi ~steps =
+  assert (steps >= 2);
+  assert (lo <= hi);
+  let h = (hi -. lo) /. float_of_int (steps - 1) in
+  List.init steps (fun i ->
+      if i = steps - 1 then hi else lo +. (float_of_int i *. h))
+
+let logarithmic ~lo ~hi ~steps =
+  assert (steps >= 2);
+  assert (lo > 0. && lo <= hi);
+  let llo = log lo and lhi = log hi in
+  let h = (lhi -. llo) /. float_of_int (steps - 1) in
+  List.init steps (fun i ->
+      if i = steps - 1 then hi else exp (llo +. (float_of_int i *. h)))
+
+let epsilon_grid ?(lo = 1e-4) ?(hi = 0.45) ?(steps = 40) () =
+  assert (lo > 0. && hi < 0.5);
+  logarithmic ~lo ~hi ~steps
+
+let ints ~lo ~hi = if hi < lo then [] else List.init (hi - lo + 1) (fun i -> lo + i)

@@ -1,0 +1,16 @@
+(** Parameter sweeps used by the figure and benchmark drivers. *)
+
+val linear : lo:float -> hi:float -> steps:int -> float list
+(** [linear ~lo ~hi ~steps] is [steps] evenly spaced points with the first
+    at [lo] and the last at [hi]. Requires [steps >= 2] and [lo <= hi]. *)
+
+val logarithmic : lo:float -> hi:float -> steps:int -> float list
+(** Log-spaced points; requires [0 < lo <= hi] and [steps >= 2]. *)
+
+val epsilon_grid : ?lo:float -> ?hi:float -> ?steps:int -> unit -> float list
+(** Default device-error grid used by the paper's figures: log-spaced from
+    [lo] (default [1e-4]) to [hi] (default [0.45]) with [steps] (default
+    40) points. All values lie strictly inside [(0, 0.5)]. *)
+
+val ints : lo:int -> hi:int -> int list
+(** [ints ~lo ~hi] is [lo; lo+1; ...; hi] (empty when [hi < lo]). *)

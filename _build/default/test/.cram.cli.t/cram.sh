@@ -1,0 +1,8 @@
+  $ nanobound bounds -e 0.01 -d 0.01
+  $ nanobound bounds -e 0.1 -k 3 -s 10 --size 21 -n 10
+  $ nanobound equiv rca8 cla16
+  $ nanobound equiv rca16 csel16 --backend bdd
+  $ nanobound equiv c17 c17 --backend sat
+  $ nanobound suite
+  $ nanobound analyze no_such_thing
+  $ nanobound bounds -e 0.1 --explain | head -8

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array List Nano_netlist Nano_synth Nano_util Printf QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_activity.ml: Alcotest Array Float Helpers Nano_netlist Nano_sim QCheck2

@@ -1,0 +1,1 @@
+test/test_alu.ml: Alcotest Helpers List Nano_circuits Nano_netlist Printf QCheck2 Stdlib

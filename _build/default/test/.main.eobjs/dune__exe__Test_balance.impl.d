@@ -1,0 +1,1 @@
+test/test_balance.ml: Alcotest Helpers List Nano_circuits Nano_netlist Nano_synth Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Helpers List Nano_bdd Nano_logic Nano_util QCheck2 String

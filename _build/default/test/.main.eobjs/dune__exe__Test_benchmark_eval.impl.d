@@ -1,0 +1,1 @@
+test/test_benchmark_eval.ml: Alcotest Helpers List Nano_bounds Nano_circuits Nano_synth

@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Helpers Int64 List Nano_util QCheck2

@@ -1,0 +1,1 @@
+test/test_bitsim.ml: Alcotest Array Helpers Int64 Nano_netlist Nano_sim Nano_util

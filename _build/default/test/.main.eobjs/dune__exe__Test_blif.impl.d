@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Format Helpers List Nano_blif Nano_circuits Nano_netlist Nano_synth QCheck2 String

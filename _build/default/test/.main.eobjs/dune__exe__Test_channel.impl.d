@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Float Helpers List Nano_faults Nano_util QCheck2

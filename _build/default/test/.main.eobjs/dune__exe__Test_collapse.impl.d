@@ -1,0 +1,1 @@
+test/test_collapse.ml: Alcotest Helpers List Nano_circuits Nano_logic Nano_netlist Nano_synth QCheck2

@@ -1,0 +1,1 @@
+test/test_criticality.ml: Alcotest Array Helpers List Nano_circuits Nano_faults Nano_netlist Printf

@@ -1,0 +1,1 @@
+test/test_crossover.ml: Alcotest Float Helpers Nano_bounds

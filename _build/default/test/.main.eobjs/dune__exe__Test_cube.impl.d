@@ -1,0 +1,1 @@
+test/test_cube.ml: Alcotest Helpers Nano_logic Nano_util QCheck2

@@ -1,0 +1,1 @@
+test/test_depth_bound.ml: Alcotest Float Helpers Nano_bounds Nano_util QCheck2

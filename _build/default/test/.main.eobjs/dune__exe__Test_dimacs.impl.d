@@ -1,0 +1,1 @@
+test/test_dimacs.ml: Alcotest Filename Nano_circuits Nano_sat Sys

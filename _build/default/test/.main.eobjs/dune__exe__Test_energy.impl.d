@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Helpers Nano_circuits Nano_energy QCheck2

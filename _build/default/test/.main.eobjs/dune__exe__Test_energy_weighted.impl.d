@@ -1,0 +1,1 @@
+test/test_energy_weighted.ml: Alcotest Array Helpers Nano_circuits Nano_energy Nano_netlist Nano_sim Nano_util

@@ -1,0 +1,1 @@
+test/test_espresso.ml: Alcotest Array Helpers List Nano_logic Nano_synth Nano_util QCheck2

@@ -1,0 +1,1 @@
+test/test_factor.ml: Alcotest Helpers List Nano_logic Nano_netlist Nano_synth Nano_util Printf QCheck2

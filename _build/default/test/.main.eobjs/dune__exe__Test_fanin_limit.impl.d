@@ -1,0 +1,1 @@
+test/test_fanin_limit.ml: Alcotest Helpers List Nano_netlist Nano_synth Printf QCheck2

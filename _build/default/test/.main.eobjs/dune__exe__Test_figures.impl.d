@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Helpers List Nano_bounds

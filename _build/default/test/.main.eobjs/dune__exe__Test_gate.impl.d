@@ -1,0 +1,1 @@
+test/test_gate.ml: Alcotest Array Helpers List Nano_netlist Nano_util QCheck2

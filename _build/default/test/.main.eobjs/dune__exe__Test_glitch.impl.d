@@ -1,0 +1,1 @@
+test/test_glitch.ml: Alcotest Array Float Helpers List Nano_circuits Nano_netlist Nano_sim Nano_synth Printf

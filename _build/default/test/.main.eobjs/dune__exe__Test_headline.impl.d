@@ -1,0 +1,1 @@
+test/test_headline.ml: Alcotest Helpers List Nano_bounds Nano_circuits Nano_synth Option

@@ -1,0 +1,1 @@
+test/test_iscas_like.ml: Alcotest Array Helpers Int64 List Nano_circuits Nano_netlist Nano_util Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_leakage.ml: Alcotest Float Helpers Nano_bounds Nano_util QCheck2

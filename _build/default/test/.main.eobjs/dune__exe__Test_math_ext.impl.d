@@ -1,0 +1,1 @@
+test/test_math_ext.ml: Alcotest Helpers Nano_util QCheck2

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Float Helpers List Nano_bounds Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_multiplexing.ml: Alcotest Helpers List Nano_netlist Nano_redundancy Nano_util Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_multipliers.ml: Alcotest Helpers List Nano_circuits Nano_netlist Printf QCheck2

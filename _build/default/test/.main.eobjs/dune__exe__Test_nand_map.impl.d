@@ -1,0 +1,1 @@
+test/test_nand_map.ml: Alcotest Array Helpers List Nano_circuits Nano_netlist Nano_synth Printf QCheck2

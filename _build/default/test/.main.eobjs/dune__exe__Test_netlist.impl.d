@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Helpers Int64 List Nano_netlist Nano_util Printf QCheck2 String

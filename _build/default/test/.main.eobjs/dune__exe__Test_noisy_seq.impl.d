@@ -1,0 +1,1 @@
+test/test_noisy_seq.ml: Alcotest Array Helpers Nano_seq Printf

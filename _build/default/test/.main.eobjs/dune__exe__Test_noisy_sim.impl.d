@@ -1,0 +1,1 @@
+test/test_noisy_sim.ml: Alcotest Helpers List Nano_bounds Nano_circuits Nano_faults Nano_netlist QCheck2

@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Format Helpers Nano_bounds Nano_circuits Nano_netlist String

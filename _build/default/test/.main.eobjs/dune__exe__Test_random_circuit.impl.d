@@ -1,0 +1,1 @@
+test/test_random_circuit.ml: Alcotest Helpers List Nano_circuits Nano_netlist QCheck2

@@ -1,0 +1,1 @@
+test/test_redundancy_bound.ml: Alcotest Float Helpers List Nano_bounds Nano_util QCheck2

@@ -1,0 +1,1 @@
+test/test_regression.ml: Alcotest Nano_bounds Nano_circuits Nano_synth

@@ -1,0 +1,1 @@
+test/test_reliability.ml: Alcotest Array Float Helpers List Nano_circuits Nano_faults Nano_netlist Nano_sim Nano_util QCheck2

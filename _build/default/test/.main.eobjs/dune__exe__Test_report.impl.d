@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Filename Float List Nano_report String Sys

@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Array Helpers List Nano_circuits Nano_netlist Nano_sat Nano_synth Nano_util Printf QCheck2

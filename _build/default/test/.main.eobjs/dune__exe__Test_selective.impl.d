@@ -1,0 +1,1 @@
+test/test_selective.ml: Alcotest Helpers List Nano_circuits Nano_faults Nano_netlist Nano_redundancy Printf

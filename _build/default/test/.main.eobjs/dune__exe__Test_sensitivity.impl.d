@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest Array Helpers List Nano_circuits Nano_netlist Nano_sim QCheck2

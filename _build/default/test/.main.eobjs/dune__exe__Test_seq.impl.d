@@ -1,0 +1,1 @@
+test/test_seq.ml: Alcotest Array Helpers List Nano_bounds Nano_circuits Nano_energy Nano_netlist Nano_seq Nano_synth Printf QCheck2 String

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Helpers List Nano_util QCheck2

@@ -1,0 +1,1 @@
+test/test_std_functions.ml: Alcotest Helpers Nano_logic QCheck2

@@ -1,0 +1,1 @@
+test/test_strash.ml: Alcotest Helpers List Nano_netlist Nano_synth QCheck2

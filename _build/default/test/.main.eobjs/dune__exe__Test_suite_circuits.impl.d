@@ -1,0 +1,1 @@
+test/test_suite_circuits.ml: Alcotest List Nano_circuits Nano_netlist

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Helpers List Nano_util QCheck2

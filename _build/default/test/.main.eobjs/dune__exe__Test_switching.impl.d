@@ -1,0 +1,1 @@
+test/test_switching.ml: Alcotest Float Helpers List Nano_bounds Nano_faults Nano_netlist QCheck2

@@ -1,0 +1,1 @@
+test/test_trees.ml: Alcotest Fun Helpers List Nano_circuits Nano_netlist Printf QCheck2

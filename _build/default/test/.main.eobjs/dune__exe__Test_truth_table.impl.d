@@ -1,0 +1,1 @@
+test/test_truth_table.ml: Alcotest Helpers Nano_logic Nano_util QCheck2

@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Filename Helpers List Nano_seq Printf String Sys

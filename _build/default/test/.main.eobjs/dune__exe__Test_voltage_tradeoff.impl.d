@@ -1,0 +1,1 @@
+test/test_voltage_tradeoff.ml: Alcotest Helpers Nano_bounds Nano_energy QCheck2

@@ -1,0 +1,101 @@
+Closed-form bounds at the headline operating point:
+
+  $ nanobound bounds -e 0.01 -d 0.01
+  metric                        lower bound
+  ----------------------------  -----------
+  size / S0                     1.224      
+  switching activity ratio      1          
+  switching energy / E0         1.224      
+  total energy / E0             1.224      
+  leakage ratio change (Thm 3)  1          
+  delay / D0                    1.023      
+  energy-delay / ED0            1.252      
+  average power / P0            1.196      
+
+The parity-10 figure-3 numbers with explicit parameters:
+
+  $ nanobound bounds -e 0.1 -k 3 -s 10 --size 21 -n 10
+  metric                        lower bound
+  ----------------------------  -----------
+  size / S0                     1.655      
+  switching activity ratio      1          
+  switching energy / E0         1.655      
+  total energy / E0             1.655      
+  leakage ratio change (Thm 3)  1          
+  delay / D0                    1.623      
+  energy-delay / ED0            2.685      
+  average power / P0            1.02       
+
+Interface errors are reported, not crashes:
+
+  $ nanobound equiv rca8 cla16
+  error: input interfaces differ
+  [2]
+
+Equivalence of two adder architectures (BDD backend):
+
+  $ nanobound equiv rca16 csel16 --backend bdd
+  EQUIVALENT
+
+SAT backend on a small pair:
+
+  $ nanobound equiv c17 c17 --backend sat
+  EQUIVALENT
+
+The benchmark suite listing is stable:
+
+  $ nanobound suite
+  name        substitutes  description                                             
+  ----------  -----------  --------------------------------------------------------
+  c17         c17          ISCAS c17 (exact netlist, 6 NAND gates)                 
+  intctl27    c432         27-channel priority interrupt controller (3 groups of 9)
+  sec32       c499         32-bit single-error-correcting receiver                 
+  alu8        c880         8-bit ALU (8 opcodes)                                   
+  secded16    c1908        16-bit SEC/DED receiver                                 
+  datapath12  c2670        12-bit adder/comparator/parity datapath slice           
+  sec32_nand  c1355        32-bit SEC receiver expanded to NAND/INV gates          
+  bcdadd8     c3540        8-digit BCD adder (decimal arithmetic)                  
+  alu9        c5315        9-bit ALU (8 opcodes)                                   
+  datapath32  c7552        32-bit adder/comparator datapath slice                  
+  mult16      c6288        16x16 array multiplier                                  
+  parity16    -            16-input parity tree (fanin 2)                          
+  rca8        -            8-bit ripple-carry adder                                
+  rca16       -            16-bit ripple-carry adder                               
+  rca32       -            32-bit ripple-carry adder                               
+  cla16       -            16-bit carry-lookahead adder                            
+  csel16      -            16-bit carry-select adder (4-bit blocks)                
+  cskip16     -            16-bit carry-skip adder (4-bit blocks)                  
+  booth8      -            8x8 Booth-recoded signed multiplier                     
+  mult4       -            4x4 array multiplier                                    
+  mult8       -            8x8 array multiplier                                    
+  csmult8     -            8x8 carry-save (Wallace) multiplier                     
+  
+  Published ISCAS'85 metadata (reporting context only):
+    c432: 36 in, 7 out, 160 gates, depth 17 — 27-channel priority interrupt controller
+    c499: 41 in, 32 out, 202 gates, depth 11 — 32-bit single-error-correcting circuit
+    c880: 60 in, 26 out, 383 gates, depth 24 — 8-bit ALU
+    c1355: 41 in, 32 out, 546 gates, depth 24 — 32-bit SEC circuit (NAND expansion of c499)
+    c1908: 33 in, 25 out, 880 gates, depth 40 — 16-bit SEC/error detector
+    c2670: 233 in, 140 out, 1193 gates, depth 32 — 12-bit ALU and controller
+    c3540: 50 in, 22 out, 1669 gates, depth 47 — 8-bit ALU with BCD arithmetic
+    c5315: 178 in, 123 out, 2307 gates, depth 49 — 9-bit ALU with parity computing
+    c6288: 32 in, 32 out, 2416 gates, depth 124 — 16x16 array multiplier
+    c7552: 207 in, 108 out, 3512 gates, depth 43 — 32-bit adder/comparator
+
+Unknown circuits produce a helpful message:
+
+  $ nanobound analyze no_such_thing
+  no_such_thing: not a built-in benchmark and no such file (try `nanobound suite')
+  [1]
+
+The derivation of a bound can be printed step by step:
+
+  $ nanobound bounds -e 0.1 --explain | head -8
+  Scenario: eps=0.1 delta=0.01 k=2 s=10 S0=21 n=10 sw0=0.5 lambda0=0.5
+  
+  Theorem 2 (minimum redundancy):
+    omega = (1-(1-2eps)^k)/2 = 0.18
+    t = (w^3+(1-w)^3)/(w(1-w)) = 3.77507   log2 t = 1.9165
+    extra gates >= (s log2 s + 2s log2(2(1-2delta))) / (k log2 t) = 13.73
+    size ratio >= max(1, 1 + extra/S0) = 1.65392
+  

@@ -1,0 +1,100 @@
+module Adders = Nano_circuits.Adders
+module Netlist = Nano_netlist.Netlist
+
+(* Evaluate an adder netlist on integers. *)
+let add_via netlist ~width x y cin =
+  let bindings =
+    List.concat
+      [
+        List.init width (fun i -> (Printf.sprintf "a%d" i, (x lsr i) land 1 = 1));
+        List.init width (fun i -> (Printf.sprintf "b%d" i, (y lsr i) land 1 = 1));
+        [ ("cin", cin) ];
+      ]
+  in
+  let out = Netlist.eval netlist bindings in
+  let sum =
+    List.fold_left
+      (fun acc i ->
+        if List.assoc (Printf.sprintf "s%d" i) out then acc lor (1 lsl i)
+        else acc)
+      0
+      (List.init width (fun i -> i))
+  in
+  let cout = List.assoc "cout" out in
+  sum lor (if cout then 1 lsl width else 0)
+
+let exhaustive_check name build ~width =
+  let netlist = build ~width in
+  for x = 0 to (1 lsl width) - 1 do
+    for y = 0 to (1 lsl width) - 1 do
+      List.iter
+        (fun cin ->
+          let expected = x + y + if cin then 1 else 0 in
+          let got = add_via netlist ~width x y cin in
+          if got <> expected then
+            Alcotest.failf "%s: %d + %d + %b = %d, got %d" name x y cin
+              expected got)
+        [ false; true ]
+    done
+  done
+
+let test_ripple_exhaustive () =
+  exhaustive_check "rca4" (fun ~width -> Adders.ripple_carry ~width) ~width:4
+
+let test_cla_exhaustive () =
+  exhaustive_check "cla4" (fun ~width -> Adders.carry_lookahead ~width) ~width:4;
+  (* cross a group boundary *)
+  exhaustive_check "cla5"
+    (fun ~width -> Adders.carry_lookahead ~width)
+    ~width:5
+
+let test_carry_select_exhaustive () =
+  exhaustive_check "csel4"
+    (fun ~width -> Adders.carry_select ~width ~block:2)
+    ~width:4;
+  exhaustive_check "csel5"
+    (fun ~width -> Adders.carry_select ~width ~block:2)
+    ~width:5
+
+let test_adders_mutually_equivalent () =
+  let rca = Adders.ripple_carry ~width:8 in
+  Helpers.assert_equivalent "rca=cla" rca (Adders.carry_lookahead ~width:8);
+  Helpers.assert_equivalent "rca=csel" rca
+    (Adders.carry_select ~width:8 ~block:3)
+
+let test_structure () =
+  let rca = Adders.ripple_carry ~width:16 in
+  (* 3 gates per full adder *)
+  Alcotest.(check int) "rca gate count" 48 (Netlist.size rca);
+  Alcotest.(check int) "rca depth" 16 (Netlist.depth rca);
+  let csel = Adders.carry_select ~width:16 ~block:4 in
+  Alcotest.(check bool) "carry-select is shallower" true
+    (Netlist.depth csel < Netlist.depth rca);
+  Alcotest.(check bool) "carry-select is bigger" true
+    (Netlist.size csel > Netlist.size rca)
+
+let test_domain () =
+  Helpers.check_invalid "width 0" (fun () ->
+      ignore (Adders.ripple_carry ~width:0));
+  Helpers.check_invalid "block 0" (fun () ->
+      ignore (Adders.carry_select ~width:4 ~block:0))
+
+let prop_random_additions =
+  QCheck2.Test.make ~name:"rca16 adds random numbers" ~count:100
+    QCheck2.Gen.(triple (int_range 0 65535) (int_range 0 65535) bool)
+    (let netlist = Adders.ripple_carry ~width:16 in
+     fun (x, y, cin) ->
+       add_via netlist ~width:16 x y cin = x + y + if cin then 1 else 0)
+
+let suite =
+  [
+    Alcotest.test_case "ripple exhaustive" `Quick test_ripple_exhaustive;
+    Alcotest.test_case "cla exhaustive" `Quick test_cla_exhaustive;
+    Alcotest.test_case "carry select exhaustive" `Quick
+      test_carry_select_exhaustive;
+    Alcotest.test_case "mutually equivalent" `Quick
+      test_adders_mutually_equivalent;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "domain" `Quick test_domain;
+    Helpers.qcheck prop_random_additions;
+  ]

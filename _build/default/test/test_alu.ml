@@ -1,0 +1,103 @@
+module Alu = Nano_circuits.Alu
+module Netlist = Nano_netlist.Netlist
+
+let run_alu netlist ~width ~op ~cin x y =
+  let bindings =
+    List.concat
+      [
+        List.init width (fun i -> (Printf.sprintf "a%d" i, (x lsr i) land 1 = 1));
+        List.init width (fun i -> (Printf.sprintf "b%d" i, (y lsr i) land 1 = 1));
+        List.init 3 (fun i -> (Printf.sprintf "op%d" i, (op lsr i) land 1 = 1));
+        [ ("cin", cin) ];
+      ]
+  in
+  let out = Netlist.eval netlist bindings in
+  let y_val =
+    List.fold_left
+      (fun acc i ->
+        if List.assoc (Printf.sprintf "y%d" i) out then acc lor (1 lsl i)
+        else acc)
+      0
+      (List.init width (fun i -> i))
+  in
+  (y_val, List.assoc "cout" out, List.assoc "zero" out)
+
+let reference ~width ~op ~cin x y =
+  let mask = (1 lsl width) - 1 in
+  match op with
+  | 0 -> (x + y + if cin then 1 else 0) land mask
+  | 1 -> (x - y) land mask (* two's complement: x + ~y + 1 *)
+  | 2 -> x land y
+  | 3 -> x lor y
+  | 4 -> x lxor y
+  | 5 -> Stdlib.lnot (x lor y) land mask
+  | 6 -> x
+  | 7 -> Stdlib.lnot x land mask
+  | _ -> assert false
+
+let test_all_ops_exhaustive_4bit () =
+  let width = 4 in
+  let netlist = Alu.make ~width in
+  for op = 0 to 7 do
+    for x = 0 to 15 do
+      for y = 0 to 15 do
+        let got, _, zero = run_alu netlist ~width ~op ~cin:false x y in
+        let expected = reference ~width ~op ~cin:false x y in
+        if got <> expected then
+          Alcotest.failf "op=%d x=%d y=%d: expected %d got %d" op x y
+            expected got;
+        if zero <> (expected = 0) then
+          Alcotest.failf "zero flag wrong at op=%d x=%d y=%d" op x y
+      done
+    done
+  done
+
+let test_add_carry () =
+  let netlist = Alu.make ~width:4 in
+  let _, cout, _ = run_alu netlist ~width:4 ~op:0 ~cin:false 15 1 in
+  Alcotest.(check bool) "carry out" true cout;
+  let sum, cout, zero = run_alu netlist ~width:4 ~op:0 ~cin:true 7 8 in
+  Alcotest.(check int) "7+8+1" 0 sum;
+  Alcotest.(check bool) "wraps with carry" true cout;
+  Alcotest.(check bool) "zero set" true zero
+
+let test_add_with_cin () =
+  let netlist = Alu.make ~width:4 in
+  let sum, _, _ = run_alu netlist ~width:4 ~op:0 ~cin:true 2 3 in
+  Alcotest.(check int) "2+3+1" 6 sum
+
+let test_sub () =
+  let netlist = Alu.make ~width:8 in
+  let d, _, _ = run_alu netlist ~width:8 ~op:1 ~cin:false 200 55 in
+  Alcotest.(check int) "200-55" 145 d;
+  let d, _, zero = run_alu netlist ~width:8 ~op:1 ~cin:false 55 55 in
+  Alcotest.(check int) "55-55" 0 d;
+  Alcotest.(check bool) "zero" true zero
+
+let test_scale () =
+  (* alu8 is the c880 counterpart: real c880 is 383 gates, depth 24. *)
+  let n = Alu.make ~width:8 in
+  Helpers.check_in_range "size" ~lo:150. ~hi:500.
+    (float_of_int (Netlist.size n));
+  Alcotest.(check int) "inputs" 20 (List.length (Netlist.inputs n))
+
+let prop_random_ops =
+  QCheck2.Test.make ~name:"alu8 matches reference on random operands"
+    ~count:200
+    QCheck2.Gen.(
+      quad (int_range 0 7) (int_range 0 255) (int_range 0 255) bool)
+    (let netlist = Alu.make ~width:8 in
+     fun (op, x, y, cin) ->
+       let got, _, _ = run_alu netlist ~width:8 ~op ~cin x y in
+       got = reference ~width:8 ~op ~cin x y)
+
+let suite =
+  [
+    Alcotest.test_case "all ops exhaustive 4-bit" `Quick
+      test_all_ops_exhaustive_4bit;
+    Alcotest.test_case "add carry" `Quick test_add_carry;
+    Alcotest.test_case "add with cin" `Quick test_add_with_cin;
+    Alcotest.test_case "sub" `Quick test_sub;
+    Alcotest.test_case "scale" `Quick test_scale;
+    Helpers.qcheck prop_random_ops;
+  ]

@@ -1,0 +1,96 @@
+module Bits = Nano_util.Bits
+
+let test_popcount () =
+  Alcotest.(check int) "zero" 0 (Bits.popcount64 0L);
+  Alcotest.(check int) "all" 64 (Bits.popcount64 (-1L));
+  Alcotest.(check int) "0xFF" 8 (Bits.popcount64 0xFFL);
+  Alcotest.(check int) "alternating" 32 (Bits.popcount64 0x5555555555555555L)
+
+let test_parity () =
+  Alcotest.(check bool) "parity 0" false (Bits.parity64 0L);
+  Alcotest.(check bool) "parity 1" true (Bits.parity64 1L);
+  Alcotest.(check bool) "parity 3" false (Bits.parity64 3L)
+
+let test_get_set () =
+  let w = Bits.set 0L 7 true in
+  Alcotest.(check bool) "set then get" true (Bits.get w 7);
+  Alcotest.(check bool) "other bit clear" false (Bits.get w 6);
+  let w = Bits.set w 7 false in
+  Alcotest.(check bool) "cleared" false (Bits.get w 7);
+  Alcotest.(check bool) "bit 63" true (Bits.get (Bits.set 0L 63 true) 63)
+
+let test_ones_below () =
+  Alcotest.(check int64) "ones_below 0" 0L (Bits.ones_below 0);
+  Alcotest.(check int64) "ones_below 4" 0xFL (Bits.ones_below 4);
+  Alcotest.(check int64) "ones_below 64" (-1L) (Bits.ones_below 64)
+
+let test_vec_basic () =
+  let v = Bits.Vec.create 100 in
+  Alcotest.(check int) "length" 100 (Bits.Vec.length v);
+  Alcotest.(check int) "popcount empty" 0 (Bits.Vec.popcount v);
+  Bits.Vec.set v 0 true;
+  Bits.Vec.set v 64 true;
+  Bits.Vec.set v 99 true;
+  Alcotest.(check int) "popcount 3" 3 (Bits.Vec.popcount v);
+  Alcotest.(check bool) "get 64" true (Bits.Vec.get v 64);
+  Alcotest.(check bool) "get 63" false (Bits.Vec.get v 63)
+
+let test_vec_fill_normalized () =
+  let v = Bits.Vec.create 70 in
+  Bits.Vec.fill v true;
+  (* Bits past the length must not be counted. *)
+  Alcotest.(check int) "popcount after fill" 70 (Bits.Vec.popcount v);
+  Bits.Vec.fill v false;
+  Alcotest.(check int) "popcount after clear" 0 (Bits.Vec.popcount v)
+
+let test_vec_map2 () =
+  let a = Bits.Vec.of_string "1100" in
+  let b = Bits.Vec.of_string "1010" in
+  let dst = Bits.Vec.create 4 in
+  Bits.Vec.map2_into ~dst Int64.logand a b;
+  Alcotest.(check string) "and" "1000" (Bits.Vec.to_string dst);
+  Bits.Vec.map2_into ~dst Int64.logxor a b;
+  Alcotest.(check string) "xor" "0110" (Bits.Vec.to_string dst)
+
+let test_vec_string_roundtrip () =
+  let s = "10110011101" in
+  Alcotest.(check string) "roundtrip" s
+    (Bits.Vec.to_string (Bits.Vec.of_string s))
+
+let test_vec_equal_copy () =
+  let v = Bits.Vec.of_string "0101" in
+  let w = Bits.Vec.copy v in
+  Alcotest.(check bool) "copy equal" true (Bits.Vec.equal v w);
+  Bits.Vec.set w 0 true;
+  Alcotest.(check bool) "diverged" false (Bits.Vec.equal v w)
+
+let prop_popcount_split =
+  QCheck2.Test.make ~name:"popcount splits over halves" QCheck2.Gen.int64
+    (fun w ->
+      let lo = Int64.logand w 0xFFFFFFFFL in
+      let hi = Int64.shift_right_logical w 32 in
+      Bits.popcount64 w = Bits.popcount64 lo + Bits.popcount64 hi)
+
+let prop_fold_bits_consistent =
+  QCheck2.Test.make ~name:"Vec.fold_bits counts match popcount"
+    QCheck2.Gen.(list_size (int_range 1 200) bool)
+    (fun bits ->
+      let v = Bits.Vec.create (List.length bits) in
+      List.iteri (fun i b -> Bits.Vec.set v i b) bits;
+      let counted = Bits.Vec.fold_bits (fun _ b acc -> if b then acc + 1 else acc) v 0 in
+      counted = Bits.Vec.popcount v)
+
+let suite =
+  [
+    Alcotest.test_case "popcount64" `Quick test_popcount;
+    Alcotest.test_case "parity64" `Quick test_parity;
+    Alcotest.test_case "get/set" `Quick test_get_set;
+    Alcotest.test_case "ones_below" `Quick test_ones_below;
+    Alcotest.test_case "vec basic" `Quick test_vec_basic;
+    Alcotest.test_case "vec fill normalized" `Quick test_vec_fill_normalized;
+    Alcotest.test_case "vec map2" `Quick test_vec_map2;
+    Alcotest.test_case "vec string roundtrip" `Quick test_vec_string_roundtrip;
+    Alcotest.test_case "vec equal/copy" `Quick test_vec_equal_copy;
+    Helpers.qcheck prop_popcount_split;
+    Helpers.qcheck prop_fold_bits_consistent;
+  ]

@@ -1,0 +1,55 @@
+module Bitsim = Nano_sim.Bitsim
+module Netlist = Nano_netlist.Netlist
+
+let test_matches_scalar_eval () =
+  let n = Helpers.random_netlist ~seed:77 ~inputs:5 ~gates:30 () in
+  (* Pack assignments 0..31 into the lanes of one word batch. *)
+  let input_words =
+    Array.init 5 (fun i ->
+        let w = ref 0L in
+        for a = 0 to 31 do
+          if (a lsr i) land 1 = 1 then w := Nano_util.Bits.set !w a true
+        done;
+        !w)
+  in
+  let values = Bitsim.eval_words n input_words in
+  for a = 0 to 31 do
+    let bits = Array.init 5 (fun i -> (a lsr i) land 1 = 1) in
+    let scalar = Netlist.eval_nodes n bits in
+    Array.iteri
+      (fun node w ->
+        if Nano_util.Bits.get w a <> scalar.(node) then
+          Alcotest.failf "node %d assignment %d" node a)
+      values
+  done
+
+let test_output_word () =
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b "x" in
+  Netlist.Builder.output b "o" (Netlist.Builder.not_ b x);
+  let n = Netlist.Builder.finish b in
+  let values = Bitsim.eval_words n [| 0xF0L |] in
+  Alcotest.(check int64) "inverted" (Int64.lognot 0xF0L)
+    (Bitsim.output_word n values "o");
+  (match Bitsim.output_word n values "zzz" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "expected Not_found")
+
+let test_wrong_input_count () =
+  let n = Helpers.random_netlist ~seed:3 ~inputs:4 ~gates:5 () in
+  Helpers.check_invalid "too few words" (fun () ->
+      ignore (Bitsim.eval_words n [| 0L |]))
+
+let test_random_input_words () =
+  let rng = Nano_util.Prng.create ~seed:123 in
+  let words = Bitsim.random_input_words rng ~input_probability:1.0 ~count:3 in
+  Alcotest.(check int) "count" 3 (Array.length words);
+  Array.iter (fun w -> Alcotest.(check int64) "all ones" (-1L) w) words
+
+let suite =
+  [
+    Alcotest.test_case "matches scalar eval" `Quick test_matches_scalar_eval;
+    Alcotest.test_case "output word" `Quick test_output_word;
+    Alcotest.test_case "wrong input count" `Quick test_wrong_input_count;
+    Alcotest.test_case "random input words" `Quick test_random_input_words;
+  ]

@@ -1,0 +1,124 @@
+module Blif = Nano_blif.Blif
+module Netlist = Nano_netlist.Netlist
+
+let parse_ok src =
+  match Blif.parse_string src with
+  | Ok n -> n
+  | Error e -> Alcotest.failf "parse failed: %s" (Format.asprintf "%a" Blif.pp_error e)
+
+let parse_err src =
+  match Blif.parse_string src with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error e -> e
+
+let test_simple_and () =
+  let n = parse_ok ".model a\n.inputs x y\n.outputs f\n.names x y f\n11 1\n.end\n" in
+  Alcotest.(check string) "model name" "a" (Netlist.name n);
+  let out b1 b2 = List.assoc "f" (Netlist.eval n [ ("x", b1); ("y", b2) ]) in
+  Alcotest.(check bool) "11" true (out true true);
+  Alcotest.(check bool) "10" false (out true false)
+
+let test_off_set_cover () =
+  (* NAND written as an OFF-set cover. *)
+  let n = parse_ok ".model a\n.inputs x y\n.outputs f\n.names x y f\n11 0\n.end\n" in
+  let out b1 b2 = List.assoc "f" (Netlist.eval n [ ("x", b1); ("y", b2) ]) in
+  Alcotest.(check bool) "11 -> 0" false (out true true);
+  Alcotest.(check bool) "01 -> 1" true (out false true)
+
+let test_multi_cube () =
+  (* XOR as two cubes. *)
+  let n = parse_ok ".model x\n.inputs a b\n.outputs f\n.names a b f\n01 1\n10 1\n.end\n" in
+  let out b1 b2 = List.assoc "f" (Netlist.eval n [ ("a", b1); ("b", b2) ]) in
+  Alcotest.(check bool) "01" true (out false true);
+  Alcotest.(check bool) "11" false (out true true)
+
+let test_constants () =
+  let n =
+    parse_ok ".model c\n.inputs x\n.outputs one zero\n.names one\n1\n.names zero\n.end\n"
+  in
+  let out = Netlist.eval n [ ("x", false) ] in
+  Alcotest.(check bool) "const 1" true (List.assoc "one" out);
+  Alcotest.(check bool) "const 0" false (List.assoc "zero" out)
+
+let test_chained_names () =
+  (* g defined after f uses it: order independence. *)
+  let src =
+    ".model chain\n.inputs a b\n.outputs f\n.names g a f\n11 1\n.names a b g\n1- 1\n-1 1\n.end\n"
+  in
+  let n = parse_ok src in
+  (* f = (a|b) & a = a *)
+  let out b1 b2 = List.assoc "f" (Netlist.eval n [ ("a", b1); ("b", b2) ]) in
+  Alcotest.(check bool) "a=1" true (out true false);
+  Alcotest.(check bool) "a=0" false (out false true)
+
+let test_continuation_and_comments () =
+  let src =
+    "# a comment\n.model k\n.inputs a \\\nb\n.outputs f\n.names a b f  # trailing\n11 1\n.end\n"
+  in
+  let n = parse_ok src in
+  Alcotest.(check (list string)) "both inputs" [ "a"; "b" ]
+    (Netlist.input_names n)
+
+let test_errors () =
+  let e = parse_err ".model m\n.inputs a\n.outputs f\n.latch a f\n.end\n" in
+  Alcotest.(check bool) "latch rejected" true
+    (String.length e.Blif.message > 0);
+  ignore (parse_err ".model m\n.inputs a\n.outputs f\n.names a f\n1 1\n.names a f\n0 1\n.end\n");
+  (* duplicate definition *)
+  ignore (parse_err ".model m\n.inputs a\n.outputs f\n.end\n");
+  (* f never defined *)
+  ignore
+    (parse_err ".model m\n.inputs a\n.outputs f\n.names f g\n1 1\n.names g f\n1 1\n.end\n")
+(* combinational cycle *)
+
+let test_mixed_polarity_rejected () =
+  ignore
+    (parse_err ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n")
+
+let test_roundtrip_suite () =
+  (* Write out and re-read every suite circuit; must stay equivalent. *)
+  List.iter
+    (fun entry ->
+      let original = entry.Nano_circuits.Suite.build () in
+      let text = Blif.to_string original in
+      match Blif.parse_string text with
+      | Error e ->
+        Alcotest.failf "%s reparse failed at line %d: %s"
+          entry.Nano_circuits.Suite.name e.Blif.line e.Blif.message
+      | Ok reparsed ->
+        Helpers.assert_equivalent entry.Nano_circuits.Suite.name original
+          reparsed)
+    (* keep the test fast: skip the two largest generators *)
+    (List.filter
+       (fun e ->
+         not
+           (List.mem e.Nano_circuits.Suite.name [ "mult16"; "rca32" ]))
+       Nano_circuits.Suite.all)
+
+let prop_random_roundtrip =
+  QCheck2.Test.make ~name:"random netlist BLIF roundtrip" ~count:40
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:4 ~gates:12 () in
+      match Blif.parse_string (Blif.to_string n) with
+      | Error _ -> false
+      | Ok reparsed -> begin
+        match Nano_synth.Equiv.check n reparsed with
+        | Nano_synth.Equiv.Equivalent -> true
+        | Nano_synth.Equiv.Counterexample _ -> false
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "simple and" `Quick test_simple_and;
+    Alcotest.test_case "off-set cover" `Quick test_off_set_cover;
+    Alcotest.test_case "multi cube" `Quick test_multi_cube;
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "chained names" `Quick test_chained_names;
+    Alcotest.test_case "continuations/comments" `Quick
+      test_continuation_and_comments;
+    Alcotest.test_case "errors" `Quick test_errors;
+    Alcotest.test_case "mixed polarity" `Quick test_mixed_polarity_rejected;
+    Alcotest.test_case "suite roundtrip" `Quick test_roundtrip_suite;
+    Helpers.qcheck prop_random_roundtrip;
+  ]

@@ -1,0 +1,98 @@
+module Channel = Nano_faults.Channel
+
+let test_create_domain () =
+  ignore (Channel.create ~epsilon:0.);
+  ignore (Channel.create ~epsilon:0.5);
+  Helpers.check_invalid "negative" (fun () -> Channel.create ~epsilon:(-0.1));
+  Helpers.check_invalid "above half" (fun () -> Channel.create ~epsilon:0.6)
+
+let test_transfer_probability () =
+  let c = Channel.create ~epsilon:0.1 in
+  Helpers.check_float "p=1" 0.9 (Channel.transfer_probability c 1.);
+  Helpers.check_float "p=0" 0.1 (Channel.transfer_probability c 0.);
+  Helpers.check_float "p=1/2 invariant" 0.5 (Channel.transfer_probability c 0.5)
+
+let test_transfer_activity_theorem1 () =
+  let c = Channel.create ~epsilon:0.1 in
+  (* sw' = 0.64 sw + 0.18 *)
+  Helpers.check_float "sw=0" 0.18 (Channel.transfer_activity c 0.);
+  Helpers.check_float "sw=0.5 fixed point" 0.5 (Channel.transfer_activity c 0.5);
+  Helpers.check_float "sw=1" 0.82 (Channel.transfer_activity c 1.)
+
+let test_activity_probability_consistency () =
+  (* Theorem 1 must agree with pushing p through the channel and
+     recomputing sw = 2p(1-p). *)
+  let c = Channel.create ~epsilon:0.07 in
+  List.iter
+    (fun p ->
+      let sw = 2. *. p *. (1. -. p) in
+      let p' = Channel.transfer_probability c p in
+      let sw' = 2. *. p' *. (1. -. p') in
+      Helpers.check_loose "consistent" sw' (Channel.transfer_activity c sw))
+    [ 0.; 0.1; 0.3; 0.5; 0.77; 1. ]
+
+let test_compose () =
+  let a = Channel.create ~epsilon:0.1 in
+  let b = Channel.create ~epsilon:0.2 in
+  let c = Channel.compose a b in
+  (* 0.1*0.8 + 0.2*0.9 = 0.26 *)
+  Helpers.check_float "composed epsilon" 0.26 (Channel.epsilon c);
+  (* identity element *)
+  let id = Channel.create ~epsilon:0. in
+  Helpers.check_float "identity" 0.1 (Channel.epsilon (Channel.compose a id));
+  (* composing with a coin flip stays a coin flip *)
+  let coin = Channel.create ~epsilon:0.5 in
+  Helpers.check_float "absorbing" 0.5 (Channel.epsilon (Channel.compose a coin))
+
+let test_apply_bit_statistics () =
+  let c = Channel.create ~epsilon:0.25 in
+  let rng = Nano_util.Prng.create ~seed:7 in
+  let flips = ref 0 in
+  let n = 40000 in
+  for _ = 1 to n do
+    if not (Channel.apply_bit c rng true) then incr flips
+  done;
+  Helpers.check_in_range "flip rate" ~lo:0.235 ~hi:0.265
+    (float_of_int !flips /. float_of_int n)
+
+let test_noise_word_density () =
+  let c = Channel.create ~epsilon:0.125 in
+  let rng = Nano_util.Prng.create ~seed:8 in
+  let total = ref 0 in
+  let words = 4000 in
+  for _ = 1 to words do
+    total := !total + Nano_util.Bits.popcount64 (Channel.noise_word c rng)
+  done;
+  Helpers.check_in_range "density" ~lo:0.118 ~hi:0.132
+    (float_of_int !total /. float_of_int (64 * words))
+
+let test_capacity () =
+  Helpers.check_float "perfect channel" 1.
+    (Channel.capacity (Channel.create ~epsilon:0.));
+  Helpers.check_float "useless channel" 0.
+    (Channel.capacity (Channel.create ~epsilon:0.5));
+  Helpers.check_in_range "mid" ~lo:0.5 ~hi:0.55
+    (Channel.capacity (Channel.create ~epsilon:0.11))
+
+let prop_transfer_activity_contraction =
+  QCheck2.Test.make ~name:"activity map contracts toward 1/2" ~count:200
+    QCheck2.Gen.(pair (float_range 0.001 0.499) (float_range 0. 1.))
+    (fun (epsilon, sw) ->
+      let c = Channel.create ~epsilon in
+      let sw' = Channel.transfer_activity c sw in
+      Float.abs (sw' -. 0.5) <= Float.abs (sw -. 0.5) +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "create domain" `Quick test_create_domain;
+    Alcotest.test_case "transfer probability" `Quick test_transfer_probability;
+    Alcotest.test_case "transfer activity (Thm 1)" `Quick
+      test_transfer_activity_theorem1;
+    Alcotest.test_case "activity/probability consistency" `Quick
+      test_activity_probability_consistency;
+    Alcotest.test_case "compose" `Quick test_compose;
+    Alcotest.test_case "apply_bit statistics" `Quick test_apply_bit_statistics;
+    Alcotest.test_case "noise word density" `Quick test_noise_word_density;
+    Alcotest.test_case "capacity" `Quick test_capacity;
+    Helpers.qcheck prop_transfer_activity_contraction;
+  ]

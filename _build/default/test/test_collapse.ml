@@ -1,0 +1,103 @@
+module Collapse = Nano_synth.Collapse
+module Netlist = Nano_netlist.Netlist
+module TT = Nano_logic.Truth_table
+module Cube = Nano_logic.Cube
+
+let test_to_truth_tables () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:2 in
+  match Collapse.to_truth_tables n with
+  | None -> Alcotest.fail "expected tables"
+  | Some tables ->
+    Alcotest.(check int) "one table per output" 3 (List.length tables);
+    (* Check s0 against the reference truth table. The adder inputs are
+       declared a0 a1 b0 b1 cin; Std layout differs, so check by direct
+       evaluation instead. *)
+    let s0 = List.assoc "s0" tables in
+    for a = 0 to 31 do
+      let bits =
+        List.mapi
+          (fun i name -> (name, (a lsr i) land 1 = 1))
+          (Netlist.input_names n)
+      in
+      let expected = List.assoc "s0" (Netlist.eval n bits) in
+      Alcotest.(check bool) "matches netlist" expected (TT.eval s0 a)
+    done
+
+let test_too_wide () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:16 in
+  Alcotest.(check bool) "None for 33 inputs" true
+    (Collapse.to_truth_tables ~max_inputs:14 n = None)
+
+let test_of_covers_sharing () =
+  (* Two outputs using the same product term must share it. *)
+  let cover_a = [ Cube.of_string "11-" ] in
+  let cover_b = [ Cube.of_string "11-"; Cube.of_string "--1" ] in
+  let n =
+    Collapse.of_covers ~name:"share" ~input_names:[ "x"; "y"; "z" ]
+      [ ("a", cover_a); ("b", cover_b) ]
+  in
+  (* gates: one AND (shared), one OR -> 2 *)
+  Alcotest.(check int) "shared product" 2 (Netlist.size n);
+  let out = Netlist.eval n [ ("x", true); ("y", true); ("z", false) ] in
+  Alcotest.(check bool) "a" true (List.assoc "a" out);
+  Alcotest.(check bool) "b" true (List.assoc "b" out)
+
+let test_of_covers_constants () =
+  let n =
+    Collapse.of_covers ~name:"consts" ~input_names:[ "x" ]
+      [ ("zero", []); ("one", [ Cube.universe ~arity:1 ]) ]
+  in
+  let out = Netlist.eval n [ ("x", false) ] in
+  Alcotest.(check bool) "zero" false (List.assoc "zero" out);
+  Alcotest.(check bool) "one" true (List.assoc "one" out)
+
+let test_resynthesize_equivalent () =
+  let n = Nano_circuits.Trees.mux_tree ~select_bits:2 in
+  match Collapse.resynthesize n with
+  | None -> Alcotest.fail "should collapse"
+  | Some rebuilt -> Helpers.assert_equivalent "mux resynthesis" n rebuilt
+
+let test_resynthesize_reduces_redundant_logic () =
+  (* Build a deliberately redundant circuit: or of x&y, x&y, x&y&z. *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b "x" in
+  let y = Netlist.Builder.input b "y" in
+  let z = Netlist.Builder.input b "z" in
+  let t1 = Netlist.Builder.and2 b x y in
+  let t2 = Netlist.Builder.and2 b y x in
+  let t3 = Netlist.Builder.and2 b t1 z in
+  Netlist.Builder.output b "o"
+    (Netlist.Builder.or2 b (Netlist.Builder.or2 b t1 t2) t3);
+  let n = Netlist.Builder.finish b in
+  match Collapse.resynthesize n with
+  | None -> Alcotest.fail "should collapse"
+  | Some rebuilt ->
+    Helpers.assert_equivalent "redundant" n rebuilt;
+    (* the whole thing is just x & y *)
+    Alcotest.(check int) "single gate" 1 (Netlist.size rebuilt)
+
+let prop_resynthesis_equivalent =
+  QCheck2.Test.make ~name:"collapse+QM+rebuild preserves function" ~count:40
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:18 () in
+      match Collapse.resynthesize n with
+      | None -> false
+      | Some rebuilt -> begin
+        match Nano_synth.Equiv.check n rebuilt with
+        | Nano_synth.Equiv.Equivalent -> true
+        | Nano_synth.Equiv.Counterexample _ -> false
+      end)
+
+let suite =
+  [
+    Alcotest.test_case "to truth tables" `Quick test_to_truth_tables;
+    Alcotest.test_case "too wide" `Quick test_too_wide;
+    Alcotest.test_case "of_covers sharing" `Quick test_of_covers_sharing;
+    Alcotest.test_case "of_covers constants" `Quick test_of_covers_constants;
+    Alcotest.test_case "resynthesize equivalent" `Quick
+      test_resynthesize_equivalent;
+    Alcotest.test_case "resynthesize reduces" `Quick
+      test_resynthesize_reduces_redundant_logic;
+    Helpers.qcheck prop_resynthesis_equivalent;
+  ]

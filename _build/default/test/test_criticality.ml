@@ -1,0 +1,90 @@
+module Criticality = Nano_faults.Criticality
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+
+let test_output_gate_fully_observable () =
+  (* A flip at the output gate is always visible. *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let g = B.and2 b x y in
+  B.output b "o" g;
+  let n = B.finish b in
+  let r = Criticality.analyze n in
+  Helpers.check_float "output gate" 1. r.Criticality.observability.(g)
+
+let test_masked_gate () =
+  (* g = x & y feeds h = g & 0 -> h is constant 0; a flip at g is
+     masked... but h itself flips the output. Build: out = and(g, z)
+     with z mostly 0: observability of g = P(z=1) = 1/2. *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let z = B.input b "z" in
+  let g = B.xor2 b x y in
+  let out = B.and2 b g z in
+  B.output b "o" out;
+  let n = B.finish b in
+  let r = Criticality.analyze ~vectors:65536 n in
+  Helpers.check_in_range "g masked by z" ~lo:0.48 ~hi:0.52
+    r.Criticality.observability.(g);
+  Helpers.check_float "out full" 1. r.Criticality.observability.(out)
+
+let test_parity_tree_all_critical () =
+  (* Every xor gate in a parity tree propagates any flip. *)
+  let n = Nano_circuits.Trees.parity_tree ~inputs:8 ~fanin:2 in
+  let r = Criticality.analyze ~vectors:256 n in
+  List.iter
+    (fun id ->
+      Helpers.check_float
+        (Printf.sprintf "gate %d" id)
+        1.
+        r.Criticality.observability.(id))
+    (Criticality.ranked_gates n r)
+
+let test_ranking () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:8 in
+  let r = Criticality.analyze ~vectors:4096 n in
+  let ranked = Criticality.ranked_gates n r in
+  Alcotest.(check int) "all gates ranked" (Netlist.size n)
+    (List.length ranked);
+  (* ranking is by decreasing observability *)
+  let rec decreasing = function
+    | a :: b :: rest ->
+      r.Criticality.observability.(a) >= r.Criticality.observability.(b)
+      && decreasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (decreasing ranked)
+
+let test_top_fraction () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:4 in
+  let r = Criticality.analyze ~vectors:1024 n in
+  Alcotest.(check int) "none" 0
+    (List.length (Criticality.top_fraction n r ~fraction:0.));
+  Alcotest.(check int) "all" (Netlist.size n)
+    (List.length (Criticality.top_fraction n r ~fraction:1.));
+  let half = Criticality.top_fraction n r ~fraction:0.5 in
+  Alcotest.(check bool) "about half" true
+    (List.length half = (Netlist.size n + 1) / 2);
+  Helpers.check_invalid "fraction > 1" (fun () ->
+      ignore (Criticality.top_fraction n r ~fraction:1.5))
+
+let test_determinism () =
+  let n = Helpers.random_netlist ~seed:8 ~inputs:4 ~gates:15 () in
+  let a = Criticality.analyze ~seed:3 n in
+  let b = Criticality.analyze ~seed:3 n in
+  Alcotest.(check (array (float 0.))) "reproducible"
+    a.Criticality.observability b.Criticality.observability
+
+let suite =
+  [
+    Alcotest.test_case "output gate observable" `Quick
+      test_output_gate_fully_observable;
+    Alcotest.test_case "masked gate" `Quick test_masked_gate;
+    Alcotest.test_case "parity all critical" `Quick
+      test_parity_tree_all_critical;
+    Alcotest.test_case "ranking" `Quick test_ranking;
+    Alcotest.test_case "top fraction" `Quick test_top_fraction;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,86 @@
+module Crossover = Nano_bounds.Crossover
+module Metrics = Nano_bounds.Metrics
+
+let scenario = Nano_bounds.Figures.parity10
+
+let test_power_crossover_exists () =
+  match Crossover.power_crossover scenario with
+  | None -> Alcotest.fail "parity10/k=2 must cross"
+  | Some epsilon ->
+    (* Verify it is a genuine boundary. *)
+    let power e =
+      match
+        (Metrics.evaluate { scenario with Metrics.epsilon = e })
+          .Metrics.average_power_ratio
+      with
+      | Some p -> p
+      | None -> Alcotest.fail "feasible range expected"
+    in
+    Alcotest.(check bool) "above before" true (power (epsilon *. 0.9) > 1.);
+    Alcotest.(check bool) "below after" true (power (epsilon *. 1.1) < 1.);
+    Helpers.check_in_range "plausible location" ~lo:0.01 ~hi:0.12 epsilon
+
+let test_power_crossover_respects_fanin () =
+  let e2 = Crossover.power_crossover scenario in
+  let e4 = Crossover.power_crossover { scenario with Metrics.fanin = 4 } in
+  match e2, e4 with
+  | Some a, Some b ->
+    Alcotest.(check bool) "different fanin different crossover" true
+      (Float.abs (a -. b) > 1e-4)
+  | _ -> Alcotest.fail "both should cross"
+
+let test_energy_budget () =
+  (* The headline inverted: what error rate keeps parity10 within 40%
+     more energy? *)
+  match Crossover.max_epsilon_for_energy_budget ~budget:1.4 scenario with
+  | None -> Alcotest.fail "budget 1.4 is reachable"
+  | Some epsilon ->
+    let energy e =
+      (Metrics.evaluate { scenario with Metrics.epsilon = e })
+        .Metrics.energy_ratio
+    in
+    Alcotest.(check bool) "within budget" true (energy (epsilon *. 0.99) <= 1.4);
+    Alcotest.(check bool) "boundary" true (energy (epsilon *. 1.05) > 1.4);
+    (* parity10 hits 1.4 somewhere between 1% and 10%. *)
+    Helpers.check_in_range "location" ~lo:0.01 ~hi:0.1 epsilon
+
+let test_energy_budget_unreachable () =
+  let expensive =
+    { scenario with Metrics.sensitivity = 300; error_free_size = 10 }
+  in
+  Alcotest.(check bool) "tiny budget fails" true
+    (Crossover.max_epsilon_for_energy_budget ~budget:1.0001 expensive = None);
+  Helpers.check_invalid "budget < 1" (fun () ->
+      ignore (Crossover.max_epsilon_for_energy_budget ~budget:0.5 scenario))
+
+let test_min_delta () =
+  match
+    Crossover.min_delta_for_epsilon ~budget:1.3 ~epsilon:0.01 scenario
+  with
+  | None -> Alcotest.fail "achievable"
+  | Some delta ->
+    Helpers.check_in_range "delta in range" ~lo:0. ~hi:0.5 delta;
+    (* at that delta the energy is within budget *)
+    let energy d =
+      (Metrics.evaluate { scenario with Metrics.epsilon = 0.01; delta = d })
+        .Metrics.energy_ratio
+    in
+    Alcotest.(check bool) "within budget" true (energy (delta *. 1.01) <= 1.3001)
+
+let test_feasibility_edge () =
+  Helpers.check_loose "k=2" ((1. -. (1. /. sqrt 2.)) /. 2.)
+    (Crossover.feasibility_edge ~fanin:2);
+  Alcotest.(check bool) "k=4 wider" true
+    (Crossover.feasibility_edge ~fanin:4 > Crossover.feasibility_edge ~fanin:2)
+
+let suite =
+  [
+    Alcotest.test_case "power crossover exists" `Quick
+      test_power_crossover_exists;
+    Alcotest.test_case "crossover respects fanin" `Quick
+      test_power_crossover_respects_fanin;
+    Alcotest.test_case "energy budget" `Quick test_energy_budget;
+    Alcotest.test_case "budget unreachable" `Quick test_energy_budget_unreachable;
+    Alcotest.test_case "min delta" `Quick test_min_delta;
+    Alcotest.test_case "feasibility edge" `Quick test_feasibility_edge;
+  ]

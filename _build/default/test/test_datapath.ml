@@ -1,0 +1,140 @@
+module Datapath = Nano_circuits.Datapath
+module Netlist = Nano_netlist.Netlist
+
+let bind prefix width v =
+  List.init width (fun i -> (Printf.sprintf "%s%d" prefix i, (v lsr i) land 1 = 1))
+
+let value_of prefix width out =
+  List.fold_left
+    (fun acc i ->
+      if List.assoc (Printf.sprintf "%s%d" prefix i) out then acc lor (1 lsl i)
+      else acc)
+    0
+    (List.init width (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+
+let test_barrel_shifter_exhaustive () =
+  let width = 8 in
+  let n = Datapath.barrel_shifter ~width in
+  for d = 0 to 255 do
+    for s = 0 to 7 do
+      let out = Netlist.eval n (bind "d" width d @ bind "sh" 3 s) in
+      let expected = (d lsl s) land 0xFF in
+      let got = value_of "y" width out in
+      if got <> expected then
+        Alcotest.failf "%d << %d: expected %d got %d" d s expected got
+    done
+  done
+
+let test_barrel_shifter_validation () =
+  Helpers.check_invalid "non power of two" (fun () ->
+      ignore (Datapath.barrel_shifter ~width:6))
+
+let test_priority_encoder_exhaustive () =
+  let width = 8 in
+  let n = Datapath.priority_encoder ~width in
+  for r = 0 to 255 do
+    let out = Netlist.eval n (bind "r" width r) in
+    let valid = List.assoc "valid" out in
+    Alcotest.(check bool) "valid iff nonzero" (r <> 0) valid;
+    if r <> 0 then begin
+      let expected =
+        let rec highest i = if (r lsr i) land 1 = 1 then i else highest (i - 1) in
+        highest (width - 1)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "encode %d" r)
+        expected
+        (value_of "idx" 3 out)
+    end
+  done
+
+let signed width v = if (v lsr (width - 1)) land 1 = 1 then v - (1 lsl width) else v
+
+let booth_check ~width netlist x y =
+  let out = Netlist.eval netlist (bind "a" width x @ bind "b" width y) in
+  let got = value_of "p" (2 * width) out in
+  let product = signed width x * signed width y in
+  let expected = product land ((1 lsl (2 * width)) - 1) in
+  if got <> expected then
+    Alcotest.failf "booth %d*%d (signed %d*%d): expected %d got %d" x y
+      (signed width x) (signed width y) expected got
+
+let test_booth_exhaustive_4bit () =
+  let width = 4 in
+  let n = Datapath.booth_multiplier ~width in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      booth_check ~width n x y
+    done
+  done
+
+let prop_booth_random_8bit =
+  QCheck2.Test.make ~name:"booth8 multiplies random signed operands"
+    ~count:80
+    QCheck2.Gen.(pair (int_range 0 255) (int_range 0 255))
+    (let n = Datapath.booth_multiplier ~width:8 in
+     fun (x, y) ->
+       match booth_check ~width:8 n x y with
+       | () -> true
+       | exception _ -> false)
+
+let test_booth_matches_array_on_nonnegative () =
+  (* For operands with clear sign bits the signed and unsigned products
+     agree, so Booth must match the array multiplier. *)
+  let width = 4 in
+  let booth = Datapath.booth_multiplier ~width in
+  let array_m = Nano_circuits.Multipliers.array_multiplier ~width in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      let bindings = bind "a" width x @ bind "b" width y in
+      let pb = value_of "p" (2 * width) (Netlist.eval booth bindings) in
+      let pa = value_of "p" (2 * width) (Netlist.eval array_m bindings) in
+      Alcotest.(check int) (Printf.sprintf "%d*%d" x y) pa pb
+    done
+  done
+
+let test_carry_skip_adder () =
+  let module Adders = Nano_circuits.Adders in
+  (* exhaustive at width 5 with block 2 (uneven tail block) *)
+  let width = 5 in
+  let n = Adders.carry_skip ~width ~block:2 in
+  for x = 0 to 31 do
+    for y = 0 to 31 do
+      List.iter
+        (fun cin ->
+          let bindings =
+            bind "a" width x @ bind "b" width y @ [ ("cin", cin) ]
+          in
+          let out = Netlist.eval n bindings in
+          let got =
+            value_of "s" width out
+            lor if List.assoc "cout" out then 1 lsl width else 0
+          in
+          let expected = x + y + if cin then 1 else 0 in
+          if got <> expected then
+            Alcotest.failf "%d+%d+%b: expected %d got %d" x y cin expected got)
+        [ false; true ]
+    done
+  done;
+  (* equivalence against the ripple adder at width 8 *)
+  Helpers.assert_equivalent "cskip8 = rca8"
+    (Adders.ripple_carry ~width:8)
+    (Adders.carry_skip ~width:8 ~block:3)
+
+let suite =
+  [
+    Alcotest.test_case "barrel shifter exhaustive" `Quick
+      test_barrel_shifter_exhaustive;
+    Alcotest.test_case "barrel shifter validation" `Quick
+      test_barrel_shifter_validation;
+    Alcotest.test_case "priority encoder exhaustive" `Quick
+      test_priority_encoder_exhaustive;
+    Alcotest.test_case "booth exhaustive 4-bit" `Quick
+      test_booth_exhaustive_4bit;
+    Alcotest.test_case "booth matches array (non-negative)" `Quick
+      test_booth_matches_array_on_nonnegative;
+    Alcotest.test_case "carry-skip adder" `Quick test_carry_skip_adder;
+    Helpers.qcheck prop_booth_random_8bit;
+  ]

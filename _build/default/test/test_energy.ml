@@ -1,0 +1,118 @@
+module Technology = Nano_energy.Technology
+module Energy_model = Nano_energy.Energy_model
+
+let test_presets () =
+  Helpers.check_float "90nm vdd" 1.0 Technology.nm90.Technology.vdd;
+  Alcotest.(check bool) "65nm leakier" true
+    (Technology.nm65.Technology.leakage_factor > 0.);
+  Helpers.check_float "ideal leakage" 0.
+    Technology.ideal_switching_only.Technology.leakage_factor
+
+let test_calibration () =
+  (* nm90 is calibrated for a 50% leakage share at sw = 0.5. *)
+  let e =
+    Energy_model.of_profile ~tech:Technology.nm90 ~size:100 ~depth:10
+      ~activity:0.5
+  in
+  Helpers.check_loose "half leakage" 0.5 e.Energy_model.leakage_share;
+  (* Recalibrate for 80%: the share must come out as asked. *)
+  let tech =
+    Technology.calibrate_leakage Technology.nm90 ~activity:0.3 ~share:0.8
+  in
+  let e = Energy_model.of_profile ~tech ~size:50 ~depth:5 ~activity:0.3 in
+  Helpers.check_loose "80% leakage" 0.8 e.Energy_model.leakage_share
+
+let test_calibration_domain () =
+  Helpers.check_invalid "share 1" (fun () ->
+      Technology.calibrate_leakage Technology.nm90 ~activity:0.5 ~share:1.);
+  Helpers.check_invalid "activity 0" (fun () ->
+      Technology.calibrate_leakage Technology.nm90 ~activity:0. ~share:0.5)
+
+let test_gate_delay_monotone_in_vdd () =
+  (* Chen-Hu: lowering Vdd toward VT increases delay. *)
+  let base = Technology.nm90 in
+  let slow = Technology.with_vdd base 0.6 in
+  let fast = Technology.with_vdd base 1.2 in
+  Alcotest.(check bool) "slower at low vdd" true
+    (Technology.gate_delay slow > Technology.gate_delay base);
+  Alcotest.(check bool) "faster at high vdd" true
+    (Technology.gate_delay fast < Technology.gate_delay base);
+  Helpers.check_invalid "vdd below vt" (fun () ->
+      ignore (Technology.with_vdd base 0.2))
+
+let test_energy_scaling () =
+  let tech = Technology.ideal_switching_only in
+  let e1 = Energy_model.of_profile ~tech ~size:100 ~depth:10 ~activity:0.4 in
+  let e2 = Energy_model.of_profile ~tech ~size:200 ~depth:10 ~activity:0.4 in
+  (* Energy is proportional to gate count (the Corollary 2 assumption). *)
+  Helpers.check_loose "linear in size" 2.
+    (e2.Energy_model.total_energy /. e1.Energy_model.total_energy);
+  let e3 = Energy_model.of_profile ~tech ~size:100 ~depth:20 ~activity:0.4 in
+  Helpers.check_loose "delay linear in depth" 2.
+    (e3.Energy_model.delay /. e1.Energy_model.delay);
+  (* Energy-delay and average power identities. *)
+  Helpers.check_loose "edp" (e1.Energy_model.total_energy *. e1.Energy_model.delay)
+    e1.Energy_model.energy_delay;
+  Helpers.check_loose "avg power"
+    (e1.Energy_model.total_energy /. e1.Energy_model.delay)
+    e1.Energy_model.average_power
+
+let test_zero_depth () =
+  let e =
+    Energy_model.of_profile ~tech:Technology.nm90 ~size:10 ~depth:0
+      ~activity:0.5
+  in
+  Helpers.check_float "no delay" 0. e.Energy_model.delay;
+  Helpers.check_float "power reported 0" 0. e.Energy_model.average_power
+
+let test_of_netlist () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:4 in
+  let e = Energy_model.of_netlist ~tech:Technology.nm90 ~activity:0.4 n in
+  Alcotest.(check bool) "positive energy" true (e.Energy_model.total_energy > 0.);
+  Alcotest.(check bool) "positive delay" true (e.Energy_model.delay > 0.)
+
+let test_ratio () =
+  let tech = Technology.nm90 in
+  let a = Energy_model.of_profile ~tech ~size:150 ~depth:12 ~activity:0.5 in
+  let b = Energy_model.of_profile ~tech ~size:100 ~depth:10 ~activity:0.5 in
+  let r = Energy_model.ratio a b in
+  Helpers.check_loose "energy ratio" 1.5 r.Energy_model.total_energy;
+  Helpers.check_loose "delay ratio" 1.2 r.Energy_model.delay
+
+let test_domain_checks () =
+  Helpers.check_invalid "negative size" (fun () ->
+      ignore
+        (Energy_model.of_profile ~tech:Technology.nm90 ~size:(-1) ~depth:0
+           ~activity:0.5));
+  Helpers.check_invalid "activity out of range" (fun () ->
+      ignore
+        (Energy_model.of_profile ~tech:Technology.nm90 ~size:1 ~depth:0
+           ~activity:1.5))
+
+let prop_leakage_share_decreases_with_activity =
+  QCheck2.Test.make ~name:"higher activity lowers leakage share" ~count:100
+    QCheck2.Gen.(pair (float_range 0.05 0.45) (float_range 0.5 0.95))
+    (fun (low, high) ->
+      let tech = Technology.nm90 in
+      let e_low =
+        Energy_model.of_profile ~tech ~size:100 ~depth:10 ~activity:low
+      in
+      let e_high =
+        Energy_model.of_profile ~tech ~size:100 ~depth:10 ~activity:high
+      in
+      e_high.Energy_model.leakage_share < e_low.Energy_model.leakage_share)
+
+let suite =
+  [
+    Alcotest.test_case "presets" `Quick test_presets;
+    Alcotest.test_case "calibration" `Quick test_calibration;
+    Alcotest.test_case "calibration domain" `Quick test_calibration_domain;
+    Alcotest.test_case "gate delay vs vdd" `Quick
+      test_gate_delay_monotone_in_vdd;
+    Alcotest.test_case "energy scaling" `Quick test_energy_scaling;
+    Alcotest.test_case "zero depth" `Quick test_zero_depth;
+    Alcotest.test_case "of_netlist" `Quick test_of_netlist;
+    Alcotest.test_case "ratio" `Quick test_ratio;
+    Alcotest.test_case "domain checks" `Quick test_domain_checks;
+    Helpers.qcheck prop_leakage_share_decreases_with_activity;
+  ]

@@ -1,0 +1,121 @@
+module Energy_model = Nano_energy.Energy_model
+module Technology = Nano_energy.Technology
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+module B = Nano_netlist.Netlist.Builder
+
+let test_gate_capacitance_model () =
+  Helpers.check_float "inverter" 0.5 (Energy_model.gate_capacitance Gate.Not ~arity:1);
+  Helpers.check_float "nand2" 1.0 (Energy_model.gate_capacitance Gate.Nand ~arity:2);
+  Helpers.check_float "nand3" 1.15 (Energy_model.gate_capacitance Gate.Nand ~arity:3);
+  Helpers.check_float "xor2" 1.8 (Energy_model.gate_capacitance Gate.Xor ~arity:2);
+  Helpers.check_float "source free" 0.
+    (Energy_model.gate_capacitance Gate.Input ~arity:0);
+  Helpers.check_float "buffer free" 0.
+    (Energy_model.gate_capacitance Gate.Buf ~arity:1)
+
+let nand_pair () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let g1 = B.nand2 b x y in
+  let g2 = B.nand2 b g1 y in
+  B.output b "o" g2;
+  B.finish b
+
+let test_weighted_consistency_on_uniform_circuit () =
+  (* All-NAND2 circuit with uniform activity: weighted result equals the
+     flat model with activity = that uniform value (cap unit = nand2). *)
+  let n = nand_pair () in
+  let activity = Array.make (Netlist.node_count n) 0.3 in
+  let tech = Technology.ideal_switching_only in
+  let weighted = Energy_model.of_netlist_weighted ~tech ~node_activity:activity n in
+  let flat = Energy_model.of_profile ~tech ~size:2 ~depth:2 ~activity:0.3 in
+  Helpers.check_loose "same switching energy"
+    flat.Energy_model.switching_energy weighted.Energy_model.switching_energy
+
+let test_xor_costs_more () =
+  let make kind =
+    let b = B.create () in
+    let x = B.input b "x" in
+    let y = B.input b "y" in
+    B.output b "o" (B.add b kind [ x; y ]);
+    B.finish b
+  in
+  let tech = Technology.nm90 in
+  let e kind =
+    let n = make kind in
+    (Energy_model.of_netlist_weighted ~tech
+       ~node_activity:(Array.make (Netlist.node_count n) 0.4)
+       n)
+      .Energy_model.total_energy
+  in
+  Alcotest.(check bool) "xor > nand" true (e Gate.Xor > e Gate.Nand);
+  Alcotest.(check bool) "nand > not-free" true (e Gate.Nand > 0.)
+
+let test_uses_timing_not_levels () =
+  (* An inverter chain has depth 4 in levels but only 4 * 0.6 in the
+     default delay model; weighted delay must reflect the latter. *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let rec chain node k = if k = 0 then node else chain (B.not_ b node) (k - 1) in
+  B.output b "o" (chain x 4);
+  let n = B.finish b in
+  let tech = Technology.ideal_switching_only in
+  let weighted =
+    Energy_model.of_netlist_weighted ~tech
+      ~node_activity:(Array.make (Netlist.node_count n) 0.5)
+      n
+  in
+  Helpers.check_loose "timed delay"
+    (4. *. 0.6 *. Technology.gate_delay tech)
+    weighted.Energy_model.delay
+
+let test_validation () =
+  let n = nand_pair () in
+  Helpers.check_invalid "length mismatch" (fun () ->
+      ignore
+        (Energy_model.of_netlist_weighted ~tech:Technology.nm90
+           ~node_activity:[| 0.5 |] n));
+  Helpers.check_invalid "activity out of range" (fun () ->
+      ignore
+        (Energy_model.of_netlist_weighted ~tech:Technology.nm90
+           ~node_activity:(Array.make (Netlist.node_count n) 1.5)
+           n))
+
+let test_glitch_aware_energy () =
+  (* Plugging glitch-aware transitions instead of settled activity must
+     raise the estimate on a glitchy circuit. *)
+  let n = Nano_circuits.Multipliers.array_multiplier ~width:4 in
+  let p = Nano_sim.Glitch.unit_delay ~pairs:2048 n in
+  let tech = Technology.nm90 in
+  let clamp =
+    Array.map (fun v -> Nano_util.Math_ext.clamp ~lo:0. ~hi:1. (v /. 2.))
+  in
+  (* normalize per-change transition counts into [0,1] activities by
+     halving (a transition pair = one full cycle) *)
+  let settled =
+    Energy_model.of_netlist_weighted ~tech
+      ~node_activity:(clamp p.Nano_sim.Glitch.node_settled_toggles)
+      n
+  in
+  let glitchy =
+    Energy_model.of_netlist_weighted ~tech
+      ~node_activity:(clamp p.Nano_sim.Glitch.node_transitions)
+      n
+  in
+  Alcotest.(check bool) "glitches cost energy" true
+    (glitchy.Energy_model.switching_energy
+    > settled.Energy_model.switching_energy)
+
+let suite =
+  [
+    Alcotest.test_case "gate capacitance model" `Quick
+      test_gate_capacitance_model;
+    Alcotest.test_case "uniform consistency" `Quick
+      test_weighted_consistency_on_uniform_circuit;
+    Alcotest.test_case "xor costs more" `Quick test_xor_costs_more;
+    Alcotest.test_case "uses timing" `Quick test_uses_timing_not_levels;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "glitch-aware energy" `Quick test_glitch_aware_energy;
+  ]

@@ -1,0 +1,140 @@
+module Equiv = Nano_synth.Equiv
+module B = Nano_netlist.Netlist.Builder
+
+let xor_direct () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  B.output b "o" (B.xor2 b x y);
+  B.finish b
+
+let xor_via_andor () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let nx = B.not_ b x in
+  let ny = B.not_ b y in
+  B.output b "o" (B.or2 b (B.and2 b x ny) (B.and2 b nx y));
+  B.finish b
+
+let and_gate () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  B.output b "o" (B.and2 b x y);
+  B.finish b
+
+let test_equivalent_structures () =
+  match Equiv.exhaustive (xor_direct ()) (xor_via_andor ()) with
+  | Some Equiv.Equivalent -> ()
+  | Some (Equiv.Counterexample _) -> Alcotest.fail "equivalent circuits"
+  | None -> Alcotest.fail "should be exhaustive"
+
+let test_counterexample () =
+  match Equiv.exhaustive (xor_direct ()) (and_gate ()) with
+  | Some (Equiv.Counterexample cex) ->
+    (* the reported assignment must actually distinguish them *)
+    let a = Nano_netlist.Netlist.eval (xor_direct ()) cex in
+    let b = Nano_netlist.Netlist.eval (and_gate ()) cex in
+    Alcotest.(check bool) "real counterexample" true (a <> b)
+  | Some Equiv.Equivalent -> Alcotest.fail "not equivalent"
+  | None -> Alcotest.fail "should be exhaustive"
+
+let test_interface_mismatch () =
+  let other =
+    let b = B.create () in
+    let z = B.input b "z" in
+    B.output b "o" (B.not_ b z);
+    B.finish b
+  in
+  Helpers.check_invalid "inputs differ" (fun () ->
+      ignore (Equiv.check (xor_direct ()) other))
+
+let test_input_order_irrelevant () =
+  (* Same interface, inputs declared in a different order. *)
+  let reordered =
+    let b = B.create () in
+    let y = B.input b "y" in
+    let x = B.input b "x" in
+    B.output b "o" (B.xor2 b x y);
+    B.finish b
+  in
+  match Equiv.exhaustive (xor_direct ()) reordered with
+  | Some Equiv.Equivalent -> ()
+  | _ -> Alcotest.fail "order must not matter"
+
+let test_random_fallback () =
+  let wide =
+    let b = B.create () in
+    let xs = List.init 20 (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+    B.output b "o" (B.reduce b Nano_netlist.Gate.Xor xs);
+    B.finish b
+  in
+  Alcotest.(check bool) "exhaustive declines" true
+    (Equiv.exhaustive wide wide = None);
+  (match Equiv.check wide wide with
+  | Equiv.Equivalent -> ()
+  | Equiv.Counterexample _ -> Alcotest.fail "identical circuits")
+
+let test_bdd_backend () =
+  (* Equivalent pair. *)
+  (match Equiv.bdd (xor_direct ()) (xor_via_andor ()) with
+  | Some Equiv.Equivalent -> ()
+  | Some (Equiv.Counterexample _) -> Alcotest.fail "equivalent"
+  | None -> Alcotest.fail "tiny circuits cannot blow up");
+  (* Inequivalent pair: the counterexample must be complete and real. *)
+  match Equiv.bdd (xor_direct ()) (and_gate ()) with
+  | Some (Equiv.Counterexample cex) ->
+    Alcotest.(check int) "binds all inputs" 2 (List.length cex);
+    let a = Nano_netlist.Netlist.eval (xor_direct ()) cex in
+    let b = Nano_netlist.Netlist.eval (and_gate ()) cex in
+    Alcotest.(check bool) "distinguishes" true (a <> b)
+  | Some Equiv.Equivalent -> Alcotest.fail "not equivalent"
+  | None -> Alcotest.fail "cannot blow up"
+
+let test_bdd_backend_wide () =
+  (* 20-input circuits where exhaustive checking is impossible but the
+     BDD check is formal. A ripple adder and a lookahead adder share the
+     interface and the function. *)
+  let a = Nano_circuits.Adders.ripple_carry ~width:20 in
+  let b = Nano_circuits.Adders.carry_lookahead ~width:20 in
+  (match Equiv.bdd a b with
+  | Some Equiv.Equivalent -> ()
+  | Some (Equiv.Counterexample _) -> Alcotest.fail "adders are equivalent"
+  | None -> Alcotest.fail "adder BDDs are small");
+  (* node budget respected *)
+  Alcotest.(check bool) "tiny budget bails out" true
+    (Equiv.bdd ~max_nodes:10 a b = None)
+
+let prop_bdd_agrees_with_exhaustive =
+  QCheck2.Test.make ~name:"bdd verdict matches exhaustive" ~count:40
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 100000))
+    (fun (s1, s2) ->
+      let a = Helpers.random_netlist ~seed:s1 ~inputs:5 ~gates:15 () in
+      let b =
+        if s1 = s2 then a else Helpers.random_netlist ~seed:s2 ~inputs:5 ~gates:15 ()
+      in
+      let brute =
+        match Equiv.exhaustive a b with
+        | Some Equiv.Equivalent -> true
+        | Some (Equiv.Counterexample _) -> false
+        | None -> assert false
+      in
+      match Equiv.bdd a b with
+      | Some Equiv.Equivalent -> brute
+      | Some (Equiv.Counterexample _) -> not brute
+      | None -> false)
+
+let suite =
+  [
+    Alcotest.test_case "bdd backend" `Quick test_bdd_backend;
+    Alcotest.test_case "bdd backend wide" `Quick test_bdd_backend_wide;
+    Helpers.qcheck prop_bdd_agrees_with_exhaustive;
+    Alcotest.test_case "equivalent structures" `Quick
+      test_equivalent_structures;
+    Alcotest.test_case "counterexample" `Quick test_counterexample;
+    Alcotest.test_case "interface mismatch" `Quick test_interface_mismatch;
+    Alcotest.test_case "input order irrelevant" `Quick
+      test_input_order_irrelevant;
+    Alcotest.test_case "random fallback" `Quick test_random_fallback;
+  ]

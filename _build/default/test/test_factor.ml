@@ -1,0 +1,123 @@
+module Factor = Nano_synth.Factor
+module Cube = Nano_logic.Cube
+module TT = Nano_logic.Truth_table
+module QM = Nano_synth.Quine_mccluskey
+
+let cover_of_strings strings = List.map Cube.of_string strings
+
+let test_textbook_factoring () =
+  (* ab + ac + ad over 4 vars = a(b + c + d): 6 literals -> 4. *)
+  let cover = cover_of_strings [ "11--"; "1-1-"; "1--1" ] in
+  let expr = Factor.quick_factor ~arity:4 cover in
+  Alcotest.(check int) "4 literals" 4 (Factor.literal_count expr);
+  (* and it is still the same function *)
+  for a = 0 to 15 do
+    Alcotest.(check bool)
+      (Printf.sprintf "assignment %d" a)
+      (Cube.Cover.eval cover a)
+      (Factor.eval expr (fun v -> (a lsr v) land 1 = 1))
+  done
+
+let test_single_cube () =
+  let expr = Factor.quick_factor ~arity:3 (cover_of_strings [ "10-" ]) in
+  Alcotest.(check int) "two literals" 2 (Factor.literal_count expr);
+  Alcotest.(check int) "depth 1" 1 (Factor.depth expr)
+
+let test_constants () =
+  Alcotest.(check bool) "empty cover is false" true
+    (Factor.quick_factor ~arity:2 [] = Factor.Const false);
+  Alcotest.(check bool) "universal cube is true" true
+    (Factor.quick_factor ~arity:2 [ Cube.universe ~arity:2 ] = Factor.Const true)
+
+let test_no_sharing_stays_two_level () =
+  (* Disjoint-support cubes cannot factor: x0x1 + x2x3. *)
+  let cover = cover_of_strings [ "11--"; "--11" ] in
+  let expr = Factor.quick_factor ~arity:4 cover in
+  Alcotest.(check int) "literals unchanged" 4 (Factor.literal_count expr)
+
+let test_to_string () =
+  let expr = Factor.quick_factor ~arity:2 (cover_of_strings [ "10" ]) in
+  Alcotest.(check string) "rendering" "(x0 & ~x1)" (Factor.to_string expr)
+
+let test_netlist_construction () =
+  let covers =
+    [ ("f", cover_of_strings [ "11--"; "1-1-"; "1--1" ]) ]
+  in
+  let netlist =
+    Factor.netlist_of_covers ~name:"fact" ~input_names:[ "a"; "b"; "c"; "d" ]
+      covers
+  in
+  (* a & (b | c | d): OR tree (2 gates) + 1 AND = 3 gates, versus 3 ANDs
+     + OR tree (2) = 5-6 two-level. *)
+  Alcotest.(check int) "3 gates" 3 (Nano_netlist.Netlist.size netlist);
+  let eval a b c d =
+    List.assoc "f"
+      (Nano_netlist.Netlist.eval netlist
+         [ ("a", a); ("b", b); ("c", c); ("d", d) ])
+  in
+  Alcotest.(check bool) "a(b)" true (eval true true false false);
+  Alcotest.(check bool) "a alone" false (eval true false false false);
+  Alcotest.(check bool) "no a" false (eval false true true true)
+
+let test_factoring_beats_two_level_in_flow () =
+  (* A two-level circuit with heavy literal sharing must come out of
+     rugged_lite smaller than its SOP form. f = a(b+c+d+e) written as
+     four product terms. *)
+  let b = Nano_netlist.Netlist.Builder.create () in
+  let module B = Nano_netlist.Netlist.Builder in
+  let a = B.input b "a" in
+  let xs = List.init 4 (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  let terms = List.map (fun x -> B.and2 b a x) xs in
+  B.output b "f" (B.reduce b Nano_netlist.Gate.Or terms);
+  let sop = B.finish b in
+  let mapped = Nano_synth.Script.rugged_lite sop in
+  Helpers.assert_equivalent "flow" sop mapped;
+  (* factored: OR tree (3 gates fanin<=3: 2 gates) + AND = ~3 gates,
+     versus 4 AND + OR tree = ~6. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "smaller than SOP (%d < %d)"
+       (Nano_netlist.Netlist.size mapped)
+       (Nano_netlist.Netlist.size sop))
+    true
+    (Nano_netlist.Netlist.size mapped < Nano_netlist.Netlist.size sop)
+
+let prop_factoring_preserves_function =
+  QCheck2.Test.make ~name:"quick_factor evaluates like the cover" ~count:100
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 6))
+    (fun (seed, arity_pick) ->
+      let rng = Nano_util.Prng.create ~seed in
+      let n = arity_pick in
+      let tt = TT.create ~arity:n (fun _ -> Nano_util.Prng.bool rng) in
+      let cover = QM.minimize_table tt in
+      let expr = Factor.quick_factor ~arity:n cover in
+      let ok = ref true in
+      for a = 0 to (1 lsl n) - 1 do
+        if Factor.eval expr (fun v -> (a lsr v) land 1 = 1) <> TT.eval tt a
+        then ok := false
+      done;
+      !ok)
+
+let prop_factoring_never_adds_literals =
+  QCheck2.Test.make ~name:"factored literals <= SOP literals" ~count:100
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 1 6))
+    (fun (seed, arity_pick) ->
+      let rng = Nano_util.Prng.create ~seed in
+      let n = arity_pick in
+      let tt = TT.create ~arity:n (fun _ -> Nano_util.Prng.bool rng) in
+      let cover = QM.minimize_table tt in
+      let expr = Factor.quick_factor ~arity:n cover in
+      Factor.literal_count expr <= Cube.Cover.literal_count cover)
+
+let suite =
+  [
+    Alcotest.test_case "textbook factoring" `Quick test_textbook_factoring;
+    Alcotest.test_case "single cube" `Quick test_single_cube;
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "no sharing" `Quick test_no_sharing_stays_two_level;
+    Alcotest.test_case "to_string" `Quick test_to_string;
+    Alcotest.test_case "netlist construction" `Quick test_netlist_construction;
+    Alcotest.test_case "factoring in the flow" `Quick
+      test_factoring_beats_two_level_in_flow;
+    Helpers.qcheck prop_factoring_preserves_function;
+    Helpers.qcheck prop_factoring_never_adds_literals;
+  ]

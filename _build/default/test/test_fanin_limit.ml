@@ -1,0 +1,78 @@
+module Fanin_limit = Nano_synth.Fanin_limit
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let wide_gate_netlist kind n_inputs =
+  let b = B.create () in
+  let xs = List.init n_inputs (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  B.output b "o" (B.add b kind xs);
+  B.finish b
+
+let test_decomposes_wide_and () =
+  let n = Fanin_limit.run ~max_fanin:2 (wide_gate_netlist Gate.And 7) in
+  Alcotest.(check int) "max fanin" 2 (Netlist.max_fanin n);
+  (* 7-input AND as a binary tree: 6 gates. *)
+  Alcotest.(check int) "tree gates" 6 (Netlist.size n)
+
+let test_preserves_narrow_gates () =
+  let original = wide_gate_netlist Gate.Or 3 in
+  let limited = Fanin_limit.run ~max_fanin:3 original in
+  Alcotest.(check int) "unchanged" (Netlist.size original)
+    (Netlist.size limited)
+
+let test_negated_kinds () =
+  List.iter
+    (fun kind ->
+      let original = wide_gate_netlist kind 6 in
+      let limited = Fanin_limit.run ~max_fanin:3 original in
+      Alcotest.(check bool)
+        (Gate.name kind ^ " fanin bounded")
+        true
+        (Netlist.max_fanin limited <= 3);
+      Helpers.assert_equivalent (Gate.name kind) original limited)
+    [ Gate.Nand; Gate.Nor; Gate.Xnor; Gate.And; Gate.Or; Gate.Xor ]
+
+let test_majority_too_wide_rejected () =
+  let b = B.create () in
+  let xs = List.init 5 (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  B.output b "o" (B.add b Gate.Majority xs);
+  let n = B.finish b in
+  Helpers.check_invalid "wide majority" (fun () ->
+      ignore (Fanin_limit.run ~max_fanin:3 n));
+  (* but a maj3 passes through *)
+  let ok =
+    Fanin_limit.run ~max_fanin:3
+      (wide_gate_netlist Gate.Majority 3)
+  in
+  Alcotest.(check int) "maj3 kept" 1 (Netlist.size ok)
+
+let test_domain () =
+  Helpers.check_invalid "max_fanin 1" (fun () ->
+      ignore (Fanin_limit.run ~max_fanin:1 (wide_gate_netlist Gate.And 2)))
+
+let prop_bounds_and_preserves =
+  QCheck2.Test.make ~name:"fanin limit bounds fanin and preserves function"
+    ~count:60
+    (* max_fanin >= 3 so the generator's maj3 gates stay legal *)
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 3 4))
+    (fun (seed, k) ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:25 () in
+      let limited = Fanin_limit.run ~max_fanin:k n in
+      Netlist.max_fanin limited <= k
+      &&
+      match Nano_synth.Equiv.check n limited with
+      | Nano_synth.Equiv.Equivalent -> true
+      | Nano_synth.Equiv.Counterexample _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "decomposes wide and" `Quick test_decomposes_wide_and;
+    Alcotest.test_case "preserves narrow gates" `Quick
+      test_preserves_narrow_gates;
+    Alcotest.test_case "negated kinds" `Quick test_negated_kinds;
+    Alcotest.test_case "wide majority rejected" `Quick
+      test_majority_too_wide_rejected;
+    Alcotest.test_case "domain" `Quick test_domain;
+    Helpers.qcheck prop_bounds_and_preserves;
+  ]

@@ -1,0 +1,106 @@
+module Figures = Nano_bounds.Figures
+
+let series_labels series = List.map (fun s -> s.Figures.label) series
+
+let test_fig2 () =
+  let series = Figures.fig2_activity_map () in
+  Alcotest.(check int) "seven epsilon curves" 7 (List.length series);
+  (* The eps = 0 curve is the identity. *)
+  let id = List.hd series in
+  List.iter (fun (x, y) -> Helpers.check_float "identity" x y) id.Figures.points;
+  (* The eps = 0.5 curve is flat 1/2. *)
+  let flat = List.nth series 6 in
+  List.iter (fun (_, y) -> Helpers.check_float "flat" 0.5 y) flat.Figures.points
+
+let test_fig3 () =
+  let series = Figures.fig3_redundancy () in
+  Alcotest.(check (list string)) "labels" [ "k=2"; "k=3"; "k=4" ]
+    (series_labels series);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (_, factor) ->
+          Alcotest.(check bool) "factor >= 1" true (factor >= 1.))
+        s.Figures.points;
+      (* monotone in eps *)
+      let rec mono = function
+        | (_, a) :: ((_, b) :: _ as rest) -> a <= b +. 1e-9 && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone" true (mono s.Figures.points))
+    series;
+  (* Paper: order-of-magnitude redundancy near eps = 1/2. *)
+  let k2 = List.hd series in
+  let _, last = List.nth k2.Figures.points (List.length k2.Figures.points - 1) in
+  Alcotest.(check bool) "explodes" true (last > 10.)
+
+let test_fig4 () =
+  let series = Figures.fig4_leakage () in
+  Alcotest.(check int) "five sw0 curves" 5 (List.length series);
+  List.iter
+    (fun s ->
+      let below_half = s.Figures.label < "sw0=0.50" in
+      List.iter
+        (fun (_, r) ->
+          if below_half then
+            Alcotest.(check bool) "ratio <= 1 for low sw0" true (r <= 1. +. 1e-9))
+        s.Figures.points)
+    series
+
+let test_fig5 () =
+  let series = Figures.fig5_delay_and_edp () in
+  Alcotest.(check int) "3 delay + 3 edp" 6 (List.length series);
+  (* Every EDP point must dominate the corresponding delay point (since
+     energy ratio >= 1). *)
+  let find label = List.find (fun s -> s.Figures.label = label) series in
+  let delay = find "delay k=2" and edp = find "edp k=2" in
+  List.iter2
+    (fun (x1, d) (x2, e) ->
+      Helpers.check_float "same grid" x1 x2;
+      Alcotest.(check bool) "edp >= delay" true (e >= d -. 1e-9))
+    delay.Figures.points edp.Figures.points
+
+let test_fig6 () =
+  let series = Figures.fig6_average_power () in
+  Alcotest.(check int) "three fanins" 3 (List.length series);
+  (* Each power curve starts above 1 and ends below 1 (the Figure 6
+     crossover). *)
+  List.iter
+    (fun s ->
+      match s.Figures.points with
+      | (_, first) :: _ :: _ ->
+        let _, last = List.nth s.Figures.points (List.length s.Figures.points - 1) in
+        Alcotest.(check bool) (s.Figures.label ^ " starts above 1") true
+          (first > 1.);
+        Alcotest.(check bool) (s.Figures.label ^ " ends below 1") true
+          (last < 1.)
+      | _ -> Alcotest.fail "expected points")
+    series
+
+let test_parity10_constants () =
+  let p = Figures.parity10 in
+  Alcotest.(check int) "s" 10 p.Nano_bounds.Metrics.sensitivity;
+  Alcotest.(check int) "S0" 21 p.Nano_bounds.Metrics.error_free_size;
+  Alcotest.(check int) "n" 10 p.Nano_bounds.Metrics.inputs;
+  Helpers.check_float "delta" 0.01 p.Nano_bounds.Metrics.delta
+
+let test_ablation_omega () =
+  let series = Figures.ablation_omega_models () in
+  Alcotest.(check int) "two models" 2 (List.length series);
+  let lumped = List.hd series and wire = List.nth series 1 in
+  (* The paper's gate-lumped model is the more pessimistic one. *)
+  List.iter2
+    (fun (_, a) (_, b) ->
+      Alcotest.(check bool) "lumped >= wire-split" true (a >= b -. 1e-9))
+    lumped.Figures.points wire.Figures.points
+
+let suite =
+  [
+    Alcotest.test_case "fig2" `Quick test_fig2;
+    Alcotest.test_case "fig3" `Quick test_fig3;
+    Alcotest.test_case "fig4" `Quick test_fig4;
+    Alcotest.test_case "fig5" `Quick test_fig5;
+    Alcotest.test_case "fig6" `Quick test_fig6;
+    Alcotest.test_case "parity10 constants" `Quick test_parity10_constants;
+    Alcotest.test_case "ablation omega" `Quick test_ablation_omega;
+  ]

@@ -1,0 +1,112 @@
+module Glitch = Nano_sim.Glitch
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+
+let test_single_gate_hazard_free () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let g = B.and2 b x y in
+  B.output b "o" g;
+  let n = B.finish b in
+  let p = Glitch.unit_delay ~pairs:8192 n in
+  (* One gate fed directly by inputs cannot glitch. *)
+  Helpers.check_loose "factor 1" 1. p.Glitch.glitch_factor;
+  Helpers.check_loose "transitions = settled"
+    p.Glitch.node_settled_toggles.(g)
+    p.Glitch.node_transitions.(g)
+
+let test_static_hazard () =
+  (* z = x & ~x: settled value constant 0, but when x rises the AND sees
+     (new x, stale ~x) for one time unit and pulses. *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let inv = B.not_ b x in
+  let z = B.and2 b x inv in
+  B.output b "o" z;
+  let n = B.finish b in
+  let p = Glitch.unit_delay ~pairs:65536 n in
+  Helpers.check_float "never settles differently" 0.
+    p.Glitch.node_settled_toggles.(z);
+  (* x rises on 1/4 of random pairs; each rise gives a 0-1-0 pulse = 2
+     transitions. *)
+  Helpers.check_in_range "hazard pulses" ~lo:0.45 ~hi:0.55
+    p.Glitch.node_transitions.(z)
+
+let test_settled_matches_activity_model () =
+  (* The settled toggles must agree with the measured toggle rate from
+     Activity (same temporal-independence experiment). *)
+  let n = Helpers.random_netlist ~seed:21 ~inputs:5 ~gates:20 () in
+  let p = Glitch.unit_delay ~pairs:100000 n in
+  let reference = Nano_sim.Activity.measured_toggle_rate ~pairs:100000 n in
+  Array.iteri
+    (fun id expected ->
+      let got = p.Glitch.node_settled_toggles.(id) in
+      if Float.abs (got -. expected) > 0.02 then
+        Alcotest.failf "node %d: %.4f vs %.4f" id got expected)
+    reference
+
+let test_glitch_factor_at_least_one () =
+  List.iter
+    (fun entry ->
+      let circuit = entry.Nano_circuits.Suite.build () in
+      let p = Glitch.unit_delay ~pairs:1024 circuit in
+      if p.Glitch.glitch_factor < 1. -. 1e-9 then
+        Alcotest.failf "%s: factor %.3f < 1" entry.Nano_circuits.Suite.name
+          p.Glitch.glitch_factor)
+    (List.filter
+       (fun e ->
+         List.mem e.Nano_circuits.Suite.name
+           [ "c17"; "rca8"; "mult4"; "parity16"; "csel16" ])
+       Nano_circuits.Suite.all)
+
+let test_multiplier_glitches_more_than_tree () =
+  (* Array multipliers are the canonical glitchy circuit; balanced parity
+     trees are nearly hazard-free. *)
+  let mult = Nano_circuits.Multipliers.array_multiplier ~width:4 in
+  let tree = Nano_circuits.Trees.parity_tree ~inputs:16 ~fanin:2 in
+  let pm = Glitch.unit_delay ~pairs:4096 mult in
+  let pt = Glitch.unit_delay ~pairs:4096 tree in
+  Alcotest.(check bool)
+    (Printf.sprintf "mult %.2f > tree %.2f" pm.Glitch.glitch_factor
+       pt.Glitch.glitch_factor)
+    true
+    (pm.Glitch.glitch_factor > pt.Glitch.glitch_factor)
+
+let test_balance_reduces_glitching () =
+  (* A skewed XOR chain glitches badly: changes reach gate k at k
+     staggered times and XOR never masks, so deep gates toggle many
+     times per input change. The balanced tree aligns arrivals. (AND
+     chains would not show this — masking suppresses their activity.) *)
+  let b = B.create () in
+  let xs = List.init 12 (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  let root =
+    match xs with
+    | first :: rest -> List.fold_left (fun acc x -> B.xor2 b acc x) first rest
+    | [] -> assert false
+  in
+  B.output b "y" root;
+  let chain = B.finish b in
+  let balanced = Nano_synth.Balance.run chain in
+  let pc = Glitch.unit_delay ~pairs:8192 chain in
+  let pb = Glitch.unit_delay ~pairs:8192 balanced in
+  Alcotest.(check bool)
+    (Printf.sprintf "chain %.3f >= balanced %.3f"
+       pc.Glitch.average_gate_transitions pb.Glitch.average_gate_transitions)
+    true
+    (pc.Glitch.average_gate_transitions
+    >= pb.Glitch.average_gate_transitions -. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "single gate hazard free" `Quick
+      test_single_gate_hazard_free;
+    Alcotest.test_case "static hazard" `Quick test_static_hazard;
+    Alcotest.test_case "settled matches activity" `Quick
+      test_settled_matches_activity_model;
+    Alcotest.test_case "factor >= 1" `Quick test_glitch_factor_at_least_one;
+    Alcotest.test_case "multiplier glitchier than tree" `Quick
+      test_multiplier_glitches_more_than_tree;
+    Alcotest.test_case "balance reduces glitching" `Quick
+      test_balance_reduces_glitching;
+  ]

@@ -1,0 +1,43 @@
+module Headline = Nano_bounds.Headline
+module Profile = Nano_bounds.Profile
+
+let profiles () =
+  List.filter_map
+    (fun name ->
+      Option.map
+        (fun e ->
+          let mapped =
+            Nano_synth.Script.rugged_lite (e.Nano_circuits.Suite.build ())
+          in
+          { (Profile.of_netlist mapped) with Profile.name })
+        (Nano_circuits.Suite.find name))
+    [ "rca16"; "parity16"; "mult4" ]
+
+let test_verdict () =
+  let v = Headline.check (profiles ()) in
+  Helpers.check_float "eps" 0.01 v.Headline.epsilon;
+  Helpers.check_float "delta" 0.01 v.Headline.delta;
+  Alcotest.(check int) "three benchmarks" 3
+    (List.length v.Headline.per_benchmark);
+  Alcotest.(check bool) "orders" true
+    (v.Headline.min_overhead <= v.Headline.mean_overhead
+    && v.Headline.mean_overhead <= v.Headline.max_overhead);
+  (* The paper's claim must hold on this sub-suite: parity16 and rca16
+     exceed 40%. *)
+  Alcotest.(check bool) "claim holds" true v.Headline.holds;
+  Alcotest.(check bool) "rca16 above 40%" true
+    (List.assoc "rca16" v.Headline.per_benchmark >= 0.40)
+
+let test_threshold_knob () =
+  let v = Headline.check ~threshold:10.0 (profiles ()) in
+  Alcotest.(check bool) "absurd threshold fails" false v.Headline.holds
+
+let test_empty_rejected () =
+  Helpers.check_invalid "empty" (fun () -> ignore (Headline.check []))
+
+let suite =
+  [
+    Alcotest.test_case "verdict" `Quick test_verdict;
+    Alcotest.test_case "threshold knob" `Quick test_threshold_knob;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+  ]

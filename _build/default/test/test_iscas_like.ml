@@ -1,0 +1,314 @@
+module Iscas = Nano_circuits.Iscas_like
+module Netlist = Nano_netlist.Netlist
+
+let test_c17_exact () =
+  let n = Iscas.c17 () in
+  Alcotest.(check int) "6 gates" 6 (Netlist.size n);
+  Alcotest.(check int) "5 inputs" 5 (List.length (Netlist.inputs n));
+  (* Check against a direct NAND-network model over all 32 assignments. *)
+  for a = 0 to 31 do
+    let bit i = (a lsr i) land 1 = 1 in
+    let g1 = bit 0 and g2 = bit 1 and g3 = bit 2 and g6 = bit 3 and g7 = bit 4 in
+    let nand x y = not (x && y) in
+    let n10 = nand g1 g3 in
+    let n11 = nand g3 g6 in
+    let n16 = nand g2 n11 in
+    let n19 = nand n11 g7 in
+    let e22 = nand n10 n16 in
+    let e23 = nand n16 n19 in
+    let out =
+      Netlist.eval n
+        [ ("g1", g1); ("g2", g2); ("g3", g3); ("g6", g6); ("g7", g7) ]
+    in
+    Alcotest.(check bool) "g22 model" e22 (List.assoc "g22" out);
+    Alcotest.(check bool) "g23 model" e23 (List.assoc "g23" out)
+  done
+
+let test_interrupt_controller_priority () =
+  let n = Iscas.interrupt_controller ~groups:3 ~channels_per_group:4 in
+  let bindings ~reqs ~ens =
+    List.concat
+      [
+        List.concat
+          (List.mapi
+             (fun g group ->
+               List.mapi
+                 (fun c v -> (Printf.sprintf "req%d_%d" g c, v))
+                 group)
+             reqs);
+        List.mapi (fun g v -> (Printf.sprintf "en%d" g, v)) ens;
+      ]
+  in
+  (* Group 1 and 2 both request; group 1 has priority. *)
+  let out =
+    Netlist.eval n
+      (bindings
+         ~reqs:
+           [
+             [ false; false; false; false ];
+             [ false; true; false; false ];
+             [ true; false; false; false ];
+           ]
+         ~ens:[ true; true; true ])
+  in
+  Alcotest.(check bool) "grant0 off" false (List.assoc "grant0" out);
+  Alcotest.(check bool) "grant1 on" true (List.assoc "grant1" out);
+  Alcotest.(check bool) "grant2 masked" false (List.assoc "grant2" out);
+  Alcotest.(check bool) "any" true (List.assoc "any" out);
+  (* Winning channel: group 1, channel 1 -> idx = 1. *)
+  Alcotest.(check bool) "idx0" true (List.assoc "idx0" out);
+  Alcotest.(check bool) "idx1" false (List.assoc "idx1" out);
+  (* Disable group 1: grant falls through to group 2. *)
+  let out =
+    Netlist.eval n
+      (bindings
+         ~reqs:
+           [
+             [ false; false; false; false ];
+             [ false; true; false; false ];
+             [ true; false; false; true ];
+           ]
+         ~ens:[ true; false; true ])
+  in
+  Alcotest.(check bool) "grant2 now" true (List.assoc "grant2" out);
+  (* Highest-index channel wins inside the group: channel 3 -> idx=3. *)
+  Alcotest.(check bool) "idx0 (3)" true (List.assoc "idx0" out);
+  Alcotest.(check bool) "idx1 (3)" true (List.assoc "idx1" out);
+  (* Nothing requested anywhere: no grant. *)
+  let out =
+    Netlist.eval n
+      (bindings
+         ~reqs:
+           [
+             [ false; false; false; false ];
+             [ false; false; false; false ];
+             [ false; false; false; false ];
+           ]
+         ~ens:[ true; true; true ])
+  in
+  Alcotest.(check bool) "no any" false (List.assoc "any" out)
+
+let hamming_io ~data_bits ~data ~checks =
+  List.concat
+    [
+      List.init data_bits (fun i ->
+          (Printf.sprintf "d%d" i, (data lsr i) land 1 = 1));
+      List.mapi (fun j v -> (Printf.sprintf "c%d" j, v)) checks;
+    ]
+
+(* Compute the check bits the encoder would produce for a data word. *)
+let encode ~data_bits data =
+  let r, groups = Iscas.hamming_positions ~data_bits in
+  List.init r (fun j ->
+      List.fold_left
+        (fun acc i -> acc <> ((data lsr i) land 1 = 1))
+        false
+        groups.(j))
+
+let decode_outputs ~data_bits out =
+  List.fold_left
+    (fun acc i ->
+      if List.assoc (Printf.sprintf "o%d" i) out then acc lor (1 lsl i)
+      else acc)
+    0
+    (List.init data_bits (fun i -> i))
+
+let test_hamming_no_error () =
+  let data_bits = 8 in
+  let n = Iscas.hamming_corrector ~data_bits in
+  List.iter
+    (fun data ->
+      let checks = encode ~data_bits data in
+      let out = Netlist.eval n (hamming_io ~data_bits ~data ~checks) in
+      Alcotest.(check int) "clean word passes" data
+        (decode_outputs ~data_bits out))
+    [ 0; 1; 0xAB; 0xFF; 0x5A ]
+
+let test_hamming_corrects_single_errors () =
+  let data_bits = 8 in
+  let n = Iscas.hamming_corrector ~data_bits in
+  let data = 0xC5 in
+  let checks = encode ~data_bits data in
+  for flip = 0 to data_bits - 1 do
+    let corrupted = data lxor (1 lsl flip) in
+    let out = Netlist.eval n (hamming_io ~data_bits ~data:corrupted ~checks) in
+    Alcotest.(check int)
+      (Printf.sprintf "flip bit %d corrected" flip)
+      data
+      (decode_outputs ~data_bits out)
+  done
+
+let test_hamming_check_bit_error_harmless () =
+  let data_bits = 8 in
+  let n = Iscas.hamming_corrector ~data_bits in
+  let data = 0x3C in
+  let checks = encode ~data_bits data in
+  List.iteri
+    (fun j _ ->
+      let flipped = List.mapi (fun k v -> if k = j then not v else v) checks in
+      let out = Netlist.eval n (hamming_io ~data_bits ~data ~checks:flipped) in
+      Alcotest.(check int)
+        (Printf.sprintf "check bit %d error" j)
+        data
+        (decode_outputs ~data_bits out))
+    checks
+
+let test_secded_flags () =
+  let data_bits = 8 in
+  let n = Iscas.error_detector ~data_bits in
+  let data = 0x9D in
+  let checks = encode ~data_bits data in
+  let overall_parity data checks =
+    (* even parity over data+checks: stored bit makes total XOR zero *)
+    let dp =
+      List.fold_left
+        (fun acc i -> acc <> ((data lsr i) land 1 = 1))
+        false
+        (List.init data_bits (fun i -> i))
+    in
+    List.fold_left ( <> ) dp checks
+  in
+  let io ~data ~checks ~pall =
+    hamming_io ~data_bits ~data ~checks @ [ ("pall", pall) ]
+  in
+  (* clean *)
+  let out = Netlist.eval n (io ~data ~checks ~pall:(overall_parity data checks)) in
+  Alcotest.(check bool) "no single" false (List.assoc "single_err" out);
+  Alcotest.(check bool) "no double" false (List.assoc "double_err" out);
+  Alcotest.(check int) "data intact" data (decode_outputs ~data_bits out);
+  (* single error *)
+  let corrupted = data lxor 0x10 in
+  let out =
+    Netlist.eval n (io ~data:corrupted ~checks ~pall:(overall_parity data checks))
+  in
+  Alcotest.(check bool) "single detected" true (List.assoc "single_err" out);
+  Alcotest.(check bool) "not double" false (List.assoc "double_err" out);
+  Alcotest.(check int) "corrected" data (decode_outputs ~data_bits out);
+  (* double error *)
+  let corrupted = data lxor 0x11 in
+  let out =
+    Netlist.eval n (io ~data:corrupted ~checks ~pall:(overall_parity data checks))
+  in
+  Alcotest.(check bool) "double detected" true (List.assoc "double_err" out);
+  Alcotest.(check bool) "not single" false (List.assoc "single_err" out)
+
+let test_mixed_datapath () =
+  let n = Iscas.mixed_datapath ~width:4 in
+  let io x y cin =
+    List.concat
+      [
+        List.init 4 (fun i -> (Printf.sprintf "a%d" i, (x lsr i) land 1 = 1));
+        List.init 4 (fun i -> (Printf.sprintf "b%d" i, (y lsr i) land 1 = 1));
+        [ ("cin", cin) ];
+      ]
+  in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let out = Netlist.eval n (io x y false) in
+      let sum =
+        List.fold_left
+          (fun acc i ->
+            if List.assoc (Printf.sprintf "s%d" i) out then acc lor (1 lsl i)
+            else acc)
+          0 [ 0; 1; 2; 3 ]
+      in
+      let total = x + y in
+      Alcotest.(check int) "sum" (total land 15) sum;
+      Alcotest.(check bool) "cout" (total > 15) (List.assoc "cout" out);
+      Alcotest.(check bool) "eq" (x = y) (List.assoc "eq" out);
+      Alcotest.(check bool) "gt" (x > y) (List.assoc "gt" out);
+      Alcotest.(check bool) "zero" (total land 15 = 0) (List.assoc "zero" out);
+      let parity = Nano_util.Bits.popcount64 (Int64.of_int (total land 15)) land 1 = 1 in
+      Alcotest.(check bool) "par" parity (List.assoc "par" out)
+    done
+  done
+
+let test_hamming_positions_disjoint_union () =
+  let data_bits = 16 in
+  let r, groups = Iscas.hamming_positions ~data_bits in
+  Alcotest.(check int) "r for 16 data bits" 5 r;
+  (* every data bit is covered by at least one check group *)
+  for i = 0 to data_bits - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "bit %d covered" i)
+      true
+      (Array.exists (fun g -> List.mem i g) groups)
+  done
+
+let prop_sec32_corrects_random_single_flip =
+  QCheck2.Test.make ~name:"sec32 corrects any single data-bit flip" ~count:30
+    QCheck2.Gen.(pair (int_range 0 ((1 lsl 30) - 1)) (int_range 0 31))
+    (let data_bits = 32 in
+     let n = Iscas.hamming_corrector ~data_bits in
+     fun (data, flip) ->
+       let checks = encode ~data_bits data in
+       let corrupted = data lxor (1 lsl flip) in
+       let out = Netlist.eval n (hamming_io ~data_bits ~data:corrupted ~checks) in
+       decode_outputs ~data_bits out = data)
+
+(* BCD helpers: encode a decimal number digit-by-digit. *)
+let bcd_io ~digits x y cin =
+  let nibble v d = (v / Nano_util.Math_ext.int_pow 10 d) mod 10 in
+  List.concat
+    [
+      List.init (4 * digits) (fun i ->
+          (Printf.sprintf "a%d" i, (nibble x (i / 4) lsr (i mod 4)) land 1 = 1));
+      List.init (4 * digits) (fun i ->
+          (Printf.sprintf "b%d" i, (nibble y (i / 4) lsr (i mod 4)) land 1 = 1));
+      [ ("cin", cin) ];
+    ]
+
+let bcd_decode ~digits out =
+  let value = ref 0 in
+  for d = digits - 1 downto 0 do
+    let digit = ref 0 in
+    for i = 0 to 3 do
+      if List.assoc (Printf.sprintf "s%d" ((4 * d) + i)) out then
+        digit := !digit lor (1 lsl i)
+    done;
+    value := (!value * 10) + !digit
+  done;
+  !value + if List.assoc "cout" out then Nano_util.Math_ext.int_pow 10 digits else 0
+
+let test_bcd_adder_exhaustive_2digit () =
+  let digits = 2 in
+  let n = Iscas.bcd_adder ~digits in
+  for x = 0 to 99 do
+    for y = 0 to 99 do
+      let out = Netlist.eval n (bcd_io ~digits x y false) in
+      let got = bcd_decode ~digits out in
+      if got <> x + y then
+        Alcotest.failf "BCD %d + %d = %d, got %d" x y (x + y) got
+    done
+  done;
+  (* carry in *)
+  let out = Netlist.eval n (bcd_io ~digits 99 99 true) in
+  Alcotest.(check int) "99+99+1" 199 (bcd_decode ~digits out)
+
+let prop_bcd_adder_8digit =
+  QCheck2.Test.make ~name:"8-digit BCD adder on random decimals" ~count:60
+    QCheck2.Gen.(pair (int_range 0 99999999) (int_range 0 99999999))
+    (let n = Iscas.bcd_adder ~digits:8 in
+     fun (x, y) ->
+       let out = Netlist.eval n (bcd_io ~digits:8 x y false) in
+       bcd_decode ~digits:8 out = x + y)
+
+let suite =
+  [
+    Alcotest.test_case "c17 exact" `Quick test_c17_exact;
+    Alcotest.test_case "bcd adder exhaustive" `Quick
+      test_bcd_adder_exhaustive_2digit;
+    Helpers.qcheck prop_bcd_adder_8digit;
+    Alcotest.test_case "interrupt controller priority" `Quick
+      test_interrupt_controller_priority;
+    Alcotest.test_case "hamming no error" `Quick test_hamming_no_error;
+    Alcotest.test_case "hamming corrects single errors" `Quick
+      test_hamming_corrects_single_errors;
+    Alcotest.test_case "hamming check-bit error harmless" `Quick
+      test_hamming_check_bit_error_harmless;
+    Alcotest.test_case "secded flags" `Quick test_secded_flags;
+    Alcotest.test_case "mixed datapath" `Quick test_mixed_datapath;
+    Alcotest.test_case "hamming positions" `Quick
+      test_hamming_positions_disjoint_union;
+    Helpers.qcheck prop_sec32_corrects_random_single_flip;
+  ]

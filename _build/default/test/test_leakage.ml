@@ -1,0 +1,82 @@
+module Leakage = Nano_bounds.Leakage
+
+let test_identities () =
+  (* Figure 4's anchor points: ratio 1 at sw0 = 1/2 or eps = 0. *)
+  Helpers.check_float "sw0=1/2" 1. (Leakage.ratio_change ~epsilon:0.3 ~sw0:0.5);
+  Helpers.check_float "eps=0" 1. (Leakage.ratio_change ~epsilon:0. ~sw0:0.2)
+
+let test_direction () =
+  (* sw0 < 1/2: activity goes up, devices idle less, leakage share
+     drops. sw0 > 1/2: the opposite. *)
+  Alcotest.(check bool) "low activity -> ratio < 1" true
+    (Leakage.ratio_change ~epsilon:0.1 ~sw0:0.2 < 1.);
+  Alcotest.(check bool) "high activity -> ratio > 1" true
+    (Leakage.ratio_change ~epsilon:0.1 ~sw0:0.8 > 1.)
+
+let test_closed_form () =
+  (* Independent derivation: W = (1-sw)/sw, so the ratio equals
+     ((1-sw')/sw') / ((1-sw0)/sw0). *)
+  let epsilon = 0.07 and sw0 = 0.3 in
+  let sw' = Nano_bounds.Switching.noisy_activity ~epsilon sw0 in
+  let expected = (1. -. sw') /. sw' /. ((1. -. sw0) /. sw0) in
+  Helpers.check_loose "matches derivation" expected
+    (Leakage.ratio_change ~epsilon ~sw0)
+
+let test_symmetry () =
+  (* Theorem 3 under sw0 <-> 1-sw0 inverts the ratio. *)
+  let epsilon = 0.12 in
+  let a = Leakage.ratio_change ~epsilon ~sw0:0.3 in
+  let b = Leakage.ratio_change ~epsilon ~sw0:0.7 in
+  Helpers.check_loose "reciprocal" 1. (a *. b)
+
+let test_noisy_ratio_and_share () =
+  let w = Leakage.noisy_ratio ~epsilon:0.1 ~sw0:0.4 ~w0:1.0 in
+  Alcotest.(check bool) "below baseline" true (w < 1.);
+  Helpers.check_float "share of w=1" 0.5 (Leakage.leakage_share ~w:1.);
+  Helpers.check_float "share of w=3" 0.75 (Leakage.leakage_share ~w:3.);
+  Helpers.check_loose "inverse" 3. (Leakage.ratio_of_share 0.75)
+
+let test_domain () =
+  Helpers.check_invalid "sw0=0" (fun () ->
+      ignore (Leakage.ratio_change ~epsilon:0.1 ~sw0:0.));
+  Helpers.check_invalid "sw0=1" (fun () ->
+      ignore (Leakage.ratio_change ~epsilon:0.1 ~sw0:1.));
+  Helpers.check_invalid "negative w0" (fun () ->
+      ignore (Leakage.noisy_ratio ~epsilon:0.1 ~sw0:0.5 ~w0:(-1.)));
+  Helpers.check_invalid "share 1" (fun () ->
+      ignore (Leakage.ratio_of_share 1.))
+
+let prop_monotone_away_from_one =
+  (* Figure 4: more noise pushes the ratio monotonically away from 1 —
+     downward when sw0 < 1/2 (devices idle less), upward when
+     sw0 > 1/2. *)
+  QCheck2.Test.make ~name:"ratio moves away from 1 monotonically" ~count:300
+    QCheck2.Gen.(triple (float_range 0.01 0.24) (float_range 1.2 2.)
+                   (float_range 0.05 0.95))
+    (fun (eps, factor, sw0) ->
+      QCheck2.assume (Float.abs (sw0 -. 0.5) > 0.01);
+      let r1 = Leakage.ratio_change ~epsilon:eps ~sw0 in
+      let r2 =
+        Leakage.ratio_change ~epsilon:(Float.min 0.5 (eps *. factor)) ~sw0
+      in
+      if sw0 < 0.5 then r2 <= r1 +. 1e-12 && r1 <= 1. +. 1e-12
+      else r2 >= r1 -. 1e-12 && r1 >= 1. -. 1e-12)
+
+let prop_share_roundtrip =
+  QCheck2.Test.make ~name:"share/ratio roundtrip" ~count:200
+    QCheck2.Gen.(float_range 0. 50.)
+    (fun w ->
+      Nano_util.Math_ext.approx_equal ~tol:1e-9 w
+        (Leakage.ratio_of_share (Leakage.leakage_share ~w)))
+
+let suite =
+  [
+    Alcotest.test_case "identities" `Quick test_identities;
+    Alcotest.test_case "direction" `Quick test_direction;
+    Alcotest.test_case "closed form" `Quick test_closed_form;
+    Alcotest.test_case "symmetry" `Quick test_symmetry;
+    Alcotest.test_case "noisy ratio and share" `Quick test_noisy_ratio_and_share;
+    Alcotest.test_case "domain" `Quick test_domain;
+    Helpers.qcheck prop_monotone_away_from_one;
+    Helpers.qcheck prop_share_roundtrip;
+  ]

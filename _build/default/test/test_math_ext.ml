@@ -1,0 +1,88 @@
+module M = Nano_util.Math_ext
+
+let test_log2 () =
+  Helpers.check_float "log2 8" 3. (M.log2 8.);
+  Helpers.check_float "log2 1" 0. (M.log2 1.);
+  Helpers.check_float "log2 0.5" (-1.) (M.log2 0.5)
+
+let test_xlog2x () =
+  Helpers.check_float "xlog2x 0" 0. (M.xlog2x 0.);
+  Helpers.check_float "xlog2x 1" 0. (M.xlog2x 1.);
+  Helpers.check_float "xlog2x 0.5" (-0.5) (M.xlog2x 0.5)
+
+let test_binary_entropy () =
+  Helpers.check_float "H(0)" 0. (M.binary_entropy 0.);
+  Helpers.check_float "H(1)" 0. (M.binary_entropy 1.);
+  Helpers.check_float "H(1/2)" 1. (M.binary_entropy 0.5);
+  (* symmetry *)
+  Helpers.check_float "H(p)=H(1-p)" (M.binary_entropy 0.3)
+    (M.binary_entropy 0.7)
+
+let test_clamp () =
+  Helpers.check_float "clamp below" 0. (M.clamp ~lo:0. ~hi:1. (-2.));
+  Helpers.check_float "clamp above" 1. (M.clamp ~lo:0. ~hi:1. 3.);
+  Helpers.check_float "clamp inside" 0.4 (M.clamp ~lo:0. ~hi:1. 0.4);
+  Alcotest.(check int) "clamp_int" 5 (M.clamp_int ~lo:0 ~hi:5 9)
+
+let test_approx_equal () =
+  Alcotest.(check bool) "equal" true (M.approx_equal 1. (1. +. 1e-12));
+  Alcotest.(check bool) "not equal" false (M.approx_equal 1. 1.1);
+  Alcotest.(check bool) "relative" true
+    (M.approx_equal ~tol:1e-6 1e12 (1e12 +. 1.))
+
+let test_ceil_div () =
+  Alcotest.(check int) "7/2" 4 (M.ceil_div 7 2);
+  Alcotest.(check int) "8/2" 4 (M.ceil_div 8 2);
+  Alcotest.(check int) "0/5" 0 (M.ceil_div 0 5)
+
+let test_int_pow () =
+  Alcotest.(check int) "2^10" 1024 (M.int_pow 2 10);
+  Alcotest.(check int) "3^0" 1 (M.int_pow 3 0);
+  Alcotest.(check int) "5^3" 125 (M.int_pow 5 3)
+
+let test_float_pow_int () =
+  Helpers.check_float "2.^10" 1024. (M.float_pow_int 2. 10);
+  Helpers.check_float "x^0" 1. (M.float_pow_int 0.37 0);
+  Helpers.check_loose "0.9^7" (0.9 ** 7.) (M.float_pow_int 0.9 7)
+
+let test_ceil_log () =
+  Alcotest.(check int) "ceil_log2 1" 0 (M.ceil_log2 1);
+  Alcotest.(check int) "ceil_log2 2" 1 (M.ceil_log2 2);
+  Alcotest.(check int) "ceil_log2 3" 2 (M.ceil_log2 3);
+  Alcotest.(check int) "ceil_log2 1024" 10 (M.ceil_log2 1024);
+  Alcotest.(check int) "ceil_log_base 3 9" 2 (M.ceil_log_base 3 9);
+  Alcotest.(check int) "ceil_log_base 3 10" 3 (M.ceil_log_base 3 10)
+
+let test_means () =
+  Helpers.check_float "mean" 2. (M.mean [ 1.; 2.; 3. ]);
+  Helpers.check_float "geometric" 2. (M.geometric_mean [ 1.; 2.; 4. ] |> fun x -> x);
+  Helpers.check_invalid "mean empty" (fun () -> M.mean []);
+  Helpers.check_invalid "geo non-positive" (fun () ->
+      M.geometric_mean [ 1.; 0. ])
+
+let prop_entropy_max =
+  QCheck2.Test.make ~name:"binary entropy peaks at 1/2"
+    QCheck2.Gen.(float_range 0.001 0.999)
+    (fun p -> M.binary_entropy p <= 1. +. 1e-12 && M.binary_entropy p >= 0.)
+
+let prop_pow_consistent =
+  QCheck2.Test.make ~name:"float_pow_int agrees with **"
+    QCheck2.Gen.(pair (float_range 0.1 2.) (int_range 0 20))
+    (fun (x, n) ->
+      M.approx_equal ~tol:1e-9 (M.float_pow_int x n) (x ** float_of_int n))
+
+let suite =
+  [
+    Alcotest.test_case "log2" `Quick test_log2;
+    Alcotest.test_case "xlog2x" `Quick test_xlog2x;
+    Alcotest.test_case "binary_entropy" `Quick test_binary_entropy;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "approx_equal" `Quick test_approx_equal;
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "int_pow" `Quick test_int_pow;
+    Alcotest.test_case "float_pow_int" `Quick test_float_pow_int;
+    Alcotest.test_case "ceil_log" `Quick test_ceil_log;
+    Alcotest.test_case "means" `Quick test_means;
+    Helpers.qcheck prop_entropy_max;
+    Helpers.qcheck prop_pow_consistent;
+  ]

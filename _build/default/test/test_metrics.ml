@@ -1,0 +1,156 @@
+module Metrics = Nano_bounds.Metrics
+module Figures = Nano_bounds.Figures
+
+let scenario epsilon = { Figures.parity10 with Metrics.epsilon }
+
+let test_corollary2_reference () =
+  (* Corollary 2 at the Figure 5/6 baseline (sw0 = 1/2 is the activity
+     fixed point, so the energy ratio equals the size ratio). *)
+  let b = Metrics.evaluate (scenario 0.01) in
+  Helpers.check_loose "activity ratio 1" 1. b.Metrics.activity_ratio;
+  Helpers.check_loose "energy = size ratio" b.Metrics.size_ratio
+    b.Metrics.energy_ratio;
+  Helpers.check_loose "switching-energy bound too" b.Metrics.size_ratio
+    b.Metrics.switching_energy_ratio
+
+let test_low_activity_circuit () =
+  (* With sw0 < 1/2 the activity ratio exceeds 1 and adds to the
+     switching-energy bound. *)
+  let s = { (scenario 0.05) with Metrics.sw0 = 0.2 } in
+  let b = Metrics.evaluate s in
+  Alcotest.(check bool) "activity ratio > 1" true (b.Metrics.activity_ratio > 1.);
+  Alcotest.(check bool) "idle ratio < 1" true (b.Metrics.idle_ratio < 1.);
+  Helpers.check_loose "switching bound = size * activity"
+    (b.Metrics.size_ratio *. b.Metrics.activity_ratio)
+    b.Metrics.switching_energy_ratio;
+  (* Total energy interpolates switching and leakage with lambda0. *)
+  let expected =
+    b.Metrics.size_ratio
+    *. ((0.5 *. b.Metrics.activity_ratio) +. (0.5 *. b.Metrics.idle_ratio))
+  in
+  Helpers.check_loose "total energy" expected b.Metrics.energy_ratio
+
+let test_composites () =
+  let b = Metrics.evaluate (scenario 0.05) in
+  match b.Metrics.delay_ratio, b.Metrics.energy_delay_ratio,
+        b.Metrics.average_power_ratio with
+  | Some d, Some ed, Some p ->
+    Helpers.check_loose "edp = e*d" (b.Metrics.energy_ratio *. d) ed;
+    Helpers.check_loose "power = e/d" (b.Metrics.energy_ratio /. d) p
+  | _ -> Alcotest.fail "expected feasible delay"
+
+let test_infeasible_region () =
+  (* Past the fanin-2 threshold the delay bound must disappear. *)
+  let b = Metrics.evaluate (scenario 0.2) in
+  Alcotest.(check bool) "delay None" true (b.Metrics.delay_ratio = None);
+  Alcotest.(check bool) "edp None" true (b.Metrics.energy_delay_ratio = None);
+  (* but the energy bound still exists *)
+  Alcotest.(check bool) "energy still bounded" true
+    (b.Metrics.energy_ratio > 1.)
+
+let test_power_crossover () =
+  (* Figure 6's story: power overhead at small eps, power *saving* near
+     the feasibility edge (delay blows up faster than energy). *)
+  let power eps =
+    match (Metrics.evaluate (scenario eps)).Metrics.average_power_ratio with
+    | Some p -> p
+    | None -> Alcotest.failf "unexpected infeasible at %g" eps
+  in
+  Alcotest.(check bool) "overhead at 1e-3" true (power 0.001 > 1.);
+  Alcotest.(check bool) "saving at 0.14" true (power 0.14 < 1.)
+
+let test_fanin_reduces_power_overhead () =
+  (* Paper: "a larger fanin reduces the overhead in average power" at
+     low error rates. *)
+  let power fanin =
+    match
+      (Metrics.evaluate { (scenario 0.005) with Metrics.fanin })
+        .Metrics.average_power_ratio
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "feasible"
+  in
+  Alcotest.(check bool) "k=3 below k=2" true (power 3 <= power 2);
+  Alcotest.(check bool) "k=4 below k=3" true (power 4 <= power 3)
+
+let test_headline_overhead () =
+  let overhead =
+    Metrics.headline_energy_overhead ~epsilon:0.01 ~delta:0.01 (scenario 0.3)
+  in
+  Helpers.check_in_range "parity10 at 1%" ~lo:0.2 ~hi:0.25 overhead
+
+let test_scenario_validation () =
+  Alcotest.(check bool) "valid" true (Metrics.scenario_valid (scenario 0.1));
+  Alcotest.(check bool) "sw0 = 0 invalid" false
+    (Metrics.scenario_valid { (scenario 0.1) with Metrics.sw0 = 0. });
+  Alcotest.(check bool) "leakage share 1 invalid" false
+    (Metrics.scenario_valid
+       { (scenario 0.1) with Metrics.leakage_share0 = 1. });
+  Helpers.check_invalid "evaluate invalid" (fun () ->
+      ignore (Metrics.evaluate { (scenario 0.1) with Metrics.inputs = 0 }))
+
+let prop_energy_bound_exceeds_one =
+  QCheck2.Test.make ~name:"energy lower bound is always >= ~1" ~count:300
+    QCheck2.Gen.(triple (float_range 0.001 0.45) (float_range 0.05 0.95)
+                   (int_range 2 6))
+    (fun (epsilon, sw0, fanin) ->
+      let s = { (scenario epsilon) with Metrics.sw0; fanin } in
+      let b = Metrics.evaluate s in
+      (* size_ratio >= 1 and the activity/idle mix with lambda = 1/2 is
+         >= ~0.999 (numerics), so the product stays near or above 1. *)
+      b.Metrics.energy_ratio >= 0.99)
+
+let prop_energy_monotone_in_epsilon =
+  QCheck2.Test.make ~name:"energy bound monotone in eps (sw0=1/2)" ~count:200
+    QCheck2.Gen.(pair (float_range 0.001 0.4) (float_range 1.01 1.2))
+    (fun (eps, f) ->
+      let e1 = (Metrics.evaluate (scenario eps)).Metrics.energy_ratio in
+      let e2 =
+        (Metrics.evaluate (scenario (Float.min 0.49 (eps *. f))))
+          .Metrics.energy_ratio
+      in
+      e2 >= e1 -. 1e-9)
+
+let test_explain () =
+  let s = scenario 0.01 in
+  let text = Metrics.explain s in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("mentions " ^ needle) true (contains needle))
+    [ "Theorem 2"; "Theorem 1"; "Corollary 2"; "Theorem 4"; "omega"; "xi" ];
+  (* the printed size ratio matches the computed one *)
+  let b = Metrics.evaluate s in
+  Alcotest.(check bool) "consistent numbers" true
+    (contains (Printf.sprintf "%.6g" b.Metrics.size_ratio));
+  (* infeasible scenarios say so *)
+  let text = Metrics.explain (scenario 0.3) in
+  let contains_inf =
+    let needle = "INFEASIBLE" in
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "infeasible reported" true contains_inf;
+  Helpers.check_invalid "invalid scenario" (fun () ->
+      ignore (Metrics.explain { s with Metrics.inputs = 0 }))
+
+let suite =
+  [
+    Alcotest.test_case "explain" `Quick test_explain;
+    Alcotest.test_case "Corollary 2 reference" `Quick test_corollary2_reference;
+    Alcotest.test_case "low-activity circuit" `Quick test_low_activity_circuit;
+    Alcotest.test_case "composite metrics" `Quick test_composites;
+    Alcotest.test_case "infeasible region" `Quick test_infeasible_region;
+    Alcotest.test_case "power crossover" `Quick test_power_crossover;
+    Alcotest.test_case "fanin reduces power overhead" `Quick
+      test_fanin_reduces_power_overhead;
+    Alcotest.test_case "headline overhead" `Quick test_headline_overhead;
+    Alcotest.test_case "scenario validation" `Quick test_scenario_validation;
+    Helpers.qcheck prop_energy_bound_exceeds_one;
+    Helpers.qcheck prop_energy_monotone_in_epsilon;
+  ]

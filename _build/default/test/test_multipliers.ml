@@ -1,0 +1,88 @@
+module Multipliers = Nano_circuits.Multipliers
+module Netlist = Nano_netlist.Netlist
+
+let multiply_via netlist ~width x y =
+  let bindings =
+    List.concat
+      [
+        List.init width (fun i -> (Printf.sprintf "a%d" i, (x lsr i) land 1 = 1));
+        List.init width (fun i -> (Printf.sprintf "b%d" i, (y lsr i) land 1 = 1));
+      ]
+  in
+  let out = Netlist.eval netlist bindings in
+  List.fold_left
+    (fun acc i ->
+      if List.assoc (Printf.sprintf "p%d" i) out then acc lor (1 lsl i)
+      else acc)
+    0
+    (List.init (2 * width) (fun i -> i))
+
+let exhaustive name build width =
+  let netlist = build ~width in
+  for x = 0 to (1 lsl width) - 1 do
+    for y = 0 to (1 lsl width) - 1 do
+      let got = multiply_via netlist ~width x y in
+      if got <> x * y then
+        Alcotest.failf "%s: %d * %d = %d, got %d" name x y (x * y) got
+    done
+  done
+
+let test_array_exhaustive () =
+  exhaustive "array3" Multipliers.array_multiplier 3;
+  exhaustive "array4" Multipliers.array_multiplier 4
+
+let test_carry_save_exhaustive () =
+  exhaustive "cs3" Multipliers.carry_save_multiplier 3;
+  exhaustive "cs4" Multipliers.carry_save_multiplier 4
+
+let test_width1 () =
+  let netlist = Multipliers.array_multiplier ~width:1 in
+  Alcotest.(check int) "1*1" 1 (multiply_via netlist ~width:1 1 1);
+  Alcotest.(check int) "1*0" 0 (multiply_via netlist ~width:1 1 0)
+
+let test_equivalent_architectures () =
+  Helpers.assert_equivalent "array = carry-save"
+    (Multipliers.array_multiplier ~width:5)
+    (Multipliers.carry_save_multiplier ~width:5)
+
+let test_carry_save_shallower () =
+  let a = Multipliers.array_multiplier ~width:8 in
+  let c = Multipliers.carry_save_multiplier ~width:8 in
+  Alcotest.(check bool) "wallace is shallower" true
+    (Netlist.depth c < Netlist.depth a)
+
+let test_c6288_scale () =
+  (* The c6288 counterpart: 16x16 array multiplier. The real c6288 has
+     2406 gates / depth 124; our AND+FA construction lands in the same
+     regime. *)
+  let n = Multipliers.array_multiplier ~width:16 in
+  Helpers.check_in_range "size" ~lo:900. ~hi:3000.
+    (float_of_int (Netlist.size n));
+  Helpers.check_in_range "depth" ~lo:40. ~hi:130.
+    (float_of_int (Netlist.depth n))
+
+let prop_random_products =
+  QCheck2.Test.make ~name:"mult8 multiplies random numbers" ~count:60
+    QCheck2.Gen.(pair (int_range 0 255) (int_range 0 255))
+    (let netlist = Multipliers.array_multiplier ~width:8 in
+     fun (x, y) -> multiply_via netlist ~width:8 x y = x * y)
+
+let prop_carry_save_random =
+  QCheck2.Test.make ~name:"csmult8 multiplies random numbers" ~count:60
+    QCheck2.Gen.(pair (int_range 0 255) (int_range 0 255))
+    (let netlist = Multipliers.carry_save_multiplier ~width:8 in
+     fun (x, y) -> multiply_via netlist ~width:8 x y = x * y)
+
+let suite =
+  [
+    Alcotest.test_case "array exhaustive" `Quick test_array_exhaustive;
+    Alcotest.test_case "carry-save exhaustive" `Quick
+      test_carry_save_exhaustive;
+    Alcotest.test_case "width 1" `Quick test_width1;
+    Alcotest.test_case "equivalent architectures" `Quick
+      test_equivalent_architectures;
+    Alcotest.test_case "carry-save shallower" `Quick test_carry_save_shallower;
+    Alcotest.test_case "c6288 scale" `Quick test_c6288_scale;
+    Helpers.qcheck prop_random_products;
+    Helpers.qcheck prop_carry_save_random;
+  ]

@@ -1,0 +1,71 @@
+module Nand_map = Nano_synth.Nand_map
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+let only_nand_inverter netlist =
+  Netlist.fold netlist ~init:true ~f:(fun acc _ info ->
+      acc
+      &&
+      match info.Netlist.kind with
+      | Gate.Input | Gate.Const _ | Gate.Buf | Gate.Not -> true
+      | Gate.Nand -> Array.length info.Netlist.fanins = 2
+      | Gate.And | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor | Gate.Majority
+        -> false)
+
+let test_library_restriction () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:4 in
+  let mapped = Nand_map.run n in
+  Alcotest.(check bool) "nand/inv only" true (only_nand_inverter mapped);
+  Helpers.assert_equivalent "rca4 nand" n mapped
+
+let test_c499_to_c1355_style_expansion () =
+  (* The historic relationship: the NAND expansion computes the same
+     function with notably more gates. *)
+  let sec = Nano_circuits.Iscas_like.hamming_corrector ~data_bits:8 in
+  let expanded = Nano_synth.Script.nand_flow sec in
+  Alcotest.(check bool) "bigger" true
+    (Netlist.size expanded > Netlist.size (Nano_synth.Strash.run sec));
+  Helpers.assert_equivalent "sec8 nand" sec expanded
+
+let test_all_kinds () =
+  List.iter
+    (fun (kind, arity) ->
+      let b = Netlist.Builder.create () in
+      let xs =
+        List.init arity (fun i ->
+            Netlist.Builder.input b (Printf.sprintf "x%d" i))
+      in
+      Netlist.Builder.output b "o" (Netlist.Builder.add b kind xs);
+      let n = Netlist.Builder.finish b in
+      let mapped = Nand_map.run n in
+      Alcotest.(check bool)
+        (Gate.name kind ^ " library")
+        true (only_nand_inverter mapped);
+      Helpers.assert_equivalent (Gate.name kind) n mapped)
+    [
+      (Gate.And, 3); (Gate.Or, 3); (Gate.Nand, 3); (Gate.Nor, 3);
+      (Gate.Xor, 3); (Gate.Xnor, 2); (Gate.Majority, 3); (Gate.Not, 1);
+      (Gate.Buf, 1);
+    ]
+
+let prop_random_nand_mapping =
+  QCheck2.Test.make ~name:"nand map preserves function on random netlists"
+    ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:20 () in
+      let mapped = Nand_map.run n in
+      only_nand_inverter mapped
+      &&
+      match Nano_synth.Equiv.check n mapped with
+      | Nano_synth.Equiv.Equivalent -> true
+      | Nano_synth.Equiv.Counterexample _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "library restriction" `Quick test_library_restriction;
+    Alcotest.test_case "c499->c1355 expansion" `Quick
+      test_c499_to_c1355_style_expansion;
+    Alcotest.test_case "all kinds" `Quick test_all_kinds;
+    Helpers.qcheck prop_random_nand_mapping;
+  ]

@@ -1,0 +1,97 @@
+module Nmr = Nano_redundancy.Nmr
+module Netlist = Nano_netlist.Netlist
+
+let base () = Nano_circuits.Adders.ripple_carry ~width:2
+
+let test_make_structure () =
+  let b = base () in
+  let n3 = Nmr.make ~n:3 b in
+  (* 3 copies of the logic + one voter per output. *)
+  Alcotest.(check int) "size"
+    ((3 * Netlist.size b) + List.length (Netlist.outputs b))
+    (Netlist.size n3);
+  (* interface preserved *)
+  Alcotest.(check (list string)) "inputs" (Netlist.input_names b)
+    (Netlist.input_names n3);
+  Alcotest.(check (list string)) "outputs"
+    (List.map fst (Netlist.outputs b))
+    (List.map fst (Netlist.outputs n3))
+
+let test_function_preserved () =
+  let b = base () in
+  Helpers.assert_equivalent "nmr3" b (Nmr.make ~n:3 b);
+  Helpers.assert_equivalent "nmr5" b (Nmr.make ~n:5 b)
+
+let test_domain () =
+  Helpers.check_invalid "even n" (fun () -> ignore (Nmr.make ~n:4 (base ())));
+  Helpers.check_invalid "n=1" (fun () -> ignore (Nmr.make ~n:1 (base ())))
+
+let test_size_overhead () =
+  let overhead = Nmr.size_overhead ~n:3 (base ()) in
+  Alcotest.(check bool) "slightly above 3x" true
+    (overhead > 3. && overhead < 4.)
+
+let test_binomial_tail () =
+  Helpers.check_float "k=0" 1. (Nmr.binomial_tail ~n:5 ~k:0 ~p:0.3);
+  Helpers.check_float "k>n" 0. (Nmr.binomial_tail ~n:5 ~k:6 ~p:0.3);
+  Helpers.check_loose "exactly n" (0.3 ** 5.) (Nmr.binomial_tail ~n:5 ~k:5 ~p:0.3);
+  (* P(X>=2 of 3, p=1/2) = 4/8 = 1/2 *)
+  Helpers.check_loose "majority of 3 at 1/2" 0.5
+    (Nmr.binomial_tail ~n:3 ~k:2 ~p:0.5);
+  Helpers.check_float "p=0" 0. (Nmr.binomial_tail ~n:9 ~k:1 ~p:0.);
+  Helpers.check_float "p=1" 1. (Nmr.binomial_tail ~n:9 ~k:9 ~p:1.)
+
+let test_analytic_voted_error () =
+  (* Perfect voter, module error 0.1, n=3:
+     B = 3 * 0.01 * 0.9 + 0.001 = 0.028. *)
+  Helpers.check_loose "tmr textbook" 0.028
+    (Nmr.analytic_voted_error ~n:3 ~module_error:0.1 ~voter_epsilon:0.);
+  (* Noisy voter floors the reliability at epsilon. *)
+  let with_voter =
+    Nmr.analytic_voted_error ~n:3 ~module_error:0.1 ~voter_epsilon:0.01
+  in
+  Alcotest.(check bool) "voter adds error" true (with_voter > 0.028);
+  (* voting cannot help when modules are coin flips *)
+  Helpers.check_loose "p=1/2 fixed" 0.5
+    (Nmr.analytic_voted_error ~n:9 ~module_error:0.5 ~voter_epsilon:0.)
+
+let test_monte_carlo_agreement () =
+  (* The analytic voted error must match fault injection on a replicated
+     inverter (single output, independent replica errors). *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b "x" in
+  Netlist.Builder.output b "o" (Netlist.Builder.not_ b x);
+  let inv = Netlist.Builder.finish b in
+  let epsilon = 0.05 in
+  let voted = Nmr.make ~n:3 inv in
+  let sim = Nano_faults.Noisy_sim.simulate ~vectors:400000 ~epsilon voted in
+  let analytic =
+    Nmr.analytic_voted_error ~n:3 ~module_error:epsilon ~voter_epsilon:epsilon
+  in
+  Helpers.check_in_range "delta matches"
+    ~lo:(analytic -. 0.005) ~hi:(analytic +. 0.005)
+    sim.Nano_faults.Noisy_sim.any_output_error
+
+let prop_more_modules_help =
+  QCheck2.Test.make ~name:"higher N reduces voted error (p < 1/2)" ~count:100
+    QCheck2.Gen.(pair (float_range 0.01 0.4) (int_range 1 4))
+    (fun (p, k) ->
+      let n = (2 * k) + 1 in
+      let e_small = Nmr.analytic_voted_error ~n ~module_error:p ~voter_epsilon:0. in
+      let e_big =
+        Nmr.analytic_voted_error ~n:(n + 2) ~module_error:p ~voter_epsilon:0.
+      in
+      e_big <= e_small +. 1e-12)
+
+let suite =
+  [
+    Alcotest.test_case "make structure" `Quick test_make_structure;
+    Alcotest.test_case "function preserved" `Quick test_function_preserved;
+    Alcotest.test_case "domain" `Quick test_domain;
+    Alcotest.test_case "size overhead" `Quick test_size_overhead;
+    Alcotest.test_case "binomial tail" `Quick test_binomial_tail;
+    Alcotest.test_case "analytic voted error" `Quick test_analytic_voted_error;
+    Alcotest.test_case "monte carlo agreement" `Quick
+      test_monte_carlo_agreement;
+    Helpers.qcheck prop_more_modules_help;
+  ]

@@ -1,0 +1,106 @@
+module Noisy_sim = Nano_faults.Noisy_sim
+module Trees = Nano_circuits.Trees
+
+let test_zero_noise_is_golden () =
+  let n = Helpers.random_netlist ~seed:41 ~inputs:5 ~gates:25 () in
+  let r = Noisy_sim.simulate ~epsilon:0. n in
+  Helpers.check_float "no output errors" 0. r.Noisy_sim.any_output_error;
+  List.iter
+    (fun (name, e) -> Helpers.check_float name 0. e)
+    r.Noisy_sim.per_output_error;
+  Helpers.check_float "full reliability" 1. (Noisy_sim.output_reliability r)
+
+let test_single_gate_error_rate () =
+  (* One inverter: its output must be wrong exactly eps of the time. *)
+  let b = Nano_netlist.Netlist.Builder.create () in
+  let x = Nano_netlist.Netlist.Builder.input b "x" in
+  Nano_netlist.Netlist.Builder.output b "o"
+    (Nano_netlist.Netlist.Builder.not_ b x);
+  let n = Nano_netlist.Netlist.Builder.finish b in
+  let r = Noisy_sim.simulate ~vectors:200000 ~epsilon:0.05 n in
+  Helpers.check_in_range "delta ~ eps" ~lo:0.045 ~hi:0.055
+    r.Noisy_sim.any_output_error
+
+let test_theorem1_single_gate () =
+  (* Theorem 1 is exact for a single noisy gate fed by noise-free
+     inputs: measured activity of the noisy XOR output must equal
+     (1-2e)^2 * 0.5 + 2e(1-e). *)
+  let b = Nano_netlist.Netlist.Builder.create () in
+  let x = Nano_netlist.Netlist.Builder.input b "x" in
+  let y = Nano_netlist.Netlist.Builder.input b "y" in
+  let g = Nano_netlist.Netlist.Builder.xor2 b x y in
+  Nano_netlist.Netlist.Builder.output b "o" g;
+  let n = Nano_netlist.Netlist.Builder.finish b in
+  let epsilon = 0.1 in
+  let r = Noisy_sim.simulate ~vectors:400000 ~epsilon n in
+  let predicted = Nano_bounds.Switching.noisy_activity ~epsilon 0.5 in
+  Helpers.check_in_range "Thm1 exact for one gate"
+    ~lo:(predicted -. 0.01) ~hi:(predicted +. 0.01)
+    r.Noisy_sim.average_gate_activity
+
+let test_delta_grows_with_epsilon () =
+  let n = Trees.parity_tree ~inputs:16 ~fanin:2 in
+  let d eps =
+    (Noisy_sim.simulate ~vectors:8192 ~epsilon:eps n).Noisy_sim.any_output_error
+  in
+  let d1 = d 0.001 and d2 = d 0.01 and d3 = d 0.1 in
+  Alcotest.(check bool) "monotone" true (d1 < d2 && d2 < d3)
+
+let test_parity_tree_error_accumulation () =
+  (* A parity tree propagates any odd number of gate flips to the
+     output: delta ~ 1/2 (1 - (1-2e)^G) for G gates. *)
+  let gates = 15 in
+  let n = Trees.parity_tree ~inputs:16 ~fanin:2 in
+  let epsilon = 0.01 in
+  let r = Noisy_sim.simulate ~vectors:200000 ~epsilon n in
+  let predicted =
+    0.5 *. (1. -. ((1. -. (2. *. epsilon)) ** float_of_int gates))
+  in
+  Helpers.check_in_range "parity delta"
+    ~lo:(predicted -. 0.01) ~hi:(predicted +. 0.01)
+    r.Noisy_sim.any_output_error
+
+let test_determinism () =
+  let n = Helpers.random_netlist ~seed:2 ~inputs:4 ~gates:20 () in
+  let a = Noisy_sim.simulate ~seed:5 ~epsilon:0.02 n in
+  let b = Noisy_sim.simulate ~seed:5 ~epsilon:0.02 n in
+  Helpers.check_float "same seed same delta" a.Noisy_sim.any_output_error
+    b.Noisy_sim.any_output_error
+
+let test_coin_flip_limit () =
+  (* At eps = 1/2 every gate output is uniform noise: a single-gate
+     output is wrong half of the time. *)
+  let b = Nano_netlist.Netlist.Builder.create () in
+  let x = Nano_netlist.Netlist.Builder.input b "x" in
+  Nano_netlist.Netlist.Builder.output b "o"
+    (Nano_netlist.Netlist.Builder.not_ b x);
+  let n = Nano_netlist.Netlist.Builder.finish b in
+  let r = Noisy_sim.simulate ~vectors:100000 ~epsilon:0.5 n in
+  Helpers.check_in_range "useless device" ~lo:0.49 ~hi:0.51
+    r.Noisy_sim.any_output_error
+
+let prop_any_error_dominates_each_output =
+  QCheck2.Test.make ~name:"any-output error >= each per-output error"
+    ~count:20
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:4 ~gates:15 () in
+      let r = Noisy_sim.simulate ~vectors:4096 ~epsilon:0.05 n in
+      List.for_all
+        (fun (_, e) -> e <= r.Noisy_sim.any_output_error +. 1e-9)
+        r.Noisy_sim.per_output_error)
+
+let suite =
+  [
+    Alcotest.test_case "zero noise" `Quick test_zero_noise_is_golden;
+    Alcotest.test_case "single gate error rate" `Quick
+      test_single_gate_error_rate;
+    Alcotest.test_case "Theorem 1 single gate" `Quick test_theorem1_single_gate;
+    Alcotest.test_case "delta grows with eps" `Quick
+      test_delta_grows_with_epsilon;
+    Alcotest.test_case "parity error accumulation" `Quick
+      test_parity_tree_error_accumulation;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "coin flip limit" `Quick test_coin_flip_limit;
+    Helpers.qcheck prop_any_error_dominates_each_output;
+  ]

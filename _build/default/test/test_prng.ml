@@ -1,0 +1,108 @@
+module Prng = Nano_util.Prng
+
+let test_determinism () =
+  let a = Prng.create ~seed:42 in
+  let b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.create ~seed:1 in
+  let b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different seeds differ" true
+    (Prng.bits64 a <> Prng.bits64 b)
+
+let test_copy () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copies agree" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_decorrelated () =
+  let parent = Prng.create ~seed:9 in
+  let child = Prng.split parent in
+  (* The two streams should not be identical over a window. *)
+  let same = ref true in
+  for _ = 1 to 16 do
+    if Prng.bits64 parent <> Prng.bits64 child then same := false
+  done;
+  Alcotest.(check bool) "split stream differs" false !same
+
+let test_float_range () =
+  let rng = Prng.create ~seed:11 in
+  for _ = 1 to 1000 do
+    let x = Prng.float rng in
+    Helpers.check_in_range "float in [0,1)" ~lo:0. ~hi:0.9999999999999999 x
+  done
+
+let test_float_mean () =
+  let rng = Prng.create ~seed:13 in
+  let n = 20000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Prng.float rng
+  done;
+  Helpers.check_in_range "mean near 1/2" ~lo:0.48 ~hi:0.52
+    (!sum /. float_of_int n)
+
+let test_bernoulli () =
+  let rng = Prng.create ~seed:17 in
+  let n = 20000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  Helpers.check_in_range "bernoulli(0.3)" ~lo:0.28 ~hi:0.32
+    (float_of_int !hits /. float_of_int n);
+  (* degenerate cases *)
+  Alcotest.(check bool) "p=0" false (Prng.bernoulli rng ~p:0.);
+  Alcotest.(check bool) "p=1" true (Prng.bernoulli rng ~p:1.)
+
+let test_int_bound () =
+  let rng = Prng.create ~seed:19 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 2000 do
+    let x = Prng.int rng ~bound:10 in
+    Alcotest.(check bool) "in bound" true (x >= 0 && x < 10);
+    seen.(x) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_word_density () =
+  let rng = Prng.create ~seed:23 in
+  let total = ref 0 in
+  let words = 2000 in
+  for _ = 1 to words do
+    total := !total + Nano_util.Bits.popcount64 (Prng.word_with_density rng ~p:0.25)
+  done;
+  Helpers.check_in_range "density 1/4" ~lo:0.24 ~hi:0.26
+    (float_of_int !total /. float_of_int (64 * words));
+  Alcotest.(check int64) "density 0" 0L (Prng.word_with_density rng ~p:0.);
+  Alcotest.(check int64) "density 1" (-1L) (Prng.word_with_density rng ~p:1.)
+
+let test_shuffle_permutes () =
+  let rng = Prng.create ~seed:29 in
+  let a = Array.init 50 (fun i -> i) in
+  Prng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted;
+  Alcotest.(check bool) "actually shuffled" true
+    (a <> Array.init 50 (fun i -> i))
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split decorrelated" `Quick test_split_decorrelated;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "float mean" `Quick test_float_mean;
+    Alcotest.test_case "bernoulli" `Quick test_bernoulli;
+    Alcotest.test_case "int bound" `Quick test_int_bound;
+    Alcotest.test_case "word density" `Quick test_word_density;
+    Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+  ]

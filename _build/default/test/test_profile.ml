@@ -1,0 +1,68 @@
+module Profile = Nano_bounds.Profile
+module Netlist = Nano_netlist.Netlist
+
+let test_of_netlist_counts () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:4 in
+  let p = Profile.of_netlist n in
+  Alcotest.(check int) "inputs" 9 p.Profile.inputs;
+  Alcotest.(check int) "outputs" 5 p.Profile.outputs;
+  Alcotest.(check int) "size" (Netlist.size n) p.Profile.size;
+  Alcotest.(check int) "depth" (Netlist.depth n) p.Profile.depth;
+  (* every input flip changes some adder output *)
+  Alcotest.(check int) "sensitivity" 9 p.Profile.sensitivity;
+  Helpers.check_in_range "sw0 plausible" ~lo:0.2 ~hi:0.7 p.Profile.sw0
+
+let test_activity_methods_agree () =
+  let n = Nano_circuits.Trees.parity_tree ~inputs:8 ~fanin:2 in
+  let mc =
+    Profile.of_netlist
+      ~activity:(Profile.Monte_carlo { seed = 1; vectors = 32768 })
+      n
+  in
+  let ex = Profile.of_netlist ~activity:Profile.Exact_bdd n in
+  Helpers.check_in_range "MC close to exact"
+    ~lo:(ex.Profile.sw0 -. 0.02)
+    ~hi:(ex.Profile.sw0 +. 0.02)
+    mc.Profile.sw0;
+  (* parity tree gates all have sw = 1/2 exactly *)
+  Helpers.check_float "exact parity activity" 0.5 ex.Profile.sw0
+
+let test_to_scenario () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:4 in
+  let p = Profile.of_netlist n in
+  let s = Profile.to_scenario p ~epsilon:0.01 ~delta:0.01 ~leakage_share0:0.5 in
+  Alcotest.(check bool) "valid scenario" true
+    (Nano_bounds.Metrics.scenario_valid s);
+  (* rca uses 2- and 3-input gates; average rounds to 2. *)
+  Alcotest.(check int) "fanin" 2 s.Nano_bounds.Metrics.fanin;
+  Alcotest.(check int) "sensitivity" 9 s.Nano_bounds.Metrics.sensitivity
+
+let test_degenerate_profile_clamped () =
+  (* A constant-output circuit has sw0 = 0 on its only gate-path; the
+     scenario must clamp rather than crash. *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b "x" in
+  let dead = Netlist.Builder.and2 b x (Netlist.Builder.not_ b x) in
+  Netlist.Builder.output b "o" dead;
+  let n = Netlist.Builder.finish b in
+  let p = Profile.of_netlist n in
+  let s = Profile.to_scenario p ~epsilon:0.01 ~delta:0.01 ~leakage_share0:0.5 in
+  Alcotest.(check bool) "still valid" true
+    (Nano_bounds.Metrics.scenario_valid s)
+
+let test_pp () =
+  let p = Profile.of_netlist (Nano_circuits.Iscas_like.c17 ()) in
+  let s = Format.asprintf "%a" Profile.pp p in
+  Alcotest.(check bool) "mentions name" true
+    (String.length s > 3 && String.sub s 0 3 = "c17")
+
+let suite =
+  [
+    Alcotest.test_case "of_netlist counts" `Quick test_of_netlist_counts;
+    Alcotest.test_case "activity methods agree" `Quick
+      test_activity_methods_agree;
+    Alcotest.test_case "to_scenario" `Quick test_to_scenario;
+    Alcotest.test_case "degenerate clamped" `Quick
+      test_degenerate_profile_clamped;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

@@ -1,0 +1,61 @@
+module RC = Nano_circuits.Random_circuit
+module Netlist = Nano_netlist.Netlist
+
+let test_deterministic () =
+  let a = RC.generate ~seed:42 () in
+  let b = RC.generate ~seed:42 () in
+  Helpers.assert_equivalent "same seed same circuit" a b;
+  Alcotest.(check int) "same size" (Netlist.size a) (Netlist.size b)
+
+let test_config_respected () =
+  let config =
+    {
+      RC.inputs = 7;
+      gates = 40;
+      outputs = 5;
+      allow_majority = false;
+      max_fanin = 2;
+    }
+  in
+  let n = RC.generate ~config ~seed:1 () in
+  Alcotest.(check int) "inputs" 7 (List.length (Netlist.inputs n));
+  Alcotest.(check int) "outputs" 5 (List.length (Netlist.outputs n));
+  Alcotest.(check bool) "fanin bound" true (Netlist.max_fanin n <= 2);
+  (* no majority gates *)
+  let has_maj =
+    Netlist.fold n ~init:false ~f:(fun acc _ info ->
+        acc || info.Netlist.kind = Nano_netlist.Gate.Majority)
+  in
+  Alcotest.(check bool) "no majority" false has_maj
+
+let test_validation () =
+  Helpers.check_invalid "inputs 0" (fun () ->
+      ignore
+        (RC.generate ~config:{ RC.default_config with RC.inputs = 0 } ~seed:0 ()));
+  Helpers.check_invalid "outputs 0" (fun () ->
+      ignore
+        (RC.generate ~config:{ RC.default_config with RC.outputs = 0 } ~seed:0 ()))
+
+let prop_always_valid =
+  QCheck2.Test.make ~name:"generated circuits always validate" ~count:100
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let n = RC.generate ~seed () in
+      Netlist.validate n = Ok ())
+
+let prop_zero_gates_ok =
+  QCheck2.Test.make ~name:"zero-gate configs work" ~count:20
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let config = { RC.default_config with RC.gates = 0 } in
+      let n = RC.generate ~config ~seed () in
+      Netlist.size n = 0 && Netlist.validate n = Ok ())
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "config respected" `Quick test_config_respected;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Helpers.qcheck prop_always_valid;
+    Helpers.qcheck prop_zero_gates_ok;
+  ]

@@ -1,0 +1,125 @@
+module RB = Nano_bounds.Redundancy_bound
+
+let parity10 epsilon =
+  { RB.epsilon; delta = 0.01; fanin = 2; sensitivity = 10 }
+
+let test_omega () =
+  (* omega = (1 - (1-2e)^k) / 2 *)
+  Helpers.check_loose "eps=0.01 k=2"
+    ((1. -. (0.98 ** 2.)) /. 2.)
+    (RB.omega ~fanin:2 0.01);
+  Helpers.check_float "eps=1/2 saturates" 0.5 (RB.omega ~fanin:3 0.5);
+  Helpers.check_invalid "eps=0 excluded" (fun () ->
+      ignore (RB.omega ~fanin:2 0.))
+
+let test_t_parameter () =
+  (* t -> 1 as omega -> 1/2 (channel becomes useless). *)
+  Helpers.check_float "omega=1/2" 1. (RB.t_parameter ~omega:0.5);
+  (* Closed form at omega = 0.25: (1/64 + 27/64) / (3/16) = 7/3. *)
+  Helpers.check_loose "omega=1/4" (7. /. 3.) (RB.t_parameter ~omega:0.25);
+  Alcotest.(check bool) "large for small omega" true
+    (RB.t_parameter ~omega:0.001 > 100.);
+  Helpers.check_invalid "omega=0" (fun () -> ignore (RB.t_parameter ~omega:0.))
+
+let test_extra_gates_reference_values () =
+  (* Figure 3's running example: s=10, S0=21, delta=0.01. The numbers
+     below pin the implementation against the formula evaluated by
+     hand. *)
+  let p = parity10 0.01 in
+  let s = 10. in
+  let w = (1. -. (0.98 ** 2.)) /. 2. in
+  let t = ((w ** 3.) +. ((1. -. w) ** 3.)) /. (w *. (1. -. w)) in
+  let expected =
+    ((s *. Nano_util.Math_ext.log2 s)
+    +. (2. *. s *. Nano_util.Math_ext.log2 (2. *. 0.98)))
+    /. (2. *. Nano_util.Math_ext.log2 t)
+  in
+  Helpers.check_loose "hand-computed" expected (RB.extra_gates p)
+
+let test_infinity_at_half () =
+  Alcotest.(check bool) "eps=1/2 -> infinite redundancy" true
+    (RB.extra_gates (parity10 0.5) = infinity)
+
+let test_redundancy_factor () =
+  let f = RB.redundancy_factor (parity10 0.01) ~error_free_size:21 in
+  Helpers.check_in_range "around 1.22" ~lo:1.2 ~hi:1.25 f;
+  (* Paper: more than an order of magnitude near eps = 0.5. *)
+  let f = RB.redundancy_factor (parity10 0.45) ~error_free_size:21 in
+  Alcotest.(check bool) "explodes near 1/2" true (f > 10.)
+
+let test_min_size_clamped () =
+  (* For tiny sensitivity and eps, the raw formula can go negative; the
+     size bound must clamp at S0. *)
+  let p = { RB.epsilon = 0.001; delta = 0.4; fanin = 4; sensitivity = 1 } in
+  Alcotest.(check bool) "raw can be negative" true (RB.extra_gates p < 0.);
+  Helpers.check_float "clamped" 100. (RB.min_size p ~error_free_size:100)
+
+let test_domain () =
+  Alcotest.(check bool) "valid" true (RB.valid (parity10 0.1));
+  Alcotest.(check bool) "delta 1/2 invalid" false
+    (RB.valid { (parity10 0.1) with RB.delta = 0.5 });
+  Alcotest.(check bool) "fanin 1 invalid" false
+    (RB.valid { (parity10 0.1) with RB.fanin = 1 });
+  Helpers.check_invalid "evaluate outside domain" (fun () ->
+      ignore (RB.extra_gates { (parity10 0.1) with RB.sensitivity = 0 }))
+
+let test_upper_bound_consistency () =
+  (* The lower bound must stay below the classical S0 log S0 upper bound
+     for moderate eps (it can exceed it arbitrarily close to 1/2, where
+     the upper-bound constructions assume eps bounded away from 1/2). *)
+  let s0 = 21 in
+  let upper = RB.size_upper_bound ~error_free_size:s0 in
+  List.iter
+    (fun epsilon ->
+      let lower = RB.min_size (parity10 epsilon) ~error_free_size:s0 in
+      if lower > upper then
+        Alcotest.failf "lower %g exceeds upper %g at eps=%g" lower upper
+          epsilon)
+    [ 0.001; 0.01; 0.05; 0.1 ]
+
+let test_omega_models_differ () =
+  let gate = RB.omega ~model:RB.Gate_lumped ~fanin:3 0.05 in
+  let wire = RB.omega ~model:RB.Wire_split ~fanin:3 0.05 in
+  Alcotest.(check bool) "lumped noisier" true (gate > wire)
+
+let prop_monotone_in_epsilon =
+  QCheck2.Test.make ~name:"extra gates grow with eps" ~count:200
+    QCheck2.Gen.(pair (float_range 0.001 0.2) (float_range 1.1 2.))
+    (fun (eps, factor) ->
+      let e1 = RB.extra_gates (parity10 eps) in
+      let e2 = RB.extra_gates (parity10 (Float.min 0.49 (eps *. factor))) in
+      e2 >= e1 -. 1e-9)
+
+let prop_monotone_in_sensitivity =
+  QCheck2.Test.make ~name:"extra gates grow with sensitivity" ~count:200
+    QCheck2.Gen.(pair (int_range 2 40) (int_range 1 20))
+    (fun (s, ds) ->
+      let p1 = { (parity10 0.05) with RB.sensitivity = s } in
+      let p2 = { (parity10 0.05) with RB.sensitivity = s + ds } in
+      RB.extra_gates p2 >= RB.extra_gates p1 -. 1e-9)
+
+let prop_tighter_delta_costs_more =
+  QCheck2.Test.make ~name:"smaller delta needs more redundancy" ~count:200
+    QCheck2.Gen.(pair (float_range 0.0001 0.2) (float_range 0.21 0.49))
+    (fun (tight, loose) ->
+      let p_tight = { (parity10 0.05) with RB.delta = tight } in
+      let p_loose = { (parity10 0.05) with RB.delta = loose } in
+      RB.extra_gates p_tight >= RB.extra_gates p_loose -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "omega" `Quick test_omega;
+    Alcotest.test_case "t parameter" `Quick test_t_parameter;
+    Alcotest.test_case "reference values" `Quick
+      test_extra_gates_reference_values;
+    Alcotest.test_case "infinite at eps=1/2" `Quick test_infinity_at_half;
+    Alcotest.test_case "redundancy factor" `Quick test_redundancy_factor;
+    Alcotest.test_case "min size clamped" `Quick test_min_size_clamped;
+    Alcotest.test_case "domain" `Quick test_domain;
+    Alcotest.test_case "upper bound consistency" `Quick
+      test_upper_bound_consistency;
+    Alcotest.test_case "omega models differ" `Quick test_omega_models_differ;
+    Helpers.qcheck prop_monotone_in_epsilon;
+    Helpers.qcheck prop_monotone_in_sensitivity;
+    Helpers.qcheck prop_tighter_delta_costs_more;
+  ]

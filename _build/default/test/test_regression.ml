@@ -1,0 +1,84 @@
+(* Golden-value regression: pins the concrete numbers this reproduction
+   reports for the paper's figures (EXPERIMENTS.md quotes them). Every
+   quantity below is deterministic — closed forms, or Monte Carlo with
+   fixed seeds — so any change here is a real behaviour change of the
+   reproduction, not noise. *)
+
+module Metrics = Nano_bounds.Metrics
+module Figures = Nano_bounds.Figures
+
+let close = Alcotest.float 1e-3
+
+let test_fig3_reference_points () =
+  let factor epsilon fanin =
+    Nano_bounds.Redundancy_bound.redundancy_factor
+      { Nano_bounds.Redundancy_bound.epsilon; delta = 0.01; fanin; sensitivity = 10 }
+      ~error_free_size:21
+  in
+  Alcotest.check close "eps=0.001 k=2" 1.140 (factor 0.001 2);
+  Alcotest.check close "eps=0.01 k=2" 1.224 (factor 0.01 2);
+  Alcotest.check close "eps=0.01 k=3" 1.167 (factor 0.01 3);
+  Alcotest.check close "eps=0.01 k=4" 1.137 (factor 0.01 4);
+  Alcotest.check close "eps=0.1 k=2" 1.654 (factor 0.1 2);
+  Alcotest.check (Alcotest.float 1.) "eps=0.3 k=4" 166.8 (factor 0.3 4)
+
+let test_fig5_fig6_reference_points () =
+  let b epsilon = Metrics.evaluate { Figures.parity10 with Metrics.epsilon } in
+  let get = function Some v -> v | None -> Alcotest.fail "feasible" in
+  Alcotest.check close "delay @0.01" 1.023 (get (b 0.01).Metrics.delay_ratio);
+  Alcotest.check close "edp @0.01" 1.252
+    (get (b 0.01).Metrics.energy_delay_ratio);
+  Alcotest.check close "power @0.01" 1.196
+    (get (b 0.01).Metrics.average_power_ratio);
+  Alcotest.check close "delay @0.1" 2.705 (get (b 0.1).Metrics.delay_ratio);
+  Alcotest.check close "power @0.1" 0.611
+    (get (b 0.1).Metrics.average_power_ratio)
+
+let suite_profile name =
+  match Nano_circuits.Suite.find name with
+  | None -> Alcotest.failf "missing suite entry %s" name
+  | Some entry ->
+    Nano_bounds.Profile.of_netlist
+      (Nano_synth.Script.rugged_lite (entry.Nano_circuits.Suite.build ()))
+
+let test_fig7_reference_rows () =
+  (* The EXPERIMENTS.md excerpt rows for rca16 (default seeds). *)
+  let p = suite_profile "rca16" in
+  Alcotest.(check int) "rca16 S0" 48 p.Nano_bounds.Profile.size;
+  Alcotest.(check int) "rca16 sensitivity" 33 p.Nano_bounds.Profile.sensitivity;
+  let energy epsilon =
+    (Nano_bounds.Benchmark_eval.evaluate_profile p ~epsilon)
+      .Nano_bounds.Benchmark_eval.energy_ratio
+  in
+  Alcotest.check close "rca16 E @0.001" 1.268 (energy 0.001);
+  Alcotest.check close "rca16 E @0.01" 1.429 (energy 0.01);
+  Alcotest.check close "rca16 E @0.1" 2.253 (energy 0.1)
+
+let test_headline_regression () =
+  (* The three benchmarks EXPERIMENTS.md highlights. *)
+  let overhead name =
+    let p = suite_profile name in
+    (Nano_bounds.Benchmark_eval.evaluate_profile p ~epsilon:0.01)
+      .Nano_bounds.Benchmark_eval.energy_ratio
+    -. 1.
+  in
+  Alcotest.check (Alcotest.float 5e-3) "parity16" 0.566 (overhead "parity16");
+  Alcotest.check (Alcotest.float 5e-3) "rca32" 0.481 (overhead "rca32");
+  Alcotest.check (Alcotest.float 5e-3) "mult16 low" 0.022 (overhead "mult16")
+
+let test_theorem3_reference () =
+  Alcotest.check close "W ratio eps=0.1 sw0=0.2" 0.562
+    (Nano_bounds.Leakage.ratio_change ~epsilon:0.1 ~sw0:0.2);
+  Alcotest.check close "W ratio eps=0.2 sw0=0.2" 0.388
+    (Nano_bounds.Leakage.ratio_change ~epsilon:0.2 ~sw0:0.2)
+
+let suite =
+  [
+    Alcotest.test_case "fig3 reference points" `Quick
+      test_fig3_reference_points;
+    Alcotest.test_case "fig5/6 reference points" `Quick
+      test_fig5_fig6_reference_points;
+    Alcotest.test_case "fig7 reference rows" `Quick test_fig7_reference_rows;
+    Alcotest.test_case "headline regression" `Quick test_headline_regression;
+    Alcotest.test_case "theorem 3 reference" `Quick test_theorem3_reference;
+  ]

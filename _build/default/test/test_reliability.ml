@@ -1,0 +1,136 @@
+module Reliability = Nano_faults.Reliability
+module Noisy_sim = Nano_faults.Noisy_sim
+module B = Nano_netlist.Netlist.Builder
+
+let inverter () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  B.output b "o" (B.not_ b x);
+  B.finish b
+
+let xor_tree () = Nano_circuits.Trees.parity_tree ~inputs:8 ~fanin:2
+
+let test_pair_accessors () =
+  let p =
+    { Reliability.p00 = 0.1; p01 = 0.2; p10 = 0.3; p11 = 0.4 }
+  in
+  Helpers.check_float "error" 0.5 (Reliability.pair_error p);
+  Helpers.check_float "clean one" 0.7 (Reliability.pair_clean_one p);
+  Helpers.check_float "noisy one" 0.6 (Reliability.pair_noisy_one p)
+
+let test_single_gate_exact () =
+  let r = Reliability.analyze ~epsilon:0.05 (inverter ()) in
+  (* One gate: output wrong exactly eps of the time. *)
+  Helpers.check_loose "delta = eps" 0.05
+    (List.assoc "o" r.Reliability.per_output_error)
+
+let test_zero_epsilon () =
+  let r = Reliability.analyze ~epsilon:0. (xor_tree ()) in
+  List.iter
+    (fun (_, e) -> Helpers.check_float "no error" 0. e)
+    r.Reliability.per_output_error
+
+let test_parity_tree_closed_form () =
+  (* Tree of G xor gates: output wrong iff an odd number of the G
+     channels flip: delta = (1 - (1-2e)^G)/2. Exact on trees. *)
+  let netlist = xor_tree () in
+  let gates = Nano_netlist.Netlist.size netlist in
+  let epsilon = 0.02 in
+  let r = Reliability.analyze ~epsilon netlist in
+  let expected =
+    0.5 *. (1. -. ((1. -. (2. *. epsilon)) ** float_of_int gates))
+  in
+  Helpers.check_loose "closed form" expected
+    (List.assoc "parity" r.Reliability.per_output_error)
+
+let test_tree_detection () =
+  Alcotest.(check bool) "xor tree is a tree" true
+    (Reliability.is_tree (xor_tree ()));
+  Alcotest.(check bool) "adder is not (carry fanout)" false
+    (Reliability.is_tree (Nano_circuits.Adders.ripple_carry ~width:4))
+
+let test_matches_monte_carlo_on_tree () =
+  let netlist = Nano_circuits.Trees.and_tree ~inputs:8 ~fanin:2 in
+  let epsilon = 0.03 in
+  let analytic = Reliability.analyze ~epsilon netlist in
+  let mc = Noisy_sim.simulate ~vectors:400000 ~epsilon netlist in
+  let a = List.assoc "y" analytic.Reliability.per_output_error in
+  let m = List.assoc "y" mc.Noisy_sim.per_output_error in
+  Helpers.check_in_range "analytic matches MC" ~lo:(m -. 0.005)
+    ~hi:(m +. 0.005) a
+
+let test_majority_gate_supported () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let z = B.input b "z" in
+  B.output b "o" (B.maj3 b x y z);
+  let netlist = B.finish b in
+  let r = Reliability.analyze ~epsilon:0.1 netlist in
+  Helpers.check_loose "single gate" 0.1
+    (List.assoc "o" r.Reliability.per_output_error)
+
+let test_union_bound () =
+  let netlist = Nano_circuits.Adders.ripple_carry ~width:4 in
+  let r = Reliability.analyze ~epsilon:0.01 netlist in
+  let max_single =
+    List.fold_left
+      (fun acc (_, e) -> Float.max acc e)
+      0. r.Reliability.per_output_error
+  in
+  Alcotest.(check bool) "union >= each" true
+    (r.Reliability.union_bound_error >= max_single);
+  Alcotest.(check bool) "union <= 1" true (r.Reliability.union_bound_error <= 1.)
+
+let prop_probability_mass =
+  QCheck2.Test.make ~name:"pair distributions sum to 1" ~count:40
+    QCheck2.Gen.(pair (int_range 0 10000) (float_range 0. 0.5))
+    (fun (seed, epsilon) ->
+      let netlist = Helpers.random_netlist ~seed ~inputs:4 ~gates:12 () in
+      let r = Reliability.analyze ~epsilon netlist in
+      Array.for_all
+        (fun p ->
+          Nano_util.Math_ext.approx_equal ~tol:1e-9
+            (p.Reliability.p00 +. p.Reliability.p01 +. p.Reliability.p10
+            +. p.Reliability.p11)
+            1.)
+        r.Reliability.node_pair)
+
+let prop_clean_marginal_is_signal_probability =
+  QCheck2.Test.make ~name:"clean marginal equals exact signal probability"
+    ~count:30
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let netlist = Helpers.random_netlist ~seed ~inputs:4 ~gates:10 () in
+      (* With eps = 0 and a tree-ness-independent clean marginal: compare
+         against BDD-exact signal probabilities on trees only. *)
+      QCheck2.assume (Reliability.is_tree netlist);
+      let r = Reliability.analyze ~epsilon:0.3 netlist in
+      let exact = Nano_sim.Activity.exact netlist in
+      let ok = ref true in
+      Array.iteri
+        (fun id p ->
+          let marginal = Reliability.pair_clean_one p in
+          if
+            not
+              (Nano_util.Math_ext.approx_equal ~tol:1e-9 marginal
+                 exact.Nano_sim.Activity.node_probability.(id))
+          then ok := false)
+        r.Reliability.node_pair;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "pair accessors" `Quick test_pair_accessors;
+    Alcotest.test_case "single gate exact" `Quick test_single_gate_exact;
+    Alcotest.test_case "zero epsilon" `Quick test_zero_epsilon;
+    Alcotest.test_case "parity closed form" `Quick
+      test_parity_tree_closed_form;
+    Alcotest.test_case "tree detection" `Quick test_tree_detection;
+    Alcotest.test_case "matches MC on tree" `Quick
+      test_matches_monte_carlo_on_tree;
+    Alcotest.test_case "majority supported" `Quick test_majority_gate_supported;
+    Alcotest.test_case "union bound" `Quick test_union_bound;
+    Helpers.qcheck prop_probability_mass;
+    Helpers.qcheck prop_clean_marginal_is_signal_probability;
+  ]

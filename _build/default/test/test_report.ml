@@ -1,0 +1,109 @@
+module Report = Nano_report.Report
+
+let test_number () =
+  Alcotest.(check string) "simple" "1.5" (Report.Table.number 1.5);
+  Alcotest.(check string) "rounded" "3.142" (Report.Table.number ~decimals:4 3.14159);
+  Alcotest.(check string) "inf" "inf" (Report.Table.number infinity);
+  Alcotest.(check string) "nan" "-" (Report.Table.number Float.nan)
+
+let test_table_alignment () =
+  let s =
+    Report.Table.render ~header:[ "name"; "value" ]
+      ~rows:[ [ "x"; "1" ]; [ "longer"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  (* header, separator, 2 rows, trailing empty *)
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  (* all non-empty lines share the same width *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_ragged_rows () =
+  let s =
+    Report.Table.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "1" ]; [ "2"; "3" ] ]
+  in
+  Alcotest.(check bool) "renders without exception" true (String.length s > 0)
+
+let test_series_merges_grids () =
+  let s =
+    Report.Series.render ~title:"t" ~x_label:"x" ~y_label:"y"
+      [ ("a", [ (1., 10.); (2., 20.) ]); ("b", [ (2., 200.); (3., 300.) ]) ]
+  in
+  (* x = 2 row must contain both 20 and 200; x = 1 has a gap for b. *)
+  Alcotest.(check bool) "contains title" true
+    (String.length s > 0
+    &&
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    contains "== t ==" s && contains "20" s && contains "300" s)
+
+let test_csv_escaping () =
+  let s =
+    Report.Csv.to_string ~header:[ "a"; "b" ]
+      ~rows:[ [ "plain"; "with,comma" ]; [ "quote\"inside"; "x" ] ]
+  in
+  Alcotest.(check string) "escaped"
+    "a,b\nplain,\"with,comma\"\n\"quote\"\"inside\",x\n" s
+
+let test_csv_write_file () =
+  let path = Filename.temp_file "nanobound_test" ".csv" in
+  Report.Csv.write_file ~path ~header:[ "h" ] ~rows:[ [ "v" ] ];
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header written" "h" line
+
+let test_chart_renders () =
+  let s =
+    Nano_report.Chart.render ~title:"demo"
+      [
+        ("rising", [ (0., 0.); (1., 1.); (2., 2.) ]);
+        ("falling", [ (0., 2.); (1., 1.); (2., 0.) ]);
+      ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "title present" true
+    (List.exists (fun l -> l = "== demo ==") lines);
+  (* both glyphs appear *)
+  Alcotest.(check bool) "glyph *" true (String.contains s '*');
+  Alcotest.(check bool) "glyph +" true (String.contains s '+');
+  (* legend lines *)
+  Alcotest.(check bool) "legend" true
+    (List.exists (fun l -> l = "  * rising") lines)
+
+let test_chart_log_scale () =
+  let s =
+    Nano_report.Chart.render ~x_scale:Nano_report.Chart.Log ~title:"log"
+      [ ("a", [ (0.001, 1.); (0.01, 2.); (0.1, 4.); (0., 9.) ]) ]
+  in
+  (* the x=0 point is dropped on a log axis, no exception *)
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_chart_degenerate () =
+  let s = Nano_report.Chart.render ~title:"empty" [ ("a", []) ] in
+  Alcotest.(check bool) "message not crash" true
+    (String.length s > 0);
+  let s = Nano_report.Chart.render ~title:"point" [ ("a", [ (1., 1.) ]) ] in
+  Alcotest.(check bool) "single point ok" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "chart renders" `Quick test_chart_renders;
+    Alcotest.test_case "chart log scale" `Quick test_chart_log_scale;
+    Alcotest.test_case "chart degenerate" `Quick test_chart_degenerate;
+    Alcotest.test_case "number" `Quick test_number;
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "ragged rows" `Quick test_table_ragged_rows;
+    Alcotest.test_case "series merge" `Quick test_series_merges_grids;
+    Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+    Alcotest.test_case "csv write file" `Quick test_csv_write_file;
+  ]

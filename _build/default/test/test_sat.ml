@@ -1,0 +1,226 @@
+module Sat = Nano_sat.Sat
+module Cnf = Nano_sat.Cnf
+
+let is_sat = function Sat.Sat _ -> true | Sat.Unsat | Sat.Unknown -> false
+let is_unsat = function Sat.Unsat -> true | Sat.Sat _ | Sat.Unknown -> false
+
+let test_trivial () =
+  Alcotest.(check bool) "empty formula sat" true
+    (is_sat (Sat.solve ~nvars:0 []));
+  Alcotest.(check bool) "empty clause unsat" true
+    (is_unsat (Sat.solve ~nvars:2 [ [ 1 ]; [] ]));
+  Alcotest.(check bool) "unit sat" true (is_sat (Sat.solve ~nvars:1 [ [ 1 ] ]));
+  Alcotest.(check bool) "contradiction" true
+    (is_unsat (Sat.solve ~nvars:1 [ [ 1 ]; [ -1 ] ]))
+
+let test_model_verified () =
+  let clauses = [ [ 1; 2 ]; [ -1; 3 ]; [ -2; -3 ]; [ 2; 3 ] ] in
+  match Sat.solve ~nvars:3 clauses with
+  | Sat.Sat model ->
+    Alcotest.(check bool) "model verifies" true
+      (Sat.verify ~nvars:3 clauses model)
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "satisfiable instance"
+
+let test_chain_propagation () =
+  (* 1 -> 2 -> ... -> 50, with unit 1 and unit -50: unsat via pure
+     propagation. *)
+  let implications =
+    List.init 49 (fun i -> [ -(i + 1); i + 2 ])
+  in
+  Alcotest.(check bool) "implication chain" true
+    (is_unsat (Sat.solve ~nvars:50 ([ 1 ] :: [ -50 ] :: implications)))
+
+let pigeonhole ~pigeons ~holes =
+  let var i h = (i * holes) + h + 1 in
+  let each_pigeon =
+    List.init pigeons (fun i -> List.init holes (fun h -> var i h))
+  in
+  let no_sharing =
+    List.concat_map
+      (fun h ->
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                if j > i then Some [ -(var i h); -(var j h) ] else None)
+              (List.init pigeons (fun j -> j)))
+          (List.init pigeons (fun i -> i)))
+      (List.init holes (fun h -> h))
+  in
+  (pigeons * holes, each_pigeon @ no_sharing)
+
+let test_pigeonhole () =
+  (* PHP(n+1, n): classically unsat; PHP(7,6) needs real clause learning
+     to finish quickly. *)
+  let nvars, clauses = pigeonhole ~pigeons:4 ~holes:3 in
+  Alcotest.(check bool) "PHP(4,3) unsat" true
+    (is_unsat (Sat.solve ~nvars clauses));
+  let nvars, clauses = pigeonhole ~pigeons:7 ~holes:6 in
+  Alcotest.(check bool) "PHP(7,6) unsat" true
+    (is_unsat (Sat.solve ~nvars clauses));
+  (* and the satisfiable variant with equal counts *)
+  let nvars, clauses = pigeonhole ~pigeons:5 ~holes:5 in
+  Alcotest.(check bool) "PHP(5,5) sat" true
+    (is_sat (Sat.solve ~nvars clauses))
+
+let test_multiplier_miter () =
+  (* Array vs carry-save 4x4 multipliers: a genuinely non-trivial UNSAT
+     miter that plain DPLL struggles with. *)
+  let a = Nano_circuits.Multipliers.array_multiplier ~width:4 in
+  let b = Nano_circuits.Multipliers.carry_save_multiplier ~width:4 in
+  match Cnf.equivalent ~max_conflicts:500_000 a b with
+  | `Equivalent -> ()
+  | `Counterexample _ -> Alcotest.fail "multipliers are equivalent"
+  | `Unknown -> Alcotest.fail "budget exhausted"
+
+let brute_force ~nvars clauses =
+  let rec go a =
+    if a >= 1 lsl nvars then false
+    else begin
+      let assignment = Array.init (nvars + 1) (fun v -> v > 0 && (a lsr (v - 1)) land 1 = 1) in
+      Sat.verify ~nvars clauses assignment || go (a + 1)
+    end
+  in
+  go 0
+
+let prop_matches_brute_force =
+  QCheck2.Test.make ~name:"DPLL agrees with brute force on random 3-SAT"
+    ~count:150
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 3 9))
+    (fun (seed, nvars) ->
+      let rng = Nano_util.Prng.create ~seed in
+      let n_clauses = 2 + Nano_util.Prng.int rng ~bound:(4 * nvars) in
+      let clauses =
+        List.init n_clauses (fun _ ->
+            List.init 3 (fun _ ->
+                let v = 1 + Nano_util.Prng.int rng ~bound:nvars in
+                if Nano_util.Prng.bool rng then v else -v))
+      in
+      let expected = brute_force ~nvars clauses in
+      match Sat.solve ~nvars clauses with
+      | Sat.Sat model -> expected && Sat.verify ~nvars clauses model
+      | Sat.Unsat -> not expected
+      | Sat.Unknown -> false)
+
+let test_tseitin_consistency () =
+  (* Models of the encoding restricted to inputs/outputs must match the
+     circuit: force each output value and check a model exists iff the
+     circuit can produce it. *)
+  let netlist = Nano_circuits.Iscas_like.c17 () in
+  let e = Cnf.of_netlist netlist in
+  let g22 = List.assoc "g22" e.Cnf.output_var in
+  (* c17 can produce both 0 and 1 on g22 *)
+  Alcotest.(check bool) "g22 can be 1" true
+    (is_sat (Sat.solve ~nvars:e.Cnf.nvars ([ g22 ] :: e.Cnf.clauses)));
+  Alcotest.(check bool) "g22 can be 0" true
+    (is_sat (Sat.solve ~nvars:e.Cnf.nvars ([ -g22 ] :: e.Cnf.clauses)));
+  (* and any Sat model must be consistent with real evaluation *)
+  match Sat.solve ~nvars:e.Cnf.nvars ([ g22 ] :: e.Cnf.clauses) with
+  | Sat.Sat model ->
+    let bindings =
+      List.map (fun (nm, v) -> (nm, model.(v))) e.Cnf.input_var
+    in
+    let out = Nano_netlist.Netlist.eval netlist bindings in
+    List.iter
+      (fun (nm, v) ->
+        Alcotest.(check bool) nm (List.assoc nm out) model.(v))
+      e.Cnf.output_var
+  | Sat.Unsat | Sat.Unknown -> Alcotest.fail "sat expected"
+
+let test_miter_equivalent () =
+  let a = Nano_circuits.Adders.ripple_carry ~width:6 in
+  let b = Nano_circuits.Adders.carry_lookahead ~width:6 in
+  match Cnf.equivalent a b with
+  | `Equivalent -> ()
+  | `Counterexample _ -> Alcotest.fail "adders are equivalent"
+  | `Unknown -> Alcotest.fail "budget exhausted on a small miter"
+
+let test_miter_counterexample () =
+  let xor_gate =
+    let b = Nano_netlist.Netlist.Builder.create () in
+    let x = Nano_netlist.Netlist.Builder.input b "x" in
+    let y = Nano_netlist.Netlist.Builder.input b "y" in
+    Nano_netlist.Netlist.Builder.output b "o"
+      (Nano_netlist.Netlist.Builder.xor2 b x y);
+    Nano_netlist.Netlist.Builder.finish b
+  in
+  let or_gate =
+    let b = Nano_netlist.Netlist.Builder.create () in
+    let x = Nano_netlist.Netlist.Builder.input b "x" in
+    let y = Nano_netlist.Netlist.Builder.input b "y" in
+    Nano_netlist.Netlist.Builder.output b "o"
+      (Nano_netlist.Netlist.Builder.or2 b x y);
+    Nano_netlist.Netlist.Builder.finish b
+  in
+  match Cnf.equivalent xor_gate or_gate with
+  | `Counterexample cex ->
+    let a = Nano_netlist.Netlist.eval xor_gate cex in
+    let b = Nano_netlist.Netlist.eval or_gate cex in
+    Alcotest.(check bool) "real counterexample" true (a <> b)
+  | `Equivalent -> Alcotest.fail "xor <> or"
+  | `Unknown -> Alcotest.fail "tiny miter"
+
+let test_majority_encoding () =
+  (* NMR voter netlists use wide majorities: check maj5 via SAT against
+     direct evaluation on every assignment. *)
+  let maj5 =
+    let b = Nano_netlist.Netlist.Builder.create () in
+    let xs =
+      List.init 5 (fun i -> Nano_netlist.Netlist.Builder.input b (Printf.sprintf "x%d" i))
+    in
+    Nano_netlist.Netlist.Builder.output b "o"
+      (Nano_netlist.Netlist.Builder.add b Nano_netlist.Gate.Majority xs);
+    Nano_netlist.Netlist.Builder.finish b
+  in
+  let e = Cnf.of_netlist maj5 in
+  let o = List.assoc "o" e.Cnf.output_var in
+  (* the encoding with output forced to 1 must admit exactly the
+     >=3-ones inputs: check a positive and a negative case by adding
+     input units *)
+  let unit_for value (nm, v) = if value nm then [ v ] else [ -v ] in
+  let force bits =
+    List.map (unit_for (fun nm -> List.mem nm bits)) e.Cnf.input_var
+  in
+  Alcotest.(check bool) "3 ones -> o must be 1" true
+    (is_unsat
+       (Sat.solve ~nvars:e.Cnf.nvars
+          (([ -o ] :: force [ "x0"; "x1"; "x2" ]) @ e.Cnf.clauses)));
+  Alcotest.(check bool) "2 ones -> o must be 0" true
+    (is_unsat
+       (Sat.solve ~nvars:e.Cnf.nvars
+          (([ o ] :: force [ "x0"; "x1" ]) @ e.Cnf.clauses)))
+
+let prop_sat_equiv_matches_bdd =
+  QCheck2.Test.make ~name:"SAT equivalence agrees with BDD backend" ~count:30
+    QCheck2.Gen.(pair (int_range 0 100000) (int_range 0 100000))
+    (fun (s1, s2) ->
+      let a = Helpers.random_netlist ~seed:s1 ~inputs:5 ~gates:18 () in
+      let b =
+        if s1 = s2 then a
+        else Helpers.random_netlist ~seed:s2 ~inputs:5 ~gates:18 ()
+      in
+      let bdd_verdict =
+        match Nano_synth.Equiv.bdd a b with
+        | Some Nano_synth.Equiv.Equivalent -> true
+        | Some (Nano_synth.Equiv.Counterexample _) -> false
+        | None -> true (* cannot happen at this size *)
+      in
+      match Cnf.equivalent a b with
+      | `Equivalent -> bdd_verdict
+      | `Counterexample _ -> not bdd_verdict
+      | `Unknown -> false)
+
+let suite =
+  [
+    Alcotest.test_case "trivial" `Quick test_trivial;
+    Alcotest.test_case "model verified" `Quick test_model_verified;
+    Alcotest.test_case "chain propagation" `Quick test_chain_propagation;
+    Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+    Alcotest.test_case "multiplier miter" `Quick test_multiplier_miter;
+    Alcotest.test_case "tseitin consistency" `Quick test_tseitin_consistency;
+    Alcotest.test_case "miter equivalent" `Quick test_miter_equivalent;
+    Alcotest.test_case "miter counterexample" `Quick test_miter_counterexample;
+    Alcotest.test_case "majority encoding" `Quick test_majority_encoding;
+    Helpers.qcheck prop_matches_brute_force;
+    Helpers.qcheck prop_sat_equiv_matches_bdd;
+  ]

@@ -1,0 +1,89 @@
+module Script = Nano_synth.Script
+module Netlist = Nano_netlist.Netlist
+
+let test_rugged_lite_bounds_fanin () =
+  List.iter
+    (fun entry ->
+      let original = entry.Nano_circuits.Suite.build () in
+      let mapped = Script.rugged_lite ~max_fanin:3 original in
+      Alcotest.(check bool)
+        (entry.Nano_circuits.Suite.name ^ " fanin <= 3")
+        true
+        (Netlist.max_fanin mapped <= 3);
+      Helpers.assert_equivalent entry.Nano_circuits.Suite.name original mapped)
+    (List.filter
+       (fun e -> not (List.mem e.Nano_circuits.Suite.name [ "mult16"; "rca32" ]))
+       Nano_circuits.Suite.all)
+
+let test_rugged_lite_shrinks_redundancy () =
+  (* A deliberately bloated equivalent of a 2-input AND. *)
+  let b = Netlist.Builder.create () in
+  let x = Netlist.Builder.input b "x" in
+  let y = Netlist.Builder.input b "y" in
+  let t1 = Netlist.Builder.and2 b x y in
+  let t2 = Netlist.Builder.and2 b y x in
+  let dd = Netlist.Builder.not_ b (Netlist.Builder.not_ b t1) in
+  Netlist.Builder.output b "o" (Netlist.Builder.or2 b dd t2);
+  let bloated = Netlist.Builder.finish b in
+  let mapped = Script.rugged_lite bloated in
+  Alcotest.(check int) "reduced to one gate" 1 (Netlist.size mapped)
+
+let test_map_only_no_collapse () =
+  let n = Nano_circuits.Trees.parity_tree ~inputs:16 ~fanin:8 in
+  let mapped = Script.map_only ~max_fanin:2 n in
+  Alcotest.(check int) "binary tree" 15 (Netlist.size mapped);
+  Helpers.assert_equivalent "parity map" n mapped
+
+let test_collapse_threshold_respected () =
+  (* With a huge threshold the XOR-heavy circuit would blow up in
+     two-level form; the script must keep the smaller structural
+     version. *)
+  let n = Nano_circuits.Trees.parity_tree ~inputs:10 ~fanin:2 in
+  let mapped = Script.rugged_lite ~collapse_threshold:10 n in
+  Alcotest.(check bool) "no two-level blowup" true
+    (Netlist.size mapped <= Netlist.size n);
+  Helpers.assert_equivalent "parity rugged" n mapped
+
+let test_nand_flow () =
+  let n = Nano_circuits.Iscas_like.c17 () in
+  let mapped = Script.nand_flow n in
+  Helpers.assert_equivalent "c17 nand flow" n mapped;
+  (* c17 is already NAND-only: the flow must not blow it up much. *)
+  Alcotest.(check bool) "stays small" true (Netlist.size mapped <= 8)
+
+let prop_rugged_lite_stable =
+  QCheck2.Test.make ~name:"second rugged_lite pass never grows the result"
+    ~count:25
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:25 () in
+      let once = Script.rugged_lite n in
+      let twice = Script.rugged_lite once in
+      Netlist.size twice <= Netlist.size once)
+
+let prop_rugged_lite_safe =
+  QCheck2.Test.make ~name:"rugged_lite equivalence on random netlists"
+    ~count:40
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:25 () in
+      let mapped = Script.rugged_lite n in
+      Netlist.max_fanin mapped <= 3
+      &&
+      match Nano_synth.Equiv.check n mapped with
+      | Nano_synth.Equiv.Equivalent -> true
+      | Nano_synth.Equiv.Counterexample _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "bounds fanin on suite" `Slow
+      test_rugged_lite_bounds_fanin;
+    Alcotest.test_case "shrinks redundancy" `Quick
+      test_rugged_lite_shrinks_redundancy;
+    Alcotest.test_case "map_only" `Quick test_map_only_no_collapse;
+    Alcotest.test_case "collapse threshold" `Quick
+      test_collapse_threshold_respected;
+    Alcotest.test_case "nand flow" `Quick test_nand_flow;
+    Helpers.qcheck prop_rugged_lite_safe;
+    Helpers.qcheck prop_rugged_lite_stable;
+  ]

@@ -1,0 +1,84 @@
+module Sensitivity = Nano_sim.Sensitivity
+module Trees = Nano_circuits.Trees
+
+let test_parity_full_sensitivity () =
+  let n = Trees.parity_tree ~inputs:8 ~fanin:2 in
+  Alcotest.(check (option int)) "exact" (Some 8) (Sensitivity.exact n);
+  Alcotest.(check int) "sampled" 8 (Sensitivity.sampled ~samples:16 n)
+
+let test_and_tree () =
+  let n = Trees.and_tree ~inputs:6 ~fanin:3 in
+  (* AND: sensitivity 6 at the all-ones assignment. *)
+  Alcotest.(check (option int)) "exact" (Some 6) (Sensitivity.exact n)
+
+let test_at_assignment () =
+  let n = Trees.and_tree ~inputs:4 ~fanin:2 in
+  Alcotest.(check int) "all ones" 4
+    (Sensitivity.at_assignment n [| true; true; true; true |]);
+  (* At all-zeros no single flip changes AND. *)
+  Alcotest.(check int) "all zeros" 0
+    (Sensitivity.at_assignment n [| false; false; false; false |]);
+  (* At exactly one zero, only that zero is pivotal. *)
+  Alcotest.(check int) "one zero" 1
+    (Sensitivity.at_assignment n [| true; false; true; true |])
+
+let test_exact_limit () =
+  let n = Trees.parity_tree ~inputs:14 ~fanin:2 in
+  Alcotest.(check (option int)) "too wide" None
+    (Sensitivity.exact ~max_inputs:12 n);
+  Alcotest.(check int) "estimate falls back to sampling" 14
+    (Sensitivity.estimate ~samples:8 n)
+
+let test_multi_output () =
+  (* Corollary 1 convention: a flip counts when any output changes; for
+     a ripple adder every input flip changes some sum bit. *)
+  let n = Nano_circuits.Adders.ripple_carry ~width:4 in
+  Alcotest.(check int) "adder sensitivity = inputs" 9
+    (Sensitivity.estimate n)
+
+let test_wide_inputs_chunking () =
+  (* More than 63 inputs exercises the multi-chunk path. *)
+  let n = Trees.parity_tree ~inputs:100 ~fanin:3 in
+  Alcotest.(check int) "parity-100" 100 (Sensitivity.sampled ~samples:4 n)
+
+let prop_sampled_le_exact =
+  QCheck2.Test.make ~name:"sampled sensitivity never exceeds exact" ~count:30
+    QCheck2.Gen.(int_range 0 10000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:15 () in
+      match Sensitivity.exact n with
+      | None -> false
+      | Some exact -> Sensitivity.sampled ~samples:64 n <= exact)
+
+let prop_at_assignment_brute_force =
+  QCheck2.Test.make ~name:"at_assignment matches brute force" ~count:50
+    QCheck2.Gen.(pair (int_range 0 10000) (int_range 0 31))
+    (fun (seed, assignment) ->
+      let netlist = Helpers.random_netlist ~seed ~inputs:5 ~gates:12 () in
+      let bits = Array.init 5 (fun i -> (assignment lsr i) land 1 = 1) in
+      let outputs bits =
+        List.map
+          (fun (_, node) -> (Nano_netlist.Netlist.eval_nodes netlist bits).(node))
+          (Nano_netlist.Netlist.outputs netlist)
+      in
+      let base = outputs bits in
+      let brute = ref 0 in
+      for i = 0 to 4 do
+        bits.(i) <- not bits.(i);
+        if outputs bits <> base then incr brute;
+        bits.(i) <- not bits.(i)
+      done;
+      Sensitivity.at_assignment netlist bits = !brute)
+
+let suite =
+  [
+    Alcotest.test_case "parity full sensitivity" `Quick
+      test_parity_full_sensitivity;
+    Alcotest.test_case "and tree" `Quick test_and_tree;
+    Alcotest.test_case "at_assignment" `Quick test_at_assignment;
+    Alcotest.test_case "exact limit" `Quick test_exact_limit;
+    Alcotest.test_case "multi output" `Quick test_multi_output;
+    Alcotest.test_case "wide inputs chunking" `Quick test_wide_inputs_chunking;
+    Helpers.qcheck prop_sampled_le_exact;
+    Helpers.qcheck prop_at_assignment_brute_force;
+  ]

@@ -1,0 +1,281 @@
+module Seq = Nano_seq.Seq_netlist
+module Circuits = Nano_seq.Seq_circuits
+module Netlist = Nano_netlist.Netlist
+
+let counter_value outputs bits =
+  let v = ref 0 in
+  for i = 0 to bits - 1 do
+    if List.assoc (Printf.sprintf "obs_q%d" i) outputs then
+      v := !v lor (1 lsl i)
+  done;
+  !v
+
+let test_create_validation () =
+  let core = Nano_circuits.Adders.ripple_carry ~width:2 in
+  (match
+     Seq.create ~core
+       ~registers:[ { Seq.state = "nosuch"; next = "s0"; init = false } ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad state port accepted");
+  (match
+     Seq.create ~core
+       ~registers:[ { Seq.state = "a0"; next = "nosuch"; init = false } ]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad next port accepted");
+  match
+    Seq.create ~core
+      ~registers:[ { Seq.state = "a0"; next = "s0"; init = false } ]
+  with
+  | Ok m ->
+    Alcotest.(check int) "one register" 1 (Seq.state_bits m);
+    Alcotest.(check bool) "a0 no longer free" true
+      (not (List.mem "a0" (Seq.free_inputs m)));
+    Alcotest.(check bool) "s0 not observable" true
+      (not (List.mem "s0" (Seq.observable_outputs m)))
+  | Error e -> Alcotest.fail e
+
+let test_counter_counts () =
+  let bits = 4 in
+  let m = Circuits.counter ~bits in
+  let cycles = 20 in
+  let stim = List.init cycles (fun _ -> [ ("en", true) ]) in
+  let trace = Seq.simulate m ~inputs:stim in
+  List.iteri
+    (fun t outputs ->
+      Alcotest.(check int)
+        (Printf.sprintf "cycle %d" t)
+        (t mod 16)
+        (counter_value outputs bits))
+    trace;
+  (* wrap pulse when the counter is at 15 with enable *)
+  let wrap_at_15 = List.nth trace 15 in
+  Alcotest.(check bool) "wrap" true (List.assoc "wrap" wrap_at_15)
+
+let test_counter_enable () =
+  let m = Circuits.counter ~bits:3 in
+  let stim =
+    [ [ ("en", true) ]; [ ("en", false) ]; [ ("en", false) ]; [ ("en", true) ] ]
+  in
+  let trace = Seq.simulate m ~inputs:stim in
+  Alcotest.(check (list int)) "held while disabled" [ 0; 1; 1; 1 ]
+    (List.map (fun o -> counter_value o 3) trace);
+  let final = Seq.final_state m ~inputs:stim in
+  Alcotest.(check bool) "final = 2" true
+    (List.assoc "q1" final && not (List.assoc "q0" final))
+
+let test_shift_register () =
+  let m = Circuits.shift_register ~bits:3 in
+  let stim =
+    List.map (fun b -> [ ("din", b) ]) [ true; false; true; true; false; false ]
+  in
+  let trace = Seq.simulate m ~inputs:stim in
+  let douts = List.map (fun o -> List.assoc "dout" o) trace in
+  (* dout lags din by 3 cycles (value before the edge). *)
+  Alcotest.(check (list bool)) "delayed stream"
+    [ false; false; false; true; false; true ]
+    douts
+
+let test_lfsr_period () =
+  (* x^4 + x^3 + 1 (taps 3,2) is maximal: period 15. *)
+  let m = Circuits.lfsr ~bits:4 ~taps:[ 3; 2 ] in
+  let stim = List.init 30 (fun _ -> [ ("scan_en", false) ]) in
+  let trace = Seq.simulate m ~inputs:stim in
+  let bits = List.map (fun o -> List.assoc "out" o) trace in
+  (* sequence must repeat with period 15 and not be constant *)
+  let first15 = List.filteri (fun i _ -> i < 15) bits in
+  let second15 = List.filteri (fun i _ -> i >= 15) bits in
+  Alcotest.(check (list bool)) "period 15" first15 second15;
+  Alcotest.(check bool) "not constant" true
+    (List.exists (fun b -> b) first15 && List.exists not first15)
+
+let test_accumulator () =
+  let width = 4 in
+  let m = Circuits.accumulator ~width in
+  let stim_of v =
+    List.init width (fun i -> (Printf.sprintf "a%d" i, (v lsr i) land 1 = 1))
+  in
+  let trace = Seq.simulate m ~inputs:(List.map stim_of [ 3; 5; 2; 7 ]) in
+  let acc_at t =
+    let out = List.nth trace t in
+    let v = ref 0 in
+    for i = 0 to width - 1 do
+      if List.assoc (Printf.sprintf "acc%d" i) out then v := !v lor (1 lsl i)
+    done;
+    !v
+  in
+  (* registered value lags by one cycle *)
+  Alcotest.(check int) "t0" 0 (acc_at 0);
+  Alcotest.(check int) "t1" 3 (acc_at 1);
+  Alcotest.(check int) "t2" 8 (acc_at 2);
+  Alcotest.(check int) "t3" 10 (acc_at 3)
+
+let test_unroll_matches_simulate () =
+  let m = Circuits.counter ~bits:3 in
+  let cycles = 5 in
+  let unrolled = Seq.unroll m ~cycles in
+  (* Drive frame inputs en@t and compare against simulate. *)
+  let en_values = [ true; true; false; true; true ] in
+  let bindings =
+    List.mapi (fun t v -> (Printf.sprintf "en@%d" t, v)) en_values
+  in
+  let out = Netlist.eval unrolled bindings in
+  let trace =
+    Seq.simulate m ~inputs:(List.map (fun v -> [ ("en", v) ]) en_values)
+  in
+  List.iteri
+    (fun t cycle_outputs ->
+      List.iter
+        (fun (name, v) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s@%d" name t)
+            v
+            (List.assoc (Printf.sprintf "%s@%d" name t) out))
+        cycle_outputs)
+    trace;
+  (* final state outputs present *)
+  Alcotest.(check bool) "final state exported" true
+    (List.mem_assoc "q0@final" out)
+
+let test_unroll_structure () =
+  let m = Circuits.shift_register ~bits:2 in
+  let u = Seq.unroll m ~cycles:3 in
+  Alcotest.(check int) "3 din inputs" 3 (List.length (Netlist.inputs u));
+  (* observable per frame + 2 final-state outputs *)
+  Alcotest.(check int) "outputs" (3 + 2) (List.length (Netlist.outputs u))
+
+let test_temporal_activity_counter () =
+  (* Counter bit i toggles with probability ~2^-i under full enable; the
+     temporal activity must reflect that, unlike the independence
+     model. *)
+  let m = Circuits.counter ~bits:4 in
+  let core = Seq.core m in
+  let activity = Seq.temporal_activity ~cycles:4096 ~input_probability:1.0 m in
+  (* output d0 toggles every cycle: its node is the xor feeding d0; find
+     via output map. *)
+  let d0 = List.assoc "d0" (Netlist.outputs core) in
+  let d3 = List.assoc "d3" (Netlist.outputs core) in
+  Helpers.check_in_range "lsb next toggles ~always" ~lo:0.95 ~hi:1.
+    activity.(d0);
+  Helpers.check_in_range "msb next toggles rarely" ~lo:0.05 ~hi:0.30
+    activity.(d3)
+
+let test_energy_trace () =
+  let tech = Nano_energy.Technology.nm90 in
+  (* A counter with enable tied high burns roughly constant energy after
+     warmup; its LSB logic toggles every cycle. *)
+  let m = Circuits.counter ~bits:4 in
+  let trace = Seq.energy_trace ~cycles:64 ~input_probability:1.0 ~tech m in
+  Alcotest.(check int) "length" 64 (Array.length trace);
+  Helpers.check_float "reset entry zero" 0. trace.(0);
+  for t = 1 to 63 do
+    Alcotest.(check bool) "positive energy" true (trace.(t) > 0.)
+  done;
+  (* a shift register's core is pure wiring: zero switching energy *)
+  let s = Circuits.shift_register ~bits:8 in
+  let strace = Seq.energy_trace ~cycles:16 ~tech s in
+  Array.iter (fun e -> Helpers.check_float "wiring is free" 0. e) strace;
+  (* energy scales with activity: half-rate enable burns less on average *)
+  let low =
+    Seq.energy_trace ~cycles:512 ~input_probability:0.1 ~tech m
+  in
+  let high =
+    Seq.energy_trace ~cycles:512 ~input_probability:1.0 ~tech m
+  in
+  let mean a =
+    Array.fold_left ( +. ) 0. a /. float_of_int (Array.length a)
+  in
+  Alcotest.(check bool) "rarely enabled burns less" true (mean low < mean high)
+
+let test_map_core () =
+  (* rugged_lite over the core must preserve the machine's behaviour
+     cycle for cycle. *)
+  let m = Circuits.accumulator ~width:6 in
+  (match Seq.map_core (Nano_synth.Script.rugged_lite ~max_fanin:3) m with
+  | Error e -> Alcotest.fail e
+  | Ok optimized ->
+    let stim_of v =
+      List.init 6 (fun i -> (Printf.sprintf "a%d" i, (v lsr i) land 1 = 1))
+    in
+    let stim = List.map stim_of [ 5; 9; 63; 2; 17 ] in
+    let t1 = Seq.simulate m ~inputs:stim in
+    let t2 = Seq.simulate optimized ~inputs:stim in
+    List.iteri
+      (fun t (o1, o2) ->
+        if List.sort compare o1 <> List.sort compare o2 then
+          Alcotest.failf "cycle %d differs" t)
+      (List.combine t1 t2));
+  (* a transformation that drops ports is rejected *)
+  let break _core =
+    let b = Netlist.Builder.create () in
+    let x = Netlist.Builder.input b "only" in
+    Netlist.Builder.output b "o" x;
+    Netlist.Builder.finish b
+  in
+  match Seq.map_core break m with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "interface change must be rejected"
+
+let test_profile () =
+  let m = Circuits.accumulator ~width:8 in
+  let p = Seq.profile ~cycles:1024 m in
+  Alcotest.(check bool) "named" true
+    (String.length p.Nano_bounds.Profile.name > 4);
+  Helpers.check_in_range "sw0 plausible" ~lo:0.05 ~hi:0.95
+    p.Nano_bounds.Profile.sw0;
+  (* the profile can drive the bounds *)
+  let s =
+    Nano_bounds.Profile.to_scenario p ~epsilon:0.01 ~delta:0.01
+      ~leakage_share0:0.5
+  in
+  let b = Nano_bounds.Metrics.evaluate s in
+  Alcotest.(check bool) "bound computed" true
+    (b.Nano_bounds.Metrics.energy_ratio >= 1.)
+
+let prop_unroll_random_stimulus =
+  QCheck2.Test.make ~name:"unrolled accumulator matches simulation" ~count:20
+    QCheck2.Gen.(list_size (int_range 1 6) (int_range 0 15))
+    (let m = Circuits.accumulator ~width:4 in
+     fun values ->
+       let cycles = List.length values in
+       let unrolled = Seq.unroll m ~cycles in
+       let stim_of v =
+         List.init 4 (fun i -> (Printf.sprintf "a%d" i, (v lsr i) land 1 = 1))
+       in
+       let trace = Seq.simulate m ~inputs:(List.map stim_of values) in
+       let bindings =
+         List.concat
+           (List.mapi
+              (fun t v ->
+                List.init 4 (fun i ->
+                    (Printf.sprintf "a%d@%d" i t, (v lsr i) land 1 = 1)))
+              values)
+       in
+       let out = Netlist.eval unrolled bindings in
+       List.for_all
+         (fun (t, cycle_outputs) ->
+           List.for_all
+             (fun (name, v) ->
+               List.assoc (Printf.sprintf "%s@%d" name t) out = v)
+             cycle_outputs)
+         (List.mapi (fun t o -> (t, o)) trace))
+
+let suite =
+  [
+    Alcotest.test_case "create validation" `Quick test_create_validation;
+    Alcotest.test_case "counter counts" `Quick test_counter_counts;
+    Alcotest.test_case "counter enable" `Quick test_counter_enable;
+    Alcotest.test_case "shift register" `Quick test_shift_register;
+    Alcotest.test_case "lfsr period" `Quick test_lfsr_period;
+    Alcotest.test_case "accumulator" `Quick test_accumulator;
+    Alcotest.test_case "unroll matches simulate" `Quick
+      test_unroll_matches_simulate;
+    Alcotest.test_case "unroll structure" `Quick test_unroll_structure;
+    Alcotest.test_case "temporal activity" `Quick
+      test_temporal_activity_counter;
+    Alcotest.test_case "energy trace" `Quick test_energy_trace;
+    Alcotest.test_case "map_core" `Quick test_map_core;
+    Alcotest.test_case "profile" `Quick test_profile;
+    Helpers.qcheck prop_unroll_random_stimulus;
+  ]

@@ -1,0 +1,74 @@
+module Stats = Nano_util.Stats
+
+let test_empty () =
+  let t = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count t);
+  Helpers.check_float "mean" 0. (Stats.mean t);
+  Helpers.check_float "variance" 0. (Stats.variance t);
+  Helpers.check_invalid "min" (fun () -> Stats.min_value t);
+  Helpers.check_invalid "summary" (fun () -> Stats.summary t)
+
+let test_single () =
+  let t = Stats.create () in
+  Stats.add t 3.5;
+  Helpers.check_float "mean" 3.5 (Stats.mean t);
+  Helpers.check_float "variance" 0. (Stats.variance t);
+  Helpers.check_float "min" 3.5 (Stats.min_value t);
+  Helpers.check_float "max" 3.5 (Stats.max_value t)
+
+let test_known_values () =
+  let t = Stats.create () in
+  Stats.add_many t [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Helpers.check_float "mean" 5. (Stats.mean t);
+  (* Sample variance of this classic set is 32/7. *)
+  Helpers.check_loose "variance" (32. /. 7.) (Stats.variance t);
+  Helpers.check_float "min" 2. (Stats.min_value t);
+  Helpers.check_float "max" 9. (Stats.max_value t);
+  let s = Stats.summary t in
+  Alcotest.(check int) "summary n" 8 s.Stats.n
+
+let test_confidence_shrinks () =
+  let wide = Stats.create () in
+  let narrow = Stats.create () in
+  let rng = Nano_util.Prng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Stats.add wide (Nano_util.Prng.float rng)
+  done;
+  for _ = 1 to 10000 do
+    Stats.add narrow (Nano_util.Prng.float rng)
+  done;
+  Alcotest.(check bool) "more samples tighter ci" true
+    (Stats.confidence95 narrow < Stats.confidence95 wide)
+
+let prop_mean_bounded =
+  QCheck2.Test.make ~name:"mean lies within [min, max]"
+    QCheck2.Gen.(list_size (int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let t = Stats.create () in
+      Stats.add_many t xs;
+      Stats.mean t >= Stats.min_value t -. 1e-9
+      && Stats.mean t <= Stats.max_value t +. 1e-9)
+
+let prop_welford_matches_naive =
+  QCheck2.Test.make ~name:"Welford variance matches naive computation"
+    QCheck2.Gen.(list_size (int_range 2 60) (float_range (-10.) 10.))
+    (fun xs ->
+      let t = Stats.create () in
+      Stats.add_many t xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let naive =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        /. (n -. 1.)
+      in
+      Nano_util.Math_ext.approx_equal ~tol:1e-6 naive (Stats.variance t))
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "single" `Quick test_single;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "confidence shrinks" `Quick test_confidence_shrinks;
+    Helpers.qcheck prop_mean_bounded;
+    Helpers.qcheck prop_welford_matches_naive;
+  ]

@@ -1,0 +1,144 @@
+module Strash = Nano_synth.Strash
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let test_shares_identical_gates () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a1 = B.and2 b x y in
+  let a2 = B.and2 b x y in
+  B.output b "o" (B.or2 b a1 a2);
+  let n = Strash.run (B.finish b) in
+  (* or(a, a) -> a, so only the single AND remains. *)
+  Alcotest.(check int) "one gate" 1 (Netlist.size n)
+
+let test_commutative_sharing () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let a1 = B.and2 b x y in
+  let a2 = B.and2 b y x in
+  B.output b "o" (B.xor2 b a1 a2);
+  let n = Strash.run (B.finish b) in
+  (* and(x,y) = and(y,x), xor(a,a) = 0. *)
+  Alcotest.(check int) "constant folded" 0 (Netlist.size n);
+  Alcotest.(check bool) "output is false" true
+    (not (List.assoc "o" (Netlist.eval n [ ("x", true); ("y", true) ])))
+
+let test_constant_folding () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let zero = B.const b false in
+  let one = B.const b true in
+  B.output b "and0" (B.and2 b x zero);
+  B.output b "and1" (B.and2 b x one);
+  B.output b "or1" (B.or2 b x one);
+  B.output b "xor1" (B.xor2 b x one);
+  let n = Strash.run (B.finish b) in
+  let out v = Netlist.eval n [ ("x", v) ] in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "and0" false (List.assoc "and0" (out v));
+      Alcotest.(check bool) "and1" v (List.assoc "and1" (out v));
+      Alcotest.(check bool) "or1" true (List.assoc "or1" (out v));
+      Alcotest.(check bool) "xor1" (not v) (List.assoc "xor1" (out v)))
+    [ true; false ];
+  (* and1 should be a wire, xor1 one inverter: 1 gate total *)
+  Alcotest.(check int) "only the inverter" 1 (Netlist.size n)
+
+let test_double_negation () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  B.output b "o" (B.not_ b (B.not_ b x));
+  let n = Strash.run (B.finish b) in
+  Alcotest.(check int) "no gates" 0 (Netlist.size n)
+
+let test_complement_identities () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let nx = B.not_ b x in
+  B.output b "contradiction" (B.and2 b x nx);
+  B.output b "tautology" (B.or2 b x nx);
+  B.output b "xor_comp" (B.xor2 b x nx);
+  let n = Strash.run (B.finish b) in
+  let out = Netlist.eval n [ ("x", true) ] in
+  Alcotest.(check bool) "x & ~x" false (List.assoc "contradiction" out);
+  Alcotest.(check bool) "x | ~x" true (List.assoc "tautology" out);
+  Alcotest.(check bool) "x ^ ~x" true (List.assoc "xor_comp" out);
+  (* Everything folds to constants; at most the shared inverter may
+     linger as dead support for them. *)
+  Alcotest.(check bool) "at most the inverter" true (Netlist.size n <= 1)
+
+let test_dead_logic_removed () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let _dead = B.xor2 b x y in
+  let _dead2 = B.and2 b x y in
+  B.output b "o" (B.not_ b x);
+  let n = Strash.run (B.finish b) in
+  Alcotest.(check int) "only the live inverter" 1 (Netlist.size n);
+  (* inputs survive for interface stability *)
+  Alcotest.(check (list string)) "inputs kept" [ "x"; "y" ]
+    (Netlist.input_names n)
+
+let test_majority_simplifications () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let one = B.const b true in
+  let zero = B.const b false in
+  B.output b "maj1xy" (B.maj3 b one x y);
+  B.output b "maj0xy" (B.maj3 b zero x y);
+  B.output b "majxxy" (B.maj3 b x x y);
+  let n = Strash.run (B.finish b) in
+  List.iter
+    (fun (vx, vy) ->
+      let out = Netlist.eval n [ ("x", vx); ("y", vy) ] in
+      Alcotest.(check bool) "maj(1,x,y)=x|y" (vx || vy)
+        (List.assoc "maj1xy" out);
+      Alcotest.(check bool) "maj(0,x,y)=x&y" (vx && vy)
+        (List.assoc "maj0xy" out);
+      Alcotest.(check bool) "maj(x,x,y)=x" vx (List.assoc "majxxy" out))
+    [ (true, true); (true, false); (false, true); (false, false) ]
+
+let test_idempotent () =
+  let n = Helpers.random_netlist ~seed:99 ~inputs:5 ~gates:40 () in
+  let once = Strash.run n in
+  let twice = Strash.run once in
+  Alcotest.(check int) "size stable" (Netlist.size once) (Netlist.size twice)
+
+let prop_preserves_function =
+  QCheck2.Test.make ~name:"strash preserves the function" ~count:100
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:30 () in
+      match Nano_synth.Equiv.check n (Strash.run n) with
+      | Nano_synth.Equiv.Equivalent -> true
+      | Nano_synth.Equiv.Counterexample _ -> false)
+
+let prop_never_grows =
+  QCheck2.Test.make ~name:"strash never increases size" ~count:100
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:30 () in
+      Netlist.size (Strash.run n) <= Netlist.size n)
+
+let suite =
+  [
+    Alcotest.test_case "shares identical gates" `Quick
+      test_shares_identical_gates;
+    Alcotest.test_case "commutative sharing" `Quick test_commutative_sharing;
+    Alcotest.test_case "constant folding" `Quick test_constant_folding;
+    Alcotest.test_case "double negation" `Quick test_double_negation;
+    Alcotest.test_case "complement identities" `Quick
+      test_complement_identities;
+    Alcotest.test_case "dead logic removed" `Quick test_dead_logic_removed;
+    Alcotest.test_case "majority simplifications" `Quick
+      test_majority_simplifications;
+    Alcotest.test_case "idempotent" `Quick test_idempotent;
+    Helpers.qcheck prop_preserves_function;
+    Helpers.qcheck prop_never_grows;
+  ]

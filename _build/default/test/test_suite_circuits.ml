@@ -1,0 +1,82 @@
+module Suite = Nano_circuits.Suite
+module Profiles = Nano_circuits.Iscas_profiles
+module Netlist = Nano_netlist.Netlist
+
+let test_all_entries_build_and_validate () =
+  List.iter
+    (fun entry ->
+      let n = entry.Suite.build () in
+      match Netlist.validate n with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" entry.Suite.name e)
+    Suite.all
+
+let test_names_unique () =
+  let names = Suite.names () in
+  Alcotest.(check int) "no duplicates"
+    (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  Alcotest.(check bool) "find c17" true (Suite.find "c17" <> None);
+  Alcotest.(check bool) "find nothing" true (Suite.find "zzz" = None)
+
+let test_partition () =
+  Alcotest.(check int) "all = iscas + arithmetic"
+    (List.length Suite.all)
+    (List.length Suite.iscas_substitutes + List.length Suite.arithmetic)
+
+let test_counterparts_exist () =
+  List.iter
+    (fun entry ->
+      match entry.Suite.iscas_counterpart with
+      | None -> ()
+      | Some "c17" -> () (* below the classic ten *)
+      | Some name ->
+        Alcotest.(check bool)
+          (name ^ " is a known benchmark")
+          true
+          (Profiles.find name <> None))
+    Suite.all
+
+let test_published_profiles () =
+  Alcotest.(check int) "ten classics" 10 (List.length Profiles.all);
+  (match Profiles.find "c6288" with
+  | Some p ->
+    Alcotest.(check int) "c6288 inputs" 32 p.Profiles.inputs;
+    Alcotest.(check int) "c6288 outputs" 32 p.Profiles.outputs
+  | None -> Alcotest.fail "c6288 missing");
+  Alcotest.(check bool) "unknown" true (Profiles.find "c9999" = None)
+
+let test_substitutes_bracket_published_shapes () =
+  (* The substitution argument from DESIGN.md: interface shape of each
+     substitute matches its counterpart's family. Check the two tightest
+     cases. *)
+  (match Suite.find "mult16" with
+  | Some e ->
+    let n = e.Suite.build () in
+    Alcotest.(check int) "mult16 inputs like c6288" 32
+      (List.length (Netlist.inputs n));
+    Alcotest.(check int) "mult16 outputs like c6288" 32
+      (List.length (Netlist.outputs n))
+  | None -> Alcotest.fail "mult16 missing");
+  match Suite.find "sec32" with
+  | Some e ->
+    let n = e.Suite.build () in
+    (* c499: 41 in / 32 out; Hamming(32) needs 6 checks -> 38 in. *)
+    Alcotest.(check int) "sec32 inputs" 38 (List.length (Netlist.inputs n));
+    Alcotest.(check int) "sec32 outputs" 32 (List.length (Netlist.outputs n))
+  | None -> Alcotest.fail "sec32 missing"
+
+let suite =
+  [
+    Alcotest.test_case "all build and validate" `Quick
+      test_all_entries_build_and_validate;
+    Alcotest.test_case "names unique" `Quick test_names_unique;
+    Alcotest.test_case "find" `Quick test_find;
+    Alcotest.test_case "partition" `Quick test_partition;
+    Alcotest.test_case "counterparts exist" `Quick test_counterparts_exist;
+    Alcotest.test_case "published profiles" `Quick test_published_profiles;
+    Alcotest.test_case "substitutes bracket shapes" `Quick
+      test_substitutes_bracket_published_shapes;
+  ]

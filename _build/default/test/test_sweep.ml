@@ -1,0 +1,52 @@
+module Sweep = Nano_util.Sweep
+
+let test_linear () =
+  let pts = Sweep.linear ~lo:0. ~hi:1. ~steps:5 in
+  Alcotest.(check int) "count" 5 (List.length pts);
+  Helpers.check_float "first" 0. (List.hd pts);
+  Helpers.check_float "last" 1. (List.nth pts 4);
+  Helpers.check_float "middle" 0.5 (List.nth pts 2)
+
+let test_logarithmic () =
+  let pts = Sweep.logarithmic ~lo:1. ~hi:100. ~steps:3 in
+  Helpers.check_loose "first" 1. (List.nth pts 0);
+  Helpers.check_loose "middle" 10. (List.nth pts 1);
+  Helpers.check_loose "last" 100. (List.nth pts 2)
+
+let test_epsilon_grid () =
+  let pts = Sweep.epsilon_grid () in
+  Alcotest.(check int) "default steps" 40 (List.length pts);
+  List.iter
+    (fun e -> Helpers.check_in_range "inside (0, 1/2)" ~lo:1e-9 ~hi:0.499999 e)
+    pts;
+  (* strictly increasing *)
+  let rec increasing = function
+    | a :: b :: rest -> a < b && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "increasing" true (increasing pts)
+
+let test_ints () =
+  Alcotest.(check (list int)) "2..5" [ 2; 3; 4; 5 ] (Sweep.ints ~lo:2 ~hi:5);
+  Alcotest.(check (list int)) "empty" [] (Sweep.ints ~lo:3 ~hi:2);
+  Alcotest.(check (list int)) "single" [ 4 ] (Sweep.ints ~lo:4 ~hi:4)
+
+let prop_linear_monotone =
+  QCheck2.Test.make ~name:"linear sweeps are monotone"
+    QCheck2.Gen.(triple (float_range (-5.) 5.) (float_range 0.1 10.) (int_range 2 50))
+    (fun (lo, span, steps) ->
+      let pts = Sweep.linear ~lo ~hi:(lo +. span) ~steps in
+      let rec mono = function
+        | a :: b :: rest -> a <= b && mono (b :: rest)
+        | _ -> true
+      in
+      List.length pts = steps && mono pts)
+
+let suite =
+  [
+    Alcotest.test_case "linear" `Quick test_linear;
+    Alcotest.test_case "logarithmic" `Quick test_logarithmic;
+    Alcotest.test_case "epsilon grid" `Quick test_epsilon_grid;
+    Alcotest.test_case "ints" `Quick test_ints;
+    Helpers.qcheck prop_linear_monotone;
+  ]

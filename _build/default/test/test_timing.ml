@@ -1,0 +1,132 @@
+module Timing = Nano_netlist.Timing
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Gate = Nano_netlist.Gate
+
+let test_unit_delay_equals_levels () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:8 in
+  let t = Timing.analyze ~delay:Timing.unit_delay n in
+  Helpers.check_float "max arrival = depth"
+    (float_of_int (Netlist.depth n))
+    t.Timing.max_arrival;
+  let levels = Netlist.levels n in
+  Array.iteri
+    (fun id a ->
+      Helpers.check_float
+        (Printf.sprintf "node %d" id)
+        (float_of_int levels.(id))
+        a)
+    t.Timing.arrival
+
+let test_default_delay_model () =
+  Helpers.check_float "source" 0. (Timing.default_delay Gate.Input 0);
+  Helpers.check_float "buffer" 0. (Timing.default_delay Gate.Buf 1);
+  Helpers.check_float "inverter" 0.6 (Timing.default_delay Gate.Not 1);
+  Helpers.check_float "2-input" 1. (Timing.default_delay Gate.And 2);
+  Helpers.check_float "3-input slower" 1.2 (Timing.default_delay Gate.And 3)
+
+let test_critical_path_structure () =
+  (* Diamond: a slow XOR branch vs a fast wire; critical path must take
+     the slow branch. *)
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let slow1 = B.xor2 b x y in
+  let slow2 = B.xor2 b slow1 y in
+  let fast = B.not_ b x in
+  let out = B.and2 b slow2 fast in
+  B.output b "o" out;
+  let n = B.finish b in
+  let t = Timing.analyze ~delay:Timing.unit_delay n in
+  Alcotest.(check string) "critical output" "o" t.Timing.critical_output;
+  Helpers.check_float "arrival 3" 3. t.Timing.max_arrival;
+  (* path: input -> slow1 -> slow2 -> out *)
+  Alcotest.(check bool) "path hits slow1" true
+    (List.mem slow1 t.Timing.critical_path);
+  Alcotest.(check bool) "path hits slow2" true
+    (List.mem slow2 t.Timing.critical_path);
+  Alcotest.(check bool) "path ends at out" true
+    (List.mem out t.Timing.critical_path);
+  Alcotest.(check bool) "fast branch not on path" false
+    (List.mem fast t.Timing.critical_path);
+  (* signal-flow order: increasing arrival *)
+  let rec increasing = function
+    | a :: b :: rest ->
+      t.Timing.arrival.(a) <= t.Timing.arrival.(b) && increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "flow order" true (increasing t.Timing.critical_path)
+
+let test_slack () =
+  let b = B.create () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let slow = B.xor2 b (B.xor2 b x y) y in
+  let fast = B.not_ b x in
+  B.output b "s" slow;
+  B.output b "f" fast;
+  let n = B.finish b in
+  let t = Timing.analyze ~delay:Timing.unit_delay n in
+  let slack = Timing.slack t ~required:2. in
+  (* slow path needs 2 units: zero slack on its nodes; fast path has 1
+     unit spare. *)
+  Helpers.check_float "slow output slack" 0. slack.(slow);
+  Helpers.check_float "fast output slack" 1. slack.(fast);
+  (* x feeds both: its slack is the minimum (0). *)
+  Helpers.check_float "shared input slack" 0. slack.(x);
+  (* an impossible requirement gives negative slack *)
+  let tight = Timing.slack t ~required:1. in
+  Alcotest.(check bool) "negative slack" true (tight.(slow) < 0.)
+
+let test_balance_improves_timing () =
+  (* The balance pass must reduce the timed critical path of a skewed
+     chain, not just the level count. *)
+  let b = B.create () in
+  let xs = List.init 12 (fun i -> B.input b (Printf.sprintf "x%d" i)) in
+  let root =
+    match xs with
+    | first :: rest -> List.fold_left (fun acc x -> B.and2 b acc x) first rest
+    | [] -> assert false
+  in
+  B.output b "y" root;
+  let chain = B.finish b in
+  let balanced = Nano_synth.Balance.run chain in
+  let t_chain = Timing.analyze chain in
+  let t_balanced = Timing.analyze balanced in
+  Alcotest.(check bool) "faster" true
+    (t_balanced.Timing.max_arrival < t_chain.Timing.max_arrival)
+
+let prop_arrival_monotone_on_path =
+  QCheck2.Test.make ~name:"fanins never arrive after their gate" ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:25 () in
+      let t = Timing.analyze n in
+      Netlist.fold n ~init:true ~f:(fun acc id info ->
+          acc
+          && Array.for_all
+               (fun f -> t.Timing.arrival.(f) <= t.Timing.arrival.(id))
+               info.Netlist.fanins))
+
+let prop_slack_nonnegative_at_max =
+  QCheck2.Test.make ~name:"slack at required = max arrival is >= 0"
+    ~count:60
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let n = Helpers.random_netlist ~seed ~inputs:5 ~gates:25 () in
+      let t = Timing.analyze n in
+      let slack = Timing.slack t ~required:t.Timing.max_arrival in
+      Array.for_all (fun s -> s >= -1e-9) slack)
+
+let suite =
+  [
+    Alcotest.test_case "unit delay = levels" `Quick
+      test_unit_delay_equals_levels;
+    Alcotest.test_case "default delay model" `Quick test_default_delay_model;
+    Alcotest.test_case "critical path" `Quick test_critical_path_structure;
+    Alcotest.test_case "slack" `Quick test_slack;
+    Alcotest.test_case "balance improves timing" `Quick
+      test_balance_improves_timing;
+    Helpers.qcheck prop_arrival_monotone_on_path;
+    Helpers.qcheck prop_slack_nonnegative_at_max;
+  ]

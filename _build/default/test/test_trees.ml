@@ -1,0 +1,125 @@
+module Trees = Nano_circuits.Trees
+module Netlist = Nano_netlist.Netlist
+
+let eval1 netlist out bits =
+  let bindings =
+    List.mapi (fun i b -> (Printf.sprintf "x%d" i, b)) bits
+  in
+  List.assoc out (Netlist.eval netlist bindings)
+
+let test_parity_tree_function () =
+  let n = Trees.parity_tree ~inputs:7 ~fanin:3 in
+  for a = 0 to 127 do
+    let bits = List.init 7 (fun i -> (a lsr i) land 1 = 1) in
+    let expected = List.length (List.filter Fun.id bits) land 1 = 1 in
+    if eval1 n "parity" bits <> expected then
+      Alcotest.failf "parity mismatch at %d" a
+  done
+
+let test_parity_tree_structure () =
+  let n2 = Trees.parity_tree ~inputs:16 ~fanin:2 in
+  Alcotest.(check int) "binary gates" 15 (Netlist.size n2);
+  Alcotest.(check int) "binary depth" 4 (Netlist.depth n2);
+  let n4 = Trees.parity_tree ~inputs:16 ~fanin:4 in
+  Alcotest.(check int) "quaternary gates" 5 (Netlist.size n4);
+  Alcotest.(check int) "quaternary depth" 2 (Netlist.depth n4)
+
+let test_and_or_trees () =
+  let a = Trees.and_tree ~inputs:5 ~fanin:2 in
+  Alcotest.(check bool) "all ones" true
+    (eval1 a "y" [ true; true; true; true; true ]);
+  Alcotest.(check bool) "one zero" false
+    (eval1 a "y" [ true; true; false; true; true ]);
+  let o = Trees.or_tree ~inputs:5 ~fanin:3 in
+  Alcotest.(check bool) "all zero" false
+    (eval1 o "y" [ false; false; false; false; false ]);
+  Alcotest.(check bool) "one one" true
+    (eval1 o "y" [ false; false; true; false; false ])
+
+let test_majority_tree () =
+  let n = Trees.majority_tree ~inputs:9 in
+  Alcotest.(check int) "four maj3 gates" 4 (Netlist.size n);
+  (* A recursive-majority tree with all-equal leaves returns that
+     value. *)
+  Alcotest.(check bool) "all ones" true
+    (eval1 n "maj" (List.init 9 (fun _ -> true)));
+  Alcotest.(check bool) "all zeros" false
+    (eval1 n "maj" (List.init 9 (fun _ -> false)));
+  Helpers.check_invalid "non power of 3" (fun () ->
+      ignore (Trees.majority_tree ~inputs:6))
+
+let test_mux_tree () =
+  let n = Trees.mux_tree ~select_bits:3 in
+  for sel = 0 to 7 do
+    for data_bit = 0 to 7 do
+      let bindings =
+        List.concat
+          [
+            List.init 3 (fun i ->
+                (Printf.sprintf "sel%d" i, (sel lsr i) land 1 = 1));
+            List.init 8 (fun i -> (Printf.sprintf "d%d" i, i = data_bit));
+          ]
+      in
+      let out = List.assoc "y" (Netlist.eval n bindings) in
+      Alcotest.(check bool)
+        (Printf.sprintf "sel=%d hot=%d" sel data_bit)
+        (sel = data_bit) out
+    done
+  done
+
+let test_decoder () =
+  let n = Trees.decoder ~bits:3 in
+  for v = 0 to 7 do
+    let bindings =
+      List.init 3 (fun i -> (Printf.sprintf "s%d" i, (v lsr i) land 1 = 1))
+    in
+    let out = Netlist.eval n bindings in
+    for line = 0 to 7 do
+      Alcotest.(check bool)
+        (Printf.sprintf "v=%d line=%d" v line)
+        (line = v)
+        (List.assoc (Printf.sprintf "y%d" line) out)
+    done
+  done
+
+let test_comparator () =
+  let width = 4 in
+  let n = Trees.comparator ~width in
+  for x = 0 to 15 do
+    for y = 0 to 15 do
+      let bindings =
+        List.concat
+          [
+            List.init width (fun i ->
+                (Printf.sprintf "a%d" i, (x lsr i) land 1 = 1));
+            List.init width (fun i ->
+                (Printf.sprintf "b%d" i, (y lsr i) land 1 = 1));
+          ]
+      in
+      let out = Netlist.eval n bindings in
+      Alcotest.(check bool) "eq" (x = y) (List.assoc "eq" out);
+      Alcotest.(check bool) "gt" (x > y) (List.assoc "gt" out);
+      Alcotest.(check bool) "lt" (x < y) (List.assoc "lt" out)
+    done
+  done
+
+let prop_parity_any_fanin =
+  QCheck2.Test.make ~name:"parity trees correct for any fanin" ~count:40
+    QCheck2.Gen.(triple (int_range 1 24) (int_range 2 5) (int_range 0 1000000))
+    (fun (inputs, fanin, a) ->
+      let n = Trees.parity_tree ~inputs ~fanin in
+      let bits = List.init inputs (fun i -> (a lsr (i mod 20)) land 1 = 1) in
+      let expected = List.length (List.filter Fun.id bits) land 1 = 1 in
+      eval1 n "parity" bits = expected)
+
+let suite =
+  [
+    Alcotest.test_case "parity function" `Quick test_parity_tree_function;
+    Alcotest.test_case "parity structure" `Quick test_parity_tree_structure;
+    Alcotest.test_case "and/or trees" `Quick test_and_or_trees;
+    Alcotest.test_case "majority tree" `Quick test_majority_tree;
+    Alcotest.test_case "mux tree" `Quick test_mux_tree;
+    Alcotest.test_case "decoder" `Quick test_decoder;
+    Alcotest.test_case "comparator" `Quick test_comparator;
+    Helpers.qcheck prop_parity_any_fanin;
+  ]

@@ -1,0 +1,92 @@
+module Vcd = Nano_seq.Vcd
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_header_and_vars () =
+  let s = Vcd.of_signals [ ("clk_en", [ true; false ]) ] in
+  Alcotest.(check bool) "timescale" true (contains "$timescale 1 ns $end" s);
+  Alcotest.(check bool) "var decl" true
+    (contains "$var wire 1 ! clk_en $end" s);
+  Alcotest.(check bool) "enddefinitions" true
+    (contains "$enddefinitions $end" s)
+
+let test_only_changes_dumped () =
+  let s =
+    Vcd.of_signals
+      [ ("a", [ false; false; true; true; false ]); ("b", [ true; true; true; true; true ]) ]
+  in
+  (* a changes at t=2 and t=4; b never changes after dumpvars. *)
+  Alcotest.(check bool) "t2 present" true (contains "#2\n1!" s);
+  Alcotest.(check bool) "t4 present" true (contains "#4\n0!" s);
+  Alcotest.(check bool) "no t1 section" false (contains "#1\n" s);
+  Alcotest.(check bool) "no t3 section" false (contains "#3\n" s);
+  (* b's identifier is '"' and must appear only in dumpvars *)
+  let occurrences =
+    List.length
+      (String.split_on_char '"' s)
+    - 1
+  in
+  Alcotest.(check int) "b dumped once" 2 occurrences
+(* once in $var line? no — '"' appears in the $var decl and dumpvars *)
+
+let test_validation () =
+  Helpers.check_invalid "ragged" (fun () ->
+      ignore (Vcd.of_signals [ ("a", [ true ]); ("b", [ true; false ]) ]));
+  Helpers.check_invalid "duplicate" (fun () ->
+      ignore (Vcd.of_signals [ ("a", [ true ]); ("a", [ false ]) ]));
+  Helpers.check_invalid "empty" (fun () -> ignore (Vcd.of_signals []))
+
+let test_identifier_uniqueness () =
+  (* 200 signals exercise the multi-character identifier path. *)
+  let signals =
+    List.init 200 (fun i -> (Printf.sprintf "s%d" i, [ i mod 2 = 0; false ]))
+  in
+  let s = Vcd.of_signals signals in
+  Alcotest.(check bool) "renders" true (String.length s > 0);
+  (* all $var ids distinct *)
+  let ids =
+    String.split_on_char '\n' s
+    |> List.filter_map (fun line ->
+           match String.split_on_char ' ' line with
+           | [ "$var"; "wire"; "1"; id; _; "$end" ] -> Some id
+           | _ -> None)
+  in
+  Alcotest.(check int) "200 vars" 200 (List.length ids);
+  Alcotest.(check int) "unique ids" 200
+    (List.length (List.sort_uniq compare ids))
+
+let test_of_simulation () =
+  let m = Nano_seq.Seq_circuits.counter ~bits:2 in
+  let stim = List.init 4 (fun _ -> [ ("en", true) ]) in
+  let s = Vcd.of_simulation m ~inputs:stim in
+  Alcotest.(check bool) "en declared" true (contains " en $end" s);
+  Alcotest.(check bool) "obs_q0 declared" true (contains " obs_q0 $end" s);
+  Alcotest.(check bool) "wrap declared" true (contains " wrap $end" s);
+  (* counter bit 0 toggles at every cycle: there must be #1 #2 #3 *)
+  Alcotest.(check bool) "t1" true (contains "#1\n" s);
+  Alcotest.(check bool) "t3" true (contains "#3\n" s)
+
+let test_write_file () =
+  let m = Nano_seq.Seq_circuits.shift_register ~bits:2 in
+  let path = Filename.temp_file "nanobound" ".vcd" in
+  Vcd.write_file ~path m
+    ~inputs:[ [ ("din", true) ]; [ ("din", false) ] ];
+  let ic = open_in path in
+  let first = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file starts with $date" "$date" first
+
+let suite =
+  [
+    Alcotest.test_case "header and vars" `Quick test_header_and_vars;
+    Alcotest.test_case "only changes dumped" `Quick test_only_changes_dumped;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "identifier uniqueness" `Quick
+      test_identifier_uniqueness;
+    Alcotest.test_case "of_simulation" `Quick test_of_simulation;
+    Alcotest.test_case "write_file" `Quick test_write_file;
+  ]

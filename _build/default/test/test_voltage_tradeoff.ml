@@ -1,0 +1,99 @@
+module VT = Nano_bounds.Voltage_tradeoff
+module Metrics = Nano_bounds.Metrics
+module Technology = Nano_energy.Technology
+
+let scenario = { Nano_bounds.Figures.parity10 with Metrics.epsilon = 0.01 }
+let tech = Technology.nm90
+
+let test_chen_hu_decreasing () =
+  (* In the operating range the Chen-Hu stage delay falls as Vdd rises
+     (assumed by iso_delay's bisection). *)
+  let d1 = VT.chen_hu ~tech ~vdd:0.8 in
+  let d2 = VT.chen_hu ~tech ~vdd:1.0 in
+  let d3 = VT.chen_hu ~tech ~vdd:1.5 in
+  Alcotest.(check bool) "monotone" true (d1 > d2 && d2 > d3);
+  Helpers.check_invalid "below vt" (fun () ->
+      ignore (VT.chen_hu ~tech ~vdd:0.2))
+
+let test_nominal () =
+  let op = VT.nominal ~tech scenario in
+  Helpers.check_float "nominal vdd" 1.0 op.VT.vdd;
+  (* parity10 at sw0 = 0.5: switching energy ratio = size ratio. *)
+  Helpers.check_in_range "energy ratio" ~lo:1.2 ~hi:1.25 op.VT.energy_ratio;
+  Helpers.check_in_range "delay ratio" ~lo:1.0 ~hi:1.1 op.VT.delay_ratio
+
+let test_iso_energy () =
+  match VT.iso_energy ~tech scenario with
+  | None -> Alcotest.fail "moderate redundancy must be hideable"
+  | Some op ->
+    Helpers.check_float "energy pinned" 1. op.VT.energy_ratio;
+    Alcotest.(check bool) "lower supply" true (op.VT.vdd < 1.0);
+    (* Lowering Vdd on a deeper circuit costs more latency than the
+       nominal point. *)
+    let nominal = VT.nominal ~tech scenario in
+    Alcotest.(check bool) "slower than nominal" true
+      (op.VT.delay_ratio > nominal.VT.delay_ratio)
+
+let test_iso_energy_infeasible () =
+  (* Near eps = 1/2 the required supply dives below VT. *)
+  let impossible = { scenario with Metrics.epsilon = 0.14 } in
+  let huge =
+    { impossible with Metrics.sensitivity = 100; error_free_size = 10 }
+  in
+  Alcotest.(check bool) "cannot hide massive redundancy" true
+    (VT.iso_energy ~tech huge = None)
+
+let test_iso_delay () =
+  match VT.iso_delay ~tech scenario with
+  | None -> Alcotest.fail "moderate slowdown must be compensable"
+  | Some op ->
+    Helpers.check_float "delay pinned" 1. op.VT.delay_ratio;
+    Alcotest.(check bool) "higher supply" true (op.VT.vdd > 1.0);
+    let nominal = VT.nominal ~tech scenario in
+    Alcotest.(check bool) "more energy than nominal" true
+      (op.VT.energy_ratio > nominal.VT.energy_ratio)
+
+let test_iso_delay_infeasible () =
+  (* Cap vdd_max low enough that compensation fails. *)
+  let deep = { scenario with Metrics.epsilon = 0.13 } in
+  Alcotest.(check bool) "bounded supply cannot recover 10x depth" true
+    (VT.iso_delay ~vdd_max:1.05 ~tech deep = None)
+
+let test_infeasible_scenario_rejected () =
+  let dead = { scenario with Metrics.epsilon = 0.3 } in
+  Helpers.check_invalid "Theorem 4 infeasible" (fun () ->
+      ignore (VT.nominal ~tech dead))
+
+let prop_tradeoff_conservation =
+  (* Energy x delay cannot be beaten by voltage scaling: at any chosen
+     operating point, E-ratio * D-ratio >= the nominal EDP ratio within
+     a modest numerical slack... in the Chen-Hu model the product
+     actually *worsens* when moving off nominal in either direction for
+     alpha < 2. Verify the weaker, exact statement: both compensated
+     points pay at least the nominal product's square root on the free
+     axis. *)
+  QCheck2.Test.make ~name:"compensation never gets both axes for free"
+    ~count:60
+    QCheck2.Gen.(float_range 0.002 0.1)
+    (fun epsilon ->
+      let s = { scenario with Metrics.epsilon } in
+      match VT.iso_energy ~tech s, VT.iso_delay ~tech s with
+      | Some iso_e, Some iso_d ->
+        let nominal = VT.nominal ~tech s in
+        iso_e.VT.delay_ratio >= nominal.VT.delay_ratio -. 1e-9
+        && iso_d.VT.energy_ratio >= nominal.VT.energy_ratio -. 1e-9
+      | _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "chen-hu decreasing" `Quick test_chen_hu_decreasing;
+    Alcotest.test_case "nominal" `Quick test_nominal;
+    Alcotest.test_case "iso energy" `Quick test_iso_energy;
+    Alcotest.test_case "iso energy infeasible" `Quick
+      test_iso_energy_infeasible;
+    Alcotest.test_case "iso delay" `Quick test_iso_delay;
+    Alcotest.test_case "iso delay infeasible" `Quick test_iso_delay_infeasible;
+    Alcotest.test_case "infeasible scenario rejected" `Quick
+      test_infeasible_scenario_rejected;
+    Helpers.qcheck prop_tradeoff_conservation;
+  ]
