@@ -2,13 +2,31 @@
    (Figures 2-8, the headline claim) plus the ablations listed in
    DESIGN.md, then speed-profiles each figure driver with Bechamel.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe [-- --jobs N] [-- --scaling-only]
+
+   --jobs N sets the domain count used by the parallel figure drivers
+   and the Monte-Carlo scaling table (default: all recommended cores).
+   Results are bit-identical for every N — only wall-clock changes.
+   --scaling-only skips the figures and Bechamel and prints just the
+   domain-scaling table (for CI smoke runs). *)
 
 module Figures = Nano_bounds.Figures
+module Par = Nano_util.Par
 module Metrics = Nano_bounds.Metrics
 module Profile = Nano_bounds.Profile
 module Benchmark_eval = Nano_bounds.Benchmark_eval
 module Report = Nano_report.Report
+
+(* Minimal flag parsing: [--jobs N] and [--scaling-only]. *)
+let jobs =
+  let rec find = function
+    | "--jobs" :: n :: _ -> int_of_string n
+    | _ :: rest -> find rest
+    | [] -> Par.default_jobs ()
+  in
+  find (Array.to_list Sys.argv)
+
+let scaling_only = Array.exists (( = ) "--scaling-only") Sys.argv
 
 let print_series ~title ~x_label ~y_label series =
   let data =
@@ -41,17 +59,17 @@ let opt_num = function Some v -> num v | None -> "infeasible"
 (* Figures 2-6: analytical curves.                                      *)
 (* ------------------------------------------------------------------ *)
 
-let fig2 () = Figures.fig2_activity_map ()
-let fig3 () = Figures.fig3_redundancy ()
-let fig4 () = Figures.fig4_leakage ()
-let fig5 () = Figures.fig5_delay_and_edp ()
-let fig6 () = Figures.fig6_average_power ()
+let fig2 () = Figures.fig2_activity_map ~jobs ()
+let fig3 () = Figures.fig3_redundancy ~jobs ()
+let fig4 () = Figures.fig4_leakage ~jobs ()
+let fig5 () = Figures.fig5_delay_and_edp ~jobs ()
+let fig6 () = Figures.fig6_average_power ~jobs ()
 
 (* ------------------------------------------------------------------ *)
 (* Figures 7-8: per-benchmark bounds.                                   *)
 (* ------------------------------------------------------------------ *)
 
-let fig7_rows profiles = Benchmark_eval.evaluate_suite profiles
+let fig7_rows profiles = Benchmark_eval.evaluate_suite ~jobs profiles
 
 let print_fig7 profiles =
   let rows = fig7_rows profiles in
@@ -535,6 +553,50 @@ let print_noisy_sequential () =
        ~rows)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel scaling of the Monte-Carlo drivers.                         *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let print_parallel_scaling () =
+  (* Wall-clock scaling of the noisy-simulation hot path; the delta
+     column double-checks that the job count never changes the result. *)
+  let circuit =
+    Nano_synth.Script.rugged_lite (Nano_circuits.Adders.ripple_carry ~width:8)
+  in
+  let vectors = 1 lsl 18 in
+  let run jobs =
+    time (fun () ->
+        Nano_faults.Noisy_sim.simulate ~vectors ~jobs ~epsilon:0.01 circuit)
+  in
+  let base_sim, base_t = run 1 in
+  let rows =
+    List.map
+      (fun jobs ->
+        let sim, t = run jobs in
+        [
+          string_of_int jobs;
+          Printf.sprintf "%.3f s" t;
+          Printf.sprintf "%.2fx" (base_t /. t);
+          num sim.Nano_faults.Noisy_sim.any_output_error;
+          string_of_bool
+            (sim.Nano_faults.Noisy_sim.any_output_error
+            = base_sim.Nano_faults.Noisy_sim.any_output_error);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Printf.printf
+    "== Parallel scaling: Noisy_sim on rca8, %d vectors (requested jobs %d)      ==\n"
+    vectors jobs;
+  print_string
+    (Report.Table.render
+       ~header:[ "jobs"; "time"; "speedup"; "delta"; "matches j=1" ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the figure drivers.                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -606,6 +668,19 @@ let bechamel_tests profiles =
               (Nano_faults.Noisy_sim.simulate ~vectors:1024 ~epsilon:0.01
                  circuit)));
   ]
+  @ (* Domain-scaling series: the same Monte-Carlo workload at 1, 2 and 4
+       domains (identical results; only the wall-clock should move). *)
+  (let circuit =
+     Nano_synth.Script.rugged_lite (Nano_circuits.Adders.ripple_carry ~width:8)
+   in
+   List.map
+     (fun jobs ->
+       Test.make ~name:(Printf.sprintf "noisy_sim_rca8_jobs%d" jobs)
+         (Staged.stage (fun () ->
+              ignore
+                (Nano_faults.Noisy_sim.simulate ~vectors:32768 ~jobs
+                   ~epsilon:0.01 circuit))))
+     [ 1; 2; 4 ])
 
 let run_bechamel profiles =
   let open Bechamel in
@@ -652,6 +727,9 @@ let run_bechamel profiles =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  if scaling_only then (
+    print_parallel_scaling ();
+    exit 0);
   print_string "nanobound benchmark harness — reproduces every figure of\n";
   print_string
     "'Energy Bounds for Fault-Tolerant Nanoscale Designs' (DATE 2005)\n\n";
@@ -715,5 +793,7 @@ let () =
   print_glitch ();
   print_newline ();
   print_noisy_sequential ();
+  print_newline ();
+  print_parallel_scaling ();
   print_newline ();
   run_bechamel profiles

@@ -30,6 +30,25 @@ let leakage_arg =
   let doc = "Leakage share of the error-free baseline energy, in [0, 1)." in
   Arg.(value & opt float 0.5 & info [ "leakage-share" ] ~docv:"SHARE" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel evaluation. Results are bit-identical \
+     for every job count; the default uses all recommended cores."
+  in
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok _ -> Error (`Msg "expected a positive integer")
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt positive_int (Nano_util.Par.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let circuit_arg =
   let doc =
     "Circuit to analyze: either a BLIF file path or the name of a built-in \
@@ -128,7 +147,7 @@ let bounds_cmd =
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run spec delta leakage_share0 epsilons no_map glitch =
+  let run spec delta leakage_share0 epsilons no_map glitch jobs =
     match load_circuit spec with
     | Error msg ->
       prerr_endline msg;
@@ -147,7 +166,7 @@ let analyze_cmd =
           (num p.Nano_sim.Glitch.glitch_factor)
       end;
       let rows =
-        List.map
+        Nano_util.Par.map_list ~jobs
           (fun epsilon ->
             let r =
               Nano_bounds.Benchmark_eval.evaluate_profile ~delta
@@ -192,7 +211,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run $ circuit_arg $ delta_arg $ leakage_arg $ epsilons $ no_map
-      $ glitch)
+      $ glitch $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                                *)
@@ -255,14 +274,14 @@ let synth_cmd =
 (* ------------------------------------------------------------------ *)
 
 let inject_cmd =
-  let run spec epsilon vectors seed =
+  let run spec epsilon vectors seed jobs =
     match load_circuit spec with
     | Error msg ->
       prerr_endline msg;
       exit 1
     | Ok circuit ->
       let sim =
-        Nano_faults.Noisy_sim.simulate ~seed ~vectors ~epsilon circuit
+        Nano_faults.Noisy_sim.simulate ~seed ~vectors ~jobs ~epsilon circuit
       in
       Printf.printf "circuit %s, eps = %g, %d vectors\n"
         (Nano_netlist.Netlist.name circuit)
@@ -289,7 +308,7 @@ let inject_cmd =
   in
   let doc = "Monte-Carlo fault injection (von Neumann error model)" in
   Cmd.v (Cmd.info "inject" ~doc)
-    Term.(const run $ circuit_arg $ epsilon_arg $ vectors $ seed)
+    Term.(const run $ circuit_arg $ epsilon_arg $ vectors $ seed $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* equiv                                                                *)
@@ -427,7 +446,7 @@ let critical_cmd =
 (* ------------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run figure chart =
+  let run figure chart jobs =
     (* Figure 2's axes include zero; the ε sweeps read best log-log. *)
     let scales =
       if figure = "fig2" then (Nano_report.Chart.Linear, Nano_report.Chart.Linear)
@@ -449,22 +468,22 @@ let sweep_cmd =
     in
     match figure with
     | "fig2" ->
-      print (Nano_bounds.Figures.fig2_activity_map ())
+      print (Nano_bounds.Figures.fig2_activity_map ~jobs ())
         ~title:"Figure 2: noisy switching activity" ~x:"sw(y)" ~y:"sw(z)"
     | "fig3" ->
-      print (Nano_bounds.Figures.fig3_redundancy ())
+      print (Nano_bounds.Figures.fig3_redundancy ~jobs ())
         ~title:"Figure 3: minimum redundancy factor" ~x:"eps" ~y:"size ratio"
     | "fig4" ->
-      print (Nano_bounds.Figures.fig4_leakage ())
+      print (Nano_bounds.Figures.fig4_leakage ~jobs ())
         ~title:"Figure 4: leakage/switching ratio" ~x:"eps" ~y:"W/W0"
     | "fig5" ->
-      print (Nano_bounds.Figures.fig5_delay_and_edp ())
+      print (Nano_bounds.Figures.fig5_delay_and_edp ~jobs ())
         ~title:"Figure 5: delay and energy-delay" ~x:"eps" ~y:"ratio"
     | "fig6" ->
-      print (Nano_bounds.Figures.fig6_average_power ())
+      print (Nano_bounds.Figures.fig6_average_power ~jobs ())
         ~title:"Figure 6: average power" ~x:"eps" ~y:"P/P0"
     | "omega" ->
-      print (Nano_bounds.Figures.ablation_omega_models ())
+      print (Nano_bounds.Figures.ablation_omega_models ~jobs ())
         ~title:"Ablation: omega models" ~x:"eps" ~y:"size ratio"
     | other ->
       prerr_endline
@@ -480,7 +499,7 @@ let sweep_cmd =
          & info [ "chart" ] ~doc:"Draw an ASCII chart instead of a table.")
   in
   let doc = "Print the data series behind the paper's analytical figures" in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ figure $ chart)
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ figure $ chart $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite                                                                *)

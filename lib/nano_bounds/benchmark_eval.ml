@@ -27,11 +27,12 @@ let evaluate_profile ?(delta = paper_delta) ?(leakage_share0 = 0.5) profile
     size_ratio = b.Metrics.size_ratio;
   }
 
-let evaluate_suite ?delta ?leakage_share0 ?(epsilons = paper_epsilons)
+let evaluate_suite ?delta ?leakage_share0 ?(epsilons = paper_epsilons) ?jobs
     profiles =
+  (* One task per (profile, ε) cell, merged in row order — the grid is
+     the unit of parallelism, and the output is independent of [jobs]. *)
   List.concat_map
-    (fun profile ->
-      List.map
-        (fun epsilon -> evaluate_profile ?delta ?leakage_share0 profile ~epsilon)
-        epsilons)
+    (fun profile -> List.map (fun epsilon -> (profile, epsilon)) epsilons)
     profiles
+  |> Nano_util.Par.map_list ?jobs (fun (profile, epsilon) ->
+         evaluate_profile ?delta ?leakage_share0 profile ~epsilon)

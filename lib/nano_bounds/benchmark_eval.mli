@@ -32,7 +32,10 @@ val evaluate_suite :
   ?delta:float ->
   ?leakage_share0:float ->
   ?epsilons:float list ->
+  ?jobs:int ->
   Profile.t list ->
   row list
 (** Cartesian product of profiles and error levels, grouped by
-    benchmark. *)
+    benchmark. [jobs] (default 1) evaluates the grid cells across that
+    many domains ({!Nano_util.Par}); row order and values are identical
+    for every job count. *)

@@ -46,7 +46,14 @@ let extra_gates ?(model = Gate_lumped) p =
   if log_t = 0. then
     (* ε = 1/2: the channel output carries no information. *)
     if numerator > 0. then infinity else 0.
-  else numerator /. (k *. log_t)
+  else
+    (* The numerator [s log s + 2s log(2(1-2δ))] goes negative for very
+       insensitive functions at tiny ε, and for any s once δ approaches
+       1/2 (the log term tends to -∞). A negative gate count is not a
+       bound on anything — Theorem 2 is simply vacuous there — so clamp
+       at zero, which keeps [min_size] and [redundancy_factor]
+       consistent without their own special cases. *)
+    Float.max 0. (numerator /. (k *. log_t))
 
 let min_size ?model p ~error_free_size =
   if error_free_size < 1 then

@@ -37,9 +37,11 @@ val t_parameter : omega:float -> float
 val extra_gates : ?model:omega_model -> params -> float
 (** Lower bound on the additional redundancy (in gates). [infinity] when
     ε = 1/2 exactly (where [log t = 0]); raises [Invalid_argument]
-    outside {!valid}. The value can be negative for very insensitive
-    functions at tiny ε — callers that want a size bound should use
-    {!min_size}, which clamps at the error-free size. *)
+    outside {!valid}. Never negative: where the raw formula goes below
+    zero (very insensitive functions at tiny ε, or δ near 1/2, where the
+    [2s·log(2(1-2δ))] term diverges to -∞) Theorem 2 is vacuous and the
+    result is clamped to 0, so [min_size params ~error_free_size:S0] is
+    always at least [S0]. *)
 
 val min_size : ?model:omega_model -> params -> error_free_size:int -> float
 (** [max S0 (S0 + extra_gates params)]: the smallest conceivable gate

@@ -1,5 +1,7 @@
 module Netlist = Nano_netlist.Netlist
 module Gate = Nano_netlist.Gate
+module Par = Nano_util.Par
+module Prng = Nano_util.Prng
 
 type result = {
   epsilon : float;
@@ -34,9 +36,35 @@ let eval_noisy netlist channels rng ~input_words ~values =
              Int64.logxor clean (Channel.noise_word channels.(id) rng)
            else clean))
 
-let run ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist =
-  let rng = Nano_util.Prng.create ~seed in
-  let words = Nano_util.Math_ext.ceil_div vectors 64 in
+(* How many raw PRNG draws one 64-vector word of simulation consumes:
+   two input draws plus two noisy evaluations. This is what lets a shard
+   [Prng.jump] straight to its first word and replay the exact segment
+   of the sequential stream — parallel results are bit-identical to the
+   single-stream simulation for every job count. *)
+let draws_per_word netlist channels ~input_probability =
+  let n_in = List.length (Netlist.inputs netlist) in
+  let noise = ref 0 in
+  Netlist.iter netlist (fun id info ->
+      if noisy_node info then
+        noise :=
+          !noise
+          + Prng.draws_per_word ~p:(Channel.epsilon channels.(id)));
+  2 * ((n_in * Prng.draws_per_word ~p:input_probability) + !noise)
+
+(* Per-shard integer counters; merged by summation in shard order, which
+   is exact (integer adds), so the derived floats match sequential
+   results bit-for-bit. *)
+type shard_counts = {
+  s_ones : int array;
+  s_toggles : int array;
+  s_out_errors : int array;
+  s_any_errors : int;
+}
+
+let run_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
+    ~channels netlist =
+  let rng = Prng.create ~seed in
+  Prng.jump rng ~draws:(first_word * draws_per_word);
   let n = Netlist.node_count netlist in
   let n_in = List.length (Netlist.inputs netlist) in
   let golden = Array.make n 0L in
@@ -50,7 +78,7 @@ let run ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist =
   for _ = 1 to words do
     let draw () =
       Array.init n_in (fun _ ->
-          Nano_util.Prng.word_with_density rng ~p:input_probability)
+          Prng.word_with_density rng ~p:input_probability)
     in
     let input_words = draw () in
     Nano_sim.Bitsim.eval_words_into netlist ~input_words ~values:golden;
@@ -75,6 +103,42 @@ let run ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist =
       outputs;
     any_errors := !any_errors + Nano_util.Bits.popcount64 !any
   done;
+  {
+    s_ones = ones;
+    s_toggles = toggles;
+    s_out_errors = out_errors;
+    s_any_errors = !any_errors;
+  }
+
+let run ?(jobs = 1) ~seed ~vectors ~input_probability ~channels ~mean_epsilon
+    netlist =
+  if jobs < 1 then invalid_arg "Noisy_sim.run: jobs must be >= 1";
+  let words = Nano_util.Math_ext.ceil_div vectors 64 in
+  let n = Netlist.node_count netlist in
+  let outputs = Netlist.outputs netlist in
+  let draws_per_word = draws_per_word netlist channels ~input_probability in
+  let shards =
+    Par.map ~jobs
+      (fun (lo, hi) ->
+        run_shard ~seed ~first_word:lo ~words:(hi - lo) ~draws_per_word
+          ~input_probability ~channels netlist)
+      (Par.ranges ~jobs words)
+  in
+  let ones = Array.make n 0 in
+  let toggles = Array.make n 0 in
+  let out_errors = Array.make (List.length outputs) 0 in
+  let any_errors = ref 0 in
+  Array.iter
+    (fun s ->
+      for id = 0 to n - 1 do
+        ones.(id) <- ones.(id) + s.s_ones.(id);
+        toggles.(id) <- toggles.(id) + s.s_toggles.(id)
+      done;
+      Array.iteri
+        (fun i e -> out_errors.(i) <- out_errors.(i) + e)
+        s.s_out_errors;
+      any_errors := !any_errors + s.s_any_errors)
+    shards;
   let total = float_of_int (words * 64) in
   let node_probability = Array.map (fun c -> float_of_int c /. total) ones in
   let node_activity = Array.map (fun c -> float_of_int c /. total) toggles in
@@ -99,14 +163,14 @@ let run ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist =
   }
 
 let simulate ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
-    ~epsilon netlist =
+    ?jobs ~epsilon netlist =
   let channel = Channel.create ~epsilon in
   let channels = Array.make (Netlist.node_count netlist) channel in
-  run ~seed ~vectors ~input_probability ~channels ~mean_epsilon:epsilon
+  run ?jobs ~seed ~vectors ~input_probability ~channels ~mean_epsilon:epsilon
     netlist
 
 let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
-    ?(input_probability = 0.5) ~epsilon_of netlist =
+    ?(input_probability = 0.5) ?jobs ~epsilon_of netlist =
   let n = Netlist.node_count netlist in
   let zero = Channel.create ~epsilon:0. in
   let channels = Array.make n zero in
@@ -120,6 +184,6 @@ let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
         incr count
       end);
   let mean_epsilon = if !count = 0 then 0. else !sum /. float_of_int !count in
-  run ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist
+  run ?jobs ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist
 
 let output_reliability r = 1. -. r.any_output_error

@@ -27,15 +27,24 @@ val simulate :
   ?seed:int ->
   ?vectors:int ->
   ?input_probability:float ->
+  ?jobs:int ->
   epsilon:float ->
   Nano_netlist.Netlist.t ->
   result
-(** [vectors] (default 8192) is rounded up to a multiple of 64. *)
+(** [vectors] (default 8192) is rounded up to a multiple of 64.
+
+    [jobs] (default 1) shards the vector words across that many domains
+    via {!Nano_util.Par}. Sharding is seed-stable: each shard jumps the
+    seed generator to its segment of the sequential PRNG stream
+    ({!Nano_util.Prng.jump}), so the result is bit-identical for every
+    job count — and identical to the historical single-threaded
+    simulation. *)
 
 val simulate_heterogeneous :
   ?seed:int ->
   ?vectors:int ->
   ?input_probability:float ->
+  ?jobs:int ->
   epsilon_of:(Nano_netlist.Netlist.node -> float) ->
   Nano_netlist.Netlist.t ->
   result

@@ -1,4 +1,6 @@
 module Netlist = Nano_netlist.Netlist
+module Par = Nano_util.Par
+module Prng = Nano_util.Prng
 
 (* Bit-parallel flip evaluation: lane 0 carries the base assignment and
    lane j (1 <= j <= 63) the assignment with one input flipped, so one
@@ -39,37 +41,55 @@ let at_assignment netlist bits =
   done;
   Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 changed
 
-let exact ?(max_inputs = 12) netlist =
-  let n = List.length (Netlist.inputs netlist) in
-  if n > max_inputs then None
-  else begin
-    let bits = Array.make n false in
-    let best = ref 0 in
-    for a = 0 to (1 lsl n) - 1 do
-      for i = 0 to n - 1 do
-        bits.(i) <- (a lsr i) land 1 = 1
-      done;
-      let s = at_assignment netlist bits in
-      if s > !best then best := s
-    done;
-    Some !best
-  end
-
-let sampled ?(seed = 0x5e15) ?(samples = 2048) netlist =
-  let rng = Nano_util.Prng.create ~seed in
-  let n = List.length (Netlist.inputs netlist) in
+(* Maximum of [at_assignment] over the assignments encoded by integers
+   [lo, hi); each call allocates its own evaluation buffers, so shards
+   share nothing but the read-only netlist. *)
+let max_over_range netlist n (lo, hi) =
   let bits = Array.make n false in
   let best = ref 0 in
-  for _ = 1 to samples do
+  for a = lo to hi - 1 do
     for i = 0 to n - 1 do
-      bits.(i) <- Nano_util.Prng.bool rng
+      bits.(i) <- (a lsr i) land 1 = 1
     done;
     let s = at_assignment netlist bits in
     if s > !best then best := s
   done;
   !best
 
-let estimate ?seed ?samples netlist =
-  match exact netlist with
+let exact ?(max_inputs = 12) ?(jobs = 1) netlist =
+  let n = List.length (Netlist.inputs netlist) in
+  if n > max_inputs then None
+  else
+    (* Partition the assignment space [0, 2^n) into contiguous ranges;
+       the maximum is order-insensitive, so the result cannot depend on
+       the job count. *)
+    Some
+      (Array.fold_left max 0
+         (Par.map ~jobs (max_over_range netlist n) (Par.ranges ~jobs (1 lsl n))))
+
+let sampled ?(seed = 0x5e15) ?(samples = 2048) ?(jobs = 1) netlist =
+  let n = List.length (Netlist.inputs netlist) in
+  (* Each sample consumes exactly [n] PRNG draws (one per input bit), so
+     a shard handling samples [lo, hi) jumps the seed stream to draw
+     [lo * n] and replays the exact segment the sequential loop would
+     use: results are bit-identical for every job count. *)
+  let shard (lo, hi) =
+    let rng = Prng.create ~seed in
+    Prng.jump rng ~draws:(lo * n);
+    let bits = Array.make n false in
+    let best = ref 0 in
+    for _ = lo to hi - 1 do
+      for i = 0 to n - 1 do
+        bits.(i) <- Prng.bool rng
+      done;
+      let s = at_assignment netlist bits in
+      if s > !best then best := s
+    done;
+    !best
+  in
+  Array.fold_left max 0 (Par.map ~jobs shard (Par.ranges ~jobs samples))
+
+let estimate ?seed ?samples ?jobs netlist =
+  match exact ?jobs netlist with
   | Some s -> s
-  | None -> sampled ?seed ?samples netlist
+  | None -> sampled ?seed ?samples ?jobs netlist

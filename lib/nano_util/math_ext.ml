@@ -1,21 +1,22 @@
 let log2 x =
-  assert (x > 0.);
+  if not (x > 0.) then invalid_arg "Math_ext.log2: argument must be > 0";
   log x /. log 2.
 
 let xlog2x x =
-  assert (x >= 0.);
+  if not (x >= 0.) then invalid_arg "Math_ext.xlog2x: argument must be >= 0";
   if x = 0. then 0. else x *. log2 x
 
 let binary_entropy p =
-  assert (p >= 0. && p <= 1.);
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Math_ext.binary_entropy: p must lie in [0, 1]";
   -.xlog2x p -. xlog2x (1. -. p)
 
 let clamp ~lo ~hi x =
-  assert (lo <= hi);
+  if not (lo <= hi) then invalid_arg "Math_ext.clamp: lo must be <= hi";
   if x < lo then lo else if x > hi then hi else x
 
 let clamp_int ~lo ~hi x =
-  assert (lo <= hi);
+  if lo > hi then invalid_arg "Math_ext.clamp_int: lo must be <= hi";
   if x < lo then lo else if x > hi then hi else x
 
 let approx_equal ?(tol = 1e-9) a b =
@@ -25,12 +26,12 @@ let approx_equal ?(tol = 1e-9) a b =
 let is_finite x = Float.is_finite x
 
 let ceil_div a b =
-  assert (b > 0);
-  assert (a >= 0);
+  if b <= 0 then invalid_arg "Math_ext.ceil_div: divisor must be > 0";
+  if a < 0 then invalid_arg "Math_ext.ceil_div: dividend must be >= 0";
   (a + b - 1) / b
 
 let int_pow base e =
-  assert (e >= 0);
+  if e < 0 then invalid_arg "Math_ext.int_pow: exponent must be >= 0";
   let rec go acc base e =
     if e = 0 then acc
     else if e land 1 = 1 then go (acc * base) (base * base) (e lsr 1)
@@ -39,7 +40,7 @@ let int_pow base e =
   go 1 base e
 
 let float_pow_int x n =
-  assert (n >= 0);
+  if n < 0 then invalid_arg "Math_ext.float_pow_int: exponent must be >= 0";
   let rec go acc x n =
     if n = 0 then acc
     else if n land 1 = 1 then go (acc *. x) (x *. x) (n lsr 1)
@@ -48,13 +49,13 @@ let float_pow_int x n =
   go 1. x n
 
 let ceil_log2 n =
-  assert (n >= 1);
+  if n < 1 then invalid_arg "Math_ext.ceil_log2: argument must be >= 1";
   let rec go d pow = if pow >= n then d else go (d + 1) (pow * 2) in
   go 0 1
 
 let ceil_log_base k n =
-  assert (k >= 2);
-  assert (n >= 1);
+  if k < 2 then invalid_arg "Math_ext.ceil_log_base: base must be >= 2";
+  if n < 1 then invalid_arg "Math_ext.ceil_log_base: argument must be >= 1";
   let rec go d pow = if pow >= n then d else go (d + 1) (pow * k) in
   go 0 1
 

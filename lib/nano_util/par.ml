@@ -1,0 +1,169 @@
+(* Deterministic parallel execution on OCaml 5 domains.
+
+   A fixed-size pool of worker domains is spawned lazily on first use and
+   grows up to the largest job count ever requested. Work is always
+   partitioned into contiguous index chunks whose boundaries depend only
+   on [jobs] and the item count — never on timing — and results are
+   merged in chunk order, so every entry point is deterministic: the same
+   inputs produce bit-identical outputs for any job count, including
+   [jobs = 1] (which bypasses the pool entirely).
+
+   The submitting domain participates in draining the queue while it
+   waits, so the module also works on single-core hosts where the pool
+   may be empty. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs = function
+  | None -> 1
+  | Some j ->
+    if j < 1 then invalid_arg "Nano_util.Par: jobs must be >= 1";
+    j
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Hard cap on pool growth: a runaway [~jobs] request must not exhaust
+   system threads. Chunked scheduling still completes any request — the
+   excess chunks just queue. *)
+let max_workers = 64
+
+let pool_mutex = Mutex.create ()
+let work_available = Condition.create ()
+let batch_finished = Condition.create ()
+let queue : (unit -> unit) Queue.t = Queue.create ()
+let workers : unit Domain.t list ref = ref []
+let shutting_down = ref false
+let teardown_registered = ref false
+
+let rec worker_loop () =
+  Mutex.lock pool_mutex;
+  while Queue.is_empty queue && not !shutting_down do
+    Condition.wait work_available pool_mutex
+  done;
+  match Queue.take_opt queue with
+  | Some task ->
+    Mutex.unlock pool_mutex;
+    task ();
+    worker_loop ()
+  | None ->
+    (* shutting down and nothing left to run *)
+    Mutex.unlock pool_mutex
+
+let teardown () =
+  Mutex.lock pool_mutex;
+  shutting_down := true;
+  Condition.broadcast work_available;
+  let ws = !workers in
+  workers := [];
+  Mutex.unlock pool_mutex;
+  List.iter Domain.join ws
+
+(* Grow the pool so at least [n] workers exist (capped). Called with the
+   pool mutex NOT held. *)
+let ensure_workers n =
+  let n = min n max_workers in
+  Mutex.lock pool_mutex;
+  if not !teardown_registered then begin
+    teardown_registered := true;
+    at_exit teardown
+  end;
+  let missing = n - List.length !workers in
+  if missing > 0 && not !shutting_down then
+    for _ = 1 to missing do
+      workers := Domain.spawn worker_loop :: !workers
+    done;
+  Mutex.unlock pool_mutex
+
+(* Run every thunk in [tasks] (each must be exception-free) across the
+   pool plus the calling domain; returns when all have finished. *)
+let run_tasks tasks =
+  let n = Array.length tasks in
+  if n = 1 then tasks.(0) ()
+  else if n > 1 then begin
+    ensure_workers (n - 1);
+    let remaining = ref n in
+    let wrap task () =
+      task ();
+      Mutex.lock pool_mutex;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast batch_finished;
+      Mutex.unlock pool_mutex
+    in
+    Mutex.lock pool_mutex;
+    Array.iter (fun t -> Queue.push (wrap t) queue) tasks;
+    Condition.broadcast work_available;
+    Mutex.unlock pool_mutex;
+    (* Help drain the queue, then wait for stragglers. *)
+    let rec drain () =
+      Mutex.lock pool_mutex;
+      match Queue.take_opt queue with
+      | Some task ->
+        Mutex.unlock pool_mutex;
+        task ();
+        drain ()
+      | None ->
+        while !remaining > 0 do
+          Condition.wait batch_finished pool_mutex
+        done;
+        Mutex.unlock pool_mutex
+    in
+    drain ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chunking.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ranges ~jobs n =
+  if jobs < 1 then invalid_arg "Nano_util.Par.ranges: jobs must be >= 1";
+  if n < 0 then invalid_arg "Nano_util.Par.ranges: n must be >= 0";
+  let chunks = min jobs n in
+  Array.init chunks (fun i -> (i * n / chunks, (i + 1) * n / chunks))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let map ?jobs f arr =
+  let jobs = resolve_jobs jobs in
+  let n = Array.length arr in
+  if jobs = 1 || n <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let error = Atomic.make None in
+    let tasks =
+      Array.map
+        (fun (lo, hi) () ->
+          try
+            for i = lo to hi - 1 do
+              results.(i) <- Some (f arr.(i))
+            done
+          with e -> ignore (Atomic.compare_and_set error None (Some e)))
+        (ranges ~jobs n)
+    in
+    run_tasks tasks;
+    (match Atomic.get error with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false (* all chunks ran *))
+      results
+  end
+
+let map_list ?jobs f lst = Array.to_list (map ?jobs f (Array.of_list lst))
+
+let map_reduce ?jobs ~map:fm ~combine ~init arr =
+  let jobs = resolve_jobs jobs in
+  let n = Array.length arr in
+  if n = 0 then init
+  else begin
+    let chunk (lo, hi) =
+      let acc = ref (fm arr.(lo)) in
+      for i = lo + 1 to hi - 1 do
+        acc := combine !acc (fm arr.(i))
+      done;
+      !acc
+    in
+    let partials = map ~jobs chunk (ranges ~jobs n) in
+    Array.fold_left combine init partials
+  end

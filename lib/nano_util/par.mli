@@ -1,0 +1,45 @@
+(** Deterministic parallel execution on OCaml 5 stdlib domains.
+
+    All entry points partition their work into contiguous chunks whose
+    boundaries depend only on [jobs] and the item count, and merge
+    per-chunk results in chunk order. Results are therefore bit-identical
+    for every job count — parallelism changes wall-clock time, never
+    output. Worker domains live in a lazily-created fixed pool that grows
+    to the largest [jobs] ever requested (capped internally); the calling
+    domain helps execute chunks while it waits, so the API is safe on
+    single-core machines and with [jobs] exceeding the pool size. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]: the job count the CLI and the
+    bench harness default to. *)
+
+val ranges : jobs:int -> int -> (int * int) array
+(** [ranges ~jobs n] splits [0, n)] into at most [jobs] non-empty,
+    balanced, contiguous [(lo, hi)] half-open ranges in index order —
+    the chunk decomposition used by every function in this module, and
+    by seed-sharded simulation code that manages its own per-chunk
+    state. Raises [Invalid_argument] when [jobs < 1] or [n < 0]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] is [Array.map f arr] with chunks evaluated in
+    parallel. [f] must be safe to call from several domains at once
+    (pure, or touching only chunk-local state). Default [jobs] is [1]
+    (sequential); exceptions raised by [f] are re-raised in the caller
+    after every chunk has stopped. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}; preserves order. *)
+
+val map_reduce :
+  ?jobs:int ->
+  map:('a -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  init:'b ->
+  'a array ->
+  'b
+(** [map_reduce ~jobs ~map ~combine ~init arr] folds [combine] over the
+    mapped elements. [combine] must be associative; it is applied
+    left-to-right within each chunk and then across per-chunk partial
+    results in chunk order, so any associative [combine] (even one that
+    is not commutative) yields the [jobs]-independent result
+    [combine init (combine (map a0) (combine (map a1) ...))]. *)

@@ -20,6 +20,12 @@ let split t =
 
 let copy t = { state = t.state }
 
+let jump t ~draws =
+  if draws < 0 then invalid_arg "Nano_util.Prng.jump: draws must be >= 0";
+  (* [bits64] advances the state by one gamma per call, so skipping
+     [draws] calls is a single wrapping multiply-add. *)
+  t.state <- Int64.add t.state (Int64.mul (Int64.of_int draws) golden_gamma)
+
 let float t =
   (* 53 high-quality bits -> [0,1). *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in
@@ -28,18 +34,35 @@ let float t =
 let bool t = Int64.compare (Int64.logand (bits64 t) 1L) 0L <> 0
 
 let bernoulli t ~p =
-  assert (p >= 0. && p <= 1.);
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Nano_util.Prng.bernoulli: p must lie in [0, 1]";
   float t < p
 
 let int t ~bound =
-  assert (bound > 0);
-  (* Rejection-free for our purposes: modulo bias is negligible for the
-     small bounds used here, but use the high bits to be safe. *)
-  let x = Int64.shift_right_logical (bits64 t) 1 in
-  Int64.to_int (Int64.rem x (Int64.of_int bound))
+  if bound <= 0 then invalid_arg "Nano_util.Prng.int: bound must be > 0";
+  let b = Int64.of_int bound in
+  if Int64.logand b (Int64.sub b 1L) = 0L then
+    (* Power-of-two bound: the low bits of a 63-bit draw are exactly
+       uniform already. *)
+    Int64.to_int (Int64.logand (Int64.shift_right_logical (bits64 t) 1) (Int64.sub b 1L))
+  else begin
+    (* Rejection sampling over 63-bit draws: accept only values below the
+       largest multiple of [bound] that fits, so every residue is equally
+       likely (no modulo bias). The rejected tail holds fewer than
+       [bound] of the 2^63 values, so retries are vanishingly rare and
+       the accepted stream coincides with a plain modulo draw. *)
+    let limit = Int64.mul b (Int64.div Int64.max_int b) in
+    let rec draw () =
+      let x = Int64.shift_right_logical (bits64 t) 1 in
+      if Int64.compare x limit < 0 then Int64.to_int (Int64.rem x b)
+      else draw ()
+    in
+    draw ()
+  end
 
 let word_with_density t ~p =
-  assert (p >= 0. && p <= 1.);
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Nano_util.Prng.word_with_density: p must lie in [0, 1]";
   if p = 0.5 then bits64 t
   else begin
     let word = ref 0L in
@@ -48,6 +71,8 @@ let word_with_density t ~p =
     done;
     !word
   end
+
+let draws_per_word ~p = if p = 0.5 then 1 else 64
 
 let shuffle_in_place t a =
   for i = Array.length a - 1 downto 1 do

@@ -20,6 +20,17 @@ val copy : t -> t
 (** [copy t] duplicates the current state; both copies then produce the
     same stream. *)
 
+val jump : t -> draws:int -> unit
+(** [jump t ~draws] advances [t] past exactly [draws] {!bits64} calls in
+    O(1), landing on the same state that [draws] sequential calls would
+    reach. This is what lets parallel shards replay disjoint segments of
+    one sequential stream bit-for-bit: each shard creates the seed
+    generator and jumps to its segment's offset. Draw accounting:
+    {!float}, {!bool} and {!bernoulli} consume one [bits64] call each;
+    {!word_with_density} consumes one when [p = 0.5] and 64 otherwise
+    (see {!draws_per_word}); {!int} consumes a variable number and is
+    not jumpable. Requires [draws >= 0]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit value. *)
 
@@ -34,13 +45,19 @@ val bernoulli : t -> p:float -> bool
     [0. <= p <= 1.]. *)
 
 val int : t -> bound:int -> int
-(** [int t ~bound] draws uniformly from [[0, bound)]. Requires
-    [bound > 0]. *)
+(** [int t ~bound] draws uniformly from [[0, bound)] by rejection
+    sampling (exactly uniform, no modulo bias). Consumes a variable
+    number of [bits64] draws. Requires [bound > 0]. *)
 
 val word_with_density : t -> p:float -> int64
 (** [word_with_density t ~p] returns a 64-bit word in which each bit is
     independently one with probability [p]; used by bit-parallel
     simulation. *)
+
+val draws_per_word : p:float -> int
+(** Number of {!bits64} calls one [word_with_density ~p] consumes (1 when
+    [p = 0.5], 64 otherwise) — the constant needed to {!jump} over
+    simulation words. *)
 
 val shuffle_in_place : t -> 'a array -> unit
 (** Fisher–Yates shuffle driven by this generator. *)

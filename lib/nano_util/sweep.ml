@@ -1,20 +1,22 @@
 let linear ~lo ~hi ~steps =
-  assert (steps >= 2);
-  assert (lo <= hi);
+  if steps < 2 then invalid_arg "Sweep.linear: steps must be >= 2";
+  if not (lo <= hi) then invalid_arg "Sweep.linear: lo must be <= hi";
   let h = (hi -. lo) /. float_of_int (steps - 1) in
   List.init steps (fun i ->
       if i = steps - 1 then hi else lo +. (float_of_int i *. h))
 
 let logarithmic ~lo ~hi ~steps =
-  assert (steps >= 2);
-  assert (lo > 0. && lo <= hi);
+  if steps < 2 then invalid_arg "Sweep.logarithmic: steps must be >= 2";
+  if not (lo > 0. && lo <= hi) then
+    invalid_arg "Sweep.logarithmic: bounds must satisfy 0 < lo <= hi";
   let llo = log lo and lhi = log hi in
   let h = (lhi -. llo) /. float_of_int (steps - 1) in
   List.init steps (fun i ->
       if i = steps - 1 then hi else exp (llo +. (float_of_int i *. h)))
 
 let epsilon_grid ?(lo = 1e-4) ?(hi = 0.45) ?(steps = 40) () =
-  assert (lo > 0. && hi < 0.5);
+  if not (lo > 0. && hi < 0.5) then
+    invalid_arg "Sweep.epsilon_grid: bounds must satisfy 0 < lo and hi < 1/2";
   logarithmic ~lo ~hi ~steps
 
 let ints ~lo ~hi = if hi < lo then [] else List.init (hi - lo + 1) (fun i -> lo + i)

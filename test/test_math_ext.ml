@@ -60,6 +60,29 @@ let test_means () =
   Helpers.check_invalid "geo non-positive" (fun () ->
       M.geometric_mean [ 1.; 0. ])
 
+let test_invalid_arguments () =
+  (* Domain guards must survive release builds: they are real
+     [invalid_arg] checks, not [assert]s that -noassert compiles out. *)
+  Helpers.check_invalid "log2 0" (fun () -> ignore (M.log2 0.));
+  Helpers.check_invalid "log2 negative" (fun () -> ignore (M.log2 (-1.)));
+  Helpers.check_invalid "xlog2x negative" (fun () -> ignore (M.xlog2x (-0.5)));
+  Helpers.check_invalid "entropy p>1" (fun () ->
+      ignore (M.binary_entropy 1.5));
+  Helpers.check_invalid "clamp lo>hi" (fun () ->
+      ignore (M.clamp ~lo:1. ~hi:0. 0.5));
+  Helpers.check_invalid "clamp_int lo>hi" (fun () ->
+      ignore (M.clamp_int ~lo:3 ~hi:1 2));
+  Helpers.check_invalid "ceil_div by zero" (fun () -> ignore (M.ceil_div 4 0));
+  Helpers.check_invalid "ceil_div negative" (fun () ->
+      ignore (M.ceil_div (-1) 2));
+  Helpers.check_invalid "int_pow negative exp" (fun () ->
+      ignore (M.int_pow 2 (-1)));
+  Helpers.check_invalid "float_pow_int negative exp" (fun () ->
+      ignore (M.float_pow_int 2. (-3)));
+  Helpers.check_invalid "ceil_log2 0" (fun () -> ignore (M.ceil_log2 0));
+  Helpers.check_invalid "ceil_log_base base 1" (fun () ->
+      ignore (M.ceil_log_base 1 8))
+
 let prop_entropy_max =
   QCheck2.Test.make ~name:"binary entropy peaks at 1/2"
     QCheck2.Gen.(float_range 0.001 0.999)
@@ -83,6 +106,7 @@ let suite =
     Alcotest.test_case "float_pow_int" `Quick test_float_pow_int;
     Alcotest.test_case "ceil_log" `Quick test_ceil_log;
     Alcotest.test_case "means" `Quick test_means;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
     Helpers.qcheck prop_entropy_max;
     Helpers.qcheck prop_pow_consistent;
   ]

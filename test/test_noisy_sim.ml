@@ -67,6 +67,80 @@ let test_determinism () =
   Helpers.check_float "same seed same delta" a.Noisy_sim.any_output_error
     b.Noisy_sim.any_output_error
 
+let exact = Alcotest.float 0.
+
+let suite_circuit name =
+  match Nano_circuits.Suite.find name with
+  | Some entry -> entry.Nano_circuits.Suite.build ()
+  | None -> Alcotest.failf "missing suite circuit %s" name
+
+(* Golden values recorded from the single-threaded simulator before the
+   parallel engine landed (seed 0xfa17, 4096 vectors, eps 0.02). The
+   seed-sharded engine must reproduce them bit-for-bit at every job
+   count — these literals pin both the PRNG stream layout and the
+   shard-merge arithmetic. *)
+let pre_parallel_golden =
+  [
+    ("c17", 0.0947265625, 0.44905598958333331, 0.498291015625);
+    ("rca8", 0.374267578125, 0.49907430013020831, 0.504150390625);
+    ("parity16", 0.230712890625, 0.49799804687499999, 0.50146484375);
+  ]
+
+let test_jobs_reproduce_sequential_golden () =
+  List.iter
+    (fun (name, any, activity, p0) ->
+      let circuit = suite_circuit name in
+      List.iter
+        (fun jobs ->
+          let r =
+            Noisy_sim.simulate ~seed:0xfa17 ~vectors:4096 ~jobs ~epsilon:0.02
+              circuit
+          in
+          let tag fmt = Printf.sprintf "%s jobs=%d %s" name jobs fmt in
+          Alcotest.check exact (tag "delta") any r.Noisy_sim.any_output_error;
+          Alcotest.check exact (tag "activity") activity
+            r.Noisy_sim.average_gate_activity;
+          Alcotest.check exact (tag "node0 prob") p0
+            r.Noisy_sim.node_probability.(0))
+        [ 1; 2; 4 ])
+    pre_parallel_golden
+
+let test_jobs_identical_fields () =
+  (* Beyond the pinned scalars: every field of the result must be
+     bit-identical across job counts, including per-node arrays. *)
+  let circuit = suite_circuit "rca8" in
+  let run jobs =
+    Noisy_sim.simulate ~seed:7 ~vectors:2048 ~jobs ~epsilon:0.03 circuit
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun jobs ->
+      let r = run jobs in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d equals jobs=1" jobs)
+        true (r = r1))
+    [ 2; 3; 4; 5 ]
+
+let test_jobs_heterogeneous () =
+  let circuit = suite_circuit "c17" in
+  let epsilon_of id = if id mod 2 = 0 then 0.01 else 0.05 in
+  let run jobs =
+    Noisy_sim.simulate_heterogeneous ~seed:11 ~vectors:2048 ~jobs ~epsilon_of
+      circuit
+  in
+  let r1 = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "heterogeneous jobs=%d" jobs)
+        true
+        (run jobs = r1))
+    [ 2; 4 ]
+
+let test_jobs_invalid () =
+  Helpers.check_invalid "jobs=0 rejected" (fun () ->
+      ignore (Noisy_sim.simulate ~jobs:0 ~epsilon:0.01 (suite_circuit "c17")))
+
 let test_coin_flip_limit () =
   (* At eps = 1/2 every gate output is uniform noise: a single-gate
      output is wrong half of the time. *)
@@ -101,6 +175,11 @@ let suite =
     Alcotest.test_case "parity error accumulation" `Quick
       test_parity_tree_error_accumulation;
     Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "jobs reproduce sequential golden" `Quick
+      test_jobs_reproduce_sequential_golden;
+    Alcotest.test_case "jobs identical fields" `Quick test_jobs_identical_fields;
+    Alcotest.test_case "jobs heterogeneous" `Quick test_jobs_heterogeneous;
+    Alcotest.test_case "jobs invalid" `Quick test_jobs_invalid;
     Alcotest.test_case "coin flip limit" `Quick test_coin_flip_limit;
     Helpers.qcheck prop_any_error_dominates_each_output;
   ]

@@ -1,0 +1,115 @@
+module Par = Nano_util.Par
+
+let test_ranges_cover () =
+  List.iter
+    (fun (jobs, n) ->
+      let rs = Par.ranges ~jobs n in
+      Alcotest.(check bool)
+        "at most jobs chunks" true
+        (Array.length rs <= jobs);
+      (* contiguous, non-empty, covering [0, n) *)
+      let pos = ref 0 in
+      Array.iter
+        (fun (lo, hi) ->
+          Alcotest.(check int) "contiguous" !pos lo;
+          Alcotest.(check bool) "non-empty" true (hi > lo);
+          pos := hi)
+        rs;
+      Alcotest.(check int) "covers n" n !pos)
+    [ (1, 10); (3, 10); (4, 4); (7, 3); (16, 100); (2, 1) ]
+
+let test_ranges_empty () =
+  Alcotest.(check int) "n=0 -> no chunks" 0 (Array.length (Par.ranges ~jobs:4 0))
+
+let test_ranges_invalid () =
+  Helpers.check_invalid "jobs=0" (fun () -> ignore (Par.ranges ~jobs:0 5));
+  Helpers.check_invalid "negative n" (fun () -> ignore (Par.ranges ~jobs:2 (-1)))
+
+let test_map_matches_sequential () =
+  let arr = Array.init 237 (fun i -> i) in
+  let f i = (i * i) + 3 in
+  let expected = Array.map f arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected
+        (Par.map ~jobs f arr))
+    [ 1; 2; 4; 8 ]
+
+let test_map_list_order () =
+  let lst = List.init 100 (fun i -> i) in
+  Alcotest.(check (list int))
+    "order preserved"
+    (List.map succ lst)
+    (Par.map_list ~jobs:4 succ lst)
+
+let test_map_reduce () =
+  let arr = Array.init 1000 (fun i -> i) in
+  let expected = Array.fold_left ( + ) 0 arr in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check int)
+        (Printf.sprintf "sum jobs=%d" jobs)
+        expected
+        (Par.map_reduce ~jobs ~map:Fun.id ~combine:( + ) ~init:0 arr))
+    [ 1; 2; 4 ];
+  (* non-commutative but associative combine: string concatenation *)
+  let words = Array.init 50 string_of_int in
+  let expected = Array.fold_left ( ^ ) "" words in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "concat jobs=%d" jobs)
+        expected
+        (Par.map_reduce ~jobs ~map:Fun.id ~combine:( ^ ) ~init:"" words))
+    [ 1; 3; 4 ]
+
+let test_map_reduce_empty () =
+  Alcotest.(check int) "empty -> init" 42
+    (Par.map_reduce ~jobs:4 ~map:Fun.id ~combine:( + ) ~init:42 [||])
+
+let test_exception_propagates () =
+  let f i = if i = 17 then invalid_arg "boom" else i in
+  Helpers.check_invalid "raised in a chunk" (fun () ->
+      ignore (Par.map ~jobs:4 f (Array.init 32 Fun.id)))
+
+let test_jobs_exceed_items () =
+  Alcotest.(check (array int))
+    "more jobs than items"
+    [| 2; 4; 6 |]
+    (Par.map ~jobs:16 (fun x -> 2 * x) [| 1; 2; 3 |])
+
+let test_actually_parallel () =
+  (* Smoke test that work really runs on several domains: with 4 jobs,
+     chunks should (at least sometimes) execute on two distinct domain
+     ids. Retried because the submitting domain also drains the queue
+     and could in principle win every chunk on a loaded machine. *)
+  let attempt () =
+    let ids = Array.make 8 (-1) in
+    ignore
+      (Par.map ~jobs:4
+         (fun i ->
+           ids.(i) <- (Domain.self () :> int);
+           ignore (Sys.opaque_identity (Array.init 100000 Fun.id));
+           i)
+         (Array.init 8 Fun.id));
+    Array.to_list ids |> List.sort_uniq compare |> List.length >= 2
+  in
+  let rec try_n n = if attempt () then true else n > 1 && try_n (n - 1) in
+  Alcotest.(check bool) "used more than one domain" true (try_n 20)
+
+let suite =
+  [
+    Alcotest.test_case "ranges cover" `Quick test_ranges_cover;
+    Alcotest.test_case "ranges empty" `Quick test_ranges_empty;
+    Alcotest.test_case "ranges invalid" `Quick test_ranges_invalid;
+    Alcotest.test_case "map matches sequential" `Quick
+      test_map_matches_sequential;
+    Alcotest.test_case "map_list order" `Quick test_map_list_order;
+    Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+    Alcotest.test_case "map_reduce empty" `Quick test_map_reduce_empty;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "jobs exceed items" `Quick test_jobs_exceed_items;
+    Alcotest.test_case "actually parallel" `Quick test_actually_parallel;
+  ]

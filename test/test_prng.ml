@@ -29,6 +29,91 @@ let test_split_decorrelated () =
   done;
   Alcotest.(check bool) "split stream differs" false !same
 
+let test_split_independence () =
+  (* Sanity check for seed-sharding: sibling streams obtained by
+     [split] must look pairwise independent. Bitwise, the XOR of two
+     independent uniform words has ~32 set bits; and the child streams
+     must not be shifted copies of each other or of the parent. *)
+  let parent = Prng.create ~seed:0xfa17 in
+  let c1 = Prng.split parent in
+  let c2 = Prng.split parent in
+  let words = 4096 in
+  let check_pair name a b =
+    let bits = ref 0 in
+    for _ = 1 to words do
+      bits :=
+        !bits
+        + Nano_util.Bits.popcount64 (Int64.logxor (Prng.bits64 a) (Prng.bits64 b))
+    done;
+    Helpers.check_in_range name ~lo:31.5 ~hi:32.5
+      (float_of_int !bits /. float_of_int words)
+  in
+  check_pair "child vs child" (Prng.copy c1) (Prng.copy c2);
+  check_pair "parent vs child" (Prng.copy parent) (Prng.copy c1);
+  (* shifted-copy check: child 2 lagged by one draw against child 1 *)
+  let lag = Prng.copy c2 in
+  ignore (Prng.bits64 lag);
+  check_pair "lagged child" (Prng.copy c1) lag
+
+let test_jump_equals_draws () =
+  (* jump ~draws:k must land exactly where k bits64 calls land. *)
+  List.iter
+    (fun k ->
+      let a = Prng.create ~seed:321 in
+      let b = Prng.create ~seed:321 in
+      for _ = 1 to k do
+        ignore (Prng.bits64 a)
+      done;
+      Prng.jump b ~draws:k;
+      Alcotest.(check int64)
+        (Printf.sprintf "after %d draws" k)
+        (Prng.bits64 a) (Prng.bits64 b))
+    [ 0; 1; 7; 64; 12345 ];
+  Helpers.check_invalid "negative draws" (fun () ->
+      Prng.jump (Prng.create ~seed:1) ~draws:(-1))
+
+let test_draws_per_word () =
+  (* The advertised draw count must match what word_with_density
+     actually consumes — seed-sharded simulation depends on it. *)
+  List.iter
+    (fun p ->
+      let a = Prng.create ~seed:55 in
+      let b = Prng.create ~seed:55 in
+      ignore (Prng.word_with_density a ~p);
+      Prng.jump b ~draws:(Prng.draws_per_word ~p);
+      Alcotest.(check int64)
+        (Printf.sprintf "p=%g" p)
+        (Prng.bits64 a) (Prng.bits64 b))
+    [ 0.; 0.25; 0.5; 0.75; 1. ]
+
+let test_int_unbiased () =
+  (* Rejection sampling: residue counts for a bound that does not divide
+     2^63 should be flat. With 30000 draws over bound 10, each bucket
+     expects 3000 +/- ~170 (3 sigma ~ 165). *)
+  let rng = Prng.create ~seed:31 in
+  let counts = Array.make 10 0 in
+  let n = 30000 in
+  for _ = 1 to n do
+    let x = Prng.int rng ~bound:10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Helpers.check_in_range
+        (Printf.sprintf "bucket %d" i)
+        ~lo:2700. ~hi:3300. (float_of_int c))
+    counts;
+  Helpers.check_invalid "bound 0" (fun () -> ignore (Prng.int rng ~bound:0))
+
+let test_invalid_probabilities () =
+  let rng = Prng.create ~seed:3 in
+  Helpers.check_invalid "bernoulli p>1" (fun () ->
+      ignore (Prng.bernoulli rng ~p:1.5));
+  Helpers.check_invalid "bernoulli p<0" (fun () ->
+      ignore (Prng.bernoulli rng ~p:(-0.1)));
+  Helpers.check_invalid "density p>1" (fun () ->
+      ignore (Prng.word_with_density rng ~p:2.))
+
 let test_float_range () =
   let rng = Prng.create ~seed:11 in
   for _ = 1 to 1000 do
@@ -99,6 +184,12 @@ let suite =
     Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
     Alcotest.test_case "copy" `Quick test_copy;
     Alcotest.test_case "split decorrelated" `Quick test_split_decorrelated;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "jump equals draws" `Quick test_jump_equals_draws;
+    Alcotest.test_case "draws per word" `Quick test_draws_per_word;
+    Alcotest.test_case "int unbiased" `Quick test_int_unbiased;
+    Alcotest.test_case "invalid probabilities" `Quick
+      test_invalid_probabilities;
     Alcotest.test_case "float range" `Quick test_float_range;
     Alcotest.test_case "float mean" `Quick test_float_mean;
     Alcotest.test_case "bernoulli" `Quick test_bernoulli;

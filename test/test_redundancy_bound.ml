@@ -48,11 +48,35 @@ let test_redundancy_factor () =
   Alcotest.(check bool) "explodes near 1/2" true (f > 10.)
 
 let test_min_size_clamped () =
-  (* For tiny sensitivity and eps, the raw formula can go negative; the
-     size bound must clamp at S0. *)
+  (* For tiny sensitivity and eps, the raw formula goes negative; there
+     the theorem is vacuous, extra_gates clamps at 0, and the size bound
+     stays at S0. *)
   let p = { RB.epsilon = 0.001; delta = 0.4; fanin = 4; sensitivity = 1 } in
-  Alcotest.(check bool) "raw can be negative" true (RB.extra_gates p < 0.);
-  Helpers.check_float "clamped" 100. (RB.min_size p ~error_free_size:100)
+  Helpers.check_float "vacuous domain clamps to 0" 0. (RB.extra_gates p);
+  Helpers.check_float "clamped" 100. (RB.min_size p ~error_free_size:100);
+  Helpers.check_float "factor clamped at 1" 1.
+    (RB.redundancy_factor p ~error_free_size:100)
+
+let test_never_negative_on_grid () =
+  (* Full (eps, delta) grid sweep: the bound must never be negative, in
+     particular for delta close to 1/2 where the numerator's
+     [2s log(2(1-2delta))] term diverges to -inf. *)
+  let epsilons = Nano_util.Sweep.epsilon_grid ~lo:1e-4 ~hi:0.499 ~steps:25 () in
+  let deltas = [ 0.; 0.01; 0.1; 0.25; 0.3; 0.4; 0.45; 0.49; 0.499 ] in
+  List.iter
+    (fun epsilon ->
+      List.iter
+        (fun delta ->
+          List.iter
+            (fun (fanin, sensitivity) ->
+              let e = RB.extra_gates { RB.epsilon; delta; fanin; sensitivity } in
+              if not (e >= 0.) then
+                Alcotest.failf
+                  "negative extra_gates %g at eps=%g delta=%g k=%d s=%d" e
+                  epsilon delta fanin sensitivity)
+            [ (2, 1); (2, 10); (3, 10); (4, 100) ])
+        deltas)
+    epsilons
 
 let test_domain () =
   Alcotest.(check bool) "valid" true (RB.valid (parity10 0.1));
@@ -115,6 +139,8 @@ let suite =
     Alcotest.test_case "infinite at eps=1/2" `Quick test_infinity_at_half;
     Alcotest.test_case "redundancy factor" `Quick test_redundancy_factor;
     Alcotest.test_case "min size clamped" `Quick test_min_size_clamped;
+    Alcotest.test_case "never negative on grid" `Quick
+      test_never_negative_on_grid;
     Alcotest.test_case "domain" `Quick test_domain;
     Alcotest.test_case "upper bound consistency" `Quick
       test_upper_bound_consistency;

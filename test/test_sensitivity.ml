@@ -41,6 +41,36 @@ let test_wide_inputs_chunking () =
   let n = Trees.parity_tree ~inputs:100 ~fanin:3 in
   Alcotest.(check int) "parity-100" 100 (Sensitivity.sampled ~samples:4 n)
 
+let test_jobs_deterministic () =
+  (* Parallel partitioning must not change any estimate: exhaustive
+     search partitions the assignment space, sampling replays segments
+     of the sequential seed stream. Golden values recorded from the
+     pre-parallel implementation (default seed, 256 samples). *)
+  let check name expected =
+    let entry = Option.get (Nano_circuits.Suite.find name) in
+    let circuit = entry.Nano_circuits.Suite.build () in
+    List.iter
+      (fun jobs ->
+        Alcotest.(check int)
+          (Printf.sprintf "%s jobs=%d" name jobs)
+          expected
+          (Sensitivity.estimate ~samples:256 ~jobs circuit))
+      [ 1; 2; 4 ]
+  in
+  check "c17" 4;
+  check "rca8" 17;
+  check "parity16" 16
+
+let test_jobs_exact_partition () =
+  let n = Trees.parity_tree ~inputs:8 ~fanin:2 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "exact jobs=%d" jobs)
+        (Some 8)
+        (Sensitivity.exact ~jobs n))
+    [ 1; 2; 4; 7 ]
+
 let prop_sampled_le_exact =
   QCheck2.Test.make ~name:"sampled sensitivity never exceeds exact" ~count:30
     QCheck2.Gen.(int_range 0 10000)
@@ -79,6 +109,8 @@ let suite =
     Alcotest.test_case "exact limit" `Quick test_exact_limit;
     Alcotest.test_case "multi output" `Quick test_multi_output;
     Alcotest.test_case "wide inputs chunking" `Quick test_wide_inputs_chunking;
+    Alcotest.test_case "jobs deterministic" `Quick test_jobs_deterministic;
+    Alcotest.test_case "jobs exact partition" `Quick test_jobs_exact_partition;
     Helpers.qcheck prop_sampled_le_exact;
     Helpers.qcheck prop_at_assignment_brute_force;
   ]

@@ -31,6 +31,16 @@ let test_ints () =
   Alcotest.(check (list int)) "empty" [] (Sweep.ints ~lo:3 ~hi:2);
   Alcotest.(check (list int)) "single" [ 4 ] (Sweep.ints ~lo:4 ~hi:4)
 
+let test_invalid_arguments () =
+  Helpers.check_invalid "linear 1 step" (fun () ->
+      ignore (Sweep.linear ~lo:0. ~hi:1. ~steps:1));
+  Helpers.check_invalid "linear lo>hi" (fun () ->
+      ignore (Sweep.linear ~lo:1. ~hi:0. ~steps:3));
+  Helpers.check_invalid "log non-positive lo" (fun () ->
+      ignore (Sweep.logarithmic ~lo:0. ~hi:1. ~steps:3));
+  Helpers.check_invalid "epsilon grid hi=1/2" (fun () ->
+      ignore (Sweep.epsilon_grid ~hi:0.5 ()))
+
 let prop_linear_monotone =
   QCheck2.Test.make ~name:"linear sweeps are monotone"
     QCheck2.Gen.(triple (float_range (-5.) 5.) (float_range 0.1 10.) (int_range 2 50))
@@ -48,5 +58,6 @@ let suite =
     Alcotest.test_case "logarithmic" `Quick test_logarithmic;
     Alcotest.test_case "epsilon grid" `Quick test_epsilon_grid;
     Alcotest.test_case "ints" `Quick test_ints;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
     Helpers.qcheck prop_linear_monotone;
   ]
