@@ -8,7 +8,9 @@
    and the Monte-Carlo scaling table (default: all recommended cores).
    Results are bit-identical for every N — only wall-clock changes.
    --scaling-only skips the figures and Bechamel and prints just the
-   domain-scaling table (for CI smoke runs). *)
+   domain-scaling table (for CI smoke runs). --engines-only prints just
+   the interp-vs-compiled throughput table and records it to
+   BENCH_pr2.json. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -27,6 +29,8 @@ let jobs =
   find (Array.to_list Sys.argv)
 
 let scaling_only = Array.exists (( = ) "--scaling-only") Sys.argv
+
+let engines_only = Array.exists (( = ) "--engines-only") Sys.argv
 
 let print_series ~title ~x_label ~y_label series =
   let data =
@@ -597,6 +601,87 @@ let print_parallel_scaling () =
        ~rows)
 
 (* ------------------------------------------------------------------ *)
+(* Interp vs compiled simulation kernels.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Word throughput of [Noisy_sim] under both evaluation engines. The
+   engines are bit-identical by construction (and the table re-checks
+   it), so this isolates what the compiled kernel buys: the same
+   Monte-Carlo answer, measured here in 64-vector words per second. *)
+let engine_circuits () =
+  [
+    ("c17", Nano_circuits.Iscas_like.c17 ());
+    ( "rca8",
+      Nano_synth.Script.rugged_lite (Nano_circuits.Adders.ripple_carry ~width:8)
+    );
+    ("parity16", Nano_circuits.Trees.parity_tree ~inputs:16 ~fanin:2);
+  ]
+
+let print_engine_throughput () =
+  let vectors = 1 lsl 16 in
+  let epsilon = 0.01 in
+  let words = vectors / 64 in
+  let measure engine circuit =
+    (* One short run to warm the compile cache and code paths. *)
+    ignore
+      (Nano_faults.Noisy_sim.simulate ~vectors:1024 ~engine ~epsilon circuit);
+    let sim, t =
+      time (fun () ->
+          Nano_faults.Noisy_sim.simulate ~vectors ~engine ~epsilon circuit)
+    in
+    (sim.Nano_faults.Noisy_sim.any_output_error, float_of_int words /. t)
+  in
+  let entries =
+    List.map
+      (fun (name, circuit) ->
+        let delta_i, interp = measure `Interp circuit in
+        let delta_c, compiled = measure `Compiled circuit in
+        (name, interp, compiled, compiled /. interp, delta_i = delta_c))
+      (engine_circuits ())
+  in
+  Printf.printf
+    "== Engine throughput: interpretive vs compiled Noisy_sim kernel (%d \
+     vectors, eps=%g) ==\n"
+    vectors epsilon;
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "circuit"; "interp words/s"; "compiled words/s"; "speedup";
+           "bit-identical";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, interp, compiled, speedup, same) ->
+              [
+                name;
+                Printf.sprintf "%.0f" interp;
+                Printf.sprintf "%.0f" compiled;
+                Printf.sprintf "%.2fx" speedup;
+                string_of_bool same;
+              ])
+            entries));
+  (* Machine-readable record of the same table, for tracking the
+     speedup across revisions. *)
+  let oc = open_out "BENCH_pr2.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"noisy_sim interp-vs-compiled\",\n  \"vectors\": \
+     %d,\n  \"epsilon\": %g,\n  \"circuits\": [\n"
+    vectors epsilon;
+  List.iteri
+    (fun i (name, interp, compiled, speedup, same) ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"interp_words_per_sec\": %.1f, \
+         \"compiled_words_per_sec\": %.1f, \"speedup\": %.2f, \
+         \"bit_identical\": %b}%s\n"
+        name interp compiled speedup same
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_string "(written to BENCH_pr2.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the figure drivers.                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -681,6 +766,19 @@ let bechamel_tests profiles =
                 (Nano_faults.Noisy_sim.simulate ~vectors:32768 ~jobs
                    ~epsilon:0.01 circuit))))
      [ 1; 2; 4 ])
+  @ (* Interp-vs-compiled series: one workload, the two evaluation
+       kernels (bit-identical results; only the wall-clock differs). *)
+  (let circuit =
+     Nano_synth.Script.rugged_lite (Nano_circuits.Adders.ripple_carry ~width:8)
+   in
+   List.map
+     (fun (label, engine) ->
+       Test.make ~name:("noisy_sim_rca8_" ^ label)
+         (Staged.stage (fun () ->
+              ignore
+                (Nano_faults.Noisy_sim.simulate ~vectors:8192 ~engine
+                   ~epsilon:0.01 circuit))))
+     [ ("interp", `Interp); ("compiled", `Compiled) ])
 
 let run_bechamel profiles =
   let open Bechamel in
@@ -729,6 +827,9 @@ let run_bechamel profiles =
 let () =
   if scaling_only then (
     print_parallel_scaling ();
+    exit 0);
+  if engines_only then (
+    print_engine_throughput ();
     exit 0);
   print_string "nanobound benchmark harness — reproduces every figure of\n";
   print_string
@@ -795,5 +896,7 @@ let () =
   print_noisy_sequential ();
   print_newline ();
   print_parallel_scaling ();
+  print_newline ();
+  print_engine_throughput ();
   print_newline ();
   run_bechamel profiles

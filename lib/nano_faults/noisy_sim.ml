@@ -1,7 +1,11 @@
 module Netlist = Nano_netlist.Netlist
 module Gate = Nano_netlist.Gate
+module Compiled = Nano_netlist.Compiled
 module Par = Nano_util.Par
 module Prng = Nano_util.Prng
+module Bits = Nano_util.Bits
+
+type engine = [ `Compiled | `Interp ]
 
 type result = {
   epsilon : float;
@@ -18,6 +22,22 @@ let noisy_node info =
   | Gate.Input | Gate.Const _ | Gate.Buf -> false
   | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
   | Gate.Xnor | Gate.Majority -> true
+
+(* Interpretive clean evaluation, kept verbatim from the pre-compiled
+   engine. The [`Interp] engine exists so differential tests and the
+   bench's interp-vs-compiled series can compare the compiled kernel
+   against an implementation that shares nothing with it but the PRNG
+   stream. *)
+let eval_words_interp netlist ~input_words ~values =
+  List.iteri
+    (fun i id -> values.(id) <- input_words.(i))
+    (Netlist.inputs netlist);
+  Netlist.iter netlist (fun id info ->
+      match info.Netlist.kind with
+      | Gate.Input -> ()
+      | kind ->
+        let words = Array.map (fun f -> values.(f)) info.Netlist.fanins in
+        values.(id) <- Gate.eval_word kind words)
 
 (* Evaluate with fresh noise on every logic gate output; [channels]
    holds one channel per node (entries for sources are unused). *)
@@ -42,7 +62,7 @@ let eval_noisy netlist channels rng ~input_words ~values =
    of the sequential stream — parallel results are bit-identical to the
    single-stream simulation for every job count. *)
 let draws_per_word netlist channels ~input_probability =
-  let n_in = List.length (Netlist.inputs netlist) in
+  let n_in = Netlist.input_count netlist in
   let noise = ref 0 in
   Netlist.iter netlist (fun id info ->
       if noisy_node info then
@@ -61,12 +81,12 @@ type shard_counts = {
   s_any_errors : int;
 }
 
-let run_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
-    ~channels netlist =
+let run_shard_interp ~seed ~first_word ~words ~draws_per_word
+    ~input_probability ~channels netlist =
   let rng = Prng.create ~seed in
   Prng.jump rng ~draws:(first_word * draws_per_word);
   let n = Netlist.node_count netlist in
-  let n_in = List.length (Netlist.inputs netlist) in
+  let n_in = Netlist.input_count netlist in
   let golden = Array.make n 0L in
   let noisy_a = Array.make n 0L in
   let noisy_b = Array.make n 0L in
@@ -81,7 +101,7 @@ let run_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
           Prng.word_with_density rng ~p:input_probability)
     in
     let input_words = draw () in
-    Nano_sim.Bitsim.eval_words_into netlist ~input_words ~values:golden;
+    eval_words_interp netlist ~input_words ~values:golden;
     (* The first noisy run re-uses the golden vectors so the output-error
        figures compare like with like; the second uses fresh independent
        vectors, so the (a, b) pair measures Theorem 1's switching
@@ -90,18 +110,18 @@ let run_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
     eval_noisy netlist channels rng ~input_words ~values:noisy_a;
     eval_noisy netlist channels rng ~input_words:(draw ()) ~values:noisy_b;
     for id = 0 to n - 1 do
-      ones.(id) <- ones.(id) + Nano_util.Bits.popcount64 noisy_a.(id);
+      ones.(id) <- ones.(id) + Bits.popcount64 noisy_a.(id);
       let diff = Int64.logxor noisy_a.(id) noisy_b.(id) in
-      toggles.(id) <- toggles.(id) + Nano_util.Bits.popcount64 diff
+      toggles.(id) <- toggles.(id) + Bits.popcount64 diff
     done;
     let any = ref 0L in
     List.iteri
       (fun i (_, node) ->
         let wrong = Int64.logxor golden.(node) noisy_a.(node) in
-        out_errors.(i) <- out_errors.(i) + Nano_util.Bits.popcount64 wrong;
+        out_errors.(i) <- out_errors.(i) + Bits.popcount64 wrong;
         any := Int64.logor !any wrong)
       outputs;
-    any_errors := !any_errors + Nano_util.Bits.popcount64 !any
+    any_errors := !any_errors + Bits.popcount64 !any
   done;
   {
     s_ones = ones;
@@ -110,19 +130,74 @@ let run_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
     s_any_errors = !any_errors;
   }
 
-let run ?(jobs = 1) ~seed ~vectors ~input_probability ~channels ~mean_epsilon
-    netlist =
+(* The compiled shard consumes the PRNG stream in exactly the order the
+   interpretive one does — inputs_a, noise_a (ascending node order),
+   inputs_b, noise_b — and performs the same merges, so its counters are
+   bit-identical. Unlike the interpretive walk it allocates nothing per
+   word: values live in packed byte buffers reused across the loop, the
+   error probabilities travel as packed bits ({!Compiled.pack_epsilons})
+   and the counter updates run inside the compiled kernel's own
+   compilation unit. *)
+let run_shard_compiled ~seed ~first_word ~words ~draws_per_word
+    ~input_probability ~epsilons c =
+  let rng = Prng.create ~seed in
+  Prng.jump rng ~draws:(first_word * draws_per_word);
+  let n = Compiled.node_count c in
+  let golden = Compiled.create_values c in
+  let noisy_a = Compiled.create_values c in
+  let noisy_b = Compiled.create_values c in
+  let ones = Array.make n 0 in
+  let toggles = Array.make n 0 in
+  let out_errors = Array.make (Array.length (Compiled.output_ids c)) 0 in
+  let any_errors = ref 0 in
+  for _ = 1 to words do
+    Compiled.draw_input_words c rng ~input_probability ~values:golden;
+    Compiled.exec_words c ~values:golden;
+    Compiled.copy_input_words c ~src:golden ~dst:noisy_a;
+    Compiled.exec_noisy_words c ~epsilons ~rng ~values:noisy_a;
+    Compiled.draw_input_words c rng ~input_probability ~values:noisy_b;
+    Compiled.exec_noisy_words c ~epsilons ~rng ~values:noisy_b;
+    Compiled.add_ones_counts c ~values:noisy_a ~into:ones;
+    Compiled.add_toggle_counts c ~a:noisy_a ~b:noisy_b ~into:toggles;
+    any_errors :=
+      !any_errors
+      + Compiled.add_output_error_counts c ~golden ~noisy:noisy_a
+          ~into:out_errors
+  done;
+  {
+    s_ones = ones;
+    s_toggles = toggles;
+    s_out_errors = out_errors;
+    s_any_errors = !any_errors;
+  }
+
+let run ?(jobs = 1) ?(engine = `Compiled) ~seed ~vectors ~input_probability
+    ~channels ~mean_epsilon netlist =
   if jobs < 1 then invalid_arg "Noisy_sim.run: jobs must be >= 1";
   let words = Nano_util.Math_ext.ceil_div vectors 64 in
   let n = Netlist.node_count netlist in
   let outputs = Netlist.outputs netlist in
   let draws_per_word = draws_per_word netlist channels ~input_probability in
   let shards =
-    Par.map ~jobs
-      (fun (lo, hi) ->
-        run_shard ~seed ~first_word:lo ~words:(hi - lo) ~draws_per_word
-          ~input_probability ~channels netlist)
-      (Par.ranges ~jobs words)
+    match engine with
+    | `Compiled ->
+      (* Lower once on the submitting domain; shards share the compiled
+         program (immutable) and allocate only their own buffers. *)
+      let c = Compiled.of_netlist netlist in
+      let epsilons =
+        Compiled.pack_epsilons c (Array.map Channel.epsilon channels)
+      in
+      Par.map ~jobs
+        (fun (lo, hi) ->
+          run_shard_compiled ~seed ~first_word:lo ~words:(hi - lo)
+            ~draws_per_word ~input_probability ~epsilons c)
+        (Par.ranges ~jobs words)
+    | `Interp ->
+      Par.map ~jobs
+        (fun (lo, hi) ->
+          run_shard_interp ~seed ~first_word:lo ~words:(hi - lo)
+            ~draws_per_word ~input_probability ~channels netlist)
+        (Par.ranges ~jobs words)
   in
   let ones = Array.make n 0 in
   let toggles = Array.make n 0 in
@@ -163,14 +238,14 @@ let run ?(jobs = 1) ~seed ~vectors ~input_probability ~channels ~mean_epsilon
   }
 
 let simulate ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
-    ?jobs ~epsilon netlist =
+    ?jobs ?engine ~epsilon netlist =
   let channel = Channel.create ~epsilon in
   let channels = Array.make (Netlist.node_count netlist) channel in
-  run ?jobs ~seed ~vectors ~input_probability ~channels ~mean_epsilon:epsilon
-    netlist
+  run ?jobs ?engine ~seed ~vectors ~input_probability ~channels
+    ~mean_epsilon:epsilon netlist
 
 let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
-    ?(input_probability = 0.5) ?jobs ~epsilon_of netlist =
+    ?(input_probability = 0.5) ?jobs ?engine ~epsilon_of netlist =
   let n = Netlist.node_count netlist in
   let zero = Channel.create ~epsilon:0. in
   let channels = Array.make n zero in
@@ -184,6 +259,7 @@ let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
         incr count
       end);
   let mean_epsilon = if !count = 0 then 0. else !sum /. float_of_int !count in
-  run ?jobs ~seed ~vectors ~input_probability ~channels ~mean_epsilon netlist
+  run ?jobs ?engine ~seed ~vectors ~input_probability ~channels ~mean_epsilon
+    netlist
 
 let output_reliability r = 1. -. r.any_output_error

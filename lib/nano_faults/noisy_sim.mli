@@ -6,6 +6,16 @@
     buffers are assumed error-free, matching the paper's device model
     where interconnect errors are lumped into device errors. *)
 
+type engine = [ `Compiled | `Interp ]
+(** Which evaluation kernel runs the Monte-Carlo word loop. [`Compiled]
+    (the default) lowers the netlist once through
+    {!Nano_netlist.Compiled} and runs an allocation-free interpreter
+    over packed buffers; [`Interp] retains the historical walk over
+    [Netlist.iter] / [Gate.eval_word]. The two consume the PRNG stream
+    in exactly the same order and produce bit-identical results — the
+    interpretive engine survives only as an independent reference for
+    differential tests and the interp-vs-compiled benchmark series. *)
+
 type result = {
   epsilon : float;
   vectors : int;
@@ -28,6 +38,7 @@ val simulate :
   ?vectors:int ->
   ?input_probability:float ->
   ?jobs:int ->
+  ?engine:engine ->
   epsilon:float ->
   Nano_netlist.Netlist.t ->
   result
@@ -45,6 +56,7 @@ val simulate_heterogeneous :
   ?vectors:int ->
   ?input_probability:float ->
   ?jobs:int ->
+  ?engine:engine ->
   epsilon_of:(Nano_netlist.Netlist.node -> float) ->
   Nano_netlist.Netlist.t ->
   result

@@ -1,0 +1,502 @@
+(* Compiled structure-of-arrays form of a netlist.
+
+   [Netlist.t] is pleasant to build and inspect but expensive to walk
+   once per simulated word: every gate pays a closure dispatch through
+   [Netlist.iter], an [Array.map] allocating a fresh fanin array, and a
+   polymorphic-variant-style match inside [Gate.eval_word]. Lowering the
+   DAG once into flat integer arrays — an opcode per node, a CSR pair
+   for fanins — turns the inner loop into index arithmetic over
+   preallocated buffers.
+
+   Node values live in a packed [Bytes.t] buffer (8 bytes per node,
+   native endianness) rather than an [int64 array]: storing a computed
+   [int64] into an ordinary array forces a heap box per store under
+   classic (non-flambda) ocamlopt, whereas the raw load/store primitives
+   below combine with the compiler's unboxed-let optimization to keep
+   the whole interpreter loop allocation-free. *)
+
+external get64u : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64u : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64"
+
+(* Opcode table. 2-input gates (the overwhelming majority after
+   fanin-limited mapping) and 3-input majority get dedicated opcodes so
+   the common cases are branch-predictable straight-line code; the [_n]
+   fallbacks loop over the CSR slice. *)
+let op_input = 0
+let op_const0 = 1
+let op_const1 = 2
+let op_buf = 3
+let op_not = 4
+let op_and2 = 5
+let op_or2 = 6
+let op_nand2 = 7
+let op_nor2 = 8
+let op_xor2 = 9
+let op_xnor2 = 10
+let op_maj3 = 11
+let op_and_n = 12
+let op_or_n = 13
+let op_nand_n = 14
+let op_nor_n = 15
+let op_xor_n = 16
+let op_xnor_n = 17
+let op_maj_n = 18
+
+type t = {
+  node_count : int;
+  opcodes : int array;  (** one opcode per node id *)
+  fanin_offsets : int array;
+      (** CSR row starts, length [node_count + 1]; node [id]'s fanins are
+          [fanin_ids.(fanin_offsets.(id)) .. fanin_ids.(fanin_offsets.(id+1) - 1)] *)
+  fanin_ids : int array;
+  input_ids : int array;
+  output_ids : int array;
+  output_names : string array;
+  noisy : Bytes.t;  (** ['\001'] where the error channel injects noise *)
+  noisy_count : int;
+}
+
+let node_count c = c.node_count
+let input_ids c = c.input_ids
+let output_ids c = c.output_ids
+let output_names c = c.output_names
+let noisy_count c = c.noisy_count
+
+let is_noisy c id =
+  if id < 0 || id >= c.node_count then
+    invalid_arg "Compiled.is_noisy: node id out of range";
+  Bytes.get c.noisy id <> '\000'
+
+let opcode_name = function
+  | 0 -> "input"
+  | 1 -> "const0"
+  | 2 -> "const1"
+  | 3 -> "buf"
+  | 4 -> "not"
+  | 5 -> "and2"
+  | 6 -> "or2"
+  | 7 -> "nand2"
+  | 8 -> "nor2"
+  | 9 -> "xor2"
+  | 10 -> "xnor2"
+  | 11 -> "maj3"
+  | 12 -> "and_n"
+  | 13 -> "or_n"
+  | 14 -> "nand_n"
+  | 15 -> "nor_n"
+  | 16 -> "xor_n"
+  | 17 -> "xnor_n"
+  | 18 -> "maj_n"
+  | _ -> "?"
+
+let opcode c id =
+  if id < 0 || id >= c.node_count then
+    invalid_arg "Compiled.opcode: node id out of range";
+  opcode_name c.opcodes.(id)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let compile netlist =
+  let n = Netlist.node_count netlist in
+  let opcodes = Array.make n op_input in
+  let fanin_offsets = Array.make (n + 1) 0 in
+  let total = ref 0 in
+  for id = 0 to n - 1 do
+    total := !total + Array.length (Netlist.fanins netlist id)
+  done;
+  let fanin_ids = Array.make (max 1 !total) 0 in
+  let noisy = Bytes.make n '\000' in
+  let noisy_count = ref 0 in
+  let pos = ref 0 in
+  Netlist.iter netlist (fun id info ->
+      fanin_offsets.(id) <- !pos;
+      Array.iter
+        (fun f ->
+          fanin_ids.(!pos) <- f;
+          incr pos)
+        info.Netlist.fanins;
+      let arity = Array.length info.Netlist.fanins in
+      opcodes.(id) <-
+        (match info.Netlist.kind with
+        | Gate.Input -> op_input
+        | Gate.Const false -> op_const0
+        | Gate.Const true -> op_const1
+        | Gate.Buf -> op_buf
+        | Gate.Not -> op_not
+        | Gate.And -> if arity = 2 then op_and2 else op_and_n
+        | Gate.Or -> if arity = 2 then op_or2 else op_or_n
+        | Gate.Nand -> if arity = 2 then op_nand2 else op_nand_n
+        | Gate.Nor -> if arity = 2 then op_nor2 else op_nor_n
+        | Gate.Xor -> if arity = 2 then op_xor2 else op_xor_n
+        | Gate.Xnor -> if arity = 2 then op_xnor2 else op_xnor_n
+        | Gate.Majority -> if arity = 3 then op_maj3 else op_maj_n);
+      (* Noise is injected exactly at the gates [Noisy_sim] counts as
+         noisy: logic gates, with sources and buffers error-free. *)
+      match info.Netlist.kind with
+      | Gate.Input | Gate.Const _ | Gate.Buf -> ()
+      | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
+      | Gate.Xnor | Gate.Majority ->
+        Bytes.set noisy id '\001';
+        incr noisy_count);
+  fanin_offsets.(n) <- !pos;
+  {
+    node_count = n;
+    opcodes;
+    fanin_offsets;
+    fanin_ids;
+    input_ids = Array.copy (Netlist.input_ids netlist);
+    output_ids = Array.copy (Netlist.output_ids netlist);
+    output_names = Array.copy (Netlist.output_names netlist);
+    noisy;
+    noisy_count = !noisy_count;
+  }
+
+(* One compiled program per live netlist, keyed by physical identity.
+   The ephemeron keeps the cache from pinning netlists (entries die with
+   their key even though the compiled value is reachable from the
+   table); the mutex makes concurrent lookups from worker domains safe —
+   sharded Monte-Carlo runs compile once on the submitting domain, but
+   nothing stops user code from racing two circuits. *)
+module Cache = Ephemeron.K1.Make (struct
+  type nonrec t = Netlist.t
+
+  let equal = ( == )
+  let hash n = Hashtbl.hash (Netlist.node_count n, Netlist.name n)
+end)
+
+let cache = Cache.create 32
+let cache_mutex = Mutex.create ()
+
+let of_netlist netlist =
+  Mutex.lock cache_mutex;
+  match Cache.find_opt cache netlist with
+  | Some c ->
+    Mutex.unlock cache_mutex;
+    c
+  | None ->
+    let c =
+      match compile netlist with
+      | c -> c
+      | exception e ->
+        Mutex.unlock cache_mutex;
+        raise e
+    in
+    Cache.replace cache netlist c;
+    Mutex.unlock cache_mutex;
+    c
+
+(* ------------------------------------------------------------------ *)
+(* Value buffers.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let create_values c = Bytes.make (c.node_count lsl 3) '\000'
+
+let[@inline] get_word values id = get64 values (id lsl 3)
+let[@inline] set_word values id w = set64 values (id lsl 3) w
+
+let[@inline] check_values c values name =
+  if Bytes.length values <> c.node_count lsl 3 then
+    invalid_arg
+      (name ^ ": values buffer length does not match node count (use \
+              Compiled.create_values)")
+
+let set_input_words c ~values words =
+  check_values c values "Compiled.set_input_words";
+  let ids = c.input_ids in
+  if Array.length words <> Array.length ids then
+    invalid_arg "Compiled.set_input_words: wrong number of input words";
+  for i = 0 to Array.length ids - 1 do
+    set64 values (Array.unsafe_get ids i lsl 3) (Array.unsafe_get words i)
+  done
+
+let copy_input_words c ~src ~dst =
+  check_values c src "Compiled.copy_input_words";
+  check_values c dst "Compiled.copy_input_words";
+  let ids = c.input_ids in
+  for i = 0 to Array.length ids - 1 do
+    let p = Array.unsafe_get ids i lsl 3 in
+    set64u dst p (get64u src p)
+  done
+
+let draw_input_words c rng ~input_probability ~values =
+  check_values c values "Compiled.draw_input_words";
+  let ids = c.input_ids in
+  (* Declaration order: one density word per input, the same draws the
+     interpretive path consumes. *)
+  for i = 0 to Array.length ids - 1 do
+    Nano_util.Prng.store_word_with_density rng ~p:input_probability values
+      (Array.unsafe_get ids i lsl 3)
+  done
+
+let blit_values c ~values ~into =
+  check_values c values "Compiled.blit_values";
+  if Array.length into <> c.node_count then
+    invalid_arg "Compiled.blit_values: wrong destination length";
+  for id = 0 to c.node_count - 1 do
+    Array.unsafe_set into id (get64u values (id lsl 3))
+  done
+
+let read_values c ~values =
+  let into = Array.make c.node_count 0L in
+  blit_values c ~values ~into;
+  into
+
+let pack_epsilons c eps =
+  if Array.length eps <> c.node_count then
+    invalid_arg "Compiled.pack_epsilons: wrong epsilons length";
+  let packed = Bytes.make (c.node_count lsl 3) '\000' in
+  Array.iteri
+    (fun id e ->
+      if not (e >= 0. && e <= 0.5) then
+        invalid_arg "Compiled.pack_epsilons: epsilon must lie in [0, 1/2]";
+      set64 packed (id lsl 3) (Int64.bits_of_float e))
+    eps;
+  packed
+
+(* ------------------------------------------------------------------ *)
+(* Counting kernels.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Private copy of [Nano_util.Bits.popcount64]: dev-profile builds pass
+   [-opaque], which disables cross-library inlining, so calling the
+   shared one from the per-word counter loops would box every word at
+   the call boundary. Keeping the kernel in this compilation unit is
+   what makes the loops allocation-free. *)
+let[@inline] popcount64 w =
+  let open Int64 in
+  let w = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+  let w =
+    add (logand w 0x3333333333333333L)
+      (logand (shift_right_logical w 2) 0x3333333333333333L)
+  in
+  let w = logand (add w (shift_right_logical w 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul w 0x0101010101010101L) 56)
+
+let add_ones_counts c ~values ~into =
+  check_values c values "Compiled.add_ones_counts";
+  if Array.length into <> c.node_count then
+    invalid_arg "Compiled.add_ones_counts: wrong counter length";
+  for id = 0 to c.node_count - 1 do
+    Array.unsafe_set into id
+      (Array.unsafe_get into id + popcount64 (get64u values (id lsl 3)))
+  done
+
+let add_toggle_counts c ~a ~b ~into =
+  check_values c a "Compiled.add_toggle_counts";
+  check_values c b "Compiled.add_toggle_counts";
+  if Array.length into <> c.node_count then
+    invalid_arg "Compiled.add_toggle_counts: wrong counter length";
+  for id = 0 to c.node_count - 1 do
+    let p = id lsl 3 in
+    Array.unsafe_set into id
+      (Array.unsafe_get into id
+      + popcount64 (Int64.logxor (get64u a p) (get64u b p)))
+  done
+
+let add_output_error_counts c ~golden ~noisy ~into =
+  check_values c golden "Compiled.add_output_error_counts";
+  check_values c noisy "Compiled.add_output_error_counts";
+  let out = c.output_ids in
+  let n_out = Array.length out in
+  if Array.length into <> n_out then
+    invalid_arg "Compiled.add_output_error_counts: wrong counter length";
+  (* The non-escaping ref compiles to an unboxed mutable variable. *)
+  let any = ref 0L in
+  for i = 0 to n_out - 1 do
+    let p = Array.unsafe_get out i lsl 3 in
+    let wrong = Int64.logxor (get64u golden p) (get64u noisy p) in
+    Array.unsafe_set into i (Array.unsafe_get into i + popcount64 wrong);
+    any := Int64.logor !any wrong
+  done;
+  popcount64 !any
+
+(* ------------------------------------------------------------------ *)
+(* Interpreter loop.                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate node [id], reading fanin words from [src] and writing the
+   result to [dst]. With [src == dst] this is the in-place topological
+   evaluation (fanins already settled this pass); with distinct buffers
+   it is one synchronous unit-delay step (fanins read previous values).
+   All accesses are unchecked: ids come from the compiled arrays, whose
+   entries were validated against [node_count] at lowering time, and the
+   callers check buffer lengths once per pass. *)
+let[@inline always] eval_node ops offs fan ~src ~dst id =
+  match Array.unsafe_get ops id with
+  | 0 (* input *) -> set64u dst (id lsl 3) (get64u src (id lsl 3))
+  | 1 (* const0 *) -> set64u dst (id lsl 3) 0L
+  | 2 (* const1 *) -> set64u dst (id lsl 3) (-1L)
+  | 3 (* buf *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3) (get64u src (Array.unsafe_get fan o lsl 3))
+  | 4 (* not *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3)
+      (Int64.lognot (get64u src (Array.unsafe_get fan o lsl 3)))
+  | 5 (* and2 *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3)
+      (Int64.logand
+         (get64u src (Array.unsafe_get fan o lsl 3))
+         (get64u src (Array.unsafe_get fan (o + 1) lsl 3)))
+  | 6 (* or2 *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3)
+      (Int64.logor
+         (get64u src (Array.unsafe_get fan o lsl 3))
+         (get64u src (Array.unsafe_get fan (o + 1) lsl 3)))
+  | 7 (* nand2 *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3)
+      (Int64.lognot
+         (Int64.logand
+            (get64u src (Array.unsafe_get fan o lsl 3))
+            (get64u src (Array.unsafe_get fan (o + 1) lsl 3))))
+  | 8 (* nor2 *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3)
+      (Int64.lognot
+         (Int64.logor
+            (get64u src (Array.unsafe_get fan o lsl 3))
+            (get64u src (Array.unsafe_get fan (o + 1) lsl 3))))
+  | 9 (* xor2 *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3)
+      (Int64.logxor
+         (get64u src (Array.unsafe_get fan o lsl 3))
+         (get64u src (Array.unsafe_get fan (o + 1) lsl 3)))
+  | 10 (* xnor2 *) ->
+    let o = Array.unsafe_get offs id in
+    set64u dst (id lsl 3)
+      (Int64.lognot
+         (Int64.logxor
+            (get64u src (Array.unsafe_get fan o lsl 3))
+            (get64u src (Array.unsafe_get fan (o + 1) lsl 3))))
+  | 11 (* maj3 *) ->
+    let o = Array.unsafe_get offs id in
+    let a = get64u src (Array.unsafe_get fan o lsl 3) in
+    let b = get64u src (Array.unsafe_get fan (o + 1) lsl 3) in
+    let c = get64u src (Array.unsafe_get fan (o + 2) lsl 3) in
+    set64u dst (id lsl 3)
+      (Int64.logor (Int64.logand a b)
+         (Int64.logor (Int64.logand a c) (Int64.logand b c)))
+  | 12 (* and_n *) ->
+    let o = Array.unsafe_get offs id and e = Array.unsafe_get offs (id + 1) in
+    let d = id lsl 3 in
+    set64u dst d (get64u src (Array.unsafe_get fan o lsl 3));
+    for k = o + 1 to e - 1 do
+      set64u dst d
+        (Int64.logand (get64u dst d)
+           (get64u src (Array.unsafe_get fan k lsl 3)))
+    done
+  | 13 (* or_n *) ->
+    let o = Array.unsafe_get offs id and e = Array.unsafe_get offs (id + 1) in
+    let d = id lsl 3 in
+    set64u dst d (get64u src (Array.unsafe_get fan o lsl 3));
+    for k = o + 1 to e - 1 do
+      set64u dst d
+        (Int64.logor (get64u dst d) (get64u src (Array.unsafe_get fan k lsl 3)))
+    done
+  | 14 (* nand_n *) ->
+    let o = Array.unsafe_get offs id and e = Array.unsafe_get offs (id + 1) in
+    let d = id lsl 3 in
+    set64u dst d (get64u src (Array.unsafe_get fan o lsl 3));
+    for k = o + 1 to e - 1 do
+      set64u dst d
+        (Int64.logand (get64u dst d)
+           (get64u src (Array.unsafe_get fan k lsl 3)))
+    done;
+    set64u dst d (Int64.lognot (get64u dst d))
+  | 15 (* nor_n *) ->
+    let o = Array.unsafe_get offs id and e = Array.unsafe_get offs (id + 1) in
+    let d = id lsl 3 in
+    set64u dst d (get64u src (Array.unsafe_get fan o lsl 3));
+    for k = o + 1 to e - 1 do
+      set64u dst d
+        (Int64.logor (get64u dst d) (get64u src (Array.unsafe_get fan k lsl 3)))
+    done;
+    set64u dst d (Int64.lognot (get64u dst d))
+  | 16 (* xor_n *) ->
+    let o = Array.unsafe_get offs id and e = Array.unsafe_get offs (id + 1) in
+    let d = id lsl 3 in
+    set64u dst d (get64u src (Array.unsafe_get fan o lsl 3));
+    for k = o + 1 to e - 1 do
+      set64u dst d
+        (Int64.logxor (get64u dst d)
+           (get64u src (Array.unsafe_get fan k lsl 3)))
+    done
+  | 17 (* xnor_n *) ->
+    let o = Array.unsafe_get offs id and e = Array.unsafe_get offs (id + 1) in
+    let d = id lsl 3 in
+    set64u dst d (get64u src (Array.unsafe_get fan o lsl 3));
+    for k = o + 1 to e - 1 do
+      set64u dst d
+        (Int64.logxor (get64u dst d)
+           (get64u src (Array.unsafe_get fan k lsl 3)))
+    done;
+    set64u dst d (Int64.lognot (get64u dst d))
+  | _ (* maj_n *) ->
+    (* Per-lane popcount threshold, the same semantics as
+       [Gate.eval_word Majority]. Fanins all precede [id], so the
+       destination slot never aliases a source slot. *)
+    let o = Array.unsafe_get offs id and e = Array.unsafe_get offs (id + 1) in
+    let d = id lsl 3 in
+    let arity = e - o in
+    set64u dst d 0L;
+    for lane = 0 to 63 do
+      let count = ref 0 in
+      for k = o to e - 1 do
+        count :=
+          !count
+          + Int64.to_int
+              (Int64.logand
+                 (Int64.shift_right_logical
+                    (get64u src (Array.unsafe_get fan k lsl 3))
+                    lane)
+                 1L)
+      done;
+      if !count > arity / 2 then
+        set64u dst d (Int64.logor (get64u dst d) (Int64.shift_left 1L lane))
+    done
+
+let exec_words c ~values =
+  check_values c values "Compiled.exec_words";
+  let ops = c.opcodes and offs = c.fanin_offsets and fan = c.fanin_ids in
+  for id = 0 to c.node_count - 1 do
+    eval_node ops offs fan ~src:values ~dst:values id
+  done
+
+let exec_step c ~src ~dst =
+  check_values c src "Compiled.exec_step";
+  check_values c dst "Compiled.exec_step";
+  if src == dst then
+    invalid_arg "Compiled.exec_step: src and dst must be distinct buffers";
+  let ops = c.opcodes and offs = c.fanin_offsets and fan = c.fanin_ids in
+  for id = 0 to c.node_count - 1 do
+    eval_node ops offs fan ~src ~dst id
+  done
+
+let exec_noisy_words c ~epsilons ~rng ~values =
+  check_values c values "Compiled.exec_noisy_words";
+  if Bytes.length epsilons <> c.node_count lsl 3 then
+    invalid_arg
+      "Compiled.exec_noisy_words: epsilons buffer length does not match \
+       node count (use Compiled.pack_epsilons)";
+  let ops = c.opcodes
+  and offs = c.fanin_offsets
+  and fan = c.fanin_ids
+  and noisy = c.noisy in
+  for id = 0 to c.node_count - 1 do
+    eval_node ops offs fan ~src:values ~dst:values id;
+    (* Draw order matches the interpretive [eval_noisy]: one density
+       word per noisy gate, in ascending node order, interleaved with
+       nothing else. The density travels as packed bits so no float is
+       boxed at the (non-inlinable under [-opaque]) call boundary. *)
+    if Bytes.unsafe_get noisy id <> '\000' then
+      Nano_util.Prng.xor_word_with_density_from rng ~eps:epsilons
+        ~eps_pos:(id lsl 3) values (id lsl 3)
+  done

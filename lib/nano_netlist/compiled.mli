@@ -1,0 +1,140 @@
+(** Compiled netlists: a flat structure-of-arrays program for the
+    Monte-Carlo hot paths.
+
+    {!of_netlist} lowers a {!Netlist.t} once into an opcode array, a CSR
+    fanin encoding and packed source/output/noise tables; the [exec_*]
+    entry points then evaluate 64-vector words with no per-gate
+    allocation and no dispatch through closures. Results are
+    bit-identical to the interpretive walk over [Netlist.iter] /
+    [Gate.eval_word] — the compiled form only changes how the same
+    arithmetic is reached.
+
+    Node values live in packed byte buffers ({!create_values}): word
+    [id] occupies bytes [8*id .. 8*id+7] in native endianness. Buffers
+    are plain [Bytes.t] so callers can keep several (golden, noisy,
+    previous-cycle, ...) and reuse them across words; none of the
+    functions here allocate on the per-word path. *)
+
+type t
+
+(** {1 Lowering} *)
+
+val of_netlist : Netlist.t -> t
+(** Compiled form of the netlist, memoized per physical [Netlist.t]
+    (weak ephemeron cache, safe to call from any domain): repeated calls
+    for the same netlist return the same compiled program without
+    re-lowering. *)
+
+val compile : Netlist.t -> t
+(** Always lowers afresh, bypassing the memo table. Prefer
+    {!of_netlist}. *)
+
+(** {1 Structure} *)
+
+val node_count : t -> int
+
+val input_ids : t -> int array
+(** Primary-input node ids in declaration order. Shared with the
+    compiled program — do not mutate. *)
+
+val output_ids : t -> int array
+(** Primary-output node ids in declaration order; shared, do not
+    mutate. *)
+
+val output_names : t -> string array
+(** Primary-output names, parallel to {!output_ids}; shared, do not
+    mutate. *)
+
+val noisy_count : t -> int
+(** Number of nodes at which {!exec_noisy_words} injects noise (the
+    logic gates — sources and buffers are error-free, matching
+    [Noisy_sim]). *)
+
+val is_noisy : t -> int -> bool
+
+val opcode : t -> int -> string
+(** Human-readable opcode of a node (["and2"], ["xor_n"], ...); for
+    debugging and tests. *)
+
+(** {1 Value buffers} *)
+
+val create_values : t -> Bytes.t
+(** A zeroed buffer of [8 * node_count] bytes. *)
+
+val get_word : Bytes.t -> int -> int64
+(** [get_word values id] reads node [id]'s word. Bounds-checked. *)
+
+val set_word : Bytes.t -> int -> int64 -> unit
+
+val set_input_words : t -> values:Bytes.t -> int64 array -> unit
+(** Store one word per primary input (declaration order). *)
+
+val copy_input_words : t -> src:Bytes.t -> dst:Bytes.t -> unit
+(** Copy the primary-input slots from [src] to [dst]; used to replay the
+    same stimulus through a second (e.g. noisy) evaluation without
+    re-drawing. *)
+
+val draw_input_words :
+  t -> Nano_util.Prng.t -> input_probability:float -> values:Bytes.t -> unit
+(** Draw one density word per primary input directly into the buffer, in
+    declaration order — exactly the draws the interpretive path consumes
+    ([Prng.draws_per_word ~p] each), so seed-jumped shards stay
+    bit-identical. *)
+
+val blit_values : t -> values:Bytes.t -> into:int64 array -> unit
+(** Copy every node word out into an [int64 array] of length
+    [node_count] (allocating one box per node — compatibility path, not
+    for per-word loops). *)
+
+val read_values : t -> values:Bytes.t -> int64 array
+(** Fresh-array variant of {!blit_values}. *)
+
+val pack_epsilons : t -> float array -> Bytes.t
+(** Pack one per-node error probability (entries for non-noisy nodes
+    are ignored by {!exec_noisy_words}) into IEEE-754 bits, 8 bytes per
+    node — the form the noisy interpreter reads so that no float is
+    boxed per gate. Each value must lie in [[0, 1/2]]. Pack once per
+    run; the result is immutable by convention and safe to share across
+    domains. *)
+
+(** {1 Counting kernels}
+
+    Counter updates for the Monte-Carlo loops, kept in this compilation
+    unit (with a private popcount) because dev builds use [-opaque]:
+    a cross-library [Bits.popcount64] call would box each word and the
+    loops would no longer be allocation-free. All add into the caller's
+    accumulators, so shards reuse one counter array across words. *)
+
+val add_ones_counts : t -> values:Bytes.t -> into:int array -> unit
+(** Add each node's population count to [into.(id)] ([node_count]
+    entries). *)
+
+val add_toggle_counts : t -> a:Bytes.t -> b:Bytes.t -> into:int array -> unit
+(** Add [popcount (a.(id) lxor b.(id))] to [into.(id)]. *)
+
+val add_output_error_counts :
+  t -> golden:Bytes.t -> noisy:Bytes.t -> into:int array -> int
+(** Per primary output [i], add the number of lanes where [noisy]
+    disagrees with [golden] to [into.(i)] ([output_count] entries);
+    returns the number of lanes where at least one output disagrees. *)
+
+(** {1 Execution} *)
+
+val exec_words : t -> values:Bytes.t -> unit
+(** Evaluate every node in place, topologically: primary-input slots
+    must already hold stimulus words ({!set_input_words} /
+    {!draw_input_words}); every other slot is overwritten. Identical
+    results to [Gate.eval_word] over [Netlist.iter]. *)
+
+val exec_noisy_words :
+  t -> epsilons:Bytes.t -> rng:Nano_util.Prng.t -> values:Bytes.t -> unit
+(** Like {!exec_words} but XORs a fresh noise word onto each noisy
+    gate's output — density read from the {!pack_epsilons} buffer — in
+    ascending node order: the same draws, in the same order, as the
+    interpretive noisy evaluation, so seed-sharded runs reproduce it
+    bit-for-bit. *)
+
+val exec_step : t -> src:Bytes.t -> dst:Bytes.t -> unit
+(** One synchronous unit-delay step: every gate reads its fanins'
+    values from [src] and writes to [dst]; input nodes copy through.
+    [src] and [dst] must be distinct buffers. *)

@@ -8,6 +8,11 @@ type t = {
   inputs : node list;
   outputs : (string * node) list;
   input_index : (string, node) Hashtbl.t;
+  (* Flat copies of [inputs]/[outputs], precomputed once at [finish]
+     time so per-word simulation code never re-traverses the lists. *)
+  input_id_arr : node array;
+  output_id_arr : node array;
+  output_name_arr : string array;
 }
 
 module Builder = struct
@@ -125,12 +130,16 @@ module Builder = struct
         | Some n -> Hashtbl.replace input_index n id
         | None -> ())
       inputs;
+    let outputs = List.rev b.b_outputs in
     {
       net_name = b.b_name;
       nodes;
       inputs;
-      outputs = List.rev b.b_outputs;
+      outputs;
       input_index;
+      input_id_arr = Array.of_list inputs;
+      output_id_arr = Array.of_list (List.map snd outputs);
+      output_name_arr = Array.of_list (List.map fst outputs);
     }
 end
 
@@ -141,6 +150,11 @@ let kind t n = t.nodes.(n).kind
 let fanins t n = t.nodes.(n).fanins
 let inputs t = t.inputs
 let outputs t = t.outputs
+let input_ids t = t.input_id_arr
+let output_ids t = t.output_id_arr
+let output_names t = t.output_name_arr
+let input_count t = Array.length t.input_id_arr
+let output_count t = Array.length t.output_id_arr
 
 let input_names t =
   List.map

@@ -70,6 +70,26 @@ val input_names : t -> string list
 val outputs : t -> (string * node) list
 (** Primary outputs in declaration order. *)
 
+val input_ids : t -> node array
+(** Primary-input node ids in declaration order, precomputed once at
+    construction. The returned array is shared — callers must not
+    mutate it. Preferred over {!inputs} in per-word simulation code,
+    which would otherwise re-traverse the list on every call. *)
+
+val output_ids : t -> node array
+(** Primary-output node ids in declaration order; same sharing caveat
+    as {!input_ids}. *)
+
+val output_names : t -> string array
+(** Primary-output names in declaration order; parallel to
+    {!output_ids}. Shared, do not mutate. *)
+
+val input_count : t -> int
+(** [List.length (inputs t)] without the traversal. *)
+
+val output_count : t -> int
+(** [List.length (outputs t)] without the traversal. *)
+
 val find_input : t -> string -> node
 (** Raises [Not_found] for unknown names. *)
 

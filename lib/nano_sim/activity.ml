@@ -1,5 +1,6 @@
 module Netlist = Nano_netlist.Netlist
 module Gate = Nano_netlist.Gate
+module Compiled = Nano_netlist.Compiled
 
 type profile = {
   node_probability : float array;
@@ -35,18 +36,16 @@ let monte_carlo ?(seed = 0x5eed) ?(vectors = 4096) ?(input_probability = 0.5)
   let rng = Nano_util.Prng.create ~seed in
   let words = Nano_util.Math_ext.ceil_div vectors 64 in
   let n = Netlist.node_count netlist in
+  let c = Compiled.of_netlist netlist in
   let ones = Array.make n 0 in
-  let values = Array.make n 0L in
-  let n_in = List.length (Netlist.inputs netlist) in
+  let values = Compiled.create_values c in
   for _ = 1 to words do
-    let input_words =
-      Array.init n_in (fun _ ->
-          Nano_util.Prng.word_with_density rng ~p:input_probability)
-    in
-    Bitsim.eval_words_into netlist ~input_words ~values;
-    Array.iteri
-      (fun id w -> ones.(id) <- ones.(id) + Nano_util.Bits.popcount64 w)
-      values
+    (* [draw_input_words] draws one density word per input in
+       declaration order — the same stream the pre-compiled loop
+       consumed. *)
+    Compiled.draw_input_words c rng ~input_probability ~values;
+    Compiled.exec_words c ~values;
+    Compiled.add_ones_counts c ~values ~into:ones
   done;
   let total = float_of_int (words * 64) in
   let probs = Array.map (fun c -> float_of_int c /. total) ones in
@@ -101,21 +100,16 @@ let measured_toggle_rate ?(seed = 0x70661e) ?(pairs = 4096)
   let rng = Nano_util.Prng.create ~seed in
   let words = Nano_util.Math_ext.ceil_div pairs 64 in
   let n = Netlist.node_count netlist in
+  let c = Compiled.of_netlist netlist in
   let toggles = Array.make n 0 in
-  let values_a = Array.make n 0L in
-  let values_b = Array.make n 0L in
-  let n_in = List.length (Netlist.inputs netlist) in
-  let draw () =
-    Array.init n_in (fun _ ->
-        Nano_util.Prng.word_with_density rng ~p:input_probability)
-  in
+  let values_a = Compiled.create_values c in
+  let values_b = Compiled.create_values c in
   for _ = 1 to words do
-    Bitsim.eval_words_into netlist ~input_words:(draw ()) ~values:values_a;
-    Bitsim.eval_words_into netlist ~input_words:(draw ()) ~values:values_b;
-    for id = 0 to n - 1 do
-      let diff = Int64.logxor values_a.(id) values_b.(id) in
-      toggles.(id) <- toggles.(id) + Nano_util.Bits.popcount64 diff
-    done
+    Compiled.draw_input_words c rng ~input_probability ~values:values_a;
+    Compiled.exec_words c ~values:values_a;
+    Compiled.draw_input_words c rng ~input_probability ~values:values_b;
+    Compiled.exec_words c ~values:values_b;
+    Compiled.add_toggle_counts c ~a:values_a ~b:values_b ~into:toggles
   done;
   let total = float_of_int (words * 64) in
   Array.map (fun c -> float_of_int c /. total) toggles

@@ -1,19 +1,16 @@
 module Netlist = Nano_netlist.Netlist
-module Gate = Nano_netlist.Gate
+module Compiled = Nano_netlist.Compiled
 
 let eval_words_into netlist ~input_words ~values =
-  let n_in = List.length (Netlist.inputs netlist) in
-  if Array.length input_words <> n_in then
+  if Array.length input_words <> Netlist.input_count netlist then
     invalid_arg "Bitsim.eval_words_into: wrong number of input words";
   if Array.length values <> Netlist.node_count netlist then
     invalid_arg "Bitsim.eval_words_into: wrong values length";
-  List.iteri (fun i id -> values.(id) <- input_words.(i)) (Netlist.inputs netlist);
-  Netlist.iter netlist (fun id info ->
-      match info.Netlist.kind with
-      | Gate.Input -> ()
-      | kind ->
-        let words = Array.map (fun f -> values.(f)) info.Netlist.fanins in
-        values.(id) <- Gate.eval_word kind words)
+  let c = Compiled.of_netlist netlist in
+  let buf = Compiled.create_values c in
+  Compiled.set_input_words c ~values:buf input_words;
+  Compiled.exec_words c ~values:buf;
+  Compiled.blit_values c ~values:buf ~into:values
 
 let eval_words netlist input_words =
   let values = Array.make (Netlist.node_count netlist) 0L in
@@ -25,5 +22,16 @@ let random_input_words rng ~input_probability ~count =
       Nano_util.Prng.word_with_density rng ~p:input_probability)
 
 let output_word netlist values name =
-  let node = List.assoc name (Netlist.outputs netlist) in
-  values.(node)
+  let names = Netlist.output_names netlist in
+  let ids = Netlist.output_ids netlist in
+  let n = Array.length names in
+  let rec find i =
+    if i >= n then
+      invalid_arg
+        (Printf.sprintf
+           "Bitsim.output_word: unknown output %S (valid outputs: %s)" name
+           (String.concat ", " (Array.to_list names)))
+    else if String.equal names.(i) name then values.(ids.(i))
+    else find (i + 1)
+  in
+  find 0

@@ -1,6 +1,14 @@
 (** 64-way bit-parallel functional simulation of netlists: every [int64]
     word carries 64 independent input vectors through the circuit at
-    once. *)
+    once.
+
+    Both entry points evaluate through the compiled kernel
+    ({!Nano_netlist.Compiled}), lowered once per netlist and memoized;
+    results are bit-identical to the historical interpretive walk over
+    [Netlist.iter] / [Gate.eval_word]. Code running the per-word loop
+    itself (Monte-Carlo engines) should call {!Nano_netlist.Compiled}
+    directly and reuse its packed buffers; these wrappers copy the
+    result out into an [int64 array] for convenience. *)
 
 val eval_words : Nano_netlist.Netlist.t -> int64 array -> int64 array
 (** [eval_words netlist input_words] simulates 64 vectors. The array
@@ -9,8 +17,8 @@ val eval_words : Nano_netlist.Netlist.t -> int64 array -> int64 array
 
 val eval_words_into :
   Nano_netlist.Netlist.t -> input_words:int64 array -> values:int64 array -> unit
-(** Allocation-free variant: [values] must have [node_count] entries and
-    is overwritten. *)
+(** In-place variant: [values] must have [node_count] entries and is
+    overwritten. *)
 
 val random_input_words :
   Nano_util.Prng.t -> input_probability:float -> count:int -> int64 array
@@ -18,4 +26,5 @@ val random_input_words :
 
 val output_word : Nano_netlist.Netlist.t -> int64 array -> string -> int64
 (** Extract the word of a named primary output from an
-    {!eval_words} result. Raises [Not_found] for unknown output names. *)
+    {!eval_words} result. Raises [Invalid_argument] for unknown output
+    names, listing the valid outputs in the message. *)

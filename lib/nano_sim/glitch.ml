@@ -1,5 +1,6 @@
 module Netlist = Nano_netlist.Netlist
 module Gate = Nano_netlist.Gate
+module Compiled = Nano_netlist.Compiled
 
 type profile = {
   node_transitions : float array;
@@ -16,59 +17,40 @@ let is_counted info =
   | Gate.Not | Gate.And | Gate.Or | Gate.Nand | Gate.Nor | Gate.Xor
   | Gate.Xnor | Gate.Majority -> true
 
-(* One synchronous unit-delay step: every gate reads its fanins'
-   previous values. Inputs hold the new vector. *)
-let step netlist ~prev ~next =
-  Netlist.iter netlist (fun id info ->
-      match info.Netlist.kind with
-      | Gate.Input -> next.(id) <- prev.(id)
-      | kind ->
-        let words = Array.map (fun f -> prev.(f)) info.Netlist.fanins in
-        next.(id) <- Gate.eval_word kind words)
-
 let unit_delay ?(seed = 0x911c) ?(pairs = 2048) ?(input_probability = 0.5)
     netlist =
   let rng = Nano_util.Prng.create ~seed in
   let words = Nano_util.Math_ext.ceil_div pairs 64 in
   let n = Netlist.node_count netlist in
-  let n_in = List.length (Netlist.inputs netlist) in
+  let c = Compiled.of_netlist netlist in
   let depth = Netlist.depth netlist in
   let transitions = Array.make n 0 in
   let settled_toggles = Array.make n 0 in
-  let old_values = Array.make n 0L in
-  let new_values = Array.make n 0L in
-  let prev = Array.make n 0L in
-  let next = Array.make n 0L in
+  let old_values = Compiled.create_values c in
+  let new_values = Compiled.create_values c in
+  let prev = Compiled.create_values c in
+  let next = Compiled.create_values c in
+  let buf_len = Bytes.length old_values in
   for _ = 1 to words do
-    let draw () =
-      Array.init n_in (fun _ ->
-          Nano_util.Prng.word_with_density rng ~p:input_probability)
-    in
-    let vec_a = draw () in
-    let vec_b = draw () in
-    Bitsim.eval_words_into netlist ~input_words:vec_a ~values:old_values;
-    Bitsim.eval_words_into netlist ~input_words:vec_b ~values:new_values;
-    for id = 0 to n - 1 do
-      settled_toggles.(id) <-
-        settled_toggles.(id)
-        + Nano_util.Bits.popcount64 (Int64.logxor old_values.(id) new_values.(id))
-    done;
-    (* Wave propagation: start settled at A, inputs snap to B. *)
-    Array.blit old_values 0 prev 0 n;
-    List.iteri (fun i id -> prev.(id) <- vec_b.(i)) (Netlist.inputs netlist);
-    for id = 0 to n - 1 do
-      transitions.(id) <-
-        transitions.(id)
-        + Nano_util.Bits.popcount64 (Int64.logxor prev.(id) old_values.(id))
-    done;
+    (* Same PRNG stream as the pre-compiled loop: vector A's input
+       words, then vector B's (evaluation consumes no draws). *)
+    Compiled.draw_input_words c rng ~input_probability ~values:old_values;
+    Compiled.exec_words c ~values:old_values;
+    Compiled.draw_input_words c rng ~input_probability ~values:new_values;
+    Compiled.exec_words c ~values:new_values;
+    Compiled.add_toggle_counts c ~a:old_values ~b:new_values
+      ~into:settled_toggles;
+    (* Wave propagation: start settled at A, inputs snap to B (the input
+       slots of [new_values] still hold vector B after evaluation). *)
+    Bytes.blit old_values 0 prev 0 buf_len;
+    Compiled.copy_input_words c ~src:new_values ~dst:prev;
+    Compiled.add_toggle_counts c ~a:prev ~b:old_values ~into:transitions;
     for _t = 1 to depth do
-      step netlist ~prev ~next;
-      for id = 0 to n - 1 do
-        transitions.(id) <-
-          transitions.(id)
-          + Nano_util.Bits.popcount64 (Int64.logxor next.(id) prev.(id))
-      done;
-      Array.blit next 0 prev 0 n
+      (* One synchronous unit-delay step: every gate reads its fanins'
+         previous values; inputs copy through. *)
+      Compiled.exec_step c ~src:prev ~dst:next;
+      Compiled.add_toggle_counts c ~a:next ~b:prev ~into:transitions;
+      Bytes.blit next 0 prev 0 buf_len
     done
   done;
   let total = float_of_int (words * 64) in

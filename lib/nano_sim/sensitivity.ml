@@ -1,74 +1,91 @@
 module Netlist = Nano_netlist.Netlist
+module Compiled = Nano_netlist.Compiled
 module Par = Nano_util.Par
 module Prng = Nano_util.Prng
 
 (* Bit-parallel flip evaluation: lane 0 carries the base assignment and
    lane j (1 <= j <= 63) the assignment with one input flipped, so one
-   netlist evaluation measures up to 63 single-input flips. *)
-let at_assignment netlist bits =
+   netlist evaluation measures up to 63 single-input flips. [values] is
+   a {!Compiled.create_values} buffer owned by the caller, so the
+   per-assignment loops of {!exact} and {!sampled} reuse one buffer for
+   the whole shard instead of allocating per assignment. *)
+let at_assignment_in c ~values bits =
   let n = Array.length bits in
-  let outputs = Netlist.outputs netlist in
-  let values = Array.make (Netlist.node_count netlist) 0L in
-  let changed = Array.make n false in
+  let input_ids = Compiled.input_ids c in
+  if n <> Array.length input_ids then
+    invalid_arg "Sensitivity.at_assignment: wrong number of input bits";
+  let out_ids = Compiled.output_ids c in
+  let n_out = Array.length out_ids in
+  let changed = ref 0 in
   let chunk_start = ref 0 in
   while !chunk_start < n do
     let flips = min 63 (n - !chunk_start) in
-    let input_words =
-      Array.init n (fun i ->
-          let base = if bits.(i) then -1L else 0L in
-          let local = i - !chunk_start in
-          if local >= 0 && local < flips then
-            (* Flip this input in its dedicated lane (local + 1). *)
-            Int64.logxor base (Int64.shift_left 1L (local + 1))
-          else base)
-    in
-    Bitsim.eval_words_into netlist ~input_words ~values;
+    for i = 0 to n - 1 do
+      let base = if bits.(i) then -1L else 0L in
+      let local = i - !chunk_start in
+      let w =
+        if local >= 0 && local < flips then
+          (* Flip this input in its dedicated lane (local + 1). *)
+          Int64.logxor base (Int64.shift_left 1L (local + 1))
+        else base
+      in
+      Compiled.set_word values input_ids.(i) w
+    done;
+    Compiled.exec_words c ~values;
     (* A lane differs from lane 0 when some output bit differs. *)
     let diff = ref 0L in
-    List.iter
-      (fun (_, node) ->
-        let w = values.(node) in
-        let base_bit = Int64.logand w 1L in
-        (* Spread lane 0's bit across all lanes and XOR. *)
-        let spread = Int64.neg base_bit (* 0 -> 0L, 1 -> all ones *) in
-        diff := Int64.logor !diff (Int64.logxor w spread))
-      outputs;
+    for i = 0 to n_out - 1 do
+      let w = Compiled.get_word values out_ids.(i) in
+      let base_bit = Int64.logand w 1L in
+      (* Spread lane 0's bit across all lanes and XOR. *)
+      let spread = Int64.neg base_bit (* 0 -> 0L, 1 -> all ones *) in
+      diff := Int64.logor !diff (Int64.logxor w spread)
+    done;
+    (* Each input lives in exactly one chunk, so counting here equals
+       counting distinct changed inputs. *)
     for j = 0 to flips - 1 do
-      if Nano_util.Bits.get !diff (j + 1) then
-        changed.(!chunk_start + j) <- true
+      if Nano_util.Bits.get !diff (j + 1) then incr changed
     done;
     chunk_start := !chunk_start + flips
   done;
-  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 changed
+  !changed
+
+let at_assignment netlist bits =
+  let c = Compiled.of_netlist netlist in
+  at_assignment_in c ~values:(Compiled.create_values c) bits
 
 (* Maximum of [at_assignment] over the assignments encoded by integers
-   [lo, hi); each call allocates its own evaluation buffers, so shards
-   share nothing but the read-only netlist. *)
-let max_over_range netlist n (lo, hi) =
+   [lo, hi); each shard allocates its own evaluation buffer, so shards
+   share nothing but the read-only compiled program. *)
+let max_over_range c n (lo, hi) =
   let bits = Array.make n false in
+  let values = Compiled.create_values c in
   let best = ref 0 in
   for a = lo to hi - 1 do
     for i = 0 to n - 1 do
       bits.(i) <- (a lsr i) land 1 = 1
     done;
-    let s = at_assignment netlist bits in
+    let s = at_assignment_in c ~values bits in
     if s > !best then best := s
   done;
   !best
 
 let exact ?(max_inputs = 12) ?(jobs = 1) netlist =
-  let n = List.length (Netlist.inputs netlist) in
+  let n = Netlist.input_count netlist in
   if n > max_inputs then None
-  else
+  else begin
     (* Partition the assignment space [0, 2^n) into contiguous ranges;
        the maximum is order-insensitive, so the result cannot depend on
        the job count. *)
+    let c = Compiled.of_netlist netlist in
     Some
       (Array.fold_left max 0
-         (Par.map ~jobs (max_over_range netlist n) (Par.ranges ~jobs (1 lsl n))))
+         (Par.map ~jobs (max_over_range c n) (Par.ranges ~jobs (1 lsl n))))
+  end
 
 let sampled ?(seed = 0x5e15) ?(samples = 2048) ?(jobs = 1) netlist =
-  let n = List.length (Netlist.inputs netlist) in
+  let n = Netlist.input_count netlist in
+  let c = Compiled.of_netlist netlist in
   (* Each sample consumes exactly [n] PRNG draws (one per input bit), so
      a shard handling samples [lo, hi) jumps the seed stream to draw
      [lo * n] and replays the exact segment the sequential loop would
@@ -77,12 +94,13 @@ let sampled ?(seed = 0x5e15) ?(samples = 2048) ?(jobs = 1) netlist =
     let rng = Prng.create ~seed in
     Prng.jump rng ~draws:(lo * n);
     let bits = Array.make n false in
+    let values = Compiled.create_values c in
     let best = ref 0 in
     for _ = lo to hi - 1 do
       for i = 0 to n - 1 do
         bits.(i) <- Prng.bool rng
       done;
-      let s = at_assignment netlist bits in
+      let s = at_assignment_in c ~values bits in
       if s > !best then best := s
     done;
     !best

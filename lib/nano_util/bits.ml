@@ -1,4 +1,7 @@
-let popcount64 w =
+(* [@inline]: the simulation counter loops feed this values loaded
+   straight from packed byte buffers; inlining lets ocamlopt keep the
+   argument unboxed instead of boxing it at the call boundary. *)
+let[@inline] popcount64 w =
   let open Int64 in
   let w = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
   let w = add (logand w 0x3333333333333333L) (logand (shift_right_logical w 2) 0x3333333333333333L) in

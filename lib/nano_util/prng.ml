@@ -1,32 +1,57 @@
-type t = { mutable state : int64 }
+(* SplitMix64 (Steele, Lea & Flood 2014).
+
+   The 64-bit state lives in an 8-byte [Bytes.t] buffer instead of a
+   boxed [int64] record field. Classic (non-flambda) ocamlopt cannot
+   eliminate the box a mutable [int64] field forces on every state
+   update, but it does unbox let-bound [int64]s whose uses are all
+   unboxing contexts — and the raw load/store primitives below are such
+   contexts. With [mix]/[bits64]/[float] marked [@inline], every draw in
+   the Monte-Carlo inner loops compiles to straight register arithmetic
+   with zero heap allocation. The buffer holds 16 bytes: the state word
+   at offset 0 and a scratch word at offset 8 used by
+   {!word_with_density} to build its result without a boxed
+   accumulator. *)
+
+external get64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external set64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+type t = { buf : Bytes.t }
+
+let state_pos = 0
+let scratch_pos = 8
 
 let golden_gamma = 0x9E3779B97F4A7C15L
 
-(* SplitMix64 finalizer (Steele, Lea & Flood 2014). *)
-let mix z =
+let[@inline] mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create ~seed = { state = mix (Int64.of_int seed) }
+let of_state s =
+  let buf = Bytes.make 16 '\000' in
+  set64 buf state_pos s;
+  { buf }
 
-let bits64 t =
-  t.state <- Int64.add t.state golden_gamma;
-  mix t.state
+let create ~seed = of_state (mix (Int64.of_int seed))
 
-let split t =
-  let seed = bits64 t in
-  { state = mix seed }
+let[@inline] bits64 t =
+  let s = Int64.add (get64 t.buf state_pos) golden_gamma in
+  set64 t.buf state_pos s;
+  mix s
 
-let copy t = { state = t.state }
+let split t = of_state (mix (bits64 t))
+
+let copy t = of_state (get64 t.buf state_pos)
 
 let jump t ~draws =
   if draws < 0 then invalid_arg "Nano_util.Prng.jump: draws must be >= 0";
   (* [bits64] advances the state by one gamma per call, so skipping
      [draws] calls is a single wrapping multiply-add. *)
-  t.state <- Int64.add t.state (Int64.mul (Int64.of_int draws) golden_gamma)
+  set64 t.buf state_pos
+    (Int64.add (get64 t.buf state_pos)
+       (Int64.mul (Int64.of_int draws) golden_gamma))
 
-let float t =
+let[@inline] float t =
   (* 53 high-quality bits -> [0,1). *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in
   Int64.to_float bits *. (1. /. 9007199254740992.)
@@ -60,17 +85,53 @@ let int t ~bound =
     draw ()
   end
 
-let word_with_density t ~p =
+let[@inline] check_density p =
   if not (p >= 0. && p <= 1.) then
-    invalid_arg "Nano_util.Prng.word_with_density: p must lie in [0, 1]";
-  if p = 0.5 then bits64 t
+    invalid_arg "Nano_util.Prng.word_with_density: p must lie in [0, 1]"
+
+(* The three density-word entry points must consume draws identically
+   (1 draw when p = 0.5, else 64 — see [draws_per_word]): seed-sharded
+   simulation jumps over words by that constant. *)
+
+let[@inline always] store_word_with_density t ~p dst pos =
+  check_density p;
+  if p = 0.5 then set64 dst pos (bits64 t)
   else begin
-    let word = ref 0L in
+    set64 dst pos 0L;
     for i = 0 to 63 do
-      if float t < p then word := Int64.logor !word (Int64.shift_left 1L i)
-    done;
-    !word
+      if float t < p then
+        set64 dst pos (Int64.logor (get64 dst pos) (Int64.shift_left 1L i))
+    done
   end
+
+let[@inline always] xor_word_with_density t ~p dst pos =
+  check_density p;
+  if p = 0.5 then set64 dst pos (Int64.logxor (get64 dst pos) (bits64 t))
+  else
+    for i = 0 to 63 do
+      if float t < p then
+        set64 dst pos (Int64.logxor (get64 dst pos) (Int64.shift_left 1L i))
+    done
+
+(* Density read from packed float bits rather than a [float] argument:
+   dune's dev profile compiles with [-opaque], so cross-library callers
+   cannot rely on inlining — a [float] loaded from a [float array] would
+   be boxed at every call. Reading the bits out of a byte buffer keeps
+   every argument immediate or a pointer, and the float stays unboxed
+   inside this compilation unit. *)
+let xor_word_with_density_from t ~eps ~eps_pos dst pos =
+  let p = Int64.float_of_bits (get64 eps eps_pos) in
+  check_density p;
+  if p = 0.5 then set64 dst pos (Int64.logxor (get64 dst pos) (bits64 t))
+  else
+    for i = 0 to 63 do
+      if float t < p then
+        set64 dst pos (Int64.logxor (get64 dst pos) (Int64.shift_left 1L i))
+    done
+
+let word_with_density t ~p =
+  store_word_with_density t ~p t.buf scratch_pos;
+  get64 t.buf scratch_pos
 
 let draws_per_word ~p = if p = 0.5 then 1 else 64
 

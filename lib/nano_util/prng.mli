@@ -54,6 +54,31 @@ val word_with_density : t -> p:float -> int64
     independently one with probability [p]; used by bit-parallel
     simulation. *)
 
+val store_word_with_density : t -> p:float -> Bytes.t -> int -> unit
+(** [store_word_with_density t ~p dst pos] draws the same word
+    {!word_with_density} would and stores it at byte offset [pos] of
+    [dst] (native endianness, unchecked offset — the caller guarantees
+    [pos + 8 <= Bytes.length dst]). Allocation-free: the hot-path
+    variant used by the compiled simulation kernels, which keep node
+    values in packed byte buffers. Consumes exactly
+    [draws_per_word ~p] draws. *)
+
+val xor_word_with_density : t -> p:float -> Bytes.t -> int -> unit
+(** [xor_word_with_density t ~p dst pos] XORs a density-[p] word into
+    the word at byte offset [pos] of [dst]; same draw consumption and
+    caveats as {!store_word_with_density}. This is the noise-injection
+    primitive: flipping each bit of a clean value independently with
+    probability [p] models the symmetric error channel. *)
+
+val xor_word_with_density_from :
+  t -> eps:Bytes.t -> eps_pos:int -> Bytes.t -> int -> unit
+(** {!xor_word_with_density} with the density read as IEEE-754 bits from
+    [eps] at byte offset [eps_pos] ([Int64.bits_of_float] encoding).
+    Taking the probability through a byte buffer instead of a [float]
+    argument keeps the call allocation-free from other libraries, where
+    [-opaque] dev builds prevent inlining and a float argument loaded
+    from a [float array] would be boxed at every call. *)
+
 val draws_per_word : p:float -> int
 (** Number of {!bits64} calls one [word_with_density ~p] consumes (1 when
     [p = 0.5], 64 otherwise) — the constant needed to {!jump} over

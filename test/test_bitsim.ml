@@ -31,9 +31,19 @@ let test_output_word () =
   let values = Bitsim.eval_words n [| 0xF0L |] in
   Alcotest.(check int64) "inverted" (Int64.lognot 0xF0L)
     (Bitsim.output_word n values "o");
+  (* Unknown names fail loudly, naming the offender and the valid
+     outputs. *)
   (match Bitsim.output_word n values "zzz" with
-  | exception Not_found -> ()
-  | _ -> Alcotest.fail "expected Not_found")
+  | exception Invalid_argument msg ->
+    let mentions s =
+      let n = String.length msg and m = String.length s in
+      let rec go i = i + m <= n && (String.sub msg i m = s || go (i + 1)) in
+      go 0
+    in
+    if not (mentions "zzz" && mentions "valid outputs: o") then
+      Alcotest.failf "message should name the bad output and valid ones: %s"
+        msg
+  | _ -> Alcotest.fail "expected Invalid_argument")
 
 let test_wrong_input_count () =
   let n = Helpers.random_netlist ~seed:3 ~inputs:4 ~gates:5 () in

@@ -1,0 +1,254 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+module Compiled = Nano_netlist.Compiled
+module Noisy_sim = Nano_faults.Noisy_sim
+module Prng = Nano_util.Prng
+module Random_circuit = Nano_circuits.Random_circuit
+
+(* ------------------------------------------------------------------ *)
+(* Lowering structure.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_memoized () =
+  let n = Nano_circuits.Iscas_like.c17 () in
+  let c1 = Compiled.of_netlist n in
+  let c2 = Compiled.of_netlist n in
+  Alcotest.(check bool) "same compiled program" true (c1 == c2);
+  let c3 = Compiled.compile n in
+  Alcotest.(check bool) "compile bypasses the cache" false (c1 == c3)
+
+let test_structure () =
+  let n = Nano_circuits.Iscas_like.c17 () in
+  let c = Compiled.of_netlist n in
+  Alcotest.(check int) "node count" (Netlist.node_count n)
+    (Compiled.node_count c);
+  Alcotest.(check int) "noisy gates = logic size" (Netlist.size n)
+    (Compiled.noisy_count c);
+  Alcotest.(check (array int)) "input ids" (Netlist.input_ids n)
+    (Compiled.input_ids c);
+  Alcotest.(check (array int)) "output ids" (Netlist.output_ids n)
+    (Compiled.output_ids c);
+  Netlist.iter n (fun id info ->
+      let noisy =
+        match info.Netlist.kind with
+        | Gate.Input | Gate.Const _ | Gate.Buf -> false
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "noisy flag of node %d" id)
+        noisy (Compiled.is_noisy c id))
+
+(* Every logic kind at every interesting arity gets its own one-gate
+   netlist; the compiled result must equal [Gate.eval_word] on random
+   words. This pins each opcode — including the [_n] fallbacks — to the
+   reference semantics. *)
+let test_each_opcode () =
+  let rng = Prng.create ~seed:0xc0de in
+  List.iter
+    (fun kind ->
+      let arities =
+        match kind with
+        | Gate.Not | Gate.Buf -> [ 1 ]
+        | Gate.Majority -> [ 3; 5 ]
+        | _ -> [ 2; 3; 4 ]
+      in
+      List.iter
+        (fun arity ->
+          let b = Netlist.Builder.create ~name:"one_gate" () in
+          let xs =
+            List.init arity (fun i ->
+                Netlist.Builder.input b (Printf.sprintf "x%d" i))
+          in
+          Netlist.Builder.output b "y" (Netlist.Builder.add b kind xs);
+          let n = Netlist.Builder.finish b in
+          let c = Compiled.of_netlist n in
+          let values = Compiled.create_values c in
+          for _ = 1 to 16 do
+            let words = Array.init arity (fun _ -> Prng.bits64 rng) in
+            Compiled.set_input_words c ~values words;
+            Compiled.exec_words c ~values;
+            let got = Compiled.get_word values (Compiled.output_ids c).(0) in
+            Alcotest.(check int64)
+              (Printf.sprintf "%s/%d" (Gate.name kind) arity)
+              (Gate.eval_word kind words)
+              got
+          done)
+        arities)
+    (Gate.Buf :: Gate.all_logic_kinds)
+
+(* Randomized circuits over the full primitive mix: every lane of the
+   compiled word evaluation must match the scalar single-vector
+   reference. *)
+let test_matches_scalar_on_random_circuits () =
+  let rng = Prng.create ~seed:0xab1e in
+  for seed = 1 to 8 do
+    let config =
+      {
+        Random_circuit.inputs = 6;
+        gates = 40;
+        outputs = 4;
+        allow_majority = true;
+        max_fanin = 4;
+      }
+    in
+    let n = Random_circuit.generate ~config ~seed () in
+    let c = Compiled.of_netlist n in
+    let n_in = Netlist.input_count n in
+    let values = Compiled.create_values c in
+    let words = Array.init n_in (fun _ -> Prng.bits64 rng) in
+    Compiled.set_input_words c ~values words;
+    Compiled.exec_words c ~values;
+    for lane = 0 to 63 do
+      let bits =
+        Array.init n_in (fun i -> Nano_util.Bits.get words.(i) lane)
+      in
+      let scalar = Netlist.eval_nodes n bits in
+      for id = 0 to Netlist.node_count n - 1 do
+        if Nano_util.Bits.get (Compiled.get_word values id) lane <> scalar.(id)
+        then
+          Alcotest.failf "seed %d: node %d lane %d disagrees with eval_nodes"
+            seed id lane
+      done
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let check_results_equal msg (a : Noisy_sim.result) (b : Noisy_sim.result) =
+  Alcotest.(check int) (msg ^ ": vectors") a.vectors b.vectors;
+  Alcotest.(check (list (pair string (float 0.))))
+    (msg ^ ": per-output error") a.per_output_error b.per_output_error;
+  Alcotest.(check (float 0.))
+    (msg ^ ": any-output error") a.any_output_error b.any_output_error;
+  Alcotest.(check (array (float 0.)))
+    (msg ^ ": node probability") a.node_probability b.node_probability;
+  Alcotest.(check (array (float 0.)))
+    (msg ^ ": node activity") a.node_activity b.node_activity;
+  Alcotest.(check (float 0.))
+    (msg ^ ": average activity") a.average_gate_activity
+    b.average_gate_activity
+
+(* The compiled engine must reproduce the interpretive engine (which
+   shares nothing with it but the PRNG stream) bit-for-bit, for every
+   job count — and the homogeneous fast path (epsilon = 0.5) and the
+   noiseless edge (epsilon = 0) as well. *)
+let test_engines_agree () =
+  let circuits =
+    [
+      ("c17", Nano_circuits.Iscas_like.c17 ());
+      ("rca8", Nano_circuits.Adders.ripple_carry ~width:8);
+      ( "rand",
+        Random_circuit.generate
+          ~config:
+            {
+              Random_circuit.inputs = 5;
+              gates = 30;
+              outputs = 3;
+              allow_majority = true;
+              max_fanin = 4;
+            }
+          ~seed:42 () );
+    ]
+  in
+  List.iter
+    (fun (name, n) ->
+      List.iter
+        (fun epsilon ->
+          let interp =
+            Noisy_sim.simulate ~vectors:1024 ~engine:`Interp ~epsilon n
+          in
+          List.iter
+            (fun jobs ->
+              let compiled =
+                Noisy_sim.simulate ~vectors:1024 ~jobs ~engine:`Compiled
+                  ~epsilon n
+              in
+              check_results_equal
+                (Printf.sprintf "%s eps %g jobs %d" name epsilon jobs)
+                interp compiled)
+            [ 1; 2; 4 ])
+        [ 0.0; 0.02; 0.5 ])
+    circuits
+
+let test_engines_agree_heterogeneous () =
+  let n = Nano_circuits.Adders.ripple_carry ~width:4 in
+  let epsilon_of id = float_of_int (id mod 3) *. 0.01 in
+  let interp =
+    Noisy_sim.simulate_heterogeneous ~vectors:512 ~input_probability:0.3
+      ~engine:`Interp ~epsilon_of n
+  in
+  List.iter
+    (fun jobs ->
+      let compiled =
+        Noisy_sim.simulate_heterogeneous ~vectors:512 ~input_probability:0.3
+          ~jobs ~engine:`Compiled ~epsilon_of n
+      in
+      check_results_equal
+        (Printf.sprintf "heterogeneous jobs %d" jobs)
+        interp compiled)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Allocation.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The acceptance bar for the compiled kernel: once buffers exist, the
+   per-word simulation loop — input draws, clean and noisy evaluation,
+   counter updates — allocates nothing on the minor heap. Only
+   meaningful under the native-code compiler; bytecode boxes
+   everything. *)
+let test_zero_allocation () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> ()
+  | Sys.Native ->
+    let n = Nano_circuits.Adders.ripple_carry ~width:8 in
+    let c = Compiled.of_netlist n in
+    let rng = Prng.create ~seed:7 in
+    let epsilons =
+      Compiled.pack_epsilons c (Array.make (Compiled.node_count c) 0.02)
+    in
+    let golden = Compiled.create_values c in
+    let noisy = Compiled.create_values c in
+    let count = Compiled.node_count c in
+    let ones = Array.make count 0 in
+    let toggles = Array.make count 0 in
+    let out_errors = Array.make (Array.length (Compiled.output_ids c)) 0 in
+    let any = ref 0 in
+    let loop words =
+      for _ = 1 to words do
+        Compiled.draw_input_words c rng ~input_probability:0.3 ~values:golden;
+        Compiled.exec_words c ~values:golden;
+        Compiled.copy_input_words c ~src:golden ~dst:noisy;
+        Compiled.exec_noisy_words c ~epsilons ~rng ~values:noisy;
+        Compiled.add_ones_counts c ~values:noisy ~into:ones;
+        Compiled.add_toggle_counts c ~a:golden ~b:noisy ~into:toggles;
+        any :=
+          !any
+          + Compiled.add_output_error_counts c ~golden ~noisy ~into:out_errors
+      done
+    in
+    (* Warm-up triggers any one-time lazy initialization. *)
+    loop 2;
+    let before = Gc.minor_words () in
+    loop 64;
+    let allocated = Gc.minor_words () -. before in
+    if allocated <> 0. then
+      Alcotest.failf "per-word loop allocated %.0f minor words over 64 words"
+        allocated
+
+let suite =
+  [
+    Alcotest.test_case "memoized per netlist" `Quick test_memoized;
+    Alcotest.test_case "structure" `Quick test_structure;
+    Alcotest.test_case "each opcode matches Gate.eval_word" `Quick
+      test_each_opcode;
+    Alcotest.test_case "random circuits match scalar eval" `Quick
+      test_matches_scalar_on_random_circuits;
+    Alcotest.test_case "engines agree (homogeneous)" `Quick test_engines_agree;
+    Alcotest.test_case "engines agree (heterogeneous)" `Quick
+      test_engines_agree_heterogeneous;
+    Alcotest.test_case "inner loop allocates nothing" `Quick
+      test_zero_allocation;
+  ]
