@@ -10,7 +10,8 @@
    --scaling-only skips the figures and Bechamel and prints just the
    domain-scaling table (for CI smoke runs). --engines-only prints just
    the interp-vs-compiled throughput table and records it to
-   BENCH_pr2.json. *)
+   BENCH_pr2.json. --service-only prints just the evaluation-service
+   cold-vs-warm analyze latency table and records it to BENCH_pr3.json. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -31,6 +32,8 @@ let jobs =
 let scaling_only = Array.exists (( = ) "--scaling-only") Sys.argv
 
 let engines_only = Array.exists (( = ) "--engines-only") Sys.argv
+
+let service_only = Array.exists (( = ) "--service-only") Sys.argv
 
 let print_series ~title ~x_label ~y_label series =
   let data =
@@ -682,6 +685,72 @@ let print_engine_throughput () =
   print_string "(written to BENCH_pr2.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Service: cold vs warm request latency.                               *)
+(* ------------------------------------------------------------------ *)
+
+(* One in-process evaluation service, cold-started, then the same
+   analyze request replayed against the warm response cache. The warm
+   reply must be the byte-identical line the cold evaluation produced;
+   the ratio is what keeping the daemon resident buys an interactive
+   client. *)
+let print_service_latency () =
+  let module Service = Nano_service.Service in
+  let config = { (Service.default_config ()) with Service.jobs } in
+  let t = Service.create ~config () in
+  let circuits = [ "c17"; "rca16"; "alu8"; "mult8" ] in
+  let warm_iters = 200 in
+  let entries =
+    List.map
+      (fun name ->
+        let line =
+          Printf.sprintf {|{"kind":"analyze","circuit":"%s"}|} name
+        in
+        let cold, cold_t = time (fun () -> Service.handle_line t line) in
+        let warm = ref "" in
+        let (), warm_total =
+          time (fun () ->
+              for _ = 1 to warm_iters do
+                warm := Service.handle_line t line
+              done)
+        in
+        let warm_t = warm_total /. float_of_int warm_iters in
+        (name, cold_t, warm_t, cold_t /. warm_t, cold = !warm))
+      circuits
+  in
+  Printf.printf "== Service: cold vs warm analyze latency (jobs=%d) ==\n" jobs;
+  print_string
+    (Report.Table.render
+       ~header:
+         [ "circuit"; "cold"; "warm"; "speedup"; "byte-identical" ]
+       ~rows:
+         (List.map
+            (fun (name, cold_t, warm_t, speedup, same) ->
+              [
+                name;
+                Printf.sprintf "%.2f ms" (1e3 *. cold_t);
+                Printf.sprintf "%.1f us" (1e6 *. warm_t);
+                Printf.sprintf "%.0fx" speedup;
+                string_of_bool same;
+              ])
+            entries));
+  let oc = open_out "BENCH_pr3.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"service cold-vs-warm analyze\",\n  \"jobs\": \
+     %d,\n  \"warm_iters\": %d,\n  \"circuits\": [\n"
+    jobs warm_iters;
+  List.iteri
+    (fun i (name, cold_t, warm_t, speedup, same) ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"cold_ms\": %.3f, \"warm_ms\": %.4f, \
+         \"speedup\": %.1f, \"byte_identical\": %b}%s\n"
+        name (1e3 *. cold_t) (1e3 *. warm_t) speedup same
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_string "(written to BENCH_pr3.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the figure drivers.                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -831,6 +900,9 @@ let () =
   if engines_only then (
     print_engine_throughput ();
     exit 0);
+  if service_only then (
+    print_service_latency ();
+    exit 0);
   print_string "nanobound benchmark harness — reproduces every figure of\n";
   print_string
     "'Energy Bounds for Fault-Tolerant Nanoscale Designs' (DATE 2005)\n\n";
@@ -898,5 +970,7 @@ let () =
   print_parallel_scaling ();
   print_newline ();
   print_engine_throughput ();
+  print_newline ();
+  print_service_latency ();
   print_newline ();
   run_bechamel profiles

@@ -8,11 +8,15 @@
      equiv     combinational equivalence (auto | BDD | SAT backends)
      critical  gate observability ranking + analytic reliability
      sweep     print the data series behind Figures 2-6
-     suite     list built-in benchmark circuits *)
+     suite     list built-in benchmark circuits
+     serve     persistent evaluation daemon (newline-delimited JSON)
+     request   send requests to a running daemon *)
 
 open Cmdliner
 
 let num = Nano_report.Report.Table.number
+
+let json_line v = print_endline (Nano_util.Json.to_string v)
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments.                                                    *)
@@ -49,6 +53,17 @@ let jobs_arg =
     & opt positive_int (Nano_util.Par.default_jobs ())
     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let format_arg =
+  let doc =
+    "Output format: `table' for the human-readable rendering, `json' \
+     for one line of JSON carrying the same record the evaluation \
+     service protocol uses (see `nanobound serve')."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
 let circuit_arg =
   let doc =
     "Circuit to analyze: either a BLIF file path or the name of a built-in \
@@ -78,7 +93,7 @@ let load_circuit spec =
 
 let bounds_cmd =
   let run epsilon delta fanin sensitivity size inputs sw0 leakage_share0
-      explain =
+      explain format =
     let scenario =
       {
         Nano_bounds.Metrics.epsilon;
@@ -95,22 +110,26 @@ let bounds_cmd =
       prerr_endline "error: parameters outside the theorems' domain";
       exit 1
     end;
-    if explain then print_string (Nano_bounds.Metrics.explain scenario);
+    if explain && format = `Table then
+      print_string (Nano_bounds.Metrics.explain scenario);
     let b = Nano_bounds.Metrics.evaluate scenario in
-    let opt = function Some v -> num v | None -> "infeasible" in
-    print_string
-      (Nano_report.Report.Table.render ~header:[ "metric"; "lower bound" ]
-         ~rows:
-           [
-             [ "size / S0"; num b.Nano_bounds.Metrics.size_ratio ];
-             [ "switching activity ratio"; num b.Nano_bounds.Metrics.activity_ratio ];
-             [ "switching energy / E0"; num b.Nano_bounds.Metrics.switching_energy_ratio ];
-             [ "total energy / E0"; num b.Nano_bounds.Metrics.energy_ratio ];
-             [ "leakage ratio change (Thm 3)"; num b.Nano_bounds.Metrics.leakage_ratio_change ];
-             [ "delay / D0"; opt b.Nano_bounds.Metrics.delay_ratio ];
-             [ "energy-delay / ED0"; opt b.Nano_bounds.Metrics.energy_delay_ratio ];
-             [ "average power / P0"; opt b.Nano_bounds.Metrics.average_power_ratio ];
-           ])
+    match format with
+    | `Json -> json_line (Nano_service.Protocol.bounds_to_json b)
+    | `Table ->
+      let opt = function Some v -> num v | None -> "infeasible" in
+      print_string
+        (Nano_report.Report.Table.render ~header:[ "metric"; "lower bound" ]
+           ~rows:
+             [
+               [ "size / S0"; num b.Nano_bounds.Metrics.size_ratio ];
+               [ "switching activity ratio"; num b.Nano_bounds.Metrics.activity_ratio ];
+               [ "switching energy / E0"; num b.Nano_bounds.Metrics.switching_energy_ratio ];
+               [ "total energy / E0"; num b.Nano_bounds.Metrics.energy_ratio ];
+               [ "leakage ratio change (Thm 3)"; num b.Nano_bounds.Metrics.leakage_ratio_change ];
+               [ "delay / D0"; opt b.Nano_bounds.Metrics.delay_ratio ];
+               [ "energy-delay / ED0"; opt b.Nano_bounds.Metrics.energy_delay_ratio ];
+               [ "average power / P0"; opt b.Nano_bounds.Metrics.average_power_ratio ];
+             ])
   in
   let fanin =
     Arg.(value & opt int 2 & info [ "k"; "fanin" ] ~docv:"K" ~doc:"Gate fanin.")
@@ -140,14 +159,14 @@ let bounds_cmd =
   Cmd.v (Cmd.info "bounds" ~doc)
     Term.(
       const run $ epsilon_arg $ delta_arg $ fanin $ sensitivity $ size
-      $ inputs $ sw0 $ leakage_arg $ explain)
+      $ inputs $ sw0 $ leakage_arg $ explain $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run spec delta leakage_share0 epsilons no_map glitch jobs =
+  let run spec delta leakage_share0 epsilons no_map glitch jobs format =
     match load_circuit spec with
     | Error msg ->
       prerr_endline msg;
@@ -158,37 +177,61 @@ let analyze_cmd =
         else Nano_synth.Script.rugged_lite ~max_fanin:3 circuit
       in
       let profile = Nano_bounds.Profile.of_netlist mapped in
-      Format.printf "%a@.@." Nano_bounds.Profile.pp profile;
-      if glitch then begin
-        let p = Nano_sim.Glitch.unit_delay ~pairs:2048 mapped in
-        Printf.printf
-          "glitch factor (unit-delay vs settled switching): %s\n\n"
-          (num p.Nano_sim.Glitch.glitch_factor)
-      end;
       let rows =
         Nano_util.Par.map_list ~jobs
           (fun epsilon ->
-            let r =
-              Nano_bounds.Benchmark_eval.evaluate_profile ~delta
-                ~leakage_share0 profile ~epsilon
-            in
-            let opt = function
-              | Some v -> num v
-              | None -> "infeasible"
-            in
-            [
-              num epsilon;
-              num r.Nano_bounds.Benchmark_eval.energy_ratio;
-              opt r.Nano_bounds.Benchmark_eval.delay_ratio;
-              opt r.Nano_bounds.Benchmark_eval.average_power_ratio;
-              opt r.Nano_bounds.Benchmark_eval.energy_delay_ratio;
-            ])
+            Nano_bounds.Benchmark_eval.evaluate_profile ~delta
+              ~leakage_share0 profile ~epsilon)
           epsilons
       in
-      print_string
-        (Nano_report.Report.Table.render
-           ~header:[ "eps"; "E/E0"; "D/D0"; "P/P0"; "ED/ED0" ]
-           ~rows)
+      let glitch_factor =
+        if glitch then
+          let p = Nano_sim.Glitch.unit_delay ~pairs:2048 mapped in
+          Some p.Nano_sim.Glitch.glitch_factor
+        else None
+      in
+      (match format with
+      | `Json ->
+        (* The exact record the service's analyze reply carries, so the
+           two surfaces stay round-trippable through one codepath. *)
+        let open Nano_util.Json in
+        let base =
+          [
+            ("profile", Nano_service.Protocol.profile_to_json profile);
+            ( "rows",
+              List
+                (Stdlib.List.map Nano_service.Protocol.row_to_json rows) );
+          ]
+        in
+        let extra =
+          match glitch_factor with
+          | Some g -> [ ("glitch_factor", Float g) ]
+          | None -> []
+        in
+        json_line (Obj (base @ extra))
+      | `Table ->
+        Format.printf "%a@.@." Nano_bounds.Profile.pp profile;
+        (match glitch_factor with
+        | Some g ->
+          Printf.printf
+            "glitch factor (unit-delay vs settled switching): %s\n\n"
+            (num g)
+        | None -> ());
+        let opt = function Some v -> num v | None -> "infeasible" in
+        print_string
+          (Nano_report.Report.Table.render
+             ~header:[ "eps"; "E/E0"; "D/D0"; "P/P0"; "ED/ED0" ]
+             ~rows:
+               (List.map
+                  (fun r ->
+                    [
+                      num r.Nano_bounds.Benchmark_eval.epsilon;
+                      num r.Nano_bounds.Benchmark_eval.energy_ratio;
+                      opt r.Nano_bounds.Benchmark_eval.delay_ratio;
+                      opt r.Nano_bounds.Benchmark_eval.average_power_ratio;
+                      opt r.Nano_bounds.Benchmark_eval.energy_delay_ratio;
+                    ])
+                  rows)))
   in
   let epsilons =
     Arg.(
@@ -211,7 +254,7 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run $ circuit_arg $ delta_arg $ leakage_arg $ epsilons $ no_map
-      $ glitch $ jobs_arg)
+      $ glitch $ jobs_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                                *)
@@ -531,6 +574,119 @@ let suite_cmd =
   Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let run socket stdio jobs cache_size max_request_bytes timeout_ms trace =
+    if socket <> None && stdio then begin
+      prerr_endline "error: --socket and --stdio are mutually exclusive";
+      exit 1
+    end;
+    let config =
+      {
+        Nano_service.Service.jobs;
+        cache_capacity = cache_size;
+        max_request_bytes;
+        default_timeout_ms = timeout_ms;
+        trace;
+      }
+    in
+    let t = Nano_service.Service.create ~config () in
+    match socket with
+    | Some path -> Nano_service.Service.serve_unix t ~socket_path:path
+    | None -> Nano_service.Service.run_stdio t stdin stdout
+  in
+  let socket =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Serve on a Unix-domain socket at $(docv).")
+  in
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve on stdin/stdout (the default when --socket is \
+                   absent).")
+  in
+  let cache_size =
+    Arg.(value & opt int 256
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"LRU capacity (entries) of the content-addressed result \
+                   and profile caches; 0 disables caching.")
+  in
+  let max_request_bytes =
+    Arg.(value & opt int (8 * 1024 * 1024)
+         & info [ "max-request-bytes" ] ~docv:"N"
+             ~doc:"Reject request lines longer than $(docv) with a \
+                   structured error.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline for requests that carry \
+                   no timeout_ms field.")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Log request lifecycles (kind, cache disposition, \
+                   latency) to stderr.")
+  in
+  let doc = "Run the persistent evaluation daemon (newline-delimited JSON)" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket $ stdio $ jobs_arg $ cache_size $ max_request_bytes
+      $ timeout_ms $ trace)
+
+(* ------------------------------------------------------------------ *)
+(* request                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let request_cmd =
+  let run socket requests =
+    match Nano_service.Client.connect ~socket_path:socket () with
+    | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 3
+    | Ok client ->
+      let status = ref 0 in
+      List.iter
+        (fun line ->
+          match Nano_service.Client.request_line client line with
+          | Error msg ->
+            prerr_endline ("error: " ^ msg);
+            status := 3
+          | Ok reply ->
+            print_endline reply;
+            (* Reflect structured failures in the exit code. *)
+            (match Nano_util.Json.parse reply with
+            | Ok v
+              when Nano_util.Json.member "ok" v = Some (Nano_util.Json.Bool true)
+              -> ()
+            | _ -> if !status = 0 then status := 1))
+        requests;
+      Nano_service.Client.close client;
+      exit !status
+  in
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket of the daemon (see `nanobound \
+                   serve'). Connection is retried for a few seconds, so \
+                   a freshly started daemon can be addressed \
+                   immediately.")
+  in
+  let requests =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"REQUEST"
+             ~doc:"One JSON request object per argument, sent in order \
+                   on one connection; each reply is printed on its own \
+                   line.")
+  in
+  let doc = "Send requests to a running evaluation daemon" in
+  Cmd.v (Cmd.info "request" ~doc) Term.(const run $ socket $ requests)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -544,5 +700,5 @@ let () =
           [
             bounds_cmd; analyze_cmd; synth_cmd; inject_cmd; equiv_cmd;
             critical_cmd;
-            sweep_cmd; suite_cmd;
+            sweep_cmd; suite_cmd; serve_cmd; request_cmd;
           ]))

@@ -301,6 +301,39 @@ let validate t =
       | None -> Ok ()
     end
 
+(* Canonical serialization behind [digest]. Versioned so that any
+   intentional format change shows up as a new prefix (and therefore a
+   new digest) rather than a silent collision with the old scheme. *)
+let digest_serialization t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "nanobound-netlist-v1\n";
+  Array.iter
+    (fun info ->
+      Buffer.add_string buf (Gate.name info.kind);
+      Array.iter
+        (fun f ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int f))
+        info.fanins;
+      Buffer.add_char buf '\n')
+    t.nodes;
+  List.iter
+    (fun id ->
+      Buffer.add_string buf "i ";
+      (match t.nodes.(id).name with
+      | Some nm -> Buffer.add_string buf nm
+      | None -> Buffer.add_string buf (string_of_int id));
+      Buffer.add_char buf '\n')
+    t.inputs;
+  List.iter
+    (fun (nm, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "o %s %d\n" nm id))
+    t.outputs;
+  Buffer.contents buf
+
+let digest t = Digest.to_hex (Digest.string (digest_serialization t))
+
 let to_dot t =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n  rankdir=LR;\n" t.net_name);

@@ -140,4 +140,18 @@ val validate : t -> (unit, string) result
     references). The builder maintains them; this guards hand-built or
     parsed netlists. *)
 
+val digest : t -> string
+(** Stable structural digest: the MD5 hex of a versioned canonical
+    serialization covering every node (kind + fanin ids in id order),
+    primary-input names in declaration order and primary-output
+    name/node pairs in declaration order. The netlist's model {!name}
+    is deliberately excluded, so renaming a circuit does not change its
+    identity. Two netlists with equal digests are structurally
+    identical (same DAG, same interface); the converse holds up to MD5
+    collisions. The serialization is versioned ([v1]) — changing it is
+    an intentional, test-pinned event, which is what makes the digest
+    usable as a persistent content-address (see
+    {!Nano_synth.Strash.digest} for the redundancy-invariant form the
+    service cache keys on). *)
+
 val to_dot : t -> string

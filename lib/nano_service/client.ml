@@ -1,0 +1,36 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(retries = 100) ?(retry_interval = 0.05) ~socket_path () =
+  let rec attempt n =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+    | () ->
+      Unix.set_close_on_exec fd;
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    | exception
+        Unix.Unix_error
+          ((Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN), _, _)
+      when n > 0 ->
+      (try Unix.close fd with _ -> ());
+      ignore (Unix.select [] [] [] retry_interval);
+      attempt (n - 1)
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with _ -> ());
+      Error
+        (Printf.sprintf "%s: %s" socket_path (Unix.error_message err))
+  in
+  attempt retries
+
+let request_line t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | reply -> Ok reply
+  | exception End_of_file -> Error "connection closed by the daemon"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let close t = try close_out_noerr t.oc; close_in_noerr t.ic; Unix.close t.fd with _ -> ()

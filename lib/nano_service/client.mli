@@ -1,0 +1,17 @@
+(** Client side of the evaluation service: connect to a daemon's
+    Unix-domain socket and exchange newline-delimited JSON lines.
+    Backs the [nanobound request] subcommand. *)
+
+type t
+
+val connect :
+  ?retries:int -> ?retry_interval:float -> socket_path:string -> unit ->
+  (t, string) result
+(** Connect, retrying while the socket does not exist yet or refuses
+    connections — the daemon may still be binding. Defaults: 100
+    retries at 0.05 s intervals (≈5 s). *)
+
+val request_line : t -> string -> (string, string) result
+(** Send one request line (newline appended) and read one reply line. *)
+
+val close : t -> unit

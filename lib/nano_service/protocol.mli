@@ -1,0 +1,69 @@
+(** Wire protocol of the evaluation service.
+
+    Newline-delimited JSON: one request object per line in, one reply
+    object per line out, in order. This module is a pure codec — typed
+    requests/replies to and from {!Nano_util.Json} values — shared by
+    the daemon, the [nanobound request] client and the CLI's
+    [--format json] output, so every surface emits identical records.
+
+    Reply envelope: [{"ok":true,"result":...}] on success,
+    [{"ok":false,"error":{"code":...,"message":...}}] on failure.
+    Replies carry no request id and no cache markers: correlation is
+    by order, and cached replies are byte-identical to cold ones by
+    design (cache visibility lives in the [stats] request instead). *)
+
+type circuit =
+  | Named of string  (** Built-in benchmark, as listed by [nanobound suite]. *)
+  | Blif of string  (** Inline BLIF text. *)
+
+type request =
+  | Ping
+  | Stats
+  | Shutdown
+  | Bounds of Nano_bounds.Metrics.scenario
+  | Profile of { circuit : circuit; no_map : bool }
+  | Analyze of {
+      circuit : circuit;
+      delta : float;
+      leakage_share0 : float;
+      epsilons : float list;
+      no_map : bool;
+    }
+  | Sweep of { figure : string }
+
+type envelope = { request : request; timeout_ms : int option }
+
+val kind_name : request -> string
+(** The request's [kind] string, e.g. ["analyze"]; used for metrics
+    buckets and trace lines. *)
+
+val request_to_json : envelope -> Nano_util.Json.t
+val request_of_json : Nano_util.Json.t -> (envelope, string) result
+(** Decodes the [kind] discriminator plus kind-specific fields.
+    Missing optional fields take the CLI's defaults (δ = 0.01,
+    λ0 = 0.5, the paper's ε grid, mapping on). Unknown fields are
+    ignored; wrong types and unknown kinds are errors. *)
+
+(** {1 Result encoders} *)
+
+val bounds_to_json : Nano_bounds.Metrics.bounds -> Nano_util.Json.t
+(** All bound fields; infeasible ratios encode as [null]. *)
+
+val profile_to_json : Nano_bounds.Profile.t -> Nano_util.Json.t
+
+val row_to_json : Nano_bounds.Benchmark_eval.row -> Nano_util.Json.t
+
+val series_to_json :
+  (string * (float * float) list) list -> Nano_util.Json.t
+(** Figure sweep series as [[{"label":..,"points":[[x,y],..]},..]]. *)
+
+(** {1 Reply envelopes} *)
+
+val ok_reply : Nano_util.Json.t -> string
+(** Serialized success line (no trailing newline). *)
+
+val error_reply : code:string -> message:string -> string
+(** Serialized failure line. Stable [code]s: [parse_error],
+    [bad_request], [unknown_circuit], [blif_parse_error],
+    [invalid_scenario], [unknown_figure], [timeout], [oversized],
+    [internal_error]. *)

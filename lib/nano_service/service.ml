@@ -1,0 +1,469 @@
+module Json = Nano_util.Json
+module Par = Nano_util.Par
+module Metrics = Nano_bounds.Metrics
+module Profile = Nano_bounds.Profile
+module Benchmark_eval = Nano_bounds.Benchmark_eval
+module Figures = Nano_bounds.Figures
+module Netlist = Nano_netlist.Netlist
+
+type config = {
+  jobs : int;
+  cache_capacity : int;
+  max_request_bytes : int;
+  default_timeout_ms : int option;
+  trace : bool;
+}
+
+let default_config () =
+  {
+    jobs = Par.default_jobs ();
+    cache_capacity = 256;
+    max_request_bytes = 8 * 1024 * 1024;
+    default_timeout_ms = None;
+    trace = false;
+  }
+
+type t = {
+  config : config;
+  responses : string Cache.t;  (** reply line per content-addressed key *)
+  profiles : Profile.t Cache.t;  (** the expensive Monte-Carlo part *)
+  metrics : Service_metrics.t;
+  mutable stop : bool;
+}
+
+let create ?config () =
+  let config = match config with Some c -> c | None -> default_config () in
+  {
+    config;
+    responses = Cache.create ~capacity:config.cache_capacity;
+    profiles = Cache.create ~capacity:config.cache_capacity;
+    metrics = Service_metrics.create ~now:(Unix.gettimeofday ());
+    stop = false;
+  }
+
+let shutdown_requested t = t.stop
+
+(* Structured per-request failures; they become error replies, never
+   daemon deaths. *)
+exception Reply_error of string * string (* code, message *)
+exception Timed_out
+
+let check_deadline = function
+  | Some d when Unix.gettimeofday () > d -> raise Timed_out
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_circuit = function
+  | Protocol.Named name -> (
+    match Nano_circuits.Suite.find name with
+    | Some entry -> (name, entry.Nano_circuits.Suite.build ())
+    | None ->
+      raise
+        (Reply_error
+           ( "unknown_circuit",
+             name ^ ": not a built-in benchmark (see `nanobound suite')" )))
+  | Protocol.Blif text -> (
+    match Nano_blif.Blif.parse_string text with
+    | Ok netlist -> (Netlist.name netlist, netlist)
+    | Error e ->
+      raise
+        (Reply_error
+           ( "blif_parse_error",
+             Format.asprintf "%a" Nano_blif.Blif.pp_error e )))
+
+(* Profile of the (optionally mapped) circuit, by content address: the
+   Monte-Carlo activity + sensitivity measurement only depends on the
+   strashed structure, so it is shared across requests — and across
+   differing model names, which only relabel the result. *)
+let profile_for t ~deadline ~digest ~name ~no_map netlist =
+  let core_key = Printf.sprintf "profile-core|%s|%b" digest no_map in
+  let profile =
+    match Cache.find t.profiles core_key with
+    | Some p -> p
+    | None ->
+      check_deadline deadline;
+      let mapped =
+        if no_map then netlist
+        else Nano_synth.Script.rugged_lite ~max_fanin:3 netlist
+      in
+      let p = Profile.of_netlist mapped in
+      Cache.add t.profiles core_key p;
+      p
+  in
+  { profile with Profile.name = name }
+
+let fr = Json.float_repr
+
+let sweep_series ~jobs figure =
+  match figure with
+  | "fig2" -> Figures.fig2_activity_map ~jobs ()
+  | "fig3" -> Figures.fig3_redundancy ~jobs ()
+  | "fig4" -> Figures.fig4_leakage ~jobs ()
+  | "fig5" -> Figures.fig5_delay_and_edp ~jobs ()
+  | "fig6" -> Figures.fig6_average_power ~jobs ()
+  | "omega" -> Figures.ablation_omega_models ~jobs ()
+  | other ->
+    raise
+      (Reply_error
+         ("unknown_figure", other ^ ": expected fig2..fig6 or omega"))
+
+(* A request prepared for execution: its content-addressed key (when
+   cacheable) is known before any expensive work runs, which is what
+   both the response cache and in-flight coalescing hang off. *)
+type prepared = { key : string option; run : unit -> Json.t }
+
+let prepare t ~deadline (env : Protocol.envelope) =
+  match env.Protocol.request with
+  | Protocol.Ping -> { key = None; run = (fun () -> Json.String "pong") }
+  | Protocol.Shutdown ->
+    {
+      key = None;
+      run =
+        (fun () ->
+          t.stop <- true;
+          Json.String "bye");
+    }
+  | Protocol.Stats ->
+    {
+      key = None;
+      run =
+        (fun () ->
+          Service_metrics.to_json t.metrics
+            ~caches:
+              [
+                ("responses", Cache.stats t.responses);
+                ("profiles", Cache.stats t.profiles);
+              ]
+            ~now:(Unix.gettimeofday ()));
+    }
+  | Protocol.Bounds scenario ->
+    if not (Metrics.scenario_valid scenario) then
+      raise
+        (Reply_error
+           ("invalid_scenario", "parameters outside the theorems' domain"));
+    let key =
+      Printf.sprintf "bounds|%s|%s|%d|%d|%d|%d|%s|%s"
+        (fr scenario.Metrics.epsilon)
+        (fr scenario.Metrics.delta)
+        scenario.Metrics.fanin scenario.Metrics.sensitivity
+        scenario.Metrics.error_free_size scenario.Metrics.inputs
+        (fr scenario.Metrics.sw0)
+        (fr scenario.Metrics.leakage_share0)
+    in
+    {
+      key = Some key;
+      run = (fun () -> Protocol.bounds_to_json (Metrics.evaluate scenario));
+    }
+  | Protocol.Profile { circuit; no_map } ->
+    let name, netlist = resolve_circuit circuit in
+    let digest = Nano_synth.Strash.digest netlist in
+    let key = Printf.sprintf "profile|%s|%s|%b" digest name no_map in
+    {
+      key = Some key;
+      run =
+        (fun () ->
+          Protocol.profile_to_json
+            (profile_for t ~deadline ~digest ~name ~no_map netlist));
+    }
+  | Protocol.Analyze { circuit; delta; leakage_share0; epsilons; no_map } ->
+    let name, netlist = resolve_circuit circuit in
+    let digest = Nano_synth.Strash.digest netlist in
+    let key =
+      Printf.sprintf "analyze|%s|%s|%b|%s|%s|%s" digest name no_map
+        (fr delta) (fr leakage_share0)
+        (String.concat "," (List.map fr epsilons))
+    in
+    {
+      key = Some key;
+      run =
+        (fun () ->
+          let profile =
+            profile_for t ~deadline ~digest ~name ~no_map netlist
+          in
+          check_deadline deadline;
+          (* The per-ε closed-form grid batches onto the domain pool;
+             values are jobs-independent (Nano_util.Par contract). *)
+          let rows =
+            Par.map_list ~jobs:t.config.jobs
+              (fun epsilon ->
+                Benchmark_eval.evaluate_profile ~delta
+                  ~leakage_share0 profile ~epsilon)
+              epsilons
+          in
+          Json.Obj
+            [
+              ("profile", Protocol.profile_to_json profile);
+              ("rows", Json.List (List.map Protocol.row_to_json rows));
+            ]);
+    }
+  | Protocol.Sweep { figure } ->
+    let key = Printf.sprintf "sweep|%s" figure in
+    {
+      key = Some key;
+      run =
+        (fun () ->
+          check_deadline deadline;
+          let series = sweep_series ~jobs:t.config.jobs figure in
+          Protocol.series_to_json
+            (List.map
+               (fun s -> (s.Figures.label, s.Figures.points))
+               series));
+    }
+
+(* ------------------------------------------------------------------ *)
+(* The per-line scheduler step.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let trace t fmt =
+  Printf.ksprintf
+    (fun s -> if t.config.trace then Printf.eprintf "[nanobound-serve] %s\n%!" s)
+    fmt
+
+let process t ?memo line =
+  let start = Unix.gettimeofday () in
+  let kind = ref "invalid" in
+  let finish_ok disposition reply =
+    let latency = Unix.gettimeofday () -. start in
+    (match disposition with
+    | `Coalesced -> Service_metrics.record_coalesced t.metrics ~kind:!kind
+    | `Hit | `Miss | `Uncached ->
+      Service_metrics.record t.metrics ~kind:!kind ~latency);
+    trace t "%s %s %.3fms" !kind
+      (match disposition with
+      | `Hit -> "hit"
+      | `Miss -> "miss"
+      | `Coalesced -> "coalesced"
+      | `Uncached -> "eval")
+      (1e3 *. latency);
+    reply
+  in
+  let finish_error code message =
+    Service_metrics.record_error t.metrics ~kind:!kind;
+    trace t "%s error:%s" !kind code;
+    Protocol.error_reply ~code ~message
+  in
+  if String.length line > t.config.max_request_bytes then
+    finish_error "oversized"
+      (Printf.sprintf "request exceeds %d bytes" t.config.max_request_bytes)
+  else
+    match Json.parse line with
+    | Error e -> finish_error "parse_error" (Format.asprintf "%a" Json.pp_error e)
+    | Ok json -> (
+      match Protocol.request_of_json json with
+      | Error msg -> finish_error "bad_request" msg
+      | Ok env -> (
+        kind := Protocol.kind_name env.Protocol.request;
+        let deadline =
+          let ms =
+            match env.Protocol.timeout_ms with
+            | Some ms -> Some ms
+            | None -> t.config.default_timeout_ms
+          in
+          Option.map (fun ms -> start +. (float_of_int ms /. 1000.)) ms
+        in
+        match
+          let p = prepare t ~deadline env in
+          match p.key with
+          | None -> finish_ok `Uncached (Protocol.ok_reply (p.run ()))
+          | Some key -> (
+            let memo_hit =
+              match memo with
+              | Some m -> Hashtbl.find_opt m key
+              | None -> None
+            in
+            match memo_hit with
+            | Some reply -> finish_ok `Coalesced reply
+            | None -> (
+              match Cache.find t.responses key with
+              | Some reply ->
+                (match memo with
+                | Some m -> Hashtbl.replace m key reply
+                | None -> ());
+                finish_ok `Hit reply
+              | None ->
+                check_deadline deadline;
+                let reply = Protocol.ok_reply (p.run ()) in
+                Cache.add t.responses key reply;
+                (match memo with
+                | Some m -> Hashtbl.replace m key reply
+                | None -> ());
+                finish_ok `Miss reply))
+        with
+        | reply -> reply
+        | exception Reply_error (code, message) -> finish_error code message
+        | exception Timed_out ->
+          finish_error "timeout" "deadline exceeded before evaluation finished"
+        | exception Invalid_argument msg -> finish_error "bad_request" msg
+        | exception e ->
+          finish_error "internal_error" (Printexc.to_string e)))
+
+let handle_line t line = process t line
+
+let handle_batch t lines =
+  let memo = Hashtbl.create 8 in
+  List.map (fun line -> process t ~memo line) lines
+
+(* ------------------------------------------------------------------ *)
+(* stdio transport.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Bounded line read: never buffers more than [limit] bytes, so a
+   newline-less flood cannot exhaust memory. *)
+let read_line_bounded ic limit =
+  let buf = Buffer.create 256 in
+  let rec go () =
+    match input_char ic with
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then raise End_of_file else `Line (Buffer.contents buf)
+    | '\n' -> `Line (Buffer.contents buf)
+    | c ->
+      if Buffer.length buf >= limit then begin
+        (* Skip the rest of the oversized line. *)
+        let rec skip () =
+          match input_char ic with
+          | exception End_of_file -> ()
+          | '\n' -> ()
+          | _ -> skip ()
+        in
+        skip ();
+        `Oversized
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+  in
+  go ()
+
+let run_stdio t ic oc =
+  let rec loop () =
+    if not (shutdown_requested t) then
+      match read_line_bounded ic t.config.max_request_bytes with
+      | exception End_of_file -> ()
+      | `Oversized ->
+        output_string oc
+          (Protocol.error_reply ~code:"oversized"
+             ~message:
+               (Printf.sprintf "request exceeds %d bytes"
+                  t.config.max_request_bytes));
+        output_char oc '\n';
+        flush oc;
+        loop ()
+      | `Line "" -> loop ()
+      | `Line line ->
+        output_string oc (handle_line t line);
+        output_char oc '\n';
+        flush oc;
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Unix-domain socket transport.                                        *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  fd : Unix.file_descr;
+  pending : Buffer.t;  (** bytes received but not yet newline-terminated *)
+  mutable closing : bool;
+}
+
+let write_all c (s : string) =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write c.fd b off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        c.closing <- true
+  in
+  go 0
+
+let send_reply c reply = if not c.closing then write_all c (reply ^ "\n")
+
+(* Drain every complete line currently buffered for [c]; returns them
+   in arrival order. Enforces the request size bound on the residue. *)
+let take_lines t c =
+  let data = Buffer.contents c.pending in
+  Buffer.clear c.pending;
+  let lines = ref [] in
+  let start = ref 0 in
+  String.iteri
+    (fun i ch ->
+      if ch = '\n' then begin
+        lines := String.sub data !start (i - !start) :: !lines;
+        start := i + 1
+      end)
+    data;
+  Buffer.add_substring c.pending data !start (String.length data - !start);
+  if Buffer.length c.pending > t.config.max_request_bytes then begin
+    Buffer.clear c.pending;
+    send_reply c
+      (Protocol.error_reply ~code:"oversized"
+         ~message:
+           (Printf.sprintf "request exceeds %d bytes"
+              t.config.max_request_bytes));
+    c.closing <- true
+  end;
+  List.rev !lines
+
+let serve_unix t ~socket_path =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec listen_fd;
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 64;
+  let clients = ref [] in
+  let chunk = Bytes.create 65536 in
+  let read_into c =
+    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> c.closing <- true
+    | n -> Buffer.add_subbytes c.pending chunk 0 n
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      c.closing <- true
+  in
+  let rec loop () =
+    if not (shutdown_requested t) then begin
+      let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+      match Unix.select fds [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | ready, _, _ ->
+        if List.memq listen_fd ready then begin
+          let fd, _ = Unix.accept listen_fd in
+          Unix.set_close_on_exec fd;
+          clients :=
+            !clients
+            @ [ { fd; pending = Buffer.create 256; closing = false } ]
+        end;
+        (* One scheduling round: drain every complete line from every
+           ready client, evaluate them as one batch (coalescing
+           duplicates), then fan the replies back out in order. *)
+        let batch = ref [] in
+        List.iter
+          (fun c ->
+            if List.memq c.fd ready then begin
+              read_into c;
+              List.iter
+                (fun line -> if line <> "" then batch := (c, line) :: !batch)
+                (take_lines t c)
+            end)
+          !clients;
+        let batch = List.rev !batch in
+        let replies = handle_batch t (List.map snd batch) in
+        List.iter2 (fun (c, _) reply -> send_reply c reply) batch replies;
+        List.iter
+          (fun c -> if c.closing then try Unix.close c.fd with _ -> ())
+          !clients;
+        clients := List.filter (fun c -> not c.closing) !clients;
+        loop ()
+    end
+  in
+  loop ();
+  List.iter (fun c -> try Unix.close c.fd with _ -> ()) !clients;
+  (try Unix.close listen_fd with _ -> ());
+  try Unix.unlink socket_path with Unix.Unix_error _ -> ()

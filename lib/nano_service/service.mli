@@ -1,0 +1,73 @@
+(** The persistent evaluation daemon behind [nanobound serve].
+
+    One service value holds the warm state worth keeping resident
+    between requests: the content-addressed result caches, the metrics
+    registry, and (transitively) the {!Nano_util.Par} domain pool and
+    {!Nano_netlist.Compiled} kernel memo that cold one-shot CLI runs
+    rebuild from scratch every time.
+
+    Request handling is transport-independent: {!handle_line} maps one
+    request line to one reply line, {!handle_batch} additionally
+    coalesces duplicate in-flight requests within the batch, and the
+    two transports ({!run_stdio}, {!serve_unix}) are thin drivers over
+    it. Replies are deterministic: a cached reply is the byte-identical
+    line the cold evaluation produced, at any [jobs] count.
+
+    Failure semantics: every per-request failure — unparseable JSON,
+    unknown circuit, BLIF payload errors, invalid scenario, timeout,
+    oversized input — becomes a structured [{"ok":false,...}] reply,
+    never a daemon death. *)
+
+type config = {
+  jobs : int;  (** Domains for sweep/analyze grids (default: all). *)
+  cache_capacity : int;
+      (** LRU entries per cache (responses and profiles); 0 disables
+          caching. Default 256. *)
+  max_request_bytes : int;
+      (** Upper bound on one request line; longer input draws an
+          [oversized] error (and, on socket transports, closes the
+          offending connection). Default 8 MiB. *)
+  default_timeout_ms : int option;
+      (** Applied when a request carries no [timeout_ms]. Default
+          [None] (no limit). Timeouts are enforced cooperatively at
+          evaluation stage boundaries, so a reply may arrive slightly
+          after the deadline, but always as a structured [timeout]
+          error. *)
+  trace : bool;
+      (** Log request lifecycles (kind, cache disposition, latency) to
+          stderr. Default false. *)
+}
+
+val default_config : unit -> config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+val handle_line : t -> string -> string
+(** Evaluate one raw request line into one reply line (no trailing
+    newline). Never raises. *)
+
+val handle_batch : t -> string list -> string list
+(** Like {!handle_line} over a batch collected in one scheduling round,
+    preserving order, but duplicate requests (same content-addressed
+    key) are evaluated once and the reply bytes fanned out; the
+    duplicates count as [coalesced] in the stats. *)
+
+val shutdown_requested : t -> bool
+(** True once a [shutdown] request has been handled; transports exit
+    their loop after flushing the pending replies. *)
+
+val run_stdio : t -> in_channel -> out_channel -> unit
+(** Serve newline-delimited JSON over a channel pair until EOF or
+    shutdown. Lines exceeding [max_request_bytes] are answered with an
+    [oversized] error and the rest of the oversized line is skipped. *)
+
+val serve_unix : t -> socket_path:string -> unit
+(** Bind a Unix-domain stream socket (replacing any stale file at the
+    path), ignore [SIGPIPE], and serve concurrent clients from a
+    [select] loop until shutdown. Each readiness round drains every
+    complete line from every ready client and runs them through
+    {!handle_batch}, so identical requests racing in from different
+    clients coalesce. Client I/O errors drop that client only. The
+    socket file is removed on exit. *)

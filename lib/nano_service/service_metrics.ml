@@ -1,0 +1,85 @@
+module Json = Nano_util.Json
+module Stats = Nano_util.Stats
+
+type kind_stats = {
+  mutable count : int;
+  mutable errors : int;
+  mutable coalesced : int;
+  latency : Stats.t;
+}
+
+type t = { started_at : float; by_kind : (string, kind_stats) Hashtbl.t }
+
+let create ~now = { started_at = now; by_kind = Hashtbl.create 8 }
+
+let kind_stats t kind =
+  match Hashtbl.find_opt t.by_kind kind with
+  | Some ks -> ks
+  | None ->
+    let ks = { count = 0; errors = 0; coalesced = 0; latency = Stats.create () } in
+    Hashtbl.replace t.by_kind kind ks;
+    ks
+
+let record t ~kind ~latency =
+  let ks = kind_stats t kind in
+  ks.count <- ks.count + 1;
+  Stats.add ks.latency latency
+
+let record_error t ~kind =
+  let ks = kind_stats t kind in
+  ks.count <- ks.count + 1;
+  ks.errors <- ks.errors + 1
+
+let record_coalesced t ~kind =
+  let ks = kind_stats t kind in
+  ks.count <- ks.count + 1;
+  ks.coalesced <- ks.coalesced + 1
+
+let cache_to_json (c : Cache.stats) =
+  Json.Obj
+    [
+      ("hits", Json.Int c.hits);
+      ("misses", Json.Int c.misses);
+      ("evictions", Json.Int c.evictions);
+      ("size", Json.Int c.size);
+      ("capacity", Json.Int c.capacity);
+    ]
+
+let to_json t ~caches ~now =
+  let kinds =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let totals field =
+    List.fold_left (fun acc (_, ks) -> acc + field ks) 0 kinds
+  in
+  let kind_json (k, ks) =
+    let latency =
+      if Stats.count ks.latency = 0 then Json.Null
+      else
+        Json.Obj
+          [
+            ("n", Json.Int (Stats.count ks.latency));
+            ("mean_ms", Json.Float (1e3 *. Stats.mean ks.latency));
+            ("min_ms", Json.Float (1e3 *. Stats.min_value ks.latency));
+            ("max_ms", Json.Float (1e3 *. Stats.max_value ks.latency));
+          ]
+    in
+    ( k,
+      Json.Obj
+        [
+          ("count", Json.Int ks.count);
+          ("errors", Json.Int ks.errors);
+          ("coalesced", Json.Int ks.coalesced);
+          ("latency", latency);
+        ] )
+  in
+  Json.Obj
+    [
+      ("uptime_seconds", Json.Float (Float.max 0. (now -. t.started_at)));
+      ("requests", Json.Int (totals (fun ks -> ks.count)));
+      ("errors", Json.Int (totals (fun ks -> ks.errors)));
+      ("coalesced", Json.Int (totals (fun ks -> ks.coalesced)));
+      ("by_kind", Json.Obj (List.map kind_json kinds));
+      ("caches", Json.Obj (List.map (fun (n, c) -> (n, cache_to_json c)) caches));
+    ]

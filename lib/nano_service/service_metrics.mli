@@ -1,0 +1,35 @@
+(** Observability counters for the evaluation daemon.
+
+    Tracks requests by kind, error and coalescing counts, per-kind
+    latency aggregates ({!Nano_util.Stats}) and uptime. Rendered as the
+    [stats] request's reply. Named [Service_metrics] to stay distinct
+    from {!Nano_bounds.Metrics}, the paper's bound evaluator. *)
+
+type t
+
+val create : now:float -> t
+(** [now] is the daemon start time (seconds, as from
+    [Unix.gettimeofday]); uptime is reported relative to it. *)
+
+val record : t -> kind:string -> latency:float -> unit
+(** Count one completed request of [kind] with the given wall-clock
+    latency in seconds (cache hits included — their latency is the
+    lookup, which is the point of the cold/warm comparison). *)
+
+val record_error : t -> kind:string -> unit
+(** Count one request answered with a structured error. *)
+
+val record_coalesced : t -> kind:string -> unit
+(** Count one request that was answered by coalescing onto an
+    identical in-flight request in the same batch (no evaluation, no
+    cache traffic of its own). *)
+
+val to_json :
+  t ->
+  caches:(string * Cache.stats) list ->
+  now:float ->
+  Nano_util.Json.t
+(** Stats snapshot: total/per-kind request counts (kinds sorted, so
+    the layout is deterministic), error and coalesced counts, latency
+    mean/min/max per kind, one stats block per named cache, and
+    [uptime_seconds] relative to the creation time. *)

@@ -240,3 +240,5 @@ let run netlist =
       B.output ctx.b name n)
     (Netlist.outputs netlist);
   sweep (B.finish ctx.b)
+
+let digest netlist = Netlist.digest (run netlist)

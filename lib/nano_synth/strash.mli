@@ -14,3 +14,13 @@ val sweep : Nano_netlist.Netlist.t -> Nano_netlist.Netlist.t
 (** Just the dead-logic removal: copy keeping only the output cones
     (primary inputs always survive). Used as the final step of other
     passes too. *)
+
+val digest : Nano_netlist.Netlist.t -> string
+(** [Nano_netlist.Netlist.digest (run netlist)]: the content address of
+    the circuit's strashed form. Because {!run} shares structurally
+    identical gates, folds constants and drops dead logic, netlists
+    that differ only by such redundancy (or by model name) map to the
+    same digest — this is the key the evaluation service's result cache
+    uses. Stable across processes and OCaml versions; changes only when
+    the canonical serialization version or the strash rewrite rules
+    change, both of which are pinned by regression tests. *)

@@ -88,6 +88,48 @@ Unknown circuits produce a helpful message:
   no_such_thing: not a built-in benchmark and no such file (try `nanobound suite')
   [1]
 
+JSON output uses the same encoders as the service wire protocol, so the
+CLI and daemon answers are interchangeable:
+
+  $ nanobound bounds -e 0.01 -d 0.01 --format json
+  {"size_ratio":1.2237674996442376,"activity_ratio":0.9999999999999999,"idle_ratio":1.0,"switching_energy_ratio":1.2237674996442374,"energy_ratio":1.2237674996442376,"leakage_ratio_change":1.0,"delay_ratio":1.0230495716352117,"energy_delay_ratio":1.2519748162921314,"average_power_ratio":1.1961957011410544}
+
+The evaluation daemon: start it on a Unix socket, profile a circuit,
+run the same analyze twice (the client retries the connect until the
+daemon is up, so no sleep is needed):
+
+  $ nanobound serve --socket nb.sock -j 2 >server.log 2>&1 &
+  $ nanobound request --socket nb.sock '{"kind":"profile","circuit":"c17"}'
+  {"ok":true,"result":{"name":"c17","inputs":5,"outputs":2,"size":6,"depth":3,"avg_fanin":2.0,"max_fanin":2,"sw0":0.4473563035329183,"sensitivity":4}}
+  $ nanobound request --socket nb.sock '{"kind":"analyze","circuit":"c17","epsilons":[0.01]}' >cold.json
+  $ nanobound request --socket nb.sock '{"kind":"analyze","circuit":"c17","epsilons":[0.01]}' >warm.json
+
+The warm reply is byte-identical to the cold one:
+
+  $ cmp cold.json warm.json
+  $ cat warm.json
+  {"ok":true,"result":{"profile":{"name":"c17","inputs":5,"outputs":2,"size":6,"depth":3,"avg_fanin":2.0,"max_fanin":2,"sw0":0.4473563035329183,"sensitivity":4},"rows":[{"benchmark":"c17","epsilon":0.01,"delta":0.01,"energy_ratio":1.2351456717052693,"delay_ratio":1.0063171414558578,"average_power_ratio":1.2273920624251327,"energy_delay_ratio":1.242948261632022,"size_ratio":1.234597628755407}]}}
+
+The repeat shows up as a response-cache hit (profile + cold analyze are
+the two misses):
+
+  $ nanobound request --socket nb.sock '{"kind":"stats"}' | grep -o '"responses":{"hits":[0-9]*,"misses":[0-9]*'
+  "responses":{"hits":1,"misses":2
+
+Failures come back as structured error replies, reflected in the exit
+code, and the daemon stays up:
+
+  $ nanobound request --socket nb.sock '{"kind":"profile","circuit":"nope"}'
+  {"ok":false,"error":{"code":"unknown_circuit","message":"nope: not a built-in benchmark (see `nanobound suite')"}}
+  [1]
+
+Clean shutdown:
+
+  $ nanobound request --socket nb.sock '{"kind":"shutdown"}'
+  {"ok":true,"result":"bye"}
+  $ wait
+  $ test ! -e nb.sock
+
 The derivation of a bound can be printed step by step:
 
   $ nanobound bounds -e 0.1 --explain | head -8

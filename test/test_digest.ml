@@ -1,0 +1,122 @@
+(* The content-addressed cache key of the evaluation service is
+   Strash.digest. These pins make a digest change an intentional,
+   reviewed event (update the table alongside the serialization version
+   or rewrite-rule change that caused it) instead of a silent cache
+   split. *)
+
+module Netlist = Nano_netlist.Netlist
+module B = Nano_netlist.Netlist.Builder
+module Strash = Nano_synth.Strash
+
+let build_xor ~name () =
+  let b = B.create ~name () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  B.output b "o" (B.xor2 b x y);
+  B.finish b
+
+let test_deterministic () =
+  let a = build_xor ~name:"a" () in
+  Alcotest.(check string) "same value twice" (Netlist.digest a)
+    (Netlist.digest a);
+  let a' = build_xor ~name:"a" () in
+  Alcotest.(check string) "rebuild matches" (Netlist.digest a)
+    (Netlist.digest a')
+
+let test_name_independent () =
+  let a = build_xor ~name:"first" () in
+  let b = build_xor ~name:"second" () in
+  Alcotest.(check string) "model name excluded" (Netlist.digest a)
+    (Netlist.digest b)
+
+let test_structure_sensitive () =
+  let a = build_xor ~name:"n" () in
+  let b = B.create ~name:"n" () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  B.output b "o" (B.and2 b x y);
+  let b = B.finish b in
+  Alcotest.(check bool) "different gate, different digest" true
+    (Netlist.digest a <> Netlist.digest b)
+
+let test_interface_sensitive () =
+  let a = build_xor ~name:"n" () in
+  let b = B.create ~name:"n" () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  B.output b "different_output_name" (B.xor2 b x y);
+  let b = B.finish b in
+  Alcotest.(check bool) "output name is part of the identity" true
+    (Netlist.digest a <> Netlist.digest b)
+
+let test_strash_digest_redundancy_invariant () =
+  (* The same function built with duplicated structure and dead logic
+     content-addresses identically to the clean build. *)
+  let clean = build_xor ~name:"clean" () in
+  let b = B.create ~name:"redundant" () in
+  let x = B.input b "x" in
+  let y = B.input b "y" in
+  let _dead = B.and2 b x y in
+  let x1 = B.xor2 b x y in
+  let x2 = B.xor2 b x y in
+  B.output b "o" (B.or2 b x1 x2);
+  let redundant = B.finish b in
+  Alcotest.(check bool) "raw digests differ" true
+    (Netlist.digest clean <> Netlist.digest redundant);
+  Alcotest.(check string) "strashed digests agree" (Strash.digest clean)
+    (Strash.digest redundant)
+
+let pinned =
+  [
+    ("c17", "e8c225f23aaf9df4a5c981490e636579");
+    ("intctl27", "04ea3e072b49750c87366042efe6165a");
+    ("sec32", "2c0044af89047eb8787e7b9f51ec9e55");
+    ("alu8", "89ed5b5b72b3a0630d31904048402e94");
+    ("secded16", "e006ccdde9c0ffe1299d094c9ffaa4d6");
+    ("datapath12", "ff6474cf5376a90ce9d090ce4d7866fe");
+    ("sec32_nand", "9c2b39d824c4823d70645e1061f48a5f");
+    ("bcdadd8", "293018400397d33bdfdd8f7e08a5241f");
+    ("alu9", "3b6a02ed5c31671cf76784e43e67d190");
+    ("datapath32", "2b8abb96be658ea93429ae0253d9420f");
+    ("mult16", "2aed75f36d9efff1da1ea63e0f2823d9");
+    ("parity16", "6053965621531d2d48a68d8cb59a9da8");
+    ("rca8", "ed09368b15365f00b09d5e3dd1e54354");
+    ("rca16", "d591abbcd90d371f980d6daa8895c6a7");
+    ("rca32", "226d33f29fb8a4c437cb25b07e587416");
+    ("cla16", "e0288402405ba50c65bfbc4a72b2fc26");
+    ("csel16", "ffb27f407f5a5874576cc2b9590b7295");
+    ("cskip16", "8d5ed0626cf22a5e8fd7ddf48c40e9cb");
+    ("booth8", "a41a83bb71c8cc8af3d6401ba18b8820");
+    ("mult4", "ae00fb270c425b8b0765319c3a331480");
+    ("mult8", "1fbb3548846ba1feaf111565826da757");
+    ("csmult8", "f8c9c04152db056f59b91a2a22e114f3");
+  ]
+
+let test_pinned_suite_digests () =
+  (* Every built-in circuit is pinned, and no pin is stale. *)
+  Alcotest.(check int) "pin count matches the suite"
+    (List.length Nano_circuits.Suite.all)
+    (List.length pinned);
+  List.iter
+    (fun entry ->
+      let name = entry.Nano_circuits.Suite.name in
+      match List.assoc_opt name pinned with
+      | None -> Alcotest.failf "no pinned digest for %s" name
+      | Some expected ->
+        let actual =
+          Strash.digest (entry.Nano_circuits.Suite.build ())
+        in
+        Alcotest.(check string) ("digest of " ^ name) expected actual)
+    Nano_circuits.Suite.all
+
+let suite =
+  [
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "name independent" `Quick test_name_independent;
+    Alcotest.test_case "structure sensitive" `Quick test_structure_sensitive;
+    Alcotest.test_case "interface sensitive" `Quick test_interface_sensitive;
+    Alcotest.test_case "strash digest redundancy-invariant" `Quick
+      test_strash_digest_redundancy_invariant;
+    Alcotest.test_case "pinned suite digests" `Quick
+      test_pinned_suite_digests;
+  ]
