@@ -11,7 +11,9 @@
    domain-scaling table (for CI smoke runs). --engines-only prints just
    the interp-vs-compiled throughput table and records it to
    BENCH_pr2.json. --service-only prints just the evaluation-service
-   cold-vs-warm analyze latency table and records it to BENCH_pr3.json. *)
+   cold-vs-warm analyze latency table and records it to BENCH_pr3.json.
+   --grids-only prints just the batched epsilon-grid vs per-point
+   sweep table and records it to BENCH_pr4.json. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -34,6 +36,8 @@ let scaling_only = Array.exists (( = ) "--scaling-only") Sys.argv
 let engines_only = Array.exists (( = ) "--engines-only") Sys.argv
 
 let service_only = Array.exists (( = ) "--service-only") Sys.argv
+
+let grids_only = Array.exists (( = ) "--grids-only") Sys.argv
 
 let print_series ~title ~x_label ~y_label series =
   let data =
@@ -751,6 +755,142 @@ let print_service_latency () =
   print_string "(written to BENCH_pr3.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Batched epsilon-grid engine vs per-point simulation.                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The whole point of [Noisy_sim.profile_grid]: K epsilon lanes share
+   one pass over the input stream and one fault-uniform draw per noisy
+   gate word, so a K-point sweep stops costing K independent runs. Both
+   sides below run on one domain so the ratio isolates batching; the
+   jobs-identity column then re-checks that sharding the vector stream
+   over 4 domains returns the byte-same results. *)
+let grid_epsilons =
+  [| 0.001; 0.002; 0.005; 0.01; 0.015; 0.02; 0.03; 0.05; 0.07; 0.1 |]
+
+let grid_circuits () =
+  List.filter_map
+    (fun name ->
+      Option.map
+        (fun entry ->
+          ( name,
+            Nano_synth.Script.rugged_lite ~max_fanin:3
+              (entry.Nano_circuits.Suite.build ()) ))
+        (Nano_circuits.Suite.find name))
+    [ "rca8"; "alu8" ]
+
+let grid_bench_entry ~vectors ~seed (name, circuit) =
+  let module Noisy_sim = Nano_faults.Noisy_sim in
+  let epsilons = grid_epsilons in
+  (* Warm the compile cache so neither side pays it. *)
+  ignore (Noisy_sim.simulate ~seed ~vectors:1024 ~epsilon:0.01 circuit);
+  let per_point, per_point_t =
+    time (fun () ->
+        Array.map
+          (fun epsilon ->
+            Noisy_sim.simulate ~seed ~vectors ~jobs:1 ~epsilon circuit)
+          epsilons)
+  in
+  let batched, batched_t =
+    time (fun () ->
+        Noisy_sim.profile_grid ~seed ~vectors ~jobs:1 ~epsilons circuit)
+  in
+  let batched4 = Noisy_sim.profile_grid ~seed ~vectors ~jobs:4 ~epsilons circuit in
+  let bit_identical = per_point = batched in
+  let jobs_identical = batched = batched4 in
+  (name, per_point_t, batched_t, per_point_t /. batched_t, bit_identical,
+   jobs_identical)
+
+(* 3x3 measured (eps x delta) grid, encoded through the service
+   protocol: the batched engine against three single-lane runs (which
+   delegate to the per-point simulator). Byte-equal JSON or bust. *)
+let grid_json_smoke () =
+  let module Protocol = Nano_service.Protocol in
+  let circuit =
+    match Nano_circuits.Suite.find "c17" with
+    | Some entry ->
+      Nano_synth.Script.rugged_lite ~max_fanin:3
+        (entry.Nano_circuits.Suite.build ())
+    | None -> failwith "suite circuit c17 missing"
+  in
+  let epsilons = [ 0.001; 0.01; 0.05 ] in
+  let deltas = [ 0.01; 0.05; 0.1 ] in
+  let vectors = 2048 in
+  let seed = 42 in
+  let profile = Profile.of_netlist circuit in
+  let encode rows =
+    String.concat "\n"
+      (List.map
+         (fun r -> Nano_util.Json.to_string (Protocol.measured_row_to_json r))
+         rows)
+  in
+  let batched =
+    Benchmark_eval.measured_grid ~deltas ~epsilons ~vectors ~seed ~profile
+      circuit
+  in
+  let per_point =
+    List.concat_map
+      (fun epsilon ->
+        Benchmark_eval.measured_grid ~deltas ~epsilons:[ epsilon ] ~vectors
+          ~seed ~profile circuit)
+      epsilons
+  in
+  (List.length batched, encode batched = encode per_point)
+
+let print_grid_throughput () =
+  let vectors = 1 lsl 16 in
+  let seed = 42 in
+  let entries =
+    List.map (grid_bench_entry ~vectors ~seed) (grid_circuits ())
+  in
+  Printf.printf
+    "== Batched epsilon-grid engine: one pass vs %d per-point runs (%d \
+     vectors, jobs=1) ==\n"
+    (Array.length grid_epsilons) vectors;
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "circuit"; "per-point"; "batched"; "speedup"; "bit-identical";
+           "jobs 1=4";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, pp_t, b_t, speedup, same, jobs_same) ->
+              [
+                name;
+                Printf.sprintf "%.3f s" pp_t;
+                Printf.sprintf "%.3f s" b_t;
+                Printf.sprintf "%.2fx" speedup;
+                string_of_bool same;
+                string_of_bool jobs_same;
+              ])
+            entries));
+  let smoke_rows, smoke_identical = grid_json_smoke () in
+  Printf.printf
+    "3x3 measured grid (c17): %d rows, batched-vs-per-point JSON identical = \
+     %b\n"
+    smoke_rows smoke_identical;
+  let oc = open_out "BENCH_pr4.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"noisy_sim batched epsilon-grid vs per-point\",\n\
+    \  \"vectors\": %d,\n  \"lanes\": %d,\n  \"circuits\": [\n"
+    vectors (Array.length grid_epsilons);
+  List.iteri
+    (fun i (name, pp_t, b_t, speedup, same, jobs_same) ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"per_point_s\": %.3f, \"batched_s\": \
+         %.3f, \"speedup\": %.2f, \"bit_identical\": %b, \"jobs_identical\": \
+         %b}%s\n"
+        name pp_t b_t speedup same jobs_same
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc
+    "  ],\n  \"grid_smoke\": {\"rows\": %d, \"json_identical\": %b}\n}\n"
+    smoke_rows smoke_identical;
+  close_out oc;
+  print_string "(written to BENCH_pr4.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the figure drivers.                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -903,6 +1043,9 @@ let () =
   if service_only then (
     print_service_latency ();
     exit 0);
+  if grids_only then (
+    print_grid_throughput ();
+    exit 0);
   print_string "nanobound benchmark harness — reproduces every figure of\n";
   print_string
     "'Energy Bounds for Fault-Tolerant Nanoscale Designs' (DATE 2005)\n\n";
@@ -972,5 +1115,7 @@ let () =
   print_engine_throughput ();
   print_newline ();
   print_service_latency ();
+  print_newline ();
+  print_grid_throughput ();
   print_newline ();
   run_bechamel profiles

@@ -166,7 +166,8 @@ let bounds_cmd =
 (* ------------------------------------------------------------------ *)
 
 let analyze_cmd =
-  let run spec delta leakage_share0 epsilons no_map glitch jobs format =
+  let run spec delta leakage_share0 epsilons no_map glitch measure vectors
+      jobs format =
     match load_circuit spec with
     | Error msg ->
       prerr_endline msg;
@@ -176,13 +177,27 @@ let analyze_cmd =
         if no_map then circuit
         else Nano_synth.Script.rugged_lite ~max_fanin:3 circuit
       in
-      let profile = Nano_bounds.Profile.of_netlist mapped in
+      let profile = Nano_bounds.Profile.of_netlist ~jobs mapped in
+      (* With --measure, ONE batched Monte-Carlo pass covers the whole ε
+         grid (lanes coupled by common random numbers, jobs sharding
+         vectors); otherwise the rows stay closed-form. *)
+      let measured =
+        if measure then
+          Some
+            (Nano_bounds.Benchmark_eval.measured_grid ~deltas:[ delta ]
+               ~leakage_share0 ~epsilons ~vectors ~jobs ~profile mapped)
+        else None
+      in
       let rows =
-        Nano_util.Par.map_list ~jobs
-          (fun epsilon ->
-            Nano_bounds.Benchmark_eval.evaluate_profile ~delta
-              ~leakage_share0 profile ~epsilon)
-          epsilons
+        match measured with
+        | Some mrows ->
+          List.map (fun m -> m.Nano_bounds.Benchmark_eval.row) mrows
+        | None ->
+          Nano_util.Par.map_list ~jobs
+            (fun epsilon ->
+              Nano_bounds.Benchmark_eval.evaluate_profile ~delta
+                ~leakage_share0 profile ~epsilon)
+            epsilons
       in
       let glitch_factor =
         if glitch then
@@ -195,12 +210,19 @@ let analyze_cmd =
         (* The exact record the service's analyze reply carries, so the
            two surfaces stay round-trippable through one codepath. *)
         let open Nano_util.Json in
+        let row_list =
+          match measured with
+          | Some mrows ->
+            List
+              (Stdlib.List.map Nano_service.Protocol.measured_row_to_json
+                 mrows)
+          | None ->
+            List (Stdlib.List.map Nano_service.Protocol.row_to_json rows)
+        in
         let base =
           [
             ("profile", Nano_service.Protocol.profile_to_json profile);
-            ( "rows",
-              List
-                (Stdlib.List.map Nano_service.Protocol.row_to_json rows) );
+            ("rows", row_list);
           ]
         in
         let extra =
@@ -218,20 +240,44 @@ let analyze_cmd =
             (num g)
         | None -> ());
         let opt = function Some v -> num v | None -> "infeasible" in
-        print_string
-          (Nano_report.Report.Table.render
-             ~header:[ "eps"; "E/E0"; "D/D0"; "P/P0"; "ED/ED0" ]
-             ~rows:
-               (List.map
-                  (fun r ->
-                    [
-                      num r.Nano_bounds.Benchmark_eval.epsilon;
-                      num r.Nano_bounds.Benchmark_eval.energy_ratio;
-                      opt r.Nano_bounds.Benchmark_eval.delay_ratio;
-                      opt r.Nano_bounds.Benchmark_eval.average_power_ratio;
-                      opt r.Nano_bounds.Benchmark_eval.energy_delay_ratio;
-                    ])
-                  rows)))
+        (match measured with
+        | Some mrows ->
+          print_string
+            (Nano_report.Report.Table.render
+               ~header:
+                 [
+                   "eps"; "E/E0"; "D/D0"; "P/P0"; "ED/ED0"; "measured dhat";
+                   "measured sw";
+                 ]
+               ~rows:
+                 (List.map
+                    (fun m ->
+                      let r = m.Nano_bounds.Benchmark_eval.row in
+                      [
+                        num r.Nano_bounds.Benchmark_eval.epsilon;
+                        num r.Nano_bounds.Benchmark_eval.energy_ratio;
+                        opt r.Nano_bounds.Benchmark_eval.delay_ratio;
+                        opt r.Nano_bounds.Benchmark_eval.average_power_ratio;
+                        opt r.Nano_bounds.Benchmark_eval.energy_delay_ratio;
+                        num m.Nano_bounds.Benchmark_eval.measured_delta;
+                        num m.Nano_bounds.Benchmark_eval.measured_activity;
+                      ])
+                    mrows))
+        | None ->
+          print_string
+            (Nano_report.Report.Table.render
+               ~header:[ "eps"; "E/E0"; "D/D0"; "P/P0"; "ED/ED0" ]
+               ~rows:
+                 (List.map
+                    (fun r ->
+                      [
+                        num r.Nano_bounds.Benchmark_eval.epsilon;
+                        num r.Nano_bounds.Benchmark_eval.energy_ratio;
+                        opt r.Nano_bounds.Benchmark_eval.delay_ratio;
+                        opt r.Nano_bounds.Benchmark_eval.average_power_ratio;
+                        opt r.Nano_bounds.Benchmark_eval.energy_delay_ratio;
+                      ])
+                    rows))))
   in
   let epsilons =
     Arg.(
@@ -250,11 +296,24 @@ let analyze_cmd =
          & info [ "glitch" ]
              ~doc:"Also measure the unit-delay glitch factor.")
   in
+  let measure =
+    Arg.(value & flag
+         & info [ "measure" ]
+             ~doc:"Cross-check each row with a batched Monte-Carlo run: \
+                   one simulation pass covers the whole epsilon grid and \
+                   reports the measured output error and switching \
+                   activity alongside the analytic bounds.")
+  in
+  let vectors =
+    Arg.(value & opt int 4096
+         & info [ "vectors" ] ~docv:"N"
+             ~doc:"Random input vectors for $(b,--measure).")
+  in
   let doc = "Profile a circuit and print its fault-tolerance lower bounds" in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run $ circuit_arg $ delta_arg $ leakage_arg $ epsilons $ no_map
-      $ glitch $ jobs_arg $ format_arg)
+      $ glitch $ measure $ vectors $ jobs_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                                *)
@@ -489,60 +548,84 @@ let critical_cmd =
 (* ------------------------------------------------------------------ *)
 
 let sweep_cmd =
-  let run figure chart jobs =
-    (* Figure 2's axes include zero; the ε sweeps read best log-log. *)
-    let scales =
-      if figure = "fig2" then (Nano_report.Chart.Linear, Nano_report.Chart.Linear)
-      else (Nano_report.Chart.Log, Nano_report.Chart.Log)
+  let run figure chart jobs format =
+    let series, title, x, y =
+      match figure with
+      | "fig2" ->
+        ( Nano_bounds.Figures.fig2_activity_map ~jobs (),
+          "Figure 2: noisy switching activity", "sw(y)", "sw(z)" )
+      | "fig3" ->
+        ( Nano_bounds.Figures.fig3_redundancy ~jobs (),
+          "Figure 3: minimum redundancy factor", "eps", "size ratio" )
+      | "fig4" ->
+        ( Nano_bounds.Figures.fig4_leakage ~jobs (),
+          "Figure 4: leakage/switching ratio", "eps", "W/W0" )
+      | "fig5" ->
+        ( Nano_bounds.Figures.fig5_delay_and_edp ~jobs (),
+          "Figure 5: delay and energy-delay", "eps", "ratio" )
+      | "fig6" ->
+        ( Nano_bounds.Figures.fig6_average_power ~jobs (),
+          "Figure 6: average power", "eps", "P/P0" )
+      | "omega" ->
+        ( Nano_bounds.Figures.ablation_omega_models ~jobs (),
+          "Ablation: omega models", "eps", "size ratio" )
+      | "delta" ->
+        (* One batched multi-ε Monte-Carlo pass per circuit: the whole
+           measured series costs about one per-point simulation. *)
+        let circuits =
+          List.filter_map
+            (fun name ->
+              Option.map
+                (fun e -> (name, e.Nano_circuits.Suite.build ()))
+                (Nano_circuits.Suite.find name))
+            [ "c17"; "rca8"; "parity16" ]
+        in
+        ( Nano_bounds.Figures.measured_delta ~jobs circuits,
+          "Measured output error (batched Monte-Carlo)", "eps", "delta-hat" )
+      | other ->
+        prerr_endline
+          ("unknown figure: " ^ other
+         ^ " (fig2|fig3|fig4|fig5|fig6|omega|delta)");
+        exit 1
     in
-    let print series ~title ~x ~y =
-      let data =
-        List.map
-          (fun s -> (s.Nano_bounds.Figures.label, s.Nano_bounds.Figures.points))
-          series
-      in
+    let data =
+      List.map
+        (fun s -> (s.Nano_bounds.Figures.label, s.Nano_bounds.Figures.points))
+        series
+    in
+    match format with
+    | `Json ->
+      (* Same encoder as the service's sweep reply, so both surfaces
+         emit identical records. *)
+      json_line (Nano_service.Protocol.series_to_json data)
+    | `Table ->
       if chart then begin
-        let x_scale, y_scale = scales in
+        (* Figure 2's axes include zero; the ε sweeps read best
+           log-log. *)
+        let x_scale, y_scale =
+          if figure = "fig2" then
+            (Nano_report.Chart.Linear, Nano_report.Chart.Linear)
+          else (Nano_report.Chart.Log, Nano_report.Chart.Log)
+        in
         print_string (Nano_report.Chart.render ~x_scale ~y_scale ~title data)
       end
       else
         print_string
           (Nano_report.Report.Series.render ~title ~x_label:x ~y_label:y data)
-    in
-    match figure with
-    | "fig2" ->
-      print (Nano_bounds.Figures.fig2_activity_map ~jobs ())
-        ~title:"Figure 2: noisy switching activity" ~x:"sw(y)" ~y:"sw(z)"
-    | "fig3" ->
-      print (Nano_bounds.Figures.fig3_redundancy ~jobs ())
-        ~title:"Figure 3: minimum redundancy factor" ~x:"eps" ~y:"size ratio"
-    | "fig4" ->
-      print (Nano_bounds.Figures.fig4_leakage ~jobs ())
-        ~title:"Figure 4: leakage/switching ratio" ~x:"eps" ~y:"W/W0"
-    | "fig5" ->
-      print (Nano_bounds.Figures.fig5_delay_and_edp ~jobs ())
-        ~title:"Figure 5: delay and energy-delay" ~x:"eps" ~y:"ratio"
-    | "fig6" ->
-      print (Nano_bounds.Figures.fig6_average_power ~jobs ())
-        ~title:"Figure 6: average power" ~x:"eps" ~y:"P/P0"
-    | "omega" ->
-      print (Nano_bounds.Figures.ablation_omega_models ~jobs ())
-        ~title:"Ablation: omega models" ~x:"eps" ~y:"size ratio"
-    | other ->
-      prerr_endline
-        ("unknown figure: " ^ other ^ " (fig2|fig3|fig4|fig5|fig6|omega)");
-      exit 1
   in
   let figure =
     Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"FIGURE" ~doc:"One of fig2..fig6 or omega.")
+         & info [] ~docv:"FIGURE"
+             ~doc:"One of fig2..fig6, omega, or delta (measured \
+                   output-error sweep).")
   in
   let chart =
     Arg.(value & flag
          & info [ "chart" ] ~doc:"Draw an ASCII chart instead of a table.")
   in
   let doc = "Print the data series behind the paper's analytical figures" in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ figure $ chart $ jobs_arg)
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(const run $ figure $ chart $ jobs_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* suite                                                                *)

@@ -36,3 +36,85 @@ let evaluate_suite ?delta ?leakage_share0 ?(epsilons = paper_epsilons) ?jobs
     profiles
   |> Nano_util.Par.map_list ?jobs (fun (profile, epsilon) ->
          evaluate_profile ?delta ?leakage_share0 profile ~epsilon)
+
+type measured_row = {
+  row : row;
+  measured_delta : float;
+  measured_activity : float;
+  vectors : int;
+}
+
+(* Analytic short-circuits for grid cells outside {!Metrics.evaluate}'s
+   domain (it raises there). ε = 0: a perfect device needs no
+   redundancy and shifts no activity — every ratio is exactly 1.
+   δ >= 1/2: the reliability constraint is vacuous (a coin flip meets
+   it), so Theorem 2's additional-gate count clamps to 0 (the PR 1
+   [extra_gates] fix) and size_ratio is 1; the activity ratios are
+   Theorem 1's, which never depended on δ; the depth bound is trivially
+   met by the error-free implementation (ratio 1). *)
+let degenerate_row profile ~epsilon ~delta ~leakage_share0 =
+  let base ~activity_ratio ~idle_ratio =
+    let energy_ratio =
+      ((1. -. leakage_share0) *. activity_ratio)
+      +. (leakage_share0 *. idle_ratio)
+    in
+    {
+      benchmark = profile.Profile.name;
+      epsilon;
+      delta;
+      energy_ratio;
+      delay_ratio = Some 1.0;
+      average_power_ratio = Some energy_ratio;
+      energy_delay_ratio = Some energy_ratio;
+      size_ratio = 1.0;
+    }
+  in
+  if epsilon = 0. then base ~activity_ratio:1. ~idle_ratio:1.
+  else begin
+    let sw0 =
+      Nano_util.Math_ext.clamp ~lo:1e-4 ~hi:(1. -. 1e-4) profile.Profile.sw0
+    in
+    let sw = Switching.noisy_activity ~epsilon sw0 in
+    base ~activity_ratio:(sw /. sw0) ~idle_ratio:((1. -. sw) /. (1. -. sw0))
+  end
+
+let measured_grid ?(deltas = [ paper_delta ]) ?(leakage_share0 = 0.5)
+    ?(epsilons = paper_epsilons) ?(vectors = 8192) ?seed ?jobs ?mode ?profile
+    netlist =
+  List.iter
+    (fun d ->
+      if not (d >= 0.) then
+        invalid_arg "Benchmark_eval.measured_grid: delta must be >= 0")
+    deltas;
+  (* Sensitivity and noiseless activity once per circuit — they are
+     ε-independent — then ONE batched Monte-Carlo pass over the whole ε
+     set: all lanes share input draws and fault uniforms
+     ({!Nano_faults.Noisy_sim.profile_grid}). *)
+  let profile =
+    match profile with Some p -> p | None -> Profile.of_netlist ?jobs netlist
+  in
+  let eps = Array.of_list epsilons in
+  let measured =
+    Nano_faults.Noisy_sim.profile_grid ?seed ~vectors ?jobs ?mode
+      ~epsilons:eps netlist
+  in
+  List.concat
+    (List.mapi
+       (fun i epsilon ->
+         let m = measured.(i) in
+         List.map
+           (fun delta ->
+             let row =
+               if epsilon > 0. && delta < 0.5 then
+                 evaluate_profile ~delta ~leakage_share0 profile ~epsilon
+               else degenerate_row profile ~epsilon ~delta ~leakage_share0
+             in
+             {
+               row;
+               measured_delta = m.Nano_faults.Noisy_sim.any_output_error;
+               measured_activity =
+                 m.Nano_faults.Noisy_sim.average_gate_activity;
+               vectors = m.Nano_faults.Noisy_sim.vectors;
+             })
+           deltas)
+       epsilons)

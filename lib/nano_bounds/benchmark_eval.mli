@@ -39,3 +39,38 @@ val evaluate_suite :
     benchmark. [jobs] (default 1) evaluates the grid cells across that
     many domains ({!Nano_util.Par}); row order and values are identical
     for every job count. *)
+
+type measured_row = {
+  row : row;  (** The analytic bounds at this (ε, δ) cell. *)
+  measured_delta : float;
+      (** Empirical δ̂(ε): Monte-Carlo any-output error of the circuit
+          itself (no redundancy) at this ε. *)
+  measured_activity : float;
+      (** Empirical average gate activity at this ε — the measured
+          counterpart of Theorem 1's sw(ε). *)
+  vectors : int;  (** Vectors the lane actually simulated. *)
+}
+
+val measured_grid :
+  ?deltas:float list ->
+  ?leakage_share0:float ->
+  ?epsilons:float list ->
+  ?vectors:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?mode:Nano_faults.Noisy_sim.mode ->
+  ?profile:Profile.t ->
+  Nano_netlist.Netlist.t ->
+  measured_row list
+(** Bounds-versus-measurement over a full (ε, δ) grid from ONE batched
+    Monte-Carlo pass: sensitivity and noiseless activity are computed
+    once per circuit (pass [?profile] to reuse an existing measurement
+    and skip even that), then {!Nano_faults.Noisy_sim.profile_grid}
+    simulates every ε lane simultaneously under common random numbers.
+    Rows are ordered ε-major, δ-minor ([deltas] default
+    [[paper_delta]], [epsilons] default {!paper_epsilons}). Degenerate
+    cells short-circuit to their analytic values instead of calling
+    {!Metrics.evaluate} outside its domain: ε = 0 rows are all-ones;
+    δ >= 1/2 rows have size_ratio 1 (the clamped vacuous bound),
+    Theorem 1's δ-independent activity ratios, and delay ratio 1.
+    Results are bit-identical for every [jobs]. *)

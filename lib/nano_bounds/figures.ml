@@ -104,6 +104,32 @@ let fig6_average_power ?(fanins = [ 2; 3; 4 ]) ?(steps = 30) ?jobs () =
     ~extract:(fun b -> b.Metrics.average_power_ratio)
     ()
 
+(* Measured δ̂(ε) per circuit, one BATCHED Monte-Carlo pass per circuit
+   ({!Nano_faults.Noisy_sim.profile_grid}): every ε lane shares input
+   draws and fault uniforms, so the series costs one simulation instead
+   of one per grid point and its points are coupled by common random
+   numbers (monotone in ε up to the collapsed residual variance).
+   Parallelism shards vector words inside each pass rather than grid
+   points across the pool, and results are jobs-independent. *)
+let measured_delta ?(epsilons = default_eps_grid ()) ?(vectors = 8192) ?seed
+    ?jobs ?mode circuits =
+  let eps = Array.of_list epsilons in
+  List.map
+    (fun (name, netlist) ->
+      let results =
+        Nano_faults.Noisy_sim.profile_grid ?seed ~vectors ?jobs ?mode
+          ~epsilons:eps netlist
+      in
+      {
+        label = name;
+        points =
+          List.mapi
+            (fun i e ->
+              (e, results.(i).Nano_faults.Noisy_sim.any_output_error))
+            epsilons;
+      })
+    circuits
+
 let ablation_omega_models ?(fanin = 2) ?(epsilons = default_eps_grid ()) ?jobs
     () =
   let factor model epsilon =

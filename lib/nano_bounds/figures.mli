@@ -43,6 +43,23 @@ val fig6_average_power :
   ?fanins:int list -> ?steps:int -> ?jobs:int -> unit -> series list
 (** Figure 6: normalized average power versus ε for each fanin. *)
 
+val measured_delta :
+  ?epsilons:float list ->
+  ?vectors:int ->
+  ?seed:int ->
+  ?jobs:int ->
+  ?mode:Nano_faults.Noisy_sim.mode ->
+  (string * Nano_netlist.Netlist.t) list ->
+  series list
+(** Empirical δ̂(ε) — Monte-Carlo any-output error of each named circuit
+    versus ε — from one batched multi-lane simulation pass per circuit
+    ({!Nano_faults.Noisy_sim.profile_grid}): all grid points share input
+    draws and fault uniforms (common random numbers), so the whole
+    series costs about one per-point simulation. One series per circuit,
+    labelled by its given name; [jobs] shards simulation vectors, not
+    grid points, and the series are bit-identical for every job
+    count. *)
+
 val ablation_omega_models :
   ?fanin:int -> ?epsilons:float list -> ?jobs:int -> unit -> series list
 (** Redundancy factor under the paper's gate-lumped ω versus the

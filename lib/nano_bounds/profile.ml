@@ -18,7 +18,8 @@ type activity_method =
 
 let default_activity = Monte_carlo { seed = 0x5eed; vectors = 4096 }
 
-let of_netlist ?(activity = default_activity) ?sensitivity_samples netlist =
+let of_netlist ?(activity = default_activity) ?sensitivity_samples ?jobs
+    netlist =
   let profile =
     match activity with
     | Monte_carlo { seed; vectors } ->
@@ -35,7 +36,7 @@ let of_netlist ?(activity = default_activity) ?sensitivity_samples netlist =
     max_fanin = Netlist.max_fanin netlist;
     sw0 = profile.Nano_sim.Activity.average_gate_activity;
     sensitivity =
-      Nano_sim.Sensitivity.estimate ?samples:sensitivity_samples netlist;
+      Nano_sim.Sensitivity.estimate ?samples:sensitivity_samples ?jobs netlist;
   }
 
 let to_scenario p ~epsilon ~delta ~leakage_share0 =

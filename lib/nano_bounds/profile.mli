@@ -24,10 +24,13 @@ val default_activity : activity_method
 val of_netlist :
   ?activity:activity_method ->
   ?sensitivity_samples:int ->
+  ?jobs:int ->
   Nano_netlist.Netlist.t ->
   t
 (** Measure a netlist. Sensitivity is exact for up to 16 inputs and a
-    sampled lower estimate beyond that (see {!Nano_sim.Sensitivity}). *)
+    sampled lower estimate beyond that (see {!Nano_sim.Sensitivity});
+    [jobs] (default 1) parallelizes that estimate over the
+    {!Nano_util.Par} pool without changing its value. *)
 
 val to_scenario :
   t -> epsilon:float -> delta:float -> leakage_share0:float -> Metrics.scenario

@@ -171,6 +171,36 @@ let run_shard_compiled ~seed ~first_word ~words ~draws_per_word
     s_any_errors = !any_errors;
   }
 
+(* Shared result assembly: integer counters over [words] 64-vector words
+   to the floating-point result record. Both the per-point engine and
+   the batched grid engine end here, so a grid lane whose counters match
+   a per-point run produces a bit-identical [result]. *)
+let result_of_counts netlist ~epsilon ~words ~ones ~toggles ~out_errors
+    ~any_errors =
+  let outputs = Netlist.outputs netlist in
+  let total = float_of_int (words * 64) in
+  let node_probability = Array.map (fun c -> float_of_int c /. total) ones in
+  let node_activity = Array.map (fun c -> float_of_int c /. total) toggles in
+  let average_gate_activity =
+    let sum, count =
+      Netlist.fold netlist ~init:(0., 0) ~f:(fun (s, c) id info ->
+          if noisy_node info then (s +. node_activity.(id), c + 1) else (s, c))
+    in
+    if count = 0 then 0. else sum /. float_of_int count
+  in
+  {
+    epsilon;
+    vectors = words * 64;
+    per_output_error =
+      List.mapi
+        (fun i (name, _) -> (name, float_of_int out_errors.(i) /. total))
+        outputs;
+    any_output_error = float_of_int any_errors /. total;
+    node_probability;
+    node_activity;
+    average_gate_activity;
+  }
+
 let run ?(jobs = 1) ?(engine = `Compiled) ~seed ~vectors ~input_probability
     ~channels ~mean_epsilon netlist =
   if jobs < 1 then invalid_arg "Noisy_sim.run: jobs must be >= 1";
@@ -214,28 +244,8 @@ let run ?(jobs = 1) ?(engine = `Compiled) ~seed ~vectors ~input_probability
         s.s_out_errors;
       any_errors := !any_errors + s.s_any_errors)
     shards;
-  let total = float_of_int (words * 64) in
-  let node_probability = Array.map (fun c -> float_of_int c /. total) ones in
-  let node_activity = Array.map (fun c -> float_of_int c /. total) toggles in
-  let average_gate_activity =
-    let sum, count =
-      Netlist.fold netlist ~init:(0., 0) ~f:(fun (s, c) id info ->
-          if noisy_node info then (s +. node_activity.(id), c + 1) else (s, c))
-    in
-    if count = 0 then 0. else sum /. float_of_int count
-  in
-  {
-    epsilon = mean_epsilon;
-    vectors = words * 64;
-    per_output_error =
-      List.mapi
-        (fun i (name, _) -> (name, float_of_int out_errors.(i) /. total))
-        outputs;
-    any_output_error = float_of_int !any_errors /. total;
-    node_probability;
-    node_activity;
-    average_gate_activity;
-  }
+  result_of_counts netlist ~epsilon:mean_epsilon ~words ~ones ~toggles
+    ~out_errors ~any_errors:!any_errors
 
 let simulate ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
     ?jobs ?engine ~epsilon netlist =
@@ -263,3 +273,240 @@ let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
     netlist
 
 let output_reliability r = 1. -. r.any_output_error
+
+(* ------------------------------------------------------------------ *)
+(* Batched multi-ε grid engine.                                         *)
+(* ------------------------------------------------------------------ *)
+
+type mode = Fixed | Adaptive of { half_width : float; z : float }
+
+(* Per-shard counters of a grid run: one golden set (only sized when an
+   ε = 0 lane needs it) plus one set per simulated (ε > 0) lane. *)
+type grid_counts = {
+  g_ones0 : int array;
+  g_toggles0 : int array;
+  g_ones : int array array;
+  g_toggles : int array array;
+  g_out_errors : int array array;
+  g_any : int array;
+}
+
+(* One shard of a batched grid run: [lanes] noise replicas coupled by
+   common random numbers ([Compiled.exec_noisy_words_batch]) plus a
+   golden pair that doubles as the ε = 0 lanes' statistics. Stream
+   discipline: every word consumes exactly [draws_per_word] draws
+   whatever the lane set — the two noise segments are 64 draws per noisy
+   gate whether executed or jumped over ([lanes = 0]) — so shards jump
+   straight to [first_word], and adaptive freezing (which shrinks
+   [lanes] between blocks) never shifts the stream. The per-word draw
+   order (inputs_a, noise_a, inputs_b, noise_b) matches
+   [run_shard_compiled], so each ε ≠ 1/2 lane replays a per-point run
+   bit-for-bit. *)
+let run_grid_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
+    ~thresholds ~lanes ~need0 c =
+  let rng = Prng.create ~seed in
+  Prng.jump rng ~draws:(first_word * draws_per_word);
+  let n = Compiled.node_count c in
+  let out_n = Array.length (Compiled.output_ids c) in
+  let noise_draws = 64 * Compiled.noisy_count c in
+  let golden_a = Compiled.create_values c in
+  let golden_b = Compiled.create_values c in
+  let na = Array.init lanes (fun _ -> Compiled.create_values c) in
+  let nb = Array.init lanes (fun _ -> Compiled.create_values c) in
+  let dim0 = if need0 then n else 0 in
+  let ones0 = Array.make dim0 0 in
+  let toggles0 = Array.make dim0 0 in
+  let ones = Array.init lanes (fun _ -> Array.make n 0) in
+  let toggles = Array.init lanes (fun _ -> Array.make n 0) in
+  let out_errors = Array.init lanes (fun _ -> Array.make out_n 0) in
+  let any = Array.make lanes 0 in
+  for _ = 1 to words do
+    Compiled.draw_input_words c rng ~input_probability ~values:golden_a;
+    Compiled.exec_words c ~values:golden_a;
+    if lanes = 0 then Prng.jump rng ~draws:noise_draws
+    else begin
+      for k = 0 to lanes - 1 do
+        Compiled.copy_input_words c ~src:golden_a ~dst:na.(k)
+      done;
+      Compiled.exec_noisy_words_batch c ~thresholds ~lanes ~rng ~values:na
+    end;
+    Compiled.draw_input_words c rng ~input_probability ~values:golden_b;
+    if need0 then Compiled.exec_words c ~values:golden_b;
+    if lanes = 0 then Prng.jump rng ~draws:noise_draws
+    else begin
+      for k = 0 to lanes - 1 do
+        Compiled.copy_input_words c ~src:golden_b ~dst:nb.(k)
+      done;
+      Compiled.exec_noisy_words_batch c ~thresholds ~lanes ~rng ~values:nb
+    end;
+    if need0 then begin
+      Compiled.add_ones_counts c ~values:golden_a ~into:ones0;
+      Compiled.add_toggle_counts c ~a:golden_a ~b:golden_b ~into:toggles0
+    end;
+    for k = 0 to lanes - 1 do
+      Compiled.add_ones_counts c ~values:na.(k) ~into:ones.(k);
+      Compiled.add_toggle_counts c ~a:na.(k) ~b:nb.(k) ~into:toggles.(k);
+      any.(k) <-
+        any.(k)
+        + Compiled.add_output_error_counts c ~golden:golden_a ~noisy:na.(k)
+            ~into:out_errors.(k)
+    done
+  done;
+  {
+    g_ones0 = ones0;
+    g_toggles0 = toggles0;
+    g_ones = ones;
+    g_toggles = toggles;
+    g_out_errors = out_errors;
+    g_any = any;
+  }
+
+(* Adaptive mode re-checks lane confidence intervals every block of this
+   many words (16 words = 1024 vectors): coarse enough that the
+   Agresti–Coull interval is sane at the first boundary, fine enough
+   that converged lanes stop early. Freezing decisions are made on
+   counters merged at fixed block boundaries, so they are identical for
+   every job count. *)
+let adaptive_block_words = 16
+
+let run_grid ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons netlist =
+  let k = Array.length epsilons in
+  let words_total = Nano_util.Math_ext.ceil_div vectors 64 in
+  let c = Compiled.of_netlist netlist in
+  let n = Compiled.node_count c in
+  let out_n = List.length (Netlist.outputs netlist) in
+  let sim_idx =
+    Array.of_list
+      (List.filter (fun i -> epsilons.(i) > 0.) (List.init k Fun.id))
+  in
+  let lanes = Array.length sim_idx in
+  let need0 = lanes < k in
+  let dpw =
+    (2 * Netlist.input_count netlist
+    * Prng.draws_per_word ~p:input_probability)
+    + (2 * 64 * Compiled.noisy_count c)
+  in
+  (* Global accumulators; shard counters are merged in shard order at
+     every block boundary (exact integer adds — jobs-independent). *)
+  let ones0 = Array.make (if need0 then n else 0) 0 in
+  let toggles0 = Array.make (if need0 then n else 0) 0 in
+  let ones = Array.init lanes (fun _ -> Array.make n 0) in
+  let toggles = Array.init lanes (fun _ -> Array.make n 0) in
+  let out_errors = Array.init lanes (fun _ -> Array.make out_n 0) in
+  let any = Array.make lanes 0 in
+  let lane_words = Array.make lanes 0 in
+  let active = ref (Array.init lanes Fun.id) in
+  let words_done = ref 0 in
+  let block_words =
+    match mode with
+    | Fixed -> max 1 words_total
+    | Adaptive _ -> adaptive_block_words
+  in
+  while !words_done < words_total && (lanes = 0 || Array.length !active > 0) do
+    let act = !active in
+    let nact = Array.length act in
+    let bw = min block_words (words_total - !words_done) in
+    let thresholds =
+      if nact = 0 then Bytes.empty
+      else
+        Compiled.pack_epsilons_batch c
+          (Array.map (fun p -> epsilons.(sim_idx.(p))) act)
+    in
+    let first = !words_done in
+    let shards =
+      Par.map ~jobs
+        (fun (lo, hi) ->
+          run_grid_shard ~seed ~first_word:(first + lo) ~words:(hi - lo)
+            ~draws_per_word:dpw ~input_probability ~thresholds ~lanes:nact
+            ~need0 c)
+        (Par.ranges ~jobs bw)
+    in
+    Array.iter
+      (fun s ->
+        if need0 then
+          for id = 0 to n - 1 do
+            ones0.(id) <- ones0.(id) + s.g_ones0.(id);
+            toggles0.(id) <- toggles0.(id) + s.g_toggles0.(id)
+          done;
+        for j = 0 to nact - 1 do
+          let p = act.(j) in
+          let so = s.g_ones.(j)
+          and st = s.g_toggles.(j)
+          and go = ones.(p)
+          and gt = toggles.(p) in
+          for id = 0 to n - 1 do
+            go.(id) <- go.(id) + so.(id);
+            gt.(id) <- gt.(id) + st.(id)
+          done;
+          let se = s.g_out_errors.(j) and ge = out_errors.(p) in
+          for i = 0 to out_n - 1 do
+            ge.(i) <- ge.(i) + se.(i)
+          done;
+          any.(p) <- any.(p) + s.g_any.(j)
+        done)
+      shards;
+    words_done := !words_done + bw;
+    Array.iter (fun p -> lane_words.(p) <- !words_done) act;
+    match mode with
+    | Fixed -> ()
+    | Adaptive { half_width; z } ->
+      (* Freeze a lane once the Agresti–Coull interval around its
+         empirical δ̂ is tight enough. The adjusted point estimate
+         (errs + 2) / (n + 4) keeps the width honest at δ̂ = 0, where
+         the Wald interval would collapse immediately. *)
+      active :=
+        Array.of_list
+          (List.filter
+             (fun p ->
+               let nvec = float_of_int (lane_words.(p) * 64) in
+               let errs = float_of_int any.(p) in
+               let pt = (errs +. 2.) /. (nvec +. 4.) in
+               let hw = z *. sqrt (pt *. (1. -. pt) /. nvec) in
+               hw > half_width)
+             (Array.to_list act))
+  done;
+  let words0 = !words_done in
+  let lane_of = Array.make k (-1) in
+  Array.iteri (fun p j -> lane_of.(j) <- p) sim_idx;
+  Array.init k (fun j ->
+      if epsilons.(j) > 0. then begin
+        let p = lane_of.(j) in
+        result_of_counts netlist ~epsilon:epsilons.(j) ~words:lane_words.(p)
+          ~ones:ones.(p) ~toggles:toggles.(p) ~out_errors:out_errors.(p)
+          ~any_errors:any.(p)
+      end
+      else
+        (* ε = 0 short-circuit: a noise-free lane can never disagree
+           with the golden evaluation, so its output-error figures are
+           exactly zero by definition and its node statistics are the
+           golden pair's — no lane is simulated for it. *)
+        result_of_counts netlist ~epsilon:0. ~words:words0 ~ones:ones0
+          ~toggles:toggles0 ~out_errors:(Array.make out_n 0) ~any_errors:0)
+
+let profile_grid ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
+    ?(jobs = 1) ?(mode = Fixed) ~epsilons netlist =
+  if jobs < 1 then invalid_arg "Noisy_sim.profile_grid: jobs must be >= 1";
+  Array.iter
+    (fun e ->
+      if not (e >= 0. && e <= 0.5) then
+        invalid_arg "Noisy_sim.profile_grid: epsilon must lie in [0, 1/2]")
+    epsilons;
+  (match mode with
+  | Fixed -> ()
+  | Adaptive { half_width; z } ->
+    if not (half_width > 0.) then
+      invalid_arg "Noisy_sim.profile_grid: half_width must be > 0";
+    if not (z > 0.) then invalid_arg "Noisy_sim.profile_grid: z must be > 0");
+  match Array.length epsilons with
+  | 0 -> [||]
+  | 1 when mode = Fixed ->
+    (* Single-point grids take the per-point engine on the calling
+       domain: no pool spin-up, and bit-identity with {!simulate} holds
+       by construction. *)
+    [|
+      simulate ~seed ~vectors ~input_probability ~jobs:1
+        ~epsilon:epsilons.(0) netlist;
+    |]
+  | 1 ->
+    run_grid ~seed ~vectors ~input_probability ~jobs:1 ~mode ~epsilons netlist
+  | _ -> run_grid ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons netlist

@@ -66,6 +66,52 @@ val simulate_heterogeneous :
     consulted once per logic gate and must return values in [[0, 1/2]];
     the result's [epsilon] field reports the mean over logic gates. *)
 
+type mode =
+  | Fixed
+      (** Simulate every lane for the full vector budget. The default:
+          bit-reproducible, jobs-independent, and (per lane, at any
+          ε ≠ 1/2) bit-identical to {!simulate}. *)
+  | Adaptive of { half_width : float; z : float }
+      (** Confidence-interval early stopping: after every block of 1024
+          vectors, freeze each lane whose Agresti–Coull interval around
+          its empirical δ̂ has half-width ≤ [half_width] at [z] standard
+          normal quantiles (e.g. [z = 1.96] for 95%), and keep
+          simulating the rest. A frozen lane's [result.vectors] records
+          how far it ran; because the batched kernel's draw consumption
+          is independent of the lane set, its counts equal a [Fixed] run
+          truncated at that block — decisions are made on merged
+          counters at fixed block boundaries, so results remain
+          jobs-independent. *)
+
+val profile_grid :
+  ?seed:int ->
+  ?vectors:int ->
+  ?input_probability:float ->
+  ?jobs:int ->
+  ?mode:mode ->
+  epsilons:float array ->
+  Nano_netlist.Netlist.t ->
+  result array
+(** [profile_grid ~epsilons netlist] evaluates one Monte-Carlo pass for
+    an entire ε-grid: the circuit is compiled once, each 64-vector word
+    is executed once per lane from the SAME input draw, and every noisy
+    gate draws ONE shared 64-uniform noise word thinned against the
+    packed per-lane thresholds ({!Nano_netlist.Compiled.exec_noisy_words_batch}).
+    Lanes are therefore coupled by common random numbers — grid
+    differences have collapsed variance — and each ε ≠ 1/2 lane is
+    bit-identical to the per-point {!simulate} at the same seed.
+    Defaults match {!simulate} ([seed = 0xfa17], [vectors = 8192],
+    [input_probability = 0.5], [jobs = 1], [mode = Fixed]).
+
+    Returned array is parallel to [epsilons]. Edge cases short-circuit:
+    an empty grid returns [[||]] without touching the pool; a
+    single-point grid runs the per-point engine on the calling domain;
+    ε = 0 lanes are never simulated — their output-error figures are
+    exactly zero and their node statistics come from the golden pair the
+    pass computes anyway. [jobs] shards vector words (not grid points)
+    across domains with the seed-jump discipline of {!simulate}:
+    results are bit-identical for every job count. *)
+
 val output_reliability : result -> float
 (** [1 - any_output_error]: the empirical probability that the whole
     output word is correct. *)

@@ -171,13 +171,32 @@ end)
 let cache = Cache.create 32
 let cache_mutex = Mutex.create ()
 
+(* Process-lifetime memoization counters, surfaced by the evaluation
+   service's [stats] request. Atomics rather than plain ints: reads may
+   come from a different domain than the increments. *)
+let memo_hit_count = Atomic.make 0
+let memo_miss_count = Atomic.make 0
+
+type memo_stats = { memo_hits : int; memo_misses : int }
+
+let memo_stats () =
+  { memo_hits = Atomic.get memo_hit_count;
+    memo_misses = Atomic.get memo_miss_count }
+
+let clear_cache () =
+  Mutex.lock cache_mutex;
+  Cache.clear cache;
+  Mutex.unlock cache_mutex
+
 let of_netlist netlist =
   Mutex.lock cache_mutex;
   match Cache.find_opt cache netlist with
   | Some c ->
+    Atomic.incr memo_hit_count;
     Mutex.unlock cache_mutex;
     c
   | None ->
+    Atomic.incr memo_miss_count;
     let c =
       match compile netlist with
       | c -> c
@@ -255,6 +274,35 @@ let pack_epsilons c eps =
         invalid_arg "Compiled.pack_epsilons: epsilon must lie in [0, 1/2]";
       set64 packed (id lsl 3) (Int64.bits_of_float e))
     eps;
+  packed
+
+(* Batched-threshold layout: one row of [lanes + 1] words per node —
+   word 0 an upper bound on the row's thresholds (the noise primitive's
+   early-out), words 1..lanes the per-lane densities. Rows are packed
+   per node (stride [8 * (lanes + 1)]) so a future heterogeneous packer
+   can vary thresholds per gate without changing the execution loop. *)
+let batch_stride lanes = (lanes + 1) lsl 3
+
+let pack_epsilons_batch c eps =
+  let lanes = Array.length eps in
+  if lanes < 1 then
+    invalid_arg "Compiled.pack_epsilons_batch: need at least one lane";
+  Array.iter
+    (fun e ->
+      if not (e >= 0. && e <= 0.5) then
+        invalid_arg
+          "Compiled.pack_epsilons_batch: epsilon must lie in [0, 1/2]")
+    eps;
+  let emax = Array.fold_left Float.max 0. eps in
+  let stride = batch_stride lanes in
+  let packed = Bytes.make (c.node_count * stride) '\000' in
+  for id = 0 to c.node_count - 1 do
+    let base = id * stride in
+    set64 packed base (Int64.bits_of_float emax);
+    Array.iteri
+      (fun k e -> set64 packed (base + ((k + 1) lsl 3)) (Int64.bits_of_float e))
+      eps
+  done;
   packed
 
 (* ------------------------------------------------------------------ *)
@@ -499,4 +547,38 @@ let exec_noisy_words c ~epsilons ~rng ~values =
     if Bytes.unsafe_get noisy id <> '\000' then
       Nano_util.Prng.xor_word_with_density_from rng ~eps:epsilons
         ~eps_pos:(id lsl 3) values (id lsl 3)
+  done
+
+let exec_noisy_words_batch c ~thresholds ~lanes ~rng ~values =
+  if lanes < 1 then
+    invalid_arg "Compiled.exec_noisy_words_batch: lanes must be >= 1";
+  if Array.length values <> lanes then
+    invalid_arg
+      "Compiled.exec_noisy_words_batch: one value buffer per lane required";
+  for k = 0 to lanes - 1 do
+    check_values c (Array.unsafe_get values k) "Compiled.exec_noisy_words_batch"
+  done;
+  let stride = batch_stride lanes in
+  if Bytes.length thresholds <> c.node_count * stride then
+    invalid_arg
+      "Compiled.exec_noisy_words_batch: thresholds buffer length does not \
+       match node count and lanes (use Compiled.pack_epsilons_batch)";
+  let ops = c.opcodes
+  and offs = c.fanin_offsets
+  and fan = c.fanin_ids
+  and noisy = c.noisy in
+  for id = 0 to c.node_count - 1 do
+    for k = 0 to lanes - 1 do
+      let v = Array.unsafe_get values k in
+      eval_node ops offs fan ~src:v ~dst:v id
+    done;
+    (* One 64-uniform draw per noisy gate, shared across all lanes: the
+       common-random-numbers coupling. Per-word draw consumption (64) is
+       identical to the per-point [exec_noisy_words] path at any
+       [epsilon <> 0.5], so lane [k] of a batched run replays the exact
+       stream — and therefore the exact bits — of a per-point run at
+       [epsilon.(k)] on the same seed. *)
+    if Bytes.unsafe_get noisy id <> '\000' then
+      Nano_util.Prng.xor_words_with_thresholds rng ~thr:thresholds
+        ~thr_pos:(id * stride) ~lanes values (id lsl 3)
   done

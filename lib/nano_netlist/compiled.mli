@@ -29,6 +29,19 @@ val compile : Netlist.t -> t
 (** Always lowers afresh, bypassing the memo table. Prefer
     {!of_netlist}. *)
 
+val clear_cache : unit -> unit
+(** Drop every memoized compiled program. The cache is keyed weakly, so
+    entries already vanish with their netlists; this lets a long-running
+    process (the evaluation daemon) shed programs whose netlists are
+    still alive in its own caches. Subsequent {!of_netlist} calls simply
+    re-lower. *)
+
+type memo_stats = { memo_hits : int; memo_misses : int }
+(** Cumulative {!of_netlist} memo-table accounting since process start
+    (monotonic; {!clear_cache} does not reset it). *)
+
+val memo_stats : unit -> memo_stats
+
 (** {1 Structure} *)
 
 val node_count : t -> int
@@ -97,6 +110,14 @@ val pack_epsilons : t -> float array -> Bytes.t
     run; the result is immutable by convention and safe to share across
     domains. *)
 
+val pack_epsilons_batch : t -> float array -> Bytes.t
+(** [pack_epsilons_batch c eps] packs a K-lane threshold table for
+    {!exec_noisy_words_batch}: one row of [K + 1] IEEE-754 words per
+    node — word 0 the row maximum (the noise primitive's early-out
+    bound), words 1..K the lane densities [eps.(0) .. eps.(K-1)]. Every
+    epsilon must lie in [[0, 1/2]] and [eps] must be non-empty. Pack
+    once per grid; immutable by convention, shareable across domains. *)
+
 (** {1 Counting kernels}
 
     Counter updates for the Monte-Carlo loops, kept in this compilation
@@ -133,6 +154,25 @@ val exec_noisy_words :
     ascending node order: the same draws, in the same order, as the
     interpretive noisy evaluation, so seed-sharded runs reproduce it
     bit-for-bit. *)
+
+val exec_noisy_words_batch :
+  t ->
+  thresholds:Bytes.t ->
+  lanes:int ->
+  rng:Nano_util.Prng.t ->
+  values:Bytes.t array ->
+  unit
+(** Multi-ε variant of {!exec_noisy_words}: evaluates [lanes] value
+    buffers in one topological pass, drawing ONE 64-uniform noise word
+    per noisy gate and thinning it against the packed per-lane
+    thresholds ({!pack_epsilons_batch}) — common-random-numbers
+    coupling, so lane estimates across an ε-grid move together. All
+    buffers must carry identical primary-input words for the coupling to
+    mean anything ({!copy_input_words}). Draw consumption (64 per noisy
+    gate) matches {!exec_noisy_words} at any [epsilon <> 0.5], so lane
+    [k] is bit-identical to a per-point run at [eps.(k)] on the same
+    stream; it is independent of [lanes], so dropping lanes (adaptive
+    early stopping) never shifts the stream. Allocation-free. *)
 
 val exec_step : t -> src:Bytes.t -> dst:Bytes.t -> unit
 (** One synchronous unit-delay step: every gate reads its fanins'

@@ -17,6 +17,8 @@ type request =
       leakage_share0 : float;
       epsilons : float list;
       no_map : bool;
+      measure : bool;
+      vectors : int;
     }
   | Sweep of { figure : string }
 
@@ -60,13 +62,16 @@ let request_to_json { request; timeout_ms } =
     | Profile { circuit; no_map } ->
       (("kind", Json.String "profile") :: circuit_fields circuit)
       @ [ ("no_map", Json.Bool no_map) ]
-    | Analyze { circuit; delta; leakage_share0; epsilons; no_map } ->
+    | Analyze { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors }
+      ->
       (("kind", Json.String "analyze") :: circuit_fields circuit)
       @ [
           ("delta", Json.Float delta);
           ("leakage_share0", Json.Float leakage_share0);
           ("epsilons", Json.List (List.map (fun e -> Json.Float e) epsilons));
           ("no_map", Json.Bool no_map);
+          ("measure", Json.Bool measure);
+          ("vectors", Json.Int vectors);
         ]
     | Sweep { figure } ->
       [ ("kind", Json.String "sweep"); ("figure", Json.String figure) ]
@@ -171,7 +176,13 @@ let request_of_json obj =
             Benchmark_eval.paper_epsilons
         in
         let* no_map = field_default Json.to_bool obj "no_map" false in
-        Ok (Analyze { circuit; delta; leakage_share0; epsilons; no_map })
+        (* Backward compatible: pre-measurement clients simply omit
+           these and get the old analytic-only analysis. *)
+        let* measure = field_default Json.to_bool obj "measure" false in
+        let* vectors = field_default Json.to_int obj "vectors" 4096 in
+        Ok
+          (Analyze
+             { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors })
       | "sweep" ->
         let* figure = field_required Json.to_string_opt obj "figure" in
         Ok (Sweep { figure })
@@ -227,6 +238,21 @@ let row_to_json (r : Benchmark_eval.row) =
       ("energy_delay_ratio", opt_float r.Benchmark_eval.energy_delay_ratio);
       ("size_ratio", Json.Float r.Benchmark_eval.size_ratio);
     ]
+
+let measured_row_to_json (r : Benchmark_eval.measured_row) =
+  (* The analytic row's fields flattened together with the measured
+     figures, so a measured row is a strict superset of [row_to_json]
+     and existing consumers can read it unchanged. *)
+  match row_to_json r.Benchmark_eval.row with
+  | Json.Obj fields ->
+    Json.Obj
+      (fields
+      @ [
+          ("measured_delta", Json.Float r.Benchmark_eval.measured_delta);
+          ("measured_activity", Json.Float r.Benchmark_eval.measured_activity);
+          ("measured_vectors", Json.Int r.Benchmark_eval.vectors);
+        ])
+  | other -> other
 
 let series_to_json series =
   Json.List

@@ -28,6 +28,13 @@ type request =
       leakage_share0 : float;
       epsilons : float list;
       no_map : bool;
+      measure : bool;
+          (** When true, the reply's rows also carry measured
+              (Monte-Carlo) δ̂ and activity from one batched multi-ε
+              simulation pass. Decodes as [false] when absent, so old
+              clients are unaffected. *)
+      vectors : int;
+          (** Monte-Carlo budget for [measure] (default 4096). *)
     }
   | Sweep of { figure : string }
 
@@ -52,6 +59,12 @@ val bounds_to_json : Nano_bounds.Metrics.bounds -> Nano_util.Json.t
 val profile_to_json : Nano_bounds.Profile.t -> Nano_util.Json.t
 
 val row_to_json : Nano_bounds.Benchmark_eval.row -> Nano_util.Json.t
+
+val measured_row_to_json :
+  Nano_bounds.Benchmark_eval.measured_row -> Nano_util.Json.t
+(** The analytic row's fields plus [measured_delta],
+    [measured_activity] and [measured_vectors] — a strict superset of
+    {!row_to_json}, so row consumers can read either shape. *)
 
 val series_to_json :
   (string * (float * float) list) list -> Nano_util.Json.t

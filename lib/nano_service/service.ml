@@ -89,13 +89,19 @@ let profile_for t ~deadline ~digest ~name ~no_map netlist =
         if no_map then netlist
         else Nano_synth.Script.rugged_lite ~max_fanin:3 netlist
       in
-      let p = Profile.of_netlist mapped in
+      let p = Profile.of_netlist ~jobs:t.config.jobs mapped in
       Cache.add t.profiles core_key p;
       p
   in
   { profile with Profile.name = name }
 
 let fr = Json.float_repr
+
+(* The measured-δ̂ figure simulates a small set of suite circuits over
+   the default ε grid — one batched multi-lane pass per circuit
+   ({!Figures.measured_delta}), so the whole figure costs a few
+   simulations rather than circuits × grid points. *)
+let delta_figure_circuits = [ "c17"; "rca8"; "parity16" ]
 
 let sweep_series ~jobs figure =
   match figure with
@@ -105,10 +111,20 @@ let sweep_series ~jobs figure =
   | "fig5" -> Figures.fig5_delay_and_edp ~jobs ()
   | "fig6" -> Figures.fig6_average_power ~jobs ()
   | "omega" -> Figures.ablation_omega_models ~jobs ()
+  | "delta" ->
+    let circuits =
+      List.filter_map
+        (fun name ->
+          Option.map
+            (fun e -> (name, e.Nano_circuits.Suite.build ()))
+            (Nano_circuits.Suite.find name))
+        delta_figure_circuits
+    in
+    Figures.measured_delta ~jobs circuits
   | other ->
     raise
       (Reply_error
-         ("unknown_figure", other ^ ": expected fig2..fig6 or omega"))
+         ("unknown_figure", other ^ ": expected fig2..fig6, omega or delta"))
 
 (* A request prepared for execution: its content-addressed key (when
    cacheable) is known before any expensive work runs, which is what
@@ -131,7 +147,19 @@ let prepare t ~deadline (env : Protocol.envelope) =
       key = None;
       run =
         (fun () ->
+          let memo = Nano_netlist.Compiled.memo_stats () in
           Service_metrics.to_json t.metrics
+            ~extra:
+              [
+                ( "compiled_programs",
+                  Json.Obj
+                    [
+                      ( "memo_hits",
+                        Json.Int memo.Nano_netlist.Compiled.memo_hits );
+                      ( "memo_misses",
+                        Json.Int memo.Nano_netlist.Compiled.memo_misses );
+                    ] );
+              ]
             ~caches:
               [
                 ("responses", Cache.stats t.responses);
@@ -168,13 +196,15 @@ let prepare t ~deadline (env : Protocol.envelope) =
           Protocol.profile_to_json
             (profile_for t ~deadline ~digest ~name ~no_map netlist));
     }
-  | Protocol.Analyze { circuit; delta; leakage_share0; epsilons; no_map } ->
+  | Protocol.Analyze
+      { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors } ->
     let name, netlist = resolve_circuit circuit in
     let digest = Nano_synth.Strash.digest netlist in
     let key =
-      Printf.sprintf "analyze|%s|%s|%b|%s|%s|%s" digest name no_map
+      Printf.sprintf "analyze|%s|%s|%b|%s|%s|%s|%b|%d" digest name no_map
         (fr delta) (fr leakage_share0)
         (String.concat "," (List.map fr epsilons))
+        measure vectors
     in
     {
       key = Some key;
@@ -184,20 +214,41 @@ let prepare t ~deadline (env : Protocol.envelope) =
             profile_for t ~deadline ~digest ~name ~no_map netlist
           in
           check_deadline deadline;
-          (* The per-ε closed-form grid batches onto the domain pool;
-             values are jobs-independent (Nano_util.Par contract). *)
-          let rows =
-            Par.map_list ~jobs:t.config.jobs
-              (fun epsilon ->
-                Benchmark_eval.evaluate_profile ~delta
-                  ~leakage_share0 profile ~epsilon)
-              epsilons
-          in
-          Json.Obj
-            [
-              ("profile", Protocol.profile_to_json profile);
-              ("rows", Json.List (List.map Protocol.row_to_json rows));
-            ]);
+          if measure then begin
+            (* Mapped circuit re-derived the same way the cached profile
+               was; one batched multi-ε pass covers the whole grid, with
+               jobs sharding vectors inside it (jobs-independent). *)
+            let mapped =
+              if no_map then netlist
+              else Nano_synth.Script.rugged_lite ~max_fanin:3 netlist
+            in
+            let rows =
+              Benchmark_eval.measured_grid ~deltas:[ delta ] ~leakage_share0
+                ~epsilons ~vectors ~jobs:t.config.jobs ~profile mapped
+            in
+            Json.Obj
+              [
+                ("profile", Protocol.profile_to_json profile);
+                ( "rows",
+                  Json.List (List.map Protocol.measured_row_to_json rows) );
+              ]
+          end
+          else begin
+            (* The per-ε closed-form grid batches onto the domain pool;
+               values are jobs-independent (Nano_util.Par contract). *)
+            let rows =
+              Par.map_list ~jobs:t.config.jobs
+                (fun epsilon ->
+                  Benchmark_eval.evaluate_profile ~delta ~leakage_share0
+                    profile ~epsilon)
+                epsilons
+            in
+            Json.Obj
+              [
+                ("profile", Protocol.profile_to_json profile);
+                ("rows", Json.List (List.map Protocol.row_to_json rows));
+              ]
+          end);
     }
   | Protocol.Sweep { figure } ->
     let key = Printf.sprintf "sweep|%s" figure in

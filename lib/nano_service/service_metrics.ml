@@ -45,7 +45,7 @@ let cache_to_json (c : Cache.stats) =
       ("capacity", Json.Int c.capacity);
     ]
 
-let to_json t ~caches ~now =
+let to_json ?(extra = []) t ~caches ~now =
   let kinds =
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.by_kind []
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -75,11 +75,13 @@ let to_json t ~caches ~now =
         ] )
   in
   Json.Obj
-    [
-      ("uptime_seconds", Json.Float (Float.max 0. (now -. t.started_at)));
-      ("requests", Json.Int (totals (fun ks -> ks.count)));
-      ("errors", Json.Int (totals (fun ks -> ks.errors)));
-      ("coalesced", Json.Int (totals (fun ks -> ks.coalesced)));
-      ("by_kind", Json.Obj (List.map kind_json kinds));
-      ("caches", Json.Obj (List.map (fun (n, c) -> (n, cache_to_json c)) caches));
-    ]
+    ([
+       ("uptime_seconds", Json.Float (Float.max 0. (now -. t.started_at)));
+       ("requests", Json.Int (totals (fun ks -> ks.count)));
+       ("errors", Json.Int (totals (fun ks -> ks.errors)));
+       ("coalesced", Json.Int (totals (fun ks -> ks.coalesced)));
+       ("by_kind", Json.Obj (List.map kind_json kinds));
+       ( "caches",
+         Json.Obj (List.map (fun (n, c) -> (n, cache_to_json c)) caches) );
+     ]
+    @ extra)

@@ -25,6 +25,7 @@ val record_coalesced : t -> kind:string -> unit
     cache traffic of its own). *)
 
 val to_json :
+  ?extra:(string * Nano_util.Json.t) list ->
   t ->
   caches:(string * Cache.stats) list ->
   now:float ->
@@ -32,4 +33,7 @@ val to_json :
 (** Stats snapshot: total/per-kind request counts (kinds sorted, so
     the layout is deterministic), error and coalesced counts, latency
     mean/min/max per kind, one stats block per named cache, and
-    [uptime_seconds] relative to the creation time. *)
+    [uptime_seconds] relative to the creation time. [extra] fields
+    (default none) are appended verbatim at the top level — the daemon
+    uses it for process-wide counters that live outside this module,
+    e.g. the compiled-program memo table. *)

@@ -129,6 +129,47 @@ let xor_word_with_density_from t ~eps ~eps_pos dst pos =
         set64 dst pos (Int64.logxor (get64 dst pos) (Int64.shift_left 1L i))
     done
 
+(* Batched noise injection for multi-ε sweeps: ONE uniform per bit
+   position, compared against K packed per-lane thresholds. Sharing the
+   uniform across lanes couples them by common random numbers — the flip
+   sets are nested in ε (u < ε₁ ⊆ u < ε₂ for ε₁ ≤ ε₂), so estimates
+   across a grid move together and their differences have collapsed
+   variance. For any single lane the flip rule [u < ε] is exactly the
+   one {!xor_word_with_density} applies when [p <> 0.5], so a lane of a
+   batched run is bit-identical to a per-point run on the same stream.
+
+   Layout of [thr] at byte offset [thr_pos]: [lanes + 1] words of
+   IEEE-754 bits — word 0 is an upper bound on every lane threshold
+   (early-out: when the uniform clears it, no lane flips, which is the
+   overwhelmingly common case at small ε), words 1..lanes are the
+   per-lane densities. Consumes exactly 64 draws regardless of [lanes],
+   so seed-jumped shards and lane-set changes never shift the stream. *)
+let xor_words_with_thresholds t ~thr ~thr_pos ~lanes (dst : Bytes.t array) pos =
+  if lanes < 1 then
+    invalid_arg "Nano_util.Prng.xor_words_with_thresholds: lanes must be >= 1";
+  if Array.length dst < lanes then
+    invalid_arg
+      "Nano_util.Prng.xor_words_with_thresholds: fewer destination buffers \
+       than lanes";
+  for k = 0 to lanes do
+    let p = Int64.float_of_bits (get64 thr (thr_pos + (k lsl 3))) in
+    if not (p >= 0. && p <= 1.) then
+      invalid_arg
+        "Nano_util.Prng.xor_words_with_thresholds: threshold must lie in \
+         [0, 1]"
+  done;
+  for i = 0 to 63 do
+    let u = float t in
+    if u < Int64.float_of_bits (get64 thr thr_pos) then
+      for k = 0 to lanes - 1 do
+        if u < Int64.float_of_bits (get64 thr (thr_pos + ((k + 1) lsl 3)))
+        then begin
+          let b = Array.unsafe_get dst k in
+          set64 b pos (Int64.logxor (get64 b pos) (Int64.shift_left 1L i))
+        end
+      done
+  done
+
 let word_with_density t ~p =
   store_word_with_density t ~p t.buf scratch_pos;
   get64 t.buf scratch_pos

@@ -79,6 +79,25 @@ val xor_word_with_density_from :
     [-opaque] dev builds prevent inlining and a float argument loaded
     from a [float array] would be boxed at every call. *)
 
+val xor_words_with_thresholds :
+  t -> thr:Bytes.t -> thr_pos:int -> lanes:int -> Bytes.t array -> int -> unit
+(** [xor_words_with_thresholds t ~thr ~thr_pos ~lanes dst pos] draws ONE
+    uniform per bit position (64 total) and, for each lane [k], XORs bit
+    [i] of the word at byte offset [pos] of [dst.(k)] when that uniform
+    falls below lane [k]'s threshold. [thr] holds [lanes + 1] packed
+    IEEE-754 words starting at [thr_pos]: word 0 must be an upper bound
+    on every lane threshold (it gates an early-out), words 1..lanes are
+    the per-lane densities, each in [[0, 1]].
+
+    Sharing one uniform across lanes is the common-random-numbers
+    coupling of the batched sweep engine: flip sets are nested in the
+    threshold, and each lane reproduces exactly the flips
+    {!xor_word_with_density} with the same density would make on the
+    same stream (its [p <> 0.5] path). Consumes exactly 64 draws
+    independent of [lanes] — {!jump}-sharded callers can change the
+    lane set without shifting the stream. Allocation-free; offsets are
+    unchecked as in {!store_word_with_density}. *)
+
 val draws_per_word : p:float -> int
 (** Number of {!bits64} calls one [word_with_density ~p] consumes (1 when
     [p = 0.5], 64 otherwise) — the constant needed to {!jump} over

@@ -141,3 +141,25 @@ The derivation of a bound can be printed step by step:
     extra gates >= (s log2 s + 2s log2(2(1-2delta))) / (k log2 t) = 13.73
     size ratio >= max(1, 1 + extra/S0) = 1.65392
   
+
+With --measure, analyze cross-checks the analytic rows against one
+batched Monte-Carlo pass over the whole epsilon grid (all lanes share
+the input stream and fault draws; the seed is fixed, so the measured
+columns are reproducible):
+
+  $ nanobound analyze c17 --measure --vectors 2048 --epsilons 0.01,0.05
+  c17: n=5 m=2 S0=6 depth=3 k̄=2.00 kmax=2 sw0=0.4474 s=4
+  
+  eps   E/E0   D/D0   P/P0   ED/ED0  measured dhat  measured sw
+  ----  -----  -----  -----  ------  -------------  -----------
+  0.01  1.235  1.006  1.227  1.243   0.05322        0.4494     
+  0.05  1.426  1.362  1.047  1.941   0.2085         0.4655     
+
+Sweep figures share the service's JSON series encoder:
+
+  $ nanobound sweep fig4 --format json | grep -o '"label":"[^"]*"'
+  "label":"sw0=0.10"
+  "label":"sw0=0.25"
+  "label":"sw0=0.50"
+  "label":"sw0=0.75"
+  "label":"sw0=0.90"

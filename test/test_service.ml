@@ -99,6 +99,8 @@ let test_protocol_roundtrip () =
               leakage_share0 = 0.4;
               epsilons = [ 0.001; 0.01 ];
               no_map = false;
+              measure = true;
+              vectors = 2048;
             };
         timeout_ms = Some 1000;
       };
