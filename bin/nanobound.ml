@@ -8,6 +8,7 @@
      equiv     combinational equivalence (auto | BDD | SAT backends)
      critical  gate observability ranking + analytic reliability
      sweep     print the data series behind Figures 2-6
+     lint      static analysis: structural + dataflow diagnostics
      suite     list built-in benchmark circuits
      serve     persistent evaluation daemon (newline-delimited JSON)
      request   send requests to a running daemon *)
@@ -177,6 +178,7 @@ let analyze_cmd =
         if no_map then circuit
         else Nano_synth.Script.rugged_lite ~max_fanin:3 circuit
       in
+      let lint_report = Nano_lint.Lint.run_netlist circuit in
       let profile = Nano_bounds.Profile.of_netlist ~jobs mapped in
       (* With --measure, ONE batched Monte-Carlo pass covers the whole ε
          grid (lanes coupled by common random numbers, jobs sharding
@@ -225,13 +227,28 @@ let analyze_cmd =
             ("rows", row_list);
           ]
         in
+        (* Same pre-flight attachment (and placement) as the service's
+           analyze reply: only present when the linter has errors or
+           warnings to report. *)
+        let lint =
+          match Nano_lint.Lint.preflight_json lint_report with
+          | Some pj -> [ ("lint", pj) ]
+          | None -> []
+        in
         let extra =
           match glitch_factor with
           | Some g -> [ ("glitch_factor", Float g) ]
           | None -> []
         in
-        json_line (Obj (base @ extra))
+        json_line (Obj (base @ lint @ extra))
       | `Table ->
+        let lint_errors = Nano_lint.Lint.errors lint_report in
+        let lint_warnings = Nano_lint.Lint.warnings lint_report in
+        if lint_errors + lint_warnings > 0 then
+          Format.eprintf
+            "pre-flight lint: %d error(s), %d warning(s) (run `nanobound \
+             lint %s' for details)@."
+            lint_errors lint_warnings spec;
         Format.printf "%a@.@." Nano_bounds.Profile.pp profile;
         (match glitch_factor with
         | Some g ->
@@ -628,6 +645,92 @@ let sweep_cmd =
     Term.(const run $ figure $ chart $ jobs_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run specs max_fanin epsilon delta strict format =
+    let options = { Nano_lint.Lint.max_fanin; epsilon; delta } in
+    let worst = ref `Clean in
+    List.iter
+      (fun spec ->
+        let report =
+          match Nano_circuits.Suite.find spec with
+          | Some entry ->
+            Nano_lint.Lint.run_netlist ~options
+              (entry.Nano_circuits.Suite.build ())
+          | None ->
+            if Sys.file_exists spec then begin
+              match Nano_lint.Lint.run_blif_file ~options spec with
+              | Ok report -> report
+              | Error msg ->
+                prerr_endline (spec ^ ": " ^ msg);
+                exit 3
+            end
+            else begin
+              prerr_endline
+                (Printf.sprintf
+                   "%s: not a built-in benchmark and no such file (try \
+                    `nanobound suite')"
+                   spec);
+              exit 3
+            end
+        in
+        (match format with
+        | `Json -> json_line (Nano_lint.Lint.report_to_json report)
+        | `Table -> Format.printf "%a" Nano_lint.Lint.pp_report report);
+        if Nano_lint.Lint.errors report > 0 then worst := `Errors
+        else if Nano_lint.Lint.warnings report > 0 && !worst = `Clean then
+          worst := `Warnings)
+      specs;
+    match !worst with
+    | `Errors -> exit 1
+    | `Warnings when strict -> exit 1
+    | _ -> ()
+  in
+  let specs =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"CIRCUIT"
+          ~doc:
+            "Circuits to lint: BLIF file paths or built-in benchmark \
+             names, checked in order.")
+  in
+  let max_fanin =
+    Arg.(
+      value & opt int 3
+      & info [ "max-fanin" ] ~docv:"K"
+          ~doc:"Fan-in bound k the audit checks gates against.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero on warnings too, not just errors.")
+  in
+  let doc = "Static analysis: structural lint and dataflow diagnostics" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the multi-pass netlist analyzer: BLIF-level structure \
+         (combinational cycles with a witness path, duplicate drivers, \
+         dangling nets), output-cone reachability (dead gates, unused \
+         inputs), constant propagation (statically-constant outputs, \
+         controlled gates), fan-in audit with a Theorem 4 depth \
+         cross-check, structural-duplicate detection, and \
+         bound-applicability checks for the paper's preconditions.";
+      `P
+        "Exit status is 1 when any report carries errors (with \
+         $(b,--strict), warnings too), 3 when a circuit cannot be read.";
+    ]
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const run $ specs $ max_fanin $ epsilon_arg $ delta_arg $ strict
+      $ format_arg)
+
+(* ------------------------------------------------------------------ *)
 (* suite                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -783,5 +886,5 @@ let () =
           [
             bounds_cmd; analyze_cmd; synth_cmd; inject_cmd; equiv_cmd;
             critical_cmd;
-            sweep_cmd; suite_cmd; serve_cmd; request_cmd;
+            sweep_cmd; lint_cmd; suite_cmd; serve_cmd; request_cmd;
           ]))

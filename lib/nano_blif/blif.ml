@@ -68,13 +68,15 @@ type names_block = {
 
 type model = {
   m_name : string;
-  m_inputs : string list;
-  m_outputs : string list;
+  m_line : int;  (* line of .model (or 1 when implicit) *)
+  m_inputs : (string * int) list;  (* name, declaration line *)
+  m_outputs : (string * int) list;
   m_names : names_block list;
 }
 
 let parse_model lines =
   let name = ref "model" in
+  let model_line = ref 1 in
   let inputs = ref [] in
   let outputs = ref [] in
   let names = ref [] in
@@ -99,10 +101,14 @@ let parse_model lines =
       | dot :: rest when String.length dot > 0 && dot.[0] = '.' -> begin
         close_current ();
         match dot, rest with
-        | ".model", [ n ] -> name := n
+        | ".model", [ n ] ->
+          name := n;
+          model_line := lineno
         | ".model", _ -> fail lineno ".model expects one name"
-        | ".inputs", ins -> inputs := !inputs @ ins
-        | ".outputs", outs -> outputs := !outputs @ outs
+        | ".inputs", ins ->
+          inputs := !inputs @ List.map (fun i -> (i, lineno)) ins
+        | ".outputs", outs ->
+          outputs := !outputs @ List.map (fun o -> (o, lineno)) outs
         | ".names", [] -> fail lineno ".names expects at least an output"
         | ".names", signals ->
           current := Some { n_line = lineno; signals; rows = [] }
@@ -126,10 +132,48 @@ let parse_model lines =
   close_current ();
   {
     m_name = !name;
+    m_line = !model_line;
     m_inputs = !inputs;
     m_outputs = !outputs;
     m_names = List.rev !names;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Raw structural view, for static analysis before elaboration.        *)
+(* ------------------------------------------------------------------ *)
+
+module Raw = struct
+  type def = { line : int; output : string; inputs : string list }
+
+  type t = {
+    model : string;
+    inputs : (string * int) list;
+    outputs : (string * int) list;
+    defs : def list;
+  }
+end
+
+let raw_of_model m =
+  let defs =
+    List.map
+      (fun blk ->
+        match List.rev blk.signals with
+        | out :: rev_ins ->
+          { Raw.line = blk.n_line; output = out; inputs = List.rev rev_ins }
+        | [] -> fail blk.n_line "empty .names")
+      m.m_names
+  in
+  {
+    Raw.model = m.m_name;
+    inputs = m.m_inputs;
+    outputs = m.m_outputs;
+    defs;
+  }
+
+let parse_raw text =
+  match raw_of_model (parse_model (tokenize_lines text)) with
+  | raw -> Ok raw
+  | exception Parse_error e -> Error e
 
 (* ------------------------------------------------------------------ *)
 (* Elaboration: signal -> node, with two-level expansion of covers.    *)
@@ -142,15 +186,24 @@ let elaborate model =
   List.iter
     (fun blk ->
       match List.rev blk.signals with
-      | out :: _ ->
-        if Hashtbl.mem defs out then
-          fail blk.n_line "signal %s defined twice" out;
-        Hashtbl.replace defs out blk
+      | out :: _ -> begin
+        match Hashtbl.find_opt defs out with
+        | Some first ->
+          (* Reject the second driver outright: silently keeping either
+             cover would change the function behind the user's back. *)
+          fail blk.n_line
+            "signal %s driven by more than one .names (first driver at line \
+             %d)"
+            out first.n_line
+        | None -> Hashtbl.replace defs out blk
+      end
       | [] -> fail blk.n_line "empty .names")
     model.m_names;
   List.iter
-    (fun input ->
-      if Hashtbl.mem env input then fail 0 "duplicate input %s" input;
+    (fun (input, line) ->
+      if Hashtbl.mem env input then fail line "duplicate input %s" input;
+      if Hashtbl.mem defs input then
+        fail line "input %s is also driven by a .names block" input;
       Hashtbl.replace env input (Netlist.Builder.input b input))
     model.m_inputs;
   let negations : (Netlist.node, Netlist.node) Hashtbl.t = Hashtbl.create 64 in
@@ -163,18 +216,31 @@ let elaborate model =
       v
   in
   let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
-  let rec resolve signal =
+  (* Most-recent-first stack of signals being elaborated, kept alongside
+     [in_progress] so a detected cycle can be reported with its witness
+     path rather than just the signal it closed on. *)
+  let progress_stack : string list ref = ref [] in
+  let rec resolve ~line signal =
     match Hashtbl.find_opt env signal with
     | Some n -> n
     | None -> begin
       match Hashtbl.find_opt defs signal with
-      | None -> fail 0 "signal %s is never defined" signal
+      | None -> fail line "signal %s is never defined" signal
       | Some blk ->
-        if Hashtbl.mem in_progress signal then
-          fail blk.n_line "combinational cycle through %s" signal;
+        if Hashtbl.mem in_progress signal then begin
+          let rec take acc = function
+            | [] -> acc
+            | s :: rest -> if s = signal then s :: acc else take (s :: acc) rest
+          in
+          let witness = take [ signal ] !progress_stack in
+          fail blk.n_line "combinational cycle: %s"
+            (String.concat " -> " witness)
+        end;
         Hashtbl.replace in_progress signal ();
+        progress_stack := signal :: !progress_stack;
         let n = build_cover blk in
         Hashtbl.remove in_progress signal;
+        progress_stack := List.tl !progress_stack;
         Hashtbl.replace env signal n;
         n
     end
@@ -186,7 +252,7 @@ let elaborate model =
       | [] -> assert false
     in
     ignore out_name;
-    let fanins = List.map resolve fanin_names in
+    let fanins = List.map (resolve ~line:blk.n_line) fanin_names in
     let fanin_arr = Array.of_list fanins in
     let width = Array.length fanin_arr in
     match blk.rows with
@@ -234,10 +300,10 @@ let elaborate model =
       in
       if polarity then sum else negate sum
   in
-  if model.m_outputs = [] then fail 0 "model has no outputs";
+  if model.m_outputs = [] then fail model.m_line "model has no outputs";
   List.iter
-    (fun out ->
-      let n = resolve out in
+    (fun (out, line) ->
+      let n = resolve ~line out in
       Netlist.Builder.output b out n)
     model.m_outputs;
   Netlist.Builder.finish b

@@ -9,13 +9,54 @@
     is its stated future work). *)
 
 type error = { line : int; message : string }
+(** Every parse error carries the 1-based physical line of its first
+    offending token: directive errors the directive's line, cover errors
+    the cover's [.names] line, undefined-signal errors the line that
+    referenced the signal, duplicate drivers the second driver's line. *)
 
 val pp_error : Format.formatter -> error -> unit
+
+(** {1 Raw structural view}
+
+    The dependency structure of a model {e before} elaboration: which
+    signal each [.names] block drives and which signals it reads, with
+    declaration line numbers. This is what {!Nano_lint}'s front-end
+    passes analyze — combinational cycles, duplicate drivers and
+    dangling nets are only representable at this level, because
+    {!Nano_netlist.Netlist.t} is a DAG by construction and
+    {!parse_string} only elaborates the output cones. *)
+
+module Raw : sig
+  type def = {
+    line : int;  (** Line of the [.names] directive. *)
+    output : string;  (** The signal the cover drives. *)
+    inputs : string list;  (** Signals the cover reads, in order. *)
+  }
+
+  type t = {
+    model : string;
+    inputs : (string * int) list;  (** Name and declaration line. *)
+    outputs : (string * int) list;
+    defs : def list;  (** All covers in file order, duplicates included. *)
+  }
+end
+
+val parse_raw : string -> (Raw.t, error) result
+(** Parse down to the raw structural view only: directives and cover
+    shapes are checked, but cover rows are not interpreted, signals are
+    not resolved and no netlist is built — so structurally broken models
+    (cycles, duplicate drivers, undefined or dangling signals) still
+    parse and can be diagnosed. *)
 
 val parse_string : string -> (Nano_netlist.Netlist.t, error) result
 (** Parse a BLIF model. Each [.names] cover is expanded into two-level
     AND/OR/NOT logic over the netlist's primitive gates; degenerate covers
-    become constants or buffers. *)
+    become constants or buffers.
+
+    Structural errors are rejected with positioned messages: a
+    duplicate [.names] driver reports both driver lines (last-writer
+    silently winning would change the function), and a combinational
+    cycle reports a witness path ["a -> b -> a"]. *)
 
 val parse_file : string -> (Nano_netlist.Netlist.t, error) result
 

@@ -1,4 +1,7 @@
-type verdict = Bounded of float | Infeasible of { max_inputs : float }
+type verdict =
+  | Bounded of float
+  | Trivially_feasible of { max_inputs : float }
+  | Infeasible of { max_inputs : float }
 
 let xi ~epsilon =
   if not (epsilon >= 0. && epsilon <= 0.5) then
@@ -29,8 +32,12 @@ let min_depth ~epsilon ~delta ~fanin ~inputs =
         (Nano_util.Math_ext.log2 arg /. Nano_util.Math_ext.log2 (k *. x *. x))
   end
   else begin
+    (* Sub-threshold regime: the theorem has no depth bound here, only
+       its feasibility precondition n <= 1/Delta — report which side of
+       it we are on instead of a vacuous Bounded 0. *)
     let max_inputs = 1. /. cap in
-    if n <= max_inputs then Bounded 0. else Infeasible { max_inputs }
+    if n <= max_inputs then Trivially_feasible { max_inputs }
+    else Infeasible { max_inputs }
   end
 
 let error_free_depth ~fanin ~inputs =
@@ -41,6 +48,6 @@ let error_free_depth ~fanin ~inputs =
 let depth_ratio ~epsilon ~delta ~fanin ~inputs =
   let d0 = error_free_depth ~fanin ~inputs in
   match min_depth ~epsilon ~delta ~fanin ~inputs with
-  | Infeasible _ as v -> v
+  | (Infeasible _ | Trivially_feasible _) as v -> v
   | Bounded d ->
     if d0 <= 0. then Bounded 1. else Bounded (Float.max 1. (d /. d0))

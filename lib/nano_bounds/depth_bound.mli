@@ -5,13 +5,23 @@
     base 2, i.e. [Δ = 1 - H(δ)]):
     - if [ξ^2 > 1/k] the depth satisfies
       [d ≥ log(nΔ) / log(kξ^2)];
-    - otherwise no circuit computes a function of [n > 1/Δ] relevant
-      inputs (1-δ)-reliably. *)
+    - otherwise the theorem's feasibility precondition takes over: no
+      circuit computes a function of [n > 1/Δ] relevant inputs
+      (1-δ)-reliably, and for [n ≤ 1/Δ] the theorem yields no depth
+      bound at all. *)
 
 type verdict =
   | Bounded of float
       (** Reliable computation possible; depth is at least this many
           levels (never negative). *)
+  | Trivially_feasible of { max_inputs : float }
+      (** The sub-threshold regime [ξ² ≤ 1/k], where the theorem only
+          speaks through its feasibility condition: the requested
+          [n ≤ max_inputs = 1/Δ], so reliable computation is not ruled
+          out, but no depth lower bound exists either. Reported
+          explicitly (rather than as a vacuous [Bounded 0.]) so
+          callers — {!Nano_lint}'s fan-in audit in particular — can
+          surface the [n ≤ 1/Δ] precondition the result hangs on. *)
   | Infeasible of { max_inputs : float }
       (** Signal decays faster than fanin can recombine it: only
           functions of at most [max_inputs] = 1/Δ inputs are reliably
@@ -25,8 +35,12 @@ val delta_capacity : delta:float -> float
 
 val min_depth : epsilon:float -> delta:float -> fanin:int -> inputs:int -> verdict
 (** Theorem 4 proper. Requires [0 <= ε < 1/2] handled normally; at
-    [ε = 1/2] everything with [n > 1/Δ] is infeasible. Requires
-    [0 <= δ < 1/2], [fanin >= 2], [inputs >= 1]. *)
+    [ε = 1/2] everything with [n > 1/Δ] is infeasible and everything
+    smaller is {!Trivially_feasible}. Requires [0 <= δ < 1/2],
+    [fanin >= 2], [inputs >= 1]. Above the ξ²·k threshold the verdict
+    is always [Bounded] (0 when [nΔ ≤ 1] makes the bound vacuous);
+    below it, [Trivially_feasible] or [Infeasible] according to the
+    [n ≤ 1/Δ] condition. *)
 
 val error_free_depth : fanin:int -> inputs:int -> float
 (** Baseline depth of an error-free fanin-k implementation of a function
@@ -36,4 +50,5 @@ val depth_ratio :
   epsilon:float -> delta:float -> fanin:int -> inputs:int -> verdict
 (** Normalized depth lower bound [d(ε,δ) / d0]; clamped at 1 from below
     (a fault-tolerant implementation can never be shallower than the
-    information-theoretic error-free depth). *)
+    information-theoretic error-free depth). [Trivially_feasible] and
+    [Infeasible] verdicts pass through unchanged. *)

@@ -66,6 +66,9 @@ let evaluate s =
         ~fanin:s.fanin ~inputs:s.inputs
     with
     | Depth_bound.Bounded r -> Some r
+    (* No depth constraint below the xi^2 k threshold when n <= 1/Delta:
+       the normalized ratio degenerates to the error-free baseline. *)
+    | Depth_bound.Trivially_feasible _ -> Some 1.
     | Depth_bound.Infeasible _ -> None
   in
   {

@@ -1,0 +1,164 @@
+module Raw = Nano_blif.Blif.Raw
+
+let pass = "blif"
+let cycle_pass = "cycle"
+
+let run (raw : Raw.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* Interface declarations. *)
+  let input_lines : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, line) ->
+      match Hashtbl.find_opt input_lines name with
+      | Some first ->
+        add
+          (Diagnostic.make ~line Diagnostic.Error ~pass ~code:"duplicate-input"
+             (Diagnostic.In_port name)
+             (Printf.sprintf "input %s already declared at line %d" name first))
+      | None -> Hashtbl.replace input_lines name line)
+    raw.Raw.inputs;
+  let output_lines : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, line) ->
+      match Hashtbl.find_opt output_lines name with
+      | Some first ->
+        add
+          (Diagnostic.make ~line Diagnostic.Error ~pass
+             ~code:"duplicate-output" (Diagnostic.Out_port name)
+             (Printf.sprintf "output %s already declared at line %d" name
+                first))
+      | None -> Hashtbl.replace output_lines name line)
+    raw.Raw.outputs;
+  (* Drivers: first .names per net wins for traversal, later ones are
+     duplicate-driver errors, and driving a declared input is an error. *)
+  let driver : (string, Raw.def) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (def : Raw.def) ->
+      (match Hashtbl.find_opt driver def.Raw.output with
+      | Some first ->
+        add
+          (Diagnostic.make ~line:def.Raw.line Diagnostic.Error ~pass
+             ~code:"duplicate-driver" (Diagnostic.Net def.Raw.output)
+             (Printf.sprintf
+                "net %s is driven by more than one .names block (first \
+                 driver at line %d); keeping either silently changes the \
+                 function"
+                def.Raw.output first.Raw.line))
+      | None -> Hashtbl.replace driver def.Raw.output def);
+      if Hashtbl.mem input_lines def.Raw.output then
+        add
+          (Diagnostic.make ~line:def.Raw.line Diagnostic.Error ~pass
+             ~code:"input-driven" (Diagnostic.Net def.Raw.output)
+             (Printf.sprintf
+                "net %s is declared as a primary input (line %d) but also \
+                 driven by a .names block"
+                def.Raw.output
+                (Hashtbl.find input_lines def.Raw.output))))
+    raw.Raw.defs;
+  let defined name =
+    Hashtbl.mem input_lines name || Hashtbl.mem driver name
+  in
+  (* Backward reachability from the primary outputs, over first
+     drivers. Also detects cycles on the way down: a DFS grey node seen
+     again closes a combinational loop, and the grey stack is the
+     witness. *)
+  let color : (string, [ `Grey | `Black ]) Hashtbl.t = Hashtbl.create 64 in
+  let reached : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec visit stack name =
+    match Hashtbl.find_opt color name with
+    | Some `Black -> ()
+    | Some `Grey ->
+      let rec take acc = function
+        | [] -> acc
+        | s :: rest -> if s = name then s :: acc else take (s :: acc) rest
+      in
+      let witness = take [ name ] stack in
+      let line =
+        match Hashtbl.find_opt driver name with
+        | Some def -> Some def.Raw.line
+        | None -> None
+      in
+      add
+        (Diagnostic.make ?line Diagnostic.Error ~pass:cycle_pass
+           ~code:"combinational-cycle" (Diagnostic.Net name)
+           (Printf.sprintf "combinational cycle: %s"
+              (String.concat " -> " witness)))
+    | None ->
+      Hashtbl.replace color name `Grey;
+      Hashtbl.replace reached name ();
+      (match Hashtbl.find_opt driver name with
+      | Some def -> List.iter (visit (name :: stack)) def.Raw.inputs
+      | None -> ());
+      Hashtbl.replace color name `Black
+  in
+  List.iter (fun (name, _) -> visit [] name) raw.Raw.outputs;
+  (* Cycles in logic that no output reaches still poison elaboration
+     order for nothing; find them too by sweeping the remaining defs. *)
+  List.iter (fun (def : Raw.def) -> visit [] def.Raw.output) raw.Raw.defs;
+  (* Undefined references: fatal when an output cone needs them,
+     latent when only dead logic reads them. *)
+  List.iter
+    (fun (def : Raw.def) ->
+      List.iter
+        (fun input ->
+          if not (defined input) then begin
+            let fatal = Hashtbl.mem reached def.Raw.output in
+            add
+              (Diagnostic.make ~line:def.Raw.line
+                 (if fatal then Diagnostic.Error else Diagnostic.Warning)
+                 ~pass ~code:"undefined-signal" (Diagnostic.Net input)
+                 (Printf.sprintf "signal %s is read at line %d but never \
+                                  defined%s"
+                    input def.Raw.line
+                    (if fatal then "" else " (only dead logic reads it)")))
+          end)
+        def.Raw.inputs)
+    raw.Raw.defs;
+  List.iter
+    (fun (name, line) ->
+      if not (defined name) then
+        add
+          (Diagnostic.make ~line Diagnostic.Error ~pass
+             ~code:"undefined-signal" (Diagnostic.Out_port name)
+             (Printf.sprintf "output %s is declared but never defined" name)))
+    raw.Raw.outputs;
+  (* Dangling nets: driven, but no output cone ever reads them. Only
+     first drivers are considered; duplicate drivers are already
+     errors. *)
+  let output_names : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) -> Hashtbl.replace output_names name ())
+    raw.Raw.outputs;
+  (* Reached-by-outputs only: the sweep over remaining defs above also
+     marked dead logic, so recompute the output-cone closure. *)
+  let live : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec mark name =
+    if not (Hashtbl.mem live name) then begin
+      Hashtbl.replace live name ();
+      match Hashtbl.find_opt driver name with
+      | Some def -> List.iter mark def.Raw.inputs
+      | None -> ()
+    end
+  in
+  (try List.iter (fun (name, _) -> mark name) raw.Raw.outputs
+   with Stack_overflow -> ());
+  let seen_dangling : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (def : Raw.def) ->
+      if
+        (not (Hashtbl.mem live def.Raw.output))
+        && (not (Hashtbl.mem seen_dangling def.Raw.output))
+        && not (Hashtbl.mem output_names def.Raw.output)
+      then begin
+        Hashtbl.replace seen_dangling def.Raw.output ();
+        add
+          (Diagnostic.make ~line:def.Raw.line Diagnostic.Warning ~pass
+             ~code:"dangling-net" (Diagnostic.Net def.Raw.output)
+             (Printf.sprintf
+                "net %s is driven but never reaches a primary output; \
+                 elaboration drops it silently"
+                def.Raw.output))
+      end)
+    raw.Raw.defs;
+  List.rev !diags

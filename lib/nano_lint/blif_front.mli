@@ -1,0 +1,32 @@
+(** Pass 1 and the BLIF-level structural lints, over the raw
+    (pre-elaboration) model {!Nano_blif.Blif.Raw}.
+
+    Combinational cycles, duplicate drivers and dangling nets are only
+    representable here: {!Nano_netlist.Netlist.t} is a DAG by
+    construction and elaboration builds output cones only, so a cyclic
+    or dangling BLIF either fails to elaborate (losing the witness) or
+    loses the dead logic silently. Every diagnostic carries the 1-based
+    source line of its locus. *)
+
+val pass : string
+(** ["blif"] for declaration-level lints; the cycle pass reports under
+    ["cycle"]. *)
+
+val cycle_pass : string
+(** ["cycle"]. *)
+
+val run : Nano_blif.Blif.Raw.t -> Diagnostic.t list
+(** Diagnostics:
+    - [combinational-cycle] (error, pass ["cycle"]) with a witness path
+      ["a -> b -> a"], one per back edge found;
+    - [duplicate-driver] (error): a net driven by two [.names] blocks,
+      reporting both lines;
+    - [input-driven] (error): a declared input also driven by a cover;
+    - [duplicate-input] / [duplicate-output] (errors): repeated
+      interface declarations;
+    - [undefined-signal]: a referenced signal that is neither an input
+      nor driven — an error when the reference is in an output cone
+      (elaboration will fail), a warning when it is only read by dead
+      logic;
+    - [dangling-net] (warning): a driven signal that never reaches a
+      primary output (elaboration drops it silently). *)

@@ -1,0 +1,52 @@
+module Netlist = Nano_netlist.Netlist
+
+let pass = "bound"
+
+let run ~epsilon ~delta ~max_fanin netlist ~values =
+  let diags = ref [] in
+  let add severity code message =
+    diags :=
+      Diagnostic.make severity ~pass ~code Diagnostic.Whole message :: !diags
+  in
+  if not (epsilon > 0. && epsilon <= 0.5) then
+    add Diagnostic.Error "epsilon-domain"
+      (Printf.sprintf
+         "eps = %g lies outside (0, 1/2]; Theorems 1-4 are stated for a \
+          symmetric error channel in that range"
+         epsilon);
+  if not (delta >= 0. && delta < 0.5) then
+    add Diagnostic.Error "delta-domain"
+      (Printf.sprintf
+         "delta = %g lies outside [0, 1/2); the output error budget must \
+          leave the majority vote meaningful"
+         delta);
+  if max_fanin < 2 then
+    add Diagnostic.Error "fanin-domain"
+      (Printf.sprintf
+         "fanin bound k = %d is below 2; Theorem 4's recombination \
+          argument needs k >= 2"
+         max_fanin);
+  if Netlist.input_count netlist = 0 then
+    add Diagnostic.Error "no-inputs"
+      "netlist has no primary inputs: the bounds' n >= 1 precondition \
+       fails and Theorem 4 is undefined";
+  if Netlist.size netlist = 0 then
+    add Diagnostic.Warning "no-logic"
+      "netlist has no logic gates: S0 = 0, so the size and energy ratios \
+       are undefined";
+  let outputs = Netlist.outputs netlist in
+  let all_const =
+    outputs <> []
+    && List.for_all
+         (fun (_, id) ->
+           match values.(id) with
+           | Const_prop.Known _ -> true
+           | Const_prop.Unknown -> false)
+         outputs
+  in
+  if all_const then
+    add Diagnostic.Error "degenerate-function"
+      "every primary output is statically constant: sensitivity s = 0 and \
+       sw0 is 0 or 1, so the s >= 1 and sw0 in (0,1) preconditions of \
+       Theorems 1-2 fail and every bound degenerates";
+  List.rev !diags

@@ -1,0 +1,27 @@
+(** Pass 6: bound-applicability checks.
+
+    Validates, per netlist and operating point, the preconditions the
+    bound evaluator ({!Nano_bounds.Metrics.scenario_valid},
+    {!Nano_bounds.Benchmark_eval}, {!Nano_bounds.Figures}) otherwise
+    only discovers at runtime — or worse, papers over by nudging
+    degenerate profiles: ε ∈ (0, 1/2], δ ∈ [0, 1/2), k ≥ 2, n ≥ 1,
+    S0 ≥ 1, and the statically-decidable parts of sw0 ∈ (0, 1) and
+    s ≥ 1 (a netlist whose every output is constant has s = 0 and
+    sw0 ∈ {0, 1}). *)
+
+val pass : string
+(** ["bound"]. *)
+
+val run :
+  epsilon:float ->
+  delta:float ->
+  max_fanin:int ->
+  Nano_netlist.Netlist.t ->
+  values:Const_prop.value array ->
+  Diagnostic.t list
+(** Diagnostics: [epsilon-domain], [delta-domain] and [fanin-domain]
+    errors for out-of-domain operating points; [no-inputs] and
+    [no-logic] for empty interfaces ([n ≥ 1], [S0 ≥ 1]); and
+    [degenerate-function] (error) when every primary output is
+    statically constant ([values] comes from the constant-propagation
+    pass). *)

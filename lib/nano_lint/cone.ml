@@ -1,0 +1,41 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+let pass = "cone"
+
+let run netlist =
+  let n = Netlist.node_count netlist in
+  let reachable = Array.make n false in
+  let rec mark id =
+    if not reachable.(id) then begin
+      reachable.(id) <- true;
+      Array.iter mark (Netlist.fanins netlist id)
+    end
+  in
+  Array.iter mark (Netlist.output_ids netlist);
+  let diags = ref [] in
+  Netlist.iter netlist (fun id info ->
+      if not reachable.(id) then
+        match info.Netlist.kind with
+        | Gate.Input ->
+          let name =
+            match info.Netlist.name with Some s -> s | None -> string_of_int id
+          in
+          diags :=
+            Diagnostic.make Diagnostic.Warning ~pass ~code:"unused-input"
+              (Diagnostic.In_port name)
+              (Printf.sprintf
+                 "primary input %s feeds no output cone; it inflates the \
+                  relevant-input count n of Theorem 4"
+                 name)
+            :: !diags
+        | kind ->
+          diags :=
+            Diagnostic.make Diagnostic.Warning ~pass ~code:"dead-gate"
+              (Diagnostic.Node id)
+              (Printf.sprintf
+                 "%s gate %d is not in any output cone (dead logic inflates \
+                  S0 and the switching average)"
+                 (Gate.name kind) id)
+            :: !diags);
+  (reachable, List.rev !diags)

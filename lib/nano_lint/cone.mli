@@ -1,0 +1,15 @@
+(** Pass 2: output-cone reachability (dead gates, unused inputs).
+
+    Marks every node backward-reachable from a primary output; anything
+    unmarked is dead weight the bounds silently mis-count — dead gates
+    inflate S0 and the activity average, and unused inputs inflate the
+    Theorem 4 input count n. *)
+
+val pass : string
+(** ["cone"]. *)
+
+val run : Nano_netlist.Netlist.t -> bool array * Diagnostic.t list
+(** The reachability mask (indexed by node id, shared with later
+    passes) and the diagnostics: [dead-gate] warnings for unreachable
+    logic/constant nodes, [unused-input] warnings for unreachable
+    primary inputs. *)

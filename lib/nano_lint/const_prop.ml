@@ -1,0 +1,127 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+
+type value = Known of bool | Unknown
+
+let pass = "const"
+
+(* Three-valued evaluation of one gate. [vals] are the fanin values in
+   order. Exact when every fanin is known; otherwise only controlling
+   values (and majority pigeonholes) can force an answer. *)
+let eval3 kind (vals : value array) =
+  let n = Array.length vals in
+  let known_true = ref 0 and known_false = ref 0 in
+  Array.iter
+    (function
+      | Known true -> incr known_true
+      | Known false -> incr known_false
+      | Unknown -> ())
+    vals;
+  let all_known = !known_true + !known_false = n in
+  match kind with
+  | Gate.Input -> Unknown
+  | Gate.Const b -> Known b
+  | Gate.Buf -> vals.(0)
+  | Gate.Not -> (
+    match vals.(0) with Known b -> Known (not b) | Unknown -> Unknown)
+  | Gate.And ->
+    if !known_false > 0 then Known false
+    else if all_known then Known true
+    else Unknown
+  | Gate.Nand ->
+    if !known_false > 0 then Known true
+    else if all_known then Known false
+    else Unknown
+  | Gate.Or ->
+    if !known_true > 0 then Known true
+    else if all_known then Known false
+    else Unknown
+  | Gate.Nor ->
+    if !known_true > 0 then Known false
+    else if all_known then Known true
+    else Unknown
+  | Gate.Xor ->
+    if all_known then Known (!known_true land 1 = 1) else Unknown
+  | Gate.Xnor ->
+    if all_known then Known (!known_true land 1 = 0) else Unknown
+  | Gate.Majority ->
+    (* Odd arity: a strict majority of known equal votes decides the
+       output whatever the unknowns resolve to. *)
+    if 2 * !known_true > n then Known true
+    else if 2 * !known_false > n then Known false
+    else Unknown
+
+(* Whether constant [b] is a controlling value for [kind]: a single
+   such fanin fixes the gate's output on its own. *)
+let controlling kind b =
+  match kind with
+  | Gate.And | Gate.Nand -> not b
+  | Gate.Or | Gate.Nor -> b
+  | Gate.Buf | Gate.Not -> true
+  | Gate.Input | Gate.Const _ | Gate.Xor | Gate.Xnor | Gate.Majority -> false
+
+let run netlist ~reachable =
+  let n = Netlist.node_count netlist in
+  let values = Array.make n Unknown in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Netlist.iter netlist (fun id info ->
+      let kind = info.Netlist.kind in
+      let fanins = info.Netlist.fanins in
+      let vals = Array.map (fun f -> values.(f)) fanins in
+      values.(id) <- eval3 kind vals;
+      if reachable.(id) && not (Gate.is_source kind) then begin
+        (* Const-kind fanins: structurally visible constant drivers. *)
+        let const_fanins =
+          Array.to_list fanins
+          |> List.filteri (fun _ f ->
+                 match Netlist.kind netlist f with
+                 | Gate.Const _ -> true
+                 | _ -> false)
+        in
+        (match const_fanins with
+        | [] -> ()
+        | _ :: _ ->
+          let describe f =
+            match Netlist.kind netlist f with
+            | Gate.Const b ->
+              Printf.sprintf "%b%s" b
+                (if controlling kind b then " (controlling)" else "")
+            | _ -> assert false
+          in
+          add
+            (Diagnostic.make Diagnostic.Warning ~pass ~code:"constant-fanin"
+               (Diagnostic.Node id)
+               (Printf.sprintf
+                  "%s gate %d reads constant driver%s %s"
+                  (Gate.name kind) id
+                  (if List.length const_fanins > 1 then "s" else "")
+                  (String.concat ", " (List.map describe const_fanins)))));
+        (* Forced constant while some fanin is still unknown: a
+           controlling input (or majority pigeonhole) masks live logic. *)
+        match values.(id) with
+        | Known b when Array.exists (fun v -> v = Unknown) vals ->
+          add
+            (Diagnostic.make Diagnostic.Warning ~pass ~code:"controlled-gate"
+               (Diagnostic.Node id)
+               (Printf.sprintf
+                  "%s gate %d is forced to the constant %b by a controlling \
+                   input; its remaining fanins are masked"
+                  (Gate.name kind) id b))
+        | _ -> ()
+      end);
+  List.iter
+    (fun (name, id) ->
+      match values.(id) with
+      | Known b ->
+        add
+          (Diagnostic.make Diagnostic.Error ~pass ~code:"constant-output"
+             (Diagnostic.Out_port name)
+             (Printf.sprintf
+                "output %s is statically %b: its sensitivity is 0 and its \
+                 switching activity is degenerate, outside the s >= 1 and \
+                 sw0 in (0,1) preconditions"
+                name b))
+      | Unknown -> ())
+    (Netlist.outputs netlist);
+  (values, List.rev !diags)

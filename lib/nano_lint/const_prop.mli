@@ -1,0 +1,30 @@
+(** Pass 3: three-valued constant propagation.
+
+    Propagates [Const]/[Unknown] values through the DAG, using
+    controlling values ([And]+0, [Or]+1, and their complements) so a
+    gate can be proved constant even when some fanins are unknown.
+
+    Statically-constant outputs are the pass's errors: a constant
+    output has Boolean sensitivity 0 and switching activity 0 or 1,
+    which lands outside the [s ≥ 1] and [sw0 ∈ (0,1)] preconditions of
+    Theorems 1–2 — the bound evaluator would nudge the degenerate
+    profile and report confident nonsense. *)
+
+type value = Known of bool | Unknown
+
+val pass : string
+(** ["const"]. *)
+
+val run :
+  Nano_netlist.Netlist.t ->
+  reachable:bool array ->
+  value array * Diagnostic.t list
+(** The per-node lattice value (consumed by the bound-applicability
+    pass) and the diagnostics, all restricted to reachable nodes so a
+    dead constant cone is reported once by the cone pass rather than
+    twice:
+    - [constant-output] (error) per statically-constant primary output;
+    - [controlled-gate] (warning) per gate forced constant by a
+      controlling input while other fanins are still unknown;
+    - [constant-fanin] (warning) per gate reading a [Const] driver,
+      noting whether the constant is controlling for the gate kind. *)

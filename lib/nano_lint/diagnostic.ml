@@ -1,0 +1,95 @@
+module Json = Nano_util.Json
+
+type severity = Error | Warning | Info
+
+type locus =
+  | Whole
+  | Node of int
+  | Net of string
+  | In_port of string
+  | Out_port of string
+
+type t = {
+  severity : severity;
+  pass : string;
+  code : string;
+  locus : locus;
+  line : int option;
+  message : string;
+}
+
+let make ?line severity ~pass ~code locus message =
+  { severity; pass; code; locus; line; message }
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let locus_rank = function
+  | Whole -> 0
+  | Node _ -> 1
+  | Net _ -> 2
+  | In_port _ -> 3
+  | Out_port _ -> 4
+
+let compare_locus a b =
+  match a, b with
+  | Whole, Whole -> 0
+  | Node x, Node y -> Stdlib.compare x y
+  | Net x, Net y | In_port x, In_port y | Out_port x, Out_port y ->
+    String.compare x y
+  | _ -> Stdlib.compare (locus_rank a) (locus_rank b)
+
+let compare a b =
+  let ( <?> ) c next = if c <> 0 then c else next () in
+  Stdlib.compare (severity_rank a.severity) (severity_rank b.severity)
+  <?> fun () ->
+  String.compare a.pass b.pass
+  <?> fun () ->
+  String.compare a.code b.code
+  <?> fun () ->
+  (match a.line, b.line with
+  | Some x, Some y -> Stdlib.compare x y
+  | Some _, None -> -1
+  | None, Some _ -> 1
+  | None, None -> 0)
+  <?> fun () ->
+  compare_locus a.locus b.locus <?> fun () -> String.compare a.message b.message
+
+let locus_to_json = function
+  | Whole -> Json.Obj [ ("kind", Json.String "netlist") ]
+  | Node id ->
+    Json.Obj [ ("kind", Json.String "node"); ("id", Json.Int id) ]
+  | Net name ->
+    Json.Obj [ ("kind", Json.String "net"); ("name", Json.String name) ]
+  | In_port name ->
+    Json.Obj [ ("kind", Json.String "input"); ("name", Json.String name) ]
+  | Out_port name ->
+    Json.Obj [ ("kind", Json.String "output"); ("name", Json.String name) ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("severity", Json.String (severity_name d.severity));
+      ("pass", Json.String d.pass);
+      ("code", Json.String d.code);
+      ("locus", locus_to_json d.locus);
+      ("line", match d.line with Some l -> Json.Int l | None -> Json.Null);
+      ("message", Json.String d.message);
+    ]
+
+let pp_locus ppf = function
+  | Whole -> Format.pp_print_string ppf "netlist"
+  | Node id -> Format.fprintf ppf "node %d" id
+  | Net name -> Format.fprintf ppf "net %s" name
+  | In_port name -> Format.fprintf ppf "input %s" name
+  | Out_port name -> Format.fprintf ppf "output %s" name
+
+let pp ppf d =
+  Format.fprintf ppf "%-7s %-20s %a%s: %s" (severity_name d.severity) d.code
+    pp_locus d.locus
+    (match d.line with Some l -> Printf.sprintf " (line %d)" l | None -> "")
+    d.message

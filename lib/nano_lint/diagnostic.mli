@@ -1,0 +1,50 @@
+(** The shared diagnostic record every {!Nano_lint} pass emits.
+
+    A diagnostic is machine-readable by construction: a stable pass id
+    and code (the contract automation keys on), a severity, a locus in
+    the netlist or source text, and a human message. The JSON encoding
+    is deterministic ({!Nano_util.Json} preserves field order), so
+    identical analyses yield byte-identical diagnostic lines on every
+    surface — CLI, service, and cache. *)
+
+type severity = Error | Warning | Info
+(** [Error]: the netlist (or the requested operating point) violates a
+    precondition of the paper's theorems — downstream results would be
+    confident nonsense. [Warning]: structurally suspicious; results are
+    defined but likely degenerate or wasteful. [Info]: a report (e.g.
+    levelization) with no judgement attached. *)
+
+type locus =
+  | Whole  (** The netlist/model as a whole. *)
+  | Node of int  (** A gate, by {!Nano_netlist.Netlist.node} id. *)
+  | Net of string  (** A named signal (BLIF-level loci). *)
+  | In_port of string  (** A primary input, by name. *)
+  | Out_port of string  (** A primary output, by name. *)
+
+type t = {
+  severity : severity;
+  pass : string;  (** Pass id: one of {!Nano_lint.Lint.pass_ids}. *)
+  code : string;  (** Stable machine-readable code, kebab-case. *)
+  locus : locus;
+  line : int option;  (** 1-based source line, for BLIF-level loci. *)
+  message : string;
+}
+
+val make :
+  ?line:int -> severity -> pass:string -> code:string -> locus -> string -> t
+
+val severity_name : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val compare : t -> t -> int
+(** Total deterministic order: severity (errors first), then pass,
+    code, line (unpositioned last), locus, message. Reports sort their
+    diagnostics with this, so output order is stable across surfaces. *)
+
+val to_json : t -> Nano_util.Json.t
+(** [{"severity":..,"pass":..,"code":..,"locus":{..},"line":..,
+    "message":..}] with [line] as [null] when absent. *)
+
+val pp : Format.formatter -> t -> unit
+(** One text line: severity, code, locus (with line when present),
+    message. *)

@@ -1,0 +1,75 @@
+module Netlist = Nano_netlist.Netlist
+module Gate = Nano_netlist.Gate
+module Depth_bound = Nano_bounds.Depth_bound
+
+let pass = "fanin"
+
+let run ~max_fanin ~epsilon ~delta netlist =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  Netlist.iter netlist (fun id info ->
+      let k = Array.length info.Netlist.fanins in
+      if (not (Gate.is_source info.Netlist.kind)) && k > max_fanin then
+        add
+          (Diagnostic.make Diagnostic.Error ~pass ~code:"fanin-exceeds-k"
+             (Diagnostic.Node id)
+             (Printf.sprintf
+                "%s gate %d has fanin %d > k = %d; Theorems 2 and 4 assume \
+                 every gate reads at most k inputs"
+                (Gate.name info.Netlist.kind) id k max_fanin)));
+  let depth = Netlist.depth netlist in
+  let size = Netlist.size netlist in
+  let inputs = Netlist.input_count netlist in
+  let max_fanout =
+    Array.fold_left max 0 (Netlist.fanout_counts netlist)
+  in
+  add
+    (Diagnostic.make Diagnostic.Info ~pass ~code:"levelization"
+       Diagnostic.Whole
+       (Printf.sprintf
+          "depth %d, %d logic gates, %d inputs, max fanin %d, avg fanin \
+           %.2f, max fanout %d"
+          depth size inputs (Netlist.max_fanin netlist)
+          (Netlist.average_fanin netlist)
+          max_fanout));
+  (* Theorem 4 cross-check at the requested operating point. Skipped
+     outside the theorem's own domain; Bound_check reports that. *)
+  let k_eff = max 2 max_fanin in
+  if
+    inputs >= 1
+    && epsilon >= 0. && epsilon <= 0.5
+    && delta >= 0. && delta < 0.5
+  then begin
+    match
+      Depth_bound.min_depth ~epsilon ~delta ~fanin:k_eff ~inputs
+    with
+    | Depth_bound.Bounded d when d > float_of_int depth +. 1e-9 ->
+      add
+        (Diagnostic.make Diagnostic.Warning ~pass ~code:"depth-below-bound"
+           Diagnostic.Whole
+           (Printf.sprintf
+              "logic depth %d is below Theorem 4's lower bound %.3f at \
+               (eps=%g, delta=%g, k=%d): no circuit this shallow computes \
+               the outputs (1-delta)-reliably"
+              depth d epsilon delta k_eff))
+    | Depth_bound.Bounded _ -> ()
+    | Depth_bound.Trivially_feasible { max_inputs } ->
+      add
+        (Diagnostic.make Diagnostic.Info ~pass ~code:"depth-trivial"
+           Diagnostic.Whole
+           (Printf.sprintf
+              "xi^2 <= 1/k at eps=%g, k=%d: Theorem 4 yields no depth \
+               bound; the point stays feasible only because n=%d <= 1/Delta \
+               = %.3f"
+              epsilon k_eff inputs max_inputs))
+    | Depth_bound.Infeasible { max_inputs } ->
+      add
+        (Diagnostic.make Diagnostic.Warning ~pass ~code:"depth-infeasible"
+           Diagnostic.Whole
+           (Printf.sprintf
+              "xi^2 <= 1/k at eps=%g, k=%d and n=%d > 1/Delta = %.3f: no \
+               (1-delta)-reliable circuit of any depth exists at this \
+               operating point"
+              epsilon k_eff inputs max_inputs))
+  end;
+  List.rev !diags

@@ -1,0 +1,32 @@
+(** Pass 4: fan-in/fan-out audit and levelization, cross-checked
+    against Theorem 4 ({!Nano_bounds.Depth_bound}).
+
+    The redundancy and depth bounds are stated for circuits of fanin at
+    most k; a gate exceeding the audit's k silently breaks both. The
+    levelization report states depth, gate count and fanin/fanout
+    extremes, and the Theorem 4 cross-check classifies the operating
+    point: depth below the lower bound, feasibility that rests only on
+    the [n ≤ 1/Δ] precondition ({!Nano_bounds.Depth_bound.verdict}
+    [Trivially_feasible]), or outright infeasibility. *)
+
+val pass : string
+(** ["fanin"]. *)
+
+val run :
+  max_fanin:int ->
+  epsilon:float ->
+  delta:float ->
+  Nano_netlist.Netlist.t ->
+  Diagnostic.t list
+(** Diagnostics:
+    - [fanin-exceeds-k] (error) per gate with more than [max_fanin]
+      fanins;
+    - [levelization] (info): depth, size, fanin/fanout summary;
+    - [depth-below-bound] (warning) when the netlist is shallower than
+      Theorem 4's minimum depth at (ε, δ, k);
+    - [depth-trivial] (info) when ξ² ≤ 1/k and the point is feasible
+      only because n ≤ 1/Δ;
+    - [depth-infeasible] (warning) when ξ² ≤ 1/k and n > 1/Δ: no
+      (1-δ)-reliable circuit of any depth exists.
+    The cross-check is skipped (no diagnostic) when ε or δ lies outside
+    Theorem 4's domain — the bound-applicability pass reports that. *)

@@ -21,6 +21,12 @@ type request =
       vectors : int;
     }
   | Sweep of { figure : string }
+  | Lint of {
+      circuit : circuit;
+      max_fanin : int;
+      epsilon : float;
+      delta : float;
+    }
 
 type envelope = { request : request; timeout_ms : int option }
 
@@ -32,6 +38,7 @@ let kind_name = function
   | Profile _ -> "profile"
   | Analyze _ -> "analyze"
   | Sweep _ -> "sweep"
+  | Lint _ -> "lint"
 
 (* ------------------------------------------------------------------ *)
 (* Encoding.                                                            *)
@@ -75,6 +82,13 @@ let request_to_json { request; timeout_ms } =
         ]
     | Sweep { figure } ->
       [ ("kind", Json.String "sweep"); ("figure", Json.String figure) ]
+    | Lint { circuit; max_fanin; epsilon; delta } ->
+      (("kind", Json.String "lint") :: circuit_fields circuit)
+      @ [
+          ("max_fanin", Json.Int max_fanin);
+          ("epsilon", Json.Float epsilon);
+          ("delta", Json.Float delta);
+        ]
   in
   let timeout =
     match timeout_ms with
@@ -186,6 +200,12 @@ let request_of_json obj =
       | "sweep" ->
         let* figure = field_required Json.to_string_opt obj "figure" in
         Ok (Sweep { figure })
+      | "lint" ->
+        let* circuit = circuit_of_json obj in
+        let* max_fanin = field_default Json.to_int obj "max_fanin" 3 in
+        let* epsilon = field_default Json.to_float obj "epsilon" 0.01 in
+        let* delta = field_default Json.to_float obj "delta" 0.01 in
+        Ok (Lint { circuit; max_fanin; epsilon; delta })
       | other -> Error (Printf.sprintf "unknown request kind %S" other)
     in
     let* timeout_ms = field_opt Json.to_int obj "timeout_ms" in

@@ -37,6 +37,16 @@ type request =
           (** Monte-Carlo budget for [measure] (default 4096). *)
     }
   | Sweep of { figure : string }
+  | Lint of {
+      circuit : circuit;
+      max_fanin : int;  (** Fan-in audit bound k (default 3). *)
+      epsilon : float;  (** Operating point for pass 4/6 (default 0.01). *)
+      delta : float;  (** Operating point for pass 4/6 (default 0.01). *)
+    }
+      (** Static-analysis report ({!Nano_lint.Lint}) for a circuit; the
+          reply carries {!Nano_lint.Lint.report_to_json}'s record.
+          Replies are cached by content digest, so the same circuit
+          text yields byte-identical diagnostics on every surface. *)
 
 type envelope = { request : request; timeout_ms : int option }
 

@@ -5,6 +5,7 @@ module Profile = Nano_bounds.Profile
 module Benchmark_eval = Nano_bounds.Benchmark_eval
 module Figures = Nano_bounds.Figures
 module Netlist = Nano_netlist.Netlist
+module Lint = Nano_lint.Lint
 
 type config = {
   jobs : int;
@@ -28,6 +29,9 @@ type t = {
   responses : string Cache.t;  (** reply line per content-addressed key *)
   profiles : Profile.t Cache.t;  (** the expensive Monte-Carlo part *)
   metrics : Service_metrics.t;
+  mutable lint_hits : int;
+      (** lint replies served from the response cache *)
+  mutable lint_misses : int;  (** lint replies computed fresh *)
   mutable stop : bool;
 }
 
@@ -38,6 +42,8 @@ let create ?config () =
     responses = Cache.create ~capacity:config.cache_capacity;
     profiles = Cache.create ~capacity:config.cache_capacity;
     metrics = Service_metrics.create ~now:(Unix.gettimeofday ());
+    lint_hits = 0;
+    lint_misses = 0;
     stop = false;
   }
 
@@ -96,6 +102,19 @@ let profile_for t ~deadline ~digest ~name ~no_map netlist =
   { profile with Profile.name = name }
 
 let fr = Json.float_repr
+
+(* Pre-flight: static-analysis findings on the input netlist (before
+   any mapping), attached to analyze/profile replies only when there
+   is something to say — clean circuits keep byte-identical replies
+   with earlier releases. *)
+let attach_preflight ~digest netlist json =
+  let report = Lint.run_netlist ~digest netlist in
+  match Lint.preflight_json report with
+  | None -> json
+  | Some pj -> (
+    match json with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("lint", pj) ])
+    | other -> other)
 
 (* The measured-δ̂ figure simulates a small set of suite circuits over
    the default ε grid — one batched multi-lane pass per circuit
@@ -159,6 +178,12 @@ let prepare t ~deadline (env : Protocol.envelope) =
                       ( "memo_misses",
                         Json.Int memo.Nano_netlist.Compiled.memo_misses );
                     ] );
+                ( "lint_cache",
+                  Json.Obj
+                    [
+                      ("hits", Json.Int t.lint_hits);
+                      ("misses", Json.Int t.lint_misses);
+                    ] );
               ]
             ~caches:
               [
@@ -193,8 +218,9 @@ let prepare t ~deadline (env : Protocol.envelope) =
       key = Some key;
       run =
         (fun () ->
-          Protocol.profile_to_json
-            (profile_for t ~deadline ~digest ~name ~no_map netlist));
+          attach_preflight ~digest netlist
+            (Protocol.profile_to_json
+               (profile_for t ~deadline ~digest ~name ~no_map netlist)));
     }
   | Protocol.Analyze
       { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors } ->
@@ -226,12 +252,14 @@ let prepare t ~deadline (env : Protocol.envelope) =
               Benchmark_eval.measured_grid ~deltas:[ delta ] ~leakage_share0
                 ~epsilons ~vectors ~jobs:t.config.jobs ~profile mapped
             in
-            Json.Obj
-              [
-                ("profile", Protocol.profile_to_json profile);
-                ( "rows",
-                  Json.List (List.map Protocol.measured_row_to_json rows) );
-              ]
+            attach_preflight ~digest netlist
+              (Json.Obj
+                 [
+                   ("profile", Protocol.profile_to_json profile);
+                   ( "rows",
+                     Json.List (List.map Protocol.measured_row_to_json rows)
+                   );
+                 ])
           end
           else begin
             (* The per-ε closed-form grid batches onto the domain pool;
@@ -243,13 +271,43 @@ let prepare t ~deadline (env : Protocol.envelope) =
                     profile ~epsilon)
                 epsilons
             in
-            Json.Obj
-              [
-                ("profile", Protocol.profile_to_json profile);
-                ("rows", Json.List (List.map Protocol.row_to_json rows));
-              ]
+            attach_preflight ~digest netlist
+              (Json.Obj
+                 [
+                   ("profile", Protocol.profile_to_json profile);
+                   ("rows", Json.List (List.map Protocol.row_to_json rows));
+                 ])
           end);
     }
+  | Protocol.Lint { circuit; max_fanin; epsilon; delta } ->
+    let options = { Lint.max_fanin; epsilon; delta } in
+    let params =
+      Printf.sprintf "%d|%s|%s" max_fanin (fr epsilon) (fr delta)
+    in
+    (* Content address: the strash digest for circuits that elaborate
+       (named benchmarks), the raw text digest for BLIF — front-end
+       diagnostics depend on the text (line numbers, dead covers), not
+       just the elaborated structure. Parse and lint failures are
+       reports here, never error replies. *)
+    (match circuit with
+    | Protocol.Named _ ->
+      let name, netlist = resolve_circuit circuit in
+      let digest = Nano_synth.Strash.digest netlist in
+      {
+        key = Some (Printf.sprintf "lint|net:%s|%s|%s" digest name params);
+        run =
+          (fun () ->
+            Lint.report_to_json (Lint.run_netlist ~options ~digest netlist));
+      }
+    | Protocol.Blif text ->
+      {
+        key =
+          Some
+            (Printf.sprintf "lint|blif:%s|%s"
+               (Digest.to_hex (Digest.string text))
+               params);
+        run = (fun () -> Lint.report_to_json (Lint.run_blif_string ~options text));
+      })
   | Protocol.Sweep { figure } ->
     let key = Printf.sprintf "sweep|%s" figure in
     {
@@ -282,6 +340,12 @@ let process t ?memo line =
     | `Coalesced -> Service_metrics.record_coalesced t.metrics ~kind:!kind
     | `Hit | `Miss | `Uncached ->
       Service_metrics.record t.metrics ~kind:!kind ~latency);
+    if !kind = "lint" then begin
+      match disposition with
+      | `Hit -> t.lint_hits <- t.lint_hits + 1
+      | `Miss -> t.lint_misses <- t.lint_misses + 1
+      | `Coalesced | `Uncached -> ()
+    end;
     trace t "%s %s %.3fms" !kind
       (match disposition with
       | `Hit -> "hit"

@@ -1,0 +1,90 @@
+The static analyzer on a clean built-in benchmark: the report is a
+levelization info line and a zero exit.
+
+  $ nanobound lint c17
+  model c17 (digest e8c225f23aaf9df4a5c981490e636579): 0 error(s), 0 warning(s), 1 info
+    info    levelization         netlist: depth 3, 6 logic gates, 5 inputs, max fanin 2, avg fanin 2.00, max fanout 2
+
+A combinational cycle is an error with a witness path and the line of
+the back edge; the netlist passes are skipped (no digest):
+
+  $ cat > cyc.blif <<'EOF'
+  > .model cyc
+  > .inputs a
+  > .outputs z
+  > .names a f g
+  > 11 1
+  > .names g f
+  > 1 1
+  > .names g z
+  > 1 1
+  > .end
+  > EOF
+  $ nanobound lint cyc.blif
+  model cyc: 1 error(s), 0 warning(s), 0 info
+    error   combinational-cycle  net g (line 4): combinational cycle: g -> f -> g
+  [1]
+
+A dangling net is a warning: exit 0 normally, non-zero under --strict.
+
+  $ cat > dang.blif <<'EOF'
+  > .model dang
+  > .inputs a b
+  > .outputs z
+  > .names a b z
+  > 11 1
+  > .names a b dead
+  > 10 1
+  > .end
+  > EOF
+  $ nanobound lint dang.blif
+  model dang (digest fc234ee66a398223be49a6fb18c3b1d9): 0 error(s), 1 warning(s), 1 info
+    warning dangling-net         net dead (line 6): net dead is driven but never reaches a primary output; elaboration drops it silently
+    info    levelization         netlist: depth 1, 1 logic gates, 2 inputs, max fanin 2, avg fanin 2.00, max fanout 1
+  $ nanobound lint dang.blif --strict
+  model dang (digest fc234ee66a398223be49a6fb18c3b1d9): 0 error(s), 1 warning(s), 1 info
+    warning dangling-net         net dead (line 6): net dead is driven but never reaches a primary output; elaboration drops it silently
+    info    levelization         netlist: depth 1, 1 logic gates, 2 inputs, max fanin 2, avg fanin 2.00, max fanout 1
+  [1]
+
+The JSON rendering is one line per circuit, carrying the same record
+the service's lint reply wraps:
+
+  $ nanobound lint cyc.blif --format json
+  {"model":"cyc","digest":null,"errors":1,"warnings":0,"infos":0,"diagnostics":[{"severity":"error","pass":"cycle","code":"combinational-cycle","locus":{"kind":"net","name":"g"},"line":4,"message":"combinational cycle: g -> f -> g"}]}
+  [1]
+
+The service's lint request returns exactly that record inside the ok
+envelope, and repeats are served from the response cache — visible as
+lint_cache hits in stats:
+
+  $ nanobound serve --socket nb.sock -j 2 >server.log 2>&1 &
+  $ nanobound request --socket nb.sock '{"kind":"lint","circuit":"c17"}'
+  {"ok":true,"result":{"model":"c17","digest":"e8c225f23aaf9df4a5c981490e636579","errors":0,"warnings":0,"infos":1,"diagnostics":[{"severity":"info","pass":"fanin","code":"levelization","locus":{"kind":"netlist"},"line":null,"message":"depth 3, 6 logic gates, 5 inputs, max fanin 2, avg fanin 2.00, max fanout 2"}]}}
+  $ nanobound request --socket nb.sock '{"kind":"lint","circuit":"c17"}' >/dev/null
+  $ nanobound request --socket nb.sock '{"kind":"stats"}' | grep -o '"lint_cache":{"hits":[0-9]*,"misses":[0-9]*}'
+  "lint_cache":{"hits":1,"misses":1}
+  $ nanobound request --socket nb.sock '{"kind":"shutdown"}' >/dev/null
+  $ wait
+
+A degenerate circuit (statically-constant output) makes analyze attach
+a pre-flight lint block to its JSON reply:
+
+  $ cat > konst.blif <<'EOF'
+  > .model konst
+  > .inputs a
+  > .outputs z
+  > .names zero
+  > .names a zero z
+  > 11 1
+  > .end
+  > EOF
+  $ nanobound analyze konst.blif --epsilons 0.01 --format json | grep -c '"lint":{"errors":2'
+  1
+
+Clean circuits attach nothing — the analyze reply for c17 has no lint
+field at all:
+
+  $ nanobound analyze c17 --epsilons 0.01 --format json | grep -c '"lint"'
+  0
+  [1]

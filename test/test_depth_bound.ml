@@ -16,7 +16,8 @@ let test_noiseless_depth () =
   match DB.min_depth ~epsilon:0. ~delta:0.01 ~fanin:2 ~inputs:16 with
   | DB.Bounded d ->
     Helpers.check_in_range "close to log2 16" ~lo:3.8 ~hi:4. d
-  | DB.Infeasible _ -> Alcotest.fail "should be feasible"
+  | DB.Trivially_feasible _ | DB.Infeasible _ ->
+    Alcotest.fail "should be a real bound"
 
 let test_feasibility_threshold () =
   (* xi^2 > 1/k boundary: for k = 2, eps* = (1 - 1/sqrt 2)/2 ~ 0.1464. *)
@@ -24,17 +25,25 @@ let test_feasibility_threshold () =
   Helpers.check_loose "threshold" ((1. -. (1. /. sqrt 2.)) /. 2.) sup;
   (match DB.min_depth ~epsilon:(sup -. 0.001) ~delta:0.01 ~fanin:2 ~inputs:10 with
   | DB.Bounded _ -> ()
-  | DB.Infeasible _ -> Alcotest.fail "just below threshold must be bounded");
+  | DB.Trivially_feasible _ | DB.Infeasible _ ->
+    Alcotest.fail "just below threshold must be bounded");
   match DB.min_depth ~epsilon:(sup +. 0.001) ~delta:0.01 ~fanin:2 ~inputs:10 with
   | DB.Infeasible { max_inputs } ->
     (* 1/Delta for delta = 0.01 is about 1.088. *)
     Helpers.check_in_range "max inputs" ~lo:1.05 ~hi:1.12 max_inputs
-  | DB.Bounded _ -> Alcotest.fail "just above threshold must be infeasible"
+  | DB.Bounded _ | DB.Trivially_feasible _ ->
+    Alcotest.fail "just above threshold must be infeasible"
 
 let test_small_function_always_feasible () =
-  (* n <= 1/Delta survives even past the threshold. *)
+  (* n <= 1/Delta survives even past the threshold, and the verdict now
+     names the feasibility cap explicitly instead of faking a 0 bound. *)
   match DB.min_depth ~epsilon:0.4 ~delta:0.01 ~fanin:2 ~inputs:1 with
-  | DB.Bounded d -> Helpers.check_float "vacuous bound" 0. d
+  | DB.Trivially_feasible { max_inputs } ->
+    (* 1/Delta for delta = 0.01 is about 1.088. *)
+    Helpers.check_in_range "feasibility cap 1/Delta" ~lo:1.05 ~hi:1.12
+      max_inputs
+  | DB.Bounded _ ->
+    Alcotest.fail "sub-threshold point must report the n <= 1/Delta case"
   | DB.Infeasible _ -> Alcotest.fail "single input is always computable"
 
 let test_larger_fanin_extends_feasibility () =
@@ -42,15 +51,17 @@ let test_larger_fanin_extends_feasibility () =
      xi^2 = 0.36 > 1/8. *)
   (match DB.min_depth ~epsilon:0.2 ~delta:0.01 ~fanin:2 ~inputs:10 with
   | DB.Infeasible _ -> ()
-  | DB.Bounded _ -> Alcotest.fail "k=2 at eps=0.2 must be infeasible");
+  | DB.Bounded _ | DB.Trivially_feasible _ ->
+    Alcotest.fail "k=2 at eps=0.2 must be infeasible");
   match DB.min_depth ~epsilon:0.2 ~delta:0.01 ~fanin:8 ~inputs:10 with
   | DB.Bounded d -> Alcotest.(check bool) "positive depth" true (d > 0.)
-  | DB.Infeasible _ -> Alcotest.fail "k=8 at eps=0.2 must be feasible"
+  | DB.Trivially_feasible _ | DB.Infeasible _ ->
+    Alcotest.fail "k=8 at eps=0.2 must be feasible"
 
 let test_depth_ratio_clamped () =
   match DB.depth_ratio ~epsilon:0.001 ~delta:0.01 ~fanin:2 ~inputs:10 with
   | DB.Bounded r -> Alcotest.(check bool) "at least 1" true (r >= 1.)
-  | DB.Infeasible _ -> Alcotest.fail "feasible"
+  | DB.Trivially_feasible _ | DB.Infeasible _ -> Alcotest.fail "feasible"
 
 let test_error_free_depth () =
   Helpers.check_float "log2 16" 4. (DB.error_free_depth ~fanin:2 ~inputs:16);
