@@ -13,7 +13,12 @@
    BENCH_pr2.json. --service-only prints just the evaluation-service
    cold-vs-warm analyze latency table and records it to BENCH_pr3.json.
    --grids-only prints just the batched epsilon-grid vs per-point
-   sweep table and records it to BENCH_pr4.json. *)
+   sweep table and records it to BENCH_pr4.json. --load-only runs the
+   TCP service load generator ([--clients N] concurrent connections,
+   [--requests M] closed-loop requests each) against an inline and a
+   sharded daemon, prints p50/p99 latency and throughput, and records
+   them to BENCH_pr6.json. It forks server processes, so it runs
+   before anything spawns a domain. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -38,6 +43,21 @@ let engines_only = Array.exists (( = ) "--engines-only") Sys.argv
 let service_only = Array.exists (( = ) "--service-only") Sys.argv
 
 let grids_only = Array.exists (( = ) "--grids-only") Sys.argv
+
+let load_only = Array.exists (( = ) "--load-only") Sys.argv
+
+let int_flag name default =
+  let rec find = function
+    | flag :: n :: _ when flag = name ->
+      (match int_of_string_opt n with Some v when v > 0 -> v | _ -> default)
+    | _ :: rest -> find rest
+    | [] -> default
+  in
+  find (Array.to_list Sys.argv)
+
+let load_clients = int_flag "--clients" 1000
+
+let load_requests = int_flag "--requests" 20
 
 let print_series ~title ~x_label ~y_label series =
   let data =
@@ -891,6 +911,291 @@ let print_grid_throughput () =
   print_string "(written to BENCH_pr4.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* TCP service load generator.                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Closed-loop load against a forked daemon: N concurrent TCP clients,
+   each cycling through M bounds requests (one outstanding per client),
+   all driven from a single select loop. The request mix rotates over
+   64 distinct epsilons, so the first pass over the key space is cold
+   and the rest hit the response cache — the numbers measure the
+   transport tier, not the evaluators. *)
+
+module Net_bench = Nano_service.Net
+
+type load_client = {
+  lc_fd : Unix.file_descr;
+  lc_idx : int;
+  lc_inbuf : Buffer.t;
+  mutable lc_out : string;
+  mutable lc_out_off : int;
+  mutable lc_remaining : int;
+  mutable lc_sent_at : float;
+  mutable lc_open : bool;
+}
+
+let load_request_line i =
+  Printf.sprintf {|{"kind":"bounds","epsilon":%g}|}
+    (0.001 +. (0.0005 *. float_of_int (i mod 64)))
+
+let fork_load_server ~workers ~max_clients =
+  let module Service = Nano_service.Service in
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen listen_fd 256;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  match Unix.fork () with
+  | 0 ->
+    let config =
+      {
+        (Service.default_config ()) with
+        Service.jobs = 1;
+        workers;
+        max_clients;
+        max_pending = 4096;
+      }
+    in
+    let t = Service.create ~config () in
+    (try Service.serve_listening t listen_fd with _ -> ());
+    Service.close t;
+    Unix._exit 0
+  | pid ->
+    Unix.close listen_fd;
+    (pid, port)
+
+let load_connect addr =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () -> fd
+    | exception
+        Unix.Unix_error
+          ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EAGAIN | Unix.EINTR
+            | Unix.ETIMEDOUT ),
+            _,
+            _ )
+      when attempt < 500 ->
+      Unix.close fd;
+      Net_bench.sleep 0.01;
+      go (attempt + 1)
+  in
+  go 0
+
+let load_shutdown_server pid port =
+  let fd = load_connect (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) in
+  ignore (Net_bench.write_all fd "{\"kind\":\"shutdown\"}\n");
+  let buf = Bytes.create 256 in
+  (match Net_bench.read_fd fd buf with _ -> ());
+  Unix.close fd;
+  (* The daemon drains and exits; reap it, escalating only if it
+     wedges. *)
+  let rec reap tries =
+    match Unix.waitpid [ Unix.WNOHANG ] pid with
+    | 0, _ when tries > 0 ->
+      Net_bench.sleep 0.05;
+      reap (tries - 1)
+    | 0, _ ->
+      Unix.kill pid Sys.sigkill;
+      ignore (Net_bench.retry_intr (fun () -> Unix.waitpid [] pid))
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+  in
+  reap 100
+
+let run_load_scenario ~name ~workers ~clients ~requests_per_client =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let pid, port = fork_load_server ~workers ~max_clients:(clients + 8) in
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+  let conns =
+    Array.init clients (fun lc_idx ->
+        let fd = load_connect addr in
+        Unix.set_nonblock fd;
+        {
+          lc_fd = fd;
+          lc_idx;
+          lc_inbuf = Buffer.create 512;
+          lc_out = "";
+          lc_out_off = 0;
+          lc_remaining = requests_per_client;
+          lc_sent_at = 0.;
+          lc_open = true;
+        })
+  in
+  let by_fd = Hashtbl.create (2 * clients) in
+  Array.iter (fun c -> Hashtbl.replace by_fd c.lc_fd c) conns;
+  let latencies = Array.make (clients * requests_per_client) 0. in
+  let n_lat = ref 0 in
+  let errors = ref 0 in
+  let active = ref clients in
+  let queue_next c now =
+    (* Spread the key rotation across clients so the daemon sees a
+       mixed stream rather than 64 synchronized waves. *)
+    let seq = requests_per_client - c.lc_remaining in
+    c.lc_out <- load_request_line ((c.lc_idx * 7) + seq) ^ "\n";
+    c.lc_out_off <- 0;
+    c.lc_sent_at <- now
+  in
+  let close_client c =
+    if c.lc_open then (
+      c.lc_open <- false;
+      Hashtbl.remove by_fd c.lc_fd;
+      (try Unix.close c.lc_fd with Unix.Unix_error _ -> ());
+      decr active)
+  in
+  let t0 = Unix.gettimeofday () in
+  Array.iter (fun c -> queue_next c t0) conns;
+  let scratch = Bytes.create 65536 in
+  let deadline = t0 +. 300. in
+  while !active > 0 && Unix.gettimeofday () < deadline do
+    let rd, wr =
+      Hashtbl.fold
+        (fun fd c (rd, wr) ->
+          if String.length c.lc_out > c.lc_out_off then (rd, fd :: wr)
+          else (fd :: rd, wr))
+        by_fd ([], [])
+    in
+    let readable, writable, _ =
+      match Unix.select rd wr [] 5.0 with
+      | r -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    let now = Unix.gettimeofday () in
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt by_fd fd with
+        | None -> ()
+        | Some c -> (
+          let len = String.length c.lc_out - c.lc_out_off in
+          match
+            Net_bench.write_fd fd
+              (Bytes.unsafe_of_string c.lc_out)
+              c.lc_out_off len
+          with
+          | `Wrote n -> c.lc_out_off <- c.lc_out_off + n
+          | `Again -> ()
+          | `Closed ->
+            incr errors;
+            close_client c))
+      writable;
+    List.iter
+      (fun fd ->
+        match Hashtbl.find_opt by_fd fd with
+        | None -> ()
+        | Some c -> (
+          match Net_bench.read_fd fd scratch with
+          | `Data n ->
+            Buffer.add_subbytes c.lc_inbuf scratch 0 n;
+            let data = Buffer.contents c.lc_inbuf in
+            (match String.index_opt data '\n' with
+            | None -> ()
+            | Some i ->
+              Buffer.clear c.lc_inbuf;
+              Buffer.add_string c.lc_inbuf
+                (String.sub data (i + 1) (String.length data - i - 1));
+              latencies.(!n_lat) <- now -. c.lc_sent_at;
+              incr n_lat;
+              c.lc_remaining <- c.lc_remaining - 1;
+              if c.lc_remaining > 0 then queue_next c now
+              else close_client c)
+          | `Again -> ()
+          | `Eof | `Closed ->
+            if c.lc_remaining > 0 then incr errors;
+            close_client c))
+      readable
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  Hashtbl.iter (fun _ c -> close_client c) (Hashtbl.copy by_fd);
+  load_shutdown_server pid port;
+  let samples = Array.sub latencies 0 !n_lat in
+  Array.sort compare samples;
+  let pct p =
+    if Array.length samples = 0 then Float.nan
+    else
+      samples.(min
+                 (Array.length samples - 1)
+                 (int_of_float (p *. float_of_int (Array.length samples))))
+  in
+  ( name,
+    workers,
+    !n_lat,
+    !errors,
+    wall,
+    float_of_int !n_lat /. wall,
+    1e3 *. pct 0.50,
+    1e3 *. pct 0.99 )
+
+let print_load () =
+  let clients = load_clients and requests_per_client = load_requests in
+  Printf.printf
+    "== Service load: %d concurrent TCP clients x %d closed-loop bounds \
+     requests ==\n"
+    clients requests_per_client;
+  let scenarios =
+    [
+      run_load_scenario ~name:"inline" ~workers:0 ~clients ~requests_per_client;
+      run_load_scenario ~name:"sharded" ~workers:2 ~clients
+        ~requests_per_client;
+    ]
+  in
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "scenario"; "workers"; "replies"; "errors"; "wall"; "req/s";
+           "p50"; "p99";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, workers, replies, errors, wall, rps, p50, p99) ->
+              [
+                name;
+                string_of_int workers;
+                string_of_int replies;
+                string_of_int errors;
+                Printf.sprintf "%.2f s" wall;
+                Printf.sprintf "%.0f" rps;
+                Printf.sprintf "%.2f ms" p50;
+                Printf.sprintf "%.2f ms" p99;
+              ])
+            scenarios));
+  let oc = open_out "BENCH_pr6.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"service tcp load\",\n  \"clients\": %d,\n\
+    \  \"requests_per_client\": %d,\n  \"scenarios\": [\n"
+    clients requests_per_client;
+  List.iteri
+    (fun i (name, workers, replies, errors, wall, rps, p50, p99) ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"workers\": %d, \"replies\": %d, \
+         \"errors\": %d, \"wall_s\": %.3f, \"throughput_rps\": %.1f, \
+         \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n"
+        name workers replies errors wall rps p50 p99
+        (if i = List.length scenarios - 1 then "" else ","))
+    scenarios;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_string "(written to BENCH_pr6.json)\n";
+  (* A load run that shed or dropped anything is a failed run: the
+     daemon is supposed to absorb this concurrency level. *)
+  if List.exists (fun (_, _, _, errors, _, _, _, _) -> errors > 0) scenarios
+  then (
+    prerr_endline "load generator observed errors";
+    exit 1);
+  if
+    List.exists
+      (fun (_, _, replies, _, _, _, _, _) ->
+        replies < clients * requests_per_client)
+      scenarios
+  then (
+    prerr_endline "load generator lost replies";
+    exit 1)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the figure drivers.                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1034,6 +1339,11 @@ let run_bechamel profiles =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* The load generator forks daemons, which OCaml 5 forbids once any
+     domain has been spawned — so it must run (and exit) first. *)
+  if load_only then (
+    print_load ();
+    exit 0);
   if scaling_only then (
     print_parallel_scaling ();
     exit 0);

@@ -764,9 +764,20 @@ let suite_cmd =
 (* ------------------------------------------------------------------ *)
 
 let serve_cmd =
-  let run socket stdio jobs cache_size max_request_bytes timeout_ms trace =
-    if socket <> None && stdio then begin
-      prerr_endline "error: --socket and --stdio are mutually exclusive";
+  let run socket tcp stdio jobs cache_size max_request_bytes timeout_ms trace
+      journal workers max_clients max_pending =
+    let transports =
+      (if socket <> None then 1 else 0)
+      + (if tcp <> None then 1 else 0)
+      + if stdio then 1 else 0
+    in
+    if transports > 1 then begin
+      prerr_endline
+        "error: --socket, --tcp and --stdio are mutually exclusive";
+      exit 1
+    end;
+    if stdio && workers > 0 then begin
+      prerr_endline "error: --workers requires a socket transport";
       exit 1
     end;
     let config =
@@ -776,23 +787,43 @@ let serve_cmd =
         max_request_bytes;
         default_timeout_ms = timeout_ms;
         trace;
+        journal;
+        workers;
+        max_clients;
+        max_pending;
+        max_reply_bytes = (Nano_service.Service.default_config ()).max_reply_bytes;
       }
     in
     let t = Nano_service.Service.create ~config () in
-    match socket with
-    | Some path -> Nano_service.Service.serve_unix t ~socket_path:path
-    | None -> Nano_service.Service.run_stdio t stdin stdout
+    (match (socket, tcp) with
+    | Some path, _ -> Nano_service.Service.serve_unix t ~socket_path:path
+    | None, Some endpoint -> (
+      match Nano_service.Net.parse_endpoint endpoint with
+      | `Tcp (host, port) -> Nano_service.Service.serve_tcp t ~host ~port
+      | `Unix _ ->
+        prerr_endline ("error: --tcp expects HOST:PORT, got " ^ endpoint);
+        exit 1)
+    | None, None -> Nano_service.Service.run_stdio t stdin stdout);
+    Nano_service.Service.close t
   in
   let socket =
     Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
              ~doc:"Serve on a Unix-domain socket at $(docv).")
   in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Serve on a TCP socket bound to $(docv). The same \
+                   endpoint also answers minimal HTTP/1.1: POST a JSON \
+                   request body and read the reply back as \
+                   application/json.")
+  in
   let stdio =
     Arg.(value & flag
          & info [ "stdio" ]
-             ~doc:"Serve on stdin/stdout (the default when --socket is \
-                   absent).")
+             ~doc:"Serve on stdin/stdout (the default when --socket and \
+                   --tcp are absent).")
   in
   let cache_size =
     Arg.(value & opt int 256
@@ -818,19 +849,66 @@ let serve_cmd =
              ~doc:"Log request lifecycles (kind, cache disposition, \
                    latency) to stderr.")
   in
+  let journal =
+    Arg.(value & opt (some string) None
+         & info [ "journal" ] ~docv:"PATH"
+             ~doc:"Persist the response cache to an append-only journal \
+                   at $(docv); on restart its valid prefix is replayed \
+                   (torn tails from a crash are truncated), so warm \
+                   replies survive the daemon. With --workers N, worker \
+                   $(i,i) persists to $(docv).shard$(i,i).")
+  in
+  let workers =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Pre-fork $(docv) evaluation worker processes and \
+                   shard requests over them by content address, so \
+                   repeated requests always hit the same warm cache. 0 \
+                   (default) evaluates in-process.")
+  in
+  let max_clients =
+    Arg.(value & opt int 960
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Answer connections beyond $(docv) with a structured \
+                   overloaded error instead of queueing them.")
+  in
+  let max_pending =
+    Arg.(value & opt int 1024
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Bound on admitted-but-unanswered requests across all \
+                   connections; excess requests are shed with structured \
+                   overloaded errors.")
+  in
   let doc = "Run the persistent evaluation daemon (newline-delimited JSON)" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ socket $ stdio $ jobs_arg $ cache_size $ max_request_bytes
-      $ timeout_ms $ trace)
+      const run $ socket $ tcp $ stdio $ jobs_arg $ cache_size
+      $ max_request_bytes $ timeout_ms $ trace $ journal $ workers
+      $ max_clients $ max_pending)
 
 (* ------------------------------------------------------------------ *)
 (* request                                                              *)
 (* ------------------------------------------------------------------ *)
 
 let request_cmd =
-  let run socket requests =
-    match Nano_service.Client.connect ~socket_path:socket () with
+  let run socket tcp requests =
+    let endpoint =
+      match (socket, tcp) with
+      | Some path, None -> Nano_service.Client.Unix_socket path
+      | None, Some spec -> (
+        match Nano_service.Net.parse_endpoint spec with
+        | `Tcp (host, port) -> Nano_service.Client.Tcp (host, port)
+        | `Unix _ ->
+          prerr_endline ("error: --tcp expects HOST:PORT, got " ^ spec);
+          exit 1)
+      | Some _, Some _ ->
+        prerr_endline "error: --socket and --tcp are mutually exclusive";
+        exit 1
+      | None, None ->
+        prerr_endline "error: give --socket PATH or --tcp HOST:PORT";
+        exit 1
+    in
+    match Nano_service.Client.connect endpoint with
     | Error msg ->
       prerr_endline ("error: " ^ msg);
       exit 3
@@ -855,12 +933,20 @@ let request_cmd =
       exit !status
   in
   let socket =
-    Arg.(required & opt (some string) None
+    Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
              ~doc:"Unix-domain socket of the daemon (see `nanobound \
                    serve'). Connection is retried for a few seconds, so \
                    a freshly started daemon can be addressed \
                    immediately.")
+  in
+  let tcp =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"TCP endpoint of the daemon (see `nanobound serve \
+                   --tcp'). Connection is retried for a few seconds, so \
+                   a freshly started or restarting daemon can be \
+                   addressed immediately.")
   in
   let requests =
     Arg.(non_empty & pos_all string []
@@ -870,7 +956,7 @@ let request_cmd =
                    line.")
   in
   let doc = "Send requests to a running evaluation daemon" in
-  Cmd.v (Cmd.info "request" ~doc) Term.(const run $ socket $ requests)
+  Cmd.v (Cmd.info "request" ~doc) Term.(const run $ socket $ tcp $ requests)
 
 (* ------------------------------------------------------------------ *)
 

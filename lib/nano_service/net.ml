@@ -1,0 +1,124 @@
+let rec retry_intr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_intr f
+
+let sleep seconds =
+  (* Unix.sleepf raises on EINTR; resume with whatever time is left so a
+     signal storm cannot abort a retry loop. *)
+  let deadline = Unix.gettimeofday () +. seconds in
+  let rec go remaining =
+    if remaining > 0. then
+      match Unix.sleepf remaining with
+      | () -> ()
+      | exception Unix.Unix_error (EINTR, _, _) ->
+        go (deadline -. Unix.gettimeofday ())
+  in
+  go seconds
+
+let read_fd fd buf =
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> `Eof
+    | n -> `Data n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+    | exception
+        Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ETIMEDOUT), _, _)
+      ->
+      `Closed
+  in
+  go ()
+
+let write_fd fd buf off len =
+  (* Unix.write loops over 64 KiB chunks internally and raises EINTR
+     even after some chunks have hit the wire, losing the partial
+     count — retrying would duplicate bytes.  Unix.single_write issues
+     exactly one write(2), so EINTR here really means zero bytes. *)
+  let rec go () =
+    match Unix.single_write fd buf off len with
+    | n -> `Wrote n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Again
+    | exception
+        Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.ETIMEDOUT), _, _)
+      ->
+      `Closed
+  in
+  go ()
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off >= n then true
+    else
+      match write_fd fd b off (n - off) with
+      | `Wrote written -> go (off + written)
+      | `Again ->
+        (* Blocking descriptor contract; treat a spurious EAGAIN like a
+           zero-length write and try again. *)
+        go off
+      | `Closed -> false
+  in
+  go 0
+
+let accept_ready ?(limit = 64) listen_fd =
+  let rec go acc budget =
+    if budget = 0 then acc
+    else
+      match Unix.accept ~cloexec:true listen_fd with
+      | fd, addr ->
+        Unix.set_nonblock fd;
+        go ((fd, addr) :: acc) (budget - 1)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go acc budget
+      | exception
+          Unix.Unix_error
+            ( ( Unix.ECONNABORTED | Unix.ENETDOWN
+              | Unix.EHOSTUNREACH | Unix.ENETUNREACH | Unix.ETIMEDOUT ),
+              _,
+              _ ) ->
+        (* The peer vanished between select readiness and accept; the
+           connection is simply gone, keep draining the backlog. *)
+        go acc (budget - 1)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        acc
+      | exception
+          Unix.Unix_error
+            ((Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM), _, _) ->
+        (* Descriptor/buffer exhaustion: stop accepting for this round;
+           the pending connections stay in the backlog and are retried
+           once existing clients drain. *)
+        acc
+  in
+  List.rev (go [] limit)
+
+let parse_endpoint spec =
+  match String.rindex_opt spec ':' with
+  | Some i when i < String.length spec - 1 -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p < 65536 && host <> "" ->
+      (* Strip the brackets of an IPv6 literal like [::1]:80. *)
+      let host =
+        let n = String.length host in
+        if n >= 2 && host.[0] = '[' && host.[n - 1] = ']' then
+          String.sub host 1 (n - 2)
+        else host
+      in
+      `Tcp (host, p)
+    | _ -> `Unix spec)
+  | _ -> `Unix spec
+
+let resolve_tcp host port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 ->
+      Unix.ADDR_INET (addrs.(0), port)
+    | _ | (exception Not_found) ->
+      failwith (Printf.sprintf "cannot resolve host %s" host))

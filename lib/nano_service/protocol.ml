@@ -307,3 +307,10 @@ let error_reply ~code ~message =
              [ ("code", Json.String code); ("message", Json.String message) ]
          );
        ])
+
+(* Admission control rejects before any evaluation runs, so the reply
+   is a precomputed constant — shedding load must not itself allocate
+   encoder work per rejected request. *)
+let overloaded_reply =
+  error_reply ~code:"overloaded"
+    ~message:"server at capacity: the bounded request queue is full, retry"

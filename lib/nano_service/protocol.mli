@@ -89,4 +89,10 @@ val error_reply : code:string -> message:string -> string
 (** Serialized failure line. Stable [code]s: [parse_error],
     [bad_request], [unknown_circuit], [blif_parse_error],
     [invalid_scenario], [unknown_figure], [timeout], [oversized],
-    [internal_error]. *)
+    [overloaded], [internal_error]. *)
+
+val overloaded_reply : string
+(** The precomputed [overloaded] failure line used by the daemon's
+    admission control when the bounded pending-request queue (or the
+    connection cap) is full — load shedding does not re-encode per
+    rejected request. *)

@@ -13,6 +13,11 @@ type config = {
   max_request_bytes : int;
   default_timeout_ms : int option;
   trace : bool;
+  journal : string option;
+  workers : int;
+  max_clients : int;
+  max_pending : int;
+  max_reply_bytes : int;
 }
 
 let default_config () =
@@ -22,6 +27,11 @@ let default_config () =
     max_request_bytes = 8 * 1024 * 1024;
     default_timeout_ms = None;
     trace = false;
+    journal = None;
+    workers = 0;
+    max_clients = 960;
+    max_pending = 1024;
+    max_reply_bytes = 64 * 1024 * 1024;
   }
 
 type t = {
@@ -29,6 +39,9 @@ type t = {
   responses : string Cache.t;  (** reply line per content-addressed key *)
   profiles : Profile.t Cache.t;  (** the expensive Monte-Carlo part *)
   metrics : Service_metrics.t;
+  journal : Journal.t option;
+      (** on-disk backing of [responses]; [None] when persistence is
+          off or when this process only routes to workers *)
   mutable lint_hits : int;
       (** lint replies served from the response cache *)
   mutable lint_misses : int;  (** lint replies computed fresh *)
@@ -37,15 +50,27 @@ type t = {
 
 let create ?config () =
   let config = match config with Some c -> c | None -> default_config () in
+  let responses = Cache.create ~capacity:config.cache_capacity in
+  (* A sharding master never evaluates, so it owns no journal; each
+     worker opens its own shard file instead (see [worker_main]). *)
+  let journal =
+    match config.journal with
+    | Some path when config.workers = 0 ->
+      Some (Journal.load ~path (fun ~key ~value -> Cache.add responses key value))
+    | _ -> None
+  in
   {
     config;
-    responses = Cache.create ~capacity:config.cache_capacity;
+    responses;
     profiles = Cache.create ~capacity:config.cache_capacity;
     metrics = Service_metrics.create ~now:(Unix.gettimeofday ());
+    journal;
     lint_hits = 0;
     lint_misses = 0;
     stop = false;
   }
+
+let close t = match t.journal with Some j -> Journal.close j | None -> ()
 
 let shutdown_requested t = t.stop
 
@@ -169,7 +194,7 @@ let prepare t ~deadline (env : Protocol.envelope) =
           let memo = Nano_netlist.Compiled.memo_stats () in
           Service_metrics.to_json t.metrics
             ~extra:
-              [
+              ([
                 ( "compiled_programs",
                   Json.Obj
                     [
@@ -185,6 +210,20 @@ let prepare t ~deadline (env : Protocol.envelope) =
                       ("misses", Json.Int t.lint_misses);
                     ] );
               ]
+              @ (match t.journal with
+                | None -> []
+                | Some j ->
+                  [
+                    ( "journal",
+                      Json.Obj
+                        [
+                          ("path", Json.String (Journal.path j));
+                          ("recovered", Json.Int (Journal.entries_recovered j));
+                          ("appended", Json.Int (Journal.appended j));
+                          ( "truncated_bytes",
+                            Json.Int (Journal.bytes_truncated j) );
+                        ] );
+                  ]))
             ~caches:
               [
                 ("responses", Cache.stats t.responses);
@@ -402,6 +441,9 @@ let process t ?memo line =
                 check_deadline deadline;
                 let reply = Protocol.ok_reply (p.run ()) in
                 Cache.add t.responses key reply;
+                (match t.journal with
+                | Some j -> Journal.append j ~key ~value:reply
+                | None -> ());
                 (match memo with
                 | Some m -> Hashtbl.replace m key reply
                 | None -> ());
@@ -477,108 +519,712 @@ let run_stdio t ic oc =
   loop ()
 
 (* ------------------------------------------------------------------ *)
-(* Unix-domain socket transport.                                        *)
+(* Socket transports: a nonblocking event loop over a Unix-domain or   *)
+(* TCP listener, with a minimal HTTP/1.1 POST front end and optional   *)
+(* pre-forked evaluation workers sharded by content address.           *)
 (* ------------------------------------------------------------------ *)
 
-type client = {
-  fd : Unix.file_descr;
-  pending : Buffer.t;  (** bytes received but not yet newline-terminated *)
-  mutable closing : bool;
+(* A reply slot. One slot is queued per connection, in request-arrival
+   order, the moment a request is parsed off the wire; it is filled
+   whenever its evaluation finishes — possibly out of order relative
+   to other slots when a connection's requests shard to different
+   workers. Flushing only ever emits the filled prefix of the queue,
+   so reply order on the wire always matches request order. *)
+type slot = {
+  mutable body : string option;  (* reply line, no trailing newline *)
+  mutable status : string;  (* HTTP status, used only on HTTP conns *)
 }
 
-let write_all c (s : string) =
-  let b = Bytes.of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      match Unix.write c.fd b off (n - off) with
-      | written -> go (off + written)
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-        c.closing <- true
-  in
-  go 0
+type proto = P_sniff | P_lines | P_http
 
-let send_reply c reply = if not c.closing then write_all c (reply ^ "\n")
+type http_phase = H_headers | H_body of int
 
-(* Drain every complete line currently buffered for [c]; returns them
-   in arrival order. Enforces the request size bound on the residue. *)
-let take_lines t c =
-  let data = Buffer.contents c.pending in
-  Buffer.clear c.pending;
-  let lines = ref [] in
-  let start = ref 0 in
-  String.iteri
-    (fun i ch ->
-      if ch = '\n' then begin
-        lines := String.sub data !start (i - !start) :: !lines;
-        start := i + 1
-      end)
-    data;
-  Buffer.add_substring c.pending data !start (String.length data - !start);
-  if Buffer.length c.pending > t.config.max_request_bytes then begin
-    Buffer.clear c.pending;
-    send_reply c
-      (Protocol.error_reply ~code:"oversized"
-         ~message:
-           (Printf.sprintf "request exceeds %d bytes"
-              t.config.max_request_bytes));
-    c.closing <- true
-  end;
-  List.rev !lines
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (* received but not yet parsed *)
+  replies : slot Queue.t;  (* unflushed slots, request order *)
+  outq : string Queue.t;  (* formatted bytes awaiting write *)
+  mutable out_off : int;  (* bytes of [Queue.peek outq] already written *)
+  mutable out_bytes : int;  (* total bytes buffered in [outq] *)
+  mutable proto : proto;
+  mutable http_phase : http_phase;
+  mutable discarding : bool;  (* swallowing the rest of an oversized line *)
+  mutable closing : bool;  (* no more reads; close once drained *)
+  mutable dead : bool;  (* close now, drop any buffered output *)
+}
 
-let serve_unix t ~socket_path =
+let make_conn fd =
+  {
+    fd;
+    inbuf = Buffer.create 256;
+    replies = Queue.create ();
+    outq = Queue.create ();
+    out_off = 0;
+    out_bytes = 0;
+    proto = P_sniff;
+    http_phase = H_headers;
+    discarding = false;
+    closing = false;
+    dead = false;
+  }
+
+(* One pre-forked evaluation worker. The master owns [wfd] (its end of
+   the socketpair, nonblocking); the child runs a private [run_stdio]
+   loop over the other end, with its own caches and journal shard. *)
+type worker = {
+  shard : int;
+  pid : int;
+  wfd : Unix.file_descr;
+  rbuf : Buffer.t;  (* partial reply line from the worker *)
+  woutq : string Queue.t;  (* request lines awaiting write *)
+  mutable wout_off : int;
+  inflight : (conn option * slot) Queue.t;
+      (* FIFO pairing requests sent with replies expected; [None] marks
+         a broadcast (shutdown) whose reply is discarded *)
+  mutable alive : bool;
+}
+
+let worker_main t shard fd =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.set_close_on_exec listen_fd;
-  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
-  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
-  Unix.listen listen_fd 64;
-  let clients = ref [] in
-  let chunk = Bytes.create 65536 in
-  let read_into c =
-    match Unix.read c.fd chunk 0 (Bytes.length chunk) with
-    | 0 -> c.closing <- true
-    | n -> Buffer.add_subbytes c.pending chunk 0 n
-    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      c.closing <- true
+  let config =
+    {
+      t.config with
+      workers = 0;
+      journal =
+        Option.map
+          (fun p -> Printf.sprintf "%s.shard%d" p shard)
+          t.config.journal;
+    }
   in
-  let rec loop () =
-    if not (shutdown_requested t) then begin
-      let fds = listen_fd :: List.map (fun c -> c.fd) !clients in
-      match Unix.select fds [] [] (-1.) with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
-      | ready, _, _ ->
-        if List.memq listen_fd ready then begin
-          let fd, _ = Unix.accept listen_fd in
-          Unix.set_close_on_exec fd;
-          clients :=
-            !clients
-            @ [ { fd; pending = Buffer.create 256; closing = false } ]
-        end;
-        (* One scheduling round: drain every complete line from every
-           ready client, evaluate them as one batch (coalescing
-           duplicates), then fan the replies back out in order. *)
-        let batch = ref [] in
-        List.iter
-          (fun c ->
-            if List.memq c.fd ready then begin
-              read_into c;
-              List.iter
-                (fun line -> if line <> "" then batch := (c, line) :: !batch)
-                (take_lines t c)
-            end)
-          !clients;
-        let batch = List.rev !batch in
-        let replies = handle_batch t (List.map snd batch) in
-        List.iter2 (fun (c, _) reply -> send_reply c reply) batch replies;
-        List.iter
-          (fun c -> if c.closing then try Unix.close c.fd with _ -> ())
-          !clients;
-        clients := List.filter (fun c -> not c.closing) !clients;
-        loop ()
+  let svc = create ~config () in
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try run_stdio svc ic oc with _ -> ());
+  (try close svc with _ -> ());
+  Unix._exit 0
+
+(* Fork the worker pool. Must run before any evaluation touches the
+   {!Par} domain pool: domains do not survive [fork], which is why the
+   master in sharded mode only routes and never evaluates. *)
+let spawn_workers t ~listen_fd =
+  let pairs =
+    Array.init t.config.workers (fun _ ->
+        Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0)
+  in
+  Array.mapi
+    (fun i (mfd, cfd) ->
+      match Unix.fork () with
+      | 0 ->
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        Array.iteri
+          (fun j (m, c) ->
+            (try Unix.close m with Unix.Unix_error _ -> ());
+            if j <> i then try Unix.close c with Unix.Unix_error _ -> ())
+          pairs;
+        worker_main t i cfd
+      | pid ->
+        (try Unix.close cfd with Unix.Unix_error _ -> ());
+        Unix.set_nonblock mfd;
+        {
+          shard = i;
+          pid;
+          wfd = mfd;
+          rbuf = Buffer.create 4096;
+          woutq = Queue.create ();
+          wout_off = 0;
+          inflight = Queue.create ();
+          alive = true;
+        })
+    pairs
+
+(* Stable shard choice from a content key: same key, same worker, same
+   warm cache — across requests and across daemon restarts. *)
+let shard_hash key n =
+  let d = Digest.string key in
+  let v =
+    (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2]
+  in
+  v mod n
+
+let oversized_reply max_bytes =
+  Protocol.error_reply ~code:"oversized"
+    ~message:(Printf.sprintf "request exceeds %d bytes" max_bytes)
+
+let serve_listening t listen_fd =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Unix.set_nonblock listen_fd;
+  let workers =
+    if t.config.workers <= 0 then [||] else spawn_workers t ~listen_fd
+  in
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 97 in
+  let inflight = ref 0 in
+  let chunk = Bytes.create 65536 in
+
+  (* ---- output side ------------------------------------------------ *)
+  let enqueue_out c s =
+    if not c.dead then begin
+      if c.out_bytes + String.length s > t.config.max_reply_bytes then begin
+        (* The peer stopped reading its replies; dropping it is the
+           backpressure of last resort that keeps one slow reader from
+           pinning daemon memory (no head-of-line blocking either way:
+           the buffer is per-connection). *)
+        trace t "dropping slow reader (%d bytes buffered)" c.out_bytes;
+        c.dead <- true
+      end
+      else begin
+        Queue.push s c.outq;
+        c.out_bytes <- c.out_bytes + String.length s
+      end
     end
   in
-  loop ();
-  List.iter (fun c -> try Unix.close c.fd with _ -> ()) !clients;
-  (try Unix.close listen_fd with _ -> ());
-  try Unix.unlink socket_path with Unix.Unix_error _ -> ()
+  let http_response ~status body =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: application/json\r\nContent-Length: \
+       %d\r\nConnection: %s\r\n\r\n%s"
+      status (String.length body)
+      (if status = "200 OK" then "keep-alive" else "close")
+      body
+  in
+  let flush_replies c =
+    let rec go () =
+      match Queue.peek_opt c.replies with
+      | Some { body = Some body; status } ->
+        ignore (Queue.pop c.replies);
+        (match c.proto with
+        | P_http -> enqueue_out c (http_response ~status body)
+        | P_lines | P_sniff -> enqueue_out c (body ^ "\n"));
+        go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let pump_out c =
+    let rec go () =
+      match Queue.peek_opt c.outq with
+      | None -> ()
+      | Some head -> (
+        let b = Bytes.unsafe_of_string head in
+        match Net.write_fd c.fd b c.out_off (Bytes.length b - c.out_off) with
+        | `Wrote n ->
+          c.out_off <- c.out_off + n;
+          c.out_bytes <- c.out_bytes - n;
+          if c.out_off = Bytes.length b then begin
+            ignore (Queue.pop c.outq);
+            c.out_off <- 0
+          end;
+          go ()
+        | `Again -> ()
+        | `Closed -> c.dead <- true)
+    in
+    if not c.dead then go ()
+  in
+
+  (* ---- request intake --------------------------------------------- *)
+  let push_slot c =
+    let s = { body = None; status = "200 OK" } in
+    Queue.push s c.replies;
+    s
+  in
+  let reject_overloaded c =
+    Service_metrics.record_rejected t.metrics;
+    let s = push_slot c in
+    s.status <- "503 Service Unavailable";
+    s.body <- Some Protocol.overloaded_reply
+  in
+  let digest_memo : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let shard_key_of_line line =
+    match Json.parse line with
+    | Error _ -> `Key line
+    | Ok json -> (
+      match Json.member "kind" json with
+      | Some (Json.String "shutdown") -> `Shutdown
+      | _ -> (
+        match (Json.member "circuit" json, Json.member "blif" json) with
+        | Some (Json.String name), _ ->
+          (* Route named circuits by strash digest so that a circuit
+             and its BLIF spelling land on the same worker cache. *)
+          let d =
+            match Hashtbl.find_opt digest_memo name with
+            | Some d -> d
+            | None ->
+              let d =
+                match Nano_circuits.Suite.find name with
+                | Some entry -> (
+                  try
+                    Nano_synth.Strash.digest
+                      (entry.Nano_circuits.Suite.build ())
+                  with _ -> name)
+                | None -> name
+              in
+              Hashtbl.add digest_memo name d;
+              d
+          in
+          `Key d
+        | _, Some (Json.String text) -> `Key (Digest.string text)
+        | _ -> `Key line))
+  in
+  let worker_enqueue w line = if w.alive then Queue.push (line ^ "\n") w.woutq in
+  let fail_worker_inflight w =
+    let reply =
+      Protocol.error_reply ~code:"internal_error"
+        ~message:(Printf.sprintf "evaluation worker %d died" w.shard)
+    in
+    while not (Queue.is_empty w.inflight) do
+      match Queue.pop w.inflight with
+      | None, _ -> ()
+      | Some c, slot ->
+        slot.status <- "500 Internal Server Error";
+        slot.body <- Some reply;
+        decr inflight;
+        flush_replies c
+    done
+  in
+  let kill_worker w =
+    if w.alive then begin
+      w.alive <- false;
+      (try Unix.close w.wfd with Unix.Unix_error _ -> ());
+      fail_worker_inflight w
+    end
+  in
+  let pump_worker w =
+    if w.alive then begin
+      let rec wr () =
+        match Queue.peek_opt w.woutq with
+        | None -> ()
+        | Some head -> (
+          let b = Bytes.unsafe_of_string head in
+          match
+            Net.write_fd w.wfd b w.wout_off (Bytes.length b - w.wout_off)
+          with
+          | `Wrote n ->
+            w.wout_off <- w.wout_off + n;
+            if w.wout_off = Bytes.length b then begin
+              ignore (Queue.pop w.woutq);
+              w.wout_off <- 0
+            end;
+            wr ()
+          | `Again -> ()
+          | `Closed -> kill_worker w)
+      in
+      wr ()
+    end
+  in
+  let worker_read w =
+    if w.alive then begin
+      let continue = ref true in
+      while !continue do
+        match Net.read_fd w.wfd chunk with
+        | `Data n ->
+          Buffer.add_subbytes w.rbuf chunk 0 n;
+          if n < Bytes.length chunk then continue := false
+        | `Again -> continue := false
+        | `Eof | `Closed ->
+          continue := false;
+          kill_worker w
+      done;
+      (* Split completed reply lines off the front of the buffer. *)
+      let data = Buffer.contents w.rbuf in
+      Buffer.clear w.rbuf;
+      let start = ref 0 in
+      (try
+         while true do
+           let nl = String.index_from data !start '\n' in
+           let line = String.sub data !start (nl - !start) in
+           start := nl + 1;
+           match Queue.pop w.inflight with
+           | exception Queue.Empty -> ()
+           | None, slot -> slot.body <- Some line
+           | Some c, slot ->
+             slot.body <- Some line;
+             decr inflight;
+             flush_replies c
+         done
+       with Not_found -> ());
+      Buffer.add_substring w.rbuf data !start (String.length data - !start)
+    end
+  in
+  let bye_reply = Protocol.ok_reply (Json.String "bye") in
+  let shutdown_broadcast () =
+    t.stop <- true;
+    Array.iter
+      (fun w ->
+        if w.alive then begin
+          worker_enqueue w "{\"kind\":\"shutdown\"}";
+          Queue.push (None, { body = None; status = "200 OK" }) w.inflight
+        end)
+      workers
+  in
+  let round_batch = ref [] in
+  (* inline mode: (slot, line), reversed *)
+  let dispatch c slot line =
+    if Array.length workers = 0 then
+      round_batch := (slot, line) :: !round_batch
+    else
+      match shard_key_of_line line with
+      | `Shutdown ->
+        (* The master answers itself — byte-identical to the inline
+           reply — and broadcasts so every worker flushes and exits. *)
+        slot.body <- Some bye_reply;
+        decr inflight;
+        shutdown_broadcast ()
+      | `Key key ->
+        let w = workers.(shard_hash key (Array.length workers)) in
+        if not w.alive then begin
+          slot.status <- "500 Internal Server Error";
+          slot.body <-
+            Some
+              (Protocol.error_reply ~code:"internal_error"
+                 ~message:"evaluation worker unavailable");
+          decr inflight
+        end
+        else begin
+          worker_enqueue w line;
+          Queue.push (Some c, slot) w.inflight
+        end
+  in
+  let emit_request c line =
+    if !inflight >= t.config.max_pending then reject_overloaded c
+    else begin
+      incr inflight;
+      let slot = push_slot c in
+      dispatch c slot line
+    end
+  in
+
+  (* ---- input parsing ---------------------------------------------- *)
+  let parse_lines c =
+    let data = Buffer.contents c.inbuf in
+    Buffer.clear c.inbuf;
+    let len = String.length data in
+    let i = ref 0 in
+    while !i < len do
+      match String.index_from_opt data !i '\n' with
+      | Some nl when c.discarding ->
+        c.discarding <- false;
+        i := nl + 1
+      | None when c.discarding -> i := len
+      | Some nl ->
+        let line = String.sub data !i (nl - !i) in
+        i := nl + 1;
+        if line <> "" then emit_request c line
+      | None ->
+        let residue = len - !i in
+        if residue > t.config.max_request_bytes then begin
+          (* The line is already over budget before its newline even
+             arrived: answer now, swallow the rest as it streams in,
+             and keep the connection — the next line still works. *)
+          let s = push_slot c in
+          s.status <- "413 Content Too Large";
+          s.body <- Some (oversized_reply t.config.max_request_bytes);
+          c.discarding <- true
+        end
+        else Buffer.add_substring c.inbuf data !i residue;
+        i := len
+    done
+  in
+  let http_error c ~status ~code ~message =
+    let s = push_slot c in
+    s.status <- status;
+    s.body <- Some (Protocol.error_reply ~code ~message);
+    c.closing <- true
+  in
+  let find_crlfcrlf data i0 =
+    let n = String.length data in
+    let rec go i =
+      if i + 3 >= n then None
+      else if
+        data.[i] = '\r'
+        && data.[i + 1] = '\n'
+        && data.[i + 2] = '\r'
+        && data.[i + 3] = '\n'
+      then Some i
+      else go (i + 1)
+    in
+    go i0
+  in
+  let content_length headers =
+    List.fold_left
+      (fun acc line ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+          match String.index_opt line ':' with
+          | None -> None
+          | Some i ->
+            if
+              String.lowercase_ascii (String.trim (String.sub line 0 i))
+              = "content-length"
+            then
+              int_of_string_opt
+                (String.trim
+                   (String.sub line (i + 1) (String.length line - i - 1)))
+            else None))
+      None headers
+  in
+  let parse_http c =
+    let data = Buffer.contents c.inbuf in
+    Buffer.clear c.inbuf;
+    let len = String.length data in
+    let pos = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if c.closing || c.dead then begin
+        pos := len;
+        continue := false
+      end
+      else
+        match c.http_phase with
+        | H_headers -> (
+          match find_crlfcrlf data !pos with
+          | None ->
+            if len - !pos > 16384 then begin
+              http_error c ~status:"431 Request Header Fields Too Large"
+                ~code:"bad_request" ~message:"HTTP header block too large";
+              pos := len
+            end;
+            continue := false
+          | Some hdr_end -> (
+            let head = String.sub data !pos (hdr_end - !pos) in
+            pos := hdr_end + 4;
+            let lines =
+              String.split_on_char '\n' head
+              |> List.map (fun l ->
+                     let n = String.length l in
+                     if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1)
+                     else l)
+            in
+            match lines with
+            | [] ->
+              http_error c ~status:"400 Bad Request" ~code:"bad_request"
+                ~message:"empty HTTP request"
+            | request_line :: headers -> (
+              let meth =
+                match String.index_opt request_line ' ' with
+                | Some i -> String.sub request_line 0 i
+                | None -> request_line
+              in
+              if String.uppercase_ascii meth <> "POST" then
+                http_error c ~status:"405 Method Not Allowed"
+                  ~code:"bad_request"
+                  ~message:"only POST with a JSON request body is supported"
+              else
+                match content_length headers with
+                | None ->
+                  http_error c ~status:"411 Length Required"
+                    ~code:"bad_request" ~message:"Content-Length is required"
+                | Some cl when cl < 0 || cl > t.config.max_request_bytes ->
+                  http_error c ~status:"413 Content Too Large"
+                    ~code:"oversized"
+                    ~message:
+                      (Printf.sprintf "request exceeds %d bytes"
+                         t.config.max_request_bytes)
+                | Some cl -> c.http_phase <- H_body cl)))
+        | H_body cl ->
+          if len - !pos >= cl then begin
+            let body = String.sub data !pos cl in
+            pos := !pos + cl;
+            c.http_phase <- H_headers;
+            emit_request c body
+          end
+          else continue := false
+    done;
+    Buffer.add_substring c.inbuf data !pos (len - !pos)
+  in
+  let parse_conn c =
+    (match c.proto with
+    | P_sniff ->
+      if Buffer.length c.inbuf > 0 then begin
+        (* Requests are JSON objects, so a line never starts with an
+           uppercase letter; an HTTP method always does. One byte
+           decides the connection's protocol for good. *)
+        let first = Buffer.nth c.inbuf 0 in
+        c.proto <- (if first >= 'A' && first <= 'Z' then P_http else P_lines)
+      end
+    | P_lines | P_http -> ());
+    match c.proto with
+    | P_sniff -> ()
+    | P_lines -> parse_lines c
+    | P_http -> parse_http c
+  in
+  let conn_read c =
+    let continue = ref true in
+    let rounds = ref 0 in
+    while !continue && !rounds < 8 do
+      incr rounds;
+      match Net.read_fd c.fd chunk with
+      | `Data n ->
+        Buffer.add_subbytes c.inbuf chunk 0 n;
+        if n < Bytes.length chunk then continue := false
+      | `Again -> continue := false
+      | `Eof ->
+        c.closing <- true;
+        continue := false
+      | `Closed ->
+        c.dead <- true;
+        continue := false
+    done;
+    if not c.dead then parse_conn c
+  in
+  let accept_new () =
+    List.iter
+      (fun (fd, _) ->
+        let c = make_conn fd in
+        Hashtbl.replace conns fd c;
+        if Hashtbl.length conns > t.config.max_clients then begin
+          (* Over capacity: answer with the structured overload error
+             instead of silently stalling the backlog, then close. *)
+          Service_metrics.record_rejected t.metrics;
+          let s = push_slot c in
+          s.status <- "503 Service Unavailable";
+          s.body <- Some Protocol.overloaded_reply;
+          c.closing <- true
+        end)
+      (Net.accept_ready listen_fd)
+  in
+
+  (* ---- one readiness round ---------------------------------------- *)
+  let select_round ~accepting ~timeout =
+    let reads = ref [] and writes = ref [] in
+    if accepting then reads := [ listen_fd ];
+    Hashtbl.iter
+      (fun fd c ->
+        if (not c.dead) && not c.closing then reads := fd :: !reads;
+        if (not c.dead) && not (Queue.is_empty c.outq) then
+          writes := fd :: !writes)
+      conns;
+    Array.iter
+      (fun w ->
+        if w.alive then begin
+          reads := w.wfd :: !reads;
+          if not (Queue.is_empty w.woutq) then writes := w.wfd :: !writes
+        end)
+      workers;
+    match Unix.select !reads !writes [] timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+    | r, w, _ -> (r, w)
+  in
+  let one_round ~accepting ~timeout =
+    let ready_r, _ready_w = select_round ~accepting ~timeout in
+    if accepting && List.memq listen_fd ready_r then accept_new ();
+    round_batch := [];
+    Hashtbl.iter (fun fd c -> if List.memq fd ready_r then conn_read c) conns;
+    (* Inline evaluation: one batch per readiness round, coalescing
+       duplicates, exactly like the single-process transports. *)
+    (match List.rev !round_batch with
+    | [] -> ()
+    | batch ->
+      let replies = handle_batch t (List.map snd batch) in
+      List.iter2 (fun (slot, _) reply -> slot.body <- Some reply) batch replies;
+      inflight := !inflight - List.length batch);
+    round_batch := [];
+    Array.iter
+      (fun w ->
+        if w.alive && List.memq w.wfd ready_r then worker_read w;
+        if w.alive then pump_worker w)
+      workers;
+    let to_close = ref [] in
+    Hashtbl.iter
+      (fun fd c ->
+        if not c.dead then begin
+          flush_replies c;
+          pump_out c
+        end;
+        if
+          c.dead
+          || (c.closing
+             && Queue.is_empty c.replies
+             && Queue.is_empty c.outq)
+        then to_close := (fd, c) :: !to_close)
+      conns;
+    List.iter
+      (fun (fd, c) ->
+        Hashtbl.remove conns fd;
+        c.dead <- true;
+        try Unix.close c.fd with Unix.Unix_error _ -> ())
+      !to_close
+  in
+  let rec main () =
+    if not (shutdown_requested t) then begin
+      one_round ~accepting:true ~timeout:(-1.);
+      main ()
+    end
+  in
+  main ();
+  (* Drain: flush filled replies and the shutdown broadcast, bounded so
+     a wedged peer cannot hold the daemon open forever. *)
+  let pending_work () =
+    let p = ref false in
+    Hashtbl.iter
+      (fun _ c ->
+        if
+          (not c.dead)
+          && ((not (Queue.is_empty c.outq)) || not (Queue.is_empty c.replies))
+        then p := true)
+      conns;
+    Array.iter
+      (fun w ->
+        if
+          w.alive
+          && ((not (Queue.is_empty w.woutq)) || not (Queue.is_empty w.inflight))
+        then p := true)
+      workers;
+    !p
+  in
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while pending_work () && Unix.gettimeofday () < deadline do
+    one_round ~accepting:false ~timeout:0.05
+  done;
+  Hashtbl.iter
+    (fun _ c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+    conns;
+  Array.iter
+    (fun w ->
+      if w.alive then begin
+        w.alive <- false;
+        try Unix.close w.wfd with Unix.Unix_error _ -> ()
+      end)
+    workers;
+  Array.iter
+    (fun w ->
+      let rec reap tries =
+        match
+          Net.retry_intr (fun () -> Unix.waitpid [ Unix.WNOHANG ] w.pid)
+        with
+        | 0, _ ->
+          if tries = 0 then begin
+            (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+            ignore (Net.retry_intr (fun () -> Unix.waitpid [] w.pid))
+          end
+          else begin
+            Net.sleep 0.05;
+            reap (tries - 1)
+          end
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+      in
+      reap 40)
+    workers
+
+let serve_unix t ~socket_path =
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 256;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () -> serve_listening t listen_fd)
+
+let serve_tcp t ~host ~port =
+  let addr = Net.resolve_tcp host port in
+  let listen_fd =
+    Unix.socket ~cloexec:true (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0
+  in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd addr;
+  Unix.listen listen_fd 256;
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close listen_fd with Unix.Unix_error _ -> ())
+    (fun () -> serve_listening t listen_fd)

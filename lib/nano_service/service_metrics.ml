@@ -8,9 +8,17 @@ type kind_stats = {
   latency : Stats.t;
 }
 
-type t = { started_at : float; by_kind : (string, kind_stats) Hashtbl.t }
+type t = {
+  started_at : float;
+  by_kind : (string, kind_stats) Hashtbl.t;
+  mutable rejected : int;
+      (* requests shed by admission control before they acquired a
+         kind, so they live outside the by-kind table *)
+}
 
-let create ~now = { started_at = now; by_kind = Hashtbl.create 8 }
+let create ~now = { started_at = now; by_kind = Hashtbl.create 8; rejected = 0 }
+
+let record_rejected t = t.rejected <- t.rejected + 1
 
 let kind_stats t kind =
   match Hashtbl.find_opt t.by_kind kind with
@@ -80,6 +88,7 @@ let to_json ?(extra = []) t ~caches ~now =
        ("requests", Json.Int (totals (fun ks -> ks.count)));
        ("errors", Json.Int (totals (fun ks -> ks.errors)));
        ("coalesced", Json.Int (totals (fun ks -> ks.coalesced)));
+       ("rejected", Json.Int t.rejected);
        ("by_kind", Json.Obj (List.map kind_json kinds));
        ( "caches",
          Json.Obj (List.map (fun (n, c) -> (n, cache_to_json c)) caches) );

@@ -24,6 +24,11 @@ val record_coalesced : t -> kind:string -> unit
     identical in-flight request in the same batch (no evaluation, no
     cache traffic of its own). *)
 
+val record_rejected : t -> unit
+(** Count one request shed by admission control (the bounded pending
+    queue was full, or the connection cap was hit) before it was ever
+    parsed — rejected requests have no kind. *)
+
 val to_json :
   ?extra:(string * Nano_util.Json.t) list ->
   t ->

@@ -1,0 +1,36 @@
+The TCP daemon with a persistent response journal. A cold analyze is
+evaluated, journaled, and the daemon restarted; the second daemon must
+serve the byte-identical reply out of the recovered journal without
+re-evaluating anything.
+
+  $ PORT=$((10000 + $$ % 40000))
+  $ nanobound serve --tcp 127.0.0.1:$PORT --journal cache.journal >server1.log 2>&1 &
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"analyze","circuit":"c17","epsilons":[0.01]}' >cold.json
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"shutdown"}'
+  {"ok":true,"result":"bye"}
+  $ wait
+  $ test -s cache.journal
+
+Restart on the same port and journal; the client retries the connect
+until the daemon is up, so no sleep is needed:
+
+  $ nanobound serve --tcp 127.0.0.1:$PORT --journal cache.journal >server2.log 2>&1 &
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"analyze","circuit":"c17","epsilons":[0.01]}' >warm.json
+
+The reply across the restart is byte-identical:
+
+  $ cmp cold.json warm.json
+
+And it really came from the journal-recovered cache: one hit, zero
+misses, one record recovered, nothing re-appended.
+
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"stats"}' | grep -o '"responses":{"hits":[0-9]*,"misses":[0-9]*'
+  "responses":{"hits":1,"misses":0
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"stats"}' | grep -o '"journal":{[^}]*}'
+  "journal":{"path":"cache.journal","recovered":1,"appended":0,"truncated_bytes":0}
+
+Clean shutdown:
+
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"shutdown"}'
+  {"ok":true,"result":"bye"}
+  $ wait

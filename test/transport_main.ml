@@ -1,0 +1,6 @@
+(* The transport tests fork real server processes, and Unix.fork is
+   forbidden in OCaml 5 once any other domain has ever been spawned.
+   The main test binary runs Par suites that create domains, so these
+   tests get their own executable where no domain ever starts (every
+   forked service runs with jobs = 1). *)
+let () = Alcotest.run "nanobound-transport" [ ("transport", Test_transport.suite) ]
