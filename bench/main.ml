@@ -18,7 +18,10 @@
    [--requests M] closed-loop requests each) against an inline and a
    sharded daemon, prints p50/p99 latency and throughput, and records
    them to BENCH_pr6.json. It forks server processes, so it runs
-   before anything spawns a domain. *)
+   before anything spawns a domain. --kernel-only prints just the
+   blocked wide-word kernel vs word-at-a-time compiled engine table
+   and records it to BENCH_pr7.json; [--block-width N] overrides the
+   blocked engine's words-per-gate-visit width for that run. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -46,6 +49,8 @@ let grids_only = Array.exists (( = ) "--grids-only") Sys.argv
 
 let load_only = Array.exists (( = ) "--load-only") Sys.argv
 
+let kernel_only = Array.exists (( = ) "--kernel-only") Sys.argv
+
 let int_flag name default =
   let rec find = function
     | flag :: n :: _ when flag = name ->
@@ -58,6 +63,9 @@ let int_flag name default =
 let load_clients = int_flag "--clients" 1000
 
 let load_requests = int_flag "--requests" 20
+
+(* 0 means "use the engine default" (NANOBOUND_BLOCK_WIDTH or 8). *)
+let bench_block_width = int_flag "--block-width" 0
 
 let print_series ~title ~x_label ~y_label series =
   let data =
@@ -709,6 +717,127 @@ let print_engine_throughput () =
   print_string "(written to BENCH_pr2.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Blocked wide-word kernel vs word-at-a-time compiled engine.          *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR 7 kernel benchmark: same Monte-Carlo job, `CompiledWords (the
+   previous compiled engine, one 64-bit word per gate visit) against
+   `Compiled (blocked wide-word kernel: block_width words per visit,
+   fused eval/inject/counter sweep over cache-blocked levels). The
+   engines are bit-identical by construction; each row re-checks the
+   full result record against the word-at-a-time engine and against a
+   jobs=4 blocked run. *)
+let kernel_circuits () =
+  let suite name =
+    match Nano_circuits.Suite.find name with
+    | Some entry ->
+      Nano_synth.Script.rugged_lite (entry.Nano_circuits.Suite.build ())
+    | None -> failwith ("kernel bench: unknown suite circuit " ^ name)
+  in
+  [
+    ("c17", Nano_circuits.Iscas_like.c17 ());
+    ( "rca8",
+      Nano_synth.Script.rugged_lite (Nano_circuits.Adders.ripple_carry ~width:8)
+    );
+    ("mult8", suite "mult8");
+    ("alu8", suite "alu8");
+    (* Synthetic ~50k-gate levelized netlist: deep enough that the
+       cache-blocked level segments actually engage. *)
+    ( "rand50k",
+      Nano_circuits.Random_circuit.generate
+        ~config:
+          {
+            Nano_circuits.Random_circuit.inputs = 64;
+            gates = 50_000;
+            outputs = 32;
+            allow_majority = true;
+            max_fanin = 3;
+          }
+        ~seed:0x50c4 () );
+  ]
+
+let print_kernel_throughput () =
+  let epsilon = 0.01 in
+  let vectors = 1 lsl 16 in
+  let words = vectors / 64 in
+  let block = if bench_block_width > 0 then Some bench_block_width else None in
+  let effective_block =
+    match block with
+    | Some b -> b
+    | None -> Nano_netlist.Compiled.default_block_width ()
+  in
+  let measure ?block engine circuit =
+    (* One short run to warm the compile cache and code paths. *)
+    ignore
+      (Nano_faults.Noisy_sim.simulate ~vectors:1024 ?block ~engine ~epsilon
+         circuit);
+    let sim, t =
+      time (fun () ->
+          Nano_faults.Noisy_sim.simulate ~vectors ?block ~engine ~epsilon
+            circuit)
+    in
+    (sim, float_of_int words /. t)
+  in
+  let entries =
+    List.map
+      (fun (name, circuit) ->
+        let sim_w, words_rate = measure `CompiledWords circuit in
+        let sim_b, blocked_rate = measure ?block `Compiled circuit in
+        let sim_j =
+          Nano_faults.Noisy_sim.simulate ~vectors ~jobs:4 ?block
+            ~engine:`Compiled ~epsilon circuit
+        in
+        ( name,
+          words_rate,
+          blocked_rate,
+          blocked_rate /. words_rate,
+          sim_b = sim_w,
+          sim_j = sim_b ))
+      (kernel_circuits ())
+  in
+  Printf.printf
+    "== Kernel throughput: word-at-a-time vs blocked compiled engine (%d \
+     vectors, eps=%g, block=%d) ==\n"
+    vectors epsilon effective_block;
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "circuit"; "word-at-a-time words/s"; "blocked words/s"; "speedup";
+           "bit-identical"; "jobs-identical";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, wr, br, speedup, same, same_jobs) ->
+              [
+                name;
+                Printf.sprintf "%.0f" wr;
+                Printf.sprintf "%.0f" br;
+                Printf.sprintf "%.2fx" speedup;
+                string_of_bool same;
+                string_of_bool same_jobs;
+              ])
+            entries));
+  let oc = open_out "BENCH_pr7.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"noisy_sim blocked-vs-word-at-a-time\",\n  \
+     \"vectors\": %d,\n  \"epsilon\": %g,\n  \"block_width\": %d,\n  \
+     \"circuits\": [\n"
+    vectors epsilon effective_block;
+  List.iteri
+    (fun i (name, wr, br, speedup, same, same_jobs) ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"words_engine_words_per_sec\": %.1f, \
+         \"blocked_words_per_sec\": %.1f, \"speedup\": %.2f, \
+         \"bit_identical\": %b, \"jobs_identical\": %b}%s\n"
+        name wr br speedup same same_jobs
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_string "(written to BENCH_pr7.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Service: cold vs warm request latency.                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1349,6 +1478,9 @@ let () =
     exit 0);
   if engines_only then (
     print_engine_throughput ();
+    exit 0);
+  if kernel_only then (
+    print_kernel_throughput ();
     exit 0);
   if service_only then (
     print_service_latency ();

@@ -5,7 +5,7 @@ module Par = Nano_util.Par
 module Prng = Nano_util.Prng
 module Bits = Nano_util.Bits
 
-type engine = [ `Compiled | `Interp ]
+type engine = [ `Compiled | `CompiledWords | `Interp ]
 
 type result = {
   epsilon : float;
@@ -171,6 +171,35 @@ let run_shard_compiled ~seed ~first_word ~words ~draws_per_word
     s_any_errors = !any_errors;
   }
 
+(* The blocked shard drives the fused wide-word kernel: one call
+   simulates the whole shard segment in blocks of the compiled program's
+   width, with evaluation, noise injection and every counter folded into
+   a single level-ordered sweep per block. The kernel addresses the PRNG
+   stream positionally under the same per-word layout as
+   [run_shard_compiled], so the counters — and therefore the final
+   result — are bit-identical to it at any block width. *)
+let run_shard_blocked ~seed ~first_word ~words ~draws_per_word
+    ~input_probability ~noise c =
+  let rng = Prng.create ~seed in
+  Prng.jump rng ~draws:(first_word * draws_per_word);
+  let n = Compiled.node_count c in
+  let golden = Compiled.create_values_blocked c in
+  let na = Compiled.create_values_blocked c in
+  let nb = Compiled.create_values_blocked c in
+  let ones = Array.make n 0 in
+  let toggles = Array.make n 0 in
+  let out_errors = Array.make (Array.length (Compiled.output_ids c)) 0 in
+  let any =
+    Compiled.run_noisy_words c ~noise ~rng ~input_probability ~words ~golden
+      ~na ~nb ~ones ~toggles ~out_errors
+  in
+  {
+    s_ones = ones;
+    s_toggles = toggles;
+    s_out_errors = out_errors;
+    s_any_errors = any;
+  }
+
 (* Shared result assembly: integer counters over [words] 64-vector words
    to the floating-point result record. Both the per-point engine and
    the batched grid engine end here, so a grid lane whose counters match
@@ -201,8 +230,8 @@ let result_of_counts netlist ~epsilon ~words ~ones ~toggles ~out_errors
     average_gate_activity;
   }
 
-let run ?(jobs = 1) ?(engine = `Compiled) ~seed ~vectors ~input_probability
-    ~channels ~mean_epsilon netlist =
+let run ?(jobs = 1) ?(engine = `Compiled) ?block ~seed ~vectors
+    ~input_probability ~channels ~mean_epsilon netlist =
   if jobs < 1 then invalid_arg "Noisy_sim.run: jobs must be >= 1";
   let words = Nano_util.Math_ext.ceil_div vectors 64 in
   let n = Netlist.node_count netlist in
@@ -213,7 +242,17 @@ let run ?(jobs = 1) ?(engine = `Compiled) ~seed ~vectors ~input_probability
     | `Compiled ->
       (* Lower once on the submitting domain; shards share the compiled
          program (immutable) and allocate only their own buffers. *)
-      let c = Compiled.of_netlist netlist in
+      let c = Compiled.of_netlist ?block netlist in
+      let noise = Compiled.pack_noise c (Array.map Channel.epsilon channels) in
+      Par.map ~jobs
+        (fun (lo, hi) ->
+          run_shard_blocked ~seed ~first_word:lo ~words:(hi - lo)
+            ~draws_per_word ~input_probability ~noise c)
+        (Par.ranges ~jobs words)
+    | `CompiledWords ->
+      (* The word-at-a-time compiled engine, retained as the blocked
+         kernel's differential reference (and the bench's baseline). *)
+      let c = Compiled.of_netlist ?block netlist in
       let epsilons =
         Compiled.pack_epsilons c (Array.map Channel.epsilon channels)
       in
@@ -248,14 +287,14 @@ let run ?(jobs = 1) ?(engine = `Compiled) ~seed ~vectors ~input_probability
     ~out_errors ~any_errors:!any_errors
 
 let simulate ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
-    ?jobs ?engine ~epsilon netlist =
+    ?jobs ?engine ?block ~epsilon netlist =
   let channel = Channel.create ~epsilon in
   let channels = Array.make (Netlist.node_count netlist) channel in
-  run ?jobs ?engine ~seed ~vectors ~input_probability ~channels
+  run ?jobs ?engine ?block ~seed ~vectors ~input_probability ~channels
     ~mean_epsilon:epsilon netlist
 
 let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
-    ?(input_probability = 0.5) ?jobs ?engine ~epsilon_of netlist =
+    ?(input_probability = 0.5) ?jobs ?engine ?block ~epsilon_of netlist =
   let n = Netlist.node_count netlist in
   let zero = Channel.create ~epsilon:0. in
   let channels = Array.make n zero in
@@ -269,8 +308,8 @@ let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
         incr count
       end);
   let mean_epsilon = if !count = 0 then 0. else !sum /. float_of_int !count in
-  run ?jobs ?engine ~seed ~vectors ~input_probability ~channels ~mean_epsilon
-    netlist
+  run ?jobs ?engine ?block ~seed ~vectors ~input_probability ~channels
+    ~mean_epsilon netlist
 
 let output_reliability r = 1. -. r.any_output_error
 
@@ -291,28 +330,28 @@ type grid_counts = {
   g_any : int array;
 }
 
-(* One shard of a batched grid run: [lanes] noise replicas coupled by
-   common random numbers ([Compiled.exec_noisy_words_batch]) plus a
-   golden pair that doubles as the ε = 0 lanes' statistics. Stream
-   discipline: every word consumes exactly [draws_per_word] draws
-   whatever the lane set — the two noise segments are 64 draws per noisy
-   gate whether executed or jumped over ([lanes = 0]) — so shards jump
-   straight to [first_word], and adaptive freezing (which shrinks
-   [lanes] between blocks) never shifts the stream. The per-word draw
-   order (inputs_a, noise_a, inputs_b, noise_b) matches
-   [run_shard_compiled], so each ε ≠ 1/2 lane replays a per-point run
-   bit-for-bit. *)
+(* One shard of a batched grid run: the fused blocked grid kernel
+   ([Compiled.run_noisy_grid_words]) simulates [lanes] noise replicas
+   coupled by common random numbers plus a golden pair that doubles as
+   the ε = 0 lanes' statistics. Stream discipline: every word consumes
+   exactly [draws_per_word] draws whatever the lane set — the two noise
+   segments are 64 draws per noisy gate whether injected or merely
+   accounted for ([lanes = 0]) — so shards jump straight to
+   [first_word], and adaptive freezing (which shrinks [lanes] between
+   blocks) never shifts the stream. The per-word draw layout (inputs_a,
+   noise_a, inputs_b, noise_b) matches [run_shard_blocked], so each
+   ε ≠ 1/2 lane replays a per-point run bit-for-bit. *)
 let run_grid_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
-    ~thresholds ~lanes ~need0 c =
+    ~grid ~need0 c =
   let rng = Prng.create ~seed in
   Prng.jump rng ~draws:(first_word * draws_per_word);
   let n = Compiled.node_count c in
   let out_n = Array.length (Compiled.output_ids c) in
-  let noise_draws = 64 * Compiled.noisy_count c in
-  let golden_a = Compiled.create_values c in
-  let golden_b = Compiled.create_values c in
-  let na = Array.init lanes (fun _ -> Compiled.create_values c) in
-  let nb = Array.init lanes (fun _ -> Compiled.create_values c) in
+  let lanes = Compiled.grid_lanes grid in
+  let golden_a = Compiled.create_values_blocked c in
+  let golden_b = Compiled.create_values_blocked c in
+  let na = Array.init lanes (fun _ -> Compiled.create_values_blocked c) in
+  let nb = Array.init lanes (fun _ -> Compiled.create_values_blocked c) in
   let dim0 = if need0 then n else 0 in
   let ones0 = Array.make dim0 0 in
   let toggles0 = Array.make dim0 0 in
@@ -320,38 +359,9 @@ let run_grid_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
   let toggles = Array.init lanes (fun _ -> Array.make n 0) in
   let out_errors = Array.init lanes (fun _ -> Array.make out_n 0) in
   let any = Array.make lanes 0 in
-  for _ = 1 to words do
-    Compiled.draw_input_words c rng ~input_probability ~values:golden_a;
-    Compiled.exec_words c ~values:golden_a;
-    if lanes = 0 then Prng.jump rng ~draws:noise_draws
-    else begin
-      for k = 0 to lanes - 1 do
-        Compiled.copy_input_words c ~src:golden_a ~dst:na.(k)
-      done;
-      Compiled.exec_noisy_words_batch c ~thresholds ~lanes ~rng ~values:na
-    end;
-    Compiled.draw_input_words c rng ~input_probability ~values:golden_b;
-    if need0 then Compiled.exec_words c ~values:golden_b;
-    if lanes = 0 then Prng.jump rng ~draws:noise_draws
-    else begin
-      for k = 0 to lanes - 1 do
-        Compiled.copy_input_words c ~src:golden_b ~dst:nb.(k)
-      done;
-      Compiled.exec_noisy_words_batch c ~thresholds ~lanes ~rng ~values:nb
-    end;
-    if need0 then begin
-      Compiled.add_ones_counts c ~values:golden_a ~into:ones0;
-      Compiled.add_toggle_counts c ~a:golden_a ~b:golden_b ~into:toggles0
-    end;
-    for k = 0 to lanes - 1 do
-      Compiled.add_ones_counts c ~values:na.(k) ~into:ones.(k);
-      Compiled.add_toggle_counts c ~a:na.(k) ~b:nb.(k) ~into:toggles.(k);
-      any.(k) <-
-        any.(k)
-        + Compiled.add_output_error_counts c ~golden:golden_a ~noisy:na.(k)
-            ~into:out_errors.(k)
-    done
-  done;
+  Compiled.run_noisy_grid_words c ~grid ~rng ~input_probability ~words ~need0
+    ~golden_a ~golden_b ~na ~nb ~ones0 ~toggles0 ~ones ~toggles ~out_errors
+    ~any;
   {
     g_ones0 = ones0;
     g_toggles0 = toggles0;
@@ -369,10 +379,11 @@ let run_grid_shard ~seed ~first_word ~words ~draws_per_word ~input_probability
    every job count. *)
 let adaptive_block_words = 16
 
-let run_grid ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons netlist =
+let run_grid ?block ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons
+    netlist =
   let k = Array.length epsilons in
   let words_total = Nano_util.Math_ext.ceil_div vectors 64 in
-  let c = Compiled.of_netlist netlist in
+  let c = Compiled.of_netlist ?block netlist in
   let n = Compiled.node_count c in
   let out_n = List.length (Netlist.outputs netlist) in
   let sim_idx =
@@ -406,19 +417,17 @@ let run_grid ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons netlist =
     let act = !active in
     let nact = Array.length act in
     let bw = min block_words (words_total - !words_done) in
-    let thresholds =
-      if nact = 0 then Bytes.empty
+    let grid =
+      if nact = 0 then Compiled.empty_grid_pack
       else
-        Compiled.pack_epsilons_batch c
-          (Array.map (fun p -> epsilons.(sim_idx.(p))) act)
+        Compiled.pack_grid c (Array.map (fun p -> epsilons.(sim_idx.(p))) act)
     in
     let first = !words_done in
     let shards =
       Par.map ~jobs
         (fun (lo, hi) ->
           run_grid_shard ~seed ~first_word:(first + lo) ~words:(hi - lo)
-            ~draws_per_word:dpw ~input_probability ~thresholds ~lanes:nact
-            ~need0 c)
+            ~draws_per_word:dpw ~input_probability ~grid ~need0 c)
         (Par.ranges ~jobs bw)
     in
     Array.iter
@@ -484,7 +493,7 @@ let run_grid ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons netlist =
           ~toggles:toggles0 ~out_errors:(Array.make out_n 0) ~any_errors:0)
 
 let profile_grid ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
-    ?(jobs = 1) ?(mode = Fixed) ~epsilons netlist =
+    ?(jobs = 1) ?(mode = Fixed) ?block ~epsilons netlist =
   if jobs < 1 then invalid_arg "Noisy_sim.profile_grid: jobs must be >= 1";
   Array.iter
     (fun e ->
@@ -504,9 +513,12 @@ let profile_grid ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
        domain: no pool spin-up, and bit-identity with {!simulate} holds
        by construction. *)
     [|
-      simulate ~seed ~vectors ~input_probability ~jobs:1
+      simulate ~seed ~vectors ~input_probability ~jobs:1 ?block
         ~epsilon:epsilons.(0) netlist;
     |]
   | 1 ->
-    run_grid ~seed ~vectors ~input_probability ~jobs:1 ~mode ~epsilons netlist
-  | _ -> run_grid ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons netlist
+    run_grid ?block ~seed ~vectors ~input_probability ~jobs:1 ~mode ~epsilons
+      netlist
+  | _ ->
+    run_grid ?block ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons
+      netlist

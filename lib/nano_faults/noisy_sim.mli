@@ -6,15 +6,19 @@
     buffers are assumed error-free, matching the paper's device model
     where interconnect errors are lumped into device errors. *)
 
-type engine = [ `Compiled | `Interp ]
+type engine = [ `Compiled | `CompiledWords | `Interp ]
 (** Which evaluation kernel runs the Monte-Carlo word loop. [`Compiled]
     (the default) lowers the netlist once through
-    {!Nano_netlist.Compiled} and runs an allocation-free interpreter
-    over packed buffers; [`Interp] retains the historical walk over
-    [Netlist.iter] / [Gate.eval_word]. The two consume the PRNG stream
-    in exactly the same order and produce bit-identical results — the
-    interpretive engine survives only as an independent reference for
-    differential tests and the interp-vs-compiled benchmark series. *)
+    {!Nano_netlist.Compiled} and runs the BLOCKED wide-word kernel:
+    blocks of [block_width] words per gate visit with evaluation, noise
+    injection and counter accumulation fused into one level-ordered
+    sweep ({!Nano_netlist.Compiled.run_noisy_words}). [`CompiledWords]
+    is the word-at-a-time compiled interpreter it replaced;
+    [`Interp] retains the historical walk over [Netlist.iter] /
+    [Gate.eval_word]. All three consume the PRNG stream in exactly the
+    same per-word order and produce bit-identical results — the slower
+    engines survive as independent references for differential tests
+    and the benchmark series. *)
 
 type result = {
   epsilon : float;
@@ -39,6 +43,7 @@ val simulate :
   ?input_probability:float ->
   ?jobs:int ->
   ?engine:engine ->
+  ?block:int ->
   epsilon:float ->
   Nano_netlist.Netlist.t ->
   result
@@ -49,7 +54,12 @@ val simulate :
     seed generator to its segment of the sequential PRNG stream
     ({!Nano_util.Prng.jump}), so the result is bit-identical for every
     job count — and identical to the historical single-threaded
-    simulation. *)
+    simulation.
+
+    [block] selects the blocked engine's words-per-gate-visit width
+    (default {!Nano_netlist.Compiled.default_block_width}, i.e. 8 or
+    the [NANOBOUND_BLOCK_WIDTH] environment override). Results are
+    bit-identical at every width; the knob only moves throughput. *)
 
 val simulate_heterogeneous :
   ?seed:int ->
@@ -57,6 +67,7 @@ val simulate_heterogeneous :
   ?input_probability:float ->
   ?jobs:int ->
   ?engine:engine ->
+  ?block:int ->
   epsilon_of:(Nano_netlist.Netlist.node -> float) ->
   Nano_netlist.Netlist.t ->
   result
@@ -89,6 +100,7 @@ val profile_grid :
   ?input_probability:float ->
   ?jobs:int ->
   ?mode:mode ->
+  ?block:int ->
   epsilons:float array ->
   Nano_netlist.Netlist.t ->
   result array

@@ -19,15 +19,35 @@ type t
 
 (** {1 Lowering} *)
 
-val of_netlist : Netlist.t -> t
-(** Compiled form of the netlist, memoized per physical [Netlist.t]
-    (weak ephemeron cache, safe to call from any domain): repeated calls
-    for the same netlist return the same compiled program without
-    re-lowering. *)
+val of_netlist : ?block:int -> Netlist.t -> t
+(** Compiled form of the netlist, memoized per physical
+    [(Netlist.t, block width)] pair (weak ephemeron cache keyed on the
+    netlist, one entry per width, safe to call from any domain):
+    repeated calls for the same netlist and width return the same
+    compiled program without re-lowering, and mixed-width callers
+    neither thrash the cache nor receive a layout they did not ask for.
+    [block] is the blocked engine's words-per-gate-visit width in
+    [[1, 16]], defaulting to {!default_block_width}. *)
 
-val compile : Netlist.t -> t
+val compile : ?block:int -> Netlist.t -> t
 (** Always lowers afresh, bypassing the memo table. Prefer
     {!of_netlist}. *)
+
+val default_block_width : unit -> int
+(** The block width {!of_netlist} uses when none is given: 8 words
+    (512 effective lanes), overridable via the [NANOBOUND_BLOCK_WIDTH]
+    environment variable (clamped to [[1, 16]]; read once per
+    process). *)
+
+val block_width : t -> int
+(** The width this program was compiled for. *)
+
+val cached_block_widths : unit -> int list
+(** Sorted, deduplicated block widths compiled since process start
+    (surfaced by the evaluation service's [stats] request under
+    [compiled_programs]). Like {!memo_stats} this is process-lifetime
+    accounting: widths remain listed even after their programs die with
+    their netlists or {!clear_cache}. *)
 
 val clear_cache : unit -> unit
 (** Drop every memoized compiled program. The cache is keyed weakly, so
@@ -178,3 +198,176 @@ val exec_step : t -> src:Bytes.t -> dst:Bytes.t -> unit
 (** One synchronous unit-delay step: every gate reads its fanins'
     values from [src] and writes to [dst]; input nodes copy through.
     [src] and [dst] must be distinct buffers. *)
+
+(** {1 Blocked wide-word engine}
+
+    The high-throughput engine: every gate visit processes a block of
+    [block_width] words (256/512 effective vector lanes at widths 4/8),
+    amortizing opcode dispatch and fanin indexing, and the noisy
+    Monte-Carlo passes fuse evaluation, noise injection and counter
+    accumulation into ONE sweep over a LEVEL-ordered re-sequencing of
+    the program, walked in level-aligned cache segments.
+
+    Blocked buffers are indexed by schedule POSITION, not node id: word
+    [j] of the node at position [p] lives at byte [8 * (p*block + j)].
+    Use {!get_word_blocked}/{!set_word_blocked}/{!blit_values_blocked}
+    for id-addressed access.
+
+    Bit-identity: the blocked engine consumes the canonical PRNG stream
+    POSITIONALLY — each gate's draws sit at fixed offsets derived from
+    the ascending-node-id layout (inputs_a, noise_a, inputs_b, noise_b
+    per word), primitives synthesize generator states in O(1) without
+    mutating the generator, and one jump per block advances it — so
+    counters are bit-identical to the word-at-a-time engine at ANY
+    block width, any ragged tail, and any shard count. *)
+
+val create_values_blocked : t -> Bytes.t
+(** A zeroed blocked buffer of [8 * node_count * block_width] bytes. *)
+
+val get_word_blocked : t -> values:Bytes.t -> id:int -> word:int -> int64
+(** Word [word] of node [id] in a blocked buffer. Bounds-checked. *)
+
+val set_word_blocked : t -> values:Bytes.t -> id:int -> word:int -> int64 -> unit
+
+val blit_values_blocked :
+  t -> values:Bytes.t -> word:int -> into:int64 array -> unit
+(** Copy word column [word] out into an id-indexed [int64 array] of
+    length [node_count] (compatibility path, not for hot loops). *)
+
+val copy_input_words_blocked : t -> src:Bytes.t -> dst:Bytes.t -> unit
+(** Copy every primary input's whole block of words from [src] to
+    [dst]. *)
+
+val draw_input_words_blocked :
+  t ->
+  Nano_util.Prng.t ->
+  offset:int ->
+  stride:int ->
+  width:int ->
+  input_probability:float ->
+  values:Bytes.t ->
+  unit
+(** Positioned blocked input stimulus: input [i]'s word [j < width]
+    consumes the [Prng.draws_per_word] draws at stream offset
+    [offset + i*draws_per_word + j*stride] ahead of the generator —
+    the per-word declaration order transposed onto the block — without
+    mutating the generator (the caller jumps once per block). Requires
+    [1 <= width <= block_width]. *)
+
+val exec_words_blocked : t -> width:int -> values:Bytes.t -> unit
+(** Blocked {!exec_words}: evaluate every node over [width] words in
+    place, in level order. Input positions must already hold stimulus. *)
+
+val exec_step_blocked : t -> width:int -> src:Bytes.t -> dst:Bytes.t -> unit
+(** Blocked {!exec_step}: one synchronous unit-delay step over [width]
+    words; [src] and [dst] must be distinct blocked buffers. *)
+
+val add_ones_counts_blocked :
+  t -> width:int -> values:Bytes.t -> into:int array -> unit
+(** Blocked {!add_ones_counts} over the first [width] words; [into] is
+    id-indexed as before. *)
+
+val add_toggle_counts_blocked :
+  t -> width:int -> a:Bytes.t -> b:Bytes.t -> into:int array -> unit
+
+val add_output_error_counts_blocked :
+  t -> width:int -> golden:Bytes.t -> noisy:Bytes.t -> into:int array -> int
+(** Blocked {!add_output_error_counts}: per-output disagreement counts
+    over [width] words; returns the number of lanes (across all [width]
+    words) where at least one output disagrees. *)
+
+(** {2 Fused noisy sweeps} *)
+
+type noise_pack
+(** Per-node epsilons lowered for the fused per-point sweep: integer
+    thresholds ({!Nano_util.Prng.threshold_bits}) plus each noisy gate's
+    canonical draw offset, both indexed by schedule position. *)
+
+val pack_noise : t -> float array -> noise_pack
+(** [pack_noise c eps] with one epsilon per node id (entries for
+    non-noisy nodes ignored), each in [[0, 1/2]] — the blocked
+    counterpart of {!pack_epsilons}. Pack once per run; immutable by
+    convention, shareable across domains. Raises [Invalid_argument]
+    naming the offending node otherwise. *)
+
+val noise_draws_per_word : noise_pack -> int
+(** Total noise draws one simulated word consumes under this pack
+    (64 per noisy gate, except 1 where [epsilon = 1/2]) — the constant
+    callers need to compute draws-per-word for stream sharding. *)
+
+val run_noisy_words :
+  t ->
+  noise:noise_pack ->
+  rng:Nano_util.Prng.t ->
+  input_probability:float ->
+  words:int ->
+  golden:Bytes.t ->
+  na:Bytes.t ->
+  nb:Bytes.t ->
+  ones:int array ->
+  toggles:int array ->
+  out_errors:int array ->
+  int
+(** The fused per-point Monte-Carlo kernel: simulates [words] 64-vector
+    words in blocks of [block_width], computing per block the golden
+    evaluation, two noisy replicas (noise_a on the golden stimulus,
+    noise_b on fresh stimulus) and ALL counters — ones into
+    [ones.(id)], toggles into [toggles.(id)], per-output errors into
+    [out_errors.(i)] — in one level-ordered sweep per buffer, segment by
+    segment. Returns the any-output-error lane count (the caller adds it
+    to its accumulator). [golden]/[na]/[nb] are caller-owned blocked
+    buffers ({!create_values_blocked}), reused across blocks so the loop
+    allocates nothing. Counters are bit-identical to the
+    word-at-a-time sequence draw-inputs / exec / copy-inputs /
+    exec-noisy / draw-inputs / exec-noisy / count at the same seed,
+    for any block width. Advances [rng] by exactly
+    [words * (2 * (inputs*ipw + noise_draws_per_word))] draws. *)
+
+type grid_pack
+(** A lane grid lowered for the fused multi-epsilon sweep: one row of
+    [lanes + 1] integer thresholds per noisy schedule position, word 0
+    the row maximum (early-out). *)
+
+val pack_grid : t -> float array -> grid_pack
+(** [pack_grid c eps] with one epsilon per lane, each in [[0, 1/2]]
+    (non-empty) — the blocked counterpart of {!pack_epsilons_batch}.
+    Raises [Invalid_argument] naming the offending lane otherwise. *)
+
+val grid_lanes : grid_pack -> int
+
+val empty_grid_pack : grid_pack
+(** The zero-lane pack: {!run_noisy_grid_words} with it computes only
+    the golden statistics while keeping stream accounting (64 draws per
+    noisy gate per noise segment) intact — the frozen-lanes /
+    all-epsilon-zero continuation path. *)
+
+val run_noisy_grid_words :
+  t ->
+  grid:grid_pack ->
+  rng:Nano_util.Prng.t ->
+  input_probability:float ->
+  words:int ->
+  need0:bool ->
+  golden_a:Bytes.t ->
+  golden_b:Bytes.t ->
+  na:Bytes.t array ->
+  nb:Bytes.t array ->
+  ones0:int array ->
+  toggles0:int array ->
+  ones:int array array ->
+  toggles:int array array ->
+  out_errors:int array array ->
+  any:int array ->
+  unit
+(** The fused grid kernel: blocked counterpart of the
+    {!exec_noisy_words_batch} shard loop. Simulates [words] words with
+    [grid_lanes grid] coupled noise replicas — ONE shared 64-uniform
+    draw per noisy gate thinned against all lane thresholds — plus the
+    golden pair, whose statistics go to [ones0]/[toggles0] when [need0]
+    (pass empty arrays otherwise). Per-lane counters land in
+    [ones.(k)]/[toggles.(k)]/[out_errors.(k)]/[any.(k)]. All buffers
+    are caller-owned blocked buffers; [na]/[nb] must carry one buffer
+    per lane. Draw consumption per word (64 per noisy gate per noise
+    segment, independent of lanes) matches the word-at-a-time grid
+    engine, so every lane is bit-identical to it — and to a per-point
+    run at that lane's epsilon when [epsilon <> 1/2]. *)

@@ -202,6 +202,14 @@ let prepare t ~deadline (env : Protocol.envelope) =
                         Json.Int memo.Nano_netlist.Compiled.memo_hits );
                       ( "memo_misses",
                         Json.Int memo.Nano_netlist.Compiled.memo_misses );
+                      ( "default_block_width",
+                        Json.Int (Nano_netlist.Compiled.default_block_width ())
+                      );
+                      ( "block_widths",
+                        Json.List
+                          (List.map
+                             (fun w -> Json.Int w)
+                             (Nano_netlist.Compiled.cached_block_widths ())) );
                     ] );
                 ( "lint_cache",
                   Json.Obj

@@ -37,15 +37,25 @@ let monte_carlo ?(seed = 0x5eed) ?(vectors = 4096) ?(input_probability = 0.5)
   let words = Nano_util.Math_ext.ceil_div vectors 64 in
   let n = Netlist.node_count netlist in
   let c = Compiled.of_netlist netlist in
+  let block = Compiled.block_width c in
   let ones = Array.make n 0 in
-  let values = Compiled.create_values c in
-  for _ = 1 to words do
-    (* [draw_input_words] draws one density word per input in
-       declaration order — the same stream the pre-compiled loop
-       consumed. *)
-    Compiled.draw_input_words c rng ~input_probability ~values;
-    Compiled.exec_words c ~values;
-    Compiled.add_ones_counts c ~values ~into:ones
+  let values = Compiled.create_values_blocked c in
+  (* Blocked sweep over the same stream the pre-compiled loop consumed:
+     word [j]'s input draws sit at [j * dpw], addressed positionally, so
+     the counters are bit-identical at any block width. *)
+  let dpw =
+    Netlist.input_count netlist
+    * Nano_util.Prng.draws_per_word ~p:input_probability
+  in
+  let done_words = ref 0 in
+  while !done_words < words do
+    let bw = min block (words - !done_words) in
+    Compiled.draw_input_words_blocked c rng ~offset:0 ~stride:dpw ~width:bw
+      ~input_probability ~values;
+    Compiled.exec_words_blocked c ~width:bw ~values;
+    Compiled.add_ones_counts_blocked c ~width:bw ~values ~into:ones;
+    Nano_util.Prng.jump rng ~draws:(bw * dpw);
+    done_words := !done_words + bw
   done;
   let total = float_of_int (words * 64) in
   let probs = Array.map (fun c -> float_of_int c /. total) ones in
@@ -101,15 +111,30 @@ let measured_toggle_rate ?(seed = 0x70661e) ?(pairs = 4096)
   let words = Nano_util.Math_ext.ceil_div pairs 64 in
   let n = Netlist.node_count netlist in
   let c = Compiled.of_netlist netlist in
+  let block = Compiled.block_width c in
   let toggles = Array.make n 0 in
-  let values_a = Compiled.create_values c in
-  let values_b = Compiled.create_values c in
-  for _ = 1 to words do
-    Compiled.draw_input_words c rng ~input_probability ~values:values_a;
-    Compiled.exec_words c ~values:values_a;
-    Compiled.draw_input_words c rng ~input_probability ~values:values_b;
-    Compiled.exec_words c ~values:values_b;
-    Compiled.add_toggle_counts c ~a:values_a ~b:values_b ~into:toggles
+  let values_a = Compiled.create_values_blocked c in
+  let values_b = Compiled.create_values_blocked c in
+  (* Per-word layout: inputs_a then inputs_b, exactly as the
+     word-at-a-time loop drew them. *)
+  let half =
+    Netlist.input_count netlist
+    * Nano_util.Prng.draws_per_word ~p:input_probability
+  in
+  let dpw = 2 * half in
+  let done_words = ref 0 in
+  while !done_words < words do
+    let bw = min block (words - !done_words) in
+    Compiled.draw_input_words_blocked c rng ~offset:0 ~stride:dpw ~width:bw
+      ~input_probability ~values:values_a;
+    Compiled.exec_words_blocked c ~width:bw ~values:values_a;
+    Compiled.draw_input_words_blocked c rng ~offset:half ~stride:dpw
+      ~width:bw ~input_probability ~values:values_b;
+    Compiled.exec_words_blocked c ~width:bw ~values:values_b;
+    Compiled.add_toggle_counts_blocked c ~width:bw ~a:values_a ~b:values_b
+      ~into:toggles;
+    Nano_util.Prng.jump rng ~draws:(bw * dpw);
+    done_words := !done_words + bw
   done;
   let total = float_of_int (words * 64) in
   Array.map (fun c -> float_of_int c /. total) toggles

@@ -7,10 +7,16 @@ let eval_words_into netlist ~input_words ~values =
   if Array.length values <> Netlist.node_count netlist then
     invalid_arg "Bitsim.eval_words_into: wrong values length";
   let c = Compiled.of_netlist netlist in
-  let buf = Compiled.create_values c in
-  Compiled.set_input_words c ~values:buf input_words;
-  Compiled.exec_words c ~values:buf;
-  Compiled.blit_values c ~values:buf ~into:values
+  (* One explicit stimulus word: drive word 0 of a blocked buffer and
+     evaluate at width 1 — same results as a full-width visit, without
+     touching the unused tail words. *)
+  let buf = Compiled.create_values_blocked c in
+  let ids = Compiled.input_ids c in
+  Array.iteri
+    (fun i w -> Compiled.set_word_blocked c ~values:buf ~id:ids.(i) ~word:0 w)
+    input_words;
+  Compiled.exec_words_blocked c ~width:1 ~values:buf;
+  Compiled.blit_values_blocked c ~values:buf ~word:0 ~into:values
 
 let eval_words netlist input_words =
   let values = Array.make (Netlist.node_count netlist) 0L in

@@ -3,10 +3,13 @@ module Compiled = Nano_netlist.Compiled
 module Par = Nano_util.Par
 module Prng = Nano_util.Prng
 
-(* Bit-parallel flip evaluation: lane 0 carries the base assignment and
-   lane j (1 <= j <= 63) the assignment with one input flipped, so one
-   netlist evaluation measures up to 63 single-input flips. [values] is
-   a {!Compiled.create_values} buffer owned by the caller, so the
+(* Bit-parallel flip evaluation: within each 64-lane word, lane 0
+   carries the base assignment and lane j (1 <= j <= 63) the assignment
+   with one input flipped, so one word measures up to 63 single-input
+   flips — and the blocked kernel evaluates up to [block_width] such
+   chunk words per gate visit, so wide-input circuits settle all their
+   flip chunks in one sweep. [values] is a
+   {!Compiled.create_values_blocked} buffer owned by the caller, so the
    per-assignment loops of {!exact} and {!sampled} reuse one buffer for
    the whole shard instead of allocating per assignment. *)
 let at_assignment_in c ~values bits =
@@ -16,50 +19,60 @@ let at_assignment_in c ~values bits =
     invalid_arg "Sensitivity.at_assignment: wrong number of input bits";
   let out_ids = Compiled.output_ids c in
   let n_out = Array.length out_ids in
+  let block = Compiled.block_width c in
+  let nchunks = (n + 62) / 63 in
   let changed = ref 0 in
-  let chunk_start = ref 0 in
-  while !chunk_start < n do
-    let flips = min 63 (n - !chunk_start) in
-    for i = 0 to n - 1 do
-      let base = if bits.(i) then -1L else 0L in
-      let local = i - !chunk_start in
-      let w =
-        if local >= 0 && local < flips then
-          (* Flip this input in its dedicated lane (local + 1). *)
-          Int64.logxor base (Int64.shift_left 1L (local + 1))
-        else base
-      in
-      Compiled.set_word values input_ids.(i) w
+  let first_chunk = ref 0 in
+  while !first_chunk < nchunks do
+    let bw = min block (nchunks - !first_chunk) in
+    for j = 0 to bw - 1 do
+      let chunk_start = (!first_chunk + j) * 63 in
+      let flips = min 63 (n - chunk_start) in
+      for i = 0 to n - 1 do
+        let base = if bits.(i) then -1L else 0L in
+        let local = i - chunk_start in
+        let w =
+          if local >= 0 && local < flips then
+            (* Flip this input in its dedicated lane (local + 1). *)
+            Int64.logxor base (Int64.shift_left 1L (local + 1))
+          else base
+        in
+        Compiled.set_word_blocked c ~values ~id:input_ids.(i) ~word:j w
+      done
     done;
-    Compiled.exec_words c ~values;
-    (* A lane differs from lane 0 when some output bit differs. *)
-    let diff = ref 0L in
-    for i = 0 to n_out - 1 do
-      let w = Compiled.get_word values out_ids.(i) in
-      let base_bit = Int64.logand w 1L in
-      (* Spread lane 0's bit across all lanes and XOR. *)
-      let spread = Int64.neg base_bit (* 0 -> 0L, 1 -> all ones *) in
-      diff := Int64.logor !diff (Int64.logxor w spread)
+    Compiled.exec_words_blocked c ~width:bw ~values;
+    for j = 0 to bw - 1 do
+      let chunk_start = (!first_chunk + j) * 63 in
+      let flips = min 63 (n - chunk_start) in
+      (* A lane differs from lane 0 when some output bit differs. *)
+      let diff = ref 0L in
+      for i = 0 to n_out - 1 do
+        let w = Compiled.get_word_blocked c ~values ~id:out_ids.(i) ~word:j in
+        let base_bit = Int64.logand w 1L in
+        (* Spread lane 0's bit across all lanes and XOR. *)
+        let spread = Int64.neg base_bit (* 0 -> 0L, 1 -> all ones *) in
+        diff := Int64.logor !diff (Int64.logxor w spread)
+      done;
+      (* Each input lives in exactly one chunk, so counting here equals
+         counting distinct changed inputs. *)
+      for l = 0 to flips - 1 do
+        if Nano_util.Bits.get !diff (l + 1) then incr changed
+      done
     done;
-    (* Each input lives in exactly one chunk, so counting here equals
-       counting distinct changed inputs. *)
-    for j = 0 to flips - 1 do
-      if Nano_util.Bits.get !diff (j + 1) then incr changed
-    done;
-    chunk_start := !chunk_start + flips
+    first_chunk := !first_chunk + bw
   done;
   !changed
 
 let at_assignment netlist bits =
   let c = Compiled.of_netlist netlist in
-  at_assignment_in c ~values:(Compiled.create_values c) bits
+  at_assignment_in c ~values:(Compiled.create_values_blocked c) bits
 
 (* Maximum of [at_assignment] over the assignments encoded by integers
    [lo, hi); each shard allocates its own evaluation buffer, so shards
    share nothing but the read-only compiled program. *)
 let max_over_range c n (lo, hi) =
   let bits = Array.make n false in
-  let values = Compiled.create_values c in
+  let values = Compiled.create_values_blocked c in
   let best = ref 0 in
   for a = lo to hi - 1 do
     for i = 0 to n - 1 do
@@ -94,7 +107,7 @@ let sampled ?(seed = 0x5e15) ?(samples = 2048) ?(jobs = 1) netlist =
     let rng = Prng.create ~seed in
     Prng.jump rng ~draws:(lo * n);
     let bits = Array.make n false in
-    let values = Compiled.create_values c in
+    let values = Compiled.create_values_blocked c in
     let best = ref 0 in
     for _ = lo to hi - 1 do
       for i = 0 to n - 1 do

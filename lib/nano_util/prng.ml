@@ -170,6 +170,182 @@ let xor_words_with_thresholds t ~thr ~thr_pos ~lanes (dst : Bytes.t array) pos =
       done
   done
 
+(* ------------------------------------------------------------------ *)
+(* Positioned blocked draws.                                            *)
+(*                                                                      *)
+(* The blocked simulation kernel (Nano_netlist.Compiled) interleaves    *)
+(* several 64-vector words per gate visit, while the PRNG discipline    *)
+(* demands that each word consume ITS OWN fixed segment of the          *)
+(* sequential stream in the canonical order. SplitMix64 makes the two   *)
+(* compatible at zero cost: the state after [d] draws is               *)
+(* [s0 + d * gamma], so a draw at any offset is one multiply-add away.  *)
+(* The primitives below read [t]'s state, synthesize the states of      *)
+(* several stream positions [offset, offset + stride, ...] as local     *)
+(* unboxed int64s, and never mutate [t] — the caller jumps the          *)
+(* generator past the block once, keeping draw accounting exact.        *)
+(*                                                                      *)
+(* Flip decisions compare the 53 uniform bits against an INTEGER        *)
+(* threshold instead of converting every draw to a float:               *)
+(* [u * 2^-53 < p  <=>  u < ceil(p * 2^53)] exactly, because [u] is an  *)
+(* integer below 2^53 and both [Int64.to_float u *. 2^-53] and          *)
+(* [p *. 2^53] are exact (power-of-two scalings of exactly              *)
+(* representable values). The branch-free accumulate                    *)
+(* [(u - T) >>> 63] keeps the 64-draw loop free of unpredictable        *)
+(* branches; the operands stay below 2^53 so the subtraction cannot     *)
+(* wrap. These paths are bit-identical to the [float t < p] rule the    *)
+(* per-word primitives above apply.                                     *)
+(* ------------------------------------------------------------------ *)
+
+let two53 = 9007199254740992.
+
+let threshold_bits ~p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Nano_util.Prng.threshold_bits: p must lie in [0, 1]";
+  Int64.of_float (Float.ceil (p *. two53))
+
+let[@inline] state_at t offset =
+  Int64.add (get64 t.buf state_pos)
+    (Int64.mul (Int64.of_int offset) golden_gamma)
+
+let xor_noise_blocked_ref t ~offset ~stride ~width ~thr ~thr_pos dst ~pos =
+  (* The threshold travels through a byte buffer, not an [int64]
+     argument: loaded from the caller's packed thresholds it would need
+     a fresh box at this (non-inlinable under [-opaque]) call boundary,
+     and the fused simulation loops must stay allocation-free. *)
+  let tbits = get64 thr thr_pos in
+  let gstride = Int64.mul (Int64.of_int stride) golden_gamma in
+  let base = ref (state_at t offset) in
+  for j = 0 to width - 1 do
+    let s = ref !base in
+    let acc = ref 0L in
+    for i = 0 to 63 do
+      s := Int64.add !s golden_gamma;
+      let u = Int64.shift_right_logical (mix !s) 11 in
+      acc :=
+        Int64.logor !acc
+          (Int64.shift_left
+             (Int64.shift_right_logical (Int64.sub u tbits) 63)
+             i)
+    done;
+    let p = pos + (j lsl 3) in
+    set64 dst p (Int64.logxor (get64 dst p) !acc);
+    base := Int64.add !base gstride
+  done
+
+let xor_bits64_blocked t ~offset ~stride ~width dst ~pos =
+  let gstride = Int64.mul (Int64.of_int stride) golden_gamma in
+  let base = ref (state_at t offset) in
+  for j = 0 to width - 1 do
+    let p = pos + (j lsl 3) in
+    set64 dst p (Int64.logxor (get64 dst p) (mix (Int64.add !base golden_gamma)));
+    base := Int64.add !base gstride
+  done
+
+let xor_noise_lanes_blocked_ref t ~offset ~stride ~width ~thr ~thr_pos ~lanes
+    (dst : Bytes.t array) ~pos =
+  if lanes < 1 then
+    invalid_arg "Nano_util.Prng.xor_noise_lanes_blocked: lanes must be >= 1";
+  if Array.length dst < lanes then
+    invalid_arg
+      "Nano_util.Prng.xor_noise_lanes_blocked: fewer destination buffers than \
+       lanes";
+  let tmax = get64 thr thr_pos in
+  let gstride = Int64.mul (Int64.of_int stride) golden_gamma in
+  let base = ref (state_at t offset) in
+  for j = 0 to width - 1 do
+    let s = ref !base in
+    let q = pos + (j lsl 3) in
+    for i = 0 to 63 do
+      s := Int64.add !s golden_gamma;
+      let u = Int64.shift_right_logical (mix !s) 11 in
+      (* Early-out against the row maximum: at small thresholds the
+         common case is that no lane flips, and both operands are below
+         2^53, so the wrapped [to_int] difference carries the sign. *)
+      if Int64.to_int (Int64.sub u tmax) < 0 then
+        for k = 0 to lanes - 1 do
+          if
+            Int64.to_int (Int64.sub u (get64 thr (thr_pos + ((k + 1) lsl 3))))
+            < 0
+          then begin
+            let b = Array.unsafe_get dst k in
+            set64 b q (Int64.logxor (get64 b q) (Int64.shift_left 1L i))
+          end
+        done
+    done;
+    base := Int64.add !base gstride
+  done
+
+(* The two noise kernels above are the reference implementations; the
+   production entry points below call C stubs (prng_stubs.c) that
+   compute the identical draws 4 or 8 at a time with SIMD where the CPU
+   has it. The positioned-draw scheme (states form an arithmetic
+   progression, nothing mutates [t]) is what makes the draws data-
+   parallel; differential tests pin the stubs to the reference. *)
+
+external xor_noise_blocked_stub :
+  Bytes.t -> int -> int -> int -> Bytes.t -> int -> Bytes.t -> int -> unit
+  = "nano_prng_xor_noise_blocked_bytes" "nano_prng_xor_noise_blocked"
+[@@noalloc]
+
+external xor_noise_lanes_blocked_stub :
+  Bytes.t ->
+  int ->
+  int ->
+  int ->
+  Bytes.t ->
+  int ->
+  int ->
+  Bytes.t array ->
+  int ->
+  unit
+  = "nano_prng_xor_noise_lanes_blocked_bytes" "nano_prng_xor_noise_lanes_blocked"
+[@@noalloc]
+
+external simd_width : unit -> int = "nano_prng_simd_width" [@@noalloc]
+
+let xor_noise_blocked t ~offset ~stride ~width ~thr ~thr_pos dst ~pos =
+  xor_noise_blocked_stub t.buf offset stride width thr thr_pos dst pos
+
+let xor_noise_lanes_blocked t ~offset ~stride ~width ~thr ~thr_pos ~lanes
+    (dst : Bytes.t array) ~pos =
+  if lanes < 1 then
+    invalid_arg "Nano_util.Prng.xor_noise_lanes_blocked: lanes must be >= 1";
+  if Array.length dst < lanes then
+    invalid_arg
+      "Nano_util.Prng.xor_noise_lanes_blocked: fewer destination buffers than \
+       lanes";
+  xor_noise_lanes_blocked_stub t.buf offset stride width thr thr_pos lanes dst
+    pos
+
+let store_words_with_density_at t ~offset ~stride ~width ~p dst ~pos
+    ~pos_stride =
+  check_density p;
+  let gstride = Int64.mul (Int64.of_int stride) golden_gamma in
+  let base = ref (state_at t offset) in
+  if p = 0.5 then
+    for j = 0 to width - 1 do
+      set64 dst (pos + (j * pos_stride)) (mix (Int64.add !base golden_gamma));
+      base := Int64.add !base gstride
+    done
+  else begin
+    let tbits = Int64.of_float (Float.ceil (p *. two53)) in
+    for j = 0 to width - 1 do
+      let s = ref !base in
+      let acc = ref 0L in
+      for i = 0 to 63 do
+        s := Int64.add !s golden_gamma;
+        let u = Int64.shift_right_logical (mix !s) 11 in
+        acc :=
+          Int64.logor !acc
+            (Int64.shift_left
+               (Int64.shift_right_logical (Int64.sub u tbits) 63)
+               i)
+      done;
+      set64 dst (pos + (j * pos_stride)) !acc;
+      base := Int64.add !base gstride
+    done
+  end
+
 let word_with_density t ~p =
   store_word_with_density t ~p t.buf scratch_pos;
   get64 t.buf scratch_pos

@@ -98,6 +98,125 @@ val xor_words_with_thresholds :
     lane set without shifting the stream. Allocation-free; offsets are
     unchecked as in {!store_word_with_density}. *)
 
+(** {1 Positioned blocked draws}
+
+    Primitives for the blocked wide-word simulation kernel. Each one
+    synthesizes the generator states [offset], [offset + stride],
+    [offset + 2*stride], ... draws ahead of [t]'s current state (an O(1)
+    multiply-add under SplitMix64) and consumes one word-segment of the
+    canonical stream per synthesized state — WITHOUT mutating [t]. The
+    caller advances the generator past the whole block with one {!jump},
+    so draw accounting stays exact whatever the interleave. Flip
+    decisions use integer thresholds ({!threshold_bits}) and are
+    bit-identical to the [float t < p] rule of the per-word primitives.
+    Offsets into the byte buffers are unchecked, as in
+    {!store_word_with_density}. *)
+
+val threshold_bits : p:float -> int64
+(** [threshold_bits ~p] is [ceil (p * 2^53)] — the integer threshold [T]
+    such that a 53-bit uniform [u] satisfies [u * 2^-53 < p] exactly
+    when [u < T] (both scalings are exact, so the comparison reproduces
+    the float rule bit-for-bit). Requires [0. <= p <= 1.]. *)
+
+val xor_noise_blocked :
+  t ->
+  offset:int ->
+  stride:int ->
+  width:int ->
+  thr:Bytes.t ->
+  thr_pos:int ->
+  Bytes.t ->
+  pos:int ->
+  unit
+(** [xor_noise_blocked t ~offset ~stride ~width ~thr ~thr_pos dst ~pos]
+    XORs [width] density words into [dst] at byte offsets
+    [pos, pos + 8, ...]: word [j] is built from the 64 draws starting
+    [offset + j*stride] draws ahead of [t]'s state, thresholded at the
+    {!threshold_bits} value read from [thr] at byte offset [thr_pos] —
+    exactly the flips {!xor_word_with_density}'s [p <> 0.5] path would
+    make on that stream segment. The threshold travels through a byte
+    buffer for the same boxing reason as
+    {!xor_word_with_density_from}. Branch-free; does not mutate [t]. *)
+
+val xor_bits64_blocked :
+  t -> offset:int -> stride:int -> width:int -> Bytes.t -> pos:int -> unit
+(** The [p = 0.5] counterpart of {!xor_noise_blocked}: word [j] is the
+    single raw draw at stream position [offset + j*stride] (one draw per
+    word, matching [draws_per_word ~p:0.5 = 1]). *)
+
+val xor_noise_lanes_blocked :
+  t ->
+  offset:int ->
+  stride:int ->
+  width:int ->
+  thr:Bytes.t ->
+  thr_pos:int ->
+  lanes:int ->
+  Bytes.t array ->
+  pos:int ->
+  unit
+(** Blocked multi-lane variant of {!xor_words_with_thresholds} on
+    integer thresholds: for each word [j < width], draw that word's 64
+    uniforms from stream position [offset + j*stride] and, for each lane
+    [k], flip bit [i] of the word at byte offset [pos + 8*j] of
+    [dst.(k)] when the uniform falls below lane [k]'s threshold. [thr]
+    holds [lanes + 1] packed int64 thresholds at [thr_pos]: word 0 an
+    upper bound on the rest (the early-out), words 1..lanes the per-lane
+    values from {!threshold_bits}. One shared uniform per bit position
+    per word is the common-random-numbers coupling; each lane reproduces
+    {!xor_word_with_density}'s flips exactly. Does not mutate [t]. *)
+
+val xor_noise_blocked_ref :
+  t ->
+  offset:int ->
+  stride:int ->
+  width:int ->
+  thr:Bytes.t ->
+  thr_pos:int ->
+  Bytes.t ->
+  pos:int ->
+  unit
+(** Pure-OCaml reference implementation of {!xor_noise_blocked}. The
+    production function runs a C stub that computes the same draws 4/8
+    at a time with SIMD; this one exists so differential tests can pin
+    the stub to the canonical stream bit-for-bit. *)
+
+val xor_noise_lanes_blocked_ref :
+  t ->
+  offset:int ->
+  stride:int ->
+  width:int ->
+  thr:Bytes.t ->
+  thr_pos:int ->
+  lanes:int ->
+  Bytes.t array ->
+  pos:int ->
+  unit
+(** Pure-OCaml reference implementation of {!xor_noise_lanes_blocked};
+    same role as {!xor_noise_blocked_ref}. *)
+
+val simd_width : unit -> int
+(** Draws per SIMD step of the C noise kernels on this machine: 8
+    (AVX-512), 4 (AVX2) or 1 (portable scalar). Informational — results
+    are bit-identical on every path. *)
+
+val store_words_with_density_at :
+  t ->
+  offset:int ->
+  stride:int ->
+  width:int ->
+  p:float ->
+  Bytes.t ->
+  pos:int ->
+  pos_stride:int ->
+  unit
+(** [store_words_with_density_at t ~offset ~stride ~width ~p dst ~pos
+    ~pos_stride] stores [width] density-[p] words at byte offsets
+    [pos, pos + pos_stride, ...]: word [j] consumes the
+    [draws_per_word ~p] draws starting [offset + j*stride] ahead of
+    [t]'s state, producing exactly the word {!store_word_with_density}
+    would there. Does not mutate [t]. *)
+
 val draws_per_word : p:float -> int
 (** Number of {!bits64} calls one [word_with_density ~p] consumes (1 when
     [p = 0.5], 64 otherwise) — the constant needed to {!jump} over

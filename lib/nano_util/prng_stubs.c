@@ -1,0 +1,308 @@
+/* Batched SplitMix64 threshold draws for the blocked simulation kernel.
+ *
+ * These stubs compute EXACTLY the draws of the OCaml reference
+ * implementations in prng.ml (Prng.xor_noise_blocked_ref /
+ * Prng.xor_noise_lanes_blocked_ref): draw i of word j comes from
+ * SplitMix64 state  s0 + (offset + j*stride + i + 1) * gamma, mixed by
+ * the Steele-Lea-Flood finalizer, truncated to 53 bits, and flips bit i
+ * when it falls below the packed integer threshold (Prng.threshold_bits).
+ * Bit-identity with the OCaml path is enforced by differential tests, so
+ * every SIMD variant below must keep the integer semantics exact.
+ *
+ * The positioned-draw scheme is what makes this vectorizable at all:
+ * the 64 states of one word form an arithmetic progression, so 4 or 8
+ * draws can be mixed in independent SIMD lanes with no cross-draw
+ * dependency. Dispatch is resolved once at load time:
+ * AVX-512 (F+DQ: native 64-bit vector multiply, 8 draws/step) when the
+ * CPU has it, then AVX2 (emulated 64-bit multiply, 4 draws/step), then
+ * portable scalar C. Non-x86 builds compile the scalar path only.
+ */
+
+#include <stdint.h>
+#include <string.h>
+#include <caml/mlvalues.h>
+
+#define GAMMA UINT64_C(0x9E3779B97F4A7C15)
+#define MIX1 UINT64_C(0xBF58476D1CE4E5B9)
+#define MIX2 UINT64_C(0x94D049BB133111EB)
+
+static inline uint64_t mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * MIX1;
+  z = (z ^ (z >> 27)) * MIX2;
+  return z ^ (z >> 31);
+}
+
+static inline uint64_t load64(const unsigned char *p) {
+  uint64_t v;
+  memcpy(&v, p, 8);
+  return v;
+}
+
+static inline void store64(unsigned char *p, uint64_t v) {
+  memcpy(p, &v, 8);
+}
+
+/* ---------------- scalar paths ---------------- */
+
+/* Flip mask for one 64-lane word: bit i set iff draw at state
+ * base + (i+1)*gamma falls below t (both operands < 2^53). */
+static uint64_t noise_mask_scalar(uint64_t base, uint64_t t) {
+  uint64_t mask = 0, s = base;
+  for (int i = 0; i < 64; i++) {
+    s += GAMMA;
+    uint64_t u = mix64(s) >> 11;
+    mask |= (uint64_t)(u < t) << i;
+  }
+  return mask;
+}
+
+/* The 64 uniforms of one word, stored for the (rare) slow path of the
+ * multi-lane kernel. */
+static void noise_uniforms_scalar(uint64_t base, uint64_t *u) {
+  uint64_t s = base;
+  for (int i = 0; i < 64; i++) {
+    s += GAMMA;
+    u[i] = mix64(s) >> 11;
+  }
+}
+
+/* Bit mask of positions whose uniform is below tmax (the row maximum of
+ * a lane pack): the early-out filter of the multi-lane kernel. */
+static uint64_t noise_candidates_scalar(uint64_t base, uint64_t tmax,
+                                        uint64_t *u) {
+  noise_uniforms_scalar(base, u);
+  uint64_t mask = 0;
+  for (int i = 0; i < 64; i++) mask |= (uint64_t)(u[i] < tmax) << i;
+  return mask;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+
+/* ---------------- AVX-512 paths (F + DQ for vpmullq) ---------------- */
+
+__attribute__((target("avx512f,avx512dq"))) static inline __m512i
+mix64_x8(__m512i z) {
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 30)),
+                         _mm512_set1_epi64((int64_t)MIX1));
+  z = _mm512_mullo_epi64(_mm512_xor_si512(z, _mm512_srli_epi64(z, 27)),
+                         _mm512_set1_epi64((int64_t)MIX2));
+  return _mm512_xor_si512(z, _mm512_srli_epi64(z, 31));
+}
+
+__attribute__((target("avx512f,avx512dq"))) static uint64_t
+noise_mask_avx512(uint64_t base, uint64_t t) {
+  /* Draw octet k covers bit positions 8k..8k+7; lane l of the octet is
+   * the draw at base + (8k + l + 1) * gamma. */
+  __m512i s = _mm512_add_epi64(
+      _mm512_set1_epi64((int64_t)base),
+      _mm512_setr_epi64((int64_t)(1 * GAMMA), (int64_t)(2 * GAMMA),
+                        (int64_t)(3 * GAMMA), (int64_t)(4 * GAMMA),
+                        (int64_t)(5 * GAMMA), (int64_t)(6 * GAMMA),
+                        (int64_t)(7 * GAMMA), (int64_t)(8 * GAMMA)));
+  const __m512i step = _mm512_set1_epi64((int64_t)(8 * GAMMA));
+  const __m512i vt = _mm512_set1_epi64((int64_t)t);
+  uint64_t mask = 0;
+  for (int k = 0; k < 8; k++) {
+    __m512i u = _mm512_srli_epi64(mix64_x8(s), 11);
+    mask |= (uint64_t)_mm512_cmplt_epu64_mask(u, vt) << (8 * k);
+    s = _mm512_add_epi64(s, step);
+  }
+  return mask;
+}
+
+__attribute__((target("avx512f,avx512dq"))) static uint64_t
+noise_candidates_avx512(uint64_t base, uint64_t tmax, uint64_t *uout) {
+  __m512i s = _mm512_add_epi64(
+      _mm512_set1_epi64((int64_t)base),
+      _mm512_setr_epi64((int64_t)(1 * GAMMA), (int64_t)(2 * GAMMA),
+                        (int64_t)(3 * GAMMA), (int64_t)(4 * GAMMA),
+                        (int64_t)(5 * GAMMA), (int64_t)(6 * GAMMA),
+                        (int64_t)(7 * GAMMA), (int64_t)(8 * GAMMA)));
+  const __m512i step = _mm512_set1_epi64((int64_t)(8 * GAMMA));
+  const __m512i vt = _mm512_set1_epi64((int64_t)tmax);
+  uint64_t mask = 0;
+  for (int k = 0; k < 8; k++) {
+    __m512i u = _mm512_srli_epi64(mix64_x8(s), 11);
+    uint64_t m8 = _mm512_cmplt_epu64_mask(u, vt);
+    mask |= m8 << (8 * k);
+    /* Uniforms are only read on the rare candidate path. */
+    if (m8) _mm512_storeu_si512((void *)(uout + 8 * k), u);
+    s = _mm512_add_epi64(s, step);
+  }
+  return mask;
+}
+
+/* ---------------- AVX2 paths (emulated 64-bit multiply) ------------- */
+
+__attribute__((target("avx2"))) static inline __m256i mul64_x4(__m256i a,
+                                                               __m256i b) {
+  /* lo(a*b) from three 32x32 partial products. */
+  __m256i cross = _mm256_add_epi64(_mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)),
+                                   _mm256_mul_epu32(_mm256_srli_epi64(a, 32), b));
+  return _mm256_add_epi64(_mm256_mul_epu32(a, b),
+                          _mm256_slli_epi64(cross, 32));
+}
+
+__attribute__((target("avx2"))) static inline __m256i mix64_x4(__m256i z) {
+  z = mul64_x4(_mm256_xor_si256(z, _mm256_srli_epi64(z, 30)),
+               _mm256_set1_epi64x((int64_t)MIX1));
+  z = mul64_x4(_mm256_xor_si256(z, _mm256_srli_epi64(z, 27)),
+               _mm256_set1_epi64x((int64_t)MIX2));
+  return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+__attribute__((target("avx2"))) static uint64_t noise_mask_avx2(uint64_t base,
+                                                                uint64_t t) {
+  __m256i s = _mm256_add_epi64(
+      _mm256_set1_epi64x((int64_t)base),
+      _mm256_setr_epi64x((int64_t)(1 * GAMMA), (int64_t)(2 * GAMMA),
+                         (int64_t)(3 * GAMMA), (int64_t)(4 * GAMMA)));
+  const __m256i step = _mm256_set1_epi64x((int64_t)(4 * GAMMA));
+  const __m256i vt = _mm256_set1_epi64x((int64_t)t);
+  uint64_t mask = 0;
+  for (int k = 0; k < 16; k++) {
+    __m256i u = _mm256_srli_epi64(mix64_x4(s), 11);
+    /* Both operands < 2^53, so signed compare is unsigned compare. */
+    __m256i lt = _mm256_cmpgt_epi64(vt, u);
+    mask |= (uint64_t)_mm256_movemask_pd(_mm256_castsi256_pd(lt)) << (4 * k);
+    s = _mm256_add_epi64(s, step);
+  }
+  return mask;
+}
+
+__attribute__((target("avx2"))) static uint64_t
+noise_candidates_avx2(uint64_t base, uint64_t tmax, uint64_t *uout) {
+  __m256i s = _mm256_add_epi64(
+      _mm256_set1_epi64x((int64_t)base),
+      _mm256_setr_epi64x((int64_t)(1 * GAMMA), (int64_t)(2 * GAMMA),
+                         (int64_t)(3 * GAMMA), (int64_t)(4 * GAMMA)));
+  const __m256i step = _mm256_set1_epi64x((int64_t)(4 * GAMMA));
+  const __m256i vt = _mm256_set1_epi64x((int64_t)tmax);
+  uint64_t mask = 0;
+  for (int k = 0; k < 16; k++) {
+    __m256i u = _mm256_srli_epi64(mix64_x4(s), 11);
+    __m256i lt = _mm256_cmpgt_epi64(vt, u);
+    uint64_t m4 = (uint64_t)_mm256_movemask_pd(_mm256_castsi256_pd(lt));
+    mask |= m4 << (4 * k);
+    if (m4) _mm256_storeu_si256((__m256i *)(uout + 4 * k), u);
+    s = _mm256_add_epi64(s, step);
+  }
+  return mask;
+}
+
+/* ---------------- dispatch ---------------- */
+
+static uint64_t (*noise_mask_fn)(uint64_t, uint64_t) = noise_mask_scalar;
+static uint64_t (*noise_candidates_fn)(uint64_t, uint64_t, uint64_t *) =
+    noise_candidates_scalar;
+
+__attribute__((constructor)) static void nano_prng_init(void) {
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq")) {
+    noise_mask_fn = noise_mask_avx512;
+    noise_candidates_fn = noise_candidates_avx512;
+  } else if (__builtin_cpu_supports("avx2")) {
+    noise_mask_fn = noise_mask_avx2;
+    noise_candidates_fn = noise_candidates_avx2;
+  }
+}
+
+static int simd_width(void) {
+  if (noise_mask_fn == noise_mask_avx512) return 8;
+  if (noise_mask_fn == noise_mask_avx2) return 4;
+  return 1;
+}
+
+#else /* !x86_64: scalar only */
+
+#define noise_mask_fn noise_mask_scalar
+#define noise_candidates_fn noise_candidates_scalar
+
+static int simd_width(void) { return 1; }
+
+#endif
+
+/* ---------------- OCaml entry points ---------------- */
+
+CAMLprim value nano_prng_simd_width(value unit) {
+  (void)unit;
+  return Val_int(simd_width());
+}
+
+/* (state_buf, offset, stride, width, thr, thr_pos, dst, pos):
+ * XOR [width] flip-mask words into dst at byte offsets pos, pos+8, ...
+ * word j drawn from stream position offset + j*stride, thresholded at
+ * the int64 read from thr at thr_pos. No allocation, no callbacks. */
+CAMLprim value nano_prng_xor_noise_blocked(value vstate, value voffset,
+                                           value vstride, value vwidth,
+                                           value vthr, value vthrpos,
+                                           value vdst, value vpos) {
+  uint64_t s0 = load64((unsigned char *)Bytes_val(vstate));
+  uint64_t base = s0 + (uint64_t)Long_val(voffset) * GAMMA;
+  uint64_t gstride = (uint64_t)Long_val(vstride) * GAMMA;
+  intnat width = Long_val(vwidth);
+  uint64_t t = load64((unsigned char *)Bytes_val(vthr) + Long_val(vthrpos));
+  unsigned char *dst = (unsigned char *)Bytes_val(vdst) + Long_val(vpos);
+  for (intnat j = 0; j < width; j++) {
+    uint64_t mask = noise_mask_fn(base, t);
+    store64(dst, load64(dst) ^ mask);
+    dst += 8;
+    base += gstride;
+  }
+  return Val_unit;
+}
+
+CAMLprim value nano_prng_xor_noise_blocked_bytes(value *argv, int argn) {
+  (void)argn;
+  return nano_prng_xor_noise_blocked(argv[0], argv[1], argv[2], argv[3],
+                                     argv[4], argv[5], argv[6], argv[7]);
+}
+
+/* (state_buf, offset, stride, width, thr, thr_pos, lanes, dst_array,
+ * pos): the multi-lane grid kernel. thr holds lanes+1 thresholds at
+ * thr_pos, word 0 an upper bound on the rest; one shared uniform per
+ * bit position per word; lane k's flips land in Bytes k of dst_array.
+ * The fast path only computes the candidate mask against the row
+ * maximum; per-lane compares run on the (rare) candidate bits. */
+CAMLprim value nano_prng_xor_noise_lanes_blocked(value vstate, value voffset,
+                                                 value vstride, value vwidth,
+                                                 value vthr, value vthrpos,
+                                                 value vlanes, value vdst,
+                                                 value vpos) {
+  uint64_t s0 = load64((unsigned char *)Bytes_val(vstate));
+  uint64_t base = s0 + (uint64_t)Long_val(voffset) * GAMMA;
+  uint64_t gstride = (uint64_t)Long_val(vstride) * GAMMA;
+  intnat width = Long_val(vwidth);
+  intnat lanes = Long_val(vlanes);
+  const unsigned char *thr =
+      (unsigned char *)Bytes_val(vthr) + Long_val(vthrpos);
+  uint64_t tmax = load64(thr);
+  intnat pos = Long_val(vpos);
+  uint64_t u[64];
+  for (intnat j = 0; j < width; j++) {
+    uint64_t cand = noise_candidates_fn(base, tmax, u);
+    while (cand) {
+      int i = __builtin_ctzll(cand);
+      cand &= cand - 1;
+      uint64_t ui = u[i];
+      uint64_t bit = UINT64_C(1) << i;
+      for (intnat k = 0; k < lanes; k++) {
+        if (ui < load64(thr + 8 * (k + 1))) {
+          unsigned char *b =
+              (unsigned char *)Bytes_val(Field(vdst, k)) + pos + 8 * j;
+          store64(b, load64(b) ^ bit);
+        }
+      }
+    }
+    base += gstride;
+  }
+  return Val_unit;
+}
+
+CAMLprim value nano_prng_xor_noise_lanes_blocked_bytes(value *argv, int argn) {
+  (void)argn;
+  return nano_prng_xor_noise_lanes_blocked(argv[0], argv[1], argv[2], argv[3],
+                                           argv[4], argv[5], argv[6], argv[7],
+                                           argv[8]);
+}

@@ -238,6 +238,141 @@ let test_zero_allocation () =
       Alcotest.failf "per-word loop allocated %.0f minor words over 64 words"
         allocated
 
+(* ------------------------------------------------------------------ *)
+(* Blocked engine.                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The blocked engine must reproduce the word-at-a-time compiled engine
+   (the PR 2 kernel, still shipped as [`CompiledWords]) bit for bit at
+   every block width — including width 1, ragged tails (word counts not
+   a multiple of the block) and every job count. 320 vectors = 5 words
+   (ragged at widths 4 and 8); 1088 vectors = 17 words (two full
+   8-blocks plus a tail of one). *)
+let test_blocked_bit_identity () =
+  let circuits =
+    [
+      ("c17", Nano_circuits.Iscas_like.c17 ());
+      ( "rand",
+        Random_circuit.generate
+          ~config:
+            {
+              Random_circuit.inputs = 5;
+              gates = 30;
+              outputs = 3;
+              allow_majority = true;
+              max_fanin = 4;
+            }
+          ~seed:77 () );
+    ]
+  in
+  List.iter
+    (fun (name, n) ->
+      List.iter
+        (fun vectors ->
+          List.iter
+            (fun epsilon ->
+              let reference =
+                Noisy_sim.simulate ~vectors ~engine:`CompiledWords ~epsilon n
+              in
+              List.iter
+                (fun block ->
+                  List.iter
+                    (fun jobs ->
+                      let blocked =
+                        Noisy_sim.simulate ~vectors ~jobs ~engine:`Compiled
+                          ~block ~epsilon n
+                      in
+                      check_results_equal
+                        (Printf.sprintf "%s v=%d eps=%g block=%d jobs=%d" name
+                           vectors epsilon block jobs)
+                        reference blocked)
+                    [ 1; 4 ])
+                [ 1; 4; 8 ])
+            [ 0.02; 0.5 ])
+        [ 320; 1088 ])
+    circuits
+
+(* The memo is keyed by (netlist, block_width): mixed-width callers get
+   distinct cached programs, and the width registry reports every width
+   compiled so far. *)
+let test_memo_block_width_keyed () =
+  let n = Nano_circuits.Iscas_like.c17 () in
+  let default = Compiled.default_block_width () in
+  let cd = Compiled.of_netlist n in
+  let c4 = Compiled.of_netlist ~block:4 n in
+  Alcotest.(check bool) "distinct programs per width" false (cd == c4);
+  Alcotest.(check int) "default width" default (Compiled.block_width cd);
+  Alcotest.(check int) "explicit width" 4 (Compiled.block_width c4);
+  Alcotest.(check bool)
+    "width-4 entry cached" true
+    (c4 == Compiled.of_netlist ~block:4 n);
+  Alcotest.(check bool) "default entry cached" true (cd == Compiled.of_netlist n);
+  let widths = Compiled.cached_block_widths () in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Printf.sprintf "width %d registered" w)
+        true (List.mem w widths))
+    [ 4; default ]
+
+(* Every pack validator must name the offending lane or node. *)
+let test_pack_validation_messages () =
+  let n = Nano_circuits.Iscas_like.c17 () in
+  let c = Compiled.of_netlist n in
+  let check name expected f =
+    Alcotest.check_raises name (Invalid_argument expected) (fun () ->
+        ignore (f ()))
+  in
+  check "pack_epsilons_batch names the lane"
+    "Compiled.pack_epsilons_batch: lane 2: epsilon must lie in [0, 1/2]"
+    (fun () -> Compiled.pack_epsilons_batch c [| 0.1; 0.2; 0.7 |]);
+  check "pack_grid names the lane"
+    "Compiled.pack_grid: lane 1: epsilon must lie in [0, 1/2]" (fun () ->
+      Compiled.pack_grid c [| 0.1; 0.9 |]);
+  let eps = Array.make (Compiled.node_count c) 0.01 in
+  let bad = (Compiled.output_ids c).(0) in
+  eps.(bad) <- 0.6;
+  check "pack_noise names the node"
+    (Printf.sprintf
+       "Compiled.pack_noise: node %d: epsilon must lie in [0, 1/2]" bad)
+    (fun () -> Compiled.pack_noise c eps)
+
+(* The ROADMAP invariant carried over to the blocked kernel: once the
+   pack and the blocked buffers exist, the fused noisy sweep allocates
+   nothing on the minor heap. *)
+let test_blocked_zero_allocation () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> ()
+  | Sys.Native ->
+    let n = Nano_circuits.Adders.ripple_carry ~width:8 in
+    let c = Compiled.of_netlist n in
+    let rng = Prng.create ~seed:9 in
+    let noise =
+      Compiled.pack_noise c (Array.make (Compiled.node_count c) 0.02)
+    in
+    let golden = Compiled.create_values_blocked c in
+    let na = Compiled.create_values_blocked c in
+    let nb = Compiled.create_values_blocked c in
+    let count = Compiled.node_count c in
+    let ones = Array.make count 0 in
+    let toggles = Array.make count 0 in
+    let out_errors = Array.make (Array.length (Compiled.output_ids c)) 0 in
+    let any = ref 0 in
+    let loop words =
+      any :=
+        !any
+        + Compiled.run_noisy_words c ~noise ~rng ~input_probability:0.3 ~words
+            ~golden ~na ~nb ~ones ~toggles ~out_errors
+    in
+    (* Warm-up triggers any one-time lazy initialization. *)
+    loop 2;
+    let before = Gc.minor_words () in
+    loop 64;
+    let allocated = Gc.minor_words () -. before in
+    if allocated <> 0. then
+      Alcotest.failf
+        "blocked noisy loop allocated %.0f minor words over 64 words" allocated
+
 let suite =
   [
     Alcotest.test_case "memoized per netlist" `Quick test_memoized;
@@ -251,4 +386,12 @@ let suite =
       test_engines_agree_heterogeneous;
     Alcotest.test_case "inner loop allocates nothing" `Quick
       test_zero_allocation;
+    Alcotest.test_case "blocked engine bit-identical at widths 1/4/8" `Quick
+      test_blocked_bit_identity;
+    Alcotest.test_case "memo keyed by (netlist, block width)" `Quick
+      test_memo_block_width_keyed;
+    Alcotest.test_case "pack validation names lane/node" `Quick
+      test_pack_validation_messages;
+    Alcotest.test_case "blocked noisy loop allocates nothing" `Quick
+      test_blocked_zero_allocation;
   ]

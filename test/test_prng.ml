@@ -178,6 +178,67 @@ let test_shuffle_permutes () =
   Alcotest.(check bool) "actually shuffled" true
     (a <> Array.init 50 (fun i -> i))
 
+(* The SIMD C stubs behind [xor_noise_blocked] and
+   [xor_noise_lanes_blocked] must reproduce the pure-OCaml reference
+   implementations bit for bit on every machine, whichever of the
+   scalar / AVX2 / AVX-512 paths the dispatcher picked — widths, ragged
+   offsets, strides, and thresholds from degenerate (0, 1/2) to tiny. *)
+let test_blocked_noise_stub_matches_reference () =
+  let rng = Prng.create ~seed:0x51d in
+  let scraps = Prng.create ~seed:0xfee1 in
+  let set64 b pos v = Bytes.set_int64_le b pos v in
+  let random_bytes len =
+    let b = Bytes.create len in
+    for i = 0 to (len / 8) - 1 do
+      set64 b (i * 8) (Prng.bits64 scraps)
+    done;
+    b
+  in
+  let eps_choices = [| 0.; 1e-6; 0.01; 0.3; 0.5 |] in
+  for trial = 0 to 19 do
+    let width = 1 + (trial mod 9) in
+    let offset = Prng.int scraps ~bound:1000 in
+    let stride = 1 + Prng.int scraps ~bound:200 in
+    let thr = Bytes.create 8 in
+    set64 thr 0
+      (Prng.threshold_bits ~p:eps_choices.(trial mod Array.length eps_choices));
+    let a = random_bytes (width * 8) in
+    let b = Bytes.copy a in
+    Prng.xor_noise_blocked_ref rng ~offset ~stride ~width ~thr ~thr_pos:0 a
+      ~pos:0;
+    Prng.xor_noise_blocked rng ~offset ~stride ~width ~thr ~thr_pos:0 b ~pos:0;
+    Alcotest.(check bytes)
+      (Printf.sprintf "single-threshold trial %d" trial)
+      a b;
+    (* Multi-lane: lanes+1 thresholds, word 0 the row maximum. *)
+    let lanes = 1 + (trial mod 4) in
+    let tb =
+      Array.init lanes (fun k ->
+          Prng.threshold_bits
+            ~p:eps_choices.((trial + k) mod Array.length eps_choices))
+    in
+    let tmax = Array.fold_left Int64.max 0L tb in
+    let lthr = Bytes.create ((lanes + 1) * 8) in
+    set64 lthr 0 tmax;
+    Array.iteri (fun k t -> set64 lthr ((k + 1) * 8) t) tb;
+    let da = Array.init lanes (fun _ -> random_bytes (width * 8)) in
+    let db = Array.map Bytes.copy da in
+    Prng.xor_noise_lanes_blocked_ref rng ~offset ~stride ~width ~thr:lthr
+      ~thr_pos:0 ~lanes da ~pos:0;
+    Prng.xor_noise_lanes_blocked rng ~offset ~stride ~width ~thr:lthr
+      ~thr_pos:0 ~lanes db ~pos:0;
+    for k = 0 to lanes - 1 do
+      Alcotest.(check bytes)
+        (Printf.sprintf "multi-lane trial %d lane %d" trial k)
+        da.(k)
+        db.(k)
+    done
+  done;
+  (* The dispatcher picked SOME path; record that it answered sanely. *)
+  Alcotest.(check bool)
+    "simd width is 1, 4 or 8" true
+    (List.mem (Prng.simd_width ()) [ 1; 4; 8 ])
+
 let suite =
   [
     Alcotest.test_case "determinism" `Quick test_determinism;
@@ -196,4 +257,6 @@ let suite =
     Alcotest.test_case "int bound" `Quick test_int_bound;
     Alcotest.test_case "word density" `Quick test_word_density;
     Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+    Alcotest.test_case "blocked noise stubs match OCaml reference" `Quick
+      test_blocked_noise_stub_matches_reference;
   ]

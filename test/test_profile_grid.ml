@@ -193,6 +193,37 @@ let test_validation () =
            ~epsilons:[| 0.01 |] netlist))
 
 (* ------------------------------------------------------------------ *)
+(* Block-width invariance.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The grid sweep must return the same bits at every block width — the
+   knob only moves throughput. 320 vectors = 5 words, a ragged tail for
+   both width 4 and width 8; jobs sharding composes with blocking. *)
+let test_block_width_invariance () =
+  let netlist = rca8 () in
+  let epsilons = [| 0.; 0.01; 0.05 |] in
+  let vectors = 320 in
+  let reference =
+    Noisy_sim.profile_grid ~seed:5 ~vectors ~block:1 ~epsilons netlist
+  in
+  List.iter
+    (fun block ->
+      List.iter
+        (fun jobs ->
+          let grid =
+            Noisy_sim.profile_grid ~seed:5 ~vectors ~block ~jobs ~epsilons
+              netlist
+          in
+          Array.iteri
+            (fun i r ->
+              check_result_equal
+                (Printf.sprintf "block=%d jobs=%d lane=%d" block jobs i)
+                reference.(i) r)
+            grid)
+        [ 1; 2; 4 ])
+    [ 4; 8 ]
+
+(* ------------------------------------------------------------------ *)
 (* Compiled-program memo observability.                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -274,6 +305,8 @@ let suite =
     Alcotest.test_case "adaptive stops on block boundaries" `Quick
       test_adaptive_budget;
     Alcotest.test_case "argument validation" `Quick test_validation;
+    Alcotest.test_case "bit-identical at block widths 1/4/8" `Quick
+      test_block_width_invariance;
     Alcotest.test_case "memo stats and clear_cache" `Quick test_memo_stats;
     Alcotest.test_case "batched inner loop allocates nothing" `Quick
       test_zero_allocation_batch;
