@@ -21,7 +21,11 @@
    before anything spawns a domain. --kernel-only prints just the
    blocked wide-word kernel vs word-at-a-time compiled engine table
    and records it to BENCH_pr7.json; [--block-width N] overrides the
-   blocked engine's words-per-gate-visit width for that run. *)
+   blocked engine's words-per-gate-visit width for that run.
+   --tech-only prints just the technology-pack absolute-energy report
+   table (both built-in packs over the mapped suite circuits) plus the
+   service analyze-with-tech cold-vs-warm cache identity, and records
+   them to BENCH_pr8.json. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -50,6 +54,8 @@ let grids_only = Array.exists (( = ) "--grids-only") Sys.argv
 let load_only = Array.exists (( = ) "--load-only") Sys.argv
 
 let kernel_only = Array.exists (( = ) "--kernel-only") Sys.argv
+
+let tech_only = Array.exists (( = ) "--tech-only") Sys.argv
 
 let int_flag name default =
   let rec find = function
@@ -838,6 +844,135 @@ let print_kernel_throughput () =
   print_string "(written to BENCH_pr7.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Technology packs: absolute-energy report cost + cache identity.      *)
+(* ------------------------------------------------------------------ *)
+
+(* The tech report re-simulates activity (pinned 4096 vectors), runs
+   static timing under the pack's delays, integrates leakage over the
+   critical path and re-expresses Corollary 2 in joules — all per
+   request. The first table prices that per built-in pack on the mapped
+   suite circuits. The second replays `analyze --tech rca8` through an
+   in-process service: the warm reply comes from the pack-digest-keyed
+   response cache and must be byte-identical to the cold evaluation. *)
+let print_tech_report () =
+  let module Service = Nano_service.Service in
+  let circuits =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun entry ->
+            ( name,
+              Nano_synth.Script.rugged_lite ~max_fanin:3
+                (entry.Nano_circuits.Suite.build ()) ))
+          (Nano_circuits.Suite.find name))
+      [ "c17"; "rca8"; "alu8" ]
+  in
+  let iters = 25 in
+  let report_rows =
+    List.concat_map
+      (fun (name, mapped) ->
+        let profile = Nano_bounds.Profile.of_netlist mapped in
+        List.map
+          (fun pack ->
+            (* One run to warm the simulator's compile cache. *)
+            ignore (Nano_tech.Report.analyze ~pack ~profile mapped);
+            let report = ref (Nano_tech.Report.analyze ~pack ~profile mapped) in
+            let (), total =
+              time (fun () ->
+                  for _ = 1 to iters do
+                    report := Nano_tech.Report.analyze ~pack ~profile mapped
+                  done)
+            in
+            let r = !report in
+            ( name,
+              pack.Nano_tech.Pack.name,
+              total /. float_of_int iters,
+              r.Nano_tech.Report.total_j,
+              r.Nano_tech.Report.leakage_share ))
+          Nano_tech.Builtin.all)
+      circuits
+  in
+  let config = { (Service.default_config ()) with Service.jobs } in
+  let t = Service.create ~config () in
+  let warm_iters = 200 in
+  let service_rows =
+    List.map
+      (fun pack_name ->
+        let line =
+          Printf.sprintf {|{"kind":"analyze","circuit":"rca8","tech":"%s"}|}
+            pack_name
+        in
+        let cold, cold_t = time (fun () -> Service.handle_line t line) in
+        let warm = ref "" in
+        let (), warm_total =
+          time (fun () ->
+              for _ = 1 to warm_iters do
+                warm := Service.handle_line t line
+              done)
+        in
+        let warm_t = warm_total /. float_of_int warm_iters in
+        (pack_name, cold_t, warm_t, cold = !warm))
+      [ "cmos55"; "nanodev" ]
+  in
+  Printf.printf
+    "== Technology report: absolute-energy analyze per pack (%d iters) ==\n"
+    iters;
+  print_string
+    (Report.Table.render
+       ~header:[ "circuit"; "pack"; "report/run"; "total J"; "leak share" ]
+       ~rows:
+         (List.map
+            (fun (name, pack, per, total_j, share) ->
+              [
+                name;
+                pack;
+                Printf.sprintf "%.2f ms" (1e3 *. per);
+                Printf.sprintf "%.4g" total_j;
+                Printf.sprintf "%.3f" share;
+              ])
+            report_rows));
+  Printf.printf "== Service: analyze rca8 --tech, cold vs warm (jobs=%d) ==\n"
+    jobs;
+  print_string
+    (Report.Table.render
+       ~header:[ "pack"; "cold"; "warm"; "byte-identical" ]
+       ~rows:
+         (List.map
+            (fun (pack, cold_t, warm_t, same) ->
+              [
+                pack;
+                Printf.sprintf "%.2f ms" (1e3 *. cold_t);
+                Printf.sprintf "%.1f us" (1e6 *. warm_t);
+                string_of_bool same;
+              ])
+            service_rows));
+  let oc = open_out "BENCH_pr8.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"tech-pack absolute-energy report\",\n  \"iters\": \
+     %d,\n  \"reports\": [\n"
+    iters;
+  List.iteri
+    (fun i (name, pack, per, total_j, share) ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"pack\": \"%s\", \"report_ms\": %.3f, \
+         \"total_j\": %.6g, \"leakage_share\": %.6g}%s\n"
+        name pack (1e3 *. per) total_j share
+        (if i = List.length report_rows - 1 then "" else ","))
+    report_rows;
+  Printf.fprintf oc "  ],\n  \"service\": [\n";
+  List.iteri
+    (fun i (pack, cold_t, warm_t, same) ->
+      Printf.fprintf oc
+        "    {\"pack\": \"%s\", \"cold_ms\": %.3f, \"warm_ms\": %.4f, \
+         \"byte_identical\": %b}%s\n"
+        pack (1e3 *. cold_t) (1e3 *. warm_t) same
+        (if i = List.length service_rows - 1 then "" else ","))
+    service_rows;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_string "(written to BENCH_pr8.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Service: cold vs warm request latency.                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1481,6 +1616,9 @@ let () =
     exit 0);
   if kernel_only then (
     print_kernel_throughput ();
+    exit 0);
+  if tech_only then (
+    print_tech_report ();
     exit 0);
   if service_only then (
     print_service_latency ();

@@ -3,6 +3,7 @@
    Subcommands:
      bounds    closed-form lower bounds for explicit parameters
      analyze   profile a circuit (BLIF file or built-in) and bound it
+     tech      list/show/validate technology packs (absolute energies)
      synth     optimize/map a BLIF netlist and write it back out
      inject    Monte-Carlo fault injection on a circuit
      equiv     combinational equivalence (auto | BDD | SAT backends)
@@ -88,6 +89,45 @@ let load_circuit spec =
             suite')"
            spec)
 
+(* Technology packs resolve like circuits: built-in name first, then a
+   JSON file. Warnings go to stderr and the pack still loads; errors
+   are fatal. *)
+let load_tech spec =
+  match Nano_tech.Builtin.find spec with
+  | Some pack -> Ok pack
+  | None ->
+    if Sys.file_exists spec then begin
+      match Nano_tech.Loader.load_file spec with
+      | Error msg -> Error [ Printf.sprintf "%s: %s" spec msg ]
+      | Ok { Nano_tech.Loader.pack = Some pack; diagnostics } ->
+        List.iter
+          (fun d ->
+            Format.eprintf "%s: %a@." spec Nano_lint.Diagnostic.pp d)
+          diagnostics;
+        Ok pack
+      | Ok { Nano_tech.Loader.pack = None; diagnostics } ->
+        Error
+          (List.map
+             (fun d -> Format.asprintf "%s: %a" spec Nano_lint.Diagnostic.pp d)
+             diagnostics)
+    end
+    else
+      Error
+        [
+          Printf.sprintf
+            "%s: not a built-in technology pack and no such file (try \
+             `nanobound tech')"
+            spec;
+        ]
+
+let tech_arg =
+  let doc =
+    "Technology pack for an absolute energy/area/delay report next to \
+     the normalized bounds: a built-in pack name (see `nanobound tech') \
+     or a JSON pack file."
+  in
+  Arg.(value & opt (some string) None & info [ "tech" ] ~docv:"PACK" ~doc)
+
 (* ------------------------------------------------------------------ *)
 (* bounds                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -168,7 +208,17 @@ let bounds_cmd =
 
 let analyze_cmd =
   let run spec delta leakage_share0 epsilons no_map glitch measure vectors
-      jobs format =
+      tech jobs format =
+    let tech =
+      match tech with
+      | None -> None
+      | Some tspec -> (
+        match load_tech tspec with
+        | Ok pack -> Some pack
+        | Error msgs ->
+          List.iter prerr_endline msgs;
+          exit 1)
+    in
     match load_circuit spec with
     | Error msg ->
       prerr_endline msg;
@@ -207,6 +257,15 @@ let analyze_cmd =
           Some p.Nano_sim.Glitch.glitch_factor
         else None
       in
+      (* Same inputs as the service's tech block (mapped netlist +
+         cached-profile equivalent), so the JSON below is byte-identical
+         to a service reply for the same request. *)
+      let tech_report =
+        Option.map
+          (fun pack ->
+            Nano_tech.Report.analyze ~delta ~epsilons ~pack ~profile mapped)
+          tech
+      in
       (match format with
       | `Json ->
         (* The exact record the service's analyze reply carries, so the
@@ -227,9 +286,15 @@ let analyze_cmd =
             ("rows", row_list);
           ]
         in
-        (* Same pre-flight attachment (and placement) as the service's
-           analyze reply: only present when the linter has errors or
-           warnings to report. *)
+        (* Tech block after "rows", then the same pre-flight attachment
+           (and placement) as the service's analyze reply: each only
+           present when requested / when the linter has something to
+           report. *)
+        let tech_block =
+          match tech_report with
+          | Some r -> [ ("tech", Nano_tech.Report.to_json r) ]
+          | None -> []
+        in
         let lint =
           match Nano_lint.Lint.preflight_json lint_report with
           | Some pj -> [ ("lint", pj) ]
@@ -240,7 +305,7 @@ let analyze_cmd =
           | Some g -> [ ("glitch_factor", Float g) ]
           | None -> []
         in
-        json_line (Obj (base @ lint @ extra))
+        json_line (Obj (base @ tech_block @ lint @ extra))
       | `Table ->
         let lint_errors = Nano_lint.Lint.errors lint_report in
         let lint_warnings = Nano_lint.Lint.warnings lint_report in
@@ -294,7 +359,10 @@ let analyze_cmd =
                         opt r.Nano_bounds.Benchmark_eval.average_power_ratio;
                         opt r.Nano_bounds.Benchmark_eval.energy_delay_ratio;
                       ])
-                    rows))))
+                    rows)));
+        (match tech_report with
+        | Some r -> Format.printf "@.%a@." Nano_tech.Report.pp r
+        | None -> ()))
   in
   let epsilons =
     Arg.(
@@ -330,7 +398,158 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run $ circuit_arg $ delta_arg $ leakage_arg $ epsilons $ no_map
-      $ glitch $ measure $ vectors $ jobs_arg $ format_arg)
+      $ glitch $ measure $ vectors $ tech_arg $ jobs_arg $ format_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tech                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let tech_list_run format =
+  match format with
+  | `Json ->
+    let open Nano_util.Json in
+    json_line
+      (List
+         (Stdlib.List.map
+            (fun p ->
+              Obj
+                [
+                  ("name", String p.Nano_tech.Pack.name);
+                  ("digest", String (Nano_tech.Pack.digest p));
+                  ( "gates",
+                    Int (Stdlib.List.length p.Nano_tech.Pack.gates) );
+                  ("description", String p.Nano_tech.Pack.description);
+                ])
+            Nano_tech.Builtin.all))
+  | `Table ->
+    print_string
+      (Nano_report.Report.Table.render
+         ~header:[ "name"; "digest"; "gates"; "description" ]
+         ~rows:
+           (List.map
+              (fun p ->
+                [
+                  p.Nano_tech.Pack.name;
+                  Nano_tech.Pack.digest p;
+                  string_of_int (List.length p.Nano_tech.Pack.gates);
+                  p.Nano_tech.Pack.description;
+                ])
+              Nano_tech.Builtin.all))
+
+let tech_list_cmd =
+  let doc = "List the built-in technology packs" in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const tech_list_run $ format_arg)
+
+let tech_show_cmd =
+  let run spec format =
+    match load_tech spec with
+    | Error msgs ->
+      List.iter prerr_endline msgs;
+      exit 1
+    | Ok pack -> (
+      match format with
+      | `Json -> json_line (Nano_tech.Pack.to_json pack)
+      | `Table ->
+        Printf.printf "%s: %s\n" pack.Nano_tech.Pack.name
+          pack.Nano_tech.Pack.description;
+        Printf.printf "digest            %s\n" (Nano_tech.Pack.digest pack);
+        Printf.printf "vdd               %g V\n" pack.Nano_tech.Pack.vdd;
+        Printf.printf "wire              %g F/m, %g ohm/m\n"
+          pack.Nano_tech.Pack.wire_cap_f_per_m
+          pack.Nano_tech.Pack.wire_res_ohm_per_m;
+        Printf.printf "clock energy      %g J\n"
+          pack.Nano_tech.Pack.clock_energy_j;
+        Printf.printf "fanin scale       %g per extra input\n"
+          pack.Nano_tech.Pack.fanin_scale;
+        Printf.printf "intrinsic epsilon %g\n"
+          pack.Nano_tech.Pack.intrinsic_epsilon;
+        print_string
+          (Nano_report.Report.Table.render
+             ~header:[ "kind"; "energy_j"; "leakage_w"; "area_m2"; "delay_s" ]
+             ~rows:
+               (List.map
+                  (fun (kind, e) ->
+                    [
+                      Nano_netlist.Gate.name kind;
+                      Printf.sprintf "%g" e.Nano_tech.Pack.energy_j;
+                      Printf.sprintf "%g" e.Nano_tech.Pack.leakage_w;
+                      Printf.sprintf "%g" e.Nano_tech.Pack.area_m2;
+                      Printf.sprintf "%g" e.Nano_tech.Pack.delay_s;
+                    ])
+                  pack.Nano_tech.Pack.gates)))
+  in
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PACK"
+          ~doc:"Built-in pack name or JSON pack file to show.")
+  in
+  let doc = "Show one technology pack (canonical JSON with --format json)" in
+  Cmd.v (Cmd.info "show" ~doc) Term.(const run $ spec $ format_arg)
+
+let tech_validate_cmd =
+  let run builtins files =
+    if (not builtins) && files = [] then begin
+      prerr_endline "tech validate: give pack files and/or --builtins";
+      exit 2
+    end;
+    let failed = ref false in
+    if builtins then
+      List.iter
+        (fun p ->
+          match Nano_tech.Loader.validate p with
+          | [] ->
+            Printf.printf "builtin %s: ok (%d gates)\n"
+              p.Nano_tech.Pack.name
+              (List.length p.Nano_tech.Pack.gates)
+          | ds ->
+            failed := true;
+            List.iter
+              (fun d ->
+                Format.printf "builtin %s: %a@." p.Nano_tech.Pack.name
+                  Nano_lint.Diagnostic.pp d)
+              ds)
+        Nano_tech.Builtin.all;
+    List.iter
+      (fun file ->
+        match Nano_tech.Loader.load_file file with
+        | Error msg ->
+          failed := true;
+          Printf.printf "%s: %s\n" file msg
+        | Ok { Nano_tech.Loader.pack; diagnostics } ->
+          if pack = None then failed := true;
+          List.iter
+            (fun d ->
+              Format.printf "%s: %a@." file Nano_lint.Diagnostic.pp d)
+            diagnostics;
+          (match pack with
+          | Some p ->
+            Printf.printf "%s: ok (pack %s, %d gates)\n" file
+              p.Nano_tech.Pack.name
+              (List.length p.Nano_tech.Pack.gates)
+          | None -> ()))
+      files;
+    if !failed then exit 1
+  in
+  let builtins =
+    Arg.(value & flag
+         & info [ "builtins" ]
+             ~doc:"Also validate every built-in pack.")
+  in
+  let files =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"FILE" ~doc:"JSON pack files to validate.")
+  in
+  let doc = "Validate technology pack files (exit 1 on any error)" in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ builtins $ files)
+
+let tech_cmd =
+  let doc = "Inspect and validate technology packs" in
+  Cmd.group
+    ~default:Term.(const tech_list_run $ format_arg)
+    (Cmd.info "tech" ~doc)
+    [ tech_list_cmd; tech_show_cmd; tech_validate_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* synth                                                                *)
@@ -970,7 +1189,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            bounds_cmd; analyze_cmd; synth_cmd; inject_cmd; equiv_cmd;
-            critical_cmd;
+            bounds_cmd; analyze_cmd; tech_cmd; synth_cmd; inject_cmd;
+            equiv_cmd; critical_cmd;
             sweep_cmd; lint_cmd; suite_cmd; serve_cmd; request_cmd;
           ]))

@@ -4,6 +4,7 @@ module Profile = Nano_bounds.Profile
 module Benchmark_eval = Nano_bounds.Benchmark_eval
 
 type circuit = Named of string | Blif of string
+type tech_spec = Tech_named of string | Tech_inline of Json.t
 
 type request =
   | Ping
@@ -19,6 +20,7 @@ type request =
       no_map : bool;
       measure : bool;
       vectors : int;
+      tech : tech_spec option;
     }
   | Sweep of { figure : string }
   | Lint of {
@@ -69,7 +71,9 @@ let request_to_json { request; timeout_ms } =
     | Profile { circuit; no_map } ->
       (("kind", Json.String "profile") :: circuit_fields circuit)
       @ [ ("no_map", Json.Bool no_map) ]
-    | Analyze { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors }
+    | Analyze
+        { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors;
+          tech }
       ->
       (("kind", Json.String "analyze") :: circuit_fields circuit)
       @ [
@@ -80,6 +84,10 @@ let request_to_json { request; timeout_ms } =
           ("measure", Json.Bool measure);
           ("vectors", Json.Int vectors);
         ]
+      @ (match tech with
+        | None -> []
+        | Some (Tech_named name) -> [ ("tech", Json.String name) ]
+        | Some (Tech_inline pack) -> [ ("tech", pack) ])
     | Sweep { figure } ->
       [ ("kind", Json.String "sweep"); ("figure", Json.String figure) ]
     | Lint { circuit; max_fanin; epsilon; delta } ->
@@ -194,9 +202,21 @@ let request_of_json obj =
            these and get the old analytic-only analysis. *)
         let* measure = field_default Json.to_bool obj "measure" false in
         let* vectors = field_default Json.to_int obj "vectors" 4096 in
+        (* Absent for pre-tech clients, whose replies (and cache keys)
+           stay byte-identical to the previous protocol revision. *)
+        let* tech =
+          match Json.member "tech" obj with
+          | None | Some Json.Null -> Ok None
+          | Some (Json.String name) -> Ok (Some (Tech_named name))
+          | Some (Json.Obj _ as pack) -> Ok (Some (Tech_inline pack))
+          | Some _ ->
+            Error
+              "field \"tech\" must be a pack name or an inline pack object"
+        in
         Ok
           (Analyze
-             { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors })
+             { circuit; delta; leakage_share0; epsilons; no_map; measure;
+               vectors; tech })
       | "sweep" ->
         let* figure = field_required Json.to_string_opt obj "figure" in
         Ok (Sweep { figure })

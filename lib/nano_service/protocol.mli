@@ -16,6 +16,13 @@ type circuit =
   | Named of string  (** Built-in benchmark, as listed by [nanobound suite]. *)
   | Blif of string  (** Inline BLIF text. *)
 
+type tech_spec =
+  | Tech_named of string  (** Built-in pack ({!Nano_tech.Builtin}). *)
+  | Tech_inline of Nano_util.Json.t
+      (** An inline pack object, validated by {!Nano_tech.Loader}. Both
+          spellings of the same pack share one canonical digest, so
+          they hit the same cache entry. *)
+
 type request =
   | Ping
   | Stats
@@ -35,6 +42,11 @@ type request =
               clients are unaffected. *)
       vectors : int;
           (** Monte-Carlo budget for [measure] (default 4096). *)
+      tech : tech_spec option;
+          (** When present, the reply also carries a ["tech"] block —
+              {!Nano_tech.Report.to_json}'s absolute energy/area/delay
+              record. Absent for old clients, whose replies stay
+              byte-identical to the pre-tech protocol. *)
     }
   | Sweep of { figure : string }
   | Lint of {
@@ -88,8 +100,9 @@ val ok_reply : Nano_util.Json.t -> string
 val error_reply : code:string -> message:string -> string
 (** Serialized failure line. Stable [code]s: [parse_error],
     [bad_request], [unknown_circuit], [blif_parse_error],
-    [invalid_scenario], [unknown_figure], [timeout], [oversized],
-    [overloaded], [internal_error]. *)
+    [invalid_scenario], [unknown_figure], [unknown_tech],
+    [invalid_tech], [timeout], [oversized], [overloaded],
+    [internal_error]. *)
 
 val overloaded_reply : string
 (** The precomputed [overloaded] failure line used by the daemon's

@@ -45,6 +45,8 @@ type t = {
   mutable lint_hits : int;
       (** lint replies served from the response cache *)
   mutable lint_misses : int;  (** lint replies computed fresh *)
+  mutable tech_reports : int;
+      (** technology reports computed fresh (cache hits excluded) *)
   mutable stop : bool;
 }
 
@@ -67,6 +69,7 @@ let create ?config () =
     journal;
     lint_hits = 0;
     lint_misses = 0;
+    tech_reports = 0;
     stop = false;
   }
 
@@ -104,6 +107,32 @@ let resolve_circuit = function
         (Reply_error
            ( "blif_parse_error",
              Format.asprintf "%a" Nano_blif.Blif.pp_error e )))
+
+(* Technology-pack resolution: a name looks up a built-in, an inline
+   object goes through the JSON loader. Both failure shapes are error
+   replies (never cached), and both spellings of the same pack share
+   one canonical digest, so they coalesce onto one cache entry. *)
+let resolve_tech = function
+  | Protocol.Tech_named name -> (
+    match Nano_tech.Builtin.find name with
+    | Some pack -> pack
+    | None ->
+      raise
+        (Reply_error
+           ( "unknown_tech",
+             name ^ ": not a built-in technology pack (see `nanobound tech')"
+           )))
+  | Protocol.Tech_inline json -> (
+    match Nano_tech.Loader.of_json json with
+    | Ok pack -> pack
+    | Error diagnostics ->
+      raise
+        (Reply_error
+           ( "invalid_tech",
+             String.concat "; "
+               (List.map
+                  (fun d -> Format.asprintf "%a" Nano_lint.Diagnostic.pp d)
+                  diagnostics) )))
 
 (* Profile of the (optionally mapped) circuit, by content address: the
    Monte-Carlo activity + sensitivity measurement only depends on the
@@ -217,6 +246,23 @@ let prepare t ~deadline (env : Protocol.envelope) =
                       ("hits", Json.Int t.lint_hits);
                       ("misses", Json.Int t.lint_misses);
                     ] );
+                ( "tech_packs",
+                  Json.Obj
+                    [
+                      ( "builtin",
+                        Json.List
+                          (List.map
+                             (fun p ->
+                               Json.Obj
+                                 [
+                                   ( "name",
+                                     Json.String p.Nano_tech.Pack.name );
+                                   ( "digest",
+                                     Json.String (Nano_tech.Pack.digest p) );
+                                 ])
+                             Nano_tech.Builtin.all) );
+                      ("reports", Json.Int t.tech_reports);
+                    ] );
               ]
               @ (match t.journal with
                 | None -> []
@@ -270,14 +316,24 @@ let prepare t ~deadline (env : Protocol.envelope) =
                (profile_for t ~deadline ~digest ~name ~no_map netlist)));
     }
   | Protocol.Analyze
-      { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors } ->
+      { circuit; delta; leakage_share0; epsilons; no_map; measure; vectors;
+        tech } ->
     let name, netlist = resolve_circuit circuit in
     let digest = Nano_synth.Strash.digest netlist in
+    (* Resolved before the cache key so bad packs are error replies
+       (never cached), and so named/inline spellings of one pack key
+       on the same canonical digest. *)
+    let tech = Option.map resolve_tech tech in
     let key =
-      Printf.sprintf "analyze|%s|%s|%b|%s|%s|%s|%b|%d" digest name no_map
+      Printf.sprintf "analyze|%s|%s|%b|%s|%s|%s|%b|%d%s" digest name no_map
         (fr delta) (fr leakage_share0)
         (String.concat "," (List.map fr epsilons))
         measure vectors
+        (* Appended only when present: pre-tech requests keep their
+           exact pre-tech keys, so warm journals stay valid. *)
+        (match tech with
+        | None -> ""
+        | Some pack -> "|tech:" ^ Nano_tech.Pack.digest pack)
     in
     {
       key = Some key;
@@ -287,26 +343,42 @@ let prepare t ~deadline (env : Protocol.envelope) =
             profile_for t ~deadline ~digest ~name ~no_map netlist
           in
           check_deadline deadline;
+          let mapped () =
+            if no_map then netlist
+            else Nano_synth.Script.rugged_lite ~max_fanin:3 netlist
+          in
+          (* The absolute-energy block rides after "rows"; replies
+             without --tech carry no block at all and stay
+             byte-identical to earlier releases. *)
+          let tech_fields mapped_net =
+            match tech with
+            | None -> []
+            | Some pack ->
+              let report =
+                Nano_tech.Report.analyze ~delta ~epsilons ~pack ~profile
+                  mapped_net
+              in
+              t.tech_reports <- t.tech_reports + 1;
+              [ ("tech", Nano_tech.Report.to_json report) ]
+          in
           if measure then begin
             (* Mapped circuit re-derived the same way the cached profile
                was; one batched multi-ε pass covers the whole grid, with
                jobs sharding vectors inside it (jobs-independent). *)
-            let mapped =
-              if no_map then netlist
-              else Nano_synth.Script.rugged_lite ~max_fanin:3 netlist
-            in
+            let mapped = mapped () in
             let rows =
               Benchmark_eval.measured_grid ~deltas:[ delta ] ~leakage_share0
                 ~epsilons ~vectors ~jobs:t.config.jobs ~profile mapped
             in
             attach_preflight ~digest netlist
               (Json.Obj
-                 [
-                   ("profile", Protocol.profile_to_json profile);
-                   ( "rows",
-                     Json.List (List.map Protocol.measured_row_to_json rows)
-                   );
-                 ])
+                 ([
+                    ("profile", Protocol.profile_to_json profile);
+                    ( "rows",
+                      Json.List (List.map Protocol.measured_row_to_json rows)
+                    );
+                  ]
+                 @ tech_fields mapped))
           end
           else begin
             (* The per-ε closed-form grid batches onto the domain pool;
@@ -318,12 +390,16 @@ let prepare t ~deadline (env : Protocol.envelope) =
                     profile ~epsilon)
                 epsilons
             in
+            let tech_fields =
+              match tech with None -> [] | Some _ -> tech_fields (mapped ())
+            in
             attach_preflight ~digest netlist
               (Json.Obj
-                 [
-                   ("profile", Protocol.profile_to_json profile);
-                   ("rows", Json.List (List.map Protocol.row_to_json rows));
-                 ])
+                 ([
+                    ("profile", Protocol.profile_to_json profile);
+                    ("rows", Json.List (List.map Protocol.row_to_json rows));
+                  ]
+                 @ tech_fields))
           end);
     }
   | Protocol.Lint { circuit; max_fanin; epsilon; delta } ->

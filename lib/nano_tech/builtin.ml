@@ -1,0 +1,103 @@
+module Gate = Nano_netlist.Gate
+
+let e ~energy_j ~leakage_w ~area_m2 ~delay_s =
+  { Pack.energy_j; leakage_w; area_m2; delay_s }
+
+(* 55nm-class CMOS, seeded from the Charm cmos_55nm_model table:
+   femtojoule switching energies, tens-of-femtowatt leakage,
+   picosecond delays, µm²-scale cells. AND/OR are the published
+   NAND/NOR + INV composites; XOR is the 4-NAND network (3 NAND
+   levels on the critical path), XNOR adds an output inverter, and
+   MAJ is the sum-of-products composite 3·AND + OR. *)
+let cmos55 =
+  Pack.normalize
+    {
+      Pack.name = "cmos55";
+      description = "55nm-class CMOS (Charm cmos_55nm_model exemplar)";
+      vdd = 1.2;
+      wire_cap_f_per_m = 145e-12;
+      wire_res_ohm_per_m = 1700e3;
+      clock_energy_j = 0.1155e-15;
+      fanin_scale = 0.15;
+      intrinsic_epsilon = 0.;
+      gates =
+        [
+          ( Gate.Not,
+            e ~energy_j:0.575e-15 ~leakage_w:6.48e-14 ~area_m2:1.34e-12
+              ~delay_s:10e-12 );
+          ( Gate.Nand,
+            e ~energy_j:0.857e-15 ~leakage_w:5.84e-14 ~area_m2:1.701e-12
+              ~delay_s:13e-12 );
+          ( Gate.Nor,
+            e ~energy_j:0.798e-15 ~leakage_w:5.84e-14 ~area_m2:1.809e-12
+              ~delay_s:11e-12 );
+          ( Gate.And,
+            e ~energy_j:1.432e-15 ~leakage_w:1.232e-13 ~area_m2:2.26e-12
+              ~delay_s:24e-12 );
+          ( Gate.Or,
+            e ~energy_j:1.373e-15 ~leakage_w:1.232e-13 ~area_m2:2.26e-12
+              ~delay_s:21e-12 );
+          ( Gate.Xor,
+            e ~energy_j:3.428e-15 ~leakage_w:2.336e-13 ~area_m2:6.804e-12
+              ~delay_s:39e-12 );
+          ( Gate.Xnor,
+            e ~energy_j:4.003e-15 ~leakage_w:2.984e-13 ~area_m2:8.144e-12
+              ~delay_s:49e-12 );
+          ( Gate.Majority,
+            e ~energy_j:5.669e-15 ~leakage_w:4.928e-13 ~area_m2:9.04e-12
+              ~delay_s:45e-12 );
+        ];
+    }
+
+(* Hypothetical nanodevice point: switching is nearly free (tens of
+   zeptojoules), but every device leaks nanowatts — integrated over a
+   critical path the leakage share dominates the energy budget —
+   transitions are slow, and the devices themselves are unreliable
+   (intrinsic ε of a few percent): exactly the regime where the paper's
+   fault-tolerance energy bounds bind. Cells are two orders denser
+   than CMOS. *)
+let nanodev =
+  Pack.normalize
+    {
+      Pack.name = "nanodev";
+      description =
+        "hypothetical nanodevice (low switching energy, heavy leakage, \
+         intrinsic eps=0.02)";
+      vdd = 0.3;
+      wire_cap_f_per_m = 50e-12;
+      wire_res_ohm_per_m = 5e6;
+      clock_energy_j = 0.005e-15;
+      fanin_scale = 0.25;
+      intrinsic_epsilon = 0.02;
+      gates =
+        [
+          ( Gate.Not,
+            e ~energy_j:1.2e-17 ~leakage_w:3.2e-9 ~area_m2:8e-15
+              ~delay_s:80e-12 );
+          ( Gate.Nand,
+            e ~energy_j:2e-17 ~leakage_w:4e-9 ~area_m2:1.2e-14
+              ~delay_s:100e-12 );
+          ( Gate.Nor,
+            e ~energy_j:2e-17 ~leakage_w:4e-9 ~area_m2:1.2e-14
+              ~delay_s:100e-12 );
+          ( Gate.And,
+            e ~energy_j:3.2e-17 ~leakage_w:7.2e-9 ~area_m2:2e-14
+              ~delay_s:180e-12 );
+          ( Gate.Or,
+            e ~energy_j:3.2e-17 ~leakage_w:7.2e-9 ~area_m2:2e-14
+              ~delay_s:180e-12 );
+          ( Gate.Xor,
+            e ~energy_j:8e-17 ~leakage_w:1.6e-8 ~area_m2:4.8e-14
+              ~delay_s:300e-12 );
+          ( Gate.Xnor,
+            e ~energy_j:9.2e-17 ~leakage_w:1.92e-8 ~area_m2:5.6e-14
+              ~delay_s:380e-12 );
+          ( Gate.Majority,
+            e ~energy_j:1.28e-16 ~leakage_w:2.88e-8 ~area_m2:8e-14
+              ~delay_s:480e-12 );
+        ];
+    }
+
+let all = [ cmos55; nanodev ]
+
+let find name = List.find_opt (fun p -> p.Pack.name = name) all

@@ -1,0 +1,22 @@
+(** The built-in technology packs.
+
+    [cmos55] is a 55nm-class CMOS table seeded from the Charm
+    [cmos_55nm_model] exemplar (per-gate E/Pl/A/T constants plus
+    wire/clock parameters); the XOR/XNOR/MAJ composites are derived
+    from the published NAND/NOR/INV/AND/OR cells as documented in
+    DESIGN.md §14. [nanodev] is a hypothetical nanodevice point:
+    ~50× lower switching energy, heavy leakage share, dense cells,
+    slow transitions and a non-zero intrinsic gate-error rate — the
+    regime the paper's bounds are about.
+
+    Both packs validate cleanly ({!Loader.validate}), which
+    [dune runtest] enforces. *)
+
+val cmos55 : Pack.t
+val nanodev : Pack.t
+
+val all : Pack.t list
+(** Every built-in pack, in listing order. *)
+
+val find : string -> Pack.t option
+(** Look a built-in pack up by name. *)

@@ -1,0 +1,246 @@
+module Gate = Nano_netlist.Gate
+module Json = Nano_util.Json
+module Diagnostic = Nano_lint.Diagnostic
+
+type outcome = { pack : Pack.t option; diagnostics : Diagnostic.t list }
+
+let pass = "tech"
+
+let err code locus fmt =
+  Printf.ksprintf
+    (fun message -> Diagnostic.make Diagnostic.Error ~pass ~code locus message)
+    fmt
+
+let warn code locus fmt =
+  Printf.ksprintf
+    (fun message -> Diagnostic.make Diagnostic.Warning ~pass ~code locus message)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Constant checks, shared by the decoder and [validate].               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every check names the JSON path of the offending constant, so a
+   finding points at the exact field to fix. *)
+let check_number ~locus ~path ?(allow_zero = true) v =
+  if not (Float.is_finite v) then
+    [ err "nan-constant" locus "%s: must be a finite number" path ]
+  else if v < 0. then
+    [ err "negative-constant" locus "%s: must be >= 0, got %s" path
+        (Printf.sprintf "%g" v) ]
+  else if (not allow_zero) && v = 0. then
+    [ err "bad-domain" locus "%s: must be strictly positive" path ]
+  else []
+
+let check_entry ~kind (e : Pack.entry) =
+  let locus = Diagnostic.Net (Gate.name kind) in
+  let path field = Printf.sprintf "gates.%s.%s" (Gate.name kind) field in
+  check_number ~locus ~path:(path "e") e.Pack.energy_j
+  @ check_number ~locus ~path:(path "pl") e.Pack.leakage_w
+  @ check_number ~locus ~path:(path "a") e.Pack.area_m2
+  @ check_number ~locus ~path:(path "t") e.Pack.delay_s
+
+let validate (p : Pack.t) =
+  let whole = Diagnostic.Whole in
+  let ds =
+    (if p.Pack.name = "" then
+       [ err "missing-field" whole "name: must be a non-empty string" ]
+     else [])
+    @ check_number ~locus:whole ~path:"vdd" ~allow_zero:false p.Pack.vdd
+    @ check_number ~locus:whole ~path:"wire.c_per_m" p.Pack.wire_cap_f_per_m
+    @ check_number ~locus:whole ~path:"wire.r_per_m" p.Pack.wire_res_ohm_per_m
+    @ check_number ~locus:whole ~path:"clock_energy_j" p.Pack.clock_energy_j
+    @ check_number ~locus:whole ~path:"fanin_scale" p.Pack.fanin_scale
+    @ check_number ~locus:whole ~path:"intrinsic_epsilon"
+        p.Pack.intrinsic_epsilon
+    @ (if p.Pack.intrinsic_epsilon > 0.5 then
+         [
+           err "bad-domain" whole
+             "intrinsic_epsilon: must lie in [0, 1/2], got %g"
+             p.Pack.intrinsic_epsilon;
+         ]
+       else [])
+    @ (if p.Pack.gates = [] then
+         [ err "empty-gates" whole "gates: at least one gate kind is required" ]
+       else [])
+    @ List.concat_map (fun (kind, e) -> check_entry ~kind e) p.Pack.gates
+  in
+  List.sort_uniq Diagnostic.compare ds
+
+(* ------------------------------------------------------------------ *)
+(* Decoding.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The decoder is total: every field failure becomes a diagnostic and a
+   default, so one load reports every problem at once instead of
+   stopping at the first. *)
+
+let decode_float ~diags ~locus ~path ?default v =
+  match v with
+  | None -> (
+    match default with
+    | Some d -> d
+    | None ->
+      diags := err "missing-field" locus "%s: required" path :: !diags;
+      0.)
+  | Some v -> (
+    match Json.to_float v with
+    | Some f -> f
+    | None ->
+      diags := err "bad-type" locus "%s: must be a number" path :: !diags;
+      0.)
+
+let decode_entry ~diags ~kind json =
+  let locus = Diagnostic.Net (Gate.name kind) in
+  let path field = Printf.sprintf "gates.%s.%s" (Gate.name kind) field in
+  match json with
+  | Json.Obj fields ->
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k [ "e"; "pl"; "a"; "t" ]) then
+          diags :=
+            warn "unknown-field" locus "%s: unknown field" (path k) :: !diags)
+      fields;
+    let get f = Json.member f json in
+    {
+      Pack.energy_j = decode_float ~diags ~locus ~path:(path "e") (get "e");
+      leakage_w = decode_float ~diags ~locus ~path:(path "pl") (get "pl");
+      area_m2 = decode_float ~diags ~locus ~path:(path "a") (get "a");
+      delay_s = decode_float ~diags ~locus ~path:(path "t") (get "t");
+    }
+  | _ ->
+    diags :=
+      err "bad-type" locus "gates.%s: must be an object with e/pl/a/t"
+        (Gate.name kind)
+      :: !diags;
+    { Pack.energy_j = 0.; leakage_w = 0.; area_m2 = 0.; delay_s = 0. }
+
+let known_top_fields =
+  [
+    "name"; "description"; "vdd"; "wire"; "clock_energy_j"; "fanin_scale";
+    "intrinsic_epsilon"; "gates";
+  ]
+
+let load_json json =
+  match json with
+  | Json.Obj fields ->
+    let diags = ref [] in
+    let whole = Diagnostic.Whole in
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k known_top_fields) then
+          diags := warn "unknown-field" whole "%s: unknown field" k :: !diags)
+      fields;
+    let name =
+      match Json.member "name" json with
+      | Some (Json.String s) when s <> "" -> s
+      | Some _ ->
+        diags :=
+          err "bad-type" whole "name: must be a non-empty string" :: !diags;
+        ""
+      | None ->
+        diags := err "missing-field" whole "name: required" :: !diags;
+        ""
+    in
+    let description =
+      match Json.member "description" json with
+      | Some (Json.String s) -> s
+      | Some _ ->
+        diags := err "bad-type" whole "description: must be a string" :: !diags;
+        ""
+      | None -> ""
+    in
+    let vdd = decode_float ~diags ~locus:whole ~path:"vdd" (Json.member "vdd" json) in
+    let wire_cap, wire_res =
+      match Json.member "wire" json with
+      | None -> (0., 0.)
+      | Some (Json.Obj _ as w) ->
+        ( decode_float ~diags ~locus:whole ~path:"wire.c_per_m" ~default:0.
+            (Json.member "c_per_m" w),
+          decode_float ~diags ~locus:whole ~path:"wire.r_per_m" ~default:0.
+            (Json.member "r_per_m" w) )
+      | Some _ ->
+        diags := err "bad-type" whole "wire: must be an object" :: !diags;
+        (0., 0.)
+    in
+    let opt path = decode_float ~diags ~locus:whole ~path ~default:0. in
+    let clock_energy_j = opt "clock_energy_j" (Json.member "clock_energy_j" json) in
+    let fanin_scale = opt "fanin_scale" (Json.member "fanin_scale" json) in
+    let intrinsic_epsilon =
+      opt "intrinsic_epsilon" (Json.member "intrinsic_epsilon" json)
+    in
+    let gates =
+      match Json.member "gates" json with
+      | Some (Json.Obj entries) ->
+        List.filter_map
+          (fun (key, value) ->
+            match Gate.of_name key with
+            | Some kind when not (Gate.is_source kind) ->
+              Some (kind, decode_entry ~diags ~kind value)
+            | Some _ | None ->
+              diags :=
+                err "unknown-gate-kind" (Diagnostic.Net key)
+                  "gates.%s: not a logic gate kind (expected one of %s)" key
+                  (String.concat ", " (List.map Gate.name Pack.kind_order))
+                :: !diags;
+              None)
+          entries
+      | Some _ ->
+        diags := err "bad-type" whole "gates: must be an object" :: !diags;
+        []
+      | None ->
+        diags := err "missing-field" whole "gates: required" :: !diags;
+        []
+    in
+    let pack =
+      Pack.normalize
+        {
+          Pack.name;
+          description;
+          vdd;
+          wire_cap_f_per_m = wire_cap;
+          wire_res_ohm_per_m = wire_res;
+          clock_energy_j;
+          fanin_scale;
+          intrinsic_epsilon;
+          gates;
+        }
+    in
+    let diagnostics =
+      List.sort_uniq Diagnostic.compare (validate pack @ !diags)
+    in
+    let has_error =
+      List.exists
+        (fun d -> d.Diagnostic.severity = Diagnostic.Error)
+        diagnostics
+    in
+    { pack = (if has_error then None else Some pack); diagnostics }
+  | _ ->
+    {
+      pack = None;
+      diagnostics =
+        [ err "bad-pack" Diagnostic.Whole "technology pack must be a JSON object" ];
+    }
+
+let load_string text =
+  match Json.parse text with
+  | Ok json -> load_json json
+  | Error e ->
+    {
+      pack = None;
+      diagnostics =
+        [
+          err "parse-error" Diagnostic.Whole "%s"
+            (Format.asprintf "%a" Json.pp_error e);
+        ];
+    }
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> Ok (load_string text)
+  | exception Sys_error msg -> Error msg
+
+let of_json json =
+  match load_json json with
+  | { pack = Some p; _ } -> Ok p
+  | { pack = None; diagnostics } -> Error diagnostics

@@ -1,0 +1,41 @@
+(** JSON technology-pack loader with schema validation.
+
+    Users bring their own packs as JSON files ([analyze --tech
+    file.json]); this module decodes and validates them, emitting the
+    same deterministic {!Nano_lint.Diagnostic} records the netlist
+    linter uses (pass id ["tech"]), sorted with
+    {!Nano_lint.Diagnostic.compare} so every surface prints
+    byte-identical findings.
+
+    Stable diagnostic codes: [parse-error] (the text is not JSON),
+    [bad-pack] (the value is not an object), [missing-field],
+    [bad-type], [nan-constant] (non-finite numeric constant),
+    [negative-constant], [bad-domain] (e.g. vdd = 0, ε outside
+    [0, 1/2]), [unknown-gate-kind], [empty-gates], and the warning
+    [unknown-field]. Per-gate-kind findings carry a [Net <kind>]
+    locus; pack-level findings use [Whole]. *)
+
+type outcome = {
+  pack : Pack.t option;
+      (** The decoded pack; [None] exactly when [diagnostics] contains
+          at least one error. *)
+  diagnostics : Nano_lint.Diagnostic.t list;  (** Sorted; may be empty. *)
+}
+
+val load_json : Nano_util.Json.t -> outcome
+
+val load_string : string -> outcome
+(** Parse failures become a single [parse-error] diagnostic. *)
+
+val load_file : string -> (outcome, string) result
+(** [Error msg] only for I/O failures; invalid packs are outcomes. *)
+
+val of_json : Nano_util.Json.t -> (Pack.t, Nano_lint.Diagnostic.t list) result
+(** {!load_json} collapsed: [Ok pack] when error-free (warnings
+    dropped), [Error diagnostics] otherwise. *)
+
+val validate : Pack.t -> Nano_lint.Diagnostic.t list
+(** Structural validation of an in-memory pack (the same constant
+    checks {!load_json} applies after decoding); empty for every
+    built-in pack, which [dune runtest] enforces. Safe on packs whose
+    constants would make {!Pack.to_json} raise. *)

@@ -163,3 +163,63 @@ Sweep figures share the service's JSON series encoder:
   "label":"sw0=0.50"
   "label":"sw0=0.75"
   "label":"sw0=0.90"
+
+Technology packs map every gate kind to absolute energy, leakage
+power, area and delay; two built-ins ship with the tool:
+
+  $ nanobound tech
+  name     digest                            gates  description                                                                      
+  -------  --------------------------------  -----  ---------------------------------------------------------------------------------
+  cmos55   dcd86e10aac1bd1743443cce75ec5a74  8      55nm-class CMOS (Charm cmos_55nm_model exemplar)                                 
+  nanodev  7db699108f9c618837e9477899a27c76  8      hypothetical nanodevice (low switching energy, heavy leakage, intrinsic eps=0.02)
+
+  $ nanobound tech show nanodev --format json | grep -o '"intrinsic_epsilon":[0-9.]*'
+  "intrinsic_epsilon":0.02
+
+With --tech, analyze appends the absolute report next to the
+normalized bounds: activity-weighted switching energy, leakage
+integrated over the pack's critical-path delay, and Corollary 2's
+bound re-expressed in joules. The nanodev pack is leakage-dominated
+and its intrinsic 2% device error floors the requested epsilon grid:
+
+  $ nanobound analyze rca8 --tech nanodev
+  rca8: n=17 m=9 S0=24 depth=8 k̄=2.33 kmax=3 sw0=0.4999 s=17
+  
+  eps    E/E0   D/D0   P/P0   ED/ED0
+  -----  -----  -----  -----  ------
+  0.001  1.238  1      1.238  1.238 
+  0.01   1.381  1.03   1.341  1.423 
+  0.1    2.114  2.724  0.776  5.76  
+  
+  technology nanodev (digest 7db699108f9c618837e9477899a27c76)
+    kind   count    switching_j      leakage_w        area_m2
+    xor       16    6.39844e-16       2.56e-07       7.68e-13
+    maj        8    5.11879e-16      2.304e-07        6.4e-13
+    switching energy 1.15172e-15 J
+    leakage power    4.864e-07 W
+    critical path    3.84e-09 s (through cout)
+    leakage energy   1.86778e-15 J
+    total energy     3.0195e-15 J
+    leakage share    0.618572
+    area             1.408e-12 m^2
+    epsilon  eff-eps        E/E0      E_bound_j       W/W0
+    0.001    0.02         1.4685    4.43414e-15   0.999962
+    0.01     0.02         1.4685    4.43414e-15   0.999962
+    0.1      0.1         2.11414    6.38364e-15   0.999826
+
+Packs also load from JSON files; schema violations are deterministic
+diagnostics, not exceptions:
+
+  $ cat > bad.json <<'XEOF'
+  > {"name":"bad","vdd":-1.0,"gates":{"latch":{"e":1,"pl":0,"a":0}}}
+  > XEOF
+  $ nanobound analyze c17 --tech bad.json
+  bad.json: error   empty-gates          netlist: gates: at least one gate kind is required
+  bad.json: error   negative-constant    netlist: vdd: must be >= 0, got -1
+  bad.json: error   unknown-gate-kind    net latch: gates.latch: not a logic gate kind (expected one of buf, not, and, or, nand, nor, xor, xnor, maj)
+  [1]
+  $ nanobound tech validate bad.json
+  bad.json: error   empty-gates          netlist: gates: at least one gate kind is required
+  bad.json: error   negative-constant    netlist: vdd: must be >= 0, got -1
+  bad.json: error   unknown-gate-kind    net latch: gates.latch: not a logic gate kind (expected one of buf, not, and, or, nand, nor, xor, xnor, maj)
+  [1]

@@ -34,3 +34,55 @@ Clean shutdown:
   $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"shutdown"}'
   {"ok":true,"result":"bye"}
   $ wait
+
+Technology reports ride the same response cache, keyed by the pack's
+canonical digest appended to the analyze key. A fresh daemon on the
+same port:
+
+  $ nanobound serve --tcp 127.0.0.1:$PORT >server3.log 2>&1 &
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"analyze","circuit":"rca8","tech":"cmos55"}' >tech_cold.json
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"analyze","circuit":"rca8","tech":"cmos55"}' >tech_warm.json
+  $ cmp tech_cold.json tech_warm.json
+
+The CLI's --format json output is byte-identical to the service's
+reply payload for the same request:
+
+  $ nanobound analyze rca8 --tech cmos55 --format json >tech_cli.json
+  $ sed 's/^{"ok":true,"result"://; s/}$//' tech_warm.json >tech_payload.json
+  $ cmp tech_cli.json tech_payload.json
+
+An inline pack object with the same constants digests identically, so
+it hits the very same cache entry:
+
+  $ PACK=$(nanobound tech show cmos55 --format json)
+  $ nanobound request --tcp 127.0.0.1:$PORT "{\"kind\":\"analyze\",\"circuit\":\"rca8\",\"tech\":$PACK}" >tech_inline.json
+  $ cmp tech_warm.json tech_inline.json
+
+Requests without tech are untouched by all of this — same reply bytes
+and same cache key as before the tech field existed:
+
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"analyze","circuit":"rca8"}' | grep -c '"tech"'
+  0
+  [1]
+
+Unknown packs are structured errors, never cached:
+
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"analyze","circuit":"rca8","tech":"tfet"}'
+  {"ok":false,"error":{"code":"unknown_tech","message":"tfet: not a built-in technology pack (see `nanobound tech')"}}
+  [1]
+
+Stats list the built-in packs with their digests and count fresh tech
+reports (one: the cold request; warm and inline were cache hits):
+
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"stats"}' | grep -o '"responses":{"hits":[0-9]*,"misses":[0-9]*'
+  "responses":{"hits":2,"misses":2
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"stats"}' | grep -o '"tech_packs":{"builtin":\[{"name":"[a-z0-9]*"'
+  "tech_packs":{"builtin":[{"name":"cmos55"
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"stats"}' | grep -o '"reports":[0-9]*'
+  "reports":1
+
+Clean shutdown:
+
+  $ nanobound request --tcp 127.0.0.1:$PORT '{"kind":"shutdown"}'
+  {"ok":true,"result":"bye"}
+  $ wait

@@ -101,6 +101,7 @@ let test_protocol_roundtrip () =
               no_map = false;
               measure = true;
               vectors = 2048;
+              tech = None;
             };
         timeout_ms = Some 1000;
       };
