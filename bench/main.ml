@@ -25,7 +25,11 @@
    --tech-only prints just the technology-pack absolute-energy report
    table (both built-in packs over the mapped suite circuits) plus the
    service analyze-with-tech cold-vs-warm cache identity, and records
-   them to BENCH_pr8.json. *)
+   them to BENCH_pr8.json. --stimulus-only prints the biased-stimulus
+   (p <> 1/2 input density, SIMD stimulus kernel) and heterogeneous
+   epsilon-grid (fused per-gate sweep vs per-config passes) tables and
+   records them, with the resolved SIMD dispatch level, to
+   BENCH_pr9.json; [--block-width N] applies as for --kernel-only. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -56,6 +60,8 @@ let load_only = Array.exists (( = ) "--load-only") Sys.argv
 let kernel_only = Array.exists (( = ) "--kernel-only") Sys.argv
 
 let tech_only = Array.exists (( = ) "--tech-only") Sys.argv
+
+let stimulus_only = Array.exists (( = ) "--stimulus-only") Sys.argv
 
 let int_flag name default =
   let rec find = function
@@ -844,6 +850,199 @@ let print_kernel_throughput () =
   print_string "(written to BENCH_pr7.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Stimulus path + heterogeneous grid: the PR 9 kernels.                *)
+(* ------------------------------------------------------------------ *)
+
+(* Two series. The biased-stimulus series reruns the kernel comparison
+   at non-uniform input densities, where the word-at-a-time engine burns
+   a 64-iteration scalar mix loop per input word while the blocked
+   engine now draws stimulus through the SIMD C stub — shallow circuits
+   (c17) are dominated by input generation, so this isolates the
+   stimulus kernel. The heterogeneous series runs the selective-
+   hardening voter trade study both ways: one simulate_heterogeneous
+   pass per voter class (the old way) vs a single fused
+   profile_grid_heterogeneous sweep with common random numbers; each
+   lane of the fused pass must reproduce its per-config run exactly. *)
+let stimulus_circuits () =
+  let suite name =
+    match Nano_circuits.Suite.find name with
+    | Some entry ->
+      Nano_synth.Script.rugged_lite (entry.Nano_circuits.Suite.build ())
+    | None -> failwith ("stimulus bench: unknown suite circuit " ^ name)
+  in
+  [
+    ("c17", Nano_circuits.Iscas_like.c17 ());
+    ( "rca8",
+      Nano_synth.Script.rugged_lite (Nano_circuits.Adders.ripple_carry ~width:8)
+    );
+    ("mult8", suite "mult8");
+  ]
+
+let print_stimulus_throughput () =
+  let epsilon = 0.01 in
+  let vectors = 1 lsl 16 in
+  let words = vectors / 64 in
+  let block = if bench_block_width > 0 then Some bench_block_width else None in
+  let effective_block =
+    match block with
+    | Some b -> b
+    | None -> Nano_netlist.Compiled.default_block_width ()
+  in
+  let simd = Nano_util.Prng.simd_level () in
+  let measure ?block ~p engine circuit =
+    ignore
+      (Nano_faults.Noisy_sim.simulate ~vectors:1024 ~input_probability:p ?block
+         ~engine ~epsilon circuit);
+    let sim, t =
+      time (fun () ->
+          Nano_faults.Noisy_sim.simulate ~vectors ~input_probability:p ?block
+            ~engine ~epsilon circuit)
+    in
+    (sim, float_of_int words /. t)
+  in
+  let stim_entries =
+    List.concat_map
+      (fun (name, circuit) ->
+        List.map
+          (fun p ->
+            let sim_w, words_rate = measure ~p `CompiledWords circuit in
+            let sim_b, blocked_rate = measure ~p ?block `Compiled circuit in
+            let sim_j =
+              Nano_faults.Noisy_sim.simulate ~vectors ~input_probability:p
+                ~jobs:4 ?block ~engine:`Compiled ~epsilon circuit
+            in
+            ( name,
+              p,
+              words_rate,
+              blocked_rate,
+              blocked_rate /. words_rate,
+              sim_b = sim_w,
+              sim_j = sim_b ))
+          [ 0.5; 0.1; 0.9 ])
+      (stimulus_circuits ())
+  in
+  Printf.printf
+    "== Stimulus throughput: word-at-a-time vs blocked engine across input \
+     densities (%d vectors, eps=%g, block=%d, simd=%s) ==\n"
+    vectors epsilon effective_block simd;
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "circuit"; "p(in)"; "word-at-a-time words/s"; "blocked words/s";
+           "speedup"; "bit-identical"; "jobs-identical";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, p, wr, br, speedup, same, same_jobs) ->
+              [
+                name;
+                Printf.sprintf "%g" p;
+                Printf.sprintf "%.0f" wr;
+                Printf.sprintf "%.0f" br;
+                Printf.sprintf "%.2fx" speedup;
+                string_of_bool same;
+                string_of_bool same_jobs;
+              ])
+            stim_entries));
+  (* Heterogeneous voter sweep: [lanes] voter classes, one fused pass. *)
+  let voter_epsilons = Array.init 8 (fun i -> 0.0005 *. float_of_int (i + 1)) in
+  let lanes = Array.length voter_epsilons in
+  let gate_epsilon = 0.01 in
+  let hetero_entries =
+    List.filter_map
+      (fun (name, circuit) ->
+        if name = "mult8" then None
+        else
+          Some
+            (let hardened =
+               Nano_redundancy.Selective.harden_top ~seed:0x9e7e ~fraction:0.25
+                 circuit
+             in
+             let sweep ?jobs ?vectors () =
+               Nano_redundancy.Selective.sweep_voter_epsilons ?jobs ?vectors
+                 ?block hardened ~gate_epsilon ~voter_epsilons
+             in
+             let per_config ?(vectors = vectors) () =
+               Array.map
+                 (fun voter_epsilon ->
+                   Nano_faults.Noisy_sim.simulate_heterogeneous ~vectors ?block
+                     ~epsilon_of:
+                       (Nano_redundancy.Selective.voter_epsilon_of hardened
+                          ~gate_epsilon ~voter_epsilon)
+                     hardened.Nano_redundancy.Selective.netlist)
+                 voter_epsilons
+             in
+             ignore (sweep ~vectors:1024 ());
+             ignore (per_config ~vectors:1024 ());
+             let base, tb = time (fun () -> per_config ()) in
+             let fused, tf = time (fun () -> sweep ~vectors ()) in
+             let fused_j = sweep ~vectors ~jobs:4 () in
+             ( name,
+               float_of_int (lanes * words) /. tb,
+               float_of_int (lanes * words) /. tf,
+               tb /. tf,
+               fused = base,
+               fused_j = fused )))
+      (stimulus_circuits ())
+  in
+  Printf.printf
+    "\n== Heterogeneous epsilon sweep: per-config passes vs fused grid (%d \
+     voter classes, %d vectors, gate eps=%g) ==\n"
+    lanes vectors gate_epsilon;
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "circuit"; "per-config lane-words/s"; "fused lane-words/s";
+           "speedup"; "bit-identical"; "jobs-identical";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, br, fr, speedup, same, same_jobs) ->
+              [
+                name;
+                Printf.sprintf "%.0f" br;
+                Printf.sprintf "%.0f" fr;
+                Printf.sprintf "%.2fx" speedup;
+                string_of_bool same;
+                string_of_bool same_jobs;
+              ])
+            hetero_entries));
+  let oc = open_out "BENCH_pr9.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"stimulus + heterogeneous grid kernels\",\n  \
+     \"vectors\": %d,\n  \"epsilon\": %g,\n  \"block_width\": %d,\n  \
+     \"simd_level\": \"%s\",\n  \"stimulus\": [\n"
+    vectors epsilon effective_block simd;
+  List.iteri
+    (fun i (name, p, wr, br, speedup, same, same_jobs) ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"input_probability\": %g, \
+         \"words_engine_words_per_sec\": %.1f, \"blocked_words_per_sec\": \
+         %.1f, \"speedup\": %.2f, \"bit_identical\": %b, \"jobs_identical\": \
+         %b}%s\n"
+        name p wr br speedup same same_jobs
+        (if i = List.length stim_entries - 1 then "" else ","))
+    stim_entries;
+  Printf.fprintf oc
+    "  ],\n  \"heterogeneous\": {\n    \"voter_classes\": %d,\n    \
+     \"gate_epsilon\": %g,\n    \"circuits\": [\n"
+    lanes gate_epsilon;
+  List.iteri
+    (fun i (name, br, fr, speedup, same, same_jobs) ->
+      Printf.fprintf oc
+        "      {\"circuit\": \"%s\", \"per_config_lane_words_per_sec\": %.1f, \
+         \"fused_lane_words_per_sec\": %.1f, \"speedup\": %.2f, \
+         \"bit_identical\": %b, \"jobs_identical\": %b}%s\n"
+        name br fr speedup same same_jobs
+        (if i = List.length hetero_entries - 1 then "" else ","))
+    hetero_entries;
+  Printf.fprintf oc "    ]\n  }\n}\n";
+  close_out oc;
+  print_string "(written to BENCH_pr9.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Technology packs: absolute-energy report cost + cache identity.      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1616,6 +1815,9 @@ let () =
     exit 0);
   if kernel_only then (
     print_kernel_throughput ();
+    exit 0);
+  if stimulus_only then (
+    print_stimulus_throughput ();
     exit 0);
   if tech_only then (
     print_tech_report ();

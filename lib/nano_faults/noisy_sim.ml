@@ -60,15 +60,16 @@ let eval_noisy netlist channels rng ~input_words ~values =
    two input draws plus two noisy evaluations. This is what lets a shard
    [Prng.jump] straight to its first word and replay the exact segment
    of the sequential stream — parallel results are bit-identical to the
-   single-stream simulation for every job count. *)
-let draws_per_word netlist channels ~input_probability =
+   single-stream simulation for every job count. Error probabilities
+   travel as one plain float per node ([epsilons]); the hot engines pack
+   them straight into threshold buffers, and only the retained
+   interpretive engine still wraps them in {!Channel.t} values. *)
+let draws_per_word netlist ~epsilons ~input_probability =
   let n_in = Netlist.input_count netlist in
   let noise = ref 0 in
   Netlist.iter netlist (fun id info ->
       if noisy_node info then
-        noise :=
-          !noise
-          + Prng.draws_per_word ~p:(Channel.epsilon channels.(id)));
+        noise := !noise + Prng.draws_per_word ~p:epsilons.(id));
   2 * ((n_in * Prng.draws_per_word ~p:input_probability) + !noise)
 
 (* Per-shard integer counters; merged by summation in shard order, which
@@ -231,19 +232,19 @@ let result_of_counts netlist ~epsilon ~words ~ones ~toggles ~out_errors
   }
 
 let run ?(jobs = 1) ?(engine = `Compiled) ?block ~seed ~vectors
-    ~input_probability ~channels ~mean_epsilon netlist =
+    ~input_probability ~epsilons ~mean_epsilon netlist =
   if jobs < 1 then invalid_arg "Noisy_sim.run: jobs must be >= 1";
   let words = Nano_util.Math_ext.ceil_div vectors 64 in
   let n = Netlist.node_count netlist in
   let outputs = Netlist.outputs netlist in
-  let draws_per_word = draws_per_word netlist channels ~input_probability in
+  let draws_per_word = draws_per_word netlist ~epsilons ~input_probability in
   let shards =
     match engine with
     | `Compiled ->
       (* Lower once on the submitting domain; shards share the compiled
          program (immutable) and allocate only their own buffers. *)
       let c = Compiled.of_netlist ?block netlist in
-      let noise = Compiled.pack_noise c (Array.map Channel.epsilon channels) in
+      let noise = Compiled.pack_noise c epsilons in
       Par.map ~jobs
         (fun (lo, hi) ->
           run_shard_blocked ~seed ~first_word:lo ~words:(hi - lo)
@@ -253,15 +254,18 @@ let run ?(jobs = 1) ?(engine = `Compiled) ?block ~seed ~vectors
       (* The word-at-a-time compiled engine, retained as the blocked
          kernel's differential reference (and the bench's baseline). *)
       let c = Compiled.of_netlist ?block netlist in
-      let epsilons =
-        Compiled.pack_epsilons c (Array.map Channel.epsilon channels)
-      in
+      let epsilons = Compiled.pack_epsilons c epsilons in
       Par.map ~jobs
         (fun (lo, hi) ->
           run_shard_compiled ~seed ~first_word:lo ~words:(hi - lo)
             ~draws_per_word ~input_probability ~epsilons c)
         (Par.ranges ~jobs words)
     | `Interp ->
+      (* The interpretive walk is the one engine that still consumes
+         boxed channels; build them here, off the hot paths. *)
+      let channels =
+        Array.map (fun e -> Channel.create ~epsilon:e) epsilons
+      in
       Par.map ~jobs
         (fun (lo, hi) ->
           run_shard_interp ~seed ~first_word:lo ~words:(hi - lo)
@@ -288,27 +292,36 @@ let run ?(jobs = 1) ?(engine = `Compiled) ?block ~seed ~vectors
 
 let simulate ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
     ?jobs ?engine ?block ~epsilon netlist =
-  let channel = Channel.create ~epsilon in
-  let channels = Array.make (Netlist.node_count netlist) channel in
-  run ?jobs ?engine ?block ~seed ~vectors ~input_probability ~channels
+  if not (epsilon >= 0. && epsilon <= 0.5) then
+    invalid_arg "Noisy_sim.simulate: epsilon must lie in [0, 1/2]";
+  let epsilons = Array.make (Netlist.node_count netlist) epsilon in
+  run ?jobs ?engine ?block ~seed ~vectors ~input_probability ~epsilons
     ~mean_epsilon:epsilon netlist
 
-let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
-    ?(input_probability = 0.5) ?jobs ?engine ?block ~epsilon_of netlist =
-  let n = Netlist.node_count netlist in
-  let zero = Channel.create ~epsilon:0. in
-  let channels = Array.make n zero in
+(* Per-gate epsilons as a plain per-node float array: [epsilon_of] is
+   consulted once per logic gate, non-noisy nodes stay at 0. Returns the
+   array and the mean over logic gates (the [result.epsilon] field). *)
+let heterogeneous_epsilons netlist ~epsilon_of =
+  let epsilons = Array.make (Netlist.node_count netlist) 0. in
   let sum = ref 0. in
   let count = ref 0 in
   Netlist.iter netlist (fun id info ->
       if noisy_node info then begin
         let e = epsilon_of id in
-        channels.(id) <- Channel.create ~epsilon:e;
+        if not (e >= 0. && e <= 0.5) then
+          invalid_arg
+            (Printf.sprintf
+               "Noisy_sim: node %d: epsilon %g must lie in [0, 1/2]" id e);
+        epsilons.(id) <- e;
         sum := !sum +. e;
         incr count
       end);
-  let mean_epsilon = if !count = 0 then 0. else !sum /. float_of_int !count in
-  run ?jobs ?engine ?block ~seed ~vectors ~input_probability ~channels
+  (epsilons, if !count = 0 then 0. else !sum /. float_of_int !count)
+
+let simulate_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
+    ?(input_probability = 0.5) ?jobs ?engine ?block ~epsilon_of netlist =
+  let epsilons, mean_epsilon = heterogeneous_epsilons netlist ~epsilon_of in
+  run ?jobs ?engine ?block ~seed ~vectors ~input_probability ~epsilons
     ~mean_epsilon netlist
 
 let output_reliability r = 1. -. r.any_output_error
@@ -522,3 +535,75 @@ let profile_grid ?(seed = 0xfa17) ?(vectors = 8192) ?(input_probability = 0.5)
   | _ ->
     run_grid ?block ~seed ~vectors ~input_probability ~jobs ~mode ~epsilons
       netlist
+
+(* ------------------------------------------------------------------ *)
+(* Heterogeneous (per-gate x per-lane) grid engine.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One fused pass over [lanes] per-gate epsilon assignments: the blocked
+   grid kernel already reads one threshold row per noisy schedule
+   position, so a heterogeneous pack
+   ({!Compiled.pack_grid_heterogeneous}) rides the exact same shard loop
+   as the homogeneous grid — common-random-number coupling, fixed draw
+   consumption, seed-jump sharding and all. Every lane is simulated
+   (no ε = 0 short-circuit: a lane that is zero at SOME gates still
+   needs its pass), and each lane reproduces
+   {!simulate_heterogeneous} at its assignment bit-for-bit whenever no
+   gate sits exactly at ε = 1/2 (the grid kernel always consumes 64
+   shared draws per noisy gate; the per-point pack consumes 1 there). *)
+let profile_grid_heterogeneous ?(seed = 0xfa17) ?(vectors = 8192)
+    ?(input_probability = 0.5) ?(jobs = 1) ?block ~epsilon_of_lanes netlist =
+  if jobs < 1 then
+    invalid_arg "Noisy_sim.profile_grid_heterogeneous: jobs must be >= 1";
+  let lanes = Array.length epsilon_of_lanes in
+  if lanes = 0 then [||]
+  else begin
+    let per_lane =
+      Array.map
+        (fun epsilon_of -> heterogeneous_epsilons netlist ~epsilon_of)
+        epsilon_of_lanes
+    in
+    let words_total = Nano_util.Math_ext.ceil_div vectors 64 in
+    let c = Compiled.of_netlist ?block netlist in
+    let n = Compiled.node_count c in
+    let out_n = List.length (Netlist.outputs netlist) in
+    let grid = Compiled.pack_grid_heterogeneous c (Array.map fst per_lane) in
+    let dpw =
+      (2 * Netlist.input_count netlist
+      * Prng.draws_per_word ~p:input_probability)
+      + (2 * 64 * Compiled.noisy_count c)
+    in
+    let ones = Array.init lanes (fun _ -> Array.make n 0) in
+    let toggles = Array.init lanes (fun _ -> Array.make n 0) in
+    let out_errors = Array.init lanes (fun _ -> Array.make out_n 0) in
+    let any = Array.make lanes 0 in
+    let shards =
+      Par.map ~jobs
+        (fun (lo, hi) ->
+          run_grid_shard ~seed ~first_word:lo ~words:(hi - lo)
+            ~draws_per_word:dpw ~input_probability ~grid ~need0:false c)
+        (Par.ranges ~jobs words_total)
+    in
+    Array.iter
+      (fun s ->
+        for k = 0 to lanes - 1 do
+          let so = s.g_ones.(k)
+          and st = s.g_toggles.(k)
+          and go = ones.(k)
+          and gt = toggles.(k) in
+          for id = 0 to n - 1 do
+            go.(id) <- go.(id) + so.(id);
+            gt.(id) <- gt.(id) + st.(id)
+          done;
+          let se = s.g_out_errors.(k) and ge = out_errors.(k) in
+          for i = 0 to out_n - 1 do
+            ge.(i) <- ge.(i) + se.(i)
+          done;
+          any.(k) <- any.(k) + s.g_any.(k)
+        done)
+      shards;
+    Array.init lanes (fun k ->
+        result_of_counts netlist ~epsilon:(snd per_lane.(k)) ~words:words_total
+          ~ones:ones.(k) ~toggles:toggles.(k) ~out_errors:out_errors.(k)
+          ~any_errors:any.(k))
+  end

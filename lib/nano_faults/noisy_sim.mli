@@ -124,6 +124,29 @@ val profile_grid :
     across domains with the seed-jump discipline of {!simulate}:
     results are bit-identical for every job count. *)
 
+val profile_grid_heterogeneous :
+  ?seed:int ->
+  ?vectors:int ->
+  ?input_probability:float ->
+  ?jobs:int ->
+  ?block:int ->
+  epsilon_of_lanes:(Nano_netlist.Netlist.node -> float) array ->
+  Nano_netlist.Netlist.t ->
+  result array
+(** Per-gate counterpart of {!profile_grid}: one fused Monte-Carlo pass
+    over several heterogeneous epsilon assignments. Lane [k]'s
+    assignment is [epsilon_of_lanes.(k)], consulted once per logic gate
+    as in {!simulate_heterogeneous}; the lanes ride one compiled pass
+    with common-random-number coupling — each word is drawn once, every
+    noisy gate draws one shared 64-uniform word thinned against its own
+    per-lane thresholds ({!Nano_netlist.Compiled.pack_grid_heterogeneous}) —
+    so differences between assignments have collapsed variance. Each
+    lane is bit-identical to {!simulate_heterogeneous} at the same seed
+    whenever none of its gates sits exactly at ε = 1/2. Every lane runs
+    the full vector budget; the returned array is parallel to
+    [epsilon_of_lanes] (empty input returns [[||]]). Defaults and the
+    [jobs] seed-jump discipline match {!simulate}. *)
+
 val output_reliability : result -> float
 (** [1 - any_output_error]: the empirical probability that the whole
     output word is correct. *)

@@ -1248,7 +1248,9 @@ let pack_grid c eps =
         if not (e >= 0. && e <= 0.5) then
           invalid_arg
             (Printf.sprintf
-               "Compiled.pack_grid: lane %d: epsilon must lie in [0, 1/2]" k);
+               "Compiled.pack_grid: lane %d (every gate): epsilon %g must lie \
+                in [0, 1/2]"
+               k e);
         Nano_util.Prng.threshold_bits ~p:e)
       eps
   in
@@ -1263,6 +1265,53 @@ let pack_grid c eps =
     end
   done;
   { gp_thr = thr; gp_lanes = lanes; gp_nodes = c.node_count }
+
+(* The heterogeneous packer exploits what the homogeneous one wastes:
+   rows are already per schedule position (stride 8*(lanes+1)), the
+   execution loop already reads thresholds at [p * stride], so varying
+   epsilon per GATE as well as per lane costs nothing at run time — only
+   the pack differs: each noisy position gets its own row and its own
+   row maximum (the early-out stays as tight as that gate allows,
+   instead of the global maximum). *)
+let pack_grid_heterogeneous c eps =
+  let lanes = Array.length eps in
+  if lanes < 1 then
+    invalid_arg "Compiled.pack_grid_heterogeneous: need at least one lane";
+  let n = c.node_count in
+  Array.iteri
+    (fun k row ->
+      if Array.length row <> n then
+        invalid_arg
+          (Printf.sprintf
+             "Compiled.pack_grid_heterogeneous: lane %d: expected %d epsilons \
+              (one per node), got %d"
+             k n (Array.length row));
+      Array.iteri
+        (fun id e ->
+          if not (e >= 0. && e <= 0.5) then
+            invalid_arg
+              (Printf.sprintf
+                 "Compiled.pack_grid_heterogeneous: lane %d, node %d: epsilon \
+                  %g must lie in [0, 1/2]"
+                 k id e))
+        row)
+    eps;
+  let stride = (lanes + 1) lsl 3 in
+  let thr = Bytes.make (max 8 (n * stride)) '\000' in
+  for id = 0 to n - 1 do
+    if Bytes.get c.noisy id <> '\000' then begin
+      let p = c.slot_of.(id) in
+      let base = p * stride in
+      let tmax = ref 0L in
+      for k = 0 to lanes - 1 do
+        let t = Nano_util.Prng.threshold_bits ~p:eps.(k).(id) in
+        set64 thr (base + ((k + 1) lsl 3)) t;
+        if Int64.compare t !tmax > 0 then tmax := t
+      done;
+      set64 thr base !tmax
+    end
+  done;
+  { gp_thr = thr; gp_lanes = lanes; gp_nodes = n }
 
 (* The fused per-point sweep: one pass over the levelized program per
    block of [block] words computes the golden evaluation, both noisy

@@ -331,7 +331,24 @@ type grid_pack
 val pack_grid : t -> float array -> grid_pack
 (** [pack_grid c eps] with one epsilon per lane, each in [[0, 1/2]]
     (non-empty) — the blocked counterpart of {!pack_epsilons_batch}.
-    Raises [Invalid_argument] naming the offending lane otherwise. *)
+    Raises [Invalid_argument] naming the offending lane and value
+    otherwise. *)
+
+val pack_grid_heterogeneous : t -> float array array -> grid_pack
+(** [pack_grid_heterogeneous c eps] with [eps.(k).(id)] lane [k]'s
+    epsilon at node [id] ([lanes] rows of [node_count c] entries,
+    non-noisy nodes ignored), each in [[0, 1/2]]. The resulting pack
+    runs through {!run_noisy_grid_words} unchanged — the blocked layout
+    already carries one threshold row per schedule position, so
+    per-gate variation only changes what the pack writes there: each
+    noisy gate's row holds its own [lanes] thresholds and its own row
+    maximum, keeping the early-out as tight as that gate allows. Lane
+    [k] of a run is bit-identical to a per-point
+    heterogeneous run at epsilons [eps.(k)] whenever no entry is
+    exactly [1/2] (the grid kernel always consumes 64 shared draws per
+    noisy gate, whereas the per-point pack consumes 1 at [1/2]).
+    Raises [Invalid_argument] naming the offending lane and node
+    otherwise. *)
 
 val grid_lanes : grid_pack -> int
 

@@ -71,3 +71,20 @@ let voter_epsilon_of hardened ~gate_epsilon ~voter_epsilon =
 let size_overhead ~original ~hardened =
   float_of_int (Netlist.size hardened.netlist)
   /. float_of_int (Netlist.size original)
+
+(* The voter-robustness trade study as ONE simulation pass: each
+   candidate voter ε is a lane of the heterogeneous grid kernel, so the
+   whole sweep shares input draws and gate noise by common random
+   numbers — differences between voter classes are measured with
+   collapsed variance, and each lane still equals the corresponding
+   stand-alone [simulate_heterogeneous] run bit-for-bit (ε ≠ 1/2). *)
+let sweep_voter_epsilons ?seed ?vectors ?input_probability ?jobs ?block
+    hardened ~gate_epsilon ~voter_epsilons =
+  Nano_faults.Noisy_sim.profile_grid_heterogeneous ?seed ?vectors
+    ?input_probability ?jobs ?block
+    ~epsilon_of_lanes:
+      (Array.map
+         (fun voter_epsilon ->
+           voter_epsilon_of hardened ~gate_epsilon ~voter_epsilon)
+         voter_epsilons)
+    hardened.netlist

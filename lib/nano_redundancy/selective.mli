@@ -44,3 +44,24 @@ val voter_epsilon_of :
 
 val size_overhead : original:Nano_netlist.Netlist.t -> hardened:hardened -> float
 (** Gate-count ratio hardened / original. *)
+
+val sweep_voter_epsilons :
+  ?seed:int ->
+  ?vectors:int ->
+  ?input_probability:float ->
+  ?jobs:int ->
+  ?block:int ->
+  hardened ->
+  gate_epsilon:float ->
+  voter_epsilons:float array ->
+  Nano_faults.Noisy_sim.result array
+(** [sweep_voter_epsilons hardened ~gate_epsilon ~voter_epsilons] runs
+    the voter-robustness trade study as one fused pass of
+    [Noisy_sim.profile_grid_heterogeneous]: lane [k] assigns
+    [voter_epsilons.(k)] to the inserted voters and [gate_epsilon]
+    everywhere else (exactly {!voter_epsilon_of}). Lanes share input
+    and noise randomness (common random numbers), so the sweep answers
+    "how much does a better voter device buy?" with collapsed variance
+    while each lane stays bit-identical to the stand-alone
+    [simulate_heterogeneous] run at the same seed (for ε ≠ 1/2).
+    Returned array is parallel to [voter_epsilons]. *)

@@ -239,6 +239,8 @@ let prepare t ~deadline (env : Protocol.envelope) =
                           (List.map
                              (fun w -> Json.Int w)
                              (Nano_netlist.Compiled.cached_block_widths ())) );
+                      ( "simd_level",
+                        Json.String (Nano_util.Prng.simd_level ()) );
                     ] );
                 ( "lint_cache",
                   Json.Obj

@@ -302,6 +302,28 @@ external xor_noise_lanes_blocked_stub :
 [@@noalloc]
 
 external simd_width : unit -> int = "nano_prng_simd_width" [@@noalloc]
+external simd_level_id : unit -> int = "nano_prng_simd_level" [@@noalloc]
+
+let simd_level () =
+  match simd_level_id () with
+  | 1 -> "avx2"
+  | 2 -> "avx512"
+  | 3 -> "neon"
+  | _ -> "scalar"
+
+external store_density_blocked_stub :
+  Bytes.t ->
+  int ->
+  int ->
+  int ->
+  Bytes.t ->
+  int ->
+  Bytes.t ->
+  int ->
+  int ->
+  unit
+  = "nano_prng_store_density_blocked_bytes" "nano_prng_store_density_blocked"
+[@@noalloc]
 
 let xor_noise_blocked t ~offset ~stride ~width ~thr ~thr_pos dst ~pos =
   xor_noise_blocked_stub t.buf offset stride width thr thr_pos dst pos
@@ -317,7 +339,7 @@ let xor_noise_lanes_blocked t ~offset ~stride ~width ~thr ~thr_pos ~lanes
   xor_noise_lanes_blocked_stub t.buf offset stride width thr thr_pos lanes dst
     pos
 
-let store_words_with_density_at t ~offset ~stride ~width ~p dst ~pos
+let store_words_with_density_at_ref t ~offset ~stride ~width ~p dst ~pos
     ~pos_stride =
   check_density p;
   let gstride = Int64.mul (Int64.of_int stride) golden_gamma in
@@ -344,6 +366,28 @@ let store_words_with_density_at t ~offset ~stride ~width ~p dst ~pos
       set64 dst (pos + (j * pos_stride)) !acc;
       base := Int64.add !base gstride
     done
+  end
+
+let store_words_with_density_at t ~offset ~stride ~width ~p dst ~pos
+    ~pos_stride =
+  check_density p;
+  if p = 0.5 then begin
+    (* One draw per word; too little arithmetic for the stub to win. *)
+    let gstride = Int64.mul (Int64.of_int stride) golden_gamma in
+    let base = ref (state_at t offset) in
+    for j = 0 to width - 1 do
+      set64 dst (pos + (j * pos_stride)) (mix (Int64.add !base golden_gamma));
+      base := Int64.add !base gstride
+    done
+  end
+  else begin
+    (* The integer threshold travels through the scratch word of [t]'s
+       own buffer: the stub reads the state at byte 0 and the threshold
+       at [scratch_pos], so the call passes only immediates and existing
+       pointers — no box, no allocation ([@@noalloc] holds). *)
+    set64 t.buf scratch_pos (Int64.of_float (Float.ceil (p *. two53)));
+    store_density_blocked_stub t.buf offset stride width t.buf scratch_pos dst
+      pos pos_stride
   end
 
 let word_with_density t ~p =

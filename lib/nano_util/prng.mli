@@ -197,8 +197,14 @@ val xor_noise_lanes_blocked_ref :
 
 val simd_width : unit -> int
 (** Draws per SIMD step of the C noise kernels on this machine: 8
-    (AVX-512), 4 (AVX2) or 1 (portable scalar). Informational — results
-    are bit-identical on every path. *)
+    (AVX-512), 4 (AVX2), 2 (NEON) or 1 (portable scalar).
+    Informational — results are bit-identical on every path. *)
+
+val simd_level : unit -> string
+(** Name of the kernel family the load-time dispatch resolved to:
+    ["scalar"], ["avx2"], ["avx512"] or ["neon"]. Recorded in BENCH
+    files and the service stats so numbers can be traced to the kernel
+    that produced them. *)
 
 val store_words_with_density_at :
   t ->
@@ -215,7 +221,24 @@ val store_words_with_density_at :
     [pos, pos + pos_stride, ...]: word [j] consumes the
     [draws_per_word ~p] draws starting [offset + j*stride] ahead of
     [t]'s state, producing exactly the word {!store_word_with_density}
-    would there. Does not mutate [t]. *)
+    would there. Does not mutate [t], except that the [p <> 0.5] path
+    (a SIMD C stub, like the noise kernels) clobbers the private
+    scratch word of [t]'s buffer to pass the integer threshold without
+    boxing. *)
+
+val store_words_with_density_at_ref :
+  t ->
+  offset:int ->
+  stride:int ->
+  width:int ->
+  p:float ->
+  Bytes.t ->
+  pos:int ->
+  pos_stride:int ->
+  unit
+(** Pure-OCaml reference implementation of
+    {!store_words_with_density_at}; same role as
+    {!xor_noise_blocked_ref}. *)
 
 val draws_per_word : p:float -> int
 (** Number of {!bits64} calls one [word_with_density ~p] consumes (1 when

@@ -10,12 +10,22 @@
  * every SIMD variant below must keep the integer semantics exact.
  *
  * The positioned-draw scheme is what makes this vectorizable at all:
- * the 64 states of one word form an arithmetic progression, so 4 or 8
- * draws can be mixed in independent SIMD lanes with no cross-draw
+ * the 64 states of one word form an arithmetic progression, so 2, 4 or
+ * 8 draws can be mixed in independent SIMD lanes with no cross-draw
  * dependency. Dispatch is resolved once at load time:
  * AVX-512 (F+DQ: native 64-bit vector multiply, 8 draws/step) when the
  * CPU has it, then AVX2 (emulated 64-bit multiply, 4 draws/step), then
- * portable scalar C. Non-x86 builds compile the scalar path only.
+ * portable scalar C. aarch64 builds select NEON (emulated 64-bit
+ * multiply, 2 draws/step) at compile time — Advanced SIMD is baseline
+ * on ARMv8, so no runtime probe is needed. Other targets compile the
+ * scalar path only.
+ *
+ * Three kernel families share the mask machinery:
+ *   - xor_noise_blocked: XOR a 64-draw flip mask into each word;
+ *   - xor_noise_lanes_blocked: one shared uniform per bit position
+ *     thinned against per-lane thresholds (the CRN grid kernel);
+ *   - store_density_blocked: STORE the 64-draw mask — biased input
+ *     stimulus, same draw order and threshold rule as the noise path.
  */
 
 #include <stdint.h>
@@ -214,12 +224,87 @@ static int simd_width(void) {
   return 1;
 }
 
-#else /* !x86_64: scalar only */
+/* 0 = scalar, 1 = avx2, 2 = avx512, 3 = neon (Prng.simd_level). */
+static int simd_level(void) {
+  if (noise_mask_fn == noise_mask_avx512) return 2;
+  if (noise_mask_fn == noise_mask_avx2) return 1;
+  return 0;
+}
+
+#elif defined(__aarch64__) && defined(__GNUC__)
+#include <arm_neon.h>
+
+/* ---------------- NEON paths (2 draws/step) ---------------- */
+
+/* NEON has no 64x64-bit vector multiply; build lo(a*b) from the same
+ * three 32x32 partial products as the AVX2 path, using the widening
+ * vmull_u32 on the narrowed halves. */
+static inline uint64x2_t mul64_x2(uint64x2_t a, uint64x2_t b) {
+  uint32x2_t a_lo = vmovn_u64(a);
+  uint32x2_t b_lo = vmovn_u64(b);
+  uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  uint64x2_t cross = vaddq_u64(vmull_u32(a_lo, b_hi), vmull_u32(a_hi, b_lo));
+  return vaddq_u64(vmull_u32(a_lo, b_lo), vshlq_n_u64(cross, 32));
+}
+
+static inline uint64x2_t mix64_x2(uint64x2_t z) {
+  z = mul64_x2(veorq_u64(z, vshrq_n_u64(z, 30)), vdupq_n_u64(MIX1));
+  z = mul64_x2(veorq_u64(z, vshrq_n_u64(z, 27)), vdupq_n_u64(MIX2));
+  return veorq_u64(z, vshrq_n_u64(z, 31));
+}
+
+static uint64_t noise_mask_neon(uint64_t base, uint64_t t) {
+  /* Draw pair k covers bit positions 2k and 2k+1; lane l of the pair is
+   * the draw at base + (2k + l + 1) * gamma. */
+  uint64x2_t s = vcombine_u64(vcreate_u64(base + 1 * GAMMA),
+                              vcreate_u64(base + 2 * GAMMA));
+  const uint64x2_t step = vdupq_n_u64(2 * GAMMA);
+  const uint64x2_t vt = vdupq_n_u64(t);
+  uint64_t mask = 0;
+  for (int k = 0; k < 32; k++) {
+    uint64x2_t u = vshrq_n_u64(mix64_x2(s), 11);
+    uint64x2_t lt = vcltq_u64(u, vt);
+    mask |= (vgetq_lane_u64(lt, 0) & 1) << (2 * k);
+    mask |= (vgetq_lane_u64(lt, 1) & 1) << (2 * k + 1);
+    s = vaddq_u64(s, step);
+  }
+  return mask;
+}
+
+static uint64_t noise_candidates_neon(uint64_t base, uint64_t tmax,
+                                      uint64_t *uout) {
+  uint64x2_t s = vcombine_u64(vcreate_u64(base + 1 * GAMMA),
+                              vcreate_u64(base + 2 * GAMMA));
+  const uint64x2_t step = vdupq_n_u64(2 * GAMMA);
+  const uint64x2_t vt = vdupq_n_u64(tmax);
+  uint64_t mask = 0;
+  for (int k = 0; k < 32; k++) {
+    uint64x2_t u = vshrq_n_u64(mix64_x2(s), 11);
+    uint64x2_t lt = vcltq_u64(u, vt);
+    uint64_t m0 = vgetq_lane_u64(lt, 0) & 1;
+    uint64_t m1 = vgetq_lane_u64(lt, 1) & 1;
+    mask |= (m0 << (2 * k)) | (m1 << (2 * k + 1));
+    /* Uniforms are only read on the rare candidate path. */
+    if (m0 | m1) vst1q_u64(uout + 2 * k, u);
+    s = vaddq_u64(s, step);
+  }
+  return mask;
+}
+
+#define noise_mask_fn noise_mask_neon
+#define noise_candidates_fn noise_candidates_neon
+
+static int simd_width(void) { return 2; }
+static int simd_level(void) { return 3; }
+
+#else /* neither x86_64 nor aarch64: scalar only */
 
 #define noise_mask_fn noise_mask_scalar
 #define noise_candidates_fn noise_candidates_scalar
 
 static int simd_width(void) { return 1; }
+static int simd_level(void) { return 0; }
 
 #endif
 
@@ -228,6 +313,47 @@ static int simd_width(void) { return 1; }
 CAMLprim value nano_prng_simd_width(value unit) {
   (void)unit;
   return Val_int(simd_width());
+}
+
+CAMLprim value nano_prng_simd_level(value unit) {
+  (void)unit;
+  return Val_int(simd_level());
+}
+
+/* (state_buf, offset, stride, width, thr, thr_pos, dst, pos,
+ * pos_stride): STORE [width] stimulus words into dst, word j at byte
+ * offset pos + j*pos_stride, drawn from stream position
+ * offset + j*stride and thresholded at the int64 read from thr at
+ * thr_pos — the biased-density input path. Bit i of a word is set iff
+ * the draw at base + (i+1)*gamma falls below the threshold: exactly
+ * the noise kernels' mask, so the same SIMD mask function serves, only
+ * the combine differs (store, and a byte stride between words, because
+ * stimulus words of one input land one block apart in the buffer). */
+CAMLprim value nano_prng_store_density_blocked(value vstate, value voffset,
+                                               value vstride, value vwidth,
+                                               value vthr, value vthrpos,
+                                               value vdst, value vpos,
+                                               value vposstride) {
+  uint64_t s0 = load64((unsigned char *)Bytes_val(vstate));
+  uint64_t base = s0 + (uint64_t)Long_val(voffset) * GAMMA;
+  uint64_t gstride = (uint64_t)Long_val(vstride) * GAMMA;
+  intnat width = Long_val(vwidth);
+  uint64_t t = load64((unsigned char *)Bytes_val(vthr) + Long_val(vthrpos));
+  unsigned char *dst = (unsigned char *)Bytes_val(vdst) + Long_val(vpos);
+  intnat pos_stride = Long_val(vposstride);
+  for (intnat j = 0; j < width; j++) {
+    store64(dst, noise_mask_fn(base, t));
+    dst += pos_stride;
+    base += gstride;
+  }
+  return Val_unit;
+}
+
+CAMLprim value nano_prng_store_density_blocked_bytes(value *argv, int argn) {
+  (void)argn;
+  return nano_prng_store_density_blocked(argv[0], argv[1], argv[2], argv[3],
+                                         argv[4], argv[5], argv[6], argv[7],
+                                         argv[8]);
 }
 
 /* (state_buf, offset, stride, width, thr, thr_pos, dst, pos):

@@ -326,16 +326,40 @@ let test_pack_validation_messages () =
   check "pack_epsilons_batch names the lane"
     "Compiled.pack_epsilons_batch: lane 2: epsilon must lie in [0, 1/2]"
     (fun () -> Compiled.pack_epsilons_batch c [| 0.1; 0.2; 0.7 |]);
-  check "pack_grid names the lane"
-    "Compiled.pack_grid: lane 1: epsilon must lie in [0, 1/2]" (fun () ->
-      Compiled.pack_grid c [| 0.1; 0.9 |]);
+  check "pack_grid names the lane and value"
+    "Compiled.pack_grid: lane 1 (every gate): epsilon 0.9 must lie in [0, 1/2]"
+    (fun () -> Compiled.pack_grid c [| 0.1; 0.9 |]);
   let eps = Array.make (Compiled.node_count c) 0.01 in
   let bad = (Compiled.output_ids c).(0) in
   eps.(bad) <- 0.6;
   check "pack_noise names the node"
     (Printf.sprintf
        "Compiled.pack_noise: node %d: epsilon must lie in [0, 1/2]" bad)
-    (fun () -> Compiled.pack_noise c eps)
+    (fun () -> Compiled.pack_noise c eps);
+  check "pack_grid_heterogeneous rejects an empty lane set"
+    "Compiled.pack_grid_heterogeneous: need at least one lane" (fun () ->
+      Compiled.pack_grid_heterogeneous c [||]);
+  check "pack_grid_heterogeneous names the short lane"
+    (Printf.sprintf
+       "Compiled.pack_grid_heterogeneous: lane 1: expected %d epsilons (one \
+        per node), got 3"
+       (Compiled.node_count c))
+    (fun () ->
+      Compiled.pack_grid_heterogeneous c
+        [| Array.make (Compiled.node_count c) 0.1; Array.make 3 0.1 |]);
+  let rows =
+    [|
+      Array.make (Compiled.node_count c) 0.1;
+      Array.make (Compiled.node_count c) 0.2;
+    |]
+  in
+  rows.(1).(bad) <- 0.75;
+  check "pack_grid_heterogeneous names the lane and node"
+    (Printf.sprintf
+       "Compiled.pack_grid_heterogeneous: lane 1, node %d: epsilon 0.75 must \
+        lie in [0, 1/2]"
+       bad)
+    (fun () -> Compiled.pack_grid_heterogeneous c rows)
 
 (* The ROADMAP invariant carried over to the blocked kernel: once the
    pack and the blocked buffers exist, the fused noisy sweep allocates

@@ -236,8 +236,137 @@ let test_blocked_noise_stub_matches_reference () =
   done;
   (* The dispatcher picked SOME path; record that it answered sanely. *)
   Alcotest.(check bool)
-    "simd width is 1, 4 or 8" true
-    (List.mem (Prng.simd_width ()) [ 1; 4; 8 ])
+    "simd width is 1, 2, 4 or 8" true
+    (List.mem (Prng.simd_width ()) [ 1; 2; 4; 8 ])
+
+(* The resolved dispatch level is what BENCH files and the service
+   stats record; it must be one of the four known names and agree with
+   the reported draw width. *)
+let test_simd_level_consistent () =
+  let level = Prng.simd_level () in
+  let width = Prng.simd_width () in
+  Alcotest.(check bool)
+    (Printf.sprintf "known level %s" level)
+    true
+    (List.mem level [ "scalar"; "avx2"; "avx512"; "neon" ]);
+  let expected_width =
+    match level with
+    | "avx512" -> 8
+    | "avx2" -> 4
+    | "neon" -> 2
+    | _ -> 1
+  in
+  Alcotest.(check int) "width matches level" expected_width width
+
+(* The stimulus store stub must reproduce the pure-OCaml reference bit
+   for bit: every width the blocked kernel uses (and a ragged tail),
+   scattered/strided destinations, densities from degenerate (0, 1) to
+   values straddling the p = 1/2 fast path and the ceil(p*2^53)
+   rounding edge. *)
+let test_stimulus_stub_matches_reference () =
+  let rng = Prng.create ~seed:0x57e1 in
+  let scraps = Prng.create ~seed:0xfee2 in
+  let set64 b pos v = Bytes.set_int64_le b pos v in
+  let random_bytes len =
+    let b = Bytes.create len in
+    for i = 0 to (len / 8) - 1 do
+      set64 b (i * 8) (Prng.bits64 scraps)
+    done;
+    b
+  in
+  let p_choices =
+    [|
+      0.; 1e-9; Float.ldexp 1. (-53); 0.1; Float.pred 0.5; 0.5;
+      Float.succ 0.5; 0.9; 1. -. Float.ldexp 1. (-53); 1.;
+    |]
+  in
+  List.iter
+    (fun width ->
+      for trial = 0 to 9 do
+        let p = p_choices.((trial + width) mod Array.length p_choices) in
+        let offset = Prng.int scraps ~bound:1000 in
+        let stride = 1 + Prng.int scraps ~bound:200 in
+        (* Words land [pos_stride] bytes apart starting at a ragged
+           [pos], as in the blocked kernel's position-major buffers;
+           bytes between words must survive untouched. *)
+        let pos = 8 * Prng.int scraps ~bound:3 in
+        let pos_stride = 8 * (1 + Prng.int scraps ~bound:4) in
+        let len = pos + ((width - 1) * pos_stride) + 8 in
+        let a = random_bytes len in
+        let b = Bytes.copy a in
+        Prng.store_words_with_density_at_ref rng ~offset ~stride ~width ~p a
+          ~pos ~pos_stride;
+        Prng.store_words_with_density_at rng ~offset ~stride ~width ~p b ~pos
+          ~pos_stride;
+        Alcotest.(check bytes)
+          (Printf.sprintf "width %d trial %d (p=%h)" width trial p)
+          a b
+      done)
+    [ 1; 4; 8; 16 ]
+
+let prop_stimulus_density_sweep =
+  QCheck2.Test.make ~name:"stimulus stub = reference across densities"
+    ~count:100
+    QCheck2.Gen.(
+      triple (float_bound_inclusive 1.) (int_range 1 16) (int_range 0 5000))
+    (fun (p, width, offset) ->
+      let rng = Prng.create ~seed:0xd1ce in
+      let a = Bytes.make (width * 8) '\000' in
+      let b = Bytes.make (width * 8) '\000' in
+      Prng.store_words_with_density_at_ref rng ~offset ~stride:64 ~width ~p a
+        ~pos:0 ~pos_stride:8;
+      Prng.store_words_with_density_at rng ~offset ~stride:64 ~width ~p b
+        ~pos:0 ~pos_stride:8;
+      Bytes.equal a b)
+
+(* The stimulus draw-stream contract that seed-sharded simulation leans
+   on: word [j] of a positioned store is EXACTLY the word a sequential
+   generator draws after jumping [offset + j * draws_per_word ~p] —
+   one draw per word at p = 1/2, 64 otherwise, including both boundary
+   densities and values around the rounding edge. *)
+let test_stimulus_draw_stream_contract () =
+  let seed = 0xa11a in
+  List.iter
+    (fun p ->
+      let dpw = Prng.draws_per_word ~p in
+      Alcotest.(check int)
+        (Printf.sprintf "draws per word at p=%h" p)
+        (if p = 0.5 then 1 else 64)
+        dpw;
+      let width = 5 in
+      let shard_offset = 3 * dpw in
+      let blk = Bytes.make (width * 8) '\000' in
+      let rng = Prng.create ~seed in
+      Prng.store_words_with_density_at rng ~offset:shard_offset ~stride:dpw
+        ~width ~p blk ~pos:0 ~pos_stride:8;
+      for j = 0 to width - 1 do
+        let seq = Prng.create ~seed in
+        Prng.jump seq ~draws:(shard_offset + (j * dpw));
+        Alcotest.(check int64)
+          (Printf.sprintf "p=%h word %d aligns with jumped stream" p j)
+          (Prng.word_with_density seq ~p)
+          (Bytes.get_int64_ne blk (8 * j))
+      done;
+      (* Degenerate densities store constants — and still consume the
+         advertised 64 draws, never fewer. *)
+      if p = 0. then
+        for j = 0 to width - 1 do
+          Alcotest.(check int64)
+            (Printf.sprintf "p=0 word %d is zero" j)
+            0L
+            (Bytes.get_int64_ne blk (8 * j))
+        done;
+      if p = 1. then
+        for j = 0 to width - 1 do
+          Alcotest.(check int64)
+            (Printf.sprintf "p=1 word %d is all-ones" j)
+            (-1L)
+            (Bytes.get_int64_ne blk (8 * j))
+        done)
+    [
+      0.; 1.; 0.5; Float.pred 0.5; Float.succ 0.5; Float.ldexp 1. (-53);
+      1. -. Float.ldexp 1. (-53); 0.1; 0.9;
+    ]
 
 let suite =
   [
@@ -259,4 +388,11 @@ let suite =
     Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
     Alcotest.test_case "blocked noise stubs match OCaml reference" `Quick
       test_blocked_noise_stub_matches_reference;
+    Alcotest.test_case "simd level consistent with width" `Quick
+      test_simd_level_consistent;
+    Alcotest.test_case "stimulus stub matches OCaml reference" `Quick
+      test_stimulus_stub_matches_reference;
+    Helpers.qcheck prop_stimulus_density_sweep;
+    Alcotest.test_case "stimulus draw-stream contract" `Quick
+      test_stimulus_draw_stream_contract;
   ]

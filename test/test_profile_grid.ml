@@ -224,6 +224,119 @@ let test_block_width_invariance () =
     [ 4; 8 ]
 
 (* ------------------------------------------------------------------ *)
+(* Heterogeneous (per-gate) grid sweep.                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A couple of structurally different per-gate assignments: even/odd
+   striping and a depth-flavored split, at two scales each. *)
+let hetero_lanes () =
+  [|
+    (fun id -> if id mod 2 = 0 then 0.002 else 0.03);
+    (fun id -> if id mod 2 = 0 then 0.05 else 0.001);
+    (fun id -> if id mod 3 = 0 then 0.01 else 0.02);
+    (fun _ -> 0.015);
+  |]
+
+(* Each lane of the fused heterogeneous sweep must reproduce the
+   stand-alone per-point heterogeneous run bit for bit — including at a
+   biased input density, which routes the grid kernel's stimulus through
+   the SIMD store stub. *)
+let test_heterogeneous_lane_identity () =
+  let netlist = rca8 () in
+  List.iter
+    (fun input_probability ->
+      let lanes = hetero_lanes () in
+      let grid =
+        Noisy_sim.profile_grid_heterogeneous ~seed:13 ~vectors:4096
+          ~input_probability ~epsilon_of_lanes:lanes netlist
+      in
+      Alcotest.(check int)
+        "parallel to lanes" (Array.length lanes) (Array.length grid);
+      Array.iteri
+        (fun k epsilon_of ->
+          let point =
+            Noisy_sim.simulate_heterogeneous ~seed:13 ~vectors:4096
+              ~input_probability ~epsilon_of netlist
+          in
+          check_result_equal
+            (Printf.sprintf "p=%g lane %d" input_probability k)
+            point grid.(k))
+        lanes)
+    [ 0.5; 0.3 ]
+
+(* Gate-uniform lanes collapse to the homogeneous grid: the per-gate
+   pack with constant rows must land on exactly the same counters. *)
+let test_heterogeneous_matches_homogeneous () =
+  let netlist = rca8 () in
+  let epsilons = [| 0.004; 0.02; 0.08 |] in
+  let hom =
+    Noisy_sim.profile_grid ~seed:21 ~vectors:4096 ~epsilons netlist
+  in
+  let het =
+    Noisy_sim.profile_grid_heterogeneous ~seed:21 ~vectors:4096
+      ~epsilon_of_lanes:(Array.map (fun e _ -> e) epsilons)
+      netlist
+  in
+  Array.iteri
+    (fun i r ->
+      (* The heterogeneous engine reports the mean over logic gates,
+         which rounds (sum/count) where the homogeneous lane carries the
+         requested epsilon exactly; counters must still match bit for
+         bit. *)
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "lane %d: epsilon" i)
+        r.Noisy_sim.epsilon
+        het.(i).Noisy_sim.epsilon;
+      check_result_equal
+        (Printf.sprintf "lane %d" i)
+        { r with Noisy_sim.epsilon = het.(i).Noisy_sim.epsilon }
+        het.(i))
+    hom
+
+(* Jobs sharding and block width must not move a single bit, including
+   on a ragged tail (320 vectors = 5 words). *)
+let test_heterogeneous_jobs_block_invariance () =
+  let netlist = rca8 () in
+  let vectors = 320 in
+  let run ~block ~jobs =
+    Noisy_sim.profile_grid_heterogeneous ~seed:5 ~vectors ~block ~jobs
+      ~input_probability:0.3 ~epsilon_of_lanes:(hetero_lanes ()) netlist
+  in
+  let reference = run ~block:1 ~jobs:1 in
+  List.iter
+    (fun block ->
+      List.iter
+        (fun jobs ->
+          Array.iteri
+            (fun i r ->
+              check_result_equal
+                (Printf.sprintf "block=%d jobs=%d lane=%d" block jobs i)
+                reference.(i) r)
+            (run ~block ~jobs))
+        [ 1; 2; 4 ])
+    [ 1; 4; 8 ]
+
+let test_heterogeneous_edges () =
+  let netlist = rca8 () in
+  Alcotest.(check int)
+    "empty lane set" 0
+    (Array.length
+       (Noisy_sim.profile_grid_heterogeneous ~epsilon_of_lanes:[||] netlist));
+  let invalid f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  invalid (fun () ->
+      Noisy_sim.profile_grid_heterogeneous ~jobs:0
+        ~epsilon_of_lanes:[| (fun _ -> 0.01) |]
+        netlist);
+  invalid (fun () ->
+      Noisy_sim.profile_grid_heterogeneous
+        ~epsilon_of_lanes:[| (fun _ -> 0.7) |]
+        netlist)
+
+(* ------------------------------------------------------------------ *)
 (* Compiled-program memo observability.                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -307,6 +420,14 @@ let suite =
     Alcotest.test_case "argument validation" `Quick test_validation;
     Alcotest.test_case "bit-identical at block widths 1/4/8" `Quick
       test_block_width_invariance;
+    Alcotest.test_case "heterogeneous lanes bit-identical to per-point" `Quick
+      test_heterogeneous_lane_identity;
+    Alcotest.test_case "heterogeneous with uniform rows = homogeneous" `Quick
+      test_heterogeneous_matches_homogeneous;
+    Alcotest.test_case "heterogeneous bit-identical across jobs/blocks" `Quick
+      test_heterogeneous_jobs_block_invariance;
+    Alcotest.test_case "heterogeneous edge cases" `Quick
+      test_heterogeneous_edges;
     Alcotest.test_case "memo stats and clear_cache" `Quick test_memo_stats;
     Alcotest.test_case "batched inner loop allocates nothing" `Quick
       test_zero_allocation_batch;

@@ -131,6 +131,57 @@ let test_heterogeneous_simulation_basics () =
     b.Noisy_sim.any_output_error;
   Helpers.check_float "mean epsilon" 0.03 b.Noisy_sim.epsilon
 
+let test_sweep_voter_epsilons () =
+  (* Each lane of the fused sweep must be bit-identical to a
+     stand-alone heterogeneous run with the same voter_epsilon_of
+     assignment, and the whole sweep must be jobs-invariant. *)
+  let n = base () in
+  let hardened = Selective.harden_top ~fraction:0.5 n in
+  let gate_epsilon = 0.01 in
+  let voter_epsilons = [| 0.0005; 0.002; 0.008 |] in
+  let seed = 23 and vectors = 4096 in
+  let sweep =
+    Selective.sweep_voter_epsilons ~seed ~vectors hardened ~gate_epsilon
+      ~voter_epsilons
+  in
+  Alcotest.(check int)
+    "one result per voter class"
+    (Array.length voter_epsilons)
+    (Array.length sweep);
+  Array.iteri
+    (fun k voter_epsilon ->
+      let epsilon_of =
+        Selective.voter_epsilon_of hardened ~gate_epsilon ~voter_epsilon
+      in
+      let solo =
+        Noisy_sim.simulate_heterogeneous ~seed ~vectors ~epsilon_of
+          hardened.Selective.netlist
+      in
+      Helpers.check_float
+        (Printf.sprintf "lane %d delta" k)
+        solo.Noisy_sim.any_output_error
+        sweep.(k).Noisy_sim.any_output_error;
+      List.iter2
+        (fun (name, solo_d) (name', sweep_d) ->
+          Alcotest.(check string) "output name" name name';
+          Helpers.check_float
+            (Printf.sprintf "lane %d output %s" k name)
+            solo_d sweep_d)
+        solo.Noisy_sim.per_output_error
+        sweep.(k).Noisy_sim.per_output_error)
+    voter_epsilons;
+  let sweep_j =
+    Selective.sweep_voter_epsilons ~seed ~vectors ~jobs:4 hardened
+      ~gate_epsilon ~voter_epsilons
+  in
+  Array.iteri
+    (fun k r ->
+      Helpers.check_float
+        (Printf.sprintf "jobs-invariant lane %d" k)
+        r.Noisy_sim.any_output_error
+        sweep_j.(k).Noisy_sim.any_output_error)
+    sweep
+
 let suite =
   [
     Alcotest.test_case "function preserved" `Quick test_function_preserved;
@@ -144,4 +195,6 @@ let suite =
     Alcotest.test_case "harden_top" `Quick test_harden_top;
     Alcotest.test_case "heterogeneous sim basics" `Quick
       test_heterogeneous_simulation_basics;
+    Alcotest.test_case "fused voter-epsilon sweep" `Quick
+      test_sweep_voter_epsilons;
   ]
