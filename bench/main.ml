@@ -29,7 +29,11 @@
    (p <> 1/2 input density, SIMD stimulus kernel) and heterogeneous
    epsilon-grid (fused per-gate sweep vs per-config passes) tables and
    records them, with the resolved SIMD dispatch level, to
-   BENCH_pr9.json; [--block-width N] applies as for --kernel-only. *)
+   BENCH_pr9.json; [--block-width N] applies as for --kernel-only.
+   --static-only prints the static-bounds-vs-Monte-Carlo soundness and
+   latency table (per-output interval containment, >= 100x speedup
+   over a cold 4096-vector simulation) and records it to
+   BENCH_pr10.json. *)
 
 module Figures = Nano_bounds.Figures
 module Par = Nano_util.Par
@@ -62,6 +66,8 @@ let kernel_only = Array.exists (( = ) "--kernel-only") Sys.argv
 let tech_only = Array.exists (( = ) "--tech-only") Sys.argv
 
 let stimulus_only = Array.exists (( = ) "--stimulus-only") Sys.argv
+
+let static_only = Array.exists (( = ) "--static-only") Sys.argv
 
 let int_flag name default =
   let rec find = function
@@ -1043,6 +1049,173 @@ let print_stimulus_throughput () =
   print_string "(written to BENCH_pr9.json)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis vs Monte Carlo: the PR 10 soundness/latency table.   *)
+(* ------------------------------------------------------------------ *)
+
+(* Two claims. Soundness, checked on every circuit: each per-output
+   static error interval, widened by the Agresti–Coull half-width of
+   the measured point, contains the 4096-vector Monte-Carlo estimate
+   (the seed is pinned, so a containment failure is a kernel or
+   analyzer bug, not sampling luck). Latency: one static pass replaces
+   the full 4096-vector MC profile — switching activity
+   (Activity.monte_carlo), the output-error estimate
+   (Noisy_sim.simulate) and the per-gate fault-injection criticality
+   ranking (Criticality.analyze, what `harden_top` runs) — so the MC
+   column prices all three, compile included, because that is what a
+   cold caller actually pays. The >= 100x requirement is checked on
+   the suite aggregate (total MC wall-time over total static
+   wall-time); per-circuit ratios are recorded unsummarised, and on
+   tiny circuits (c17) they legitimately sit below 100x because the
+   SIMD kernel amortises nothing there. On tree circuits (parity16)
+   the intervals are points that must sit within one confidence
+   half-width of the measurement. *)
+let print_static_analysis () =
+  let module Static = Nano_static.Static in
+  let epsilon = 0.01 in
+  let vectors = 4096 in
+  let seed = 0x5eed in
+  (* Deterministic stream: z = 3 is margin against the one fixed draw,
+     not against repeated sampling. *)
+  let z = 3. in
+  let half_width errors =
+    let n = float_of_int vectors in
+    let pt = (errors *. n +. 2.) /. (n +. 4.) in
+    z *. sqrt (pt *. (1. -. pt) /. n)
+  in
+  let circuits =
+    List.filter_map
+      (fun name ->
+        Option.map
+          (fun e -> (name, e.Nano_circuits.Suite.build ()))
+          (Nano_circuits.Suite.find name))
+      [ "c17"; "rca8"; "parity16"; "intctl27"; "alu8"; "mult16" ]
+  in
+  let entries =
+    List.map
+      (fun (name, circuit) ->
+        ignore (Static.analyze ~epsilon circuit);
+        let analysis, t_static =
+          time (fun () -> Static.analyze ~epsilon circuit)
+        in
+        (* Cold one-shots: compilation is charged to the simulation,
+           because the static pass needs no compiled program at all. *)
+        let _, t_activity =
+          time (fun () ->
+              Nano_sim.Activity.monte_carlo ~seed ~vectors circuit)
+        in
+        let sim, t_sim =
+          time (fun () ->
+              Nano_faults.Noisy_sim.simulate ~seed ~vectors ~epsilon circuit)
+        in
+        let _, t_crit =
+          time (fun () ->
+              Nano_faults.Criticality.analyze ~seed ~vectors circuit)
+        in
+        let t_mc = t_activity +. t_sim +. t_crit in
+        let contained =
+          List.for_all2
+            (fun (o, iv) (o', measured) ->
+              assert (o = o');
+              Static.contains iv ~slack:(half_width measured) measured)
+            analysis.Static.per_output_error
+            sim.Nano_faults.Noisy_sim.per_output_error
+        in
+        let tree = List.for_all (fun (_, iv) -> Static.is_point iv)
+            analysis.Static.per_output_error
+        in
+        let tree_within_ci =
+          (not tree)
+          || List.for_all2
+               (fun (_, iv) (_, measured) ->
+                 Float.abs (iv.Static.lo -. measured)
+                 <= half_width measured)
+               analysis.Static.per_output_error
+               sim.Nano_faults.Noisy_sim.per_output_error
+        in
+        let vacuous =
+          List.length
+            (List.filter
+               (fun (_, iv) -> Static.vacuous iv)
+               analysis.Static.per_output_error)
+        in
+        let speedup = t_mc /. t_static in
+        ( name,
+          Array.length analysis.Static.nodes,
+          analysis.Static.exact_nodes,
+          vacuous,
+          1e6 *. t_static,
+          1e3 *. t_mc,
+          speedup,
+          contained,
+          tree,
+          tree_within_ci ))
+      circuits
+  in
+  let total_static_us =
+    List.fold_left (fun s (_, _, _, _, us, _, _, _, _, _) -> s +. us) 0.
+      entries
+  in
+  let total_mc_ms =
+    List.fold_left (fun s (_, _, _, _, _, ms, _, _, _, _) -> s +. ms) 0.
+      entries
+  in
+  let total_speedup = 1e3 *. total_mc_ms /. total_static_us in
+  Printf.printf
+    "== Static bounds vs Monte Carlo (%d vectors, eps=%g, seed=%#x, \
+     z=%g) ==\n"
+    vectors epsilon seed z;
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "circuit"; "nodes"; "exact"; "vacuous"; "static us"; "mc ms";
+           "speedup"; "contained"; "tree"; "tree_in_ci";
+         ]
+       ~rows:
+         (List.map
+            (fun (name, nodes, exact, vac, us, ms, speedup, contained,
+                  tree, in_ci) ->
+              [
+                name;
+                string_of_int nodes;
+                string_of_int exact;
+                string_of_int vac;
+                Printf.sprintf "%.0f" us;
+                Printf.sprintf "%.2f" ms;
+                Printf.sprintf "%.0fx" speedup;
+                string_of_bool contained;
+                string_of_bool tree;
+                string_of_bool in_ci;
+              ])
+            entries));
+  Printf.printf
+    "aggregate: static %.0fus, mc %.0fms, speedup %.0fx, ge_100x %b\n"
+    total_static_us total_mc_ms total_speedup (total_speedup >= 100.);
+  let oc = open_out "BENCH_pr10.json" in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"static analysis vs Monte Carlo\",\n  \
+     \"vectors\": %d,\n  \"epsilon\": %g,\n  \"seed\": %d,\n  \"z\": %g,\n  \
+     \"circuits\": [\n"
+    vectors epsilon seed z;
+  List.iteri
+    (fun i (name, nodes, exact, vac, us, ms, speedup, contained,
+            tree, in_ci) ->
+      Printf.fprintf oc
+        "    {\"circuit\": \"%s\", \"nodes\": %d, \"exact_nodes\": %d, \
+         \"vacuous_outputs\": %d, \"static_us\": %.1f, \"mc_ms\": %.2f, \
+         \"speedup\": %.1f, \"contained\": %b, \
+         \"tree\": %b, \"tree_within_ci\": %b}%s\n"
+        name nodes exact vac us ms speedup contained tree in_ci
+        (if i = List.length entries - 1 then "" else ","))
+    entries;
+  Printf.fprintf oc
+    "  ],\n  \"aggregate\": {\"static_us\": %.1f, \"mc_ms\": %.2f, \
+     \"speedup\": %.1f, \"speedup_ge_100x\": %b}\n}\n"
+    total_static_us total_mc_ms total_speedup (total_speedup >= 100.);
+  close_out oc;
+  print_string "(written to BENCH_pr10.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Technology packs: absolute-energy report cost + cache identity.      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1818,6 +1991,9 @@ let () =
     exit 0);
   if stimulus_only then (
     print_stimulus_throughput ();
+    exit 0);
+  if static_only then (
+    print_static_analysis ();
     exit 0);
   if tech_only then (
     print_tech_report ();

@@ -8,7 +8,8 @@
      inject    Monte-Carlo fault injection on a circuit
      equiv     combinational equivalence (auto | BDD | SAT backends)
      critical  gate observability ranking + analytic reliability
-     sweep     print the data series behind Figures 2-6
+     static    static reliability bounds (no Monte Carlo); criticality
+     sweep     figure data series; `sweep voters' voter-class trade study
      lint      static analysis: structural + dataflow diagnostics
      suite     list built-in benchmark circuits
      serve     persistent evaluation daemon (newline-delimited JSON)
@@ -208,7 +209,7 @@ let bounds_cmd =
 
 let analyze_cmd =
   let run spec delta leakage_share0 epsilons no_map glitch measure vectors
-      tech jobs format =
+      tech static_activity jobs format =
     let tech =
       match tech with
       | None -> None
@@ -263,7 +264,18 @@ let analyze_cmd =
       let tech_report =
         Option.map
           (fun pack ->
-            Nano_tech.Report.analyze ~delta ~epsilons ~pack ~profile mapped)
+            (* --static-activity swaps the pinned 4096-vector activity
+               estimate for the static analyzer's interval midpoints
+               (epsilon 0: the report weights error-free switching). *)
+            let node_activity =
+              if static_activity then
+                Some
+                  (Nano_static.Static.node_activity_estimate
+                     (Nano_static.Static.analyze ~epsilon:0. mapped))
+              else None
+            in
+            Nano_tech.Report.analyze ~delta ~epsilons ?node_activity ~pack
+              ~profile mapped)
           tech
       in
       (match format with
@@ -394,11 +406,22 @@ let analyze_cmd =
          & info [ "vectors" ] ~docv:"N"
              ~doc:"Random input vectors for $(b,--measure).")
   in
+  let static_activity =
+    Arg.(
+      value & flag
+      & info [ "static-activity" ]
+          ~doc:
+            "With $(b,--tech): weight switching energy by the static \
+             analyzer's activity estimate (microseconds, no \
+             simulation) instead of the pinned 4096-vector Monte-Carlo \
+             profile.")
+  in
   let doc = "Profile a circuit and print its fault-tolerance lower bounds" in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(
       const run $ circuit_arg $ delta_arg $ leakage_arg $ epsilons $ no_map
-      $ glitch $ measure $ vectors $ tech_arg $ jobs_arg $ format_arg)
+      $ glitch $ measure $ vectors $ tech_arg $ static_activity $ jobs_arg
+      $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* tech                                                                 *)
@@ -819,9 +842,8 @@ let sweep_cmd =
         ( Nano_bounds.Figures.measured_delta ~jobs circuits,
           "Measured output error (batched Monte-Carlo)", "eps", "delta-hat" )
       | other ->
-        prerr_endline
-          ("unknown figure: " ^ other
-         ^ " (fig2|fig3|fig4|fig5|fig6|omega|delta)");
+        (* Unreachable: figures are dispatched as subcommands below. *)
+        prerr_endline ("unknown figure: " ^ other);
         exit 1
     in
     let data =
@@ -849,19 +871,278 @@ let sweep_cmd =
         print_string
           (Nano_report.Report.Series.render ~title ~x_label:x ~y_label:y data)
   in
-  let figure =
-    Arg.(required & pos 0 (some string) None
-         & info [] ~docv:"FIGURE"
-             ~doc:"One of fig2..fig6, omega, or delta (measured \
-                   output-error sweep).")
-  in
   let chart =
     Arg.(value & flag
          & info [ "chart" ] ~doc:"Draw an ASCII chart instead of a table.")
   in
-  let doc = "Print the data series behind the paper's analytical figures" in
-  Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(const run $ figure $ chart $ jobs_arg $ format_arg)
+  (* One subcommand per figure keeps the historical `sweep fig3`
+     spelling working under the command group. *)
+  let figure_cmds =
+    List.map
+      (fun (fig, doc) ->
+        Cmd.v (Cmd.info fig ~doc)
+          Term.(const run $ const fig $ chart $ jobs_arg $ format_arg))
+      [
+        ("fig2", "Figure 2: noisy switching activity");
+        ("fig3", "Figure 3: minimum redundancy factor");
+        ("fig4", "Figure 4: leakage/switching ratio");
+        ("fig5", "Figure 5: delay and energy-delay");
+        ("fig6", "Figure 6: average power");
+        ("omega", "Ablation: omega models");
+        ("delta", "Measured output error (batched Monte-Carlo)");
+      ]
+  in
+  (* Voter-class trade study over a selectively hardened circuit:
+     x-axis is the voter-device ε, the series are the hardened
+     circuit's measured any-output error next to the unhardened
+     baseline at the same seed. *)
+  let voters_cmd =
+    let run spec fraction gate_epsilon voter_epsilons ranking vectors seed
+        input_probability jobs block format =
+      match load_circuit spec with
+      | Error msg ->
+        prerr_endline msg;
+        exit 3
+      | Ok netlist -> (
+        match
+          let hardened =
+            match ranking with
+            | `Static ->
+              (* Deterministic criticality ranking from the static
+                 analyzer — no Monte Carlo, so the gate selection is
+                 seed-independent. *)
+              Nano_redundancy.Selective.harden_top_static ~input_probability
+                ~epsilon:gate_epsilon ~fraction netlist
+            | `Mc ->
+              Nano_redundancy.Selective.harden_top ~seed ~vectors ~fraction
+                netlist
+          in
+          let voter_epsilons = Array.of_list voter_epsilons in
+          let results =
+            Nano_redundancy.Selective.sweep_voter_epsilons ~seed ~vectors
+              ~input_probability ~jobs ?block hardened
+              ~gate_epsilon ~voter_epsilons
+          in
+          let baseline =
+            (Nano_faults.Noisy_sim.simulate ~seed ~vectors ~input_probability
+               ~jobs ?block ~epsilon:gate_epsilon netlist)
+              .Nano_faults.Noisy_sim.any_output_error
+          in
+          (hardened, voter_epsilons, results, baseline)
+        with
+        | exception Invalid_argument msg ->
+          prerr_endline ("sweep voters: " ^ msg);
+          exit 2
+        | hardened, voter_epsilons, results, baseline ->
+          let points f =
+            Array.to_list
+              (Array.mapi (fun i r -> (voter_epsilons.(i), f r)) results)
+          in
+          let data =
+            [
+              ( "hardened any-output error",
+                points (fun r -> r.Nano_faults.Noisy_sim.any_output_error) );
+              ( "unhardened baseline",
+                Array.to_list
+                  (Array.map (fun e -> (e, baseline)) voter_epsilons) );
+            ]
+          in
+          let size_overhead =
+            Nano_redundancy.Selective.size_overhead ~original:netlist
+              ~hardened
+          in
+          let voters =
+            List.length hardened.Nano_redundancy.Selective.voters
+          in
+          let ranking_name =
+            match ranking with `Static -> "static" | `Mc -> "mc"
+          in
+          (match format with
+          | `Json ->
+            (* The series reuse the service protocol's sweep encoder;
+               the envelope adds the hardening facts the table prints
+               as its header line. *)
+            json_line
+              (Nano_util.Json.Obj
+                 [
+                   ("circuit", Nano_util.Json.String (Nano_netlist.Netlist.name netlist));
+                   ("fraction", Nano_util.Json.Float fraction);
+                   ("gate_epsilon", Nano_util.Json.Float gate_epsilon);
+                   ("ranking", Nano_util.Json.String ranking_name);
+                   ("voters", Nano_util.Json.Int voters);
+                   ("size_overhead", Nano_util.Json.Float size_overhead);
+                   ("series", Nano_service.Protocol.series_to_json data);
+                 ])
+          | `Table ->
+            Printf.printf
+              "hardened %s: fraction %g (%s ranking), %d voters, size \
+               overhead %.3fx\n"
+              (Nano_netlist.Netlist.name netlist)
+              fraction ranking_name voters size_overhead;
+            print_string
+              (Nano_report.Report.Series.render
+                 ~title:
+                   (Printf.sprintf
+                      "Voter-class sweep (gate eps = %g, %d vectors)"
+                      gate_epsilon vectors)
+                 ~x_label:"voter eps" ~y_label:"any-output error" data)))
+    in
+    let fraction =
+      Arg.(
+        value & opt float 0.1
+        & info [ "fraction" ] ~docv:"F"
+            ~doc:"Fraction of logic gates to harden, in [0, 1].")
+    in
+    let voter_epsilons =
+      Arg.(
+        value
+        & opt (list float) [ 0.0001; 0.001; 0.005; 0.01 ]
+        & info [ "voter-epsilons" ] ~docv:"EPS,..."
+            ~doc:
+              "Comma-separated voter-device error probabilities: one \
+               common-random-numbers simulation lane per value.")
+    in
+    let ranking =
+      Arg.(
+        value
+        & opt (enum [ ("static", `Static); ("mc", `Mc) ]) `Static
+        & info [ "ranking" ] ~docv:"RANKING"
+            ~doc:
+              "Gate-selection ranking: `static' for the deterministic \
+               static error-criticality order (see `nanobound static'), \
+               `mc' for Monte-Carlo fault-injection observability.")
+    in
+    let vectors =
+      Arg.(
+        value & opt int 8192
+        & info [ "vectors" ] ~docv:"N"
+            ~doc:"Random input vectors per simulation lane.")
+    in
+    let seed =
+      Arg.(value & opt int 0xfa17 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+    in
+    let input_probability =
+      Arg.(
+        value & opt float 0.5
+        & info [ "input-probability" ] ~docv:"P"
+            ~doc:"Pr(input = 1) for every primary input.")
+    in
+    let block =
+      Arg.(
+        value & opt (some int) None
+        & info [ "block" ] ~docv:"WORDS"
+            ~doc:"Words per kernel block (default: engine choice).")
+    in
+    let doc = "Sweep voter-device error classes over a hardened circuit" in
+    Cmd.v (Cmd.info "voters" ~doc)
+      Term.(
+        const run $ circuit_arg $ fraction $ epsilon_arg $ voter_epsilons
+        $ ranking $ vectors $ seed $ input_probability $ jobs_arg $ block
+        $ format_arg)
+  in
+  let doc =
+    "Print the data series behind the paper's figures; sweep voter classes"
+  in
+  Cmd.group (Cmd.info "sweep" ~doc) (figure_cmds @ [ voters_cmd ])
+
+(* ------------------------------------------------------------------ *)
+(* static                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let static_cmd =
+  let run spec epsilon input_probability cone_budget tech top strict format =
+    match load_circuit spec with
+    | Error msg ->
+      prerr_endline msg;
+      exit 3
+    | Ok netlist ->
+      let epsilon =
+        match tech with
+        | None -> epsilon
+        | Some spec -> (
+          match load_tech spec with
+          | Error msgs ->
+            List.iter prerr_endline msgs;
+            exit 3
+          | Ok pack ->
+            (* Same floor the tech report applies to its bound rows:
+               the device cannot be more reliable than the pack says. *)
+            Float.max epsilon pack.Nano_tech.Pack.intrinsic_epsilon)
+      in
+      (match
+         Nano_static.Static.analyze ~input_probability ~cone_budget ~epsilon
+           netlist
+       with
+      | exception Invalid_argument msg ->
+        prerr_endline ("static: " ^ msg);
+        exit 2
+      | analysis ->
+        (match format with
+        | `Json ->
+          json_line (Nano_static.Static.to_json ~top analysis netlist)
+        | `Table ->
+          Format.printf "%a" (Nano_static.Static.pp ~top) (analysis, netlist));
+        let diags = Nano_static.Static.diagnostics analysis netlist in
+        let errors =
+          List.exists
+            (fun d -> d.Nano_lint.Diagnostic.severity = Nano_lint.Diagnostic.Error)
+            diags
+        in
+        if errors || (strict && diags <> []) then exit 1)
+  in
+  let input_probability =
+    Arg.(
+      value & opt float 0.5
+      & info [ "input-probability" ] ~docv:"P"
+          ~doc:"Pr(input = 1) for every primary input, in [0, 1].")
+  in
+  let cone_budget =
+    Arg.(
+      value
+      & opt int Nano_static.Static.default_cone_budget
+      & info [ "cone-budget" ] ~docv:"NODES"
+          ~doc:
+            "BDD size ceiling for exact signal probabilities; cones \
+             past it fall back to interval propagation.")
+  in
+  let top =
+    Arg.(
+      value & opt int 16
+      & info [ "top" ] ~docv:"K"
+          ~doc:"How many gates of the criticality ranking to print.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero on warnings too, not just errors.")
+  in
+  let doc =
+    "Static reliability bounds: error intervals without Monte Carlo"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the dataflow static analyzer: exact signal probabilities \
+         (shared ROBDD under a cone budget, interval fallback past it), \
+         per-output error-probability intervals under the von Neumann \
+         per-gate channel (exact on tree regions, conservative across \
+         reconvergent fanout), a static switching-activity estimate, \
+         and the error-criticality ranking that seeds selective \
+         hardening (`nanobound sweep voters').";
+      `P
+        "A $(b,vacuous-bound) warning marks an output whose interval \
+         no longer excludes a fair coin; $(b,bound-collapse) marks the \
+         frontier gate where the bound gave out. Exit status is 1 when \
+         diagnostics carry errors (with $(b,--strict), warnings too), \
+         3 when the circuit cannot be read.";
+    ]
+  in
+  Cmd.v (Cmd.info "static" ~doc ~man)
+    Term.(
+      const run $ circuit_arg $ epsilon_arg $ input_probability $ cone_budget
+      $ tech_arg $ top $ strict $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -1190,6 +1471,6 @@ let () =
        (Cmd.group info
           [
             bounds_cmd; analyze_cmd; tech_cmd; synth_cmd; inject_cmd;
-            equiv_cmd; critical_cmd;
+            equiv_cmd; critical_cmd; static_cmd;
             sweep_cmd; lint_cmd; suite_cmd; serve_cmd; request_cmd;
           ]))

@@ -194,6 +194,22 @@ let size m f =
   go f;
   !count
 
+exception Over_limit
+
+let size_within m ~limit f =
+  let seen = Hashtbl.create 64 in
+  let count = ref 0 in
+  let rec go n =
+    if (not (is_terminal n)) && not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      incr count;
+      if !count > limit then raise Over_limit;
+      go m.low.(n);
+      go m.high.(n)
+    end
+  in
+  match go f with () -> true | exception Over_limit -> false
+
 let probability m ~p f =
   let cache = Hashtbl.create 64 in
   let rec go n =
@@ -211,6 +227,24 @@ let probability m ~p f =
     end
   in
   go f
+
+let probability_fn m ~p =
+  let cache = Hashtbl.create 1024 in
+  let rec go n =
+    if n = node_true then 1.
+    else if n = node_false then 0.
+    else begin
+      match Hashtbl.find_opt cache n with
+      | Some pr -> pr
+      | None ->
+        let pv = p m.var.(n) in
+        assert (pv >= 0. && pv <= 1.);
+        let pr = (pv *. go m.high.(n)) +. ((1. -. pv) *. go m.low.(n)) in
+        Hashtbl.add cache n pr;
+        pr
+    end
+  in
+  go
 
 let sat_count m ~nvars f =
   List.iter

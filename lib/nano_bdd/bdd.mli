@@ -67,6 +67,12 @@ val size : manager -> node -> int
 (** Number of distinct internal nodes reachable from the root (terminals
     excluded); a constant has size 0. *)
 
+val size_within : manager -> limit:int -> node -> bool
+(** [size_within m ~limit f] is [size m f <= limit], but the traversal
+    aborts as soon as [limit + 1] internal nodes have been seen, so the
+    cost is bounded by the limit rather than by the diagram. Intended
+    for budget checks over possibly oversized diagrams. *)
+
 val sat_count : manager -> nvars:int -> node -> float
 (** Number of satisfying assignments over the variable universe
     [0 .. nvars-1]. Requires every support variable to be below
@@ -76,6 +82,12 @@ val probability : manager -> p:(int -> float) -> node -> float
 (** [probability m ~p f] is [Pr(f = 1)] when variable [i] is one with
     probability [p i], independently. The workhorse behind exact signal
     probabilities and switching activities. *)
+
+val probability_fn : manager -> p:(int -> float) -> node -> float
+(** Partially applied form of {!probability} whose memo table persists
+    across calls: [let eval = probability_fn m ~p in ...] shares work
+    between diagrams with common subgraphs. The probability assignment
+    [p] must not change between calls through the same evaluator. *)
 
 val eval : manager -> node -> (int -> bool) -> bool
 (** Evaluate under a concrete assignment. *)

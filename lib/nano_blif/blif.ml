@@ -34,6 +34,23 @@ let tokenize_lines text =
         | Some i -> String.sub raw 0 i
         | None -> raw
       in
+      (* Trim trailing blanks (and the CR of CRLF files) before looking
+         for the continuation backslash. Otherwise a '\' followed by
+         invisible whitespace silently fails to continue, the
+         construct splits into several logical lines, and every
+         diagnostic for it lands on a *later* physical line than the
+         one the author wrote the directive on. *)
+      let raw =
+        let len = ref (String.length raw) in
+        while
+          !len > 0
+          &&
+          match raw.[!len - 1] with ' ' | '\t' | '\r' -> true | _ -> false
+        do
+          decr len
+        done;
+        if !len = String.length raw then raw else String.sub raw 0 !len
+      in
       let continued = String.length raw > 0 && raw.[String.length raw - 1] = '\\' in
       let body = if continued then String.sub raw 0 (String.length raw - 1) else raw in
       let toks =

@@ -32,7 +32,10 @@ let noisy_gate epsilon kind fanin_pairs =
   let arity = Array.length fanin_pairs in
   let clean_bits = Array.make arity false in
   let noisy_bits = Array.make arity false in
-  let acc = ref { p00 = 0.; p01 = 0.; p10 = 0.; p11 = 0. } in
+  (* Scalar accumulators keep the hot recursion allocation-free; the
+     enumeration order matches the recursive definition exactly so the
+     float sums are bit-identical to the naive fold. *)
+  let a00 = ref 0. and a01 = ref 0. and a10 = ref 0. and a11 = ref 0. in
   (* Enumerate joint fanin assignments: 4^arity combinations, assuming
      the fanins are independent. *)
   let rec go i probability =
@@ -42,30 +45,30 @@ let noisy_gate epsilon kind fanin_pairs =
       let noisy_pre = Gate.eval kind noisy_bits in
       (* The gate's own channel flips the noisy value with prob ε. *)
       let add ~clean ~noisy p =
-        if p > 0. then begin
-          let cur = !acc in
-          acc :=
-            (match clean, noisy with
-            | false, false -> { cur with p00 = cur.p00 +. p }
-            | false, true -> { cur with p01 = cur.p01 +. p }
-            | true, false -> { cur with p10 = cur.p10 +. p }
-            | true, true -> { cur with p11 = cur.p11 +. p })
-        end
+        if p > 0. then
+          match clean, noisy with
+          | false, false -> a00 := !a00 +. p
+          | false, true -> a01 := !a01 +. p
+          | true, false -> a10 := !a10 +. p
+          | true, true -> a11 := !a11 +. p
       in
       add ~clean:clean_out ~noisy:noisy_pre (probability *. (1. -. epsilon));
       add ~clean:clean_out ~noisy:(not noisy_pre) (probability *. epsilon)
     end
-    else
-      List.iter
-        (fun (clean, noisy) ->
-          clean_bits.(i) <- clean;
-          noisy_bits.(i) <- noisy;
-          go (i + 1)
-            (probability *. component fanin_pairs.(i) ~clean ~noisy))
-        [ (false, false); (false, true); (true, false); (true, true) ]
+    else begin
+      let step clean noisy =
+        clean_bits.(i) <- clean;
+        noisy_bits.(i) <- noisy;
+        go (i + 1) (probability *. component fanin_pairs.(i) ~clean ~noisy)
+      in
+      step false false;
+      step false true;
+      step true false;
+      step true true
+    end
   in
   go 0 1.;
-  !acc
+  { p00 = !a00; p01 = !a01; p10 = !a10; p11 = !a11 }
 
 let clean_gate kind fanin_pairs =
   (* Buffers and constants pass the pair through unchanged / fixed. *)

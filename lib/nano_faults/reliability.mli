@@ -21,6 +21,22 @@ val pair_error : pair -> float
 val pair_clean_one : pair -> float
 val pair_noisy_one : pair -> float
 
+val input_pair : float -> pair
+(** Joint distribution of an error-free primary input with
+    [Pr(1) = p]. *)
+
+val const_pair : bool -> pair
+(** Joint distribution of a constant driver (always clean). *)
+
+val noisy_gate : float -> Nano_netlist.Gate.kind -> pair array -> pair
+(** [noisy_gate epsilon kind fanin_pairs] pushes the joint
+    (clean, noisy) distributions of the fanins through one gate whose
+    output channel flips with probability [epsilon], assuming the
+    fanins are independent — the single-gate step {!analyze} iterates.
+    Exposed so {!Nano_static} can replay it selectively on the tree
+    regions where the independence assumption is provably exact.
+    Enumerates [4^arity] joint assignments; callers cap the arity. *)
+
 type result = {
   epsilon : float;
   node_pair : pair array;  (** One joint distribution per node id. *)

@@ -63,6 +63,19 @@ let harden_top ?seed ?vectors ~fraction netlist =
   let gates = Nano_faults.Criticality.top_fraction netlist result ~fraction in
   harden netlist ~gates
 
+let harden_top_static ?input_probability ?cone_budget ~epsilon ~fraction
+    netlist =
+  if not (fraction >= 0. && fraction <= 1.) then
+    invalid_arg "Selective.harden_top_static: fraction in [0, 1]";
+  let analysis =
+    Nano_static.Static.analyze ?input_probability ?cone_budget ~epsilon netlist
+  in
+  let ranked = Nano_static.Static.ranked_gates analysis netlist in
+  let count =
+    int_of_float (ceil (fraction *. float_of_int (List.length ranked)))
+  in
+  harden netlist ~gates:(List.filteri (fun i _ -> i < count) ranked)
+
 let voter_epsilon_of hardened ~gate_epsilon ~voter_epsilon =
   let voter_set = Hashtbl.create 16 in
   List.iter (fun v -> Hashtbl.replace voter_set v ()) hardened.voters;

@@ -35,6 +35,19 @@ val harden_top :
   hardened
 (** Rank gates by observability and harden the top [fraction]. *)
 
+val harden_top_static :
+  ?input_probability:float ->
+  ?cone_budget:int ->
+  epsilon:float ->
+  fraction:float ->
+  Nano_netlist.Netlist.t ->
+  hardened
+(** Like {!harden_top} but ranked by the deterministic
+    {!Nano_static.Static.ranked_gates} error-criticality ordering at
+    the given operating point — no Monte Carlo, no seed, microsecond
+    cost. The count selected from the ranking matches {!harden_top}'s
+    [ceil (fraction * gates)] convention. *)
+
 val voter_epsilon_of :
   hardened -> gate_epsilon:float -> voter_epsilon:float ->
   Nano_netlist.Netlist.node -> float

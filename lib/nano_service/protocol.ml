@@ -29,6 +29,13 @@ type request =
       epsilon : float;
       delta : float;
     }
+  | Static of {
+      circuit : circuit;
+      epsilon : float;
+      input_probability : float;
+      cone_budget : int;
+      tech : tech_spec option;
+    }
 
 type envelope = { request : request; timeout_ms : int option }
 
@@ -41,6 +48,7 @@ let kind_name = function
   | Analyze _ -> "analyze"
   | Sweep _ -> "sweep"
   | Lint _ -> "lint"
+  | Static _ -> "static"
 
 (* ------------------------------------------------------------------ *)
 (* Encoding.                                                            *)
@@ -97,6 +105,17 @@ let request_to_json { request; timeout_ms } =
           ("epsilon", Json.Float epsilon);
           ("delta", Json.Float delta);
         ]
+    | Static { circuit; epsilon; input_probability; cone_budget; tech } ->
+      (("kind", Json.String "static") :: circuit_fields circuit)
+      @ [
+          ("epsilon", Json.Float epsilon);
+          ("input_probability", Json.Float input_probability);
+          ("cone_budget", Json.Int cone_budget);
+        ]
+      @ (match tech with
+        | None -> []
+        | Some (Tech_named name) -> [ ("tech", Json.String name) ]
+        | Some (Tech_inline pack) -> [ ("tech", pack) ])
   in
   let timeout =
     match timeout_ms with
@@ -141,6 +160,16 @@ let float_list v =
         | None -> None)
     in
     go [] items
+
+(* Shared by analyze and static: absent for older clients, a name for
+   built-ins, an object for inline packs. *)
+let tech_of_json obj =
+  match Json.member "tech" obj with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.String name) -> Ok (Some (Tech_named name))
+  | Some (Json.Obj _ as pack) -> Ok (Some (Tech_inline pack))
+  | Some _ ->
+    Error "field \"tech\" must be a pack name or an inline pack object"
 
 let circuit_of_json obj =
   match (Json.member "circuit" obj, Json.member "blif" obj) with
@@ -204,15 +233,7 @@ let request_of_json obj =
         let* vectors = field_default Json.to_int obj "vectors" 4096 in
         (* Absent for pre-tech clients, whose replies (and cache keys)
            stay byte-identical to the previous protocol revision. *)
-        let* tech =
-          match Json.member "tech" obj with
-          | None | Some Json.Null -> Ok None
-          | Some (Json.String name) -> Ok (Some (Tech_named name))
-          | Some (Json.Obj _ as pack) -> Ok (Some (Tech_inline pack))
-          | Some _ ->
-            Error
-              "field \"tech\" must be a pack name or an inline pack object"
-        in
+        let* tech = tech_of_json obj in
         Ok
           (Analyze
              { circuit; delta; leakage_share0; epsilons; no_map; measure;
@@ -226,6 +247,18 @@ let request_of_json obj =
         let* epsilon = field_default Json.to_float obj "epsilon" 0.01 in
         let* delta = field_default Json.to_float obj "delta" 0.01 in
         Ok (Lint { circuit; max_fanin; epsilon; delta })
+      | "static" ->
+        let* circuit = circuit_of_json obj in
+        let* epsilon = field_default Json.to_float obj "epsilon" 0.01 in
+        let* input_probability =
+          field_default Json.to_float obj "input_probability" 0.5
+        in
+        let* cone_budget =
+          field_default Json.to_int obj "cone_budget"
+            Nano_static.Static.default_cone_budget
+        in
+        let* tech = tech_of_json obj in
+        Ok (Static { circuit; epsilon; input_probability; cone_budget; tech })
       | other -> Error (Printf.sprintf "unknown request kind %S" other)
     in
     let* timeout_ms = field_opt Json.to_int obj "timeout_ms" in

@@ -59,6 +59,21 @@ type request =
           reply carries {!Nano_lint.Lint.report_to_json}'s record.
           Replies are cached by content digest, so the same circuit
           text yields byte-identical diagnostics on every surface. *)
+  | Static of {
+      circuit : circuit;
+      epsilon : float;  (** Per-gate ε (default 0.01). *)
+      input_probability : float;  (** Pr(input = 1) (default 1/2). *)
+      cone_budget : int;
+          (** BDD ceiling for exact signal probabilities (default
+              {!Nano_static.Static.default_cone_budget}). *)
+      tech : tech_spec option;
+          (** When present, ε is floored at the pack's intrinsic ε —
+              the same rule the tech report applies to its bound
+              rows. *)
+    }
+      (** Static reliability bounds ({!Nano_static.Static}): the reply
+          carries {!Nano_static.Static.to_json}'s record. Deterministic
+          (no Monte Carlo), cached by strash digest + parameters. *)
 
 type envelope = { request : request; timeout_ms : int option }
 

@@ -45,6 +45,9 @@ type t = {
   mutable lint_hits : int;
       (** lint replies served from the response cache *)
   mutable lint_misses : int;  (** lint replies computed fresh *)
+  mutable static_hits : int;
+      (** static-analysis replies served from the response cache *)
+  mutable static_misses : int;  (** static-analysis replies computed fresh *)
   mutable tech_reports : int;
       (** technology reports computed fresh (cache hits excluded) *)
   mutable stop : bool;
@@ -69,6 +72,8 @@ let create ?config () =
     journal;
     lint_hits = 0;
     lint_misses = 0;
+    static_hits = 0;
+    static_misses = 0;
     tech_reports = 0;
     stop = false;
   }
@@ -247,6 +252,12 @@ let prepare t ~deadline (env : Protocol.envelope) =
                     [
                       ("hits", Json.Int t.lint_hits);
                       ("misses", Json.Int t.lint_misses);
+                    ] );
+                ( "static_cache",
+                  Json.Obj
+                    [
+                      ("hits", Json.Int t.static_hits);
+                      ("misses", Json.Int t.static_misses);
                     ] );
                 ( "tech_packs",
                   Json.Obj
@@ -433,6 +444,34 @@ let prepare t ~deadline (env : Protocol.envelope) =
                params);
         run = (fun () -> Lint.report_to_json (Lint.run_blif_string ~options text));
       })
+  | Protocol.Static { circuit; epsilon; input_probability; cone_budget; tech }
+    ->
+    let name, netlist = resolve_circuit circuit in
+    let digest = Nano_synth.Strash.digest netlist in
+    (* Bad packs become error replies before any key exists (never
+       cached); the effective ε is floored at the pack's intrinsic ε,
+       matching both the tech report's bound rows and the CLI verb. *)
+    let tech = Option.map resolve_tech tech in
+    let epsilon =
+      match tech with
+      | None -> epsilon
+      | Some pack -> Float.max epsilon pack.Nano_tech.Pack.intrinsic_epsilon
+    in
+    let key =
+      Printf.sprintf "static|%s|%s|%s|%s|%d" digest name (fr epsilon)
+        (fr input_probability) cone_budget
+    in
+    {
+      key = Some key;
+      run =
+        (fun () ->
+          check_deadline deadline;
+          let analysis =
+            Nano_static.Static.analyze ~input_probability ~cone_budget
+              ~epsilon netlist
+          in
+          Nano_static.Static.to_json analysis netlist);
+    }
   | Protocol.Sweep { figure } ->
     let key = Printf.sprintf "sweep|%s" figure in
     {
@@ -469,6 +508,12 @@ let process t ?memo line =
       match disposition with
       | `Hit -> t.lint_hits <- t.lint_hits + 1
       | `Miss -> t.lint_misses <- t.lint_misses + 1
+      | `Coalesced | `Uncached -> ()
+    end;
+    if !kind = "static" then begin
+      match disposition with
+      | `Hit -> t.static_hits <- t.static_hits + 1
+      | `Miss -> t.static_misses <- t.static_misses + 1
       | `Coalesced | `Uncached -> ()
     end;
     trace t "%s %s %.3fms" !kind

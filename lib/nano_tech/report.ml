@@ -47,12 +47,22 @@ let is_free kind = Gate.is_source kind || kind = Gate.Buf
 let clamp lo hi v = Float.max lo (Float.min hi v)
 
 let analyze ?(delta = Benchmark_eval.paper_delta)
-    ?(epsilons = Benchmark_eval.paper_epsilons) ~(pack : Pack.t)
+    ?(epsilons = Benchmark_eval.paper_epsilons) ?node_activity ~(pack : Pack.t)
     ~(profile : Profile.t) net =
-  let activity =
-    (* Pinned to [Profile.default_activity] so every surface computes
-       the same weights regardless of other request parameters. *)
-    Activity.monte_carlo ~seed:0x5eed ~vectors:4096 net
+  let node_activity =
+    match node_activity with
+    | Some sw ->
+      (* Caller-supplied per-node activities — e.g. the static
+         analyzer's microsecond estimate instead of 4096 simulated
+         vectors. Must cover every node id. *)
+      if Array.length sw <> Netlist.node_count net then
+        invalid_arg "Report.analyze: node_activity length mismatch";
+      sw
+    | None ->
+      (* Pinned to [Profile.default_activity] so every surface computes
+         the same weights regardless of other request parameters. *)
+      (Activity.monte_carlo ~seed:0x5eed ~vectors:4096 net)
+        .Activity.node_activity
   in
   let acc = Hashtbl.create 11 in
   let diagnostics = ref [] in
@@ -63,7 +73,7 @@ let analyze ?(delta = Benchmark_eval.paper_delta)
         let arity = Array.length info.Netlist.fanins in
         match Pack.scaled pack kind ~arity with
         | Some e ->
-          let sw = activity.Activity.node_activity.(id) in
+          let sw = node_activity.(id) in
           let sj = e.Pack.energy_j *. sw in
           switching := !switching +. sj;
           leakage := !leakage +. e.Pack.leakage_w;

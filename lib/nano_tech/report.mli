@@ -55,6 +55,7 @@ type t = {
 val analyze :
   ?delta:float ->
   ?epsilons:float list ->
+  ?node_activity:float array ->
   pack:Pack.t ->
   profile:Nano_bounds.Profile.t ->
   Nano_netlist.Netlist.t ->
@@ -62,7 +63,14 @@ val analyze :
 (** Defaults: [delta = Benchmark_eval.paper_delta],
     [epsilons = Benchmark_eval.paper_epsilons]. [profile] must be the
     profile of the same (mapped) netlist — callers reuse the one the
-    normalized rows were computed from. *)
+    normalized rows were computed from.
+
+    [node_activity] substitutes a caller-supplied per-node switching
+    activity (indexed by node id, length [Netlist.node_count]) for the
+    pinned-seed Monte-Carlo estimate — the static analyzer's
+    [Nano_static.Static.node_activity_estimate] is the intended
+    source. Omitting it keeps reports byte-identical to earlier
+    releases. *)
 
 val to_json : t -> Nano_util.Json.t
 (** Deterministic encoding shared by [--format json] and the service

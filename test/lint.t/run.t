@@ -88,3 +88,22 @@ field at all:
   $ nanobound analyze c17 --epsilons 0.01 --format json | grep -c '"lint"'
   0
   [1]
+
+A backslash-continued construct reports the physical line it *starts*
+on, even when invisible whitespace (or a CRLF ending) trails the
+backslash: both .names below are continued, the duplicate driver is
+the block starting at line 7 and the first driver the one at line 4.
+
+  $ printf '.model cont\n.inputs a b\n.outputs z\n.names a b \\ \n    z\n11 1\n.names a \\\n    z\n1 1\n.end\n' > cont.blif
+  $ nanobound lint cont.blif
+  model cont: 1 error(s), 0 warning(s), 0 info
+    error   duplicate-driver     net z (line 7): net z is driven by more than one .names block (first driver at line 4); keeping either silently changes the function
+  [1]
+
+A CRLF-encoded file with a continued .inputs parses and lints clean;
+diagnostics (none here) would carry the same first-line numbers.
+
+  $ printf '.model crlf\r\n.inputs a \\\r\n b\r\n.outputs z\r\n.names a b z\r\n11 1\r\n.end\r\n' > crlf.blif
+  $ nanobound lint crlf.blif
+  model crlf (digest fc234ee66a398223be49a6fb18c3b1d9): 0 error(s), 0 warning(s), 1 info
+    info    levelization         netlist: depth 1, 1 logic gates, 2 inputs, max fanin 2, avg fanin 2.00, max fanout 1

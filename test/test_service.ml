@@ -109,6 +109,18 @@ let test_protocol_roundtrip () =
         Protocol.request = Protocol.Sweep { figure = "fig3" };
         timeout_ms = None;
       };
+      {
+        Protocol.request =
+          Protocol.Static
+            {
+              circuit = Protocol.Named "rca8";
+              epsilon = 0.02;
+              input_probability = 0.25;
+              cone_budget = 128;
+              tech = Some (Protocol.Tech_named "nanodev");
+            };
+        timeout_ms = None;
+      };
     ]
 
 let test_protocol_defaults () =
@@ -276,6 +288,65 @@ let test_structured_errors () =
   check "timeout" "timeout"
     {|{"kind":"analyze","circuit":"rca8","timeout_ms":0}|}
 
+let test_static_request () =
+  let t = make_service () in
+  let line = {|{"kind":"static","circuit":"rca8","epsilon":0.02}|} in
+  let cold = Service.handle_line t line in
+  let warm = Service.handle_line t line in
+  Alcotest.(check bool) "cold succeeds" true (reply_ok cold);
+  Alcotest.(check string) "warm bytes = cold bytes" cold warm;
+  (* The reply is exactly the analyzer's encoding — no simulation
+     anywhere, so it needs no seed in the key and no jobs caveat. *)
+  let netlist =
+    (Option.get (Nano_circuits.Suite.find "rca8")).Nano_circuits.Suite.build
+      ()
+  in
+  let expected =
+    Protocol.ok_reply
+      (Nano_static.Static.to_json
+         (Nano_static.Static.analyze ~epsilon:0.02 netlist)
+         netlist)
+  in
+  Alcotest.(check string) "service = Static.to_json" expected cold;
+  let stats = stats_of_service t in
+  let static_counter field =
+    Option.get
+      (Option.bind (Json.member "static_cache" stats) (fun c ->
+           Option.bind (Json.member field c) Json.to_int))
+  in
+  Alcotest.(check int) "one static hit" 1 (static_counter "hits");
+  Alcotest.(check int) "one static miss" 1 (static_counter "misses")
+
+let test_static_tech_floor () =
+  (* nanodev's intrinsic eps = 0.02 floors the requested 0.001: the
+     reply must match a direct analysis at the floored value, and key
+     on it (same reply bytes for any requested eps under the floor). *)
+  let t = make_service () in
+  let reply eps =
+    Service.handle_line t
+      (Printf.sprintf
+         {|{"kind":"static","circuit":"c17","epsilon":%g,"tech":"nanodev"}|}
+         eps)
+  in
+  let floored = reply 0.001 in
+  Alcotest.(check bool) "ok" true (reply_ok floored);
+  let netlist =
+    (Option.get (Nano_circuits.Suite.find "c17")).Nano_circuits.Suite.build ()
+  in
+  let expected =
+    Protocol.ok_reply
+      (Nano_static.Static.to_json
+         (Nano_static.Static.analyze ~epsilon:0.02 netlist)
+         netlist)
+  in
+  Alcotest.(check string) "floored at intrinsic eps" expected floored;
+  Alcotest.(check string) "sub-floor requests coalesce" floored (reply 0.005);
+  Alcotest.(check (option string))
+    "bad pack is an error reply" (Some "unknown_tech")
+    (error_code
+       (Service.handle_line t
+          {|{"kind":"static","circuit":"c17","tech":"nosuch"}|}))
+
 let test_error_then_service_still_up () =
   let t = make_service () in
   ignore (Service.handle_line t "garbage");
@@ -389,6 +460,9 @@ let suite =
     Alcotest.test_case "rename-only BLIF shares profile core" `Quick
       test_rename_only_blif_shares_profile_core;
     Alcotest.test_case "structured errors" `Quick test_structured_errors;
+    Alcotest.test_case "static request cached + exact" `Quick
+      test_static_request;
+    Alcotest.test_case "static tech floor" `Quick test_static_tech_floor;
     Alcotest.test_case "daemon survives errors" `Quick
       test_error_then_service_still_up;
     Alcotest.test_case "batch coalescing" `Quick test_batch_coalescing;
